@@ -1,0 +1,80 @@
+// Ablation A4: barrier algorithm choice (central vs tree vs dissemination)
+// measured two ways:
+//   * wall clock on this host (real threads, oversubscribed — the relative
+//     ordering still reflects wakeup-chain length);
+//   * the platform cost model's T4240 prediction (barrier_seconds per the
+//     topology's hop structure).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "gomp/barrier.hpp"
+#include "platform/cost_model.hpp"
+
+namespace {
+
+using namespace ompmca;
+
+void run_barrier(benchmark::State& state, gomp::BarrierKind kind) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const int rounds = 200;
+  for (auto _ : state) {
+    auto barrier =
+        gomp::make_barrier(kind, threads, gomp::WaitPolicy::kPassive);
+    std::vector<std::thread> team;
+    for (unsigned t = 1; t < threads; ++t) {
+      team.emplace_back([&barrier, t] {
+        for (int r = 0; r < rounds; ++r) barrier->arrive_and_wait(t);
+      });
+    }
+    for (int r = 0; r < rounds; ++r) barrier->arrive_and_wait(0);
+    for (auto& t : team) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+  state.SetLabel(std::string(to_string(kind)));
+}
+
+void BM_Barrier_Central(benchmark::State& state) {
+  run_barrier(state, gomp::BarrierKind::kCentral);
+}
+void BM_Barrier_Tree(benchmark::State& state) {
+  run_barrier(state, gomp::BarrierKind::kTree);
+}
+void BM_Barrier_Dissemination(benchmark::State& state) {
+  run_barrier(state, gomp::BarrierKind::kDissemination);
+}
+
+/// The modelled-board view (prints once; no timing loop needed).
+void BM_Barrier_T4240Model(benchmark::State& state) {
+  platform::CostModel model(platform::Topology::t4240rdb(),
+                            platform::ServiceCosts::native());
+  double total = 0;
+  for (auto _ : state) {
+    platform::TeamShape shape(model.topology(),
+                              static_cast<unsigned>(state.range(0)));
+    total += model.barrier_seconds(shape);
+    benchmark::DoNotOptimize(total);
+  }
+  platform::TeamShape shape(model.topology(),
+                            static_cast<unsigned>(state.range(0)));
+  state.counters["modelled_us"] = model.barrier_seconds(shape) * 1e6;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Barrier_Central)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(3);
+BENCHMARK(BM_Barrier_Tree)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(3);
+BENCHMARK(BM_Barrier_Dissemination)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(3);
+BENCHMARK(BM_Barrier_T4240Model)
+    ->Arg(4)
+    ->Arg(12)
+    ->Arg(24)
+    ->Iterations(1000);
+
+BENCHMARK_MAIN();

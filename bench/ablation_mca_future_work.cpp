@@ -1,0 +1,133 @@
+// Ablation A5 (§7 future work): throughput of the MCAPI and MTAPI layers —
+// the parts of the MCA stack the paper defers — plus a comparison of MTAPI
+// tasking against the OpenMP runtime's own explicit tasks.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "gomp/gomp.hpp"
+#include "mcapi/mcapi.hpp"
+#include "mtapi/mtapi.hpp"
+
+namespace {
+
+using namespace ompmca;
+
+void BM_McapiMessageRoundTrip(benchmark::State& state) {
+  mcapi::Registry::instance().reset();
+  auto a = mcapi::endpoint_create(0, 1, 1);
+  auto b = mcapi::endpoint_create(0, 2, 1);
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> payload(bytes, 0x5A);
+  std::vector<std::uint8_t> sink(bytes);
+  for (auto _ : state) {
+    (void)mcapi::msg_send(*a, *b, payload.data(), payload.size());
+    benchmark::DoNotOptimize(
+        (*b)->msg_recv(sink.data(), sink.size(), mrapi::kTimeoutInfinite));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+
+void BM_McapiPacketChannelPipe(benchmark::State& state) {
+  mcapi::Registry::instance().reset();
+  auto tx = mcapi::endpoint_create(0, 1, 1);
+  auto rx = mcapi::endpoint_create(0, 2, 1);
+  (void)mcapi::channel_connect(mcapi::ChannelType::kPacket, *tx, *rx);
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> payload(bytes, 0xA5);
+  std::vector<std::uint8_t> sink(bytes);
+  const int kBurst = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kBurst; ++i) {
+      (void)mcapi::pkt_send(*tx, payload.data(), payload.size());
+    }
+    for (int i = 0; i < kBurst; ++i) {
+      benchmark::DoNotOptimize(
+          mcapi::pkt_recv(*rx, sink.data(), sink.size()));
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBurst *
+                          static_cast<int64_t>(bytes));
+}
+
+void BM_McapiScalarChannel(benchmark::State& state) {
+  mcapi::Registry::instance().reset();
+  auto tx = mcapi::endpoint_create(0, 1, 1);
+  auto rx = mcapi::endpoint_create(0, 2, 1);
+  (void)mcapi::channel_connect(mcapi::ChannelType::kScalar, *tx, *rx);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    (void)mcapi::scalar_send(*tx, ++v, 8);
+    benchmark::DoNotOptimize(mcapi::scalar_recv(*rx, 8));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MtapiTaskThroughput(benchmark::State& state) {
+  mtapi::TaskRuntime rt(
+      mtapi::TaskRuntimeOptions{.workers = static_cast<unsigned>(
+                                    state.range(0))});
+  std::atomic<long> sink{0};
+  (void)rt.action_create(1, [&](const void*, std::size_t) {
+    sink.fetch_add(1, std::memory_order_relaxed);
+  });
+  const int kBatch = 256;
+  for (auto _ : state) {
+    auto group = rt.group_create();
+    for (int i = 0; i < kBatch; ++i) {
+      (void)rt.task_start(1, nullptr, 0, group);
+    }
+    (void)group->wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void BM_GompTaskThroughput(benchmark::State& state) {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = static_cast<unsigned>(state.range(0));
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+  std::atomic<long> sink{0};
+  const int kBatch = 256;
+  for (auto _ : state) {
+    rt.parallel([&](gomp::ParallelContext& ctx) {
+      ctx.single([&] {
+        for (int i = 0; i < kBatch; ++i) {
+          ctx.task([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+        }
+      }, /*nowait=*/true);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void BM_MtapiOrderedQueue(benchmark::State& state) {
+  mtapi::TaskRuntime rt(mtapi::TaskRuntimeOptions{.workers = 4});
+  std::atomic<long> sink{0};
+  (void)rt.action_create(1, [&](const void*, std::size_t) {
+    sink.fetch_add(1, std::memory_order_relaxed);
+  });
+  auto queue = *rt.queue_create(1);
+  const int kBatch = 128;
+  for (auto _ : state) {
+    auto group = rt.group_create();
+    for (int i = 0; i < kBatch; ++i) {
+      (void)rt.queue_enqueue(queue, nullptr, 0, group);
+    }
+    (void)group->wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+}  // namespace
+
+BENCHMARK(BM_McapiMessageRoundTrip)->Arg(64)->Arg(4096)->Iterations(20000);
+BENCHMARK(BM_McapiPacketChannelPipe)->Arg(64)->Arg(4096)->Iterations(500);
+BENCHMARK(BM_McapiScalarChannel)->Iterations(50000);
+BENCHMARK(BM_MtapiTaskThroughput)->Arg(1)->Arg(4)->Iterations(50);
+BENCHMARK(BM_GompTaskThroughput)->Arg(1)->Arg(4)->Iterations(50);
+BENCHMARK(BM_MtapiOrderedQueue)->Iterations(50);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Ablation A1 (§5B.1 node management): persistent worker pool vs the
+// literal create-per-region node lifecycle, under both backends.
+//
+// The paper's text describes nodes created at fork and finalized at join;
+// libGOMP (and this runtime by default) parks a pool instead.  This bench
+// quantifies what that choice is worth per PARALLEL construct.
+#include <benchmark/benchmark.h>
+
+#include "gomp/gomp.hpp"
+
+namespace {
+
+using namespace ompmca;
+
+void run_regions(benchmark::State& state, gomp::BackendKind backend,
+                 gomp::PoolMode mode) {
+  gomp::RuntimeOptions opts;
+  opts.backend = backend;
+  opts.pool_mode = mode;
+  gomp::Icvs icvs;
+  icvs.num_threads = static_cast<unsigned>(state.range(0));
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+
+  for (auto _ : state) {
+    long sink = 0;
+    rt.parallel([&](gomp::ParallelContext& ctx) {
+      benchmark::DoNotOptimize(ctx.thread_num());
+      if (ctx.thread_num() == 0) sink = 1;
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetLabel(mode == gomp::PoolMode::kPersistent ? "pool" : "per-region");
+}
+
+void BM_Parallel_Native_Pool(benchmark::State& state) {
+  run_regions(state, gomp::BackendKind::kNative, gomp::PoolMode::kPersistent);
+}
+void BM_Parallel_Native_PerRegion(benchmark::State& state) {
+  run_regions(state, gomp::BackendKind::kNative, gomp::PoolMode::kPerRegion);
+}
+void BM_Parallel_Mca_Pool(benchmark::State& state) {
+  run_regions(state, gomp::BackendKind::kMca, gomp::PoolMode::kPersistent);
+}
+void BM_Parallel_Mca_PerRegion(benchmark::State& state) {
+  run_regions(state, gomp::BackendKind::kMca, gomp::PoolMode::kPerRegion);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Parallel_Native_Pool)->Arg(2)->Arg(4)->Arg(8)->Iterations(200);
+BENCHMARK(BM_Parallel_Native_PerRegion)->Arg(2)->Arg(4)->Arg(8)->Iterations(50);
+BENCHMARK(BM_Parallel_Mca_Pool)->Arg(2)->Arg(4)->Arg(8)->Iterations(200);
+BENCHMARK(BM_Parallel_Mca_PerRegion)->Arg(2)->Arg(4)->Arg(8)->Iterations(50);
+
+BENCHMARK_MAIN();

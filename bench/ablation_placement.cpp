@@ -1,0 +1,61 @@
+// Ablation A6: thread placement policy (OMP_PROC_BIND spread vs close) on
+// the modelled T4240.
+//
+// Spread (the default, what Linux does for an OpenMP team) gives every
+// software thread its own core until 12 threads; close packs SMT pairs
+// immediately.  Compute-bound kernels (EP) want spread (a lane alone owns
+// its core's issue width); the interesting part is where close stops
+// hurting — once the team is wide enough that pairs form anyway.
+#include <cmath>
+#include <cstdio>
+
+#include "npb/npb.hpp"
+#include "simx/engine.hpp"
+
+namespace {
+
+using namespace ompmca;
+
+double run(const platform::CostModel& model, const simx::Program& program,
+           unsigned n, platform::PlacementPolicy policy) {
+  simx::Engine engine(&model, n, policy);
+  return engine.run(program).seconds;
+}
+
+}  // namespace
+
+int main() {
+  const platform::CostModel model(platform::Topology::t4240rdb(),
+                                  platform::ServiceCosts::native());
+
+  bool all_ok = true;
+  for (const auto& [name, trace] :
+       {std::pair<const char*, simx::Program (*)(npb::Class)>{"EP",
+                                                              npb::trace_ep},
+        {"CG", npb::trace_cg}}) {
+    simx::Program program = trace(npb::Class::A);
+    std::printf("== placement ablation: NAS %s class A ==\n", name);
+    std::printf("  %-8s %-14s %-14s %-8s\n", "threads", "spread (s)",
+                "close (s)", "ratio");
+    for (unsigned n : {2u, 4u, 8u, 12u, 16u, 24u}) {
+      double spread =
+          run(model, program, n, platform::PlacementPolicy::kScatter);
+      double close =
+          run(model, program, n, platform::PlacementPolicy::kCompact);
+      std::printf("  %-8u %-14.4f %-14.4f %-8.3f\n", n, spread, close,
+                  close / spread);
+      if (n <= 12) {
+        // With <= 12 threads spread owns whole cores; close forms SMT
+        // pairs and must never be faster on these kernels.
+        all_ok &= close >= spread * 0.999;
+      }
+      if (n == 24) {
+        // At full width both policies occupy every lane: identical shape.
+        all_ok &= std::fabs(close - spread) / spread < 0.01;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("shape checks: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

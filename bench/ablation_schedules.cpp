@@ -1,0 +1,82 @@
+// Ablation A7: loop-schedule overhead (EPCC schedbench) — the cost behind
+// Table I's FOR row, swept over schedule kind and chunk size on both
+// runtimes, plus the board model's dispatch-cost view.
+#include <cstdio>
+#include <vector>
+
+#include "epcc/schedbench.hpp"
+#include "platform/cost_model.hpp"
+
+namespace {
+
+using namespace ompmca;
+
+gomp::Runtime make_runtime(gomp::BackendKind kind) {
+  gomp::RuntimeOptions opts;
+  opts.backend = kind;
+  gomp::Icvs icvs;
+  icvs.num_threads = 8;
+  opts.icvs = icvs;
+  return gomp::Runtime(opts);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<long> chunks = {1, 4, 16, 64};
+  const unsigned nthreads = 4;
+
+  epcc::Schedbench::Options options;
+  options.outer_reps = 5;
+  options.inner_reps = 16;
+  options.delay_length = 16;
+  options.iters_per_thread = 128;
+
+  bool all_ok = true;
+  for (auto kind : {gomp::BackendKind::kNative, gomp::BackendKind::kMca}) {
+    gomp::Runtime rt = make_runtime(kind);
+    epcc::Schedbench bench(&rt, options);
+    std::printf("== schedbench, %s runtime, %u threads (overhead us/loop) ==\n",
+                std::string(to_string(kind)).c_str(), nthreads);
+    std::printf("  %-9s", "schedule");
+    for (long c : chunks) std::printf("%10ld", c);
+    std::printf("\n");
+    double dynamic1 = 0, dynamic64 = 0;
+    for (gomp::Schedule sched :
+         {gomp::Schedule::kStatic, gomp::Schedule::kDynamic,
+          gomp::Schedule::kGuided}) {
+      std::printf("  %-9s", std::string(to_string(sched)).c_str());
+      for (long chunk : chunks) {
+        auto m = bench.measure(gomp::ScheduleSpec{sched, chunk}, nthreads);
+        std::printf("%10.2f", m.overhead_us);
+        if (sched == gomp::Schedule::kDynamic && chunk == 1)
+          dynamic1 = m.mean_us;
+        if (sched == gomp::Schedule::kDynamic && chunk == 64)
+          dynamic64 = m.mean_us;
+      }
+      std::printf("\n");
+    }
+    // The classic schedbench shape: dynamic,1 costs more than dynamic,64
+    // (one dispatch per iteration vs per 64).
+    bool shape = dynamic1 > dynamic64;
+    std::printf("  [%s] dynamic,1 dearer than dynamic,64 (%.2f vs %.2f us)\n\n",
+                shape ? "PASS" : "FAIL", dynamic1, dynamic64);
+    all_ok &= shape;
+  }
+
+  // Model view: per-chunk dispatch cycles on the T4240.
+  platform::CostModel native(platform::Topology::t4240rdb(),
+                             platform::ServiceCosts::native());
+  platform::CostModel mca(platform::Topology::t4240rdb(),
+                          platform::ServiceCosts::mca());
+  std::printf("modelled per-chunk dispatch on the T4240 (ns):\n");
+  std::printf("  static : native %.1f  mca %.1f\n",
+              native.chunk_dispatch_seconds(false) * 1e9,
+              mca.chunk_dispatch_seconds(false) * 1e9);
+  std::printf("  dynamic: native %.1f  mca %.1f\n",
+              native.chunk_dispatch_seconds(true) * 1e9,
+              mca.chunk_dispatch_seconds(true) * 1e9);
+
+  std::printf("\noverall: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

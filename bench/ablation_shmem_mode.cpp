@@ -1,0 +1,105 @@
+// Ablation A2 (§5A.2 memory management): heap-mode ("use_malloc") vs
+// system-arena MRAPI shared memory — the paper's extension vs the default.
+//
+// Measures the create + attach + delete cycle and a write-bandwidth probe
+// through each mode's storage.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "mrapi/mrapi.hpp"
+
+namespace {
+
+using namespace ompmca;
+
+class ShmemFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    mrapi::Database::instance().reset();
+    node_ = *mrapi::Node::initialize(0, 1);
+    key_ = 1000;
+  }
+  void TearDown(const benchmark::State&) override {
+    (void)node_.finalize();
+  }
+
+ protected:
+  mrapi::Node node_;
+  mrapi::ResourceKey key_;
+};
+
+BENCHMARK_DEFINE_F(ShmemFixture, HeapModeLifecycle)
+(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  mrapi::ShmemAttributes attrs;
+  attrs.use_malloc = true;  // the paper's extension
+  for (auto _ : state) {
+    auto seg = node_.shmem_create(key_, bytes, attrs);
+    auto addr = (*seg)->attach(node_.node_id());
+    benchmark::DoNotOptimize(*addr);
+    (void)(*seg)->detach(node_.node_id());
+    (void)node_.shmem_delete(key_);
+    ++key_;
+  }
+  state.SetLabel("heap (use_malloc)");
+}
+
+BENCHMARK_DEFINE_F(ShmemFixture, SystemModeLifecycle)
+(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto seg = node_.shmem_create(key_, bytes);  // default: system arena
+    auto addr = (*seg)->attach(node_.node_id());
+    benchmark::DoNotOptimize(*addr);
+    (void)(*seg)->detach(node_.node_id());
+    (void)node_.shmem_delete(key_);
+    ++key_;
+  }
+  state.SetLabel("system arena");
+}
+
+BENCHMARK_DEFINE_F(ShmemFixture, HeapModeWrite)(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  mrapi::ShmemAttributes attrs;
+  attrs.use_malloc = true;
+  auto seg = node_.shmem_create(key_, bytes, attrs);
+  void* addr = *(*seg)->attach(node_.node_id());
+  for (auto _ : state) {
+    std::memset(addr, 0xA5, bytes);
+    benchmark::DoNotOptimize(addr);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+
+BENCHMARK_DEFINE_F(ShmemFixture, SystemModeWrite)(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  auto seg = node_.shmem_create(key_, bytes);
+  void* addr = *(*seg)->attach(node_.node_id());
+  for (auto _ : state) {
+    std::memset(addr, 0xA5, bytes);
+    benchmark::DoNotOptimize(addr);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+
+}  // namespace
+
+BENCHMARK_REGISTER_F(ShmemFixture, HeapModeLifecycle)
+    ->Arg(4096)
+    ->Arg(1 << 20)
+    ->Iterations(2000);
+BENCHMARK_REGISTER_F(ShmemFixture, SystemModeLifecycle)
+    ->Arg(4096)
+    ->Arg(1 << 20)
+    ->Iterations(2000);
+BENCHMARK_REGISTER_F(ShmemFixture, HeapModeWrite)
+    ->Arg(1 << 16)
+    ->Iterations(5000);
+BENCHMARK_REGISTER_F(ShmemFixture, SystemModeWrite)
+    ->Arg(1 << 16)
+    ->Iterations(5000);
+
+BENCHMARK_MAIN();

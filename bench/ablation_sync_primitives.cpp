@@ -1,0 +1,134 @@
+// Ablation A3 (§5B.3 synchronisation mapping): the cost of routing
+// gomp_mutex through MRAPI versus std::mutex, plus the other MRAPI
+// primitives, uncontended and contended.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mrapi/mrapi.hpp"
+
+namespace {
+
+using namespace ompmca;
+
+void BM_StdMutex_Uncontended(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock();
+  }
+}
+
+void BM_MrapiMutex_Uncontended(benchmark::State& state) {
+  mrapi::Mutex mu;
+  for (auto _ : state) {
+    mrapi::LockKey key;
+    (void)mu.lock(mrapi::kTimeoutInfinite, &key);
+    benchmark::DoNotOptimize(&mu);
+    (void)mu.unlock(key);
+  }
+}
+
+void BM_MrapiRecursiveMutex_Uncontended(benchmark::State& state) {
+  mrapi::Mutex mu(mrapi::MutexAttributes{.recursive = true});
+  for (auto _ : state) {
+    mrapi::LockKey k1, k2;
+    (void)mu.lock(mrapi::kTimeoutInfinite, &k1);
+    (void)mu.lock(mrapi::kTimeoutInfinite, &k2);
+    (void)mu.unlock(k2);
+    (void)mu.unlock(k1);
+  }
+}
+
+void BM_MrapiSemaphore_Uncontended(benchmark::State& state) {
+  mrapi::Semaphore sem(mrapi::SemaphoreAttributes{.shared_lock_limit = 1});
+  for (auto _ : state) {
+    (void)sem.acquire(mrapi::kTimeoutInfinite);
+    benchmark::DoNotOptimize(&sem);
+    (void)sem.release();
+  }
+}
+
+void BM_MrapiRwlock_ReadSide(benchmark::State& state) {
+  mrapi::Rwlock rw;
+  for (auto _ : state) {
+    (void)rw.lock_read(mrapi::kTimeoutInfinite);
+    benchmark::DoNotOptimize(&rw);
+    (void)rw.unlock_read();
+  }
+}
+
+void BM_MrapiRwlock_WriteSide(benchmark::State& state) {
+  mrapi::Rwlock rw;
+  for (auto _ : state) {
+    (void)rw.lock_write(mrapi::kTimeoutInfinite);
+    benchmark::DoNotOptimize(&rw);
+    (void)rw.unlock_write();
+  }
+}
+
+/// Contended: state.range(0) threads hammer one primitive.
+template <typename LockFn, typename UnlockFn>
+void contended(benchmark::State& state, LockFn lock, UnlockFn unlock) {
+  const int threads = static_cast<int>(state.range(0));
+  const int iters_per_thread = 2000;
+  for (auto _ : state) {
+    long counter = 0;
+    std::vector<std::thread> team;
+    for (int t = 0; t < threads; ++t) {
+      team.emplace_back([&] {
+        for (int i = 0; i < iters_per_thread; ++i) {
+          lock();
+          ++counter;
+          unlock();
+        }
+      });
+    }
+    for (auto& t : team) t.join();
+    if (counter != static_cast<long>(threads) * iters_per_thread) {
+      state.SkipWithError("lost updates");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * threads * iters_per_thread);
+}
+
+void BM_StdMutex_Contended(benchmark::State& state) {
+  std::mutex mu;
+  contended(
+      state, [&] { mu.lock(); }, [&] { mu.unlock(); });
+}
+
+void BM_MrapiMutex_Contended(benchmark::State& state) {
+  mrapi::Mutex mu;
+  contended(
+      state,
+      [&] {
+        mrapi::LockKey key;
+        (void)mu.lock(mrapi::kTimeoutInfinite, &key);
+      },
+      [&] { (void)mu.unlock(mrapi::LockKey{1}); });
+}
+
+void BM_MrapiSemaphore_Contended(benchmark::State& state) {
+  mrapi::Semaphore sem(mrapi::SemaphoreAttributes{.shared_lock_limit = 1});
+  contended(
+      state, [&] { (void)sem.acquire(mrapi::kTimeoutInfinite); },
+      [&] { (void)sem.release(); });
+}
+
+}  // namespace
+
+BENCHMARK(BM_StdMutex_Uncontended)->Iterations(200000);
+BENCHMARK(BM_MrapiMutex_Uncontended)->Iterations(200000);
+BENCHMARK(BM_MrapiRecursiveMutex_Uncontended)->Iterations(100000);
+BENCHMARK(BM_MrapiSemaphore_Uncontended)->Iterations(200000);
+BENCHMARK(BM_MrapiRwlock_ReadSide)->Iterations(200000);
+BENCHMARK(BM_MrapiRwlock_WriteSide)->Iterations(200000);
+BENCHMARK(BM_StdMutex_Contended)->Arg(2)->Arg(4)->Iterations(5);
+BENCHMARK(BM_MrapiMutex_Contended)->Arg(2)->Arg(4)->Iterations(5);
+BENCHMARK(BM_MrapiSemaphore_Contended)->Arg(2)->Arg(4)->Iterations(5);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+#include "fig4_common.hpp"
+
+#include <cmath>
+
+namespace ompmca::bench {
+
+namespace {
+
+bool check(bool condition, const char* what, double got) {
+  std::printf("  [%s] %-58s (got %.3f)\n", condition ? "PASS" : "FAIL", what,
+              got);
+  return condition;
+}
+
+gomp::RuntimeOptions options_for(gomp::BackendKind kind) {
+  gomp::RuntimeOptions opts;
+  opts.backend = kind;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;  // verification runs; timing comes from the model
+  opts.icvs = icvs;
+  return opts;
+}
+
+}  // namespace
+
+int run_fig4(const Fig4Config& config) {
+  std::printf("== Figure 4 / %s: NAS %s class %c, 1..24 threads ==\n",
+              config.kernel.c_str(), config.kernel.c_str(),
+              npb::to_char(config.timing_class));
+
+  // Stage 1: real-runtime verification on both backends.
+  bool all_ok = true;
+  for (auto kind : {gomp::BackendKind::kNative, gomp::BackendKind::kMca}) {
+    gomp::Runtime rt(options_for(kind));
+    npb::VerifyResult v = config.run_real(rt, config.verify_class);
+    std::printf("  [%s] %s verification (class %c, %s runtime): %s\n",
+                v.verified ? "PASS" : "FAIL", config.kernel.c_str(),
+                npb::to_char(config.verify_class),
+                std::string(to_string(kind)).c_str(), v.detail.c_str());
+    all_ok &= v.verified;
+  }
+
+  // Stage 2: virtual-time series on the modelled board.
+  const platform::Topology board = platform::Topology::t4240rdb();
+  const platform::CostModel native_model(board,
+                                         platform::ServiceCosts::native());
+  const platform::CostModel mca_model(board, platform::ServiceCosts::mca());
+  const simx::Program program = config.trace(config.timing_class);
+
+  std::vector<unsigned> threads;
+  for (unsigned n = 1; n <= board.num_hw_threads(); ++n) threads.push_back(n);
+
+  std::printf("\n  %-8s %-14s %-14s %-10s %-10s\n", "threads",
+              "libGOMP (s)", "MCA-libGOMP(s)", "spd-gomp", "spd-mca");
+  double native_t1 = 0, mca_t1 = 0, native_t24 = 0, mca_t24 = 0;
+  double native_t12 = 0;
+  double max_rel_gap = 0;
+  bool monotone_to_cores = true;
+  double prev_native = 1e300;
+  for (unsigned n : threads) {
+    simx::Engine native_engine(&native_model, n);
+    simx::Engine mca_engine(&mca_model, n);
+    double tn = native_engine.run(program).seconds;
+    double tm = mca_engine.run(program).seconds;
+    if (n == 1) {
+      native_t1 = tn;
+      mca_t1 = tm;
+    }
+    if (n == 12) native_t12 = tn;
+    if (n == board.num_hw_threads()) {
+      native_t24 = tn;
+      mca_t24 = tm;
+    }
+    if (n <= board.num_cores() && tn > prev_native * 1.02) {
+      monotone_to_cores = false;
+    }
+    prev_native = tn;
+    max_rel_gap = std::max(max_rel_gap, std::fabs(tm - tn) / tn);
+    std::printf("  %-8u %-14.4f %-14.4f %-10.2f %-10.2f\n", n, tn, tm,
+                native_t1 / tn, mca_t1 / tm);
+  }
+
+  const double speedup_native = native_t1 / native_t24;
+  const double speedup_mca = mca_t1 / mca_t24;
+
+  std::printf("\n  shape checks (paper claims):\n");
+  all_ok &= check(max_rel_gap < 0.08,
+                  "MCA layer adds no significant overhead (curves overlap)",
+                  max_rel_gap);
+  all_ok &= check(speedup_native >= config.min_speedup_24 &&
+                      speedup_native <= config.max_speedup_24,
+                  "24-thread speedup in the paper's band (libGOMP)",
+                  speedup_native);
+  all_ok &= check(speedup_mca >= config.min_speedup_24 &&
+                      speedup_mca <= config.max_speedup_24,
+                  "24-thread speedup in the paper's band (MCA-libGOMP)",
+                  speedup_mca);
+  all_ok &= check(monotone_to_cores,
+                  "time decreases while threads map to distinct cores",
+                  native_t12);
+  std::printf("\n  overall: %s\n\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace ompmca::bench

@@ -1,0 +1,45 @@
+// Shared driver for the Figure-4 reproductions.
+//
+// Each fig4_nas_* binary reproduces one panel of the paper's Figure 4:
+// execution time and speedup of one NAS kernel for 1..24 threads under the
+// stock runtime ("libGOMP") and the MCA-backed runtime ("MCA-libGOMP").
+//
+// Two stages:
+//  1. Correctness on the real runtimes — the kernel runs (small class) on
+//     both backends and must pass its NPB verification.
+//  2. Timing via the virtual-time executor — the kernel's class-A trace is
+//     replayed against the modelled T4240RDB with each runtime's service
+//     costs, producing the panel's series.  (The reproduction host has one
+//     CPU; DESIGN.md §2 documents this substitution.)
+//
+// The binary prints the series and then PASS/FAIL shape checks mirroring
+// the paper's claims: overlapping curves (no MCA overhead), the expected
+// speedup band at 24 threads, and monotone scaling up to the core count.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gomp/gomp.hpp"
+#include "npb/npb.hpp"
+#include "simx/engine.hpp"
+
+namespace ompmca::bench {
+
+struct Fig4Config {
+  std::string kernel;                       // "EP", "CG", ...
+  npb::Class verify_class = npb::Class::S;  // real-run verification class
+  npb::Class timing_class = npb::Class::A;  // virtual-time class (paper)
+  std::function<npb::VerifyResult(gomp::Runtime&, npb::Class)> run_real;
+  std::function<simx::Program(npb::Class)> trace;
+  // Shape expectations at 24 threads (tuned per kernel from the paper's
+  // panels: EP near-ideal, others around 15x).
+  double min_speedup_24 = 10.0;
+  double max_speedup_24 = 26.0;
+};
+
+int run_fig4(const Fig4Config& config);
+
+}  // namespace ompmca::bench

@@ -1,0 +1,15 @@
+// Figure 4, CG panel: memory/sync-bound kernel, ~15x at 24 threads.
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace ompmca;
+  bench::Fig4Config config;
+  config.kernel = "CG";
+  config.run_real = [](gomp::Runtime& rt, npb::Class cls) {
+    return npb::run_cg(rt, cls).verify;
+  };
+  config.trace = npb::trace_cg;
+  config.min_speedup_24 = 9.0;
+  config.max_speedup_24 = 20.0;
+  return bench::run_fig4(config);
+}

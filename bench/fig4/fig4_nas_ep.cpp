@@ -1,0 +1,17 @@
+// Figure 4, EP panel: near-ideal speedup on both runtimes.
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace ompmca;
+  bench::Fig4Config config;
+  config.kernel = "EP";
+  config.run_real = [](gomp::Runtime& rt, npb::Class cls) {
+    return npb::run_ep(rt, cls).verify;
+  };
+  config.trace = npb::trace_ep;
+  // The paper: "both the OpenMP runtime libraries are close to the ideal
+  // speedup rate for benchmark EP".
+  config.min_speedup_24 = 17.0;
+  config.max_speedup_24 = 26.0;
+  return bench::run_fig4(config);
+}

@@ -1,0 +1,15 @@
+// Figure 4, FT panel: 3D FFT, bandwidth-bound transposes.
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace ompmca;
+  bench::Fig4Config config;
+  config.kernel = "FT";
+  config.run_real = [](gomp::Runtime& rt, npb::Class cls) {
+    return npb::run_ft(rt, cls).verify;
+  };
+  config.trace = npb::trace_ft;
+  config.min_speedup_24 = 8.0;
+  config.max_speedup_24 = 20.0;
+  return bench::run_fig4(config);
+}

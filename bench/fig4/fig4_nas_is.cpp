@@ -1,0 +1,15 @@
+// Figure 4, IS panel: bandwidth-bound integer ranking.
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace ompmca;
+  bench::Fig4Config config;
+  config.kernel = "IS";
+  config.run_real = [](gomp::Runtime& rt, npb::Class cls) {
+    return npb::run_is(rt, cls).verify;
+  };
+  config.trace = npb::trace_is;
+  config.min_speedup_24 = 6.0;
+  config.max_speedup_24 = 20.0;
+  return bench::run_fig4(config);
+}

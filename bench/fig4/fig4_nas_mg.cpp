@@ -1,0 +1,15 @@
+// Figure 4, MG panel: multigrid V-cycle with serial ghost exchange.
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace ompmca;
+  bench::Fig4Config config;
+  config.kernel = "MG";
+  config.run_real = [](gomp::Runtime& rt, npb::Class cls) {
+    return npb::run_mg(rt, cls).verify;
+  };
+  config.trace = npb::trace_mg;
+  config.min_speedup_24 = 8.0;
+  config.max_speedup_24 = 20.0;
+  return bench::run_fig4(config);
+}

@@ -1,0 +1,141 @@
+// Table I reproduction: relative EPCC overhead of MCA-libGOMP versus the
+// stock runtime, per directive, at 4..24 threads.
+//
+// Two measurements are reported:
+//  * measured  — real wall-clock EPCC syncbench on this host, both runtimes
+//    interleaved per cell.  Ratios are meaningful even on an oversubscribed
+//    host because both runtimes suffer identical conditions; individual
+//    cells are still noisy, so the shape check uses the per-directive
+//    geometric mean.
+//  * modelled  — the same table from the virtual-time service-cost model of
+//    the T4240RDB (what the board would report).
+//
+// Paper claim (Table I): ratios scatter around 1.0 — the MCA layer adds no
+// significant overhead; some constructs are slightly better, some worse.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "epcc/syncbench.hpp"
+#include "gomp/gomp.hpp"
+#include "platform/cost_model.hpp"
+
+namespace {
+
+using namespace ompmca;
+
+const std::vector<unsigned> kThreadCounts = {4, 8, 12, 16, 20, 24};
+
+gomp::RuntimeOptions options_for(gomp::BackendKind kind) {
+  gomp::RuntimeOptions opts;
+  opts.backend = kind;
+  gomp::Icvs icvs;
+  icvs.num_threads = 24;
+  icvs.wait_policy = gomp::WaitPolicy::kPassive;  // oversubscribed host
+  opts.icvs = icvs;
+  return opts;
+}
+
+/// The service-cost model's prediction for one cell.
+double modelled_ratio(epcc::Directive d, unsigned n) {
+  const platform::Topology board = platform::Topology::t4240rdb();
+  const platform::CostModel native(board, platform::ServiceCosts::native());
+  const platform::CostModel mca(board, platform::ServiceCosts::mca());
+  const platform::TeamShape shape(board, n);
+  auto cost = [&](const platform::CostModel& m) {
+    switch (d) {
+      case epcc::Directive::kParallel:
+        return m.fork_seconds(n) + m.barrier_seconds(shape) +
+               m.join_seconds(n);
+      case epcc::Directive::kFor:
+        return m.chunk_dispatch_seconds(false) + m.barrier_seconds(shape);
+      case epcc::Directive::kParallelFor:
+        return m.fork_seconds(n) + m.chunk_dispatch_seconds(false) +
+               m.barrier_seconds(shape) + m.join_seconds(n);
+      case epcc::Directive::kBarrier:
+        return m.barrier_seconds(shape);
+      case epcc::Directive::kSingle:
+        return m.single_seconds(n) + m.barrier_seconds(shape);
+      case epcc::Directive::kCritical:
+        return m.lock_seconds();
+      case epcc::Directive::kReduction:
+        return m.fork_seconds(n) + m.reduction_seconds(n) +
+               m.barrier_seconds(shape) + m.join_seconds(n);
+    }
+    return 0.0;
+  };
+  return cost(mca) / cost(native);
+}
+
+void print_table(const char* title,
+                 const std::map<epcc::Directive, std::vector<double>>& rows) {
+  std::printf("\n%s\n", title);
+  std::printf("  %-14s", "Directive");
+  for (unsigned n : kThreadCounts) std::printf("%8u", n);
+  std::printf("\n");
+  for (const auto& [d, ratios] : rows) {
+    std::printf("  %-14s", std::string(to_string(d)).c_str());
+    for (double r : ratios) std::printf("%8.2f", r);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick shrinks reps (used by CI smoke runs).
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  std::printf(
+      "== Table I: relative overhead of MCA-libGOMP vs GNU OpenMP runtime "
+      "==\n");
+
+  gomp::Runtime native(options_for(gomp::BackendKind::kNative));
+  gomp::Runtime mca(options_for(gomp::BackendKind::kMca));
+
+  epcc::SyncbenchOptions options;
+  options.outer_reps = quick ? 3 : 8;
+  options.inner_reps = quick ? 16 : 48;
+  options.delay_length = 64;
+
+  auto cells = epcc::relative_overheads(&native, &mca, kThreadCounts, options);
+
+  std::map<epcc::Directive, std::vector<double>> measured;
+  for (const auto& cell : cells) {
+    measured[cell.directive].push_back(cell.ratio);
+  }
+  print_table("measured on this host (wall clock):", measured);
+
+  std::map<epcc::Directive, std::vector<double>> modelled;
+  for (epcc::Directive d : epcc::kAllDirectives) {
+    for (unsigned n : kThreadCounts) {
+      modelled[d].push_back(modelled_ratio(d, n));
+    }
+  }
+  print_table("modelled for the T4240RDB (service-cost model):", modelled);
+
+  // Shape check: per-directive geometric-mean ratio near 1.0 (Table I's
+  // entries span roughly 0.41..2.39 with means close to 1).
+  std::printf("\nshape checks (paper: no significant MCA overhead):\n");
+  bool all_ok = true;
+  for (const auto& [d, ratios] : measured) {
+    double log_sum = 0;
+    for (double r : ratios) log_sum += std::log(std::max(r, 1e-6));
+    double gmean = std::exp(log_sum / static_cast<double>(ratios.size()));
+    bool ok_cell = gmean > 0.5 && gmean < 2.0;
+    std::printf("  [%s] %-14s geometric-mean ratio %.2f in (0.5, 2.0)\n",
+                ok_cell ? "PASS" : "FAIL",
+                std::string(to_string(d)).c_str(), gmean);
+    all_ok &= ok_cell;
+  }
+  for (const auto& [d, ratios] : modelled) {
+    for (double r : ratios) {
+      all_ok &= r > 0.7 && r < 1.4;
+    }
+  }
+  std::printf("  [%s] %-14s modelled ratios all within (0.7, 1.4)\n",
+              all_ok ? "PASS" : "FAIL", "model");
+  std::printf("\noverall: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

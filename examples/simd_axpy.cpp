@@ -1,0 +1,109 @@
+// simd_axpy: the `for simd` shape and the e6500 AltiVec mapping (§4A).
+//
+// The paper notes the e6500's "16 GFLOPS AltiVec technology execution unit
+// ... could be considered to be mapped to the OpenMP 4.0 SIMD support".
+// This example shows both halves of that mapping in this toolchain:
+//   * for_loop_simd — worksharing whose per-thread chunks are aligned to
+//     the vector width, so bodies vectorise cleanly (the compiler can keep
+//     the inner loop branch-free);
+//   * metered vector_fraction — the board model prices the loop through
+//     the AltiVec pipe, and the example prints the modelled scalar-vs-SIMD
+//     times on the T4240 next to the (host) verified results.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "gomp/gomp.hpp"
+#include "simx/engine.hpp"
+
+using namespace ompmca;
+
+namespace {
+
+constexpr long kN = 1 << 22;
+
+/// Models one loop on the T4240: @p flops_per_elem of arithmetic over
+/// @p bytes_per_elem of traffic with @p footprint working set.
+double modelled_seconds(double vector_fraction, double flops_per_elem,
+                        double bytes_per_elem, double footprint) {
+  platform::CostModel model(platform::Topology::t4240rdb(),
+                            platform::ServiceCosts::native());
+  simx::Program p;
+  simx::RegionStep region;
+  simx::LoopStep loop;
+  loop.iterations = kN;
+  loop.work = [=](long lo, long hi) {
+    platform::Work w;
+    w.flops = flops_per_elem * static_cast<double>(hi - lo);
+    w.bytes = bytes_per_elem * static_cast<double>(hi - lo);
+    w.footprint_bytes = footprint;
+    w.vector_fraction = vector_fraction;
+    return w;
+  };
+  region.steps.emplace_back(loop);
+  p.steps.emplace_back(region);
+  simx::Engine engine(&model, 12);
+  return engine.run(p).seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<double> x(kN), y(kN);
+  std::iota(x.begin(), x.end(), 0.0);
+  std::fill(y.begin(), y.end(), 1.0);
+  const double alpha = 0.5;
+
+  gomp::Runtime rt(gomp::RuntimeOptions{});
+  rt.parallel(
+      [&](gomp::ParallelContext& ctx) {
+        ctx.for_loop_simd(
+            0, kN,
+            [&](long lo, long hi) {
+              // Aligned, contiguous: this loop auto-vectorises.
+              for (long i = lo; i < hi; ++i) {
+                y[static_cast<std::size_t>(i)] +=
+                    alpha * x[static_cast<std::size_t>(i)];
+              }
+              ctx.meter().flops += 2.0 * static_cast<double>(hi - lo);
+              ctx.meter().vector_fraction = 1.0;
+            },
+            /*simd_width=*/8);
+      },
+      6);
+
+  // Verify.
+  std::size_t wrong = 0;
+  for (long i = 0; i < kN; ++i) {
+    if (y[static_cast<std::size_t>(i)] !=
+        1.0 + alpha * static_cast<double>(i)) {
+      ++wrong;
+    }
+  }
+
+  // Two regimes on the modelled board:
+  //  * the axpy itself streams 24 B/element - memory-bound, so AltiVec
+  //    cannot help (the roofline's flat part);
+  //  * a tile-resident polynomial (degree-16 Horner, 32 flops/element on a
+  //    16 KiB tile) is compute-bound - the AltiVec pipe pays in full.
+  double axpy_scalar = modelled_seconds(0.0, 2.0, 24.0, 8e6);
+  double axpy_simd = modelled_seconds(1.0, 2.0, 24.0, 8e6);
+  double poly_scalar = modelled_seconds(0.0, 32.0, 16.0, 16e3);
+  double poly_simd = modelled_seconds(1.0, 32.0, 16.0, 16e3);
+
+  std::printf("simd_axpy (n = %ld, 12 threads on the modelled T4240)\n", kN);
+  std::printf("  result                    : %s (%zu wrong)\n",
+              wrong == 0 ? "PASS" : "FAIL", wrong);
+  std::printf("  axpy (streaming)  scalar  : %8.4f ms\n", axpy_scalar * 1e3);
+  std::printf("  axpy (streaming)  AltiVec : %8.4f ms  (%.2fx - memory-bound)\n",
+              axpy_simd * 1e3, axpy_scalar / axpy_simd);
+  std::printf("  poly (tile-resident) scalar : %6.4f ms\n",
+              poly_scalar * 1e3);
+  std::printf("  poly (tile-resident) AltiVec: %6.4f ms  (%.2fx - compute-bound)\n",
+              poly_simd * 1e3, poly_scalar / poly_simd);
+  bool shapes_ok = axpy_scalar / axpy_simd < 1.1 &&
+                   poly_scalar / poly_simd > 3.0;
+  std::printf("  roofline shape check      : %s\n",
+              shapes_ok ? "PASS" : "FAIL");
+  return wrong == 0 && shapes_ok ? 0 : 1;
+}

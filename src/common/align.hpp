@@ -1,0 +1,29 @@
+// Cache-line alignment helpers used by the synchronisation fast paths.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace ompmca {
+
+// e6500 and practically every target we model use 64-byte cache lines.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Wraps T so that adjacent array elements never share a cache line
+/// (avoids false sharing between per-thread slots).
+template <typename T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+/// Rounds @p n up to the next multiple of @p alignment (a power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t alignment) {
+  return (n + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace ompmca

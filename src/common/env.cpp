@@ -1,0 +1,78 @@
+#include "common/env.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ompmca {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::optional<long> env_long(const char* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  long v = std::strtol(s->c_str(), &end, 10);
+  if (end == s->c_str()) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> env_bool(const char* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  std::string_view v = trim(*s);
+  if (iequals(v, "true") || iequals(v, "yes") || iequals(v, "on") || v == "1")
+    return true;
+  if (iequals(v, "false") || iequals(v, "no") || iequals(v, "off") || v == "0")
+    return false;
+  return std::nullopt;
+}
+
+std::vector<long> env_long_list(const char* name) {
+  std::vector<long> out;
+  auto s = env_string(name);
+  if (!s) return out;
+  for (const auto& piece : split(*s, ',')) {
+    char* end = nullptr;
+    long v = std::strtol(piece.c_str(), &end, 10);
+    if (end == piece.c_str()) return {};
+    out.push_back(v);
+  }
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(delim, start);
+    if (end == std::string_view::npos) end = s.size();
+    out.emplace_back(trim(s.substr(start, end - start)));
+    start = end + 1;
+    if (end == s.size()) break;
+  }
+  return out;
+}
+
+}  // namespace ompmca

@@ -1,0 +1,33 @@
+// Environment-variable parsing used by the runtime ICV initialisation
+// (OMP_NUM_THREADS, OMP_SCHEDULE, ...) and by the benchmark harnesses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ompmca {
+
+/// Raw lookup; nullopt when unset.
+std::optional<std::string> env_string(const char* name);
+
+/// Integer lookup; nullopt when unset or unparsable.
+std::optional<long> env_long(const char* name);
+
+/// Boolean lookup: accepts true/false, yes/no, on/off, 1/0 (case-insensitive).
+std::optional<bool> env_bool(const char* name);
+
+/// Comma-separated integer list ("4,8,12"); empty when unset/unparsable.
+std::vector<long> env_long_list(const char* name);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Splits on a delimiter, trimming each piece.
+std::vector<std::string> split(std::string_view s, char delim);
+
+}  // namespace ompmca

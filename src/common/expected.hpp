@@ -1,0 +1,101 @@
+// Minimal expected-like result type carrying a value or a Status.
+//
+// The C ABI layers (mrapi/mcapi/mtapi) use status-out parameters; the C++
+// convenience surface returns Result<T> instead so callers can't forget to
+// check.  gcc 12 does not ship std::expected, hence this small local type.
+#pragma once
+
+#include <cassert>
+#include <new>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace ompmca {
+
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor) intended implicit from value
+  Result(T value) : has_value_(true) { new (&storage_.value) T(std::move(value)); }
+  // NOLINTNEXTLINE(google-explicit-constructor) intended implicit from error
+  Result(Status error) : has_value_(false), storage_(error) {
+    assert(!ok(error) && "Result(Status) requires an error status");
+  }
+
+  Result(const Result& other) : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_.value) T(other.storage_.value);
+    } else {
+      storage_.error = other.storage_.error;
+    }
+  }
+  Result(Result&& other) noexcept : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_.value) T(std::move(other.storage_.value));
+    } else {
+      storage_.error = other.storage_.error;
+    }
+  }
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      this->~Result();
+      new (this) Result(other);
+    }
+    return *this;
+  }
+  Result& operator=(Result&& other) noexcept {
+    if (this != &other) {
+      this->~Result();
+      new (this) Result(std::move(other));
+    }
+    return *this;
+  }
+  ~Result() {
+    if (has_value_) storage_.value.~T();
+  }
+
+  bool has_value() const { return has_value_; }
+  explicit operator bool() const { return has_value_; }
+
+  Status status() const { return has_value_ ? Status::kSuccess : storage_.error; }
+
+  T& value() & {
+    assert(has_value_);
+    return storage_.value;
+  }
+  const T& value() const& {
+    assert(has_value_);
+    return storage_.value;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(storage_.value);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return has_value_ ? storage_.value : fallback; }
+
+ private:
+  union Storage {
+    Storage() {}
+    explicit Storage(Status e) : error(e) {}
+    ~Storage() {}
+    T value;
+    Status error;
+  };
+  bool has_value_;
+  Storage storage_;
+};
+
+}  // namespace ompmca
+
+/// Assigns the value of a Result expression to @p lhs, or returns its error.
+#define OMPMCA_ASSIGN_OR_RETURN(lhs, result_expr)           \
+  auto ompmca_result_##__LINE__ = (result_expr);            \
+  if (!ompmca_result_##__LINE__) return ompmca_result_##__LINE__.status(); \
+  lhs = std::move(ompmca_result_##__LINE__).value()

@@ -1,0 +1,111 @@
+// Fixed-capacity inline vector.
+//
+// The MRAPI database and runtime team tables are sized at init time and must
+// not allocate on synchronisation paths; FixedVector keeps storage inline
+// with a compile-time capacity, embedded-systems style.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ompmca {
+
+template <typename T, std::size_t Capacity>
+class FixedVector {
+ public:
+  FixedVector() = default;
+
+  FixedVector(const FixedVector& other) {
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+  FixedVector(FixedVector&& other) noexcept {
+    for (std::size_t i = 0; i < other.size_; ++i)
+      push_back(std::move(other[i]));
+    other.clear();
+  }
+  FixedVector& operator=(const FixedVector& other) {
+    if (this != &other) {
+      clear();
+      for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    }
+    return *this;
+  }
+  FixedVector& operator=(FixedVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      for (std::size_t i = 0; i < other.size_; ++i)
+        push_back(std::move(other[i]));
+      other.clear();
+    }
+    return *this;
+  }
+  ~FixedVector() { clear(); }
+
+  static constexpr std::size_t capacity() { return Capacity; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == Capacity; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return *ptr(i);
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return *ptr(i);
+  }
+
+  T& front() { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  /// Appends; returns false (no-op) when full.
+  bool push_back(const T& v) { return emplace_back(v); }
+  bool push_back(T&& v) { return emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  bool emplace_back(Args&&... args) {
+    if (full()) return false;
+    new (raw(size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return true;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    ptr(size_)->~T();
+  }
+
+  void clear() {
+    while (size_ > 0) pop_back();
+  }
+
+  /// Removes the element at @p i by swapping the last element into its slot.
+  void swap_erase(std::size_t i) {
+    assert(i < size_);
+    if (i + 1 != size_) (*this)[i] = std::move(back());
+    pop_back();
+  }
+
+  T* begin() { return ptr(0); }
+  T* end() { return ptr(size_); }
+  const T* begin() const { return ptr(0); }
+  const T* end() const { return ptr(size_); }
+
+ private:
+  void* raw(std::size_t i) { return &storage_[i]; }
+  T* ptr(std::size_t i) { return std::launder(reinterpret_cast<T*>(&storage_[i])); }
+  const T* ptr(std::size_t i) const {
+    return std::launder(reinterpret_cast<const T*>(&storage_[i]));
+  }
+
+  alignas(T) std::byte storage_[Capacity][sizeof(T)];
+  std::size_t size_ = 0;
+};
+
+}  // namespace ompmca

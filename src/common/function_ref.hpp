@@ -1,0 +1,51 @@
+// Non-owning callable reference (no allocation, trivially copyable).
+//
+// Worksharing hot paths invoke the loop body once per chunk; std::function
+// would allocate and indirect through its own storage.  FunctionRef is the
+// usual two-pointer view: valid only while the referenced callable lives,
+// which worksharing guarantees (the body outlives the region).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace ompmca {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor) intended implicit view
+  FunctionRef(F&& f)
+      // reinterpret_cast: handles both object callables and free functions
+      // (function-pointer <-> void* round trips are conditionally supported
+      // and fine on every platform this project targets).
+      // NOLINTNEXTLINE(cppcoreguidelines-pro-type-cstyle-cast) the C-style
+      // cast is the one form that handles const objects AND function
+      // pointers in a single expression.
+      : obj_((void*)(&f)),
+        call_([](void* obj, Args... args) -> R {
+          return (*reinterpret_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace ompmca

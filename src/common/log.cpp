@@ -1,0 +1,65 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <mutex>
+
+#include "common/env.hpp"
+
+namespace ompmca {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialised
+
+LogLevel parse_level() {
+  auto s = env_string("OMPMCA_LOG_LEVEL");
+  if (!s) return LogLevel::kError;
+  if (iequals(*s, "off")) return LogLevel::kOff;
+  if (iequals(*s, "error")) return LogLevel::kError;
+  if (iequals(*s, "warn")) return LogLevel::kWarn;
+  if (iequals(*s, "info")) return LogLevel::kInfo;
+  if (iequals(*s, "debug")) return LogLevel::kDebug;
+  return LogLevel::kError;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(parse_level());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void vlog(LogLevel level, const char* fmt, ...) {
+  // One mutex keeps interleaved lines whole; logging is never on a fast path.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[ompmca %s] ", level_tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace ompmca

@@ -1,0 +1,36 @@
+// Tiny leveled logger.  Embedded-runtime flavour: no allocation after the
+// first call, off by default, controlled by OMPMCA_LOG_LEVEL (error, warn,
+// info, debug).
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+namespace ompmca {
+
+enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+/// Current threshold (read once from OMPMCA_LOG_LEVEL, default kError).
+LogLevel log_level();
+
+/// Overrides the threshold (tests use this).
+void set_log_level(LogLevel level);
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+}  // namespace ompmca
+
+#define OMPMCA_LOG(level, ...)                                  \
+  do {                                                          \
+    if (static_cast<int>(::ompmca::log_level()) >=              \
+        static_cast<int>(level)) {                              \
+      ::ompmca::detail::vlog(level, __VA_ARGS__);               \
+    }                                                           \
+  } while (false)
+
+#define OMPMCA_LOG_ERROR(...) OMPMCA_LOG(::ompmca::LogLevel::kError, __VA_ARGS__)
+#define OMPMCA_LOG_WARN(...) OMPMCA_LOG(::ompmca::LogLevel::kWarn, __VA_ARGS__)
+#define OMPMCA_LOG_INFO(...) OMPMCA_LOG(::ompmca::LogLevel::kInfo, __VA_ARGS__)
+#define OMPMCA_LOG_DEBUG(...) OMPMCA_LOG(::ompmca::LogLevel::kDebug, __VA_ARGS__)

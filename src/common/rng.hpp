@@ -1,0 +1,142 @@
+// Deterministic pseudo-random generators.
+//
+// Two families:
+//  * splitmix64 / xoshiro256** — general-purpose generators for tests and
+//    synthetic workloads.
+//  * NpbRandom — the NAS Parallel Benchmarks linear congruential generator
+//    (x_{k+1} = a * x_k mod 2^46, a = 5^13).  The NPB verification sums are
+//    defined against this exact sequence, so it is reproduced bit-exactly
+//    using the double-double multiply from the reference randlc().
+#pragma once
+
+#include <cstdint>
+
+namespace ompmca {
+
+/// splitmix64: used to seed other generators and for cheap hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast general-purpose generator (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [0, bound) without modulo bias for small bounds.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(next_double() * static_cast<double>(bound));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// The NAS Parallel Benchmarks LCG: x_{k+1} = 5^13 * x_k mod 2^46.
+/// randlc() returns x_{k+1} * 2^-46 in [0,1).  Matches the reference
+/// implementation bit-for-bit (all arithmetic exact in doubles).
+class NpbRandom {
+ public:
+  static constexpr double kDefaultMultiplier = 1220703125.0;  // 5^13
+
+  explicit NpbRandom(double seed = 314159265.0) : x_(seed) {}
+
+  double seed() const { return x_; }
+  void set_seed(double seed) { x_ = seed; }
+
+  /// One step of the LCG; returns the new value scaled to [0,1).
+  double next() { return randlc(&x_, kDefaultMultiplier); }
+
+  /// Fills y[0..n) with successive values (reference vranlc()).
+  void fill(int n, double* y) {
+    for (int i = 0; i < n; ++i) y[i] = next();
+  }
+
+  /// Reference randlc: advances *x by multiplier a, returns *x * 2^-46.
+  static double randlc(double* x, double a) {
+    constexpr double r23 = 0x1.0p-23, t23 = 0x1.0p23;
+    constexpr double r46 = 0x1.0p-46, t46 = 0x1.0p46;
+    // Split a and x into 23-bit halves so every product is exact.
+    double t1 = r23 * a;
+    double a1 = static_cast<double>(static_cast<long long>(t1));
+    double a2 = a - t23 * a1;
+    t1 = r23 * (*x);
+    double x1 = static_cast<double>(static_cast<long long>(t1));
+    double x2 = *x - t23 * x1;
+    t1 = a1 * x2 + a2 * x1;
+    double t2 = static_cast<double>(static_cast<long long>(r23 * t1));
+    double z = t1 - t23 * t2;
+    double t3 = t23 * z + a2 * x2;
+    double t4 = static_cast<double>(static_cast<long long>(r46 * t3));
+    *x = t3 - t46 * t4;
+    return r46 * (*x);
+  }
+
+  /// a^n mod 2^46 in the LCG's arithmetic (reference ipow46 / "find starting
+  /// seed" routine): returns the multiplier that advances a seed by n steps.
+  static double ipow46(double a, long long n) {
+    double result = 1.0;
+    if (n == 0) return result;
+    double q = a;
+    long long m = n;
+    while (m > 0) {
+      if (m % 2 == 1) {
+        double dummy = result;
+        randlc_mul(&dummy, q);
+        result = dummy;
+      }
+      m /= 2;
+      if (m == 0) break;
+      double dummy = q;
+      randlc_mul(&dummy, q);
+      q = dummy;
+    }
+    return result;
+  }
+
+  /// Advances the generator by n steps in O(log n).
+  void skip(long long n) {
+    double a_n = ipow46(kDefaultMultiplier, n);
+    randlc(&x_, a_n);
+  }
+
+ private:
+  // *x = a * *x mod 2^46 without producing the scaled output.
+  static void randlc_mul(double* x, double a) { (void)randlc(x, a); }
+
+  double x_;
+};
+
+}  // namespace ompmca

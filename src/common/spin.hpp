@@ -1,0 +1,47 @@
+// Bounded spin-then-yield backoff.
+//
+// On the paper's board, runtime wait loops spin briefly (threads own a HW
+// thread) before blocking.  On an oversubscribed host, unbounded spinning
+// livelocks, so every wait loop in this project uses this helper: a few
+// pause iterations, then escalating yields.
+#pragma once
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace ompmca {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // Fallback: a compiler barrier so the loop is not optimised out.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Escalating backoff: spin a handful of times, then yield to the OS.
+class Backoff {
+ public:
+  explicit Backoff(int spin_limit = 64) : spin_limit_(spin_limit) {}
+
+  void pause() {
+    if (count_ < spin_limit_) {
+      ++count_;
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { count_ = 0; }
+
+ private:
+  int spin_limit_;
+  int count_ = 0;
+};
+
+}  // namespace ompmca

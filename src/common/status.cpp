@@ -1,0 +1,67 @@
+#include "common/status.hpp"
+
+namespace ompmca {
+
+std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kSuccess: return "SUCCESS";
+    case Status::kInvalidArgument: return "ERR_PARAMETER";
+    case Status::kOutOfResources: return "ERR_MEM_LIMIT";
+    case Status::kNotInitialized: return "ERR_NODE_NOTINIT";
+    case Status::kAlreadyInitialized: return "ERR_NODE_INITFAILED";
+    case Status::kTimeout: return "TIMEOUT";
+    case Status::kNotSupported: return "ERR_NOT_SUPPORTED";
+    case Status::kInternal: return "ERR_INTERNAL";
+    case Status::kDomainInvalid: return "ERR_DOMAIN_INVALID";
+    case Status::kNodeInvalid: return "ERR_NODE_INVALID";
+    case Status::kNodeExists: return "ERR_NODE_EXISTS";
+    case Status::kNodeNotInit: return "ERR_NODE_NOTINIT";
+    case Status::kShmemIdInvalid: return "ERR_SHM_ID_INVALID";
+    case Status::kShmemExists: return "ERR_SHM_EXISTS";
+    case Status::kShmemNotAttached: return "ERR_SHM_NOTATTACHED";
+    case Status::kShmemAttached: return "ERR_SHM_ATTACHED";
+    case Status::kShmemAttchFailed: return "ERR_SHM_ATTCH_FAILED";
+    case Status::kRmemIdInvalid: return "ERR_RMEM_ID_INVALID";
+    case Status::kRmemExists: return "ERR_RMEM_EXISTS";
+    case Status::kRmemConflict: return "ERR_RMEM_CONFLICT";
+    case Status::kRmemNotAttached: return "ERR_RMEM_NOTATTACHED";
+    case Status::kRmemBlocked: return "ERR_RMEM_BLOCKED";
+    case Status::kMutexIdInvalid: return "ERR_MUTEX_ID_INVALID";
+    case Status::kMutexExists: return "ERR_MUTEX_EXISTS";
+    case Status::kMutexLocked: return "ERR_MUTEX_LOCKED";
+    case Status::kMutexNotLocked: return "ERR_MUTEX_NOTLOCKED";
+    case Status::kMutexKeyInvalid: return "ERR_MUTEX_KEY";
+    case Status::kSemIdInvalid: return "ERR_SEM_ID_INVALID";
+    case Status::kSemExists: return "ERR_SEM_EXISTS";
+    case Status::kSemValueInvalid: return "ERR_SEM_VALUE";
+    case Status::kSemNotLocked: return "ERR_SEM_NOTLOCKED";
+    case Status::kRwlIdInvalid: return "ERR_RWL_ID_INVALID";
+    case Status::kRwlExists: return "ERR_RWL_EXISTS";
+    case Status::kRwlLocked: return "ERR_RWL_LOCKED";
+    case Status::kRwlNotLocked: return "ERR_RWL_NOTLOCKED";
+    case Status::kResourceInvalid: return "ERR_RSRC_INVALID";
+    case Status::kAttributeNumber: return "ERR_ATTR_NUM";
+    case Status::kAttributeSize: return "ERR_ATTR_SIZE";
+    case Status::kEndpointInvalid: return "ERR_ENDP_INVALID";
+    case Status::kEndpointExists: return "ERR_ENDP_EXISTS";
+    case Status::kChannelOpen: return "ERR_CHAN_OPEN";
+    case Status::kChannelClosed: return "ERR_CHAN_CLOSED";
+    case Status::kChannelTypeMismatch: return "ERR_CHAN_TYPE";
+    case Status::kMessageTruncated: return "ERR_MSG_TRUNCATED";
+    case Status::kMessageLimit: return "ERR_MSG_LIMIT";
+    case Status::kRequestInvalid: return "ERR_REQUEST_INVALID";
+    case Status::kRequestPending: return "ERR_REQUEST_PENDING";
+    case Status::kRequestCanceled: return "ERR_REQUEST_CANCELED";
+    case Status::kActionInvalid: return "ERR_ACTION_INVALID";
+    case Status::kActionExists: return "ERR_ACTION_EXISTS";
+    case Status::kJobInvalid: return "ERR_JOB_INVALID";
+    case Status::kTaskInvalid: return "ERR_TASK_INVALID";
+    case Status::kTaskCanceled: return "ERR_TASK_CANCELLED";
+    case Status::kGroupInvalid: return "ERR_GROUP_INVALID";
+    case Status::kQueueInvalid: return "ERR_QUEUE_INVALID";
+    case Status::kQueueDisabled: return "ERR_QUEUE_DISABLED";
+  }
+  return "ERR_UNKNOWN";
+}
+
+}  // namespace ompmca

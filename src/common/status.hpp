@@ -1,0 +1,101 @@
+// Status codes shared by every OpenMP-MCA library.
+//
+// The MRAPI/MCAPI/MTAPI layers expose C-flavoured status-out parameters, so
+// the whole project standardises on one enum that covers the union of error
+// conditions those specs name, plus a handful of internal conditions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ompmca {
+
+/// Project-wide status code. Zero is success; everything else is an error.
+enum class Status : std::int32_t {
+  kSuccess = 0,
+
+  // Generic
+  kInvalidArgument,
+  kOutOfResources,
+  kNotInitialized,
+  kAlreadyInitialized,
+  kTimeout,
+  kNotSupported,
+  kInternal,
+
+  // Domain / node lifecycle (MRAPI chapter 3)
+  kDomainInvalid,
+  kNodeInvalid,
+  kNodeExists,
+  kNodeNotInit,
+
+  // Shared / remote memory (MRAPI chapter 4)
+  kShmemIdInvalid,
+  kShmemExists,
+  kShmemNotAttached,
+  kShmemAttached,
+  kShmemAttchFailed,
+  kRmemIdInvalid,
+  kRmemExists,
+  kRmemConflict,
+  kRmemNotAttached,
+  kRmemBlocked,
+
+  // Synchronisation primitives (MRAPI chapter 5)
+  kMutexIdInvalid,
+  kMutexExists,
+  kMutexLocked,
+  kMutexNotLocked,
+  kMutexKeyInvalid,
+  kSemIdInvalid,
+  kSemExists,
+  kSemValueInvalid,
+  kSemNotLocked,
+  kRwlIdInvalid,
+  kRwlExists,
+  kRwlLocked,
+  kRwlNotLocked,
+
+  // Metadata (MRAPI chapter 6)
+  kResourceInvalid,
+  kAttributeNumber,
+  kAttributeSize,
+
+  // MCAPI
+  kEndpointInvalid,
+  kEndpointExists,
+  kChannelOpen,
+  kChannelClosed,
+  kChannelTypeMismatch,
+  kMessageTruncated,
+  kMessageLimit,
+  kRequestInvalid,
+  kRequestPending,
+  kRequestCanceled,
+
+  // MTAPI
+  kActionInvalid,
+  kActionExists,
+  kJobInvalid,
+  kTaskInvalid,
+  kTaskCanceled,
+  kGroupInvalid,
+  kQueueInvalid,
+  kQueueDisabled,
+};
+
+/// True iff @p s is kSuccess.
+constexpr bool ok(Status s) { return s == Status::kSuccess; }
+
+/// Stable, human-readable name ("MRAPI_ERR_NODE_NOTINIT" style spellings are
+/// kept for the codes that correspond 1:1 to MCA spec names).
+std::string_view to_string(Status s);
+
+}  // namespace ompmca
+
+/// Returns early with @p status_expr's value when it is not kSuccess.
+#define OMPMCA_RETURN_IF_ERROR(status_expr)               \
+  do {                                                    \
+    ::ompmca::Status ompmca_status_ = (status_expr);      \
+    if (!::ompmca::ok(ompmca_status_)) return ompmca_status_; \
+  } while (false)

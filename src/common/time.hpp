@@ -1,0 +1,37 @@
+// Monotonic wall-clock helpers for the measurement harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ompmca {
+
+/// Seconds since an arbitrary monotonic epoch, as a double (EPCC-style).
+inline double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Nanoseconds since an arbitrary monotonic epoch.
+inline std::uint64_t monotonic_nanos() {
+  using clock = std::chrono::steady_clock;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple start/stop stopwatch accumulating seconds.
+class Stopwatch {
+ public:
+  void start() { start_ = monotonic_seconds(); }
+  void stop() { total_ += monotonic_seconds() - start_; }
+  void reset() { total_ = 0.0; }
+  double seconds() const { return total_; }
+
+ private:
+  double start_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace ompmca

@@ -1,0 +1,82 @@
+#include "epcc/schedbench.hpp"
+
+#include <algorithm>
+
+#include "common/time.hpp"
+
+namespace ompmca::epcc {
+
+Schedbench::Schedbench(gomp::Runtime* rt, Options options)
+    : rt_(rt), options_(options) {}
+
+double Schedbench::reference_seconds() {
+  if (reference_cache_ >= 0) return reference_cache_;
+  Syncbench::delay(options_.delay_length);
+  double best = 1e30;
+  for (int r = 0; r < 3; ++r) {
+    double t0 = monotonic_seconds();
+    for (int j = 0; j < options_.inner_reps; ++j) {
+      for (long i = 0; i < options_.iters_per_thread; ++i) {
+        Syncbench::delay(options_.delay_length);
+      }
+    }
+    best = std::min(best, monotonic_seconds() - t0);
+  }
+  reference_cache_ = best;
+  return best;
+}
+
+double Schedbench::one_rep_seconds(gomp::ScheduleSpec spec,
+                                   unsigned nthreads) {
+  const int inner = options_.inner_reps;
+  const int len = options_.delay_length;
+  const long total =
+      options_.iters_per_thread * static_cast<long>(nthreads);
+  double t0 = monotonic_seconds();
+  rt_->parallel(
+      [&](gomp::ParallelContext& ctx) {
+        for (int j = 0; j < inner; ++j) {
+          ctx.for_loop(
+              0, total,
+              [len](long lo, long hi) {
+                for (long i = lo; i < hi; ++i) Syncbench::delay(len);
+              },
+              spec);
+        }
+      },
+      nthreads);
+  return monotonic_seconds() - t0;
+}
+
+ScheduleMeasurement Schedbench::measure(gomp::ScheduleSpec spec,
+                                        unsigned nthreads) {
+  ScheduleMeasurement m;
+  m.spec = spec;
+  m.nthreads = nthreads;
+  m.inner_reps = options_.inner_reps;
+  m.reference_us = reference_seconds() / options_.inner_reps * 1e6;
+
+  (void)one_rep_seconds(spec, nthreads);  // warm-up
+  double best = 1e30;
+  for (int k = 0; k < options_.outer_reps; ++k) {
+    best = std::min(best, one_rep_seconds(spec, nthreads));
+  }
+  m.mean_us = best / options_.inner_reps * 1e6;
+  m.overhead_us = m.mean_us - m.reference_us;
+  return m;
+}
+
+std::vector<ScheduleMeasurement> Schedbench::sweep(
+    unsigned nthreads, const std::vector<long>& chunks) {
+  std::vector<ScheduleMeasurement> out;
+  for (gomp::Schedule kind :
+       {gomp::Schedule::kStatic, gomp::Schedule::kDynamic,
+        gomp::Schedule::kGuided}) {
+    for (long chunk : chunks) {
+      out.push_back(measure(gomp::ScheduleSpec{kind, chunk}, nthreads));
+    }
+  }
+  return out;
+}
+
+}  // namespace ompmca::epcc

@@ -1,0 +1,57 @@
+// EPCC schedbench — the second half of Bull's suite: loop-scheduling
+// overhead per (schedule kind, chunk size).
+//
+// For each (kind, chunk) the bench measures, inside one parallel region,
+// `inner_reps` worksharing loops of nthreads * iters_per_thread delay
+// iterations, and reports
+//     overhead = (T_test - T_ref) / inner_reps
+// where T_ref is the corresponding perfectly-scheduled time (the delay
+// loop executed by one thread over iters_per_thread iterations — one
+// thread's ideal share).  This isolates chunk-dispatch and imbalance cost,
+// the quantity behind Table I's FOR row and the runtime's schedule
+// defaults.
+#pragma once
+
+#include <vector>
+
+#include "epcc/syncbench.hpp"
+#include "gomp/runtime.hpp"
+
+namespace ompmca::epcc {
+
+struct ScheduleMeasurement {
+  gomp::ScheduleSpec spec;
+  unsigned nthreads = 0;
+  int inner_reps = 0;
+  double reference_us = 0;  // ideal per-rep time
+  double mean_us = 0;       // measured per-rep time
+  double overhead_us = 0;
+};
+
+class Schedbench {
+ public:
+  struct Options {
+    int outer_reps = 5;
+    int inner_reps = 16;
+    int delay_length = 16;
+    long iters_per_thread = 128;
+  };
+
+  Schedbench(gomp::Runtime* rt, Options options);
+
+  ScheduleMeasurement measure(gomp::ScheduleSpec spec, unsigned nthreads);
+
+  /// The classic schedbench grid: {static,dynamic,guided} x chunk sweep.
+  std::vector<ScheduleMeasurement> sweep(unsigned nthreads,
+                                         const std::vector<long>& chunks);
+
+ private:
+  double reference_seconds();
+  double one_rep_seconds(gomp::ScheduleSpec spec, unsigned nthreads);
+
+  gomp::Runtime* rt_;
+  Options options_;
+  double reference_cache_ = -1.0;
+};
+
+}  // namespace ompmca::epcc

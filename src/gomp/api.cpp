@@ -1,0 +1,86 @@
+#include "gomp/api.hpp"
+
+#include <algorithm>
+
+#include "common/time.hpp"
+
+namespace ompmca::gomp {
+
+int omp_get_thread_num() {
+  ParallelContext* ctx = Runtime::current();
+  return ctx != nullptr ? static_cast<int>(ctx->thread_num()) : 0;
+}
+
+int omp_get_num_threads() {
+  ParallelContext* ctx = Runtime::current();
+  return ctx != nullptr ? static_cast<int>(ctx->num_threads()) : 1;
+}
+
+bool omp_in_parallel() { return Runtime::current() != nullptr; }
+
+int omp_get_level() {
+  ParallelContext* ctx = Runtime::current();
+  return ctx != nullptr ? static_cast<int>(ctx->level()) : 0;
+}
+
+int omp_get_max_threads(const Runtime& rt) {
+  return static_cast<int>(rt.max_threads());
+}
+
+int omp_get_num_procs(Runtime& rt) {
+  return static_cast<int>(rt.backend().num_procs());
+}
+
+void omp_set_num_threads(Runtime& rt, int n) {
+  rt.icvs().num_threads = static_cast<unsigned>(std::max(1, n));
+}
+
+double omp_get_wtime() { return monotonic_seconds(); }
+
+void OmpNestLock::set() {
+  {
+    std::lock_guard lk(state_mu_);
+    if (depth_ > 0 && owner_ == std::this_thread::get_id()) {
+      ++depth_;
+      return;
+    }
+  }
+  mu_->lock();
+  std::lock_guard lk(state_mu_);
+  owner_ = std::this_thread::get_id();
+  depth_ = 1;
+}
+
+void OmpNestLock::unset() {
+  bool release = false;
+  {
+    std::lock_guard lk(state_mu_);
+    if (depth_ == 0 || owner_ != std::this_thread::get_id()) return;
+    if (--depth_ == 0) {
+      owner_ = std::thread::id{};
+      release = true;
+    }
+  }
+  if (release) mu_->unlock();
+}
+
+int OmpNestLock::test() {
+  {
+    std::lock_guard lk(state_mu_);
+    if (depth_ > 0 && owner_ == std::this_thread::get_id()) {
+      return ++depth_;
+    }
+  }
+  if (!mu_->try_lock()) return 0;
+  std::lock_guard lk(state_mu_);
+  owner_ = std::this_thread::get_id();
+  depth_ = 1;
+  return 1;
+}
+
+int OmpNestLock::depth() const {
+  std::lock_guard lk(state_mu_);
+  return depth_;
+}
+
+}  // namespace ompmca::gomp

@@ -1,0 +1,77 @@
+// omp_*-style user API shims and user locks.
+//
+// These mirror the OpenMP runtime-library routines an application links
+// against.  The query routines resolve against the calling thread's
+// innermost ParallelContext (nullptr outside a region), matching omp.h
+// semantics.  Runtime-scoped routines take the Runtime explicitly — this
+// project deliberately supports several coexisting runtimes (the benches
+// run the native and MCA configurations side by side).
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "gomp/runtime.hpp"
+
+namespace ompmca::gomp {
+
+/// omp_get_thread_num(): 0 outside a region.
+int omp_get_thread_num();
+
+/// omp_get_num_threads(): 1 outside a region.
+int omp_get_num_threads();
+
+/// omp_in_parallel().
+bool omp_in_parallel();
+
+/// omp_get_level(): nesting depth of the calling thread (0 outside).
+int omp_get_level();
+
+/// omp_get_max_threads() for @p rt.
+int omp_get_max_threads(const Runtime& rt);
+
+/// omp_get_num_procs() for @p rt (the backend's metadata answer, §5B.4).
+int omp_get_num_procs(Runtime& rt);
+
+/// omp_set_num_threads() for @p rt.
+void omp_set_num_threads(Runtime& rt, int n);
+
+/// omp_get_wtime().
+double omp_get_wtime();
+
+/// omp_lock_t: a user lock created through the runtime's backend, so it is
+/// a std::mutex under the native runtime and an MRAPI mutex under MCA.
+class OmpLock {
+ public:
+  explicit OmpLock(Runtime& rt) : mu_(rt.backend().create_mutex()) {}
+
+  void set() { mu_->lock(); }
+  void unset() { mu_->unlock(); }
+  bool test() { return mu_->try_lock(); }
+
+ private:
+  std::unique_ptr<BackendMutex> mu_;
+};
+
+/// omp_nest_lock_t: nestable lock.  Built generically over the backend
+/// mutex with owner/depth bookkeeping, so both backends get identical
+/// semantics (omp_test_nest_lock's count return included).
+class OmpNestLock {
+ public:
+  explicit OmpNestLock(Runtime& rt) : mu_(rt.backend().create_mutex()) {}
+
+  void set();
+  void unset();
+  /// Returns the new nesting depth on success, 0 on failure.
+  int test();
+
+  int depth() const;
+
+ private:
+  std::unique_ptr<BackendMutex> mu_;
+  mutable std::mutex state_mu_;
+  std::thread::id owner_{};
+  int depth_ = 0;
+};
+
+}  // namespace ompmca::gomp

@@ -1,0 +1,129 @@
+#include "gomp/backend_mca.hpp"
+
+#include "common/log.hpp"
+
+namespace ompmca::gomp {
+
+namespace {
+
+// Process-wide id carving: each backend instance claims a contiguous block
+// of node ids (1 master + up to kMaxWorkers workers); resource keys for
+// gomp_malloc segments and runtime mutexes come from a disjoint space.
+constexpr unsigned kMaxWorkers = 256;
+
+mrapi::NodeId claim_node_base() {
+  static std::atomic<mrapi::NodeId> next{1};
+  return next.fetch_add(kMaxWorkers + 1);
+}
+
+mrapi::ResourceKey next_resource_key() {
+  static std::atomic<mrapi::ResourceKey> next{0x4000'0000};
+  return next.fetch_add(1);
+}
+
+/// gomp_mrapi_mutex_lock / unlock (Listing 4) behind the BackendMutex
+/// interface.  The runtime's mutexes are non-recursive, so the MRAPI lock
+/// key is the constant 1.
+class McaMutex final : public BackendMutex {
+ public:
+  explicit McaMutex(std::shared_ptr<mrapi::Mutex> m) : m_(std::move(m)) {}
+
+  void lock() override {
+    mrapi::LockKey key;
+    (void)m_->lock(mrapi::kTimeoutInfinite, &key);
+  }
+  void unlock() override { (void)m_->unlock(mrapi::LockKey{1}); }
+  bool try_lock() override {
+    mrapi::LockKey key;
+    return ok(m_->trylock(&key));
+  }
+
+ private:
+  std::shared_ptr<mrapi::Mutex> m_;
+};
+
+}  // namespace
+
+McaBackend::McaBackend(mrapi::DomainId domain)
+    : domain_(domain), node_base_(claim_node_base()) {
+  auto n = mrapi::Node::initialize(domain_, node_base_,
+                                   mrapi::NodeAttributes{"gomp-master"});
+  if (!n) {
+    OMPMCA_LOG_ERROR("MCA backend: master node init failed: %s",
+                     std::string(to_string(n.status())).c_str());
+    return;
+  }
+  node_ = *n;
+}
+
+McaBackend::~McaBackend() {
+  // Release any allocations the runtime leaked (none in normal operation).
+  {
+    std::lock_guard lk(alloc_mu_);
+    for (auto& [ptr, key] : allocations_) {
+      if (auto seg = node_.shmem_get(key)) {
+        (void)(*seg)->detach(node_.node_id());
+      }
+      (void)node_.shmem_delete(key);
+    }
+    allocations_.clear();
+  }
+  if (node_.initialized()) (void)node_.finalize();
+}
+
+Status McaBackend::launch_thread(unsigned index, std::function<void()> fn) {
+  if (index >= kMaxWorkers) return Status::kOutOfResources;
+  mrapi::ThreadParameters params;
+  params.start_routine = std::move(fn);
+  return node_.thread_create(worker_node_id(index), std::move(params));
+}
+
+Status McaBackend::join_thread(unsigned index) {
+  OMPMCA_RETURN_IF_ERROR(node_.thread_join(worker_node_id(index)));
+  return node_.thread_finalize(worker_node_id(index));
+}
+
+void* McaBackend::allocate(std::size_t bytes) {
+  // gomp_malloc (Listing 3): a heap-mode shared-memory segment per request.
+  mrapi::ResourceKey key = next_resource_key();
+  auto addr = node_.shmem_create_malloc(key, bytes);
+  if (!addr) {
+    // The paper's gomp_fatal("MRAPI failed memory allocation") path; the
+    // runtime core turns nullptr into a fatal error.
+    failed_allocations_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  std::lock_guard lk(alloc_mu_);
+  allocations_[*addr] = key;
+  return *addr;
+}
+
+void McaBackend::deallocate(void* p) {
+  if (p == nullptr) return;
+  mrapi::ResourceKey key;
+  {
+    std::lock_guard lk(alloc_mu_);
+    auto it = allocations_.find(p);
+    if (it == allocations_.end()) return;
+    key = it->second;
+    allocations_.erase(it);
+  }
+  if (auto seg = node_.shmem_get(key)) {
+    (void)(*seg)->detach(node_.node_id());
+  }
+  (void)node_.shmem_delete(key);
+}
+
+std::unique_ptr<BackendMutex> McaBackend::create_mutex() {
+  auto m = node_.mutex_create(next_resource_key());
+  if (!m) return nullptr;
+  return std::make_unique<McaMutex>(std::move(*m));
+}
+
+unsigned McaBackend::num_procs() {
+  auto md = node_.metadata();
+  if (!md) return 1;
+  return md->processors_online();
+}
+
+}  // namespace ompmca::gomp

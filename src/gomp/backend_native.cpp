@@ -1,0 +1,62 @@
+#include "gomp/backend_native.hpp"
+
+#include <cstdlib>
+
+namespace ompmca::gomp {
+
+namespace {
+
+class NativeMutex final : public BackendMutex {
+ public:
+  void lock() override { mu_.lock(); }
+  void unlock() override { mu_.unlock(); }
+  bool try_lock() override { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace
+
+NativeBackend::NativeBackend(platform::Topology topo)
+    : topo_(std::move(topo)) {}
+
+NativeBackend::~NativeBackend() {
+  // Defensive: join anything the runtime failed to join.
+  std::lock_guard lk(mu_);
+  for (auto& [index, t] : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Status NativeBackend::launch_thread(unsigned index, std::function<void()> fn) {
+  std::lock_guard lk(mu_);
+  if (threads_.count(index) > 0) return Status::kNodeExists;
+  threads_.emplace(index, std::thread(std::move(fn)));
+  return Status::kSuccess;
+}
+
+Status NativeBackend::join_thread(unsigned index) {
+  std::thread t;
+  {
+    std::lock_guard lk(mu_);
+    auto it = threads_.find(index);
+    if (it == threads_.end()) return Status::kNodeInvalid;
+    t = std::move(it->second);
+    threads_.erase(it);
+  }
+  if (t.joinable()) t.join();
+  return Status::kSuccess;
+}
+
+void* NativeBackend::allocate(std::size_t bytes) { return std::malloc(bytes); }
+
+void NativeBackend::deallocate(void* p) { std::free(p); }
+
+std::unique_ptr<BackendMutex> NativeBackend::create_mutex() {
+  return std::make_unique<NativeMutex>();
+}
+
+unsigned NativeBackend::num_procs() { return topo_.num_hw_threads(); }
+
+}  // namespace ompmca::gomp

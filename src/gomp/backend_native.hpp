@@ -1,0 +1,41 @@
+// Native system backend — plays the role of the stock (proprietary) GNU
+// OpenMP runtime in the paper's comparison: threads from std::thread, memory
+// from the global allocator, locks from std::mutex, processor count from the
+// platform configuration.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "gomp/backend.hpp"
+#include "platform/topology.hpp"
+
+namespace ompmca::gomp {
+
+class NativeBackend final : public SystemBackend {
+ public:
+  /// @p topo models the board; num_procs() reports its HW-thread count the
+  /// way sysconf(_SC_NPROCESSORS_ONLN) would on the real T4240RDB.
+  explicit NativeBackend(platform::Topology topo);
+  ~NativeBackend() override;
+
+  std::string_view name() const override { return "native"; }
+
+  Status launch_thread(unsigned index, std::function<void()> fn) override;
+  Status join_thread(unsigned index) override;
+
+  void* allocate(std::size_t bytes) override;
+  void deallocate(void* p) override;
+
+  std::unique_ptr<BackendMutex> create_mutex() override;
+
+  unsigned num_procs() override;
+
+ private:
+  platform::Topology topo_;
+  std::mutex mu_;
+  std::map<unsigned, std::thread> threads_;
+};
+
+}  // namespace ompmca::gomp

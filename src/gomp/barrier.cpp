@@ -1,0 +1,187 @@
+#include "gomp/barrier.hpp"
+
+#include <cassert>
+
+#include "common/spin.hpp"
+
+namespace ompmca::gomp {
+
+std::string_view to_string(BarrierKind k) {
+  switch (k) {
+    case BarrierKind::kCentral: return "central";
+    case BarrierKind::kTree: return "tree";
+    case BarrierKind::kDissemination: return "dissemination";
+  }
+  return "?";
+}
+
+std::unique_ptr<TeamBarrier> make_barrier(BarrierKind kind, unsigned nthreads,
+                                          WaitPolicy policy) {
+  switch (kind) {
+    case BarrierKind::kCentral:
+      return std::make_unique<CentralBarrier>(nthreads, policy);
+    case BarrierKind::kTree:
+      return std::make_unique<TreeBarrier>(nthreads, policy);
+    case BarrierKind::kDissemination:
+      return std::make_unique<DisseminationBarrier>(nthreads);
+  }
+  return nullptr;
+}
+
+// --- CentralBarrier ----------------------------------------------------------
+
+CentralBarrier::CentralBarrier(unsigned nthreads, WaitPolicy policy)
+    : n_(nthreads), policy_(policy) {
+  assert(nthreads >= 1);
+}
+
+void CentralBarrier::arrive_and_wait(unsigned /*tid*/) {
+  const bool my_sense = !sense_.load(std::memory_order_relaxed);
+  if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+    count_.store(0, std::memory_order_relaxed);
+    if (policy_ == WaitPolicy::kPassive) {
+      {
+        // The store must happen under the mutex or a waiter could check the
+        // predicate between its load and its sleep and miss the notify.
+        std::lock_guard lk(mu_);
+        sense_.store(my_sense, std::memory_order_release);
+      }
+      cv_.notify_all();
+    } else {
+      sense_.store(my_sense, std::memory_order_release);
+    }
+    return;
+  }
+  if (policy_ == WaitPolicy::kPassive) {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] {
+      return sense_.load(std::memory_order_acquire) == my_sense;
+    });
+  } else {
+    Backoff backoff;
+    while (sense_.load(std::memory_order_acquire) != my_sense)
+      backoff.pause();
+  }
+}
+
+// --- TreeBarrier -------------------------------------------------------------
+
+TreeBarrier::TreeBarrier(unsigned nthreads, WaitPolicy policy)
+    : n_(nthreads), policy_(policy) {
+  assert(nthreads >= 1);
+  // Build leaves over groups of kArity threads, then combine upward.
+  unsigned num_leaves = (n_ + kArity - 1) / kArity;
+  leaf_of_thread_.resize(n_);
+
+  // Level sizes, bottom-up.
+  std::vector<unsigned> level_size;
+  unsigned level = num_leaves;
+  for (;;) {
+    level_size.push_back(level);
+    if (level == 1) break;
+    level = (level + kArity - 1) / kArity;
+  }
+  unsigned total = 0;
+  for (unsigned s : level_size) total += s;
+  nodes_ = std::make_unique<Padded<TreeNode>[]>(total);
+
+  // Node layout: leaves first, then each parent level.
+  std::vector<unsigned> level_base(level_size.size());
+  unsigned base = 0;
+  for (std::size_t l = 0; l < level_size.size(); ++l) {
+    level_base[l] = base;
+    base += level_size[l];
+  }
+  // Leaf expected counts: the threads mapped to it.
+  for (unsigned t = 0; t < n_; ++t) {
+    unsigned leaf = t / kArity;
+    leaf_of_thread_[t] = leaf;
+    ++nodes_[leaf]->expected;
+  }
+  // Internal nodes: children are groups of kArity nodes of the level below.
+  for (std::size_t l = 0; l + 1 < level_size.size(); ++l) {
+    for (unsigned i = 0; i < level_size[l]; ++i) {
+      unsigned parent_index = level_base[l + 1] + i / kArity;
+      nodes_[level_base[l] + i]->parent = static_cast<int>(parent_index);
+      ++nodes_[parent_index]->expected;
+    }
+  }
+}
+
+void TreeBarrier::arrive_and_wait(unsigned tid) {
+  const bool my_sense = !sense_.load(std::memory_order_relaxed);
+
+  // Climb: the last arriver at each node continues to its parent.
+  int node = static_cast<int>(leaf_of_thread_[tid]);
+  bool winner = true;
+  while (node >= 0 && winner) {
+    TreeNode& tn = *nodes_[static_cast<unsigned>(node)];
+    unsigned arrived = tn.count.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (arrived == tn.expected) {
+      tn.count.store(0, std::memory_order_relaxed);
+      node = tn.parent;
+    } else {
+      winner = false;
+    }
+  }
+
+  if (winner) {
+    // Reached past the root: release everyone.
+    if (policy_ == WaitPolicy::kPassive) {
+      {
+        std::lock_guard lk(mu_);
+        sense_.store(my_sense, std::memory_order_release);
+      }
+      cv_.notify_all();
+    } else {
+      sense_.store(my_sense, std::memory_order_release);
+    }
+    return;
+  }
+  if (policy_ == WaitPolicy::kPassive) {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] {
+      return sense_.load(std::memory_order_acquire) == my_sense;
+    });
+  } else {
+    Backoff backoff;
+    while (sense_.load(std::memory_order_acquire) != my_sense)
+      backoff.pause();
+  }
+}
+
+// --- DisseminationBarrier ------------------------------------------------------
+
+DisseminationBarrier::DisseminationBarrier(unsigned nthreads) : n_(nthreads) {
+  assert(nthreads >= 1);
+  rounds_ = 0;
+  while ((1u << rounds_) < n_) ++rounds_;
+  flags_.resize(n_);
+  for (auto& per_thread : flags_) {
+    per_thread.resize(2);
+    for (auto& per_parity : per_thread) {
+      per_parity = std::vector<std::atomic<bool>>(rounds_);
+      for (auto& f : per_parity) f.store(false, std::memory_order_relaxed);
+    }
+  }
+  state_.resize(n_);
+}
+
+void DisseminationBarrier::arrive_and_wait(unsigned tid) {
+  if (n_ == 1) return;
+  ThreadState& st = *state_[tid];
+  Backoff backoff;
+  for (unsigned r = 0; r < rounds_; ++r) {
+    unsigned partner = (tid + (1u << r)) % n_;
+    flags_[partner][st.parity][r].store(st.sense, std::memory_order_release);
+    while (flags_[tid][st.parity][r].load(std::memory_order_acquire) !=
+           st.sense) {
+      backoff.pause();
+    }
+    backoff.reset();
+  }
+  if (st.parity == 1) st.sense = !st.sense;
+  st.parity ^= 1;
+}
+
+}  // namespace ompmca::gomp

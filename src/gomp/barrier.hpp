@@ -1,0 +1,109 @@
+// Team barrier algorithms.
+//
+// An OpenMP runtime lives and dies by its barrier; on a clustered part like
+// the T4240 the algorithm choice interacts with topology (same-core SMT
+// siblings vs cross-cluster CoreNet hops).  Three classic algorithms are
+// provided and compared in bench/ablation_barriers:
+//  * central       — sense-reversing counter barrier (libGOMP's shape);
+//  * tree          — arity-4 combining tree (matches the 4-core clusters);
+//  * dissemination — ceil(log2 n) rounds of pairwise signalling.
+//
+// Wait policy: kPassive blocks on a condition variable (right for the
+// oversubscribed reproduction host and for power-conscious embedded use);
+// kActive spins with escalating backoff (right when threads own HW threads).
+// The dissemination barrier is inherently flag-spinning; under kPassive its
+// backoff escalates to OS yields.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/align.hpp"
+#include "gomp/icv.hpp"
+
+namespace ompmca::gomp {
+
+class TeamBarrier {
+ public:
+  virtual ~TeamBarrier() = default;
+  /// Blocks until all @c size() threads have arrived.  Reusable.
+  virtual void arrive_and_wait(unsigned tid) = 0;
+  virtual unsigned size() const = 0;
+};
+
+enum class BarrierKind { kCentral, kTree, kDissemination };
+
+std::string_view to_string(BarrierKind k);
+
+std::unique_ptr<TeamBarrier> make_barrier(BarrierKind kind, unsigned nthreads,
+                                          WaitPolicy policy);
+
+// --- implementations (exposed for unit tests and the ablation bench) --------
+
+class CentralBarrier final : public TeamBarrier {
+ public:
+  CentralBarrier(unsigned nthreads, WaitPolicy policy);
+
+  void arrive_and_wait(unsigned tid) override;
+  unsigned size() const override { return n_; }
+
+ private:
+  unsigned n_;
+  WaitPolicy policy_;
+  std::atomic<unsigned> count_{0};
+  std::atomic<bool> sense_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+class TreeBarrier final : public TeamBarrier {
+ public:
+  static constexpr unsigned kArity = 4;  // matches the 4-core clusters
+
+  TreeBarrier(unsigned nthreads, WaitPolicy policy);
+
+  void arrive_and_wait(unsigned tid) override;
+  unsigned size() const override { return n_; }
+
+ private:
+  struct TreeNode {
+    std::atomic<unsigned> count{0};
+    unsigned expected = 0;
+    int parent = -1;
+  };
+
+  unsigned n_;
+  WaitPolicy policy_;
+  // unique_ptr array: TreeNode holds an atomic and cannot be moved, which
+  // rules out std::vector storage.
+  std::unique_ptr<Padded<TreeNode>[]> nodes_;
+  std::vector<unsigned> leaf_of_thread_;
+  std::atomic<bool> sense_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+class DisseminationBarrier final : public TeamBarrier {
+ public:
+  explicit DisseminationBarrier(unsigned nthreads);
+
+  void arrive_and_wait(unsigned tid) override;
+  unsigned size() const override { return n_; }
+
+ private:
+  struct ThreadState {
+    unsigned parity = 0;
+    bool sense = true;
+  };
+
+  unsigned n_;
+  unsigned rounds_;
+  // flags_[tid][parity][round]
+  std::vector<std::vector<std::vector<std::atomic<bool>>>> flags_;
+  std::vector<Padded<ThreadState>> state_;
+};
+
+}  // namespace ompmca::gomp

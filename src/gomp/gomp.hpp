@@ -1,0 +1,13 @@
+// Umbrella header for the OpenMP-MCA runtime library.
+#pragma once
+
+#include "gomp/api.hpp"             // IWYU pragma: export
+#include "gomp/backend.hpp"         // IWYU pragma: export
+#include "gomp/backend_mca.hpp"     // IWYU pragma: export
+#include "gomp/backend_native.hpp"  // IWYU pragma: export
+#include "gomp/barrier.hpp"         // IWYU pragma: export
+#include "gomp/icv.hpp"             // IWYU pragma: export
+#include "gomp/pool.hpp"            // IWYU pragma: export
+#include "gomp/runtime.hpp"         // IWYU pragma: export
+#include "gomp/team.hpp"            // IWYU pragma: export
+#include "gomp/workshare.hpp"       // IWYU pragma: export

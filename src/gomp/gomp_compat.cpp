@@ -1,0 +1,172 @@
+#include "gomp/gomp_compat.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <mutex>
+
+#include "common/env.hpp"
+#include "gomp/api.hpp"
+
+namespace ompmca::gomp::compat {
+
+namespace {
+
+std::mutex g_mu;
+std::unique_ptr<Runtime> g_runtime;
+RuntimeOptions g_options;
+bool g_configured = false;
+
+Runtime& runtime_locked() {
+  if (g_runtime == nullptr) {
+    RuntimeOptions opts = g_options;
+    if (!g_configured) {
+      if (auto backend = env_string("OMPMCA_BACKEND")) {
+        if (iequals(*backend, "mca")) opts.backend = BackendKind::kMca;
+      }
+    }
+    g_runtime = std::make_unique<Runtime>(std::move(opts));
+  }
+  return *g_runtime;
+}
+
+ParallelContext& current_ctx() {
+  ParallelContext* ctx = Runtime::current();
+  assert(ctx != nullptr && "GOMP worksharing entry outside a parallel region");
+  return *ctx;
+}
+
+/// Normalizes a GOMP (start, end, incr) triple to iteration counts.
+struct NormalizedLoop {
+  long begin;   // iteration-space begin (always 0)
+  long count;   // iterations
+  long start;   // original start
+  long incr;
+  bool valid;
+};
+
+NormalizedLoop normalize(long start, long end, long incr) {
+  NormalizedLoop n{0, 0, start, incr, true};
+  if (incr == 0) {
+    n.valid = false;
+  } else if (incr > 0) {
+    n.count = start < end ? (end - start + incr - 1) / incr : 0;
+  } else {
+    n.count = start > end ? (start - end + (-incr) - 1) / (-incr) : 0;
+  }
+  return n;
+}
+
+// Per-thread mapping of the open GOMP loop back to original indices.
+thread_local NormalizedLoop t_open_loop{0, 0, 0, 1, false};
+
+bool denormalize(bool got, long nlo, long nhi, long* istart, long* iend) {
+  if (!got) return false;
+  *istart = t_open_loop.start + nlo * t_open_loop.incr;
+  *iend = t_open_loop.start + nhi * t_open_loop.incr;
+  return true;
+}
+
+}  // namespace
+
+void gomp_compat_configure(RuntimeOptions options) {
+  std::lock_guard lk(g_mu);
+  assert(g_runtime == nullptr && "configure after the runtime was created");
+  g_options = std::move(options);
+  g_configured = true;
+}
+
+Runtime& gomp_compat_runtime() {
+  std::lock_guard lk(g_mu);
+  return runtime_locked();
+}
+
+void gomp_compat_reset() {
+  std::lock_guard lk(g_mu);
+  g_runtime.reset();
+  g_configured = false;
+  g_options = RuntimeOptions{};
+}
+
+void GOMP_parallel(void (*fn)(void*), void* data, unsigned num_threads) {
+  gomp_compat_runtime().parallel(
+      [fn, data](ParallelContext&) { fn(data); }, num_threads);
+}
+
+void GOMP_barrier() { current_ctx().barrier(); }
+
+void GOMP_critical_start() {
+  gomp_compat_runtime().critical_mutex("").lock();
+}
+
+void GOMP_critical_end() {
+  gomp_compat_runtime().critical_mutex("").unlock();
+}
+
+void GOMP_critical_name_start(void** pptr) {
+  // The ABI hands a per-name pointer slot; its address is the identity.
+  char name[32];
+  std::snprintf(name, sizeof(name), "@%p", static_cast<void*>(pptr));
+  gomp_compat_runtime().critical_mutex(name).lock();
+}
+
+void GOMP_critical_name_end(void** pptr) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "@%p", static_cast<void*>(pptr));
+  gomp_compat_runtime().critical_mutex(name).unlock();
+}
+
+bool GOMP_single_start() { return current_ctx().single_begin(); }
+
+bool GOMP_loop_static_start(long start, long end, long incr, long chunk,
+                            long* istart, long* iend) {
+  NormalizedLoop n = normalize(start, end, incr);
+  if (!n.valid) return false;
+  t_open_loop = n;
+  long nlo = 0, nhi = 0;
+  bool got = current_ctx().loop_start(
+      0, n.count, ScheduleSpec{Schedule::kStatic, chunk}, &nlo, &nhi);
+  return denormalize(got, nlo, nhi, istart, iend);
+}
+
+bool GOMP_loop_static_next(long* istart, long* iend) {
+  long nlo = 0, nhi = 0;
+  bool got = current_ctx().loop_next(&nlo, &nhi);
+  return denormalize(got, nlo, nhi, istart, iend);
+}
+
+bool GOMP_loop_dynamic_start(long start, long end, long incr, long chunk,
+                             long* istart, long* iend) {
+  NormalizedLoop n = normalize(start, end, incr);
+  if (!n.valid) return false;
+  t_open_loop = n;
+  long nlo = 0, nhi = 0;
+  bool got = current_ctx().loop_start(
+      0, n.count, ScheduleSpec{Schedule::kDynamic, chunk}, &nlo, &nhi);
+  return denormalize(got, nlo, nhi, istart, iend);
+}
+
+bool GOMP_loop_dynamic_next(long* istart, long* iend) {
+  long nlo = 0, nhi = 0;
+  bool got = current_ctx().loop_next(&nlo, &nhi);
+  return denormalize(got, nlo, nhi, istart, iend);
+}
+
+void GOMP_loop_end() { current_ctx().loop_end(/*nowait=*/false); }
+
+void GOMP_loop_end_nowait() { current_ctx().loop_end(/*nowait=*/true); }
+
+int omp_get_thread_num() { return gomp::omp_get_thread_num(); }
+int omp_get_num_threads() { return gomp::omp_get_num_threads(); }
+int omp_get_max_threads() {
+  return gomp::omp_get_max_threads(gomp_compat_runtime());
+}
+int omp_get_num_procs() {
+  return gomp::omp_get_num_procs(gomp_compat_runtime());
+}
+int omp_in_parallel() { return gomp::omp_in_parallel() ? 1 : 0; }
+void omp_set_num_threads(int n) {
+  gomp::omp_set_num_threads(gomp_compat_runtime(), n);
+}
+double omp_get_wtime() { return gomp::omp_get_wtime(); }
+
+}  // namespace ompmca::gomp::compat

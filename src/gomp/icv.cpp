@@ -1,0 +1,80 @@
+#include "gomp/icv.hpp"
+
+#include <algorithm>
+
+#include "common/env.hpp"
+
+namespace ompmca::gomp {
+
+std::string_view to_string(Schedule s) {
+  switch (s) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+    case Schedule::kAuto: return "auto";
+    case Schedule::kRuntime: return "runtime";
+  }
+  return "?";
+}
+
+bool parse_schedule(const std::string& text, ScheduleSpec* out) {
+  auto parts = split(text, ',');
+  if (parts.empty() || parts.size() > 2) return false;
+  ScheduleSpec spec;
+  if (iequals(parts[0], "static")) {
+    spec.kind = Schedule::kStatic;
+  } else if (iequals(parts[0], "dynamic")) {
+    spec.kind = Schedule::kDynamic;
+  } else if (iequals(parts[0], "guided")) {
+    spec.kind = Schedule::kGuided;
+  } else if (iequals(parts[0], "auto")) {
+    spec.kind = Schedule::kAuto;
+  } else {
+    return false;
+  }
+  if (parts.size() == 2) {
+    char* end = nullptr;
+    long chunk = std::strtol(parts[1].c_str(), &end, 10);
+    if (end == parts[1].c_str() || chunk <= 0) return false;
+    spec.chunk = chunk;
+  } else if (spec.kind == Schedule::kDynamic || spec.kind == Schedule::kGuided) {
+    spec.chunk = 1;
+  }
+  *out = spec;
+  return true;
+}
+
+Icvs Icvs::from_env(unsigned default_threads) {
+  Icvs icvs;
+  icvs.num_threads = std::max(1u, default_threads);
+  if (auto n = env_long("OMP_NUM_THREADS"); n && *n > 0) {
+    icvs.num_threads = static_cast<unsigned>(*n);
+  }
+  if (auto d = env_bool("OMP_DYNAMIC")) icvs.dynamic_threads = *d;
+  if (auto n = env_bool("OMP_NESTED")) icvs.nested = *n;
+  if (auto levels = env_long("OMP_MAX_ACTIVE_LEVELS"); levels && *levels > 0) {
+    icvs.max_active_levels = static_cast<unsigned>(*levels);
+  } else if (icvs.nested) {
+    icvs.max_active_levels = 8;
+  }
+  if (auto s = env_string("OMP_SCHEDULE")) {
+    (void)parse_schedule(*s, &icvs.run_schedule);
+  }
+  if (auto w = env_string("OMP_WAIT_POLICY")) {
+    if (iequals(*w, "active")) icvs.wait_policy = WaitPolicy::kActive;
+    if (iequals(*w, "passive")) icvs.wait_policy = WaitPolicy::kPassive;
+  }
+  if (auto b = env_string("OMP_PROC_BIND")) {
+    if (iequals(*b, "close") || iequals(*b, "true"))
+      icvs.proc_bind = ProcBind::kClose;
+    if (iequals(*b, "spread") || iequals(*b, "false"))
+      icvs.proc_bind = ProcBind::kSpread;
+  }
+  if (auto lim = env_long("OMP_THREAD_LIMIT"); lim && *lim > 0) {
+    icvs.thread_limit = static_cast<unsigned>(*lim);
+    icvs.num_threads = std::min(icvs.num_threads, icvs.thread_limit);
+  }
+  return icvs;
+}
+
+}  // namespace ompmca::gomp

@@ -1,0 +1,46 @@
+// OpenMP internal control variables (ICVs) and their environment bindings.
+//
+// The subset an OpenMP 3.x-era runtime carries (what libGOMP 4.9 read):
+// OMP_NUM_THREADS, OMP_SCHEDULE, OMP_DYNAMIC, OMP_NESTED,
+// OMP_MAX_ACTIVE_LEVELS, OMP_WAIT_POLICY, OMP_THREAD_LIMIT.
+#pragma once
+
+#include <string>
+
+namespace ompmca::gomp {
+
+enum class Schedule { kStatic, kDynamic, kGuided, kAuto, kRuntime };
+
+std::string_view to_string(Schedule s);
+
+struct ScheduleSpec {
+  Schedule kind = Schedule::kStatic;
+  long chunk = 0;  // 0 = unspecified (static: block partition; dynamic: 1)
+};
+
+enum class WaitPolicy { kActive, kPassive };
+
+/// OMP_PROC_BIND subset: spread (scatter over cores/clusters, the default
+/// board behaviour) or close (pack SMT siblings first).
+enum class ProcBind { kSpread, kClose };
+
+struct Icvs {
+  unsigned num_threads = 1;       // nthreads-var
+  bool dynamic_threads = false;   // dyn-var
+  bool nested = false;            // nest-var
+  unsigned max_active_levels = 1;
+  ScheduleSpec run_schedule{Schedule::kDynamic, 1};  // def-sched for runtime
+  WaitPolicy wait_policy = WaitPolicy::kPassive;
+  ProcBind proc_bind = ProcBind::kSpread;
+  unsigned thread_limit = 1024;
+
+  /// Reads OMP_* variables; @p default_threads seeds nthreads-var when
+  /// OMP_NUM_THREADS is unset (the runtime passes the MRAPI metadata
+  /// processor count here, §5B.4).
+  static Icvs from_env(unsigned default_threads);
+};
+
+/// Parses an OMP_SCHEDULE value ("guided,4"); false on malformed input.
+bool parse_schedule(const std::string& text, ScheduleSpec* out);
+
+}  // namespace ompmca::gomp

@@ -1,0 +1,131 @@
+#include "gomp/pool.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace ompmca::gomp {
+
+ThreadPool::ThreadPool(SystemBackend& backend, PoolMode mode)
+    : backend_(backend), mode_(mode) {}
+
+ThreadPool::~ThreadPool() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    {
+      std::lock_guard lk(slots_[i]->mu);
+      slots_[i]->exit = true;
+    }
+    slots_[i]->cv.notify_one();
+    (void)backend_.join_thread(static_cast<unsigned>(i));
+  }
+}
+
+void ThreadPool::ensure_workers(unsigned count) {
+  while (slots_.size() < count) {
+    unsigned index = static_cast<unsigned>(slots_.size());
+    slots_.push_back(std::make_unique<WorkerSlot>());
+    // Hand the worker its slot pointer directly: the slots_ vector may
+    // reallocate later and must not be read from worker threads.
+    WorkerSlot* slot = slots_.back().get();
+    Status s = backend_.launch_thread(index, [this, slot] {
+      worker_loop(*slot);
+    });
+    if (!ok(s)) {
+      OMPMCA_LOG_ERROR("pool: failed to launch worker %u: %s", index,
+                       std::string(to_string(s)).c_str());
+      slots_.pop_back();
+      return;
+    }
+    ++workers_launched_;
+  }
+}
+
+void ThreadPool::worker_loop(WorkerSlot& slot) {
+  for (;;) {
+    FunctionRef<void(unsigned)> work;
+    unsigned tid = 0;
+    {
+      std::unique_lock lk(slot.mu);
+      slot.cv.wait(lk, [&] {
+        return slot.exit || slot.generation != slot.served;
+      });
+      if (slot.exit) return;
+      slot.served = slot.generation;
+      work = slot.work;
+      tid = slot.tid;
+    }
+    work(tid);
+    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lk(done_mu_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn) {
+  assert(region_indices_.empty() && "team already running");
+  if (nthreads <= 1) return;
+  const unsigned extra = nthreads - 1;
+  active_.store(extra, std::memory_order_relaxed);
+
+  if (mode_ == PoolMode::kPersistent) {
+    ensure_workers(extra);
+    assert(slots_.size() >= extra && "worker launch failed");
+    for (unsigned i = 0; i < extra; ++i) {
+      WorkerSlot& slot = *slots_[i];
+      {
+        std::lock_guard lk(slot.mu);
+        slot.work = fn;
+        slot.tid = i + 1;
+        ++slot.generation;
+      }
+      slot.cv.notify_one();
+      region_indices_.push_back(i);
+    }
+  } else {
+    // Fresh thread per region, joined in wait_team — §5B.1's literal
+    // node-per-region lifecycle.
+    for (unsigned i = 0; i < extra; ++i) {
+      unsigned tid = i + 1;
+      Status s = backend_.launch_thread(i, [this, fn, tid] {
+        fn(tid);
+        if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard lk(done_mu_);
+          done_cv_.notify_one();
+        }
+      });
+      if (ok(s)) {
+        region_indices_.push_back(i);
+      } else {
+        OMPMCA_LOG_ERROR("pool: per-region launch %u failed", i);
+        active_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+  }
+}
+
+void ThreadPool::wait_team() {
+  if (region_indices_.empty() && active_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  {
+    std::unique_lock lk(done_mu_);
+    done_cv_.wait(lk, [&] {
+      return active_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (mode_ == PoolMode::kPerRegion) {
+    for (unsigned index : region_indices_) {
+      (void)backend_.join_thread(index);
+    }
+  }
+  region_indices_.clear();
+}
+
+void ThreadPool::run(unsigned nthreads, FunctionRef<void(unsigned)> fn) {
+  start_team(nthreads, fn);
+  fn(0);
+  wait_team();
+}
+
+}  // namespace ompmca::gomp

@@ -1,0 +1,73 @@
+// Worker-thread pool.
+//
+// kPersistent (default): workers are launched once through the backend and
+// parked between regions — what libGOMP does, and what keeps the EPCC
+// PARALLEL overhead sane.  kPerRegion: workers are launched at region entry
+// and joined at region exit — the literal lifecycle §5B.1 describes (node
+// created at fork, finalized at join).  bench/ablation_node_mgmt measures
+// the difference.
+//
+// Under the MCA backend, either way every worker is an MRAPI node: the pool
+// calls SystemBackend::launch_thread, which routes to the Listing-2
+// mrapi_thread_create extension.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/function_ref.hpp"
+#include "gomp/backend.hpp"
+#include "gomp/icv.hpp"
+
+namespace ompmca::gomp {
+
+enum class PoolMode { kPersistent, kPerRegion };
+
+class ThreadPool {
+ public:
+  ThreadPool(SystemBackend& backend, PoolMode mode);
+  ~ThreadPool();
+
+  /// Runs @p fn(tid) on threads 1..nthreads-1; the caller must then run
+  /// fn(0) itself and call wait_team().
+  void start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn);
+  void wait_team();
+
+  /// Convenience: start_team + fn(0) + wait_team.
+  void run(unsigned nthreads, FunctionRef<void(unsigned)> fn);
+
+  unsigned workers_launched() const { return workers_launched_; }
+  PoolMode mode() const { return mode_; }
+
+ private:
+  struct WorkerSlot {
+    std::mutex mu;
+    std::condition_variable cv;
+    unsigned long generation = 0;  // bumped to hand out work
+    unsigned long served = 0;      // last generation executed
+    FunctionRef<void(unsigned)> work;
+    unsigned tid = 0;
+    bool exit = false;
+  };
+
+  void ensure_workers(unsigned count);
+  void worker_loop(WorkerSlot& slot);
+
+  SystemBackend& backend_;
+  PoolMode mode_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  unsigned workers_launched_ = 0;
+
+  // Per-region participation bookkeeping (master side).
+  std::atomic<unsigned> active_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+
+  // kPerRegion: worker indices of the currently running region.
+  std::vector<unsigned> region_indices_;
+};
+
+}  // namespace ompmca::gomp

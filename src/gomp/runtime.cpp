@@ -1,0 +1,140 @@
+#include "gomp/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "gomp/backend_mca.hpp"
+#include "gomp/backend_native.hpp"
+#include "mrapi/database.hpp"
+
+namespace ompmca::gomp {
+
+thread_local ParallelContext* Runtime::t_current_ = nullptr;
+
+std::string_view to_string(BackendKind k) {
+  switch (k) {
+    case BackendKind::kNative: return "native";
+    case BackendKind::kMca: return "mca";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<SystemBackend> make_backend(const RuntimeOptions& opts) {
+  if (opts.backend_factory) return opts.backend_factory();
+  switch (opts.backend) {
+    case BackendKind::kNative:
+      return std::make_unique<NativeBackend>(opts.topology);
+    case BackendKind::kMca:
+      // The MRAPI domain models the same board the native backend is
+      // configured with, so both runtimes see identical metadata.
+      mrapi::Database::instance().configure_platform(opts.topology);
+      return std::make_unique<McaBackend>(opts.domain);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Runtime::Runtime(RuntimeOptions opts)
+    : opts_(std::move(opts)), backend_(make_backend(opts_)) {
+  icvs_ = opts_.icvs ? *opts_.icvs : Icvs::from_env(backend_->num_procs());
+  icvs_.num_threads = std::min(icvs_.num_threads, icvs_.thread_limit);
+  pool_ = std::make_unique<ThreadPool>(*backend_, opts_.pool_mode);
+  // Nested teams draw worker ids from a high range so they never collide
+  // with pool workers (pool ids are 0..thread_limit-1 in practice).
+  for (unsigned id = 255; id >= 128; --id) free_nested_ids_.push_back(id);
+}
+
+Runtime::~Runtime() {
+  // Pool (and its backend threads / MRAPI worker nodes) must retire before
+  // the backend is destroyed.
+  pool_.reset();
+  criticals_.clear();
+  backend_.reset();
+}
+
+unsigned Runtime::resolve_num_threads(unsigned requested) const {
+  unsigned n = requested != 0 ? requested : icvs_.num_threads;
+  return std::clamp(n, 1u, icvs_.thread_limit);
+}
+
+BackendMutex& Runtime::critical_mutex(const std::string& name) {
+  std::lock_guard lk(critical_mu_);
+  auto it = criticals_.find(name);
+  if (it == criticals_.end()) {
+    auto mu = backend_->create_mutex();
+    assert(mu != nullptr && "backend failed to create a critical mutex");
+    it = criticals_.emplace(name, std::move(mu)).first;
+  }
+  return *it->second;
+}
+
+ParallelContext* Runtime::current() { return t_current_; }
+
+void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
+                       unsigned num_threads) {
+  unsigned n = resolve_num_threads(num_threads);
+  ParallelContext* outer = current();
+  const bool nested = outer != nullptr;
+
+  if (!nested) {
+    Team team(*this, n, nullptr);
+    pool_->run(n, [&team, body](unsigned tid) { team.run_thread(tid, body); });
+    team.finish();
+    return;
+  }
+
+  // Nested region.  Serialized unless nest-var is set; otherwise a fresh
+  // per-region team with worker ids from the reserved range (bounded, so
+  // the width is clamped to what is available).
+  std::vector<unsigned> ids;
+  if (icvs_.nested && n > 1) {
+    std::lock_guard lk(nested_ids_mu_);
+    while (ids.size() < n - 1 && !free_nested_ids_.empty()) {
+      ids.push_back(free_nested_ids_.back());
+      free_nested_ids_.pop_back();
+    }
+  }
+  n = static_cast<unsigned>(ids.size()) + 1;
+
+  Team team(*this, n, outer);
+  auto thread_fn = [&team, body](unsigned tid) {
+    team.run_thread(tid, body);
+  };
+  std::vector<unsigned> launched;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    unsigned tid = static_cast<unsigned>(i) + 1;
+    Status s = backend_->launch_thread(ids[i], [thread_fn, tid] {
+      thread_fn(tid);
+    });
+    if (ok(s)) {
+      launched.push_back(ids[i]);
+    } else {
+      // A missing member would deadlock the team barrier; treat as fatal.
+      OMPMCA_LOG_ERROR("nested team: launch failed (%u)", ids[i]);
+      assert(false && "nested team launch failed");
+    }
+  }
+  thread_fn(0);
+  for (unsigned id : launched) (void)backend_->join_thread(id);
+  {
+    std::lock_guard lk(nested_ids_mu_);
+    for (unsigned id : ids) free_nested_ids_.push_back(id);
+  }
+  team.finish();
+}
+
+void Runtime::parallel_for(long begin, long end,
+                           FunctionRef<void(long, long)> body,
+                           ScheduleSpec spec, unsigned num_threads) {
+  parallel(
+      [&](ParallelContext& ctx) {
+        ctx.for_loop(begin, end, body, spec, /*nowait=*/true);
+      },
+      num_threads);
+}
+
+}  // namespace ompmca::gomp

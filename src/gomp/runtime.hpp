@@ -1,0 +1,110 @@
+// Runtime facade — "ulibgomp".
+//
+// One Runtime is one OpenMP runtime-library instance: a system backend
+// (native ↔ stock libGOMP, mca ↔ the paper's MCA-libGOMP), ICVs, a worker
+// pool, and the named-critical registry.  Two instances can coexist (the
+// benches run both side by side, exactly the comparison the paper makes).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "gomp/backend.hpp"
+#include "gomp/pool.hpp"
+#include "gomp/team.hpp"
+#include "mrapi/types.hpp"
+#include "platform/topology.hpp"
+
+namespace ompmca::gomp {
+
+enum class BackendKind { kNative, kMca };
+
+std::string_view to_string(BackendKind k);
+
+struct RuntimeOptions {
+  BackendKind backend = BackendKind::kNative;
+  /// Board model; drives num_procs for the native backend and the MRAPI
+  /// domain platform for the MCA backend (set before first MCA runtime).
+  platform::Topology topology = platform::Topology::t4240rdb();
+  mrapi::DomainId domain = 0;
+  /// Defaults to Icvs::from_env(backend num_procs).
+  std::optional<Icvs> icvs;
+  BarrierKind barrier = BarrierKind::kCentral;
+  PoolMode pool_mode = PoolMode::kPersistent;
+  /// When set, overrides `backend` with a caller-supplied backend — the
+  /// hook the validation suite uses to inject fault-seeded backends
+  /// (reproducing §6A's broken-synchronisation-primitive hunt).
+  std::function<std::unique_ptr<SystemBackend>()> backend_factory;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions opts = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- the fork-join core -----------------------------------------------------
+  /// Runs @p body on a team of @p num_threads (0 = nthreads-var) with an
+  /// implicit ending barrier.  Nested calls (from inside a region) serialize
+  /// unless nest-var is set.
+  void parallel(FunctionRef<void(ParallelContext&)> body,
+                unsigned num_threads = 0);
+
+  /// parallel + for_loop in one step (the `parallel for` directive).
+  void parallel_for(long begin, long end, FunctionRef<void(long, long)> body,
+                    ScheduleSpec spec = {}, unsigned num_threads = 0);
+
+  // --- configuration ------------------------------------------------------------
+  SystemBackend& backend() { return *backend_; }
+  Icvs& icvs() { return icvs_; }
+  const Icvs& icvs() const { return icvs_; }
+  BarrierKind barrier_kind() const { return opts_.barrier; }
+  const platform::Topology& topology() const { return opts_.topology; }
+  ThreadPool& pool() { return *pool_; }
+
+  unsigned max_threads() const { return icvs_.num_threads; }
+
+  /// Resolves a parallel clause request against the ICVs.
+  unsigned resolve_num_threads(unsigned requested) const;
+
+  // --- services used by ParallelContext ------------------------------------------
+  /// Mutex backing critical(@p name); created through the backend on first
+  /// use (Listing 4's gomp_mutex path).
+  BackendMutex& critical_mutex(const std::string& name);
+
+  /// The calling thread's innermost ParallelContext, or nullptr outside any
+  /// region (this is what the omp_* shims in api.hpp read).
+  static ParallelContext* current();
+
+  bool in_parallel() const { return current() != nullptr; }
+
+  /// Per-thread meters of the last completed top-level region.
+  const std::vector<platform::Work>& last_region_meters() const {
+    return last_meters_;
+  }
+
+ private:
+  friend class Team;
+  friend class ParallelContext;
+
+  static thread_local ParallelContext* t_current_;
+
+  RuntimeOptions opts_;
+  std::unique_ptr<SystemBackend> backend_;
+  Icvs icvs_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex critical_mu_;
+  std::map<std::string, std::unique_ptr<BackendMutex>> criticals_;
+
+  std::mutex nested_ids_mu_;
+  std::vector<unsigned> free_nested_ids_;
+
+  std::vector<platform::Work> last_meters_;
+};
+
+}  // namespace ompmca::gomp

@@ -1,0 +1,105 @@
+#include "gomp/task.hpp"
+
+#include <thread>
+
+namespace ompmca::gomp {
+
+void TaskSystem::spawn(Task* parent, TaskGroup* group,
+                       std::function<void()> fn) {
+  auto task = std::make_shared<Task>();
+  task->fn = std::move(fn);
+  // Hold the parent record alive until this child completes; an executing
+  // parent is always owned by a shared_ptr (run_one's local), so
+  // shared_from_this is safe here.
+  if (parent != nullptr) task->parent = parent->shared_from_this();
+  task->group = group;
+  {
+    std::lock_guard lk(mu_);
+    if (parent != nullptr) ++parent->live_children;
+    if (group != nullptr) ++group->live_tasks;
+    queue_.push_back(std::move(task));
+  }
+}
+
+bool TaskSystem::run_one(Task** current_slot) {
+  std::shared_ptr<Task> task;
+  {
+    std::lock_guard lk(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++executing_;
+  }
+  Task* saved = *current_slot;
+  *current_slot = task.get();
+  task->fn();
+  *current_slot = saved;
+  finished(task.get());
+  return true;
+}
+
+void TaskSystem::finished(Task* task) {
+  {
+    std::lock_guard lk(mu_);
+    --executing_;
+    if (task->parent != nullptr) --task->parent->live_children;
+    if (task->group != nullptr) --task->group->live_tasks;
+  }
+  idle_cv_.notify_all();
+}
+
+void TaskSystem::taskwait(Task** current_slot) {
+  Task* waiting_on = *current_slot;
+  if (waiting_on == nullptr) {
+    // An implicit task has no tracked children; taskwait is a no-op for it
+    // beyond helping with whatever is queued right now.
+    return;
+  }
+  for (;;) {
+    {
+      std::lock_guard lk(mu_);
+      if (waiting_on->live_children == 0) return;
+    }
+    if (!run_one(current_slot)) {
+      // Children are executing elsewhere: block until something finishes.
+      std::unique_lock lk(mu_);
+      if (waiting_on->live_children == 0) return;
+      idle_cv_.wait(lk, [&] {
+        return waiting_on->live_children == 0 || !queue_.empty();
+      });
+    }
+  }
+}
+
+void TaskSystem::group_wait(TaskGroup* group, Task** current_slot) {
+  for (;;) {
+    {
+      std::lock_guard lk(mu_);
+      if (group->live_tasks == 0) return;
+    }
+    if (!run_one(current_slot)) {
+      std::unique_lock lk(mu_);
+      if (group->live_tasks == 0) return;
+      idle_cv_.wait(lk,
+                    [&] { return group->live_tasks == 0 || !queue_.empty(); });
+    }
+  }
+}
+
+void TaskSystem::drain(Task** current_slot) {
+  for (;;) {
+    if (run_one(current_slot)) continue;
+    std::lock_guard lk(mu_);
+    if (queue_.empty() && executing_ == 0) return;
+    // Tasks are executing on other threads and may spawn more; yield and
+    // re-check rather than blocking (the barrier path needs bounded waits).
+    std::this_thread::yield();
+  }
+}
+
+std::size_t TaskSystem::queued() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace ompmca::gomp

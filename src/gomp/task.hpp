@@ -1,0 +1,67 @@
+// Explicit-task subsystem (OpenMP 3.x task / taskwait / taskgroup).
+//
+// A central FIFO guarded by a mutex — the right scale for an embedded-class
+// runtime (libGOMP's own task queue is a single list under the team lock at
+// this era).  Hierarchy bookkeeping: every task holds a shared_ptr to its
+// parent (a task must outlive its children's completion records), and
+// taskwait runs queued tasks until the current task's child count drops to
+// zero, so waiting threads make progress instead of blocking.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+namespace ompmca::gomp {
+
+class TaskSystem;
+
+struct Task : std::enable_shared_from_this<Task> {
+  std::function<void()> fn;
+  std::shared_ptr<Task> parent;  // keeps the parent's record alive
+  // Children spawned and not yet finished (guarded by TaskSystem's mutex).
+  std::uint32_t live_children = 0;
+  // Group this task was spawned into, if any.
+  struct TaskGroup* group = nullptr;
+};
+
+struct TaskGroup {
+  std::uint32_t live_tasks = 0;  // guarded by TaskSystem's mutex
+};
+
+class TaskSystem {
+ public:
+  /// Enqueues a child of @p parent (nullptr = an implicit task).
+  void spawn(Task* parent, TaskGroup* group, std::function<void()> fn);
+
+  /// Pops and runs one queued task; false when the queue is empty.
+  /// @p current_slot is the caller's current-task variable, saved/restored
+  /// around the execution so nested spawns parent correctly.
+  bool run_one(Task** current_slot);
+
+  /// Runs queued tasks until the task in *current_slot has no live children.
+  void taskwait(Task** current_slot);
+
+  /// Runs queued tasks until @p group has no live tasks.
+  void group_wait(TaskGroup* group, Task** current_slot);
+
+  /// Runs queued tasks until the queue is empty and none are executing
+  /// (used by barriers).
+  void drain(Task** current_slot);
+
+  std::size_t queued() const;
+
+ private:
+  void finished(Task* task);
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::deque<std::shared_ptr<Task>> queue_;
+  std::uint32_t executing_ = 0;
+};
+
+}  // namespace ompmca::gomp

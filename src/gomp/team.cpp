@@ -1,0 +1,223 @@
+#include "gomp/team.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gomp/runtime.hpp"
+
+namespace ompmca::gomp {
+
+Team::Team(Runtime& rt, unsigned nthreads, ParallelContext* parent_ctx)
+    : rt_(rt),
+      nthreads_(nthreads),
+      level_(parent_ctx != nullptr ? parent_ctx->level() + 1 : 1),
+      parent_ctx_(parent_ctx),
+      barrier_(make_barrier(rt.barrier_kind(), nthreads,
+                            rt.icvs().wait_policy)),
+      meters_(nthreads),
+      reduce_slots_(nthreads) {}
+
+void Team::run_thread(unsigned tid, FunctionRef<void(ParallelContext&)> body) {
+  ParallelContext ctx;
+  ctx.team_ = this;
+  ctx.tid_ = tid;
+  // Each thread's implicit task: owned by a shared_ptr so children can pin
+  // it via shared_from_this, and so taskwait tracks its children per spec.
+  auto implicit_task = std::make_shared<Task>();
+  ctx.current_task_ = implicit_task.get();
+
+  // Make the context discoverable by the omp_*-style shims, restoring the
+  // enclosing one on exit (nested regions).
+  ParallelContext* saved = Runtime::t_current_;
+  Runtime::t_current_ = &ctx;
+  body(ctx);
+  // Implicit region-ending barrier; also guarantees all explicit tasks
+  // finish inside the region (OpenMP requires it of the implicit barrier).
+  ctx.barrier();
+  Runtime::t_current_ = saved;
+}
+
+void Team::finish() {
+  if (parent_ctx_ != nullptr) {
+    // Nested team: fold our meters into the parent thread's meter.
+    platform::Work& parent_meter = parent_ctx_->meter();
+    for (auto& m : meters_) parent_meter += m.value;
+  } else {
+    rt_.last_meters_.assign(meters_.size(), platform::Work{});
+    for (std::size_t i = 0; i < meters_.size(); ++i) {
+      rt_.last_meters_[i] = meters_[i].value;
+    }
+  }
+}
+
+// --- ParallelContext -----------------------------------------------------------
+
+unsigned ParallelContext::num_threads() const { return team_->nthreads_; }
+
+unsigned ParallelContext::level() const { return team_->level_; }
+
+Runtime& ParallelContext::runtime() const { return team_->rt_; }
+
+void ParallelContext::barrier() {
+  team_->tasks_.drain(&current_task_);
+  team_->barrier_->arrive_and_wait(tid_);
+}
+
+void ParallelContext::for_loop(long begin, long end,
+                               FunctionRef<void(long, long)> body,
+                               ScheduleSpec spec, bool nowait) {
+  if (spec.kind == Schedule::kRuntime) spec = team_->rt_.icvs().run_schedule;
+  LoopInstance& loop = team_->loops_[loop_gen_ % kWorkshareRing];
+  loop.enter(loop_gen_, begin, end, spec, team_->nthreads_);
+  ++loop_gen_;
+  long pos = 0;
+  long lo = 0;
+  long hi = 0;
+  while (loop.next_chunk(tid_, &pos, &lo, &hi)) {
+    body(lo, hi);
+  }
+  loop.leave();
+  if (!nowait) barrier();
+}
+
+void ParallelContext::for_loop_ordered(long begin, long end,
+                                       FunctionRef<void(long, long)> body,
+                                       ScheduleSpec spec) {
+  if (spec.kind == Schedule::kRuntime) spec = team_->rt_.icvs().run_schedule;
+  LoopInstance& loop = team_->loops_[loop_gen_ % kWorkshareRing];
+  loop.enter(loop_gen_, begin, end, spec, team_->nthreads_);
+  ++loop_gen_;
+  LoopInstance* saved = active_ordered_loop_;
+  active_ordered_loop_ = &loop;
+  long pos = 0;
+  long lo = 0;
+  long hi = 0;
+  while (loop.next_chunk(tid_, &pos, &lo, &hi)) {
+    body(lo, hi);
+  }
+  active_ordered_loop_ = saved;
+  loop.leave();
+  barrier();
+}
+
+void ParallelContext::for_loop_simd(long begin, long end,
+                                    FunctionRef<void(long, long)> body,
+                                    long simd_width, bool nowait) {
+  if (simd_width < 1) simd_width = 1;
+  const long total = end - begin;
+  if (total > 0) {
+    // Block partition in units of simd_width vectors; the remainder tail
+    // rides with the last thread.
+    const long vectors = (total + simd_width - 1) / simd_width;
+    const long n = static_cast<long>(team_->nthreads_);
+    const long t = static_cast<long>(tid_);
+    const long base = vectors / n;
+    const long rem = vectors % n;
+    const long my_first_vec = t * base + std::min(t, rem);
+    const long my_vecs = base + (t < rem ? 1 : 0);
+    if (my_vecs > 0) {
+      const long lo = begin + my_first_vec * simd_width;
+      const long hi = std::min(end, lo + my_vecs * simd_width);
+      body(lo, hi);
+    }
+  }
+  if (!nowait) barrier();
+}
+
+bool ParallelContext::loop_start(long begin, long end, ScheduleSpec spec,
+                                 long* lo, long* hi) {
+  assert(active_loop_ == nullptr && "loop_start while a loop is open");
+  if (spec.kind == Schedule::kRuntime) spec = team_->rt_.icvs().run_schedule;
+  LoopInstance& loop = team_->loops_[loop_gen_ % kWorkshareRing];
+  loop.enter(loop_gen_, begin, end, spec, team_->nthreads_);
+  ++loop_gen_;
+  active_loop_ = &loop;
+  active_loop_pos_ = 0;
+  return loop_next(lo, hi);
+}
+
+bool ParallelContext::loop_next(long* lo, long* hi) {
+  assert(active_loop_ != nullptr && "loop_next without loop_start");
+  return active_loop_->next_chunk(tid_, &active_loop_pos_, lo, hi);
+}
+
+void ParallelContext::loop_end(bool nowait) {
+  assert(active_loop_ != nullptr && "loop_end without loop_start");
+  active_loop_->leave();
+  active_loop_ = nullptr;
+  if (!nowait) barrier();
+}
+
+void ParallelContext::ordered(long iter, FunctionRef<void()> fn) {
+  assert(active_ordered_loop_ != nullptr &&
+         "ordered() outside a for_loop_ordered body");
+  active_ordered_loop_->ordered_wait(iter);
+  fn();
+  active_ordered_loop_->ordered_post();
+}
+
+void ParallelContext::sections(
+    std::initializer_list<FunctionRef<void()>> section_bodies, bool nowait) {
+  SectionsInstance& ws = team_->sections_[sections_gen_ % kWorkshareRing];
+  ws.enter(sections_gen_, static_cast<int>(section_bodies.size()),
+           team_->nthreads_);
+  ++sections_gen_;
+  for (;;) {
+    int idx = ws.next_section();
+    if (idx < 0) break;
+    (section_bodies.begin() + idx)->operator()();
+  }
+  ws.leave();
+  if (!nowait) barrier();
+}
+
+bool ParallelContext::single_begin() {
+  unsigned long expected = single_gen_;
+  ++single_gen_;
+  return team_->single_counter_.compare_exchange_strong(
+      expected, expected + 1, std::memory_order_acq_rel);
+}
+
+void ParallelContext::single(FunctionRef<void()> fn, bool nowait) {
+  if (single_begin()) fn();
+  if (!nowait) barrier();
+}
+
+void ParallelContext::master(FunctionRef<void()> fn) {
+  if (tid_ == 0) fn();
+}
+
+void ParallelContext::critical(FunctionRef<void()> fn) {
+  critical("", fn);
+}
+
+void ParallelContext::critical(std::string_view name,
+                               FunctionRef<void()> fn) {
+  BackendMutex& mu = team_->rt_.critical_mutex(std::string(name));
+  BackendLockGuard guard(mu);
+  fn();
+}
+
+void ParallelContext::task(std::function<void()> fn) {
+  team_->tasks_.spawn(current_task_, active_group_, std::move(fn));
+}
+
+void ParallelContext::taskwait() { team_->tasks_.taskwait(&current_task_); }
+
+void ParallelContext::taskgroup(FunctionRef<void()> body) {
+  // Tasks spawned (transitively) inside body join the group; taskgroup end
+  // waits for all of them.  We implement the direct-children-of-this-thread
+  // case, which covers the OpenMP 3.x-era usage the runtime targets.
+  TaskGroup group;
+  TaskGroup* saved = active_group_;
+  active_group_ = &group;
+  body();
+  active_group_ = saved;
+  team_->tasks_.group_wait(&group, &current_task_);
+}
+
+platform::Work& ParallelContext::meter() {
+  return team_->meters_[tid_].value;
+}
+
+}  // namespace ompmca::gomp

@@ -1,0 +1,217 @@
+// Team execution: the fork-join core of the runtime.
+//
+// A Team is one parallel-region instance: N implicit tasks, a barrier, a
+// ring of worksharing descriptors, a single/sections/critical substrate, a
+// task queue and per-thread work meters.  Each participating thread runs
+// the region body with a ParallelContext — the handle through which all
+// OpenMP semantics (barrier, for, single, master, critical, sections,
+// ordered, reduction, tasks) are expressed.
+//
+// The API is explicit rather than pragma-based: this library is the
+// *runtime* (libGOMP's role), and ParallelContext's methods correspond to
+// the entry points a compiler would emit (GOMP_parallel, GOMP_loop_*,
+// GOMP_barrier, GOMP_critical_*, ...).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/function_ref.hpp"
+#include "gomp/barrier.hpp"
+#include "gomp/icv.hpp"
+#include "gomp/task.hpp"
+#include "gomp/workshare.hpp"
+#include "platform/cost_model.hpp"
+
+namespace ompmca::gomp {
+
+class Runtime;
+class Team;
+
+/// Bounded lookahead for back-to-back nowait worksharing constructs.
+inline constexpr unsigned kWorkshareRing = 4;
+
+class ParallelContext {
+ public:
+  unsigned thread_num() const { return tid_; }
+  unsigned num_threads() const;
+  /// omp_get_level() as seen from this context.
+  unsigned level() const;
+  Runtime& runtime() const;
+  Team& team() const { return *team_; }
+
+  /// Explicit barrier (also drains queued explicit tasks, as OpenMP
+  /// barriers must).
+  void barrier();
+
+  // --- worksharing loops ------------------------------------------------------
+  /// Iterations [begin, end) divided per @p spec; @p body receives [lo, hi)
+  /// chunks.  Implicit ending barrier unless @p nowait.
+  void for_loop(long begin, long end, FunctionRef<void(long, long)> body,
+                ScheduleSpec spec = {}, bool nowait = false);
+
+  /// Worksharing loop whose body may call ordered(); always ends in a
+  /// barrier (ordered implies waiting anyway).
+  void for_loop_ordered(long begin, long end,
+                        FunctionRef<void(long, long)> body,
+                        ScheduleSpec spec = {});
+
+  /// SIMD-friendly worksharing (the `for simd` shape): one static block per
+  /// thread with internal chunk boundaries rounded to @p simd_width, so
+  /// every thread's range except possibly the last is vector-alignable.
+  /// The body vectorises its [lo, hi) range; meter vector_fraction
+  /// accordingly for the board model (the e6500 AltiVec mapping, §4A).
+  void for_loop_simd(long begin, long end, FunctionRef<void(long, long)> body,
+                     long simd_width = 8, bool nowait = false);
+
+  /// Inside for_loop_ordered's body: runs @p fn when iteration @p iter's
+  /// turn comes (strict iteration order across the team).
+  void ordered(long iter, FunctionRef<void()> fn);
+
+  // --- low-level worksharing (the GOMP_loop_* ABI shape) -----------------------
+  /// Establishes (or joins) a worksharing loop and pulls the first chunk;
+  /// false when this thread has none.  Pair with loop_next/loop_end.
+  bool loop_start(long begin, long end, ScheduleSpec spec, long* lo,
+                  long* hi);
+  /// Pulls the next chunk of the loop opened by loop_start.
+  bool loop_next(long* lo, long* hi);
+  /// Retires this thread's participation; barrier unless @p nowait.
+  void loop_end(bool nowait = false);
+
+  // --- sections ----------------------------------------------------------------
+  void sections(std::initializer_list<FunctionRef<void()>> section_bodies,
+                bool nowait = false);
+
+  // --- single / master ----------------------------------------------------------
+  /// True for the (one) winning thread.  Pair with the nowait flag of
+  /// single(); this low-level form has NO implicit barrier.
+  bool single_begin();
+  void single(FunctionRef<void()> fn, bool nowait = false);
+  void master(FunctionRef<void()> fn);
+
+  // --- critical ------------------------------------------------------------------
+  void critical(FunctionRef<void()> fn);  // the unnamed critical
+  void critical(std::string_view name, FunctionRef<void()> fn);
+
+  // --- reduction -------------------------------------------------------------------
+  /// Combines each thread's @p local with @p op in thread order
+  /// (deterministic) and returns the result on every thread.  Includes the
+  /// construct's barriers.  T must be trivially copyable and <= 64 bytes.
+  template <typename T, typename Op>
+  T reduce(T local, Op op);
+
+  template <typename T>
+  T reduce_sum(T local) {
+    return reduce(local, [](T a, T b) { return a + b; });
+  }
+  template <typename T>
+  T reduce_max(T local) {
+    return reduce(local, [](T a, T b) { return a > b ? a : b; });
+  }
+  template <typename T>
+  T reduce_min(T local) {
+    return reduce(local, [](T a, T b) { return a < b ? a : b; });
+  }
+
+  // --- explicit tasks ------------------------------------------------------------
+  void task(std::function<void()> fn);
+  void taskwait();
+  void taskgroup(FunctionRef<void()> body);
+
+  // --- work metering (virtual-time cross-checks, simx) -----------------------------
+  platform::Work& meter();
+
+ private:
+  friend class Team;
+  Team* team_ = nullptr;
+  unsigned tid_ = 0;
+  unsigned long loop_gen_ = 0;
+  unsigned long sections_gen_ = 0;
+  unsigned long single_gen_ = 0;
+  LoopInstance* active_ordered_loop_ = nullptr;
+  LoopInstance* active_loop_ = nullptr;  // loop_start/next/end state
+  long active_loop_pos_ = 0;
+  Task* current_task_ = nullptr;
+  TaskGroup* active_group_ = nullptr;
+};
+
+class Team {
+ public:
+  Team(Runtime& rt, unsigned nthreads, ParallelContext* parent_ctx);
+
+  /// Nesting depth: 1 for a top-level region, parent + 1 for nested ones.
+  unsigned level() const { return level_; }
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  unsigned nthreads() const { return nthreads_; }
+  Runtime& runtime() { return rt_; }
+
+  /// Runs @p body as thread @p tid of this team (called by the pool/master).
+  void run_thread(unsigned tid, FunctionRef<void(ParallelContext&)> body);
+
+  /// Called by the master after all threads returned: merges meters upward
+  /// (nested team) or publishes them (top-level team).
+  void finish();
+
+  TaskSystem& tasks() { return tasks_; }
+
+ private:
+  friend class ParallelContext;
+
+  // Two cache lines: big enough for small aggregate reductions (e.g. the
+  // EP kernel's 10-bin annulus histogram) while staying false-sharing-free.
+  static constexpr std::size_t kMaxReduceBytes = 128;
+  struct alignas(kCacheLineBytes) ReduceSlot {
+    std::array<std::byte, kMaxReduceBytes> bytes;
+  };
+
+  Runtime& rt_;
+  unsigned nthreads_;
+  unsigned level_;
+  ParallelContext* parent_ctx_;
+  std::unique_ptr<TeamBarrier> barrier_;
+  std::array<LoopInstance, kWorkshareRing> loops_;
+  std::array<SectionsInstance, kWorkshareRing> sections_;
+  std::atomic<unsigned long> single_counter_{0};
+  TaskSystem tasks_;
+  std::vector<Padded<platform::Work>> meters_;
+  std::vector<ReduceSlot> reduce_slots_;
+  ReduceSlot reduce_result_;
+};
+
+// --- template bodies ---------------------------------------------------------
+
+template <typename T, typename Op>
+T ParallelContext::reduce(T local, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "reduction type must be trivially copyable");
+  static_assert(sizeof(T) <= Team::kMaxReduceBytes,
+                "reduction type exceeds the per-thread slot");
+  std::memcpy(team_->reduce_slots_[tid_].bytes.data(), &local, sizeof(T));
+  barrier();
+  if (tid_ == 0) {
+    T acc;
+    std::memcpy(&acc, team_->reduce_slots_[0].bytes.data(), sizeof(T));
+    for (unsigned t = 1; t < team_->nthreads_; ++t) {
+      T v;
+      std::memcpy(&v, team_->reduce_slots_[t].bytes.data(), sizeof(T));
+      acc = op(acc, v);
+    }
+    std::memcpy(team_->reduce_result_.bytes.data(), &acc, sizeof(T));
+  }
+  barrier();
+  T result;
+  std::memcpy(&result, team_->reduce_result_.bytes.data(), sizeof(T));
+  return result;
+}
+
+}  // namespace ompmca::gomp

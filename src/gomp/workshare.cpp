@@ -1,0 +1,151 @@
+#include "gomp/workshare.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ompmca::gomp {
+
+bool static_chunk(long begin, long end, long chunk, unsigned tid,
+                  unsigned nthreads, long pos, long* lo, long* hi) {
+  const long count = end - begin;
+  if (count <= 0) return false;
+  if (chunk <= 0) {
+    // Block partition: one contiguous chunk per thread, remainder spread
+    // over the first threads (libGOMP's static split).
+    if (pos > 0) return false;
+    const long base = count / static_cast<long>(nthreads);
+    const long rem = count % static_cast<long>(nthreads);
+    const long t = static_cast<long>(tid);
+    long my_lo = begin + t * base + std::min(t, rem);
+    long my_count = base + (t < rem ? 1 : 0);
+    if (my_count <= 0) return false;
+    *lo = my_lo;
+    *hi = my_lo + my_count;
+    return true;
+  }
+  // Cyclic chunks: thread's pos-th chunk starts at (tid + pos*nthreads)*chunk.
+  const long start =
+      begin + (static_cast<long>(tid) + pos * static_cast<long>(nthreads)) *
+                  chunk;
+  if (start >= end) return false;
+  *lo = start;
+  *hi = std::min(end, start + chunk);
+  return true;
+}
+
+void LoopInstance::enter(unsigned long gen, long begin, long end,
+                         ScheduleSpec spec, unsigned nthreads) {
+  std::unique_lock lk(init_mu_);
+  // Wait for the previous occupant of this ring slot to fully drain.
+  drained_cv_.wait(lk, [&] { return gen_ == gen || !configured_; });
+  if (!configured_) {
+    gen_ = gen;
+    configured_ = true;
+    participants_ = nthreads;
+    left_ = 0;
+    begin_ = begin;
+    end_ = end;
+    spec_ = spec;
+    if (spec_.kind == Schedule::kRuntime) spec_.kind = Schedule::kStatic;
+    if (spec_.chunk <= 0 &&
+        (spec_.kind == Schedule::kDynamic || spec_.kind == Schedule::kGuided)) {
+      spec_.chunk = 1;
+    }
+    nthreads_ = nthreads;
+    cursor_.store(begin, std::memory_order_relaxed);
+    ordered_next_ = begin;
+  }
+  assert(gen_ == gen && "workshare ring overrun: raise kRingSize");
+}
+
+bool LoopInstance::next_chunk(unsigned tid, long* thread_pos, long* lo,
+                              long* hi) {
+  switch (spec_.kind) {
+    case Schedule::kAuto:
+    case Schedule::kStatic: {
+      bool got = static_chunk(begin_, end_,
+                              spec_.kind == Schedule::kAuto ? 0 : spec_.chunk,
+                              tid, nthreads_, *thread_pos, lo, hi);
+      if (got) ++*thread_pos;
+      return got;
+    }
+    case Schedule::kDynamic: {
+      long start = cursor_.fetch_add(spec_.chunk, std::memory_order_relaxed);
+      if (start >= end_) return false;
+      *lo = start;
+      *hi = std::min(end_, start + spec_.chunk);
+      return true;
+    }
+    case Schedule::kGuided: {
+      long cur = cursor_.load(std::memory_order_relaxed);
+      long next;
+      do {
+        if (cur >= end_) return false;
+        const long remaining = end_ - cur;
+        const long size = std::max(
+            spec_.chunk, remaining / (2 * static_cast<long>(nthreads_)));
+        next = std::min(end_, cur + size);
+      } while (!cursor_.compare_exchange_weak(cur, next,
+                                              std::memory_order_relaxed));
+      *lo = cur;
+      *hi = next;
+      return true;
+    }
+    case Schedule::kRuntime:
+      break;  // resolved at enter()
+  }
+  return false;
+}
+
+void LoopInstance::leave() {
+  std::unique_lock lk(init_mu_);
+  if (++left_ == participants_) {
+    configured_ = false;
+    lk.unlock();
+    drained_cv_.notify_all();
+  }
+}
+
+void LoopInstance::ordered_wait(long iter) {
+  std::unique_lock lk(ordered_mu_);
+  ordered_cv_.wait(lk, [&] { return ordered_next_ == iter; });
+}
+
+void LoopInstance::ordered_post() {
+  {
+    std::lock_guard lk(ordered_mu_);
+    ++ordered_next_;
+  }
+  ordered_cv_.notify_all();
+}
+
+void SectionsInstance::enter(unsigned long gen, int num_sections,
+                             unsigned nthreads) {
+  std::unique_lock lk(init_mu_);
+  drained_cv_.wait(lk, [&] { return gen_ == gen || !configured_; });
+  if (!configured_) {
+    gen_ = gen;
+    configured_ = true;
+    participants_ = nthreads;
+    left_ = 0;
+    num_sections_ = num_sections;
+    cursor_.store(0, std::memory_order_relaxed);
+  }
+  assert(gen_ == gen && "sections ring overrun");
+}
+
+int SectionsInstance::next_section() {
+  int idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  return idx < num_sections_ ? idx : -1;
+}
+
+void SectionsInstance::leave() {
+  std::unique_lock lk(init_mu_);
+  if (++left_ == participants_) {
+    configured_ = false;
+    lk.unlock();
+    drained_cv_.notify_all();
+  }
+}
+
+}  // namespace ompmca::gomp

@@ -1,0 +1,87 @@
+// Worksharing-loop and sections state shared by a team.
+//
+// One LoopInstance is the shared descriptor of one `for` construct
+// execution: the first thread to arrive configures it; every thread then
+// pulls chunks per the schedule.  A team keeps a small ring of instances so
+// `nowait` loops can overlap (threads may be up to kRingSize constructs
+// apart before the earliest must fully drain — libGOMP has the same kind of
+// bounded lookahead).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/align.hpp"
+#include "gomp/icv.hpp"
+
+namespace ompmca::gomp {
+
+class LoopInstance {
+ public:
+  /// First arriver configures; later arrivers (same generation) pass through.
+  /// Blocks (briefly) until stragglers of generation gen - kRingSize leave.
+  void enter(unsigned long gen, long begin, long end, ScheduleSpec spec,
+             unsigned nthreads);
+
+  /// Next chunk for @p tid; false when the thread's share is exhausted.
+  /// @p thread_pos is per-thread cursor state owned by the caller
+  /// (chunk ordinal for static schedules; ignored otherwise).
+  bool next_chunk(unsigned tid, long* thread_pos, long* lo, long* hi);
+
+  /// Marks @p tid done with this generation (enables ring recycling).
+  void leave();
+
+  // --- ordered(§ worksharing) -------------------------------------------------
+  /// Blocks until iteration @p iter is the next in sequence, runs nothing —
+  /// the caller executes its ordered body between ordered_wait and
+  /// ordered_post.
+  void ordered_wait(long iter);
+  void ordered_post();
+
+  ScheduleSpec spec() const { return spec_; }
+
+ private:
+  std::mutex init_mu_;
+  std::condition_variable drained_cv_;
+  unsigned long gen_ = 0;
+  bool configured_ = false;
+  unsigned participants_ = 0;
+  unsigned left_ = 0;
+
+  long begin_ = 0;
+  long end_ = 0;
+  ScheduleSpec spec_;
+  unsigned nthreads_ = 1;
+  alignas(kCacheLineBytes) std::atomic<long> cursor_{0};
+
+  std::mutex ordered_mu_;
+  std::condition_variable ordered_cv_;
+  long ordered_next_ = 0;
+};
+
+/// Shared state for a `sections` construct: threads pull section indices.
+class SectionsInstance {
+ public:
+  void enter(unsigned long gen, int num_sections, unsigned nthreads);
+  /// Index of the next unexecuted section, or -1 when exhausted.
+  int next_section();
+  void leave();
+
+ private:
+  std::mutex init_mu_;
+  std::condition_variable drained_cv_;
+  unsigned long gen_ = 0;
+  bool configured_ = false;
+  unsigned left_ = 0;
+  unsigned participants_ = 0;
+  int num_sections_ = 0;
+  alignas(kCacheLineBytes) std::atomic<int> cursor_{0};
+};
+
+/// Computes chunk [lo, hi) number @p pos for a static schedule.
+/// Returns false when @p tid has no chunk @p pos.
+bool static_chunk(long begin, long end, long chunk, unsigned tid,
+                  unsigned nthreads, long pos, long* lo, long* hi);
+
+}  // namespace ompmca::gomp

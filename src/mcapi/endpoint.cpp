@@ -1,0 +1,347 @@
+#include "mcapi/endpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ompmca::mcapi {
+
+// --- RecvRequest ---------------------------------------------------------------
+
+bool RecvRequest::test() const {
+  std::lock_guard lk(mu_);
+  return done_;
+}
+
+Result<std::size_t> RecvRequest::wait(mrapi::Timeout timeout_ms) {
+  std::unique_lock lk(mu_);
+  auto done = [this] { return done_; };
+  if (!done()) {
+    if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kRequestPending;
+    if (timeout_ms == mrapi::kTimeoutInfinite) {
+      cv_.wait(lk, done);
+    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                             done)) {
+      return Status::kTimeout;
+    }
+  }
+  if (!ok(status_)) return status_;
+  return size_;
+}
+
+Status RecvRequest::cancel() {
+  std::lock_guard lk(mu_);
+  if (done_) return Status::kRequestInvalid;
+  canceled_ = true;
+  done_ = true;
+  status_ = Status::kRequestCanceled;
+  cv_.notify_all();
+  return Status::kSuccess;
+}
+
+// --- Endpoint ---------------------------------------------------------------------
+
+Status Endpoint::deliver(const void* data, std::size_t bytes,
+                         Priority priority) {
+  if (bytes > Limits::kMaxMessageBytes) return Status::kMessageTruncated;
+  if (priority > kMaxPriority) priority = kMaxPriority;
+
+  std::unique_lock lk(mu_);
+  // Satisfy the oldest pending non-blocking receive first.
+  while (!pending_recvs_.empty()) {
+    RecvRequestHandle req = pending_recvs_.front();
+    pending_recvs_.pop_front();
+    std::lock_guard rlk(req->mu_);
+    if (req->canceled_) continue;
+    std::size_t n = std::min(bytes, req->capacity_);
+    std::memcpy(req->buffer_, data, n);
+    req->size_ = n;
+    req->status_ =
+        bytes > req->capacity_ ? Status::kMessageTruncated : Status::kSuccess;
+    req->done_ = true;
+    req->cv_.notify_all();
+    return Status::kSuccess;
+  }
+  if (queued_total_ >= Limits::kMaxQueuedMessages)
+    return Status::kMessageLimit;
+  Message m;
+  m.payload.assign(static_cast<const std::uint8_t*>(data),
+                   static_cast<const std::uint8_t*>(data) + bytes);
+  m.priority = priority;
+  queues_[priority].push_back(std::move(m));
+  ++queued_total_;
+  lk.unlock();
+  cv_.notify_one();
+  return Status::kSuccess;
+}
+
+bool Endpoint::pop_locked(Message* out) {
+  for (Priority p = 0; p <= kMaxPriority; ++p) {
+    if (!queues_[p].empty()) {
+      *out = std::move(queues_[p].front());
+      queues_[p].pop_front();
+      --queued_total_;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::size_t> Endpoint::msg_recv(void* buffer, std::size_t capacity,
+                                       mrapi::Timeout timeout_ms) {
+  std::unique_lock lk(mu_);
+  auto has_data = [this] { return queued_total_ > 0; };
+  if (!has_data()) {
+    if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kRequestPending;
+    if (timeout_ms == mrapi::kTimeoutInfinite) {
+      cv_.wait(lk, has_data);
+    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                             has_data)) {
+      return Status::kTimeout;
+    }
+  }
+  Message m;
+  pop_locked(&m);
+  std::size_t n = std::min(m.payload.size(), capacity);
+  std::memcpy(buffer, m.payload.data(), n);
+  if (m.payload.size() > capacity) return Status::kMessageTruncated;
+  return n;
+}
+
+RecvRequestHandle Endpoint::msg_recv_i(void* buffer, std::size_t capacity) {
+  auto req = std::make_shared<RecvRequest>();
+  req->buffer_ = buffer;
+  req->capacity_ = capacity;
+  std::unique_lock lk(mu_);
+  Message m;
+  if (pop_locked(&m)) {
+    std::lock_guard rlk(req->mu_);
+    std::size_t n = std::min(m.payload.size(), capacity);
+    std::memcpy(buffer, m.payload.data(), n);
+    req->size_ = n;
+    req->status_ = m.payload.size() > capacity ? Status::kMessageTruncated
+                                               : Status::kSuccess;
+    req->done_ = true;
+    return req;
+  }
+  pending_recvs_.push_back(req);
+  return req;
+}
+
+std::size_t Endpoint::messages_available() const {
+  std::lock_guard lk(mu_);
+  return queued_total_;
+}
+
+Status Endpoint::connect(ChannelType type, bool is_sender,
+                         EndpointHandle peer) {
+  std::lock_guard lk(mu_);
+  if (channel_type_ != ChannelType::kNone) return Status::kChannelOpen;
+  channel_type_ = type;
+  channel_sender_ = is_sender;
+  channel_peer_ = peer;
+  return Status::kSuccess;
+}
+
+Status Endpoint::close_channel() {
+  std::lock_guard lk(mu_);
+  if (channel_type_ == ChannelType::kNone) return Status::kChannelClosed;
+  channel_type_ = ChannelType::kNone;
+  channel_peer_.reset();
+  return Status::kSuccess;
+}
+
+ChannelType Endpoint::channel_type() const {
+  std::lock_guard lk(mu_);
+  return channel_type_;
+}
+
+bool Endpoint::channel_is_sender() const {
+  std::lock_guard lk(mu_);
+  return channel_sender_;
+}
+
+EndpointHandle Endpoint::channel_peer() const {
+  std::lock_guard lk(mu_);
+  return channel_peer_.lock();
+}
+
+Status Endpoint::deliver_scalar(std::uint64_t value, unsigned width_bytes) {
+  {
+    std::lock_guard lk(mu_);
+    if (scalars_.size() >= Limits::kMaxQueuedScalars)
+      return Status::kMessageLimit;
+    scalars_.push_back(Scalar{value, width_bytes});
+  }
+  cv_.notify_one();
+  return Status::kSuccess;
+}
+
+Result<std::uint64_t> Endpoint::scalar_recv(unsigned width_bytes,
+                                            mrapi::Timeout timeout_ms) {
+  std::unique_lock lk(mu_);
+  auto has_data = [this] { return !scalars_.empty(); };
+  if (!has_data()) {
+    if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kRequestPending;
+    if (timeout_ms == mrapi::kTimeoutInfinite) {
+      cv_.wait(lk, has_data);
+    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                             has_data)) {
+      return Status::kTimeout;
+    }
+  }
+  Scalar s = scalars_.front();
+  // Width mismatch is an error and does NOT consume the scalar (spec).
+  if (s.width_bytes != width_bytes) return Status::kChannelTypeMismatch;
+  scalars_.pop_front();
+  return s.value;
+}
+
+std::size_t Endpoint::scalars_available() const {
+  std::lock_guard lk(mu_);
+  return scalars_.size();
+}
+
+// --- Registry -------------------------------------------------------------------
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Result<EndpointHandle> Registry::create(EndpointAddress address) {
+  std::lock_guard lk(mu_);
+  if (endpoints_.size() >= Limits::kMaxEndpoints)
+    return Status::kOutOfResources;
+  for (const auto& ep : endpoints_) {
+    if (ep->address() == address) return Status::kEndpointExists;
+  }
+  auto ep = std::make_shared<Endpoint>(address);
+  endpoints_.push_back(ep);
+  return ep;
+}
+
+Result<EndpointHandle> Registry::lookup(EndpointAddress address) const {
+  std::lock_guard lk(mu_);
+  for (const auto& ep : endpoints_) {
+    if (ep->address() == address) return ep;
+  }
+  return Status::kEndpointInvalid;
+}
+
+Status Registry::destroy(EndpointAddress address) {
+  std::lock_guard lk(mu_);
+  auto it = std::find_if(
+      endpoints_.begin(), endpoints_.end(),
+      [&](const EndpointHandle& ep) { return ep->address() == address; });
+  if (it == endpoints_.end()) return Status::kEndpointInvalid;
+  endpoints_.erase(it);
+  return Status::kSuccess;
+}
+
+std::size_t Registry::endpoint_count() const {
+  std::lock_guard lk(mu_);
+  return endpoints_.size();
+}
+
+void Registry::reset() {
+  std::lock_guard lk(mu_);
+  endpoints_.clear();
+}
+
+// --- free functions ------------------------------------------------------------------
+
+Result<EndpointHandle> endpoint_create(DomainId domain, NodeId node,
+                                       PortId port) {
+  return Registry::instance().create(EndpointAddress{domain, node, port});
+}
+
+Result<EndpointHandle> endpoint_get(DomainId domain, NodeId node,
+                                    PortId port) {
+  return Registry::instance().lookup(EndpointAddress{domain, node, port});
+}
+
+Status endpoint_delete(const EndpointHandle& endpoint) {
+  if (endpoint == nullptr) return Status::kEndpointInvalid;
+  return Registry::instance().destroy(endpoint->address());
+}
+
+Status msg_send(const EndpointHandle& from, const EndpointHandle& to,
+                const void* data, std::size_t bytes, Priority priority) {
+  if (from == nullptr || to == nullptr) return Status::kEndpointInvalid;
+  // Endpoints attached to a connected channel refuse datagrams (spec).
+  if (to->channel_type() != ChannelType::kNone) return Status::kChannelOpen;
+  return to->deliver(data, bytes, priority);
+}
+
+Status channel_connect(ChannelType type, const EndpointHandle& sender,
+                       const EndpointHandle& receiver) {
+  if (sender == nullptr || receiver == nullptr)
+    return Status::kEndpointInvalid;
+  if (type == ChannelType::kNone) return Status::kInvalidArgument;
+  OMPMCA_RETURN_IF_ERROR(sender->connect(type, /*is_sender=*/true, receiver));
+  Status s = receiver->connect(type, /*is_sender=*/false, sender);
+  if (!ok(s)) {
+    (void)sender->close_channel();
+    return s;
+  }
+  return Status::kSuccess;
+}
+
+Status channel_close(const EndpointHandle& side) {
+  if (side == nullptr) return Status::kEndpointInvalid;
+  EndpointHandle peer = side->channel_peer();
+  OMPMCA_RETURN_IF_ERROR(side->close_channel());
+  if (peer != nullptr) (void)peer->close_channel();
+  return Status::kSuccess;
+}
+
+Status pkt_send(const EndpointHandle& sender, const void* data,
+                std::size_t bytes) {
+  if (sender == nullptr) return Status::kEndpointInvalid;
+  if (sender->channel_type() != ChannelType::kPacket ||
+      !sender->channel_is_sender()) {
+    return Status::kChannelTypeMismatch;
+  }
+  EndpointHandle peer = sender->channel_peer();
+  if (peer == nullptr) return Status::kChannelClosed;
+  return peer->deliver(data, bytes, /*priority=*/0);
+}
+
+Result<std::size_t> pkt_recv(const EndpointHandle& receiver, void* buffer,
+                             std::size_t capacity, mrapi::Timeout timeout_ms) {
+  if (receiver == nullptr) return Status::kEndpointInvalid;
+  if (receiver->channel_type() != ChannelType::kPacket ||
+      receiver->channel_is_sender()) {
+    return Status::kChannelTypeMismatch;
+  }
+  return receiver->msg_recv(buffer, capacity, timeout_ms);
+}
+
+Status scalar_send(const EndpointHandle& sender, std::uint64_t value,
+                   unsigned width_bytes) {
+  if (sender == nullptr) return Status::kEndpointInvalid;
+  if (sender->channel_type() != ChannelType::kScalar ||
+      !sender->channel_is_sender()) {
+    return Status::kChannelTypeMismatch;
+  }
+  if (width_bytes != 1 && width_bytes != 2 && width_bytes != 4 &&
+      width_bytes != 8) {
+    return Status::kInvalidArgument;
+  }
+  EndpointHandle peer = sender->channel_peer();
+  if (peer == nullptr) return Status::kChannelClosed;
+  return peer->deliver_scalar(value, width_bytes);
+}
+
+Result<std::uint64_t> scalar_recv(const EndpointHandle& receiver,
+                                  unsigned width_bytes,
+                                  mrapi::Timeout timeout_ms) {
+  if (receiver == nullptr) return Status::kEndpointInvalid;
+  if (receiver->channel_type() != ChannelType::kScalar ||
+      receiver->channel_is_sender()) {
+    return Status::kChannelTypeMismatch;
+  }
+  return receiver->scalar_recv(width_bytes, timeout_ms);
+}
+
+}  // namespace ompmca::mcapi

@@ -1,0 +1,168 @@
+// MCAPI endpoints and communication modes.
+//
+// An endpoint is (domain, node, port).  Messages are connectionless
+// datagrams with priorities; packet and scalar channels are connected,
+// unidirectional FIFOs.  Non-blocking receives return Request tokens that
+// complete when data arrives (delivery fills the oldest pending request
+// first, per the spec's ordering rules).
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "mcapi/types.hpp"
+
+namespace ompmca::mcapi {
+
+class Endpoint;
+using EndpointHandle = std::shared_ptr<Endpoint>;
+
+/// Completion token for non-blocking receives.
+class RecvRequest {
+ public:
+  bool test() const;
+  /// Blocks until the message arrives; returns its size (into the buffer
+  /// given at recv_i time) or an error.
+  Result<std::size_t> wait(mrapi::Timeout timeout_ms = mrapi::kTimeoutInfinite);
+  Status cancel();
+
+ private:
+  friend class Endpoint;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  bool canceled_ = false;
+  Status status_ = Status::kSuccess;
+  std::size_t size_ = 0;
+  void* buffer_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+using RecvRequestHandle = std::shared_ptr<RecvRequest>;
+
+class Endpoint {
+ public:
+  explicit Endpoint(EndpointAddress address) : address_(address) {}
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const EndpointAddress& address() const { return address_; }
+
+  // --- connectionless messages ----------------------------------------------
+  /// Delivers @p bytes to this endpoint's queue at @p priority.  Fails with
+  /// kMessageLimit when the queue is full, kMessageTruncated when the
+  /// payload exceeds kMaxMessageBytes.
+  Status deliver(const void* data, std::size_t bytes, Priority priority);
+
+  /// Blocking receive; shorter of message size and @p capacity is copied
+  /// (a larger message errors with kMessageTruncated after consuming it).
+  Result<std::size_t> msg_recv(void* buffer, std::size_t capacity,
+                               mrapi::Timeout timeout_ms);
+
+  /// Non-blocking receive: the request completes when a message arrives.
+  RecvRequestHandle msg_recv_i(void* buffer, std::size_t capacity);
+
+  std::size_t messages_available() const;
+
+  // --- channel state -----------------------------------------------------------
+  /// Marks this endpoint as one side of a connected channel.
+  Status connect(ChannelType type, bool is_sender, EndpointHandle peer);
+  Status close_channel();
+  ChannelType channel_type() const;
+  bool channel_is_sender() const;
+  EndpointHandle channel_peer() const;
+
+  // --- scalar channel payload -----------------------------------------------------
+  Status deliver_scalar(std::uint64_t value, unsigned width_bytes);
+  Result<std::uint64_t> scalar_recv(unsigned width_bytes,
+                                    mrapi::Timeout timeout_ms);
+  std::size_t scalars_available() const;
+
+ private:
+  struct Message {
+    std::vector<std::uint8_t> payload;
+    Priority priority;
+  };
+  struct Scalar {
+    std::uint64_t value;
+    unsigned width_bytes;
+  };
+
+  /// Pops the highest-priority (then FIFO) message; caller holds mu_.
+  bool pop_locked(Message* out);
+
+  EndpointAddress address_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // One FIFO per priority level.
+  std::deque<Message> queues_[kMaxPriority + 1];
+  std::size_t queued_total_ = 0;
+  std::deque<RecvRequestHandle> pending_recvs_;
+  std::deque<Scalar> scalars_;
+
+  ChannelType channel_type_ = ChannelType::kNone;
+  bool channel_sender_ = false;
+  std::weak_ptr<Endpoint> channel_peer_;
+};
+
+/// Process-wide endpoint registry ("the board's interconnect").
+class Registry {
+ public:
+  static Registry& instance();
+
+  Result<EndpointHandle> create(EndpointAddress address);
+  Result<EndpointHandle> lookup(EndpointAddress address) const;
+  Status destroy(EndpointAddress address);
+  std::size_t endpoint_count() const;
+  /// Tears everything down (tests).
+  void reset();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::vector<EndpointHandle> endpoints_;
+};
+
+// --- the user-facing operations (spec-shaped free functions) -----------------
+
+/// mcapi_endpoint_create.
+Result<EndpointHandle> endpoint_create(DomainId domain, NodeId node,
+                                       PortId port);
+/// mcapi_endpoint_get (lookup a remote endpoint for sending).
+Result<EndpointHandle> endpoint_get(DomainId domain, NodeId node, PortId port);
+/// mcapi_endpoint_delete.
+Status endpoint_delete(const EndpointHandle& endpoint);
+
+/// mcapi_msg_send: connectionless datagram to @p to.
+Status msg_send(const EndpointHandle& from, const EndpointHandle& to,
+                const void* data, std::size_t bytes,
+                Priority priority = kDefaultPriority);
+
+/// mcapi_pktchan / mcapi_sclchan connect (both sides at once — the
+/// in-process analogue of the open handshake).
+Status channel_connect(ChannelType type, const EndpointHandle& sender,
+                       const EndpointHandle& receiver);
+Status channel_close(const EndpointHandle& side);
+
+/// mcapi_pktchan_send / recv.
+Status pkt_send(const EndpointHandle& sender, const void* data,
+                std::size_t bytes);
+Result<std::size_t> pkt_recv(const EndpointHandle& receiver, void* buffer,
+                             std::size_t capacity,
+                             mrapi::Timeout timeout_ms = mrapi::kTimeoutInfinite);
+
+/// mcapi_sclchan_send_uintN / recv.
+Status scalar_send(const EndpointHandle& sender, std::uint64_t value,
+                   unsigned width_bytes);
+Result<std::uint64_t> scalar_recv(const EndpointHandle& receiver,
+                                  unsigned width_bytes,
+                                  mrapi::Timeout timeout_ms =
+                                      mrapi::kTimeoutInfinite);
+
+}  // namespace ompmca::mcapi

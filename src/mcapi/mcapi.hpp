@@ -1,0 +1,5 @@
+// Umbrella header for the MCAPI library.
+#pragma once
+
+#include "mcapi/endpoint.hpp"  // IWYU pragma: export
+#include "mcapi/types.hpp"     // IWYU pragma: export

@@ -1,0 +1,54 @@
+// MCAPI core types (§2B: "MCAPI is designed to capture the core elements of
+// communication and synchronization required for closely distributed
+// embedded systems, as a message-passing API").
+//
+// The paper names MCAPI as the future-work layer for driving heterogeneous
+// parts (host <-> accelerator over the hypervisor); this library implements
+// the spec's three communication modes:
+//   * connectionless messages  — datagrams between endpoints;
+//   * packet channels          — connected, unidirectional, FIFO, variable
+//     size;
+//   * scalar channels          — connected, unidirectional, FIFO, fixed
+//     8/16/32/64-bit payloads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mrapi/types.hpp"
+
+namespace ompmca::mcapi {
+
+using DomainId = mrapi::DomainId;
+using NodeId = mrapi::NodeId;
+using PortId = std::uint32_t;
+
+/// Full address of an endpoint.
+struct EndpointAddress {
+  DomainId domain = 0;
+  NodeId node = 0;
+  PortId port = 0;
+
+  friend bool operator==(const EndpointAddress&, const EndpointAddress&) =
+      default;
+  friend auto operator<=>(const EndpointAddress&, const EndpointAddress&) =
+      default;
+};
+
+/// Implementation limits (published per spec).
+struct Limits {
+  static constexpr std::size_t kMaxEndpoints = 512;
+  static constexpr std::size_t kMaxMessageBytes = 64 * 1024;
+  static constexpr std::size_t kMaxQueuedMessages = 1024;
+  static constexpr std::size_t kMaxQueuedPackets = 256;
+  static constexpr std::size_t kMaxQueuedScalars = 4096;
+};
+
+enum class ChannelType { kNone, kPacket, kScalar };
+
+/// Message priorities (0 highest, as in the spec).
+using Priority = std::uint8_t;
+inline constexpr Priority kDefaultPriority = 1;
+inline constexpr Priority kMaxPriority = 3;
+
+}  // namespace ompmca::mcapi

@@ -1,0 +1,74 @@
+#include "mrapi/arena.hpp"
+
+#include "common/align.hpp"
+
+namespace ompmca::mrapi {
+
+SystemShmArena::SystemShmArena(std::size_t capacity_bytes)
+    : capacity_(align_up(capacity_bytes, kCacheLineBytes)),
+      storage_(new std::byte[capacity_ + kCacheLineBytes]) {
+  // Normalise the base so every offset-0 allocation is cache-line aligned.
+  auto base = reinterpret_cast<std::uintptr_t>(storage_.get());
+  base_offset_adjust_ = align_up(base, kCacheLineBytes) - base;
+  free_list_[0] = capacity_;
+}
+
+Result<void*> SystemShmArena::allocate(std::size_t bytes) {
+  if (bytes == 0) return Status::kInvalidArgument;
+  const std::size_t need = align_up(bytes, kCacheLineBytes);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second >= need) {
+      std::size_t offset = it->first;
+      std::size_t remaining = it->second - need;
+      free_list_.erase(it);
+      if (remaining > 0) free_list_[offset + need] = remaining;
+      allocated_[offset] = need;
+      return static_cast<void*>(storage_.get() + base_offset_adjust_ + offset);
+    }
+  }
+  return Status::kOutOfResources;
+}
+
+Status SystemShmArena::release(void* ptr) {
+  auto* p = static_cast<std::byte*>(ptr);
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto offset =
+      static_cast<std::size_t>(p - (storage_.get() + base_offset_adjust_));
+  auto it = allocated_.find(offset);
+  if (it == allocated_.end()) return Status::kInvalidArgument;
+  std::size_t size = it->second;
+  allocated_.erase(it);
+
+  // Insert and coalesce with the previous / next free block.
+  auto [ins, inserted] = free_list_.emplace(offset, size);
+  (void)inserted;
+  if (ins != free_list_.begin()) {
+    auto prev = std::prev(ins);
+    if (prev->first + prev->second == ins->first) {
+      prev->second += ins->second;
+      free_list_.erase(ins);
+      ins = prev;
+    }
+  }
+  auto next = std::next(ins);
+  if (next != free_list_.end() && ins->first + ins->second == next->first) {
+    ins->second += next->second;
+    free_list_.erase(next);
+  }
+  return Status::kSuccess;
+}
+
+std::size_t SystemShmArena::used() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t total = 0;
+  for (const auto& [offset, size] : allocated_) total += size;
+  return total;
+}
+
+std::size_t SystemShmArena::free_blocks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return free_list_.size();
+}
+
+}  // namespace ompmca::mrapi

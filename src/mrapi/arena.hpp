@@ -1,0 +1,47 @@
+// System shared-memory arena.
+//
+// MRAPI's default shmem mode maps onto OS-level shared memory, which on an
+// embedded board is a scarce, fixed-size region.  We model that: one
+// process-global arena of fixed capacity with a first-fit free-list
+// allocator.  Heap-mode segments (the paper's use_malloc extension) bypass
+// the arena entirely — that contrast is what bench/ablation_shmem_mode
+// measures.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/expected.hpp"
+
+namespace ompmca::mrapi {
+
+class SystemShmArena {
+ public:
+  explicit SystemShmArena(std::size_t capacity_bytes);
+
+  SystemShmArena(const SystemShmArena&) = delete;
+  SystemShmArena& operator=(const SystemShmArena&) = delete;
+
+  /// First-fit allocation, 64-byte aligned; kOutOfResources when exhausted.
+  Result<void*> allocate(std::size_t bytes);
+
+  /// Returns a block to the free list (coalescing neighbours).
+  Status release(void* ptr);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const;
+  std::size_t free_blocks() const;
+
+ private:
+  std::size_t capacity_;
+  std::unique_ptr<std::byte[]> storage_;
+  std::size_t base_offset_adjust_ = 0;
+  mutable std::mutex mu_;
+  // offset -> size
+  std::map<std::size_t, std::size_t> free_list_;
+  std::map<std::size_t, std::size_t> allocated_;
+};
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,167 @@
+#include "mrapi/capi.hpp"
+
+namespace ompmca::mrapi::capi {
+
+namespace {
+thread_local Node t_node;
+
+void set_status(mrapi_status_t* status, Status s) {
+  if (status != nullptr) *status = s;
+}
+}  // namespace
+
+void mrapi_initialize(mrapi_domain_t domain, mrapi_node_t node,
+                      mrapi_status_t* status) {
+  if (t_node.initialized()) {
+    set_status(status, Status::kAlreadyInitialized);
+    return;
+  }
+  auto r = Node::initialize(domain, node);
+  if (!r) {
+    set_status(status, r.status());
+    return;
+  }
+  t_node = *r;
+  set_status(status, Status::kSuccess);
+}
+
+bool mrapi_initialized() { return t_node.initialized(); }
+
+void mrapi_finalize(mrapi_status_t* status) {
+  set_status(status, t_node.finalize());
+}
+
+Node* mrapi_current_node() { return &t_node; }
+
+void mrapi_thread_create(mrapi_domain_t domain_id, mrapi_node_t node_id,
+                         mrapi_thread_parameters_t* init_parameters,
+                         mrapi_status_t* status) {
+  // Structure follows the paper's Listing 2 exactly: guard on
+  // mrapi_initialized(), then delegate to the implementation layer.
+  if (mrapi_initialized()) {
+    if (t_node.domain_id() != domain_id) {
+      set_status(status, Status::kDomainInvalid);
+      return;
+    }
+    if (init_parameters == nullptr ||
+        init_parameters->start_routine == nullptr) {
+      set_status(status, Status::kInvalidArgument);
+      return;
+    }
+    auto* routine = init_parameters->start_routine;
+    void* arg = init_parameters->arg;
+    ThreadParameters params;
+    params.start_routine = [routine, arg] { (void)routine(arg); };
+    set_status(status, t_node.thread_create(node_id, std::move(params)));
+  } else {
+    set_status(status, MRAPI_ERR_NODE_NOTINIT);
+  }
+}
+
+void mrapi_thread_join(mrapi_node_t node_id, mrapi_status_t* status) {
+  if (!mrapi_initialized()) {
+    set_status(status, MRAPI_ERR_NODE_NOTINIT);
+    return;
+  }
+  Status s = t_node.thread_join(node_id);
+  if (ok(s)) s = t_node.thread_finalize(node_id);
+  set_status(status, s);
+}
+
+void mrapi_shmem_create_malloc(mrapi_key_t shmem_key, std::size_t size,
+                               mrapi_shmem_attributes_t* attributes,
+                               mrapi_status_t* status) {
+  if (!mrapi_initialized()) {
+    set_status(status, MRAPI_ERR_NODE_NOTINIT);
+    return;
+  }
+  if (attributes == nullptr) {
+    set_status(status, Status::kInvalidArgument);
+    return;
+  }
+  ShmemAttributes attrs;
+  attrs.use_malloc = attributes->use_malloc;
+  auto seg = t_node.shmem_create(shmem_key, size, attrs);
+  if (!seg) {
+    set_status(status, seg.status());
+    return;
+  }
+  auto addr = (*seg)->attach(t_node.node_id());
+  if (!addr) {
+    set_status(status, addr.status());
+    return;
+  }
+  attributes->mem_addr = *addr;
+  set_status(status, Status::kSuccess);
+}
+
+void mrapi_shmem_delete(mrapi_key_t shmem_key, mrapi_status_t* status) {
+  if (!mrapi_initialized()) {
+    set_status(status, MRAPI_ERR_NODE_NOTINIT);
+    return;
+  }
+  auto seg = t_node.shmem_get(shmem_key);
+  if (seg) (void)(*seg)->detach(t_node.node_id());
+  set_status(status, t_node.shmem_delete(shmem_key));
+}
+
+mrapi_mutex_hndl_t mrapi_mutex_create(mrapi_key_t mutex_key,
+                                      mrapi_status_t* status) {
+  if (!mrapi_initialized()) {
+    set_status(status, MRAPI_ERR_NODE_NOTINIT);
+    return nullptr;
+  }
+  auto m = t_node.mutex_create(mutex_key);
+  if (!m) {
+    // Shared creation: a second node asking for the same key gets the
+    // existing mutex, matching the reference implementation.
+    if (m.status() == Status::kMutexExists) {
+      auto existing = t_node.mutex_get(mutex_key);
+      if (existing) {
+        set_status(status, Status::kSuccess);
+        return *existing;
+      }
+    }
+    set_status(status, m.status());
+    return nullptr;
+  }
+  set_status(status, Status::kSuccess);
+  return *m;
+}
+
+void mrapi_mutex_lock(const mrapi_mutex_hndl_t& handle, mrapi_key_t* key,
+                      mrapi_timeout_t timeout, mrapi_status_t* status) {
+  if (handle == nullptr || key == nullptr) {
+    set_status(status, Status::kMutexIdInvalid);
+    return;
+  }
+  LockKey lock_key;
+  Status s = handle->lock(timeout, &lock_key);
+  if (ok(s)) *key = lock_key.value;
+  set_status(status, s);
+}
+
+void mrapi_mutex_unlock(const mrapi_mutex_hndl_t& handle,
+                        const mrapi_key_t* key, mrapi_status_t* status) {
+  if (handle == nullptr || key == nullptr) {
+    set_status(status, Status::kMutexIdInvalid);
+    return;
+  }
+  set_status(status, handle->unlock(LockKey{*key}));
+}
+
+unsigned mrapi_resources_num_processors(mrapi_status_t* status) {
+  if (!mrapi_initialized()) {
+    set_status(status, MRAPI_ERR_NODE_NOTINIT);
+    return 0;
+  }
+  auto md = t_node.metadata();
+  if (!md) {
+    set_status(status, md.status());
+    return 0;
+  }
+  set_status(status, Status::kSuccess);
+  return md->processors_online();
+}
+
+}  // namespace ompmca::mrapi::capi

@@ -1,0 +1,79 @@
+// C-flavoured MRAPI shim mirroring the paper's listings.
+//
+// The paper's code fragments (Listings 2–4) use the MRAPI C calling
+// convention: an implicit calling node established by mrapi_initialize(),
+// status-out parameters, and handle types.  This shim reproduces that
+// surface on top of the C++ library so the fragments in the paper compile
+// almost verbatim (see tests/mrapi/capi_test.cpp).  The calling node is
+// tracked per thread, as the reference implementation does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mrapi/node.hpp"
+
+namespace ompmca::mrapi::capi {
+
+using mrapi_status_t = Status;
+using mrapi_domain_t = DomainId;
+using mrapi_node_t = NodeId;
+using mrapi_timeout_t = Timeout;
+using mrapi_key_t = std::uint32_t;
+
+inline constexpr mrapi_status_t MRAPI_SUCCESS = Status::kSuccess;
+inline constexpr mrapi_status_t MRAPI_ERR_NODE_NOTINIT = Status::kNodeNotInit;
+inline constexpr mrapi_timeout_t MRAPI_TIMEOUT_INFINITE = kTimeoutInfinite;
+inline constexpr bool MCA_TRUE = true;
+inline constexpr bool MCA_FALSE = false;
+
+using mrapi_mutex_hndl_t = std::shared_ptr<Mutex>;
+using mrapi_sem_hndl_t = std::shared_ptr<Semaphore>;
+using mrapi_shmem_hndl_t = ShmemHandle;
+
+/// Listing 2's parameter block: a start routine plus its argument.
+struct mrapi_thread_parameters_t {
+  void* (*start_routine)(void*) = nullptr;
+  void* arg = nullptr;
+};
+
+/// Listing 3's attribute block: use_malloc in, mem_addr out.
+struct mrapi_shmem_attributes_t {
+  bool use_malloc = MCA_FALSE;
+  void* mem_addr = nullptr;
+};
+
+// --- lifecycle --------------------------------------------------------------
+void mrapi_initialize(mrapi_domain_t domain, mrapi_node_t node,
+                      mrapi_status_t* status);
+bool mrapi_initialized();
+void mrapi_finalize(mrapi_status_t* status);
+
+/// The calling thread's node (for interop with the C++ surface).
+Node* mrapi_current_node();
+
+// --- paper Listing 2: node-management extension ------------------------------
+void mrapi_thread_create(mrapi_domain_t domain_id, mrapi_node_t node_id,
+                         mrapi_thread_parameters_t* init_parameters,
+                         mrapi_status_t* status);
+void mrapi_thread_join(mrapi_node_t node_id, mrapi_status_t* status);
+
+// --- paper Listing 3: memory-management extension ----------------------------
+void mrapi_shmem_create_malloc(mrapi_key_t shmem_key, std::size_t size,
+                               mrapi_shmem_attributes_t* attributes,
+                               mrapi_status_t* status);
+void mrapi_shmem_delete(mrapi_key_t shmem_key, mrapi_status_t* status);
+
+// --- paper Listing 4: mutexes -------------------------------------------------
+mrapi_mutex_hndl_t mrapi_mutex_create(mrapi_key_t mutex_key,
+                                      mrapi_status_t* status);
+void mrapi_mutex_lock(const mrapi_mutex_hndl_t& handle, mrapi_key_t* key,
+                      mrapi_timeout_t timeout, mrapi_status_t* status);
+void mrapi_mutex_unlock(const mrapi_mutex_hndl_t& handle,
+                        const mrapi_key_t* key, mrapi_status_t* status);
+
+// --- metadata ----------------------------------------------------------------
+/// Number of processors online per the domain resource tree (§5B.4).
+unsigned mrapi_resources_num_processors(mrapi_status_t* status);
+
+}  // namespace ompmca::mrapi::capi

@@ -1,0 +1,284 @@
+#include "mrapi/database.hpp"
+
+#include "common/log.hpp"
+
+namespace ompmca::mrapi {
+
+DomainState::DomainState(DomainId id, platform::Topology topo,
+                         std::size_t system_shm_bytes)
+    : id_(id),
+      topo_(std::move(topo)),
+      tree_(platform::build_resource_tree(topo_)),
+      arena_(system_shm_bytes) {}
+
+DomainState::~DomainState() {
+  // Join any worker threads whose nodes were never finalized so teardown
+  // (Database::reset, process exit) cannot leak running threads.
+  for (auto& [id, rec] : nodes_) {
+    if (rec->has_worker && !rec->worker_joined && rec->worker.joinable())
+      rec->worker.join();
+  }
+}
+
+Status DomainState::register_node(NodeId id, NodeAttributes attrs) {
+  std::unique_lock lk(mu_);
+  if (nodes_.size() >= Limits::kMaxNodesPerDomain)
+    return Status::kOutOfResources;
+  if (nodes_.count(id) > 0) return Status::kNodeExists;
+  auto rec = std::make_unique<NodeRecord>();
+  rec->id = id;
+  rec->attrs = std::move(attrs);
+  nodes_.emplace(id, std::move(rec));
+  return Status::kSuccess;
+}
+
+Status DomainState::register_worker_node(NodeId id, NodeAttributes attrs,
+                                         std::thread worker) {
+  std::unique_lock lk(mu_);
+  if (nodes_.size() >= Limits::kMaxNodesPerDomain) {
+    lk.unlock();
+    worker.join();
+    return Status::kOutOfResources;
+  }
+  if (nodes_.count(id) > 0) {
+    lk.unlock();
+    worker.join();
+    return Status::kNodeExists;
+  }
+  auto rec = std::make_unique<NodeRecord>();
+  rec->id = id;
+  rec->attrs = std::move(attrs);
+  rec->worker = std::move(worker);
+  rec->has_worker = true;
+  nodes_.emplace(id, std::move(rec));
+  return Status::kSuccess;
+}
+
+Status DomainState::unregister_node(NodeId id) {
+  std::unique_ptr<NodeRecord> victim;
+  {
+    std::unique_lock lk(mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return Status::kNodeInvalid;
+    victim = std::move(it->second);
+    nodes_.erase(it);
+  }
+  // Join outside the registry lock (the worker may itself touch the domain).
+  if (victim->has_worker && !victim->worker_joined && victim->worker.joinable())
+    victim->worker.join();
+  return Status::kSuccess;
+}
+
+Status DomainState::join_worker(NodeId id) {
+  NodeRecord* rec = nullptr;
+  {
+    std::shared_lock lk(mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return Status::kNodeInvalid;
+    rec = it->second.get();
+    if (!rec->has_worker) return Status::kNodeInvalid;
+  }
+  // Safe: only one joiner is allowed per node by API contract; the record
+  // outlives the join because unregister also joins before destroying.
+  if (!rec->worker_joined && rec->worker.joinable()) {
+    rec->worker.join();
+    std::unique_lock lk(mu_);
+    rec->worker_joined = true;
+  }
+  return Status::kSuccess;
+}
+
+bool DomainState::node_registered(NodeId id) const {
+  std::shared_lock lk(mu_);
+  return nodes_.count(id) > 0;
+}
+
+std::size_t DomainState::node_count() const {
+  std::shared_lock lk(mu_);
+  return nodes_.size();
+}
+
+Result<ShmemHandle> DomainState::shmem_create(ResourceKey key,
+                                              std::size_t size,
+                                              ShmemAttributes attrs) {
+  if (size == 0 || size > Limits::kMaxShmemBytes)
+    return Status::kInvalidArgument;
+  std::unique_lock lk(mu_);
+  if (shmems_.size() >= Limits::kMaxShmems) return Status::kOutOfResources;
+  if (shmems_.count(key) > 0) return Status::kShmemExists;
+  auto seg = std::make_shared<Shmem>(key, size, attrs, &arena_);
+  if (!seg->valid()) return Status::kOutOfResources;
+  shmems_.emplace(key, seg);
+  return seg;
+}
+
+Result<ShmemHandle> DomainState::shmem_get(ResourceKey key) const {
+  std::shared_lock lk(mu_);
+  auto it = shmems_.find(key);
+  if (it == shmems_.end()) return Status::kShmemIdInvalid;
+  return it->second;
+}
+
+Status DomainState::shmem_delete(ResourceKey key) {
+  ShmemHandle seg;
+  {
+    std::unique_lock lk(mu_);
+    auto it = shmems_.find(key);
+    if (it == shmems_.end()) return Status::kShmemIdInvalid;
+    seg = it->second;
+    // The key becomes free immediately; the segment's storage survives via
+    // attached nodes' handles until the last detach (see Shmem::mark_delete).
+    shmems_.erase(it);
+  }
+  return seg->mark_delete();
+}
+
+Result<std::shared_ptr<Mutex>> DomainState::mutex_create(
+    ResourceKey key, MutexAttributes attrs) {
+  std::unique_lock lk(mu_);
+  if (mutexes_.size() >= Limits::kMaxMutexes) return Status::kOutOfResources;
+  if (mutexes_.count(key) > 0) return Status::kMutexExists;
+  auto m = std::make_shared<Mutex>(attrs);
+  mutexes_.emplace(key, m);
+  return m;
+}
+
+Result<std::shared_ptr<Mutex>> DomainState::mutex_get(ResourceKey key) const {
+  std::shared_lock lk(mu_);
+  auto it = mutexes_.find(key);
+  if (it == mutexes_.end()) return Status::kMutexIdInvalid;
+  return it->second;
+}
+
+Status DomainState::mutex_delete(ResourceKey key) {
+  std::unique_lock lk(mu_);
+  auto it = mutexes_.find(key);
+  if (it == mutexes_.end()) return Status::kMutexIdInvalid;
+  if (it->second->locked()) return Status::kMutexLocked;
+  mutexes_.erase(it);
+  return Status::kSuccess;
+}
+
+Result<std::shared_ptr<Semaphore>> DomainState::sem_create(
+    ResourceKey key, SemaphoreAttributes attrs) {
+  if (attrs.shared_lock_limit == 0) return Status::kSemValueInvalid;
+  std::unique_lock lk(mu_);
+  if (sems_.size() >= Limits::kMaxSemaphores) return Status::kOutOfResources;
+  if (sems_.count(key) > 0) return Status::kSemExists;
+  auto s = std::make_shared<Semaphore>(attrs);
+  sems_.emplace(key, s);
+  return s;
+}
+
+Result<std::shared_ptr<Semaphore>> DomainState::sem_get(
+    ResourceKey key) const {
+  std::shared_lock lk(mu_);
+  auto it = sems_.find(key);
+  if (it == sems_.end()) return Status::kSemIdInvalid;
+  return it->second;
+}
+
+Status DomainState::sem_delete(ResourceKey key) {
+  std::unique_lock lk(mu_);
+  auto it = sems_.find(key);
+  if (it == sems_.end()) return Status::kSemIdInvalid;
+  sems_.erase(it);
+  return Status::kSuccess;
+}
+
+Result<std::shared_ptr<Rwlock>> DomainState::rwlock_create(
+    ResourceKey key, RwlockAttributes attrs) {
+  std::unique_lock lk(mu_);
+  if (rwlocks_.size() >= Limits::kMaxRwlocks) return Status::kOutOfResources;
+  if (rwlocks_.count(key) > 0) return Status::kRwlExists;
+  auto r = std::make_shared<Rwlock>(attrs);
+  rwlocks_.emplace(key, r);
+  return r;
+}
+
+Result<std::shared_ptr<Rwlock>> DomainState::rwlock_get(
+    ResourceKey key) const {
+  std::shared_lock lk(mu_);
+  auto it = rwlocks_.find(key);
+  if (it == rwlocks_.end()) return Status::kRwlIdInvalid;
+  return it->second;
+}
+
+Status DomainState::rwlock_delete(ResourceKey key) {
+  std::unique_lock lk(mu_);
+  auto it = rwlocks_.find(key);
+  if (it == rwlocks_.end()) return Status::kRwlIdInvalid;
+  if (it->second->write_locked() || it->second->readers() > 0)
+    return Status::kRwlLocked;
+  rwlocks_.erase(it);
+  return Status::kSuccess;
+}
+
+Result<RmemHandle> DomainState::rmem_create(ResourceKey key, std::size_t size,
+                                            RmemAccess access) {
+  if (size == 0) return Status::kInvalidArgument;
+  std::unique_lock lk(mu_);
+  if (rmems_.size() >= Limits::kMaxRmems) return Status::kOutOfResources;
+  if (rmems_.count(key) > 0) return Status::kRmemExists;
+  auto r = std::make_shared<Rmem>(key, size, access, &dma_);
+  rmems_.emplace(key, r);
+  return r;
+}
+
+Result<RmemHandle> DomainState::rmem_get(ResourceKey key) const {
+  std::shared_lock lk(mu_);
+  auto it = rmems_.find(key);
+  if (it == rmems_.end()) return Status::kRmemIdInvalid;
+  return it->second;
+}
+
+Status DomainState::rmem_delete(ResourceKey key) {
+  std::unique_lock lk(mu_);
+  auto it = rmems_.find(key);
+  if (it == rmems_.end()) return Status::kRmemIdInvalid;
+  rmems_.erase(it);
+  return Status::kSuccess;
+}
+
+Database::Database() : default_topo_(platform::Topology::t4240rdb()) {}
+
+Database& Database::instance() {
+  static Database db;
+  return db;
+}
+
+void Database::configure_platform(platform::Topology topo) {
+  std::lock_guard lk(mu_);
+  default_topo_ = std::move(topo);
+}
+
+void Database::configure_system_shm_bytes(std::size_t bytes) {
+  std::lock_guard lk(mu_);
+  system_shm_bytes_ = bytes;
+}
+
+Result<DomainState*> Database::domain(DomainId id) {
+  std::lock_guard lk(mu_);
+  auto it = domains_.find(id);
+  if (it != domains_.end()) return it->second.get();
+  if (domains_.size() >= Limits::kMaxDomains) return Status::kDomainInvalid;
+  auto state =
+      std::make_unique<DomainState>(id, default_topo_, system_shm_bytes_);
+  DomainState* raw = state.get();
+  domains_.emplace(id, std::move(state));
+  return raw;
+}
+
+Result<DomainState*> Database::find_domain(DomainId id) const {
+  std::lock_guard lk(mu_);
+  auto it = domains_.find(id);
+  if (it == domains_.end()) return Status::kDomainInvalid;
+  return it->second.get();
+}
+
+void Database::reset() {
+  std::lock_guard lk(mu_);
+  domains_.clear();
+}
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,146 @@
+// The domain-wide global MRAPI database (§5A.1).
+//
+// "MRAPI node initialization ... registers the related node information in
+// the global MRAPI database that is shared by all the nodes in one domain."
+// This file is that database: per-domain registries of nodes and of every
+// keyed resource (shared memory, remote memory, mutexes, semaphores,
+// reader/writer locks), plus the domain's platform model (resource tree,
+// system-shm arena, DMA engine).
+//
+// One process models one board, so the database is a process-wide singleton
+// holding up to Limits::kMaxDomains domains, created lazily on first
+// initialize().
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "common/expected.hpp"
+#include "mrapi/arena.hpp"
+#include "mrapi/mutex.hpp"
+#include "mrapi/rmem.hpp"
+#include "mrapi/rwlock.hpp"
+#include "mrapi/semaphore.hpp"
+#include "mrapi/shmem.hpp"
+#include "mrapi/types.hpp"
+#include "platform/resource_tree.hpp"
+#include "platform/topology.hpp"
+
+namespace ompmca::mrapi {
+
+struct NodeAttributes {
+  std::string label;
+};
+
+/// One registered node.  Nodes created through the paper's thread extension
+/// own a worker std::thread joined at thread_join()/finalize time.
+struct NodeRecord {
+  NodeId id = 0;
+  NodeAttributes attrs;
+  std::thread worker;
+  bool has_worker = false;
+  bool worker_joined = false;
+};
+
+class DomainState {
+ public:
+  DomainState(DomainId id, platform::Topology topo,
+              std::size_t system_shm_bytes);
+  ~DomainState();
+
+  DomainState(const DomainState&) = delete;
+  DomainState& operator=(const DomainState&) = delete;
+
+  DomainId id() const { return id_; }
+  const platform::Topology& topology() const { return topo_; }
+  const platform::ResourceNode& resource_tree() const { return *tree_; }
+  SystemShmArena& arena() { return arena_; }
+  DmaEngine& dma() { return dma_; }
+
+  // --- node registry ------------------------------------------------------
+  Status register_node(NodeId id, NodeAttributes attrs);
+  Status register_worker_node(NodeId id, NodeAttributes attrs,
+                              std::thread worker);
+  Status unregister_node(NodeId id);
+  /// Joins the worker of a thread-extension node (idempotent).
+  Status join_worker(NodeId id);
+  bool node_registered(NodeId id) const;
+  std::size_t node_count() const;
+
+  // --- keyed resources ----------------------------------------------------
+  Result<ShmemHandle> shmem_create(ResourceKey key, std::size_t size,
+                                   ShmemAttributes attrs);
+  Result<ShmemHandle> shmem_get(ResourceKey key) const;
+  Status shmem_delete(ResourceKey key);
+
+  Result<std::shared_ptr<Mutex>> mutex_create(ResourceKey key,
+                                              MutexAttributes attrs);
+  Result<std::shared_ptr<Mutex>> mutex_get(ResourceKey key) const;
+  Status mutex_delete(ResourceKey key);
+
+  Result<std::shared_ptr<Semaphore>> sem_create(ResourceKey key,
+                                                SemaphoreAttributes attrs);
+  Result<std::shared_ptr<Semaphore>> sem_get(ResourceKey key) const;
+  Status sem_delete(ResourceKey key);
+
+  Result<std::shared_ptr<Rwlock>> rwlock_create(ResourceKey key,
+                                                RwlockAttributes attrs);
+  Result<std::shared_ptr<Rwlock>> rwlock_get(ResourceKey key) const;
+  Status rwlock_delete(ResourceKey key);
+
+  Result<RmemHandle> rmem_create(ResourceKey key, std::size_t size,
+                                 RmemAccess access);
+  Result<RmemHandle> rmem_get(ResourceKey key) const;
+  Status rmem_delete(ResourceKey key);
+
+ private:
+  DomainId id_;
+  platform::Topology topo_;
+  std::unique_ptr<platform::ResourceNode> tree_;
+  SystemShmArena arena_;
+  DmaEngine dma_;
+
+  mutable std::shared_mutex mu_;
+  std::map<NodeId, std::unique_ptr<NodeRecord>> nodes_;
+  std::map<ResourceKey, ShmemHandle> shmems_;
+  std::map<ResourceKey, std::shared_ptr<Mutex>> mutexes_;
+  std::map<ResourceKey, std::shared_ptr<Semaphore>> sems_;
+  std::map<ResourceKey, std::shared_ptr<Rwlock>> rwlocks_;
+  std::map<ResourceKey, RmemHandle> rmems_;
+};
+
+/// Process-wide registry of domains.
+class Database {
+ public:
+  static Database& instance();
+
+  /// Platform used for domains created after this call (default: T4240RDB).
+  void configure_platform(platform::Topology topo);
+  /// System shared-memory arena size for future domains (default 64 MiB).
+  void configure_system_shm_bytes(std::size_t bytes);
+
+  /// Get-or-create.  kDomainInvalid when the id is out of range or the
+  /// domain limit is reached.
+  Result<DomainState*> domain(DomainId id);
+
+  /// Lookup without creating; kDomainInvalid when absent.
+  Result<DomainState*> find_domain(DomainId id) const;
+
+  /// Tears down every domain.  Intended for tests; callers must have
+  /// finalized all nodes first (worker threads are joined defensively).
+  void reset();
+
+ private:
+  Database();
+
+  mutable std::mutex mu_;
+  platform::Topology default_topo_;
+  std::size_t system_shm_bytes_ = 64 * 1024 * 1024;
+  std::map<DomainId, std::unique_ptr<DomainState>> domains_;
+};
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,45 @@
+#include "mrapi/metadata.hpp"
+
+#include "mrapi/database.hpp"
+
+namespace ompmca::mrapi {
+
+const platform::ResourceNode& Metadata::root() const {
+  return domain_->resource_tree();
+}
+
+namespace {
+void collect(const platform::ResourceNode& node, platform::ResourceKind kind,
+             std::vector<const platform::ResourceNode*>& out) {
+  if (node.kind == kind) out.push_back(&node);
+  for (const auto& c : node.children) collect(*c, kind, out);
+}
+}  // namespace
+
+std::vector<const platform::ResourceNode*> Metadata::resources(
+    platform::ResourceKind kind) const {
+  std::vector<const platform::ResourceNode*> out;
+  collect(root(), kind, out);
+  return out;
+}
+
+unsigned Metadata::processors_online() const {
+  unsigned online = 0;
+  for (const auto* hw : resources(platform::ResourceKind::kHwThread)) {
+    if (hw->attr_int("online", 1) != 0) ++online;
+  }
+  return online;
+}
+
+unsigned Metadata::cores() const {
+  return static_cast<unsigned>(
+      root().count(platform::ResourceKind::kCore));
+}
+
+std::size_t Metadata::nodes_online() const { return domain_->node_count(); }
+
+std::string Metadata::render() const {
+  return platform::render_resource_tree(root());
+}
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,44 @@
+// MRAPI system-resource metadata (§2B.4, §5B.4).
+//
+// A read-only view over the domain's resource tree plus the dynamic counts
+// the runtime needs.  The paper: "We mainly used the MRAPI metadata trees to
+// retrieve the available number of processors online for node/thread
+// management" — that is processors_online() here.
+#pragma once
+
+#include <vector>
+
+#include "platform/resource_tree.hpp"
+
+namespace ompmca::mrapi {
+
+class DomainState;
+
+class Metadata {
+ public:
+  explicit Metadata(const DomainState* domain) : domain_(domain) {}
+
+  /// Root of the resource tree.
+  const platform::ResourceNode& root() const;
+
+  /// All nodes of a kind, DFS order (mrapi_resources_get with a filter).
+  std::vector<const platform::ResourceNode*> resources(
+      platform::ResourceKind kind) const;
+
+  /// Number of online HW threads — what the OpenMP runtime sizes its pool by.
+  unsigned processors_online() const;
+
+  /// Number of physical cores.
+  unsigned cores() const;
+
+  /// Number of MRAPI nodes currently registered in the domain (dynamic).
+  std::size_t nodes_online() const;
+
+  /// Indented dump of the tree (examples/platform_report).
+  std::string render() const;
+
+ private:
+  const DomainState* domain_;
+};
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,14 @@
+// Umbrella header for the MRAPI library.
+#pragma once
+
+#include "mrapi/arena.hpp"      // IWYU pragma: export
+#include "mrapi/capi.hpp"       // IWYU pragma: export
+#include "mrapi/database.hpp"   // IWYU pragma: export
+#include "mrapi/metadata.hpp"   // IWYU pragma: export
+#include "mrapi/mutex.hpp"      // IWYU pragma: export
+#include "mrapi/node.hpp"       // IWYU pragma: export
+#include "mrapi/rmem.hpp"       // IWYU pragma: export
+#include "mrapi/rwlock.hpp"     // IWYU pragma: export
+#include "mrapi/semaphore.hpp"  // IWYU pragma: export
+#include "mrapi/shmem.hpp"      // IWYU pragma: export
+#include "mrapi/types.hpp"      // IWYU pragma: export

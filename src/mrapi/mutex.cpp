@@ -1,0 +1,69 @@
+#include "mrapi/mutex.hpp"
+
+#include <chrono>
+
+namespace ompmca::mrapi {
+
+Status Mutex::lock(Timeout timeout_ms, LockKey* key) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return lock_locked(lk, timeout_ms, key);
+}
+
+Status Mutex::trylock(LockKey* key) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return lock_locked(lk, kTimeoutImmediate, key);
+}
+
+Status Mutex::lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
+                          LockKey* key) {
+  if (key == nullptr) return Status::kInvalidArgument;
+  const auto self = std::this_thread::get_id();
+
+  if (depth_ > 0 && owner_ == self) {
+    if (!attrs_.recursive) {
+      // A non-recursive MRAPI mutex reports the relock instead of
+      // self-deadlocking.
+      return Status::kMutexLocked;
+    }
+    ++depth_;
+    key->value = depth_;
+    return Status::kSuccess;
+  }
+
+  auto available = [this] { return depth_ == 0; };
+  if (!available()) {
+    if (timeout_ms == kTimeoutImmediate) return Status::kMutexLocked;
+    if (timeout_ms == kTimeoutInfinite) {
+      cv_.wait(lk, available);
+    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                             available)) {
+      return Status::kTimeout;
+    }
+  }
+  owner_ = self;
+  depth_ = 1;
+  key->value = 1;
+  return Status::kSuccess;
+}
+
+Status Mutex::unlock(const LockKey& key) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (depth_ == 0) return Status::kMutexNotLocked;
+  if (owner_ != std::this_thread::get_id()) return Status::kMutexKeyInvalid;
+  // Recursive acquisitions must be released innermost-first.
+  if (key.value != depth_) return Status::kMutexKeyInvalid;
+  --depth_;
+  if (depth_ == 0) {
+    owner_ = std::thread::id{};
+    lk.unlock();
+    cv_.notify_one();
+  }
+  return Status::kSuccess;
+}
+
+bool Mutex::locked() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return depth_ > 0;
+}
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,54 @@
+// MRAPI mutex (§2B.3, Listing 4).
+//
+// Differences from std::mutex that matter to the runtime layered on top:
+//  * created against a domain-wide key, shared by name between nodes;
+//  * optionally recursive, in which case each acquisition returns a LockKey
+//    that must be presented, innermost-first, at release (the MRAPI model);
+//  * lock takes a millisecond timeout (kTimeoutInfinite blocks).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/status.hpp"
+#include "mrapi/types.hpp"
+
+namespace ompmca::mrapi {
+
+class Mutex {
+ public:
+  explicit Mutex(MutexAttributes attrs = {}) : attrs_(attrs) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  const MutexAttributes& attributes() const { return attrs_; }
+
+  /// Blocks up to @p timeout_ms.  On success *key identifies this
+  /// acquisition (depth for recursive mutexes).
+  Status lock(Timeout timeout_ms, LockKey* key);
+
+  /// Single attempt; kMutexLocked when unavailable.
+  Status trylock(LockKey* key);
+
+  /// Releases the acquisition identified by @p key.  Errors:
+  /// kMutexNotLocked (not held), kMutexKeyInvalid (wrong key / wrong owner /
+  /// out-of-order release of a recursive mutex).
+  Status unlock(const LockKey& key);
+
+  /// Observational only (racy by nature); used by tests and metadata.
+  bool locked() const;
+
+ private:
+  Status lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
+                     LockKey* key);
+
+  MutexAttributes attrs_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread::id owner_{};
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,109 @@
+// MRAPI node API (§2B.1, §5A.1) — the front door of the library.
+//
+// An MRAPI node is an independent unit of execution (process, thread, pool
+// or accelerator).  Each execution unit calls Node::initialize(domain, node)
+// exactly once, which registers it in the domain-wide database, and
+// finalize() when done.  All keyed resources (shmem/rmem/mutex/sem/rwlock)
+// are created/looked up through the node.
+//
+// The paper's node-management extension (Listing 2) is exposed as
+// Node::thread_create(): spawn a worker thread that runs a start routine as
+// a newly registered node, and thread_join() to wait for it and retire the
+// node.  This is exactly the mechanism the MCA-backed OpenMP runtime uses
+// to fork its team of worker threads.
+#pragma once
+
+#include <functional>
+
+#include "common/expected.hpp"
+#include "mrapi/database.hpp"
+#include "mrapi/metadata.hpp"
+
+namespace ompmca::mrapi {
+
+/// Parameters for the paper's mrapi_thread_create extension.
+struct ThreadParameters {
+  std::function<void()> start_routine;
+};
+
+class Node {
+ public:
+  /// Not-yet-initialized node; every operation fails with kNodeNotInit.
+  Node() = default;
+
+  /// Registers (domain, node) in the global database.  Errors:
+  /// kNodeExists (id taken), kDomainInvalid, kOutOfResources.
+  static Result<Node> initialize(DomainId domain, NodeId node,
+                                 NodeAttributes attrs = {});
+
+  /// Deregisters the node.  Outstanding resource handles stay usable
+  /// (shared ownership) but the node id becomes free.
+  Status finalize();
+
+  bool initialized() const { return domain_ != nullptr; }
+  DomainId domain_id() const { return domain_id_; }
+  NodeId node_id() const { return node_id_; }
+
+  // --- paper extension: thread-backed nodes (Listing 2) --------------------
+  /// Creates a worker thread registered as @p worker_node in this node's
+  /// domain; the thread runs @p params.start_routine.
+  Status thread_create(NodeId worker_node, ThreadParameters params);
+  /// Waits for the worker's start routine to return (node stays registered
+  /// until thread_finalize).
+  Status thread_join(NodeId worker_node);
+  /// Joins (if needed) and deregisters the worker node.
+  Status thread_finalize(NodeId worker_node);
+
+  // --- shared memory (Listing 3 lives on top of this) ----------------------
+  Result<ShmemHandle> shmem_create(ResourceKey key, std::size_t size,
+                                   ShmemAttributes attrs = {});
+  Result<ShmemHandle> shmem_get(ResourceKey key) const;
+  Status shmem_delete(ResourceKey key);
+
+  /// The paper's mrapi_shmem_create_malloc convenience: heap-mode segment,
+  /// created + attached, returning the mapped address.
+  Result<void*> shmem_create_malloc(ResourceKey key, std::size_t size);
+
+  // --- remote memory --------------------------------------------------------
+  Result<RmemHandle> rmem_create(ResourceKey key, std::size_t size,
+                                 RmemAccess access);
+  Result<RmemHandle> rmem_get(ResourceKey key) const;
+  Status rmem_delete(ResourceKey key);
+
+  // --- synchronisation ------------------------------------------------------
+  Result<std::shared_ptr<Mutex>> mutex_create(ResourceKey key,
+                                              MutexAttributes attrs = {});
+  Result<std::shared_ptr<Mutex>> mutex_get(ResourceKey key) const;
+  Status mutex_delete(ResourceKey key);
+
+  Result<std::shared_ptr<Semaphore>> sem_create(ResourceKey key,
+                                                SemaphoreAttributes attrs);
+  Result<std::shared_ptr<Semaphore>> sem_get(ResourceKey key) const;
+  Status sem_delete(ResourceKey key);
+
+  Result<std::shared_ptr<Rwlock>> rwlock_create(ResourceKey key,
+                                                RwlockAttributes attrs = {});
+  Result<std::shared_ptr<Rwlock>> rwlock_get(ResourceKey key) const;
+  Status rwlock_delete(ResourceKey key);
+
+  // --- metadata (§5B.4) -----------------------------------------------------
+  /// Read-only view of the domain's system resource tree.
+  Result<Metadata> metadata() const;
+
+  /// DMA engine statistics for this domain (exposed for tests/examples).
+  const DmaEngine* dma() const;
+
+ private:
+  Node(DomainState* domain, DomainId did, NodeId nid)
+      : domain_(domain), domain_id_(did), node_id_(nid) {}
+
+  Status require_init() const {
+    return domain_ != nullptr ? Status::kSuccess : Status::kNodeNotInit;
+  }
+
+  DomainState* domain_ = nullptr;
+  DomainId domain_id_ = 0;
+  NodeId node_id_ = 0;
+};
+
+}  // namespace ompmca::mrapi

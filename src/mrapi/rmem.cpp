@@ -1,0 +1,196 @@
+#include "mrapi/rmem.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace ompmca::mrapi {
+
+bool DmaRequest::test() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return done_;
+}
+
+Status DmaRequest::wait(Timeout timeout_ms) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto done = [this] { return done_; };
+  if (!done()) {
+    if (timeout_ms == kTimeoutImmediate) return Status::kRequestPending;
+    if (timeout_ms == kTimeoutInfinite) {
+      cv_.wait(lk, done);
+    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                             done)) {
+      return Status::kTimeout;
+    }
+  }
+  return status_;
+}
+
+void DmaRequest::complete(Status s) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    done_ = true;
+    status_ = s;
+  }
+  cv_.notify_all();
+}
+
+DmaEngine::DmaEngine() : worker_([this] { worker_loop(); }) {}
+
+DmaEngine::~DmaEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+DmaRequestHandle DmaEngine::submit(const void* src, void* dst,
+                                   std::size_t bytes) {
+  auto request = std::make_shared<DmaRequest>();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(Descriptor{src, dst, bytes, request});
+  }
+  cv_.notify_one();
+  return request;
+}
+
+void DmaEngine::worker_loop() {
+  for (;;) {
+    Descriptor d;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      d = queue_.front();
+      queue_.pop_front();
+    }
+    std::memcpy(d.dst, d.src, d.bytes);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++transfers_;
+      bytes_ += d.bytes;
+    }
+    d.request->complete(Status::kSuccess);
+  }
+}
+
+std::uint64_t DmaEngine::transfers_completed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return transfers_;
+}
+
+std::uint64_t DmaEngine::bytes_transferred() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+
+Rmem::Rmem(ResourceKey key, std::size_t size, RmemAccess access,
+           DmaEngine* dma)
+    : key_(key),
+      size_(size),
+      access_(access),
+      dma_(dma),
+      storage_(new std::byte[size]()) {}
+
+Status Rmem::attach(NodeId node, RmemAccess access) {
+  if (access != access_) return Status::kRmemConflict;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (attachments_.count(node) > 0) return Status::kRmemExists;
+  attachments_[node] = access;
+  return Status::kSuccess;
+}
+
+Status Rmem::detach(NodeId node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (attachments_.erase(node) == 0) return Status::kRmemNotAttached;
+  return Status::kSuccess;
+}
+
+bool Rmem::attached(NodeId node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return attachments_.count(node) > 0;
+}
+
+Status Rmem::check_range(NodeId node, std::size_t offset,
+                         std::size_t bytes) const {
+  if (!attached(node)) return Status::kRmemNotAttached;
+  if (offset > size_ || bytes > size_ - offset)
+    return Status::kInvalidArgument;
+  return Status::kSuccess;
+}
+
+Status Rmem::read(NodeId node, std::size_t offset, void* dst,
+                  std::size_t bytes) {
+  OMPMCA_RETURN_IF_ERROR(check_range(node, offset, bytes));
+  if (access_ == RmemAccess::kDma) {
+    return dma_->submit(storage_.get() + offset, dst, bytes)->wait();
+  }
+  std::memcpy(dst, storage_.get() + offset, bytes);
+  return Status::kSuccess;
+}
+
+Status Rmem::write(NodeId node, std::size_t offset, const void* src,
+                   std::size_t bytes) {
+  OMPMCA_RETURN_IF_ERROR(check_range(node, offset, bytes));
+  if (access_ == RmemAccess::kDma) {
+    return dma_->submit(src, storage_.get() + offset, bytes)->wait();
+  }
+  std::memcpy(storage_.get() + offset, src, bytes);
+  return Status::kSuccess;
+}
+
+Status Rmem::read_strided(NodeId node, std::size_t offset, void* dst,
+                          std::size_t bytes_per_stride,
+                          std::size_t num_strides, std::size_t rmem_stride,
+                          std::size_t local_stride) {
+  if (rmem_stride < bytes_per_stride || local_stride < bytes_per_stride)
+    return Status::kInvalidArgument;
+  if (num_strides == 0) return Status::kSuccess;
+  const std::size_t span =
+      (num_strides - 1) * rmem_stride + bytes_per_stride;
+  OMPMCA_RETURN_IF_ERROR(check_range(node, offset, span));
+  auto* out = static_cast<std::byte*>(dst);
+  for (std::size_t i = 0; i < num_strides; ++i) {
+    std::memcpy(out + i * local_stride,
+                storage_.get() + offset + i * rmem_stride, bytes_per_stride);
+  }
+  return Status::kSuccess;
+}
+
+Status Rmem::write_strided(NodeId node, std::size_t offset, const void* src,
+                           std::size_t bytes_per_stride,
+                           std::size_t num_strides, std::size_t rmem_stride,
+                           std::size_t local_stride) {
+  if (rmem_stride < bytes_per_stride || local_stride < bytes_per_stride)
+    return Status::kInvalidArgument;
+  if (num_strides == 0) return Status::kSuccess;
+  const std::size_t span =
+      (num_strides - 1) * rmem_stride + bytes_per_stride;
+  OMPMCA_RETURN_IF_ERROR(check_range(node, offset, span));
+  const auto* in = static_cast<const std::byte*>(src);
+  for (std::size_t i = 0; i < num_strides; ++i) {
+    std::memcpy(storage_.get() + offset + i * rmem_stride,
+                in + i * local_stride, bytes_per_stride);
+  }
+  return Status::kSuccess;
+}
+
+Result<DmaRequestHandle> Rmem::read_i(NodeId node, std::size_t offset,
+                                      void* dst, std::size_t bytes) {
+  if (access_ != RmemAccess::kDma) return Status::kNotSupported;
+  Status s = check_range(node, offset, bytes);
+  if (!ok(s)) return s;
+  return dma_->submit(storage_.get() + offset, dst, bytes);
+}
+
+Result<DmaRequestHandle> Rmem::write_i(NodeId node, std::size_t offset,
+                                       const void* src, std::size_t bytes) {
+  if (access_ != RmemAccess::kDma) return Status::kNotSupported;
+  Status s = check_range(node, offset, bytes);
+  if (!ok(s)) return s;
+  return dma_->submit(src, storage_.get() + offset, bytes);
+}
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,135 @@
+// MRAPI remote memory (§2B.2).
+//
+// Remote memory is storage a node cannot (necessarily) load/store directly;
+// access goes through read/write operations.  Two access types:
+//  * kDirect — the window is mapped; read/write are bounds-checked copies;
+//  * kDma    — transfers are queued on a DMA engine and complete
+//    asynchronously; blocking calls submit + wait, _i variants return a
+//    request the caller tests/waits (mirrors mrapi_rmem_read_i).
+//
+// The DMA engine is a real worker thread, so the asynchronous semantics are
+// genuine, and it keeps byte counters the metadata tree exposes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/expected.hpp"
+#include "mrapi/types.hpp"
+
+namespace ompmca::mrapi {
+
+/// Completion token for an asynchronous DMA transfer.
+class DmaRequest {
+ public:
+  /// True when the transfer has completed (success or error).
+  bool test() const;
+  /// Blocks until completion or timeout; returns the transfer status.
+  Status wait(Timeout timeout_ms = kTimeoutInfinite) const;
+
+ private:
+  friend class DmaEngine;
+  void complete(Status s);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  Status status_ = Status::kSuccess;
+};
+
+using DmaRequestHandle = std::shared_ptr<DmaRequest>;
+
+/// One DMA channel: a worker thread draining a FIFO of copy descriptors.
+class DmaEngine {
+ public:
+  DmaEngine();
+  ~DmaEngine();
+
+  DmaEngine(const DmaEngine&) = delete;
+  DmaEngine& operator=(const DmaEngine&) = delete;
+
+  /// Enqueues a copy of @p bytes from @p src to @p dst.
+  DmaRequestHandle submit(const void* src, void* dst, std::size_t bytes);
+
+  std::uint64_t transfers_completed() const;
+  std::uint64_t bytes_transferred() const;
+
+ private:
+  struct Descriptor {
+    const void* src;
+    void* dst;
+    std::size_t bytes;
+    DmaRequestHandle request;
+  };
+
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Descriptor> queue_;
+  bool stopping_ = false;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::thread worker_;
+};
+
+class Rmem {
+ public:
+  Rmem(ResourceKey key, std::size_t size, RmemAccess access, DmaEngine* dma);
+
+  Rmem(const Rmem&) = delete;
+  Rmem& operator=(const Rmem&) = delete;
+
+  ResourceKey key() const { return key_; }
+  std::size_t size() const { return size_; }
+  RmemAccess access() const { return access_; }
+
+  /// A node must attach (with the segment's access type) before read/write.
+  Status attach(NodeId node, RmemAccess access);
+  Status detach(NodeId node);
+
+  /// Blocking transfers.  kRmemNotAttached unless @p node attached;
+  /// kInvalidArgument on out-of-bounds ranges.
+  Status read(NodeId node, std::size_t offset, void* dst, std::size_t bytes);
+  Status write(NodeId node, std::size_t offset, const void* src,
+               std::size_t bytes);
+
+  /// Strided variants (mrapi_rmem_read/write with stride descriptors):
+  /// copies @p num_strides runs of @p bytes_per_stride, advancing the remote
+  /// side by @p rmem_stride and the local side by @p local_stride per run.
+  Status read_strided(NodeId node, std::size_t offset, void* dst,
+                      std::size_t bytes_per_stride, std::size_t num_strides,
+                      std::size_t rmem_stride, std::size_t local_stride);
+  Status write_strided(NodeId node, std::size_t offset, const void* src,
+                       std::size_t bytes_per_stride, std::size_t num_strides,
+                       std::size_t rmem_stride, std::size_t local_stride);
+
+  /// Non-blocking transfers (DMA access only).
+  Result<DmaRequestHandle> read_i(NodeId node, std::size_t offset, void* dst,
+                                  std::size_t bytes);
+  Result<DmaRequestHandle> write_i(NodeId node, std::size_t offset,
+                                   const void* src, std::size_t bytes);
+
+  bool attached(NodeId node) const;
+
+ private:
+  Status check_range(NodeId node, std::size_t offset, std::size_t bytes) const;
+
+  ResourceKey key_;
+  std::size_t size_;
+  RmemAccess access_;
+  DmaEngine* dma_;
+  std::unique_ptr<std::byte[]> storage_;
+  mutable std::mutex mu_;
+  std::map<NodeId, RmemAccess> attachments_;
+};
+
+using RmemHandle = std::shared_ptr<Rmem>;
+
+}  // namespace ompmca::mrapi

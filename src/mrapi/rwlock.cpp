@@ -1,0 +1,94 @@
+#include "mrapi/rwlock.hpp"
+
+#include <chrono>
+
+namespace ompmca::mrapi {
+
+namespace {
+
+/// Waits on @p cv for @p pred honouring the MRAPI timeout conventions.
+template <typename Pred>
+Status timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                  Timeout timeout_ms, Pred pred, Status busy) {
+  if (pred()) return Status::kSuccess;
+  if (timeout_ms == kTimeoutImmediate) return busy;
+  if (timeout_ms == kTimeoutInfinite) {
+    cv.wait(lk, pred);
+    return Status::kSuccess;
+  }
+  if (!cv.wait_for(lk, std::chrono::milliseconds(timeout_ms), pred))
+    return Status::kTimeout;
+  return Status::kSuccess;
+}
+
+}  // namespace
+
+Status Rwlock::lock_read(Timeout timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto pred = [this] {
+    if (writer_active_ || waiting_writers_ > 0) return false;
+    if (attrs_.max_readers > 0 && active_readers_ >= attrs_.max_readers)
+      return false;
+    return true;
+  };
+  OMPMCA_RETURN_IF_ERROR(
+      timed_wait(readers_cv_, lk, timeout_ms, pred, Status::kRwlLocked));
+  ++active_readers_;
+  return Status::kSuccess;
+}
+
+Status Rwlock::lock_write(Timeout timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ++waiting_writers_;
+  auto pred = [this] { return !writer_active_ && active_readers_ == 0; };
+  Status s = timed_wait(writers_cv_, lk, timeout_ms, pred, Status::kRwlLocked);
+  --waiting_writers_;
+  if (!ok(s)) {
+    // A failed writer must not keep readers parked.
+    if (waiting_writers_ == 0) {
+      lk.unlock();
+      readers_cv_.notify_all();
+    }
+    return s;
+  }
+  writer_active_ = true;
+  return Status::kSuccess;
+}
+
+Status Rwlock::unlock_read() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (active_readers_ == 0) return Status::kRwlNotLocked;
+  --active_readers_;
+  const bool wake_writer = active_readers_ == 0 && waiting_writers_ > 0;
+  lk.unlock();
+  if (wake_writer) {
+    writers_cv_.notify_one();
+  }
+  return Status::kSuccess;
+}
+
+Status Rwlock::unlock_write() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!writer_active_) return Status::kRwlNotLocked;
+  writer_active_ = false;
+  const bool wake_writer = waiting_writers_ > 0;
+  lk.unlock();
+  if (wake_writer) {
+    writers_cv_.notify_one();
+  } else {
+    readers_cv_.notify_all();
+  }
+  return Status::kSuccess;
+}
+
+std::uint32_t Rwlock::readers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_readers_;
+}
+
+bool Rwlock::write_locked() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return writer_active_;
+}
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,45 @@
+// MRAPI reader/writer lock (§2B.3).
+//
+// Many concurrent readers or one writer.  Writer-preferring: once a writer
+// is waiting, new readers queue behind it, so a steady reader stream cannot
+// starve writers (the pattern MRAPI recommends for shared resource tables).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/status.hpp"
+#include "mrapi/types.hpp"
+
+namespace ompmca::mrapi {
+
+class Rwlock {
+ public:
+  explicit Rwlock(RwlockAttributes attrs = {}) : attrs_(attrs) {}
+
+  Rwlock(const Rwlock&) = delete;
+  Rwlock& operator=(const Rwlock&) = delete;
+
+  const RwlockAttributes& attributes() const { return attrs_; }
+
+  Status lock_read(Timeout timeout_ms);
+  Status lock_write(Timeout timeout_ms);
+  Status try_lock_read() { return lock_read(kTimeoutImmediate); }
+  Status try_lock_write() { return lock_write(kTimeoutImmediate); }
+  Status unlock_read();
+  Status unlock_write();
+
+  std::uint32_t readers() const;
+  bool write_locked() const;
+
+ private:
+  RwlockAttributes attrs_;
+  mutable std::mutex mu_;
+  std::condition_variable readers_cv_;
+  std::condition_variable writers_cv_;
+  std::uint32_t active_readers_ = 0;
+  std::uint32_t waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,43 @@
+#include "mrapi/semaphore.hpp"
+
+#include <chrono>
+
+namespace ompmca::mrapi {
+
+Semaphore::Semaphore(SemaphoreAttributes attrs)
+    : attrs_(attrs), count_(attrs.shared_lock_limit) {}
+
+Status Semaphore::acquire(Timeout timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto available_pred = [this] { return count_ > 0; };
+  if (!available_pred()) {
+    if (timeout_ms == kTimeoutImmediate) return Status::kMutexLocked;
+    if (timeout_ms == kTimeoutInfinite) {
+      cv_.wait(lk, available_pred);
+    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                             available_pred)) {
+      return Status::kTimeout;
+    }
+  }
+  --count_;
+  return Status::kSuccess;
+}
+
+Status Semaphore::try_acquire() { return acquire(kTimeoutImmediate); }
+
+Status Semaphore::release() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (count_ >= attrs_.shared_lock_limit) return Status::kSemNotLocked;
+    ++count_;
+  }
+  cv_.notify_one();
+  return Status::kSuccess;
+}
+
+std::uint32_t Semaphore::available() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,39 @@
+// MRAPI counting semaphore (§2B.3).
+//
+// Created with a shared-lock limit (the initial count).  acquire() takes one
+// unit with a millisecond timeout; release() returns one unit and fails with
+// kSemNotLocked if it would exceed the limit (MRAPI forbids free posts).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/status.hpp"
+#include "mrapi/types.hpp"
+
+namespace ompmca::mrapi {
+
+class Semaphore {
+ public:
+  explicit Semaphore(SemaphoreAttributes attrs);
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  const SemaphoreAttributes& attributes() const { return attrs_; }
+
+  Status acquire(Timeout timeout_ms);
+  Status try_acquire();
+  Status release();
+
+  /// Current available count (racy; tests/metadata only).
+  std::uint32_t available() const;
+
+ private:
+  SemaphoreAttributes attrs_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint32_t count_;
+};
+
+}  // namespace ompmca::mrapi

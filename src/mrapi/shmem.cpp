@@ -1,0 +1,83 @@
+#include "mrapi/shmem.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace ompmca::mrapi {
+
+Shmem::Shmem(ResourceKey key, std::size_t size, ShmemAttributes attrs,
+             SystemShmArena* arena)
+    : key_(key), size_(size), attrs_(attrs), arena_(arena) {
+  if (attrs_.use_malloc) attrs_.mode = ShmemMode::kHeap;
+  if (attrs_.mode == ShmemMode::kHeap) {
+    // The paper's extension: plain process-heap storage.
+    base_ = std::malloc(size_);
+  } else {
+    auto r = arena_->allocate(size_);
+    base_ = r ? *r : nullptr;
+  }
+  if (base_ == nullptr) {
+    OMPMCA_LOG_WARN("shmem key=%u: allocation of %zu bytes failed", key_,
+                    size_);
+  }
+}
+
+Shmem::~Shmem() {
+  std::lock_guard<std::mutex> lk(mu_);
+  reclaim_locked();
+}
+
+Result<void*> Shmem::attach(NodeId node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (base_ == nullptr) return Status::kShmemAttchFailed;
+  if (delete_pending_) return Status::kShmemIdInvalid;
+  ++attachments_[node];
+  return base_;
+}
+
+Status Shmem::detach(NodeId node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = attachments_.find(node);
+  if (it == attachments_.end()) return Status::kShmemNotAttached;
+  if (--it->second == 0) attachments_.erase(it);
+  if (delete_pending_ && attachments_.empty()) reclaim_locked();
+  return Status::kSuccess;
+}
+
+Status Shmem::mark_delete() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (base_ == nullptr) return Status::kShmemIdInvalid;
+  delete_pending_ = true;
+  if (attachments_.empty()) reclaim_locked();
+  return Status::kSuccess;
+}
+
+std::size_t Shmem::attach_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t total = 0;
+  for (const auto& [node, n] : attachments_) total += n;
+  return total;
+}
+
+bool Shmem::delete_pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return delete_pending_;
+}
+
+bool Shmem::attached(NodeId node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return attachments_.count(node) > 0;
+}
+
+void Shmem::reclaim_locked() {
+  if (base_ == nullptr) return;
+  if (attrs_.mode == ShmemMode::kHeap) {
+    std::free(base_);
+  } else {
+    (void)arena_->release(base_);
+  }
+  base_ = nullptr;
+}
+
+}  // namespace ompmca::mrapi

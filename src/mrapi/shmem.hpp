@@ -1,0 +1,69 @@
+// MRAPI shared memory (§2B.2) with the paper's thread-level extension
+// (§5A.2, Listing 3).
+//
+// A segment is created against a domain-wide key.  Mode kSystem draws from
+// the fixed system arena (the MRAPI default, modelling OS shared memory);
+// mode kHeap — selected by the paper's use_malloc attribute — allocates from
+// the process heap so a thread-level runtime (OpenMP) can share it by
+// pointer with zero attach cost.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/expected.hpp"
+#include "mrapi/arena.hpp"
+#include "mrapi/types.hpp"
+
+namespace ompmca::mrapi {
+
+class Shmem {
+ public:
+  /// Created only by the domain database.  @p arena is the system arena used
+  /// for kSystem mode (unused for kHeap).
+  Shmem(ResourceKey key, std::size_t size, ShmemAttributes attrs,
+        SystemShmArena* arena);
+  ~Shmem();
+
+  Shmem(const Shmem&) = delete;
+  Shmem& operator=(const Shmem&) = delete;
+
+  ResourceKey key() const { return key_; }
+  std::size_t size() const { return size_; }
+  const ShmemAttributes& attributes() const { return attrs_; }
+  bool valid() const { return base_ != nullptr; }
+
+  /// Maps the segment into the calling node; returns the base address.
+  Result<void*> attach(NodeId node);
+
+  /// Unmaps; kShmemNotAttached when the node has no attachment.
+  Status detach(NodeId node);
+
+  /// Marks for deletion; storage is reclaimed once the last node detaches
+  /// (immediately when nothing is attached).
+  Status mark_delete();
+
+  std::size_t attach_count() const;
+  bool delete_pending() const;
+
+  /// True when @p node currently has the segment attached (access checks).
+  bool attached(NodeId node) const;
+
+ private:
+  void reclaim_locked();
+
+  ResourceKey key_;
+  std::size_t size_;
+  ShmemAttributes attrs_;
+  SystemShmArena* arena_;  // only for kSystem mode
+  void* base_ = nullptr;
+  mutable std::mutex mu_;
+  std::map<NodeId, unsigned> attachments_;
+  bool delete_pending_ = false;
+};
+
+using ShmemHandle = std::shared_ptr<Shmem>;
+
+}  // namespace ompmca::mrapi

@@ -1,0 +1,184 @@
+// MTAPI — the MCA task-management API (§2B: "complete support of task
+// life-cycle, with optimization of task synchronization, scheduling, and
+// load balancing").  The paper defers MTAPI to future work; this library
+// completes the toolchain.
+//
+// Model (following the spec's concepts):
+//  * actions    — implementations of a job, registered under a JobId;
+//  * tasks      — one execution of a job with an argument blob; started
+//    detached or into a group; awaitable, cancelable before execution;
+//  * groups     — task collections supporting wait-all / wait-any;
+//  * queues     — ordered task streams: tasks enqueued on one queue execute
+//    sequentially (in order), while distinct queues run concurrently;
+//  * scheduler  — worker threads with per-worker deques and work stealing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "mrapi/types.hpp"
+
+namespace ompmca::mtapi {
+
+using JobId = std::uint32_t;
+
+/// An action: the code of a job.  Receives the task's argument blob.
+using ActionFunction = std::function<void(const void* args, std::size_t size)>;
+
+enum class TaskState { kPending, kRunning, kCompleted, kCanceled };
+
+class TaskRuntime;
+class Group;
+class Queue;
+
+class Task {
+ public:
+  TaskState state() const;
+  /// Blocks until the task completes (or was canceled).
+  Status wait(mrapi::Timeout timeout_ms = mrapi::kTimeoutInfinite);
+  /// Cancels if still pending; running/completed tasks cannot be canceled.
+  Status cancel();
+
+ private:
+  friend class TaskRuntime;
+  friend class Queue;
+
+  void finish(TaskState final_state);
+
+  std::function<void()> fn_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  TaskState state_ = TaskState::kPending;
+  Group* group_ = nullptr;
+  Queue* queue_ = nullptr;
+};
+
+using TaskHandle = std::shared_ptr<Task>;
+
+/// A collection of tasks with wait-all / wait-any.
+class Group {
+ public:
+  Status wait_all(mrapi::Timeout timeout_ms = mrapi::kTimeoutInfinite);
+  /// Returns a completed task of the group (removing it from the wait set).
+  Result<TaskHandle> wait_any(mrapi::Timeout timeout_ms = mrapi::kTimeoutInfinite);
+  std::size_t pending() const;
+
+ private:
+  friend class Task;
+  friend class TaskRuntime;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t live_ = 0;
+  std::deque<TaskHandle> completed_;
+};
+
+using GroupHandle = std::shared_ptr<Group>;
+
+/// An ordered task stream: at most one task of the queue runs at a time and
+/// tasks run in enqueue order.
+class Queue {
+ public:
+  explicit Queue(TaskRuntime* rt, JobId job) : rt_(rt), job_(job) {}
+
+  JobId job() const { return job_; }
+  Status disable();
+  Status enable();
+  bool enabled() const;
+
+ private:
+  friend class TaskRuntime;
+  friend class Task;
+  void task_finished();
+
+  TaskRuntime* rt_;
+  JobId job_;
+  mutable std::mutex mu_;
+  std::deque<TaskHandle> waiting_;
+  bool running_ = false;
+  bool enabled_ = true;
+};
+
+using QueueHandle = std::shared_ptr<Queue>;
+
+/// The MTAPI node runtime: action registry + work-stealing scheduler.
+struct TaskRuntimeOptions {
+  unsigned workers = 4;
+};
+
+class TaskRuntime {
+ public:
+  using Options = TaskRuntimeOptions;
+
+  explicit TaskRuntime(Options options = Options{});
+  ~TaskRuntime();
+
+  TaskRuntime(const TaskRuntime&) = delete;
+  TaskRuntime& operator=(const TaskRuntime&) = delete;
+
+  // --- actions / jobs ----------------------------------------------------------
+  Status action_create(JobId job, ActionFunction fn);
+  Status action_delete(JobId job);
+  bool job_registered(JobId job) const;
+
+  // --- tasks ----------------------------------------------------------------------
+  /// Starts a task of @p job with a copied argument blob; optionally into
+  /// @p group.
+  Result<TaskHandle> task_start(JobId job, const void* args,
+                                std::size_t arg_size,
+                                const GroupHandle& group = nullptr);
+
+  // --- groups ---------------------------------------------------------------------
+  GroupHandle group_create() { return std::make_shared<Group>(); }
+
+  // --- queues ---------------------------------------------------------------------
+  Result<QueueHandle> queue_create(JobId job);
+  Result<TaskHandle> queue_enqueue(const QueueHandle& queue, const void* args,
+                                   std::size_t arg_size,
+                                   const GroupHandle& group = nullptr);
+
+  // --- introspection ----------------------------------------------------------------
+  unsigned workers() const { return static_cast<unsigned>(workers_.size()); }
+  std::uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks_stolen() const {
+    return tasks_stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Queue;
+
+  struct WorkerState {
+    std::mutex mu;
+    std::deque<TaskHandle> deque;  // back = hot end (LIFO for owner)
+  };
+
+  Result<TaskHandle> make_task(JobId job, const void* args,
+                               std::size_t arg_size, const GroupHandle& group,
+                               Queue* queue);
+  void submit(TaskHandle task);
+  void worker_loop(unsigned index);
+  bool try_run_one(unsigned index);
+
+  mutable std::mutex actions_mu_;
+  std::vector<std::pair<JobId, ActionFunction>> actions_;
+
+  std::vector<std::unique_ptr<WorkerState>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<unsigned> next_worker_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
+};
+
+}  // namespace ompmca::mtapi

@@ -1,0 +1,423 @@
+#include "npb/cg.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ompmca::npb {
+
+namespace {
+
+constexpr int kCgIterations = 25;
+
+/// The matrix in CSR form plus the generation scratch.
+struct SparseMatrix {
+  int n = 0;
+  std::vector<double> a;
+  std::vector<int> colidx;
+  std::vector<int> rowstr;  // n + 1 entries
+  long nnz() const { return rowstr.empty() ? 0 : rowstr[n]; }
+};
+
+/// NPB icnvrt: scale a [0,1) random to an integer below ipwr2.
+int icnvrt(double x, int ipwr2) { return static_cast<int>(ipwr2 * x); }
+
+/// NPB sprnvc: a sparse random vector of nz distinct locations in [1, n].
+void sprnvc(int n, int nz, int nn1, double* tran, std::vector<double>& v,
+            std::vector<int>& iv) {
+  int nzv = 0;
+  while (nzv < nz) {
+    double vecelt = NpbRandom::randlc(tran, NpbRandom::kDefaultMultiplier);
+    double vecloc = NpbRandom::randlc(tran, NpbRandom::kDefaultMultiplier);
+    int i = icnvrt(vecloc, nn1) + 1;
+    if (i > n) continue;
+    bool was_gen = false;
+    for (int ii = 0; ii < nzv; ++ii) {
+      if (iv[ii] == i) {
+        was_gen = true;
+        break;
+      }
+    }
+    if (was_gen) continue;
+    v[nzv] = vecelt;
+    iv[nzv] = i;
+    ++nzv;
+  }
+}
+
+/// NPB vecset: force element i of the sparse vector to val.
+void vecset(std::vector<double>& v, std::vector<int>& iv, int* nzv, int i,
+            double val) {
+  bool set = false;
+  for (int k = 0; k < *nzv; ++k) {
+    if (iv[k] == i) {
+      v[k] = val;
+      set = true;
+    }
+  }
+  if (!set) {
+    v[*nzv] = val;
+    iv[*nzv] = i;
+    ++*nzv;
+  }
+}
+
+/// NPB sparse(): assembles sum_i size_i * v_i v_i^T (+ rcond - shift on the
+/// diagonal) into CSR, with duplicate merging and compaction.
+void assemble(const CgParams& params,
+              const std::vector<int>& arow,
+              const std::vector<std::vector<int>>& acol,
+              const std::vector<std::vector<double>>& aelt,
+              SparseMatrix* mat) {
+  const int n = params.na;
+  const long nz = params.nz();
+  auto& a = mat->a;
+  auto& colidx = mat->colidx;
+  auto& rowstr = mat->rowstr;
+  a.assign(static_cast<std::size_t>(nz + 1), 0.0);
+  colidx.assign(static_cast<std::size_t>(nz + 1), 0);
+  rowstr.assign(static_cast<std::size_t>(n + 1), 0);
+  std::vector<int> nzloc(static_cast<std::size_t>(n), 0);
+
+  // Count the triples in each row (upper bound per contributing element).
+  for (int i = 0; i < n; ++i) {
+    for (int nza = 0; nza < arow[i]; ++nza) {
+      int j = acol[i][nza] + 1;
+      rowstr[j] += arow[i];
+    }
+  }
+  rowstr[0] = 0;
+  for (int j = 1; j <= n; ++j) rowstr[j] += rowstr[j - 1];
+
+  // Preload with empty markers.
+  for (int j = 0; j < n; ++j) {
+    for (int k = rowstr[j]; k < rowstr[j + 1]; ++k) {
+      a[k] = 0.0;
+      colidx[k] = -1;
+    }
+  }
+
+  // Generate the actual values as weighted outer products.
+  double size = 1.0;
+  const double ratio = std::pow(params.rcond, 1.0 / n);
+  for (int i = 0; i < n; ++i) {
+    for (int nza = 0; nza < arow[i]; ++nza) {
+      int j = acol[i][nza];
+      double scale = size * aelt[i][nza];
+      for (int nzrow = 0; nzrow < arow[i]; ++nzrow) {
+        int jcol = acol[i][nzrow];
+        double va = aelt[i][nzrow] * scale;
+        if (jcol == j && j == i) {
+          va += params.rcond - params.shift;
+        }
+        int k = rowstr[j];
+        for (; k < rowstr[j + 1]; ++k) {
+          if (colidx[k] > jcol) {
+            // Insert: push the tail of the row one slot up.
+            for (int kk = rowstr[j + 1] - 2; kk >= k; --kk) {
+              if (colidx[kk] > -1) {
+                a[kk + 1] = a[kk];
+                colidx[kk + 1] = colidx[kk];
+              }
+            }
+            colidx[k] = jcol;
+            a[k] = 0.0;
+            break;
+          }
+          if (colidx[k] == -1) {
+            colidx[k] = jcol;
+            break;
+          }
+          if (colidx[k] == jcol) {
+            ++nzloc[j];  // duplicate: merge, remember to compact
+            break;
+          }
+        }
+        a[k] += va;
+      }
+    }
+    size *= ratio;
+  }
+
+  // Compact out the unused duplicate slots.
+  for (int j = 1; j < n; ++j) nzloc[j] += nzloc[j - 1];
+  for (int j = 0; j < n; ++j) {
+    int j1 = j > 0 ? rowstr[j] - nzloc[j - 1] : 0;
+    int j2 = rowstr[j + 1] - nzloc[j];
+    int nza = rowstr[j];
+    for (int k = j1; k < j2; ++k) {
+      a[k] = a[nza];
+      colidx[k] = colidx[nza];
+      ++nza;
+    }
+  }
+  for (int j = 1; j <= n; ++j) rowstr[j] -= nzloc[j - 1];
+  mat->n = n;
+}
+
+/// NPB makea: the full matrix generator.
+void makea(const CgParams& params, SparseMatrix* mat) {
+  const int n = params.na;
+  const int nonzer = params.nonzer;
+  double tran = 314159265.0;
+  // The reference burns one random before generation.
+  (void)NpbRandom::randlc(&tran, NpbRandom::kDefaultMultiplier);
+
+  int nn1 = 1;
+  while (nn1 < n) nn1 *= 2;
+
+  std::vector<int> arow(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> acol(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(nonzer + 1)));
+  std::vector<std::vector<double>> aelt(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(nonzer + 1)));
+  std::vector<double> vc(static_cast<std::size_t>(nonzer + 1));
+  std::vector<int> ivc(static_cast<std::size_t>(nonzer + 1));
+
+  for (int iouter = 0; iouter < n; ++iouter) {
+    int nzv = nonzer;
+    sprnvc(n, nzv, nn1, &tran, vc, ivc);
+    vecset(vc, ivc, &nzv, iouter + 1, 0.5);
+    arow[iouter] = nzv;
+    for (int ivelt = 0; ivelt < nzv; ++ivelt) {
+      acol[iouter][ivelt] = ivc[ivelt] - 1;
+      aelt[iouter][ivelt] = vc[ivelt];
+    }
+  }
+  assemble(params, arow, acol, aelt, mat);
+}
+
+/// Work of a y = A x sweep over rows [lo, hi) (for meters and the trace).
+platform::Work spmv_work(const CgParams& params, long lo, long hi) {
+  platform::Work w;
+  const double avg_nnz_row =
+      static_cast<double>(params.nonzer + 1) * (params.nonzer + 1) * 0.6;
+  double rows = static_cast<double>(hi - lo);
+  w.flops = rows * avg_nnz_row * 2.0;
+  w.int_ops = rows * avg_nnz_row;
+  w.bytes = rows * (avg_nnz_row * (sizeof(double) + sizeof(int)) +
+                    2 * sizeof(double));
+  // Per-thread working set: the row slice plus the gathered x vector.
+  w.footprint_bytes =
+      rows * avg_nnz_row * 12.0 + params.na * sizeof(double);
+  return w;
+}
+
+platform::Work axpy_work(const CgParams& params, long lo, long hi) {
+  platform::Work w;
+  double rows = static_cast<double>(hi - lo);
+  w.flops = rows * 2.0;
+  w.bytes = rows * 3 * sizeof(double);
+  w.footprint_bytes = params.na * 3.0 * sizeof(double);
+  return w;
+}
+
+}  // namespace
+
+CgParams CgParams::for_class(Class c) {
+  CgParams p;
+  switch (c) {
+    case Class::S:
+      p = {1400, 7, 15, 10.0, 0.1, 8.5971775078648};
+      break;
+    case Class::W:
+      p = {7000, 8, 15, 12.0, 0.1, 10.362595087124};
+      break;
+    case Class::A:
+      p = {14000, 11, 15, 20.0, 0.1, 17.130235054029};
+      break;
+  }
+  return p;
+}
+
+CgResult run_cg(gomp::Runtime& rt, Class cls, unsigned nthreads) {
+  const CgParams params = CgParams::for_class(cls);
+  const int n = params.na;
+
+  SparseMatrix mat;
+  makea(params, &mat);
+
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> z(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> p(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> q(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> r(static_cast<std::size_t>(n), 0.0);
+
+  CgResult result;
+  result.nnz = mat.nnz();
+  double zeta = 0.0;
+  double rnorm = 0.0;
+
+  double t0 = monotonic_seconds();
+  rt.parallel(
+      [&](gomp::ParallelContext& ctx) {
+        auto spmv = [&](const std::vector<double>& in,
+                        std::vector<double>& out) {
+          ctx.for_loop(
+              0, n,
+              [&](long lo, long hi) {
+                for (long j = lo; j < hi; ++j) {
+                  double sum = 0.0;
+                  for (int k = mat.rowstr[j]; k < mat.rowstr[j + 1]; ++k) {
+                    sum += mat.a[k] * in[static_cast<std::size_t>(
+                                        mat.colidx[k])];
+                  }
+                  out[static_cast<std::size_t>(j)] = sum;
+                }
+                ctx.meter() += spmv_work(params, lo, hi);
+              },
+              {}, /*nowait=*/false);
+        };
+        auto dot = [&](const std::vector<double>& u,
+                       const std::vector<double>& v) {
+          double local = 0.0;
+          ctx.for_loop(
+              0, n,
+              [&](long lo, long hi) {
+                for (long j = lo; j < hi; ++j) {
+                  local += u[static_cast<std::size_t>(j)] *
+                           v[static_cast<std::size_t>(j)];
+                }
+                ctx.meter() += axpy_work(params, lo, hi);
+              },
+              {}, /*nowait=*/true);
+          return ctx.reduce_sum(local);
+        };
+
+        auto conj_grad = [&]() {
+          ctx.for_loop(0, n, [&](long lo, long hi) {
+            for (long j = lo; j < hi; ++j) {
+              auto ju = static_cast<std::size_t>(j);
+              q[ju] = 0.0;
+              z[ju] = 0.0;
+              r[ju] = x[ju];
+              p[ju] = r[ju];
+            }
+          });
+          double rho = dot(r, r);
+          for (int cgit = 0; cgit < kCgIterations; ++cgit) {
+            spmv(p, q);
+            double d = dot(p, q);
+            double alpha = rho / d;
+            ctx.for_loop(
+                0, n,
+                [&](long lo, long hi) {
+                  for (long j = lo; j < hi; ++j) {
+                    auto ju = static_cast<std::size_t>(j);
+                    z[ju] += alpha * p[ju];
+                    r[ju] -= alpha * q[ju];
+                  }
+                  ctx.meter() += axpy_work(params, lo, hi);
+                });
+            double rho0 = rho;
+            rho = dot(r, r);
+            double beta = rho / rho0;
+            ctx.for_loop(
+                0, n,
+                [&](long lo, long hi) {
+                  for (long j = lo; j < hi; ++j) {
+                    auto ju = static_cast<std::size_t>(j);
+                    p[ju] = r[ju] + beta * p[ju];
+                  }
+                  ctx.meter() += axpy_work(params, lo, hi);
+                });
+          }
+          // rnorm = || x - A z ||
+          spmv(z, q);
+          double local = 0.0;
+          ctx.for_loop(
+              0, n,
+              [&](long lo, long hi) {
+                for (long j = lo; j < hi; ++j) {
+                  auto ju = static_cast<std::size_t>(j);
+                  double dd = x[ju] - q[ju];
+                  local += dd * dd;
+                }
+              },
+              {}, /*nowait=*/true);
+          double sum = ctx.reduce_sum(local);
+          ctx.single([&] { rnorm = std::sqrt(sum); });
+        };
+
+        for (int it = 0; it < params.niter; ++it) {
+          conj_grad();
+          double norm_temp1 = dot(x, z);
+          double norm_temp2 = dot(z, z);
+          double scale = 1.0 / std::sqrt(norm_temp2);
+          ctx.single([&] { zeta = params.shift + 1.0 / norm_temp1; },
+                     /*nowait=*/true);
+          ctx.for_loop(0, n, [&](long lo, long hi) {
+            for (long j = lo; j < hi; ++j) {
+              auto ju = static_cast<std::size_t>(j);
+              x[ju] = scale * z[ju];
+            }
+          });
+        }
+      },
+      nthreads);
+  result.seconds = monotonic_seconds() - t0;
+
+  result.zeta = zeta;
+  result.rnorm = rnorm;
+  double err = std::fabs(zeta - params.zeta_ref);
+  result.verify.verified = err <= 1e-10;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "zeta=%.13f (ref %.13f, err %.3e)", zeta,
+                params.zeta_ref, err);
+  result.verify.detail = buf;
+  return result;
+}
+
+simx::Program trace_cg(Class cls) {
+  const CgParams params = CgParams::for_class(cls);
+  const int n = params.na;
+
+  simx::Program program;
+  program.name = std::string("CG.") + to_char(cls);
+
+  auto loop_of = [n](simx::ChunkWorkFn fn, bool nowait) {
+    simx::LoopStep loop;
+    loop.iterations = n;
+    loop.work = std::move(fn);
+    loop.nowait = nowait;
+    return loop;
+  };
+  auto spmv_fn = [params](long lo, long hi) {
+    return spmv_work(params, lo, hi);
+  };
+  auto axpy_fn = [params](long lo, long hi) {
+    return axpy_work(params, lo, hi);
+  };
+
+  simx::RegionStep region;
+  auto add_dot = [&] {
+    region.steps.emplace_back(loop_of(axpy_fn, /*nowait=*/true));
+    region.steps.emplace_back(simx::ReduceStep{});
+  };
+  // init + rho = r.r
+  region.steps.emplace_back(loop_of(axpy_fn, false));
+  add_dot();
+  for (int cgit = 0; cgit < kCgIterations; ++cgit) {
+    region.steps.emplace_back(loop_of(spmv_fn, false));  // q = A p
+    add_dot();                                           // d = p.q
+    region.steps.emplace_back(loop_of(axpy_fn, false));  // z, r update
+    add_dot();                                           // rho = r.r
+    region.steps.emplace_back(loop_of(axpy_fn, false));  // p = r + beta p
+  }
+  region.steps.emplace_back(loop_of(spmv_fn, false));  // A z
+  add_dot();                                           // || x - A z ||
+  // zeta bookkeeping: two dots + normalize.
+  add_dot();
+  add_dot();
+  region.steps.emplace_back(loop_of(axpy_fn, false));
+
+  for (int it = 0; it < params.niter; ++it) program.steps.emplace_back(region);
+  return program;
+}
+
+}  // namespace ompmca::npb

@@ -1,0 +1,45 @@
+// NPB CG — conjugate gradient with an irregular sparse matrix.
+//
+// Estimates the smallest eigenvalue of a random sparse SPD matrix by inverse
+// power iteration; each of the `niter` outer iterations runs 25 CG steps.
+// The matrix comes from the reference makea() generator (random sparse
+// vectors combined as weighted outer products, rcond-conditioned), driven by
+// the NPB LCG, so the official zeta verification constants apply:
+//   S (na=1400,  nonzer=7,  shift=10):  8.5971775078648
+//   W (na=7000,  nonzer=8,  shift=12): 10.362595087124
+//   A (na=14000, nonzer=11, shift=20): 17.130235054029
+#pragma once
+
+#include "gomp/runtime.hpp"
+#include "npb/common.hpp"
+#include "simx/program.hpp"
+
+namespace ompmca::npb {
+
+struct CgParams {
+  int na = 1400;
+  int nonzer = 7;
+  int niter = 15;
+  double shift = 10.0;
+  double rcond = 0.1;
+  double zeta_ref = 8.5971775078648;
+
+  static CgParams for_class(Class c);
+  long nz() const {
+    return static_cast<long>(na) * (nonzer + 1) * (nonzer + 1);
+  }
+};
+
+struct CgResult {
+  double zeta = 0;
+  double rnorm = 0;   // final residual norm
+  long nnz = 0;       // assembled nonzeros
+  double seconds = 0;
+  VerifyResult verify;
+};
+
+CgResult run_cg(gomp::Runtime& rt, Class cls, unsigned nthreads = 0);
+
+simx::Program trace_cg(Class cls);
+
+}  // namespace ompmca::npb

@@ -1,0 +1,34 @@
+// NAS Parallel Benchmarks — shared definitions.
+//
+// The kernels (EP, CG, IS, MG, FT) are written against the project's
+// OpenMP-style runtime (gomp::Runtime), with two artifacts each:
+//   run_*()   — real execution, class S/W/A, with the official NPB
+//               verification where the reference constants are exact
+//               (EP sums, CG zeta), and conservation/sortedness checks
+//               where they are not reproduced (documented in DESIGN.md);
+//   trace_*() — a simx::Program timing skeleton built from the same
+//               problem constants, used by the Figure-4 virtual-time
+//               benches (class A on the modelled 24-thread board).
+#pragma once
+
+#include <string>
+
+namespace ompmca::npb {
+
+enum class Class { S, W, A };
+
+inline constexpr char to_char(Class c) {
+  switch (c) {
+    case Class::S: return 'S';
+    case Class::W: return 'W';
+    case Class::A: return 'A';
+  }
+  return '?';
+}
+
+struct VerifyResult {
+  bool verified = false;
+  std::string detail;  // human-readable: expected vs got
+};
+
+}  // namespace ompmca::npb

@@ -1,0 +1,45 @@
+// NPB EP — the "embarrassingly parallel" kernel.
+//
+// Generates 2^(M+1) uniform pseudorandoms with the NPB LCG, forms Gaussian
+// pairs by the Box–Muller acceptance method, and accumulates the sums of
+// the deviates plus annulus counts.  Verification: the official sx/sy
+// reference sums for classes S/W/A (relative error <= 1e-8).
+//
+// M: S=24, W=25, A=28.  Work is batched in blocks of 2^16 pairs; each batch
+// seeds its generator with an O(log n) skip, so batches are independent and
+// the kernel parallelizes over batches.
+#pragma once
+
+#include <array>
+
+#include "gomp/runtime.hpp"
+#include "npb/common.hpp"
+#include "simx/program.hpp"
+
+namespace ompmca::npb {
+
+struct EpResult {
+  double sx = 0;
+  double sy = 0;
+  double gaussian_count = 0;
+  std::array<double, 10> q{};  // annulus counts
+  double seconds = 0;          // wall time of the timed section
+  VerifyResult verify;
+};
+
+struct EpParams {
+  int m = 24;         // log2 of pair count
+  int batch_log2 = 16;
+
+  static EpParams for_class(Class c);
+  long batches() const { return 1L << (m - batch_log2); }
+  long pairs_per_batch() const { return 1L << batch_log2; }
+};
+
+/// Runs EP on @p rt with @p nthreads (0 = runtime default).
+EpResult run_ep(gomp::Runtime& rt, Class cls, unsigned nthreads = 0);
+
+/// Timing skeleton for the virtual-time executor.
+simx::Program trace_ep(Class cls);
+
+}  // namespace ompmca::npb

@@ -1,0 +1,398 @@
+#include "npb/ft.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ompmca::npb {
+
+namespace {
+
+using Complex = std::complex<double>;
+
+constexpr double kSeed = 314159265.0;
+constexpr double kAlpha = 1e-6;
+
+int ilog2(int n) {
+  int l = 0;
+  while ((1 << l) < n) ++l;
+  return l;
+}
+
+/// Swarztrauber roots-of-unity table (fft_init).
+std::vector<Complex> fft_roots(int n) {
+  int m = ilog2(n);
+  std::vector<Complex> u(static_cast<std::size_t>(n));
+  u[0] = Complex(static_cast<double>(m), 0.0);
+  int ku = 1;
+  int ln = 1;
+  for (int j = 1; j <= m; ++j) {
+    double t = M_PI / ln;
+    for (int i = 0; i < ln; ++i) {
+      double ti = i * t;
+      u[static_cast<std::size_t>(i + ku)] = Complex(std::cos(ti),
+                                                    std::sin(ti));
+    }
+    ku += ln;
+    ln *= 2;
+  }
+  return u;
+}
+
+/// One Stockham stage (reference fftz2).
+void fftz2(int is, int l, int m, int n, const std::vector<Complex>& u,
+           const Complex* x, Complex* y) {
+  const int n1 = n / 2;
+  const int lk = 1 << (l - 1);
+  const int li = 1 << (m - l);
+  const int lj = 2 * lk;
+  const int ku = li;
+  for (int i = 0; i < li; ++i) {
+    const int i11 = i * lk;
+    const int i12 = i11 + n1;
+    const int i21 = i * lj;
+    const int i22 = i21 + lk;
+    Complex u1 = is >= 1 ? u[static_cast<std::size_t>(ku + i)]
+                         : std::conj(u[static_cast<std::size_t>(ku + i)]);
+    for (int k = 0; k < lk; ++k) {
+      Complex x11 = x[i11 + k];
+      Complex x21 = x[i12 + k];
+      y[i21 + k] = x11 + x21;
+      y[i22 + k] = u1 * (x11 - x21);
+    }
+  }
+}
+
+/// Full 1D transform of a line of length n (reference cfftz, ping-pong
+/// between x and the scratch y; result ends in x).
+void cfftz(int is, int n, const std::vector<Complex>& u, Complex* x,
+           Complex* y) {
+  const int m = ilog2(n);
+  for (int l = 1; l <= m; l += 2) {
+    fftz2(is, l, m, n, u, x, y);
+    if (l + 1 > m) break;
+    fftz2(is, l + 1, m, n, u, y, x);
+  }
+  if (m % 2 == 1) {
+    for (int j = 0; j < n; ++j) x[j] = y[j];
+  }
+}
+
+struct FtGrids {
+  int nx, ny, nz;
+  std::vector<Complex> u0, u1;
+  std::vector<double> twiddle;
+
+  std::size_t idx(int k, int j, int i) const {
+    return (static_cast<std::size_t>(k) * ny + j) * nx + i;
+  }
+};
+
+platform::Work line_fft_work(int n, long lines) {
+  platform::Work w;
+  double ops = 5.0 * n * ilog2(n);  // classic FFT op count per line
+  w.flops = ops * static_cast<double>(lines);
+  w.bytes = static_cast<double>(lines) * n * sizeof(Complex) * 2.0;
+  // Lines are gathered from all over the grid: the slice streamed by a
+  // thread is what determines cache residency, not one line's buffer.
+  w.footprint_bytes = static_cast<double>(lines) * n * sizeof(Complex);
+  return w;
+}
+
+platform::Work evolve_work(long points) {
+  platform::Work w;
+  w.flops = static_cast<double>(points) * 6.0;
+  w.bytes = static_cast<double>(points) * (2 * sizeof(Complex) +
+                                           sizeof(double));
+  w.footprint_bytes = w.bytes;
+  return w;
+}
+
+}  // namespace
+
+FtParams FtParams::for_class(Class c) {
+  FtParams p;
+  switch (c) {
+    case Class::S:
+      p.nx = 64;
+      p.ny = 64;
+      p.nz = 64;
+      p.checksums_ref = {
+          {5.546087004964e+02, 4.845363331978e+02},
+          {5.546385409189e+02, 4.865304269511e+02},
+          {5.546148406171e+02, 4.883910722336e+02},
+          {5.545423607415e+02, 4.901273169046e+02},
+          {5.544255039624e+02, 4.917475857993e+02},
+          {5.542683411902e+02, 4.932597244941e+02},
+      };
+      break;
+    case Class::W:
+      p.nx = 128;
+      p.ny = 128;
+      p.nz = 32;
+      p.checksums_ref = {
+          {5.673612178944e+02, 5.293246849175e+02},
+          {5.631436885271e+02, 5.282149986629e+02},
+          {5.594024089970e+02, 5.270996558037e+02},
+          {5.560698047020e+02, 5.260027904925e+02},
+          {5.530898991250e+02, 5.249400845633e+02},
+          {5.504159734538e+02, 5.239212247086e+02},
+      };
+      break;
+    case Class::A:
+      p.nx = 256;
+      p.ny = 256;
+      p.nz = 128;
+      p.checksums_ref = {
+          {5.046735008193e+02, 5.114047905510e+02},
+          {5.059412319734e+02, 5.098809666433e+02},
+          {5.069376896287e+02, 5.098144042213e+02},
+          {5.077892868474e+02, 5.101336130759e+02},
+          {5.085233095391e+02, 5.104914655194e+02},
+          {5.091487099959e+02, 5.107917842803e+02},
+      };
+      break;
+  }
+  return p;
+}
+
+FtResult run_ft(gomp::Runtime& rt, Class cls, unsigned nthreads) {
+  const FtParams params = FtParams::for_class(cls);
+  const int nx = params.nx, ny = params.ny, nz = params.nz;
+  const long ntotal = params.ntotal();
+
+  FtGrids g{nx, ny, nz, {}, {}, {}};
+  g.u0.assign(static_cast<std::size_t>(ntotal), Complex{});
+  g.u1.assign(static_cast<std::size_t>(ntotal), Complex{});
+  g.twiddle.assign(static_cast<std::size_t>(ntotal), 0.0);
+
+  // Initial conditions: the LCG stream, one x-y plane per k, the plane seed
+  // advancing by a^(2*nx*ny) (reference compute_initial_conditions).
+  {
+    const double an =
+        NpbRandom::ipow46(NpbRandom::kDefaultMultiplier,
+                          2LL * nx * ny);
+    double start = kSeed;
+    for (int k = 0; k < nz; ++k) {
+      double x0 = start;
+      auto* plane =
+          reinterpret_cast<double*>(&g.u1[g.idx(k, 0, 0)]);
+      for (long t = 0; t < 2L * nx * ny; ++t) {
+        plane[t] = NpbRandom::randlc(&x0, NpbRandom::kDefaultMultiplier);
+      }
+      if (k != nz - 1) {
+        (void)NpbRandom::randlc(&start, an);
+      }
+    }
+  }
+
+  // Twiddle factors: exp(ap * folded-distance^2) per point.
+  {
+    const double ap = -4.0 * kAlpha * M_PI * M_PI;
+    for (int k = 0; k < nz; ++k) {
+      int kk = (k + nz / 2) % nz - nz / 2;
+      for (int j = 0; j < ny; ++j) {
+        int jj = (j + ny / 2) % ny - ny / 2;
+        for (int i = 0; i < nx; ++i) {
+          int ii = (i + nx / 2) % nx - nx / 2;
+          g.twiddle[g.idx(k, j, i)] = std::exp(
+              ap * (static_cast<double>(ii) * ii +
+                    static_cast<double>(jj) * jj +
+                    static_cast<double>(kk) * kk));
+        }
+      }
+    }
+  }
+
+  const auto roots_x = fft_roots(nx);
+  const auto roots_y = fft_roots(ny);
+  const auto roots_z = fft_roots(nz);
+
+  FtResult result;
+  result.checksums.resize(static_cast<std::size_t>(params.niter));
+
+  double t0 = monotonic_seconds();
+  rt.parallel(
+      [&](gomp::ParallelContext& ctx) {
+        std::vector<Complex> line(static_cast<std::size_t>(
+            std::max({nx, ny, nz})));
+        std::vector<Complex> scratch(line.size());
+
+        // 1D sweeps.  X lines are contiguous; Y and Z gather/scatter.
+        auto sweep_x = [&](int is, std::vector<Complex>& a) {
+          ctx.for_loop(0, static_cast<long>(nz) * ny, [&](long lo, long hi) {
+            for (long row = lo; row < hi; ++row) {
+              Complex* base = &a[static_cast<std::size_t>(row) * nx];
+              cfftz(is, nx, roots_x, base, scratch.data());
+            }
+            ctx.meter() += line_fft_work(nx, hi - lo);
+          });
+        };
+        auto sweep_y = [&](int is, std::vector<Complex>& a) {
+          ctx.for_loop(0, static_cast<long>(nz) * nx, [&](long lo, long hi) {
+            for (long col = lo; col < hi; ++col) {
+              int k = static_cast<int>(col / nx);
+              int i = static_cast<int>(col % nx);
+              for (int j = 0; j < ny; ++j) line[j] = a[g.idx(k, j, i)];
+              cfftz(is, ny, roots_y, line.data(), scratch.data());
+              for (int j = 0; j < ny; ++j) a[g.idx(k, j, i)] = line[j];
+            }
+            ctx.meter() += line_fft_work(ny, hi - lo);
+          });
+        };
+        auto sweep_z = [&](int is, std::vector<Complex>& a) {
+          ctx.for_loop(0, static_cast<long>(ny) * nx, [&](long lo, long hi) {
+            for (long col = lo; col < hi; ++col) {
+              int j = static_cast<int>(col / nx);
+              int i = static_cast<int>(col % nx);
+              for (int k = 0; k < nz; ++k) line[k] = a[g.idx(k, j, i)];
+              cfftz(is, nz, roots_z, line.data(), scratch.data());
+              for (int k = 0; k < nz; ++k) a[g.idx(k, j, i)] = line[k];
+            }
+            ctx.meter() += line_fft_work(nz, hi - lo);
+          });
+        };
+        auto fft3d = [&](int dir, std::vector<Complex>& a) {
+          if (dir == 1) {
+            sweep_x(1, a);
+            sweep_y(1, a);
+            sweep_z(1, a);
+          } else {
+            sweep_z(-1, a);
+            sweep_y(-1, a);
+            sweep_x(-1, a);
+          }
+        };
+
+        // Forward transform of the initial conditions: u0 = FFT(u1).
+        ctx.for_loop(0, ntotal, [&](long lo, long hi) {
+          for (long t = lo; t < hi; ++t) {
+            g.u0[static_cast<std::size_t>(t)] =
+                g.u1[static_cast<std::size_t>(t)];
+          }
+        });
+        fft3d(1, g.u0);
+
+        for (int iter = 1; iter <= params.niter; ++iter) {
+          // evolve: u0 *= twiddle; u1 = u0.
+          ctx.for_loop(0, ntotal, [&](long lo, long hi) {
+            for (long t = lo; t < hi; ++t) {
+              auto tu = static_cast<std::size_t>(t);
+              g.u0[tu] *= g.twiddle[tu];
+              g.u1[tu] = g.u0[tu];
+            }
+            ctx.meter() += evolve_work(hi - lo);
+          });
+          fft3d(-1, g.u1);
+
+          // Checksum over the reference's 1024 sample points.
+          double local_re = 0, local_im = 0;
+          ctx.for_loop(
+              1, 1025,
+              [&](long lo, long hi) {
+                for (long j = lo; j < hi; ++j) {
+                  int q = static_cast<int>(j % nx);
+                  int r = static_cast<int>((3 * j) % ny);
+                  int s = static_cast<int>((5 * j) % nz);
+                  Complex val = g.u1[g.idx(s, r, q)];
+                  local_re += val.real();
+                  local_im += val.imag();
+                }
+              },
+              {}, /*nowait=*/true);
+          double re = ctx.reduce_sum(local_re);
+          double im = ctx.reduce_sum(local_im);
+          ctx.single([&] {
+            result.checksums[static_cast<std::size_t>(iter - 1)] =
+                Complex(re, im) / static_cast<double>(ntotal);
+          });
+        }
+      },
+      nthreads);
+  result.seconds = monotonic_seconds() - t0;
+
+  bool ok_all = true;
+  std::string detail;
+  for (int i = 0; i < params.niter; ++i) {
+    const Complex got = result.checksums[static_cast<std::size_t>(i)];
+    const Complex ref = params.checksums_ref[static_cast<std::size_t>(i)];
+    double err_re = std::fabs((got.real() - ref.real()) / ref.real());
+    double err_im = std::fabs((got.imag() - ref.imag()) / ref.imag());
+    if (err_re > 1e-9 || err_im > 1e-9) {
+      ok_all = false;
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "iter %d: got (%.9e, %.9e) ref (%.9e, %.9e); ",
+                    i + 1, got.real(), got.imag(), ref.real(), ref.imag());
+      detail += buf;
+    }
+  }
+  result.verify.verified = ok_all;
+  result.verify.detail = ok_all ? "all checksums within 1e-9" : detail;
+  return result;
+}
+
+simx::Program trace_ft(Class cls) {
+  const FtParams params = FtParams::for_class(cls);
+  const int nx = params.nx, ny = params.ny, nz = params.nz;
+  const long ntotal = params.ntotal();
+
+  simx::Program program;
+  program.name = std::string("FT.") + to_char(cls);
+
+  auto sweep = [&](int n, long lines) {
+    simx::LoopStep loop;
+    loop.iterations = lines;
+    loop.work = [n](long lo, long hi) { return line_fft_work(n, hi - lo); };
+    return loop;
+  };
+
+  // Forward FFT region.
+  {
+    simx::RegionStep region;
+    simx::LoopStep copy;
+    copy.iterations = ntotal;
+    copy.work = [](long lo, long hi) {
+      platform::Work w;
+      w.bytes = static_cast<double>(hi - lo) * 2 * sizeof(Complex);
+      w.footprint_bytes = w.bytes;
+      return w;
+    };
+    region.steps.emplace_back(copy);
+    region.steps.emplace_back(sweep(nx, static_cast<long>(nz) * ny));
+    region.steps.emplace_back(sweep(ny, static_cast<long>(nz) * nx));
+    region.steps.emplace_back(sweep(nz, static_cast<long>(ny) * nx));
+    program.steps.emplace_back(std::move(region));
+  }
+  // Per-iteration region: evolve + inverse FFT + checksum.
+  simx::RegionStep iter_region;
+  {
+    simx::LoopStep evolve;
+    evolve.iterations = ntotal;
+    evolve.work = [](long lo, long hi) { return evolve_work(hi - lo); };
+    iter_region.steps.emplace_back(evolve);
+    iter_region.steps.emplace_back(sweep(nz, static_cast<long>(ny) * nx));
+    iter_region.steps.emplace_back(sweep(ny, static_cast<long>(nz) * nx));
+    iter_region.steps.emplace_back(sweep(nx, static_cast<long>(nz) * ny));
+    simx::LoopStep checksum;
+    checksum.iterations = 1024;
+    checksum.work = [](long lo, long hi) {
+      platform::Work w;
+      w.flops = static_cast<double>(hi - lo) * 2;
+      w.bytes = static_cast<double>(hi - lo) * sizeof(Complex);
+      w.footprint_bytes = 1024.0 * sizeof(Complex);
+      return w;
+    };
+    checksum.nowait = true;
+    iter_region.steps.emplace_back(checksum);
+    iter_region.steps.emplace_back(simx::ReduceStep{});
+    iter_region.steps.emplace_back(simx::ReduceStep{});
+  }
+  for (int i = 0; i < params.niter; ++i) {
+    program.steps.emplace_back(iter_region);
+  }
+  return program;
+}
+
+}  // namespace ompmca::npb

@@ -1,0 +1,44 @@
+// NPB FT — 3D fast Fourier transform PDE solver.
+//
+// Solves a 3D diffusion equation spectrally: forward 3D FFT of an
+// LCG-initialized complex grid, then per time step an evolution by
+// exp(-4 alpha pi^2 |k|^2 t) factors followed by an inverse 3D FFT and a
+// 1024-point checksum.  The FFT is the reference Swarztrauber radix-2
+// kernel (fftz2/cfftz) applied per line, so checksums track the official
+// values closely; verification uses a 1e-9 relative tolerance (DESIGN.md
+// discusses the rounding-order caveat vs the reference's 1e-12).
+//
+// Grids: S 64x64x64, W 128x128x32, A 256x256x128; 6 iterations each.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "gomp/runtime.hpp"
+#include "npb/common.hpp"
+#include "simx/program.hpp"
+
+namespace ompmca::npb {
+
+struct FtParams {
+  int nx = 64, ny = 64, nz = 64;
+  int niter = 6;
+  std::vector<std::complex<double>> checksums_ref;
+
+  static FtParams for_class(Class c);
+  long ntotal() const {
+    return static_cast<long>(nx) * ny * nz;
+  }
+};
+
+struct FtResult {
+  std::vector<std::complex<double>> checksums;
+  double seconds = 0;
+  VerifyResult verify;
+};
+
+FtResult run_ft(gomp::Runtime& rt, Class cls, unsigned nthreads = 0);
+
+simx::Program trace_ft(Class cls);
+
+}  // namespace ompmca::npb

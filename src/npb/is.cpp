@@ -1,0 +1,201 @@
+#include "npb/is.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ompmca::npb {
+
+namespace {
+
+constexpr double kSeed = 314159265.0;
+
+/// NPB create_seq: key[i] = (max_key/4) * (r1+r2+r3+r4).
+void create_seq(long num_keys, long max_key, std::vector<int>& keys) {
+  NpbRandom rng(kSeed);
+  const double k = static_cast<double>(max_key) / 4.0;
+  for (long i = 0; i < num_keys; ++i) {
+    double x = rng.next() + rng.next() + rng.next() + rng.next();
+    keys[static_cast<std::size_t>(i)] = static_cast<int>(k * x);
+  }
+}
+
+platform::Work histogram_work(const IsParams& params, long lo, long hi) {
+  platform::Work w;
+  double n = static_cast<double>(hi - lo);
+  w.int_ops = n * 4;
+  w.bytes = n * (sizeof(int) + sizeof(int));  // key read + bucket rmw
+  w.footprint_bytes = static_cast<double>(params.max_key()) * sizeof(int) +
+                      n * sizeof(int);
+  return w;
+}
+
+platform::Work scan_work(const IsParams& params, long lo, long hi) {
+  platform::Work w;
+  double n = static_cast<double>(hi - lo);
+  w.int_ops = n * 2;
+  w.bytes = n * sizeof(int) * 2;
+  w.footprint_bytes = static_cast<double>(params.max_key()) * sizeof(int);
+  return w;
+}
+
+}  // namespace
+
+IsParams IsParams::for_class(Class c) {
+  IsParams p;
+  switch (c) {
+    case Class::S:
+      p = {16, 11, 10};
+      break;
+    case Class::W:
+      p = {20, 16, 10};
+      break;
+    case Class::A:
+      p = {23, 19, 10};
+      break;
+  }
+  return p;
+}
+
+IsResult run_is(gomp::Runtime& rt, Class cls, unsigned nthreads) {
+  const IsParams params = IsParams::for_class(cls);
+  const long num_keys = params.num_keys();
+  const long max_key = params.max_key();
+
+  std::vector<int> keys(static_cast<std::size_t>(num_keys));
+  create_seq(num_keys, max_key, keys);
+
+  // Global rank table (bucket prefix sums) rebuilt each iteration.
+  std::vector<int> global_hist(static_cast<std::size_t>(max_key), 0);
+
+  const unsigned team =
+      nthreads != 0 ? rt.resolve_num_threads(nthreads) : rt.max_threads();
+  std::vector<std::vector<int>> private_hist(
+      team, std::vector<int>(static_cast<std::size_t>(max_key), 0));
+
+  IsResult result;
+  result.keys = num_keys;
+  double t0 = monotonic_seconds();
+
+  for (int iteration = 1; iteration <= params.iterations; ++iteration) {
+    // The reference perturbs two keys per iteration before ranking.
+    keys[static_cast<std::size_t>(iteration)] = iteration;
+    keys[static_cast<std::size_t>(iteration + params.iterations)] =
+        static_cast<int>(max_key) - iteration;
+
+    rt.parallel(
+        [&](gomp::ParallelContext& ctx) {
+          auto& hist = private_hist[ctx.thread_num()];
+          std::memset(hist.data(), 0, hist.size() * sizeof(int));
+
+          // Per-thread histograms over a key slice.
+          ctx.for_loop(
+              0, num_keys,
+              [&](long lo, long hi) {
+                for (long i = lo; i < hi; ++i) {
+                  ++hist[static_cast<std::size_t>(
+                      keys[static_cast<std::size_t>(i)])];
+                }
+                ctx.meter() += histogram_work(params, lo, hi);
+              },
+              {}, /*nowait=*/false);
+
+          // Merge: each thread sums one bucket-range across all threads,
+          // then prefix-scans its range after learning the carry.
+          ctx.for_loop(
+              0, max_key,
+              [&](long lo, long hi) {
+                for (long b = lo; b < hi; ++b) {
+                  int sum = 0;
+                  for (unsigned t = 0; t < ctx.num_threads(); ++t) {
+                    sum += private_hist[t][static_cast<std::size_t>(b)];
+                  }
+                  global_hist[static_cast<std::size_t>(b)] = sum;
+                }
+                ctx.meter() += scan_work(params, lo, hi);
+              },
+              {}, /*nowait=*/false);
+
+          // Serial prefix sum of the bucket counts (cheap: max_key terms).
+          ctx.single([&] {
+            for (long b = 1; b < max_key; ++b) {
+              global_hist[static_cast<std::size_t>(b)] +=
+                  global_hist[static_cast<std::size_t>(b - 1)];
+            }
+          });
+        },
+        nthreads);
+  }
+
+  // Full verification: counting-sort into place and check order plus
+  // population conservation.
+  std::vector<int> sorted(static_cast<std::size_t>(num_keys));
+  {
+    std::vector<int> cursor(static_cast<std::size_t>(max_key), 0);
+    // global_hist currently holds inclusive prefix sums of the final
+    // iteration's histogram; rebuild exclusive cursors.
+    for (long b = 0; b < max_key; ++b) {
+      cursor[static_cast<std::size_t>(b)] =
+          b == 0 ? 0 : global_hist[static_cast<std::size_t>(b - 1)];
+    }
+    for (long i = 0; i < num_keys; ++i) {
+      int key = keys[static_cast<std::size_t>(i)];
+      sorted[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(key)]++)] = key;
+    }
+  }
+  bool ordered = true;
+  for (long i = 1; i < num_keys && ordered; ++i) {
+    ordered = sorted[static_cast<std::size_t>(i - 1)] <=
+              sorted[static_cast<std::size_t>(i)];
+  }
+  bool conserved =
+      global_hist[static_cast<std::size_t>(max_key - 1)] == num_keys;
+
+  result.seconds = monotonic_seconds() - t0;
+  result.verify.verified = ordered && conserved;
+  result.verify.detail = std::string("full sort ") +
+                         (ordered ? "ordered" : "OUT OF ORDER") +
+                         ", population " +
+                         (conserved ? "conserved" : "LOST KEYS");
+  return result;
+}
+
+simx::Program trace_is(Class cls) {
+  const IsParams params = IsParams::for_class(cls);
+
+  simx::Program program;
+  program.name = std::string("IS.") + to_char(cls);
+
+  simx::RegionStep region;
+  simx::LoopStep hist;
+  hist.iterations = params.num_keys();
+  hist.schedule = gomp::ScheduleSpec{gomp::Schedule::kStatic, 0};
+  hist.work = [params](long lo, long hi) {
+    return histogram_work(params, lo, hi);
+  };
+  region.steps.emplace_back(hist);
+
+  simx::LoopStep merge;
+  merge.iterations = params.max_key();
+  merge.schedule = gomp::ScheduleSpec{gomp::Schedule::kStatic, 0};
+  merge.work = [params](long lo, long hi) {
+    return scan_work(params, lo, hi);
+  };
+  region.steps.emplace_back(merge);
+
+  // Serial prefix scan by the single winner.
+  simx::SerialStep scan;
+  scan.work = scan_work(params, 0, params.max_key());
+  region.steps.emplace_back(scan);
+
+  for (int i = 0; i < params.iterations; ++i) {
+    program.steps.emplace_back(region);
+  }
+  return program;
+}
+
+}  // namespace ompmca::npb

@@ -1,0 +1,42 @@
+// NPB IS — integer sort (bucketed counting-sort key ranking).
+//
+// Ten ranking iterations over N uniformly generated integer keys (the NPB
+// LCG, 4 randoms summed per key), each iteration perturbing two keys as the
+// reference does, followed by a full sort and verification.
+//
+// Verification note (DESIGN.md): the reference's *partial* verification
+// compares five class-specific magic ranks per iteration; those constants
+// are not reproduced here.  The *full* verification — every key in
+// nondecreasing order after the final counting sort, plus key-population
+// conservation — is implemented and is the stronger check.
+//
+// Sizes (log2 keys / log2 max key): S 16/11, W 20/16, A 23/19.
+#pragma once
+
+#include "gomp/runtime.hpp"
+#include "npb/common.hpp"
+#include "simx/program.hpp"
+
+namespace ompmca::npb {
+
+struct IsParams {
+  int total_keys_log2 = 16;
+  int max_key_log2 = 11;
+  int iterations = 10;
+
+  static IsParams for_class(Class c);
+  long num_keys() const { return 1L << total_keys_log2; }
+  long max_key() const { return 1L << max_key_log2; }
+};
+
+struct IsResult {
+  double seconds = 0;
+  long keys = 0;
+  VerifyResult verify;
+};
+
+IsResult run_is(gomp::Runtime& rt, Class cls, unsigned nthreads = 0);
+
+simx::Program trace_is(Class cls);
+
+}  // namespace ompmca::npb

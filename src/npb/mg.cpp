@@ -1,0 +1,466 @@
+#include "npb/mg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ompmca::npb {
+
+namespace {
+
+// Stencil coefficients (classes S/W/A share the smoother set).
+constexpr double kA[4] = {-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0};
+constexpr double kC[4] = {-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0};
+
+/// One grid level: an n³ box with one ghost layer per face (edge n = nx+2).
+struct Grid {
+  int n1 = 0, n2 = 0, n3 = 0;
+  std::vector<double> data;
+
+  void resize(int edge1, int edge2, int edge3) {
+    n1 = edge1;
+    n2 = edge2;
+    n3 = edge3;
+    data.assign(static_cast<std::size_t>(n1) * n2 * n3, 0.0);
+  }
+  double& at(int i3, int i2, int i1) {
+    return data[(static_cast<std::size_t>(i3) * n2 + i2) * n1 + i1];
+  }
+  double at(int i3, int i2, int i1) const {
+    return data[(static_cast<std::size_t>(i3) * n2 + i2) * n1 + i1];
+  }
+  void zero() { std::fill(data.begin(), data.end(), 0.0); }
+};
+
+/// Periodic ghost exchange, axis order 1, 2, 3 (the reference comm3).
+void comm3(Grid& u) {
+  const int n1 = u.n1, n2 = u.n2, n3 = u.n3;
+  for (int i3 = 1; i3 < n3 - 1; ++i3) {
+    for (int i2 = 1; i2 < n2 - 1; ++i2) {
+      u.at(i3, i2, 0) = u.at(i3, i2, n1 - 2);
+      u.at(i3, i2, n1 - 1) = u.at(i3, i2, 1);
+    }
+    for (int i1 = 0; i1 < n1; ++i1) {
+      u.at(i3, 0, i1) = u.at(i3, n2 - 2, i1);
+      u.at(i3, n2 - 1, i1) = u.at(i3, 1, i1);
+    }
+  }
+  for (int i2 = 0; i2 < n2; ++i2) {
+    for (int i1 = 0; i1 < n1; ++i1) {
+      u.at(0, i2, i1) = u.at(n3 - 2, i2, i1);
+      u.at(n3 - 1, i2, i1) = u.at(1, i2, i1);
+    }
+  }
+}
+
+/// r = v - A u over planes [lo3, hi3) (interior plane indices).
+void resid_planes(const Grid& u, const Grid& v, Grid& r, long lo3, long hi3) {
+  const int n1 = u.n1;
+  std::vector<double> u1(static_cast<std::size_t>(n1));
+  std::vector<double> u2(static_cast<std::size_t>(n1));
+  for (long i3 = lo3; i3 < hi3; ++i3) {
+    for (int i2 = 1; i2 < u.n2 - 1; ++i2) {
+      for (int i1 = 0; i1 < n1; ++i1) {
+        u1[i1] = u.at(i3, i2 - 1, i1) + u.at(i3, i2 + 1, i1) +
+                 u.at(i3 - 1, i2, i1) + u.at(i3 + 1, i2, i1);
+        u2[i1] = u.at(i3 - 1, i2 - 1, i1) + u.at(i3 - 1, i2 + 1, i1) +
+                 u.at(i3 + 1, i2 - 1, i1) + u.at(i3 + 1, i2 + 1, i1);
+      }
+      for (int i1 = 1; i1 < n1 - 1; ++i1) {
+        r.at(i3, i2, i1) =
+            v.at(i3, i2, i1) - kA[0] * u.at(i3, i2, i1) -
+            kA[2] * (u2[i1] + u1[i1 - 1] + u1[i1 + 1]) -
+            kA[3] * (u2[i1 - 1] + u2[i1 + 1]);
+      }
+    }
+  }
+}
+
+/// u += smoother(r) over planes [lo3, hi3).
+void psinv_planes(const Grid& r, Grid& u, long lo3, long hi3) {
+  const int n1 = r.n1;
+  std::vector<double> r1(static_cast<std::size_t>(n1));
+  std::vector<double> r2(static_cast<std::size_t>(n1));
+  for (long i3 = lo3; i3 < hi3; ++i3) {
+    for (int i2 = 1; i2 < r.n2 - 1; ++i2) {
+      for (int i1 = 0; i1 < n1; ++i1) {
+        r1[i1] = r.at(i3, i2 - 1, i1) + r.at(i3, i2 + 1, i1) +
+                 r.at(i3 - 1, i2, i1) + r.at(i3 + 1, i2, i1);
+        r2[i1] = r.at(i3 - 1, i2 - 1, i1) + r.at(i3 - 1, i2 + 1, i1) +
+                 r.at(i3 + 1, i2 - 1, i1) + r.at(i3 + 1, i2 + 1, i1);
+      }
+      for (int i1 = 1; i1 < n1 - 1; ++i1) {
+        u.at(i3, i2, i1) +=
+            kC[0] * r.at(i3, i2, i1) +
+            kC[1] * (r.at(i3, i2, i1 - 1) + r.at(i3, i2, i1 + 1) + r1[i1]) +
+            kC[2] * (r2[i1] + r1[i1 - 1] + r1[i1 + 1]);
+        // kC[3] term dropped: coefficient is zero for these classes.
+      }
+    }
+  }
+}
+
+/// Full-weighting restriction: s (coarse) from r (fine), coarse planes
+/// [lo3, hi3) (interior of the coarse grid).
+void rprj3_planes(const Grid& r, Grid& s, long lo3, long hi3) {
+  const int m1j = s.n1, m2j = s.n2;
+  const int d1 = r.n1 == 3 ? 2 : 1;
+  const int d2 = r.n2 == 3 ? 2 : 1;
+  const int d3 = r.n3 == 3 ? 2 : 1;
+  std::vector<double> x1(static_cast<std::size_t>(r.n1));
+  std::vector<double> y1(static_cast<std::size_t>(r.n1));
+  for (long j3 = lo3; j3 < hi3; ++j3) {
+    const int i3 = static_cast<int>(2 * j3 - d3);
+    for (int j2 = 1; j2 < m2j - 1; ++j2) {
+      const int i2 = 2 * j2 - d2;
+      for (int j1 = 1; j1 < m1j; ++j1) {
+        const int i1 = 2 * j1 - d1;
+        x1[i1] = r.at(i3 + 1, i2, i1) + r.at(i3 + 1, i2 + 2, i1) +
+                 r.at(i3, i2 + 1, i1) + r.at(i3 + 2, i2 + 1, i1);
+        y1[i1] = r.at(i3, i2, i1) + r.at(i3 + 2, i2, i1) +
+                 r.at(i3, i2 + 2, i1) + r.at(i3 + 2, i2 + 2, i1);
+      }
+      for (int j1 = 1; j1 < m1j - 1; ++j1) {
+        const int i1 = 2 * j1 - d1;
+        const double y2 = r.at(i3, i2, i1 + 1) + r.at(i3 + 2, i2, i1 + 1) +
+                          r.at(i3, i2 + 2, i1 + 1) +
+                          r.at(i3 + 2, i2 + 2, i1 + 1);
+        const double x2 = r.at(i3 + 1, i2, i1 + 1) +
+                          r.at(i3 + 1, i2 + 2, i1 + 1) +
+                          r.at(i3, i2 + 1, i1 + 1) +
+                          r.at(i3 + 2, i2 + 1, i1 + 1);
+        s.at(j3, j2, j1) =
+            0.5 * r.at(i3 + 1, i2 + 1, i1 + 1) +
+            0.25 * (r.at(i3 + 1, i2 + 1, i1) + r.at(i3 + 1, i2 + 1, i1 + 2) +
+                    x2) +
+            0.125 * (x1[i1] + x1[i1 + 2] + y2) +
+            0.0625 * (y1[i1] + y1[i1 + 2]);
+      }
+    }
+  }
+}
+
+/// Trilinear prolongation: u (fine) += interp(z (coarse)), coarse planes
+/// [lo3, hi3) over 0..mm3-2.
+void interp_planes(const Grid& z, Grid& u, long lo3, long hi3) {
+  const int mm1 = z.n1, mm2 = z.n2;
+  std::vector<double> z1(static_cast<std::size_t>(mm1));
+  std::vector<double> z2(static_cast<std::size_t>(mm1));
+  std::vector<double> z3(static_cast<std::size_t>(mm1));
+  for (long ii3 = lo3; ii3 < hi3; ++ii3) {
+    const int i3 = static_cast<int>(ii3);
+    for (int i2 = 0; i2 < mm2 - 1; ++i2) {
+      for (int i1 = 0; i1 < mm1; ++i1) {
+        z1[i1] = z.at(i3, i2 + 1, i1) + z.at(i3, i2, i1);
+        z2[i1] = z.at(i3 + 1, i2, i1) + z.at(i3, i2, i1);
+        z3[i1] = z.at(i3 + 1, i2 + 1, i1) + z.at(i3 + 1, i2, i1) + z1[i1];
+      }
+      for (int i1 = 0; i1 < mm1 - 1; ++i1) {
+        u.at(2 * i3, 2 * i2, 2 * i1) += z.at(i3, i2, i1);
+        u.at(2 * i3, 2 * i2, 2 * i1 + 1) +=
+            0.5 * (z.at(i3, i2, i1 + 1) + z.at(i3, i2, i1));
+      }
+      for (int i1 = 0; i1 < mm1 - 1; ++i1) {
+        u.at(2 * i3, 2 * i2 + 1, 2 * i1) += 0.5 * z1[i1];
+        u.at(2 * i3, 2 * i2 + 1, 2 * i1 + 1) += 0.25 * (z1[i1] + z1[i1 + 1]);
+      }
+      for (int i1 = 0; i1 < mm1 - 1; ++i1) {
+        u.at(2 * i3 + 1, 2 * i2, 2 * i1) += 0.5 * z2[i1];
+        u.at(2 * i3 + 1, 2 * i2, 2 * i1 + 1) += 0.25 * (z2[i1] + z2[i1 + 1]);
+      }
+      for (int i1 = 0; i1 < mm1 - 1; ++i1) {
+        u.at(2 * i3 + 1, 2 * i2 + 1, 2 * i1) += 0.25 * z3[i1];
+        u.at(2 * i3 + 1, 2 * i2 + 1, 2 * i1 + 1) +=
+            0.125 * (z3[i1] + z3[i1 + 1]);
+      }
+    }
+  }
+}
+
+/// The reference zran3: LCG-filled grid, +1 at the ten largest interior
+/// values, -1 at the ten smallest (scan order and strict compares match the
+/// reference, so positions are bit-identical).
+void zran3(Grid& z, int nx, int ny) {
+  constexpr int kTen = 10;
+  const double a1 = NpbRandom::ipow46(NpbRandom::kDefaultMultiplier, nx);
+  const double a2 = NpbRandom::ipow46(NpbRandom::kDefaultMultiplier,
+                                      static_cast<long long>(nx) * ny);
+  z.zero();
+
+  double x0 = 314159265.0;
+  for (int i3 = 1; i3 < z.n3 - 1; ++i3) {
+    double x1 = x0;
+    for (int i2 = 1; i2 < z.n2 - 1; ++i2) {
+      double xx = x1;
+      for (int i1 = 1; i1 <= nx; ++i1) {
+        z.at(i3, i2, i1) =
+            NpbRandom::randlc(&xx, NpbRandom::kDefaultMultiplier);
+      }
+      (void)NpbRandom::randlc(&x1, a1);
+    }
+    (void)NpbRandom::randlc(&x0, a2);
+  }
+
+  struct Pos {
+    double value;
+    int j1, j2, j3;
+  };
+  // ten[.][1]: the ten largest, ascending; ten[.][0]: ten smallest,
+  // descending — the reference's bubble order.
+  Pos largest[kTen];
+  Pos smallest[kTen];
+  for (int i = 0; i < kTen; ++i) {
+    largest[i] = {0.0, 0, 0, 0};
+    smallest[i] = {1.0, 0, 0, 0};
+  }
+  auto bubble_up = [](Pos* arr, bool ascending) {
+    for (int i = 0; i < kTen - 1; ++i) {
+      bool out_of_order = ascending ? arr[i].value > arr[i + 1].value
+                                    : arr[i].value < arr[i + 1].value;
+      if (!out_of_order) return;
+      std::swap(arr[i], arr[i + 1]);
+    }
+  };
+  for (int i3 = 1; i3 < z.n3 - 1; ++i3) {
+    for (int i2 = 1; i2 < z.n2 - 1; ++i2) {
+      for (int i1 = 1; i1 < z.n1 - 1; ++i1) {
+        double v = z.at(i3, i2, i1);
+        if (v > largest[0].value) {
+          largest[0] = {v, i1, i2, i3};
+          bubble_up(largest, /*ascending=*/true);
+        }
+        if (v < smallest[0].value) {
+          smallest[0] = {v, i1, i2, i3};
+          bubble_up(smallest, /*ascending=*/false);
+        }
+      }
+    }
+  }
+
+  z.zero();
+  for (int i = 0; i < kTen; ++i) {
+    z.at(smallest[i].j3, smallest[i].j2, smallest[i].j1) = -1.0;
+    z.at(largest[i].j3, largest[i].j2, largest[i].j1) = +1.0;
+  }
+  comm3(z);
+}
+
+platform::Work stencil_work(const Grid& g, long lo3, long hi3,
+                            double flops_per_point) {
+  platform::Work w;
+  double points = static_cast<double>(hi3 - lo3) * (g.n2 - 2) * (g.n1 - 2);
+  w.flops = points * flops_per_point;
+  w.bytes = points * 5 * sizeof(double);  // ~4 plane reads + 1 write
+  w.footprint_bytes =
+      static_cast<double>(hi3 - lo3 + 2) * g.n2 * g.n1 * sizeof(double) * 2;
+  return w;
+}
+
+}  // namespace
+
+MgParams MgParams::for_class(Class c) {
+  MgParams p;
+  switch (c) {
+    case Class::S:
+      p = {32, 5, 4, 0.5307707005734e-04};
+      break;
+    case Class::W:
+      p = {128, 7, 4, 0.6467329375339e-05};
+      break;
+    case Class::A:
+      p = {256, 8, 4, 0.2433365309069e-05};
+      break;
+  }
+  return p;
+}
+
+MgResult run_mg(gomp::Runtime& rt, Class cls, unsigned nthreads) {
+  const MgParams params = MgParams::for_class(cls);
+  const int lt = params.lt;
+  const int lb = 1;
+
+  // Per-level grids: level k (1..lt) has edge 2^k + 2.
+  std::vector<Grid> u(static_cast<std::size_t>(lt + 1));
+  std::vector<Grid> r(static_cast<std::size_t>(lt + 1));
+  Grid v;
+  for (int k = 1; k <= lt; ++k) {
+    int edge = (1 << k) + 2;
+    u[k].resize(edge, edge, edge);
+    r[k].resize(edge, edge, edge);
+  }
+  v.resize(params.nx + 2, params.nx + 2, params.nx + 2);
+
+  zran3(v, params.nx, params.nx);
+
+  MgResult result;
+  double rnm2 = 0, rnmu = 0;
+
+  double t0 = monotonic_seconds();
+  rt.parallel(
+      [&](gomp::ParallelContext& ctx) {
+        // Plane-parallel operator applications with a serial comm3 (its
+        // O(n^2) ghost copies are the kernel's scalability limiter — the
+        // trace models it the same way).
+        auto resid_op = [&](const Grid& uu, const Grid& vv, Grid& rr) {
+          ctx.for_loop(1, rr.n3 - 1, [&](long lo, long hi) {
+            resid_planes(uu, vv, rr, lo, hi);
+            ctx.meter() += stencil_work(rr, lo, hi, 15.0);
+          });
+          ctx.single([&] { comm3(rr); });
+        };
+        auto psinv_op = [&](const Grid& rr, Grid& uu) {
+          ctx.for_loop(1, uu.n3 - 1, [&](long lo, long hi) {
+            psinv_planes(rr, uu, lo, hi);
+            ctx.meter() += stencil_work(uu, lo, hi, 15.0);
+          });
+          ctx.single([&] { comm3(uu); });
+        };
+        auto rprj3_op = [&](const Grid& fine, Grid& coarse) {
+          ctx.for_loop(1, coarse.n3 - 1, [&](long lo, long hi) {
+            rprj3_planes(fine, coarse, lo, hi);
+            ctx.meter() += stencil_work(coarse, lo, hi, 20.0);
+          });
+          ctx.single([&] { comm3(coarse); });
+        };
+        auto interp_op = [&](const Grid& coarse, Grid& fine) {
+          // Coarse planes 0..mm3-2; plane pairs write disjoint fine planes.
+          ctx.for_loop(0, coarse.n3 - 1, [&](long lo, long hi) {
+            interp_planes(coarse, fine, lo, hi);
+            ctx.meter() += stencil_work(fine, lo, hi, 8.0);
+          });
+        };
+        auto norm2u3 = [&](const Grid& rr, double* n2out, double* nuout) {
+          double local_s = 0.0, local_max = 0.0;
+          ctx.for_loop(
+              1, rr.n3 - 1,
+              [&](long lo, long hi) {
+                for (long i3 = lo; i3 < hi; ++i3) {
+                  for (int i2 = 1; i2 < rr.n2 - 1; ++i2) {
+                    for (int i1 = 1; i1 < rr.n1 - 1; ++i1) {
+                      double val = rr.at(static_cast<int>(i3), i2, i1);
+                      local_s += val * val;
+                      local_max = std::max(local_max, std::fabs(val));
+                    }
+                  }
+                }
+              },
+              {}, /*nowait=*/true);
+          double s = ctx.reduce_sum(local_s);
+          double mx = ctx.reduce_max(local_max);
+          double n = static_cast<double>(params.nx);
+          *n2out = std::sqrt(s / (n * n * n));
+          *nuout = mx;
+        };
+
+        auto mg3p = [&] {
+          for (int k = lt; k >= lb + 1; --k) {
+            rprj3_op(r[k], r[k - 1]);
+          }
+          ctx.single([&] { u[lb].zero(); });
+          psinv_op(r[lb], u[lb]);
+          for (int k = lb + 1; k <= lt - 1; ++k) {
+            ctx.single([&] { u[k].zero(); });
+            interp_op(u[k - 1], u[k]);
+            resid_op(u[k], r[k], r[k]);
+            psinv_op(r[k], u[k]);
+          }
+          interp_op(u[lt - 1], u[lt]);
+          resid_op(u[lt], v, r[lt]);
+          psinv_op(r[lt], u[lt]);
+        };
+
+        resid_op(u[lt], v, r[lt]);
+        for (int it = 1; it <= params.nit; ++it) {
+          mg3p();
+          resid_op(u[lt], v, r[lt]);
+        }
+        norm2u3(r[lt], &rnm2, &rnmu);
+      },
+      nthreads);
+  result.seconds = monotonic_seconds() - t0;
+
+  result.rnm2 = rnm2;
+  result.rnmu = rnmu;
+  double err = std::fabs((rnm2 - params.verify_rnm2) / params.verify_rnm2);
+  result.verify.verified = err <= 1e-8;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "rnm2=%.13e (ref %.13e, rel err %.3e)",
+                rnm2, params.verify_rnm2, err);
+  result.verify.detail = buf;
+  return result;
+}
+
+simx::Program trace_mg(Class cls) {
+  const MgParams params = MgParams::for_class(cls);
+  const int lt = params.lt;
+  const int lb = 1;
+
+  simx::Program program;
+  program.name = std::string("MG.") + to_char(cls);
+
+  auto edge = [](int k) { return (1 << k) + 2; };
+  auto grid_loop = [&](int k, double flops_per_point, bool halve = false) {
+    simx::LoopStep loop;
+    int e = edge(halve ? k - 1 : k);
+    loop.iterations = e - 2;
+    double plane_points = static_cast<double>(e - 2) * (e - 2);
+    double bytes_per_point = 5.0 * sizeof(double);
+    double footprint = static_cast<double>(e) * e * 3 * sizeof(double);
+    loop.work = [=](long lo, long hi) {
+      platform::Work w;
+      double points = static_cast<double>(hi - lo) * plane_points;
+      w.flops = points * flops_per_point;
+      w.bytes = points * bytes_per_point;
+      w.footprint_bytes = footprint * static_cast<double>(hi - lo + 2);
+      return w;
+    };
+    return loop;
+  };
+  auto comm3_step = [&](int k) {
+    simx::SerialStep s;
+    double e = static_cast<double>(edge(k));
+    s.work.bytes = 6.0 * e * e * sizeof(double);
+    s.work.int_ops = 6.0 * e * e;
+    s.work.footprint_bytes = e * e * e * sizeof(double);
+    return s;
+  };
+
+  simx::RegionStep region;
+  auto add_op = [&](int k, double fpp) {
+    region.steps.emplace_back(grid_loop(k, fpp));
+    region.steps.emplace_back(comm3_step(k));
+  };
+  auto add_vcycle = [&] {
+    for (int k = lt; k >= lb + 1; --k) {
+      region.steps.emplace_back(grid_loop(k - 1, 20.0));
+      region.steps.emplace_back(comm3_step(k - 1));
+    }
+    add_op(lb, 15.0);  // coarsest psinv
+    for (int k = lb + 1; k <= lt - 1; ++k) {
+      region.steps.emplace_back(grid_loop(k - 1, 8.0));  // interp
+      add_op(k, 15.0);                                   // resid
+      add_op(k, 15.0);                                   // psinv
+    }
+    region.steps.emplace_back(grid_loop(lt - 1, 8.0));
+    add_op(lt, 15.0);
+    add_op(lt, 15.0);
+  };
+
+  add_op(lt, 15.0);  // initial resid
+  for (int it = 0; it < params.nit; ++it) {
+    add_vcycle();
+    add_op(lt, 15.0);
+  }
+  // Final norm: a loop plus two reductions.
+  region.steps.emplace_back(grid_loop(lt, 4.0));
+  region.steps.emplace_back(simx::ReduceStep{});
+  region.steps.emplace_back(simx::ReduceStep{});
+  program.steps.emplace_back(std::move(region));
+  return program;
+}
+
+}  // namespace ompmca::npb

@@ -1,0 +1,40 @@
+// NPB MG — simple 3D multigrid, V-cycle on a periodic Poisson problem.
+//
+// nit V-cycles on a nx³ grid whose right-hand side is the reference zran3
+// charge distribution (+1 at the ten largest values of an LCG-filled grid,
+// -1 at the ten smallest).  Operators are the reference four-coefficient
+// 27-point stencils: resid (a), psinv smoother (c), rprj3 full-weighting
+// restriction, interp trilinear prolongation, with periodic ghost exchange
+// (comm3).  Verification: the official L2 residual norms,
+//   S (32³, 4 it): 0.5307707005734e-04
+//   W (128³, 4 it): 0.6467329375339e-05
+//   A (256³, 4 it): 0.2433365309069e-05
+#pragma once
+
+#include "gomp/runtime.hpp"
+#include "npb/common.hpp"
+#include "simx/program.hpp"
+
+namespace ompmca::npb {
+
+struct MgParams {
+  int nx = 32;      // grid edge (cube)
+  int lt = 5;       // number of levels (2^lt = nx)
+  int nit = 4;      // V-cycles
+  double verify_rnm2 = 0.5307707005734e-04;
+
+  static MgParams for_class(Class c);
+};
+
+struct MgResult {
+  double rnm2 = 0;   // final L2 residual norm
+  double rnmu = 0;   // final max-norm
+  double seconds = 0;
+  VerifyResult verify;
+};
+
+MgResult run_mg(gomp::Runtime& rt, Class cls, unsigned nthreads = 0);
+
+simx::Program trace_mg(Class cls);
+
+}  // namespace ompmca::npb

@@ -1,0 +1,9 @@
+// Umbrella header for the NAS Parallel Benchmark kernels.
+#pragma once
+
+#include "npb/cg.hpp"      // IWYU pragma: export
+#include "npb/common.hpp"  // IWYU pragma: export
+#include "npb/ep.hpp"      // IWYU pragma: export
+#include "npb/ft.hpp"      // IWYU pragma: export
+#include "npb/is.hpp"      // IWYU pragma: export
+#include "npb/mg.hpp"      // IWYU pragma: export

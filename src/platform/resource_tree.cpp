@@ -1,0 +1,180 @@
+#include "platform/resource_tree.hpp"
+
+#include <sstream>
+
+namespace ompmca::platform {
+
+std::string_view to_string(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::kSystem: return "system";
+    case ResourceKind::kPartition: return "partition";
+    case ResourceKind::kCluster: return "cluster";
+    case ResourceKind::kCore: return "core";
+    case ResourceKind::kHwThread: return "hw_thread";
+    case ResourceKind::kCache: return "cache";
+    case ResourceKind::kMemory: return "memory";
+    case ResourceKind::kDma: return "dma";
+    case ResourceKind::kIoDevice: return "io_device";
+  }
+  return "unknown";
+}
+
+ResourceNode* ResourceNode::add_child(ResourceKind k, std::string child_name) {
+  auto child = std::make_unique<ResourceNode>();
+  child->kind = k;
+  child->name = std::move(child_name);
+  children.push_back(std::move(child));
+  return children.back().get();
+}
+
+std::size_t ResourceNode::count(ResourceKind k) const {
+  std::size_t n = (kind == k) ? 1 : 0;
+  for (const auto& c : children) n += c->count(k);
+  return n;
+}
+
+const ResourceNode* ResourceNode::find_first(ResourceKind k) const {
+  if (kind == k) return this;
+  for (const auto& c : children) {
+    if (const ResourceNode* found = c->find_first(k)) return found;
+  }
+  return nullptr;
+}
+
+std::int64_t ResourceNode::attr_int(const std::string& key,
+                                    std::int64_t fallback) const {
+  auto it = attributes.find(key);
+  if (it == attributes.end()) return fallback;
+  if (const auto* v = std::get_if<std::int64_t>(&it->second)) return *v;
+  return fallback;
+}
+
+std::string ResourceNode::attr_string(const std::string& key,
+                                      const std::string& fallback) const {
+  auto it = attributes.find(key);
+  if (it == attributes.end()) return fallback;
+  if (const auto* v = std::get_if<std::string>(&it->second)) return *v;
+  return fallback;
+}
+
+namespace {
+
+void add_core_subtree(ResourceNode* parent, const Topology& topo,
+                      const Core& core) {
+  ResourceNode* core_node =
+      parent->add_child(ResourceKind::kCore, "e6500-core" + std::to_string(core.id));
+  core_node->attributes["id"] = static_cast<std::int64_t>(core.id);
+  core_node->attributes["frequency_mhz"] =
+      static_cast<std::int64_t>(topo.frequency_ghz() * 1000.0);
+  const CacheSpec& l1 = topo.cache(0);
+  ResourceNode* l1_node = core_node->add_child(ResourceKind::kCache, l1.name);
+  l1_node->attributes["size_bytes"] = static_cast<std::int64_t>(l1.size_bytes);
+  l1_node->attributes["line_bytes"] = static_cast<std::int64_t>(l1.line_bytes);
+  for (unsigned hw : core.hw_threads) {
+    const HwThread& t = topo.hw_thread(hw);
+    ResourceNode* hw_node = core_node->add_child(
+        ResourceKind::kHwThread, "hwthread" + std::to_string(t.id));
+    hw_node->attributes["id"] = static_cast<std::int64_t>(t.id);
+    hw_node->attributes["smt_lane"] = static_cast<std::int64_t>(t.smt_lane);
+    hw_node->attributes["online"] = static_cast<std::int64_t>(1);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<ResourceNode> build_resource_tree(const Topology& topo,
+                                                  const HypervisorConfig* hv) {
+  auto root = std::make_unique<ResourceNode>();
+  root->kind = ResourceKind::kSystem;
+  root->name = topo.name();
+  root->attributes["num_cores"] = static_cast<std::int64_t>(topo.num_cores());
+  root->attributes["num_hw_threads"] =
+      static_cast<std::int64_t>(topo.num_hw_threads());
+  root->attributes["frequency_mhz"] =
+      static_cast<std::int64_t>(topo.frequency_ghz() * 1000.0);
+
+  for (unsigned cl = 0; cl < topo.num_clusters(); ++cl) {
+    const Cluster& cluster = topo.cluster(cl);
+    ResourceNode* cl_node = root->add_child(
+        ResourceKind::kCluster, "cluster" + std::to_string(cl));
+    cl_node->attributes["id"] = static_cast<std::int64_t>(cl);
+    if (topo.caches().size() > 1) {
+      const CacheSpec& l2 = topo.cache(1);
+      ResourceNode* l2_node = cl_node->add_child(ResourceKind::kCache, l2.name);
+      l2_node->attributes["size_bytes"] =
+          static_cast<std::int64_t>(l2.size_bytes);
+      l2_node->attributes["shared_by_hw_threads"] =
+          static_cast<std::int64_t>(l2.shared_by_hw_threads);
+    }
+    for (unsigned core_id : cluster.cores) {
+      add_core_subtree(cl_node, topo, topo.core(core_id));
+    }
+  }
+
+  if (topo.caches().size() > 2) {
+    const CacheSpec& l3 = topo.cache(2);
+    ResourceNode* l3_node = root->add_child(ResourceKind::kCache, l3.name);
+    l3_node->attributes["size_bytes"] = static_cast<std::int64_t>(l3.size_bytes);
+  }
+
+  ResourceNode* mem = root->add_child(ResourceKind::kMemory, "ddr");
+  mem->attributes["bandwidth_mbps"] =
+      static_cast<std::int64_t>(topo.dram_bandwidth_gbps() * 1000.0);
+  ResourceNode* dma = root->add_child(ResourceKind::kDma, "dma0");
+  dma->attributes["channels"] = static_cast<std::int64_t>(8);
+
+  if (hv != nullptr) {
+    for (const Partition& p : hv->partitions()) {
+      ResourceNode* pn = root->add_child(ResourceKind::kPartition, p.name);
+      pn->attributes["num_hw_threads"] =
+          static_cast<std::int64_t>(p.hw_threads.size());
+      pn->attributes["memory_bytes"] =
+          static_cast<std::int64_t>(p.memory.size);
+      for (unsigned hw : p.hw_threads) {
+        ResourceNode* hw_node = pn->add_child(
+            ResourceKind::kHwThread, "hwthread" + std::to_string(hw));
+        hw_node->attributes["id"] = static_cast<std::int64_t>(hw);
+      }
+      for (const std::string& dev : p.io_devices) {
+        pn->add_child(ResourceKind::kIoDevice, dev);
+      }
+    }
+  }
+  return root;
+}
+
+namespace {
+
+void render(const ResourceNode& node, int depth, std::ostringstream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << "[" << to_string(node.kind) << "] " << node.name;
+  if (!node.attributes.empty()) {
+    out << " {";
+    bool first = true;
+    for (const auto& [key, value] : node.attributes) {
+      if (!first) out << ", ";
+      first = false;
+      out << key << "=";
+      if (const auto* i = std::get_if<std::int64_t>(&value)) {
+        out << *i;
+      } else if (const auto* d = std::get_if<double>(&value)) {
+        out << *d;
+      } else {
+        out << std::get<std::string>(value);
+      }
+    }
+    out << "}";
+  }
+  out << "\n";
+  for (const auto& c : node.children) render(*c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string render_resource_tree(const ResourceNode& root) {
+  std::ostringstream out;
+  render(root, 0, out);
+  return out.str();
+}
+
+}  // namespace ompmca::platform

@@ -1,0 +1,65 @@
+// Generic system-resource tree (the shape MRAPI metadata exposes, §2B.4).
+//
+// MRAPI's mrapi_resources_get() hands applications a tree of resources with
+// typed attributes.  platform builds that tree from a Topology (+ optional
+// hypervisor partitions); mrapi::Metadata wraps it behind the MRAPI-style
+// query API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "platform/partition.hpp"
+#include "platform/topology.hpp"
+
+namespace ompmca::platform {
+
+enum class ResourceKind {
+  kSystem,
+  kPartition,
+  kCluster,
+  kCore,
+  kHwThread,
+  kCache,
+  kMemory,
+  kDma,
+  kIoDevice,
+};
+
+std::string_view to_string(ResourceKind k);
+
+using AttributeValue = std::variant<std::int64_t, double, std::string>;
+
+struct ResourceNode {
+  ResourceKind kind = ResourceKind::kSystem;
+  std::string name;
+  std::map<std::string, AttributeValue> attributes;
+  std::vector<std::unique_ptr<ResourceNode>> children;
+
+  ResourceNode* add_child(ResourceKind k, std::string child_name);
+
+  /// Depth-first count of nodes of @p k in this subtree (self included).
+  std::size_t count(ResourceKind k) const;
+
+  /// First node of kind @p k in DFS order, or nullptr.
+  const ResourceNode* find_first(ResourceKind k) const;
+
+  /// Attribute lookup helpers; return fallback when missing/mistyped.
+  std::int64_t attr_int(const std::string& key, std::int64_t fallback = 0) const;
+  std::string attr_string(const std::string& key,
+                          const std::string& fallback = {}) const;
+};
+
+/// Builds the full resource tree for a board.  When @p hv is non-null each
+/// partition becomes a subtree owning its HW threads.
+std::unique_ptr<ResourceNode> build_resource_tree(
+    const Topology& topo, const HypervisorConfig* hv = nullptr);
+
+/// Renders the tree as an indented listing (used by examples/platform_report).
+std::string render_resource_tree(const ResourceNode& root);
+
+}  // namespace ompmca::platform

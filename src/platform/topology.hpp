@@ -1,0 +1,147 @@
+// Board topology model.
+//
+// The paper evaluates on a Freescale T4240RDB: twelve PowerPC e6500 cores at
+// 1.8 GHz, dual-threaded (24 HW threads), grouped into three clusters of four
+// cores; each cluster shares a banked L2, the clusters meet at the CoreNet
+// coherency fabric with a 1.5 MB CoreNet platform (L3) cache.  Their previous
+// board (P4080DS, eight single-threaded e500mc cores with private backside
+// L2) is modelled too, since §4C compares the two.
+//
+// The topology object is the single source of truth consumed by
+//  * mrapi::Metadata (the resource tree the runtime queries),
+//  * platform::CostModel (the analytic timing model),
+//  * gomp thread placement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ompmca::platform {
+
+/// Thread-to-HW-thread mapping policy (OMP_PROC_BIND's spread/close).
+enum class PlacementPolicy { kScatter, kCompact };
+
+/// One level of the cache hierarchy.
+struct CacheSpec {
+  std::string name;          // "L1D", "L2", "L3/CPC"
+  std::size_t size_bytes = 0;
+  std::size_t line_bytes = 64;
+  unsigned associativity = 8;
+  double latency_cycles = 0;   // load-to-use
+  double bandwidth_gbps = 0;   // per sharing group
+  // Scope of sharing: how many HW threads share one instance.
+  unsigned shared_by_hw_threads = 1;
+};
+
+/// A hardware thread (SMT lane) of a core.
+struct HwThread {
+  unsigned id = 0;        // global HW-thread id, 0-based
+  unsigned core = 0;      // owning core id
+  unsigned smt_lane = 0;  // 0 or 1 on e6500
+};
+
+/// A physical core.
+struct Core {
+  unsigned id = 0;
+  unsigned cluster = 0;
+  std::vector<unsigned> hw_threads;  // global HW-thread ids
+};
+
+/// A cluster of cores sharing an L2 instance.
+struct Cluster {
+  unsigned id = 0;
+  std::vector<unsigned> cores;
+};
+
+class Topology {
+ public:
+  /// The paper's evaluation board: 3 clusters x 4 cores x 2 SMT @ 1.8 GHz.
+  static Topology t4240rdb();
+
+  /// The previous-work board (§4C): 8 e500mc cores, no SMT, private L2.
+  static Topology p4080ds();
+
+  /// A generic SMP: @p cores cores x @p smt lanes in one cluster.
+  static Topology generic(unsigned cores, unsigned smt = 1,
+                          double ghz = 2.0);
+
+  const std::string& name() const { return name_; }
+  double frequency_ghz() const { return frequency_ghz_; }
+
+  unsigned num_clusters() const { return static_cast<unsigned>(clusters_.size()); }
+  unsigned num_cores() const { return static_cast<unsigned>(cores_.size()); }
+  unsigned num_hw_threads() const { return static_cast<unsigned>(hw_threads_.size()); }
+
+  const Cluster& cluster(unsigned id) const { return clusters_.at(id); }
+  const Core& core(unsigned id) const { return cores_.at(id); }
+  const HwThread& hw_thread(unsigned id) const { return hw_threads_.at(id); }
+
+  const std::vector<CacheSpec>& caches() const { return caches_; }
+  const CacheSpec& cache(std::size_t level) const { return caches_.at(level); }
+
+  /// DRAM bandwidth aggregated over all controllers, GB/s.
+  double dram_bandwidth_gbps() const { return dram_bandwidth_gbps_; }
+  /// What one HW thread can sustain alone (limited MLP), GB/s.  The ratio
+  /// total/single bounds the speedup of bandwidth-bound kernels.
+  double dram_single_thread_gbps() const { return dram_single_thread_gbps_; }
+  double dram_latency_cycles() const { return dram_latency_cycles_; }
+
+  /// Peak double-precision FLOPs per cycle per core (scalar pipeline; the
+  /// AltiVec unit raises this for vectorised loops — see CostModel).
+  double flops_per_cycle_per_core() const { return flops_per_cycle_per_core_; }
+
+  /// FLOPs per cycle through the SIMD unit (e6500: the 16-GFLOPS AltiVec
+  /// engine the paper maps to OpenMP 4.0 SIMD support, §4A).  1.0 means no
+  /// vector unit (e500mc).
+  double vector_flops_per_cycle_per_core() const {
+    return vector_flops_per_cycle_per_core_;
+  }
+
+  /// Throughput of one SMT lane when both lanes of the core are busy,
+  /// relative to having the core to itself (e6500 ~0.65 each, i.e. the pair
+  /// achieves ~1.3x one lane).
+  double smt_throughput_factor() const { return smt_throughput_factor_; }
+
+  /// OS-style placement: the HW thread the i-th software thread of an
+  /// n-thread team lands on.
+  ///  * kScatter (default, OMP_PROC_BIND=spread): fills distinct cores
+  ///    first (one lane per core, round-robin over clusters), then second
+  ///    SMT lanes — how Linux places OpenMP teams on the board, producing
+  ///    the characteristic speedup knee at num_cores() threads.
+  ///  * kCompact (OMP_PROC_BIND=close): consecutive HW threads — SMT pairs
+  ///    and clusters fill up before spilling to the next.
+  unsigned placement(unsigned i) const;
+  unsigned placement(unsigned i, PlacementPolicy policy) const;
+
+  /// True when HW threads a and b are SMT lanes of one core.
+  bool same_core(unsigned a, unsigned b) const;
+  /// True when HW threads a and b live in the same cluster.
+  bool same_cluster(unsigned a, unsigned b) const;
+
+  /// Communication distance in cycles between two HW threads (used by the
+  /// barrier/lock latency model): same core < same cluster (via L2) <
+  /// cross-cluster (via CoreNet).
+  double hop_cycles(unsigned a, unsigned b) const;
+
+ private:
+  std::string name_;
+  double frequency_ghz_ = 1.0;
+  double dram_bandwidth_gbps_ = 10.0;
+  double dram_single_thread_gbps_ = 2.5;
+  double dram_latency_cycles_ = 180.0;
+  double flops_per_cycle_per_core_ = 2.0;
+  double vector_flops_per_cycle_per_core_ = 2.0;
+  double smt_throughput_factor_ = 1.0;
+  std::vector<Cluster> clusters_;
+  std::vector<Core> cores_;
+  std::vector<HwThread> hw_threads_;
+  std::vector<CacheSpec> caches_;
+  std::vector<unsigned> placement_;  // software-thread index -> HW thread
+
+  void build(unsigned clusters, unsigned cores_per_cluster, unsigned smt);
+  void build_placement();
+};
+
+}  // namespace ompmca::platform

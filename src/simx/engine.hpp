@@ -1,0 +1,57 @@
+// The virtual-time executor.
+//
+// Replays a Program against a platform CostModel for a given team size.
+// One virtual clock per software thread; service events advance clocks by
+// the model's fork/join/barrier/lock/dispatch latencies, chunks advance the
+// owning thread's clock by the roofline time of the chunk's metered work.
+//
+// Dynamic and guided schedules are simulated faithfully: the next chunk is
+// handed to the thread with the earliest clock (that is what a FIFO chunk
+// queue does in real time).  Static schedules reuse the runtime's own
+// static_chunk partitioner, so the simulated partition is bit-identical to
+// what gomp executes.
+#pragma once
+
+#include <vector>
+
+#include "simx/program.hpp"
+
+namespace ompmca::simx {
+
+struct SimResult {
+  double seconds = 0;                // master's clock at program end
+  std::vector<double> busy_seconds;  // per-thread work time (no waits)
+  double serial_seconds = 0;         // time outside parallel regions
+};
+
+class Engine {
+ public:
+  Engine(const platform::CostModel* model, unsigned nthreads,
+         platform::PlacementPolicy placement =
+             platform::PlacementPolicy::kScatter);
+
+  /// Replays @p program and returns the virtual execution time.
+  SimResult run(const Program& program);
+
+  /// Speedup series convenience: time(1 thread) / time(n threads).
+  static std::vector<double> speedup_series(
+      const platform::CostModel& model, const Program& program,
+      const std::vector<unsigned>& thread_counts);
+
+ private:
+  void run_region(const RegionStep& region);
+  void loop(const LoopStep& step);
+  void barrier();
+
+  double max_clock() const;
+  void align_clocks(double t);
+
+  const platform::CostModel* model_;
+  unsigned nthreads_;
+  platform::TeamShape shape_;
+  std::vector<double> clock_;
+  std::vector<double> busy_;
+  double serial_clock_ = 0;
+};
+
+}  // namespace ompmca::simx

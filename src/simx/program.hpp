@@ -1,0 +1,89 @@
+// Timing skeletons for the virtual-time executor.
+//
+// A simx::Program is the fork-join timing structure of a kernel: parallel
+// regions containing worksharing loops (with their schedule and a
+// closed-form per-chunk work function), serial/master sections, barriers,
+// criticals and reductions.  NPB kernels build their Program from the same
+// constants their real implementation uses, and property tests check that
+// the Program's total metered work matches a real (small-class) run.
+//
+// The executor replays the structure against the platform CostModel with
+// one virtual clock per thread — see engine.hpp.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gomp/icv.hpp"
+#include "platform/cost_model.hpp"
+
+namespace ompmca::simx {
+
+/// Closed-form work of iteration range [lo, hi) of a loop.
+using ChunkWorkFn = std::function<platform::Work(long lo, long hi)>;
+
+/// A worksharing loop inside a region.
+struct LoopStep {
+  long iterations = 0;
+  ChunkWorkFn work;
+  gomp::ScheduleSpec schedule;
+  bool nowait = false;  // skip the ending barrier
+};
+
+/// Work executed by every thread (redundant computation, no worksharing).
+struct ReplicatedStep {
+  platform::Work work;
+};
+
+/// Work executed by the master (or single winner) while others wait at the
+/// following barrier.
+struct SerialStep {
+  platform::Work work;
+  bool nowait = false;
+};
+
+struct BarrierStep {};
+
+/// Each thread enters the critical section @p times, doing @p work inside.
+struct CriticalStep {
+  platform::Work work;
+  long times = 1;
+};
+
+/// A reduction combine (its barriers included).
+struct ReduceStep {};
+
+using Step = std::variant<LoopStep, ReplicatedStep, SerialStep, BarrierStep,
+                          CriticalStep, ReduceStep>;
+
+/// One parallel region: fork, steps, implicit barrier, join.
+struct RegionStep {
+  std::vector<Step> steps;
+};
+
+/// Serial work outside any region (master only, no team).
+struct SerialOutside {
+  platform::Work work;
+};
+
+using TopStep = std::variant<RegionStep, SerialOutside>;
+
+struct Program {
+  std::string name;
+  std::vector<TopStep> steps;
+
+  /// Repeats @p step_count trailing steps @p times more times (time-step
+  /// loops in kernels).  Convenience for builders.
+  Program& repeat_region(const RegionStep& region, int times) {
+    for (int i = 0; i < times; ++i) steps.emplace_back(region);
+    return *this;
+  }
+};
+
+/// Total work the program performs, ignoring time: the cross-check target
+/// for real-run meters.
+platform::Work total_work(const Program& program);
+
+}  // namespace ompmca::simx

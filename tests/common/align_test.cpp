@@ -1,0 +1,42 @@
+#include "common/align.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ompmca {
+namespace {
+
+TEST(Align, AlignUp) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+  EXPECT_EQ(align_up(7, 8), 8u);
+}
+
+TEST(Padded, ElementsDoNotShareCacheLines) {
+  std::vector<Padded<int>> v(4);
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    auto a = reinterpret_cast<std::uintptr_t>(&v[i].value);
+    auto b = reinterpret_cast<std::uintptr_t>(&v[i + 1].value);
+    EXPECT_GE(b - a, kCacheLineBytes);
+  }
+}
+
+TEST(Padded, AccessOperators) {
+  Padded<int> p;
+  *p = 5;
+  EXPECT_EQ(p.value, 5);
+  Padded<std::vector<int>> pv;
+  pv->push_back(1);
+  EXPECT_EQ(pv.value.size(), 1u);
+}
+
+TEST(Padded, AlignmentIsCacheLine) {
+  EXPECT_EQ(alignof(Padded<char>), kCacheLineBytes);
+  EXPECT_GE(sizeof(Padded<char>), kCacheLineBytes);
+}
+
+}  // namespace
+}  // namespace ompmca

@@ -1,0 +1,93 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace ompmca {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void set(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    names_.push_back(name);
+  }
+  void TearDown() override {
+    for (const char* n : names_) ::unsetenv(n);
+  }
+  std::vector<const char*> names_;
+};
+
+TEST_F(EnvTest, StringUnsetIsNullopt) {
+  ::unsetenv("OMPMCA_TEST_UNSET");
+  EXPECT_FALSE(env_string("OMPMCA_TEST_UNSET").has_value());
+}
+
+TEST_F(EnvTest, StringRoundTrip) {
+  set("OMPMCA_TEST_S", "hello");
+  EXPECT_EQ(env_string("OMPMCA_TEST_S").value(), "hello");
+}
+
+TEST_F(EnvTest, LongParses) {
+  set("OMPMCA_TEST_L", "42");
+  EXPECT_EQ(env_long("OMPMCA_TEST_L").value(), 42);
+  set("OMPMCA_TEST_NEG", "-7");
+  EXPECT_EQ(env_long("OMPMCA_TEST_NEG").value(), -7);
+}
+
+TEST_F(EnvTest, LongGarbageIsNullopt) {
+  set("OMPMCA_TEST_G", "abc");
+  EXPECT_FALSE(env_long("OMPMCA_TEST_G").has_value());
+}
+
+TEST_F(EnvTest, BoolSpellings) {
+  for (const char* t : {"true", "TRUE", "yes", "on", "1"}) {
+    set("OMPMCA_TEST_B", t);
+    EXPECT_EQ(env_bool("OMPMCA_TEST_B"), true) << t;
+  }
+  for (const char* f : {"false", "No", "off", "0"}) {
+    set("OMPMCA_TEST_B", f);
+    EXPECT_EQ(env_bool("OMPMCA_TEST_B"), false) << f;
+  }
+  set("OMPMCA_TEST_B", "maybe");
+  EXPECT_FALSE(env_bool("OMPMCA_TEST_B").has_value());
+}
+
+TEST_F(EnvTest, LongList) {
+  set("OMPMCA_TEST_LIST", "4, 8,12");
+  auto v = env_long_list("OMPMCA_TEST_LIST");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 4);
+  EXPECT_EQ(v[1], 8);
+  EXPECT_EQ(v[2], 12);
+}
+
+TEST_F(EnvTest, LongListMalformedIsEmpty) {
+  set("OMPMCA_TEST_LIST", "4,x,12");
+  EXPECT_TRUE(env_long_list("OMPMCA_TEST_LIST").empty());
+}
+
+TEST(EnvHelpers, IEquals) {
+  EXPECT_TRUE(iequals("Static", "STATIC"));
+  EXPECT_FALSE(iequals("static", "statics"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(EnvHelpers, Trim) {
+  EXPECT_EQ(trim("  a b \t"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(EnvHelpers, Split) {
+  auto v = split("a, b,,c", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+  EXPECT_EQ(v[2], "");
+  EXPECT_EQ(v[3], "c");
+}
+
+}  // namespace
+}  // namespace ompmca

@@ -1,0 +1,72 @@
+#include "common/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ompmca {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.status(), Status::kSuccess);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::kTimeout);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status(), Status::kTimeout);
+}
+
+TEST(Result, ValueOr) {
+  Result<int> good(7);
+  Result<int> bad(Status::kInternal);
+  EXPECT_EQ(good.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r);
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Result, CopySemantics) {
+  Result<std::string> a(std::string("hello"));
+  Result<std::string> b = a;
+  EXPECT_EQ(*a, "hello");
+  EXPECT_EQ(*b, "hello");
+  Result<std::string> e(Status::kInvalidArgument);
+  b = e;
+  EXPECT_EQ(b.status(), Status::kInvalidArgument);
+}
+
+TEST(Result, MoveAssignErrorOverValue) {
+  Result<std::string> a(std::string("x"));
+  a = Result<std::string>(Status::kTimeout);
+  EXPECT_FALSE(a);
+  a = Result<std::string>(std::string("y"));
+  EXPECT_EQ(*a, "y");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto f = [](Result<int> in) -> Status {
+    OMPMCA_ASSIGN_OR_RETURN(int v, std::move(in));
+    EXPECT_EQ(v, 3);
+    return Status::kSuccess;
+  };
+  EXPECT_EQ(f(Result<int>(3)), Status::kSuccess);
+  EXPECT_EQ(f(Result<int>(Status::kTimeout)), Status::kTimeout);
+}
+
+}  // namespace
+}  // namespace ompmca

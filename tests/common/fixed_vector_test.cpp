@@ -1,0 +1,105 @@
+#include "common/fixed_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ompmca {
+namespace {
+
+TEST(FixedVector, StartsEmpty) {
+  FixedVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(FixedVector, PushPopAndIndex) {
+  FixedVector<int, 4> v;
+  EXPECT_TRUE(v.push_back(1));
+  EXPECT_TRUE(v.push_back(2));
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v.back(), 2);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.back(), 1);
+}
+
+TEST(FixedVector, RejectsOverflow) {
+  FixedVector<int, 2> v;
+  EXPECT_TRUE(v.push_back(1));
+  EXPECT_TRUE(v.push_back(2));
+  EXPECT_TRUE(v.full());
+  EXPECT_FALSE(v.push_back(3));
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(FixedVector, DestroysElements) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    ~Probe() {
+      if (c) ++*c;
+    }
+  };
+  {
+    FixedVector<Probe, 4> v;
+    v.push_back(Probe{counter});
+    v.push_back(Probe{counter});
+  }
+  // Two live elements destroyed by the vector, plus the moved-from temps.
+  EXPECT_GE(*counter, 2);
+}
+
+TEST(FixedVector, SwapErase) {
+  FixedVector<std::string, 4> v;
+  v.push_back("a");
+  v.push_back("b");
+  v.push_back("c");
+  v.swap_erase(0);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "c");
+  EXPECT_EQ(v[1], "b");
+}
+
+TEST(FixedVector, SwapEraseLast) {
+  FixedVector<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.swap_erase(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1);
+}
+
+TEST(FixedVector, CopyAndMove) {
+  FixedVector<std::string, 4> v;
+  v.push_back("x");
+  v.push_back("y");
+  FixedVector<std::string, 4> copy(v);
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy[1], "y");
+
+  FixedVector<std::string, 4> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], "x");
+  EXPECT_TRUE(v.empty());  // NOLINT moved-from, defined by our type
+}
+
+TEST(FixedVector, RangeFor) {
+  FixedVector<int, 8> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(FixedVector, EmplaceBack) {
+  FixedVector<std::pair<int, std::string>, 2> v;
+  EXPECT_TRUE(v.emplace_back(1, "one"));
+  EXPECT_EQ(v[0].second, "one");
+}
+
+}  // namespace
+}  // namespace ompmca

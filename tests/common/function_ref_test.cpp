@@ -1,0 +1,54 @@
+#include "common/function_ref.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompmca {
+namespace {
+
+TEST(FunctionRef, CallsLambda) {
+  int hits = 0;
+  auto fn = [&hits](int x) { hits += x; };
+  FunctionRef<void(int)> ref(fn);
+  ref(3);
+  ref(4);
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(FunctionRef, ReturnsValue) {
+  auto fn = [](int a, int b) { return a * b; };
+  FunctionRef<int(int, int)> ref(fn);
+  EXPECT_EQ(ref(6, 7), 42);
+}
+
+int free_function(int x) { return x + 1; }
+
+TEST(FunctionRef, WrapsFreeFunction) {
+  FunctionRef<int(int)> ref(free_function);
+  EXPECT_EQ(ref(1), 2);
+}
+
+TEST(FunctionRef, DefaultIsFalsy) {
+  FunctionRef<void()> ref;
+  EXPECT_FALSE(static_cast<bool>(ref));
+}
+
+TEST(FunctionRef, CopyIsShallow) {
+  int calls = 0;
+  auto fn = [&calls] { ++calls; };
+  FunctionRef<void()> a(fn);
+  FunctionRef<void()> b = a;
+  a();
+  b();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(FunctionRef, MutableLambdaState) {
+  int count = 0;
+  auto fn = [&count]() mutable { return ++count; };
+  FunctionRef<int()> ref(fn);
+  EXPECT_EQ(ref(), 1);
+  EXPECT_EQ(ref(), 2);
+}
+
+}  // namespace
+}  // namespace ompmca

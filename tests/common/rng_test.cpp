@@ -1,0 +1,106 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompmca {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DoublesInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, RoughlyUniform) {
+  Xoshiro256 rng(99);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    ++buckets[static_cast<int>(rng.next_double() * 10.0)];
+  for (int b : buckets) {
+    EXPECT_GT(b, n / 10 - n / 50);
+    EXPECT_LT(b, n / 10 + n / 50);
+  }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+// --- the NPB generator: these values pin the exact reference sequence -------
+
+TEST(NpbRandom, MatchesExactIntegerLcg) {
+  // The double-double randlc must agree bit-for-bit with the LCG computed
+  // in exact 128-bit integer arithmetic, for a long prefix of the sequence.
+  constexpr unsigned long long kMod = 1ULL << 46;
+  constexpr unsigned long long kA = 1220703125ULL;  // 5^13
+  unsigned long long x = 314159265ULL;
+  NpbRandom rng(static_cast<double>(x));
+  for (int i = 0; i < 20000; ++i) {
+    x = static_cast<unsigned long long>(
+        (static_cast<unsigned __int128>(kA) * x) % kMod);
+    double v = rng.next();
+    ASSERT_DOUBLE_EQ(v, static_cast<double>(x) / static_cast<double>(kMod))
+        << "diverged at step " << i;
+  }
+}
+
+TEST(NpbRandom, ValuesInUnitInterval) {
+  NpbRandom rng;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next();
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(NpbRandom, SkipMatchesSequentialAdvance) {
+  NpbRandom seq(314159265.0);
+  for (int i = 0; i < 1000; ++i) seq.next();
+
+  NpbRandom skip(314159265.0);
+  skip.skip(1000);
+  EXPECT_DOUBLE_EQ(seq.seed(), skip.seed());
+}
+
+TEST(NpbRandom, SkipZeroIsIdentity) {
+  NpbRandom rng(271828183.0);
+  double before = rng.seed();
+  rng.skip(0);
+  EXPECT_DOUBLE_EQ(rng.seed(), before);
+}
+
+TEST(NpbRandom, SkipComposes) {
+  NpbRandom a(314159265.0);
+  a.skip(123);
+  a.skip(456);
+  NpbRandom b(314159265.0);
+  b.skip(579);
+  EXPECT_DOUBLE_EQ(a.seed(), b.seed());
+}
+
+TEST(NpbRandom, FillMatchesNext) {
+  NpbRandom a(314159265.0), b(314159265.0);
+  double buf[64];
+  a.fill(64, buf);
+  for (int i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(buf[i], b.next());
+}
+
+TEST(NpbRandom, Ipow46Identity) {
+  // a^1 = a in the LCG arithmetic.
+  EXPECT_DOUBLE_EQ(NpbRandom::ipow46(NpbRandom::kDefaultMultiplier, 1),
+                   NpbRandom::kDefaultMultiplier);
+  EXPECT_DOUBLE_EQ(NpbRandom::ipow46(NpbRandom::kDefaultMultiplier, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace ompmca

@@ -1,0 +1,62 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ompmca {
+namespace {
+
+TEST(Status, SuccessIsOk) {
+  EXPECT_TRUE(ok(Status::kSuccess));
+  EXPECT_FALSE(ok(Status::kInvalidArgument));
+  EXPECT_FALSE(ok(Status::kTimeout));
+}
+
+TEST(Status, ToStringNamesSuccess) {
+  EXPECT_EQ(to_string(Status::kSuccess), "SUCCESS");
+}
+
+TEST(Status, ToStringUsesMcaSpellings) {
+  EXPECT_EQ(to_string(Status::kNodeNotInit), "ERR_NODE_NOTINIT");
+  EXPECT_EQ(to_string(Status::kMutexLocked), "ERR_MUTEX_LOCKED");
+  EXPECT_EQ(to_string(Status::kShmemNotAttached), "ERR_SHM_NOTATTACHED");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  // Walk the contiguous enum range; any gap would return ERR_UNKNOWN.
+  for (int i = 0; i <= static_cast<int>(Status::kQueueDisabled); ++i) {
+    auto name = to_string(static_cast<Status>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "ERR_UNKNOWN") << "status code " << i << " unnamed";
+  }
+}
+
+TEST(Status, NamesMostlyDistinct) {
+  // kNotInitialized and kNodeNotInit intentionally share a spelling; all
+  // other codes must be distinguishable in logs.
+  std::set<std::string_view> names;
+  int total = 0;
+  for (int i = 0; i <= static_cast<int>(Status::kQueueDisabled); ++i) {
+    names.insert(to_string(static_cast<Status>(i)));
+    ++total;
+  }
+  EXPECT_GE(static_cast<int>(names.size()), total - 1);
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  auto passes = []() -> Status {
+    OMPMCA_RETURN_IF_ERROR(Status::kSuccess);
+    return Status::kSuccess;
+  };
+  auto fails = []() -> Status {
+    OMPMCA_RETURN_IF_ERROR(Status::kTimeout);
+    ADD_FAILURE() << "should have returned early";
+    return Status::kSuccess;
+  };
+  EXPECT_EQ(passes(), Status::kSuccess);
+  EXPECT_EQ(fails(), Status::kTimeout);
+}
+
+}  // namespace
+}  // namespace ompmca

@@ -1,0 +1,54 @@
+#include "epcc/schedbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompmca::epcc {
+namespace {
+
+gomp::Runtime make_runtime() {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  return gomp::Runtime(opts);
+}
+
+Schedbench::Options quick() {
+  Schedbench::Options o;
+  o.outer_reps = 2;
+  o.inner_reps = 4;
+  o.delay_length = 8;
+  o.iters_per_thread = 32;
+  return o;
+}
+
+TEST(Schedbench, MeasurementPopulated) {
+  gomp::Runtime rt = make_runtime();
+  Schedbench bench(&rt, quick());
+  auto m = bench.measure({gomp::Schedule::kDynamic, 1}, 2);
+  EXPECT_EQ(m.nthreads, 2u);
+  EXPECT_GT(m.mean_us, 0.0);
+  EXPECT_GT(m.reference_us, 0.0);
+  EXPECT_EQ(m.spec.kind, gomp::Schedule::kDynamic);
+}
+
+TEST(Schedbench, SweepCoversGrid) {
+  gomp::Runtime rt = make_runtime();
+  Schedbench bench(&rt, quick());
+  auto rows = bench.sweep(2, {1, 8});
+  EXPECT_EQ(rows.size(), 3u * 2u);  // 3 kinds x 2 chunks
+}
+
+TEST(Schedbench, AllKindsMeasurable) {
+  gomp::Runtime rt = make_runtime();
+  Schedbench bench(&rt, quick());
+  for (gomp::Schedule kind :
+       {gomp::Schedule::kStatic, gomp::Schedule::kDynamic,
+        gomp::Schedule::kGuided}) {
+    auto m = bench.measure({kind, 4}, 3);
+    EXPECT_GT(m.mean_us, 0.0) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ompmca::epcc

@@ -1,0 +1,158 @@
+#include "gomp/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace ompmca::gomp {
+namespace {
+
+Runtime make_runtime(BackendKind kind, unsigned threads) {
+  RuntimeOptions opts;
+  opts.backend = kind;
+  Icvs icvs;
+  icvs.num_threads = threads;
+  opts.icvs = icvs;
+  return Runtime(opts);
+}
+
+TEST(OmpApi, OutsideParallelDefaults) {
+  EXPECT_EQ(omp_get_thread_num(), 0);
+  EXPECT_EQ(omp_get_num_threads(), 1);
+  EXPECT_FALSE(omp_in_parallel());
+}
+
+TEST(OmpApi, InsideParallelReflectsTeam) {
+  Runtime rt = make_runtime(BackendKind::kNative, 4);
+  std::mutex mu;
+  std::set<int> nums;
+  rt.parallel([&](ParallelContext&) {
+    EXPECT_TRUE(omp_in_parallel());
+    EXPECT_EQ(omp_get_num_threads(), 4);
+    std::lock_guard lk(mu);
+    nums.insert(omp_get_thread_num());
+  });
+  EXPECT_EQ(nums.size(), 4u);
+  EXPECT_FALSE(omp_in_parallel());
+}
+
+TEST(OmpApi, MaxThreadsAndNumProcs) {
+  Runtime rt = make_runtime(BackendKind::kNative, 6);
+  EXPECT_EQ(omp_get_max_threads(rt), 6);
+  EXPECT_EQ(omp_get_num_procs(rt), 24);
+  omp_set_num_threads(rt, 12);
+  EXPECT_EQ(omp_get_max_threads(rt), 12);
+  omp_set_num_threads(rt, -3);
+  EXPECT_EQ(omp_get_max_threads(rt), 1);
+}
+
+TEST(OmpApi, LevelTracksNesting) {
+  EXPECT_EQ(omp_get_level(), 0);
+  auto opts = [] {
+    RuntimeOptions o;
+    Icvs icvs;
+    icvs.num_threads = 2;
+    icvs.nested = true;
+    o.icvs = icvs;
+    return o;
+  }();
+  Runtime rt(opts);
+  rt.parallel([&](ParallelContext& outer) {
+    EXPECT_EQ(omp_get_level(), 1);
+    EXPECT_EQ(outer.level(), 1u);
+    rt.parallel([&](ParallelContext& inner) {
+      EXPECT_EQ(omp_get_level(), 2);
+      EXPECT_EQ(inner.level(), 2u);
+    }, 2);
+    EXPECT_EQ(omp_get_level(), 1);
+  });
+  EXPECT_EQ(omp_get_level(), 0);
+}
+
+TEST(OmpApi, WtimeMonotone) {
+  double a = omp_get_wtime();
+  double b = omp_get_wtime();
+  EXPECT_GE(b, a);
+}
+
+class LockApiTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(LockApiTest, OmpLockMutualExclusion) {
+  Runtime rt = make_runtime(GetParam(), 4);
+  OmpLock lock(rt);
+  long counter = 0;
+  rt.parallel([&](ParallelContext&) {
+    for (int i = 0; i < 1000; ++i) {
+      lock.set();
+      ++counter;
+      lock.unset();
+    }
+  });
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST_P(LockApiTest, OmpLockTest) {
+  Runtime rt = make_runtime(GetParam(), 2);
+  OmpLock lock(rt);
+  EXPECT_TRUE(lock.test());
+  std::thread t([&] { EXPECT_FALSE(lock.test()); });
+  t.join();
+  lock.unset();
+}
+
+TEST_P(LockApiTest, NestLockReentry) {
+  Runtime rt = make_runtime(GetParam(), 2);
+  OmpNestLock lock(rt);
+  lock.set();
+  lock.set();
+  lock.set();
+  EXPECT_EQ(lock.depth(), 3);
+  lock.unset();
+  lock.unset();
+  EXPECT_EQ(lock.depth(), 1);
+  std::thread t([&] { EXPECT_EQ(lock.test(), 0); });
+  t.join();
+  lock.unset();
+  EXPECT_EQ(lock.depth(), 0);
+  std::thread t2([&] { EXPECT_EQ(lock.test(), 1); lock.unset(); });
+  t2.join();
+}
+
+TEST_P(LockApiTest, NestLockTestCountsDepth) {
+  Runtime rt = make_runtime(GetParam(), 2);
+  OmpNestLock lock(rt);
+  EXPECT_EQ(lock.test(), 1);
+  EXPECT_EQ(lock.test(), 2);
+  EXPECT_EQ(lock.test(), 3);
+  lock.unset();
+  lock.unset();
+  lock.unset();
+}
+
+TEST_P(LockApiTest, NestLockAcrossThreadsExcludes) {
+  Runtime rt = make_runtime(GetParam(), 4);
+  OmpNestLock lock(rt);
+  long counter = 0;
+  rt.parallel([&](ParallelContext&) {
+    for (int i = 0; i < 500; ++i) {
+      lock.set();
+      lock.set();  // nested re-entry on purpose
+      ++counter;
+      lock.unset();
+      lock.unset();
+    }
+  });
+  EXPECT_EQ(counter, 2000);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, LockApiTest,
+                         ::testing::Values(BackendKind::kNative,
+                                           BackendKind::kMca),
+                         [](const ::testing::TestParamInfo<BackendKind>& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace ompmca::gomp

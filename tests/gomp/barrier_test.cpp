@@ -1,0 +1,95 @@
+#include "gomp/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ompmca::gomp {
+namespace {
+
+struct BarrierCase {
+  BarrierKind kind;
+  WaitPolicy policy;
+  unsigned nthreads;
+};
+
+class BarrierParamTest : public ::testing::TestWithParam<BarrierCase> {};
+
+// The fundamental barrier property: no thread observes phase k+1 work
+// before every thread finished phase k.
+TEST_P(BarrierParamTest, SeparatesPhases) {
+  const BarrierCase c = GetParam();
+  auto barrier = make_barrier(c.kind, c.nthreads, c.policy);
+  ASSERT_NE(barrier, nullptr);
+  EXPECT_EQ(barrier->size(), c.nthreads);
+
+  constexpr int kPhases = 25;
+  std::atomic<int> arrivals{0};
+  std::atomic<bool> violation{false};
+
+  auto worker = [&](unsigned tid) {
+    for (int phase = 0; phase < kPhases; ++phase) {
+      arrivals.fetch_add(1, std::memory_order_acq_rel);
+      barrier->arrive_and_wait(tid);
+      // After the barrier every thread of this phase must have arrived.
+      if (arrivals.load(std::memory_order_acquire) <
+          (phase + 1) * static_cast<int>(c.nthreads)) {
+        violation.store(true);
+      }
+      barrier->arrive_and_wait(tid);  // separate the read from next phase
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 1; t < c.nthreads; ++t) threads.emplace_back(worker, t);
+  worker(0);
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(arrivals.load(), kPhases * static_cast<int>(c.nthreads));
+}
+
+std::vector<BarrierCase> all_cases() {
+  std::vector<BarrierCase> cases;
+  for (BarrierKind kind : {BarrierKind::kCentral, BarrierKind::kTree,
+                           BarrierKind::kDissemination}) {
+    for (WaitPolicy policy : {WaitPolicy::kPassive, WaitPolicy::kActive}) {
+      for (unsigned n : {1u, 2u, 3u, 4u, 7u, 8u, 13u, 24u}) {
+        cases.push_back({kind, policy, n});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, BarrierParamTest, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<BarrierCase>& param_info) {
+      const auto& c = param_info.param;
+      return std::string(to_string(c.kind)) + "_" +
+             (c.policy == WaitPolicy::kPassive ? "passive" : "active") + "_" +
+             std::to_string(c.nthreads);
+    });
+
+TEST(Barrier, SingleThreadIsNoOp) {
+  for (BarrierKind kind : {BarrierKind::kCentral, BarrierKind::kTree,
+                           BarrierKind::kDissemination}) {
+    auto b = make_barrier(kind, 1, WaitPolicy::kPassive);
+    for (int i = 0; i < 100; ++i) b->arrive_and_wait(0);  // must not hang
+  }
+}
+
+TEST(Barrier, KindNames) {
+  EXPECT_EQ(to_string(BarrierKind::kCentral), "central");
+  EXPECT_EQ(to_string(BarrierKind::kTree), "tree");
+  EXPECT_EQ(to_string(BarrierKind::kDissemination), "dissemination");
+}
+
+TEST(TreeBarrier, ArityMatchesClusterWidth) {
+  EXPECT_EQ(TreeBarrier::kArity, 4u);
+}
+
+}  // namespace
+}  // namespace ompmca::gomp

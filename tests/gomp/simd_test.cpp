@@ -1,0 +1,122 @@
+// for_loop_simd (the `for simd` shape) and the OMP_PROC_BIND ICV.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "gomp/gomp.hpp"
+
+namespace ompmca::gomp {
+namespace {
+
+Runtime make_runtime(unsigned threads) {
+  RuntimeOptions opts;
+  Icvs icvs;
+  icvs.num_threads = threads;
+  opts.icvs = icvs;
+  return Runtime(opts);
+}
+
+struct SimdCase {
+  long total;
+  long width;
+  unsigned threads;
+};
+
+class SimdLoopTest : public ::testing::TestWithParam<SimdCase> {};
+
+TEST_P(SimdLoopTest, CoversRangeOnceWithAlignedChunks) {
+  const auto c = GetParam();
+  Runtime rt = make_runtime(c.threads);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(c.total));
+  for (auto& h : hits) h.store(0);
+  std::atomic<bool> misaligned{false};
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.for_loop_simd(
+        0, c.total,
+        [&](long lo, long hi) {
+          // Every chunk starts on a vector boundary; every chunk except the
+          // one containing the tail ends on one too.
+          if (lo % c.width != 0) misaligned.store(true);
+          if (hi != c.total && hi % c.width != 0) misaligned.store(true);
+          for (long i = lo; i < hi; ++i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+          }
+        },
+        c.width);
+  });
+  for (long i = 0; i < c.total; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+  EXPECT_FALSE(misaligned.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimdLoopTest,
+    ::testing::Values(SimdCase{1024, 8, 4}, SimdCase{1000, 8, 4},
+                      SimdCase{1000, 4, 3}, SimdCase{7, 8, 4},
+                      SimdCase{64, 8, 24}, SimdCase{1, 16, 2},
+                      SimdCase{4096, 16, 6}),
+    [](const ::testing::TestParamInfo<SimdCase>& param_info) {
+      const auto& c = param_info.param;
+      return "n" + std::to_string(c.total) + "_w" + std::to_string(c.width) +
+             "_t" + std::to_string(c.threads);
+    });
+
+TEST(SimdLoop, EmptyRangeIsBarrierOnly) {
+  Runtime rt = make_runtime(4);
+  std::atomic<int> calls{0};
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.for_loop_simd(5, 5, [&](long, long) { calls.fetch_add(1); });
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(SimdLoop, SumsMatchSerial) {
+  Runtime rt = make_runtime(6);
+  const long n = 100000;
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::iota(x.begin(), x.end(), 0.0);
+  double result = 0;
+  rt.parallel([&](ParallelContext& ctx) {
+    double local = 0;
+    ctx.for_loop_simd(
+        0, n,
+        [&](long lo, long hi) {
+          for (long i = lo; i < hi; ++i) local += x[static_cast<std::size_t>(i)];
+          // An application would meter the vector fraction for the model:
+          ctx.meter().flops += static_cast<double>(hi - lo);
+          ctx.meter().vector_fraction = 1.0;
+        },
+        8, /*nowait=*/true);
+    double total = ctx.reduce_sum(local);
+    if (ctx.thread_num() == 0) result = total;
+  });
+  EXPECT_DOUBLE_EQ(result, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+class ProcBindEnv : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("OMP_PROC_BIND"); }
+};
+
+TEST_F(ProcBindEnv, DefaultIsSpread) {
+  ::unsetenv("OMP_PROC_BIND");
+  EXPECT_EQ(Icvs::from_env(4).proc_bind, ProcBind::kSpread);
+}
+
+TEST_F(ProcBindEnv, CloseParsed) {
+  ::setenv("OMP_PROC_BIND", "close", 1);
+  EXPECT_EQ(Icvs::from_env(4).proc_bind, ProcBind::kClose);
+  ::setenv("OMP_PROC_BIND", "TRUE", 1);
+  EXPECT_EQ(Icvs::from_env(4).proc_bind, ProcBind::kClose);
+}
+
+TEST_F(ProcBindEnv, SpreadParsed) {
+  ::setenv("OMP_PROC_BIND", "spread", 1);
+  EXPECT_EQ(Icvs::from_env(4).proc_bind, ProcBind::kSpread);
+}
+
+}  // namespace
+}  // namespace ompmca::gomp

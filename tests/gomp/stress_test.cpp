@@ -1,0 +1,190 @@
+// Runtime stress and edge cases beyond the per-construct tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gomp/gomp.hpp"
+
+namespace ompmca::gomp {
+namespace {
+
+Runtime make_runtime(BackendKind kind, unsigned threads) {
+  RuntimeOptions opts;
+  opts.backend = kind;
+  Icvs icvs;
+  icvs.num_threads = threads;
+  opts.icvs = icvs;
+  return Runtime(opts);
+}
+
+class StressTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(StressTest, PoolGrowsAndShrinksAcrossRegions) {
+  Runtime rt = make_runtime(GetParam(), 16);
+  // Alternate wide and narrow teams: the pool must serve any width without
+  // leaking or deadlocking, reusing parked workers.
+  const unsigned widths[] = {1, 16, 2, 9, 16, 3, 1, 12};
+  for (unsigned width : widths) {
+    std::atomic<unsigned> count{0};
+    rt.parallel([&](ParallelContext& ctx) {
+      count.fetch_add(1);
+      EXPECT_EQ(ctx.num_threads(), width);
+    }, width);
+    ASSERT_EQ(count.load(), width);
+  }
+  // Workers launched at most max-1 despite 8 regions.
+  EXPECT_LE(rt.pool().workers_launched(), 15u);
+}
+
+TEST_P(StressTest, ManySmallRegions) {
+  Runtime rt = make_runtime(GetParam(), 4);
+  std::atomic<long> total{0};
+  for (int r = 0; r < 500; ++r) {
+    rt.parallel([&](ParallelContext&) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 2000);
+}
+
+TEST_P(StressTest, DeepNowaitChainStaysWithinRing) {
+  Runtime rt = make_runtime(GetParam(), 4);
+  // 12 consecutive nowait loops: 3x the workshare ring depth.  Correctness
+  // must hold because the ring blocks re-use until stragglers drain.
+  const long n = 256;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  rt.parallel([&](ParallelContext& ctx) {
+    for (int round = 0; round < 12; ++round) {
+      ctx.for_loop(0, n, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      }, ScheduleSpec{Schedule::kDynamic, 16}, /*nowait=*/true);
+    }
+  });
+  for (long i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 12);
+}
+
+TEST_P(StressTest, AlternatingConstructsInOneRegion) {
+  Runtime rt = make_runtime(GetParam(), 6);
+  std::atomic<long> loop_work{0};
+  std::atomic<int> singles{0};
+  long criticals = 0;
+  rt.parallel([&](ParallelContext& ctx) {
+    for (int round = 0; round < 20; ++round) {
+      ctx.for_loop(0, 100, [&](long lo, long hi) {
+        loop_work.fetch_add(hi - lo);
+      });
+      ctx.single([&] { singles.fetch_add(1); }, /*nowait=*/true);
+      ctx.critical([&] { ++criticals; });
+      ctx.barrier();
+    }
+  });
+  EXPECT_EQ(loop_work.load(), 20 * 100);
+  EXPECT_EQ(singles.load(), 20);
+  EXPECT_EQ(criticals, 20 * 6);
+}
+
+TEST_P(StressTest, OrderedUnderStaticSchedule) {
+  Runtime rt = make_runtime(GetParam(), 4);
+  std::vector<long> order;
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.for_loop_ordered(
+        0, 64,
+        [&](long lo, long hi) {
+          for (long i = lo; i < hi; ++i) {
+            ctx.ordered(i, [&] { order.push_back(i); });
+          }
+        },
+        ScheduleSpec{Schedule::kStatic, 0});  // block partition
+  });
+  ASSERT_EQ(order.size(), 64u);
+  for (long i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_P(StressTest, ReductionInsideLoopOverRegions) {
+  Runtime rt = make_runtime(GetParam(), 5);
+  for (int r = 1; r <= 30; ++r) {
+    long result = 0;
+    rt.parallel([&](ParallelContext& ctx) {
+      long total = ctx.reduce_sum(static_cast<long>(r));
+      if (ctx.thread_num() == 0) result = total;
+    });
+    ASSERT_EQ(result, 5L * r);
+  }
+}
+
+TEST_P(StressTest, TasksSpawnedFromEveryThread) {
+  Runtime rt = make_runtime(GetParam(), 4);
+  std::atomic<int> done{0};
+  rt.parallel([&](ParallelContext& ctx) {
+    for (int i = 0; i < 25; ++i) {
+      ctx.task([&] { done.fetch_add(1); });
+    }
+    ctx.taskwait();
+  });
+  EXPECT_EQ(done.load(), 4 * 25);
+}
+
+TEST_P(StressTest, NestedSerializedRegionsSeeOwnContext) {
+  Runtime rt = make_runtime(GetParam(), 4);
+  std::atomic<int> inner_total{0};
+  rt.parallel([&](ParallelContext& outer) {
+    unsigned outer_tid = outer.thread_num();
+    rt.parallel([&](ParallelContext& inner) {
+      // Serialized inner region: one thread, thread_num 0, and the omp
+      // shims must reflect the innermost region.
+      EXPECT_EQ(inner.thread_num(), 0u);
+      EXPECT_EQ(inner.num_threads(), 1u);
+      EXPECT_EQ(omp_get_thread_num(), 0);
+      inner_total.fetch_add(1);
+    });
+    // Back outside: context restored.
+    EXPECT_EQ(omp_get_thread_num(), static_cast<int>(outer_tid));
+  });
+  EXPECT_EQ(inner_total.load(), 4);
+}
+
+TEST_P(StressTest, GuidedScheduleUnbalancedWork) {
+  Runtime rt = make_runtime(GetParam(), 6);
+  // Triangular work; guided must still cover exactly once.
+  const long n = 2000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  std::atomic<double> sink{0};
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.for_loop(
+        0, n,
+        [&](long lo, long hi) {
+          double acc = 0;
+          for (long i = lo; i < hi; ++i) {
+            hits[i].fetch_add(1);
+            for (long k = 0; k < i % 64; ++k) acc += static_cast<double>(k);
+          }
+          sink.store(acc);
+        },
+        ScheduleSpec{Schedule::kGuided, 2});
+  });
+  for (long i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST_P(StressTest, BarrierHeavyRegion) {
+  Runtime rt = make_runtime(GetParam(), 8);
+  std::atomic<long> phases{0};
+  rt.parallel([&](ParallelContext& ctx) {
+    for (int i = 0; i < 100; ++i) {
+      phases.fetch_add(1);
+      ctx.barrier();
+    }
+  });
+  EXPECT_EQ(phases.load(), 800);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, StressTest,
+                         ::testing::Values(BackendKind::kNative,
+                                           BackendKind::kMca),
+                         [](const ::testing::TestParamInfo<BackendKind>& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace ompmca::gomp

@@ -1,0 +1,105 @@
+// Randomized worksharing torture: random (schedule, chunk, range, team)
+// configurations, each checked for the exact-cover invariant under real
+// concurrent execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gomp/runtime.hpp"
+
+namespace ompmca::gomp {
+namespace {
+
+class WorkshareFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkshareFuzz, RandomLoopsCoverExactlyOnce) {
+  Xoshiro256 rng(GetParam());
+
+  RuntimeOptions opts;
+  Icvs icvs;
+  icvs.num_threads = 8;
+  opts.icvs = icvs;
+  Runtime rt(opts);
+
+  for (int round = 0; round < 25; ++round) {
+    const Schedule kind = static_cast<Schedule>(rng.next_below(4));  // no runtime
+    const long chunk = static_cast<long>(rng.next_below(50));        // 0..49
+    const long begin = static_cast<long>(rng.next_below(100)) - 50;
+    const long count = 1 + static_cast<long>(rng.next_below(3000));
+    const unsigned nthreads = 1 + static_cast<unsigned>(rng.next_below(8));
+    const bool nowait = rng.next_double() < 0.3;
+
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+    for (auto& h : hits) h.store(0);
+
+    rt.parallel(
+        [&](ParallelContext& ctx) {
+          ctx.for_loop(
+              begin, begin + count,
+              [&](long lo, long hi) {
+                ASSERT_GE(lo, begin);
+                ASSERT_LT(lo, hi);
+                ASSERT_LE(hi, begin + count);
+                for (long i = lo; i < hi; ++i) {
+                  hits[static_cast<std::size_t>(i - begin)].fetch_add(1);
+                }
+              },
+              ScheduleSpec{kind, chunk}, nowait);
+        },
+        nthreads);
+
+    for (long i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "round " << round << " kind " << static_cast<int>(kind)
+          << " chunk " << chunk << " count " << count << " threads "
+          << nthreads << " iter " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkshareFuzz,
+                         ::testing::Values(3, 17, 2015, 424242));
+
+TEST(WorkshareFuzz, MixedSchedulesInOneRegion) {
+  Xoshiro256 rng(555);
+  RuntimeOptions opts;
+  Icvs icvs;
+  icvs.num_threads = 6;
+  opts.icvs = icvs;
+  Runtime rt(opts);
+
+  const long n = 997;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  for (auto& h : hits) h.store(0);
+  const int kLoops = 9;
+
+  // Pre-draw the schedule sequence: every thread must see the same one.
+  std::vector<ScheduleSpec> specs;
+  for (int l = 0; l < kLoops; ++l) {
+    specs.push_back(ScheduleSpec{static_cast<Schedule>(rng.next_below(4)),
+                                 static_cast<long>(1 + rng.next_below(20))});
+  }
+
+  rt.parallel([&](ParallelContext& ctx) {
+    for (int l = 0; l < kLoops; ++l) {
+      ctx.for_loop(
+          0, n,
+          [&](long lo, long hi) {
+            for (long i = lo; i < hi; ++i) {
+              hits[static_cast<std::size_t>(i)].fetch_add(1);
+            }
+          },
+          specs[static_cast<std::size_t>(l)],
+          /*nowait=*/l % 2 == 0);
+    }
+  });
+
+  for (long i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), kLoops);
+  }
+}
+
+}  // namespace
+}  // namespace ompmca::gomp

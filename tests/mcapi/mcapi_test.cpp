@@ -1,0 +1,289 @@
+#include "mcapi/mcapi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+namespace ompmca::mcapi {
+namespace {
+
+class McapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().reset(); }
+  void TearDown() override { Registry::instance().reset(); }
+};
+
+TEST_F(McapiTest, EndpointLifecycle) {
+  auto ep = endpoint_create(0, 1, 100);
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ((*ep)->address().port, 100u);
+  EXPECT_EQ(Registry::instance().endpoint_count(), 1u);
+
+  auto dup = endpoint_create(0, 1, 100);
+  EXPECT_EQ(dup.status(), Status::kEndpointExists);
+
+  auto found = endpoint_get(0, 1, 100);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->get(), ep->get());
+
+  EXPECT_EQ(endpoint_delete(*ep), Status::kSuccess);
+  EXPECT_EQ(endpoint_get(0, 1, 100).status(), Status::kEndpointInvalid);
+}
+
+TEST_F(McapiTest, MessageRoundTrip) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+
+  const char payload[] = "hello node 2";
+  ASSERT_EQ(msg_send(*a, *b, payload, sizeof(payload)), Status::kSuccess);
+  EXPECT_EQ((*b)->messages_available(), 1u);
+
+  char buf[64] = {};
+  auto n = (*b)->msg_recv(buf, sizeof(buf), mrapi::kTimeoutImmediate);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, sizeof(payload));
+  EXPECT_STREQ(buf, payload);
+}
+
+TEST_F(McapiTest, MessagesFifoWithinPriority) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(msg_send(*a, *b, &i, sizeof(i)), Status::kSuccess);
+  }
+  for (int i = 0; i < 5; ++i) {
+    int v = -1;
+    ASSERT_TRUE((*b)->msg_recv(&v, sizeof(v), 0).has_value());
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST_F(McapiTest, HigherPriorityDeliveredFirst) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  int low = 1, high = 2;
+  ASSERT_EQ(msg_send(*a, *b, &low, sizeof(low), /*priority=*/3),
+            Status::kSuccess);
+  ASSERT_EQ(msg_send(*a, *b, &high, sizeof(high), /*priority=*/0),
+            Status::kSuccess);
+  int v = 0;
+  ASSERT_TRUE((*b)->msg_recv(&v, sizeof(v), 0).has_value());
+  EXPECT_EQ(v, high);
+  ASSERT_TRUE((*b)->msg_recv(&v, sizeof(v), 0).has_value());
+  EXPECT_EQ(v, low);
+}
+
+TEST_F(McapiTest, RecvTimesOutWhenEmpty) {
+  auto b = endpoint_create(0, 2, 1);
+  char buf[8];
+  EXPECT_EQ((*b)->msg_recv(buf, sizeof(buf), 10).status(), Status::kTimeout);
+  EXPECT_EQ((*b)->msg_recv(buf, sizeof(buf), mrapi::kTimeoutImmediate)
+                .status(),
+            Status::kRequestPending);
+}
+
+TEST_F(McapiTest, BlockingRecvWokenBySend) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  int received = 0;
+  std::thread receiver([&] {
+    int v = 0;
+    auto n = (*b)->msg_recv(&v, sizeof(v), mrapi::kTimeoutInfinite);
+    ASSERT_TRUE(n.has_value());
+    received = v;
+  });
+  int payload = 77;
+  ASSERT_EQ(msg_send(*a, *b, &payload, sizeof(payload)), Status::kSuccess);
+  receiver.join();
+  EXPECT_EQ(received, 77);
+}
+
+TEST_F(McapiTest, TruncationReported) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  char big[100] = {};
+  ASSERT_EQ(msg_send(*a, *b, big, sizeof(big)), Status::kSuccess);
+  char small[10];
+  EXPECT_EQ((*b)->msg_recv(small, sizeof(small), 0).status(),
+            Status::kMessageTruncated);
+  // Message consumed despite truncation.
+  EXPECT_EQ((*b)->messages_available(), 0u);
+}
+
+TEST_F(McapiTest, OversizeMessageRejected) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  std::vector<char> huge(Limits::kMaxMessageBytes + 1);
+  EXPECT_EQ(msg_send(*a, *b, huge.data(), huge.size()),
+            Status::kMessageTruncated);
+}
+
+TEST_F(McapiTest, NonBlockingRecvCompletesOnArrival) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  int slot = 0;
+  auto req = (*b)->msg_recv_i(&slot, sizeof(slot));
+  EXPECT_FALSE(req->test());
+  int v = 123;
+  ASSERT_EQ(msg_send(*a, *b, &v, sizeof(v)), Status::kSuccess);
+  auto n = req->wait(1000);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, sizeof(int));
+  EXPECT_EQ(slot, 123);
+}
+
+TEST_F(McapiTest, NonBlockingRecvImmediateWhenQueued) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  int v = 9;
+  ASSERT_EQ(msg_send(*a, *b, &v, sizeof(v)), Status::kSuccess);
+  int slot = 0;
+  auto req = (*b)->msg_recv_i(&slot, sizeof(slot));
+  EXPECT_TRUE(req->test());
+  EXPECT_EQ(slot, 9);
+}
+
+TEST_F(McapiTest, CanceledRequestSkipped) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  int slot1 = 0, slot2 = 0;
+  auto r1 = (*b)->msg_recv_i(&slot1, sizeof(slot1));
+  auto r2 = (*b)->msg_recv_i(&slot2, sizeof(slot2));
+  ASSERT_EQ(r1->cancel(), Status::kSuccess);
+  EXPECT_EQ(r1->wait(0).status(), Status::kRequestCanceled);
+  int v = 5;
+  ASSERT_EQ(msg_send(*a, *b, &v, sizeof(v)), Status::kSuccess);
+  ASSERT_TRUE(r2->wait(1000).has_value());
+  EXPECT_EQ(slot2, 5);
+  EXPECT_EQ(slot1, 0);
+}
+
+// --- packet channels -----------------------------------------------------------
+
+TEST_F(McapiTest, PacketChannelFifo) {
+  auto tx = endpoint_create(0, 1, 10);
+  auto rx = endpoint_create(0, 2, 10);
+  ASSERT_EQ(channel_connect(ChannelType::kPacket, *tx, *rx),
+            Status::kSuccess);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(pkt_send(*tx, &i, sizeof(i)), Status::kSuccess);
+  }
+  for (int i = 0; i < 16; ++i) {
+    int v = -1;
+    auto n = pkt_recv(*rx, &v, sizeof(v));
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST_F(McapiTest, ChannelDirectionEnforced) {
+  auto tx = endpoint_create(0, 1, 10);
+  auto rx = endpoint_create(0, 2, 10);
+  ASSERT_EQ(channel_connect(ChannelType::kPacket, *tx, *rx),
+            Status::kSuccess);
+  int v;
+  EXPECT_EQ(pkt_send(*rx, &v, sizeof(v)), Status::kChannelTypeMismatch);
+  EXPECT_EQ(pkt_recv(*tx, &v, sizeof(v), 0).status(),
+            Status::kChannelTypeMismatch);
+}
+
+TEST_F(McapiTest, ConnectedEndpointRefusesDatagrams) {
+  auto tx = endpoint_create(0, 1, 10);
+  auto rx = endpoint_create(0, 2, 10);
+  auto other = endpoint_create(0, 3, 10);
+  ASSERT_EQ(channel_connect(ChannelType::kPacket, *tx, *rx),
+            Status::kSuccess);
+  int v = 1;
+  EXPECT_EQ(msg_send(*other, *rx, &v, sizeof(v)), Status::kChannelOpen);
+}
+
+TEST_F(McapiTest, DoubleConnectRejected) {
+  auto tx = endpoint_create(0, 1, 10);
+  auto rx = endpoint_create(0, 2, 10);
+  auto rx2 = endpoint_create(0, 3, 10);
+  ASSERT_EQ(channel_connect(ChannelType::kPacket, *tx, *rx),
+            Status::kSuccess);
+  EXPECT_EQ(channel_connect(ChannelType::kPacket, *tx, *rx2),
+            Status::kChannelOpen);
+}
+
+TEST_F(McapiTest, ChannelCloseBothSides) {
+  auto tx = endpoint_create(0, 1, 10);
+  auto rx = endpoint_create(0, 2, 10);
+  ASSERT_EQ(channel_connect(ChannelType::kPacket, *tx, *rx),
+            Status::kSuccess);
+  ASSERT_EQ(channel_close(*tx), Status::kSuccess);
+  EXPECT_EQ((*tx)->channel_type(), ChannelType::kNone);
+  EXPECT_EQ((*rx)->channel_type(), ChannelType::kNone);
+  // Reconnect is now allowed.
+  EXPECT_EQ(channel_connect(ChannelType::kScalar, *tx, *rx),
+            Status::kSuccess);
+}
+
+// --- scalar channels --------------------------------------------------------------
+
+TEST_F(McapiTest, ScalarChannelRoundTrip) {
+  auto tx = endpoint_create(0, 1, 20);
+  auto rx = endpoint_create(0, 2, 20);
+  ASSERT_EQ(channel_connect(ChannelType::kScalar, *tx, *rx),
+            Status::kSuccess);
+  ASSERT_EQ(scalar_send(*tx, 0xDEADBEEFull, 8), Status::kSuccess);
+  ASSERT_EQ(scalar_send(*tx, 42, 4), Status::kSuccess);
+  auto v1 = scalar_recv(*rx, 8);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(*v1, 0xDEADBEEFull);
+  auto v2 = scalar_recv(*rx, 4);
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(*v2, 42u);
+}
+
+TEST_F(McapiTest, ScalarWidthMismatchDoesNotConsume) {
+  auto tx = endpoint_create(0, 1, 20);
+  auto rx = endpoint_create(0, 2, 20);
+  ASSERT_EQ(channel_connect(ChannelType::kScalar, *tx, *rx),
+            Status::kSuccess);
+  ASSERT_EQ(scalar_send(*tx, 7, 4), Status::kSuccess);
+  EXPECT_EQ(scalar_recv(*rx, 8, 0).status(), Status::kChannelTypeMismatch);
+  EXPECT_EQ((*rx)->scalars_available(), 1u);
+  auto v = scalar_recv(*rx, 4);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7u);
+}
+
+TEST_F(McapiTest, ScalarInvalidWidthRejected) {
+  auto tx = endpoint_create(0, 1, 20);
+  auto rx = endpoint_create(0, 2, 20);
+  ASSERT_EQ(channel_connect(ChannelType::kScalar, *tx, *rx),
+            Status::kSuccess);
+  EXPECT_EQ(scalar_send(*tx, 1, 3), Status::kInvalidArgument);
+}
+
+TEST_F(McapiTest, ProducerConsumerStress) {
+  auto tx = endpoint_create(0, 1, 30);
+  auto rx = endpoint_create(0, 2, 30);
+  ASSERT_EQ(channel_connect(ChannelType::kPacket, *tx, *rx),
+            Status::kSuccess);
+  const int kCount = 5000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      while (pkt_send(*tx, &i, sizeof(i)) == Status::kMessageLimit) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  long sum = 0;
+  for (int i = 0; i < kCount; ++i) {
+    int v = 0;
+    auto n = pkt_recv(*rx, &v, sizeof(v));
+    ASSERT_TRUE(n.has_value());
+    sum += v;
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long>(kCount) * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace ompmca::mcapi

@@ -1,0 +1,91 @@
+// Randomized arena torture: thousands of interleaved allocate/release
+// operations checked against a shadow model — no overlaps, exact
+// accounting, full coalescing at quiescence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/align.hpp"
+#include "common/rng.hpp"
+#include "mrapi/arena.hpp"
+
+namespace ompmca::mrapi {
+namespace {
+
+class ArenaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArenaFuzz, RandomAllocFreeAgainstShadowModel) {
+  constexpr std::size_t kCapacity = 1 << 18;  // 256 KiB
+  SystemShmArena arena(kCapacity);
+  Xoshiro256 rng(GetParam());
+
+  struct Block {
+    std::byte* ptr;
+    std::size_t size;
+  };
+  std::vector<Block> live;
+  std::size_t shadow_used = 0;
+
+  auto overlaps = [&](std::byte* p, std::size_t n) {
+    for (const auto& b : live) {
+      if (p < b.ptr + b.size && b.ptr < p + n) return true;
+    }
+    return false;
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    bool do_alloc = live.empty() || rng.next_double() < 0.55;
+    if (do_alloc) {
+      std::size_t size = 1 + rng.next_below(2048);
+      auto r = arena.allocate(size);
+      std::size_t rounded = align_up(size, kCacheLineBytes);
+      if (shadow_used + rounded > kCapacity) {
+        // The arena may still succeed (fragmentation permitting) or fail;
+        // but it must never succeed past capacity.
+        if (r.has_value()) {
+          ASSERT_LE(arena.used(), kCapacity);
+          ASSERT_FALSE(
+              overlaps(static_cast<std::byte*>(*r), rounded));
+          live.push_back({static_cast<std::byte*>(*r), rounded});
+          shadow_used += rounded;
+        }
+        continue;
+      }
+      if (!r.has_value()) {
+        // Legal only under fragmentation; the free space must be split.
+        ASSERT_GT(arena.free_blocks(), 1u)
+            << "allocation failed with " << (kCapacity - shadow_used)
+            << " contiguous-capacity bytes free";
+        continue;
+      }
+      auto* p = static_cast<std::byte*>(*r);
+      ASSERT_EQ(reinterpret_cast<std::uintptr_t>(p) % kCacheLineBytes, 0u);
+      ASSERT_FALSE(overlaps(p, rounded)) << "overlapping allocation";
+      // Touch every byte: must not fault and must not corrupt neighbours.
+      std::memset(p, 0xD0 + (op % 16), size);
+      live.push_back({p, rounded});
+      shadow_used += rounded;
+    } else {
+      std::size_t victim = rng.next_below(live.size());
+      ASSERT_EQ(arena.release(live[victim].ptr), Status::kSuccess);
+      shadow_used -= live[victim].size;
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    ASSERT_EQ(arena.used(), shadow_used) << "accounting drifted at op " << op;
+  }
+
+  for (const auto& b : live) {
+    ASSERT_EQ(arena.release(b.ptr), Status::kSuccess);
+  }
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.free_blocks(), 1u) << "coalescing left fragments";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaFuzz,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+}  // namespace
+}  // namespace ompmca::mrapi

@@ -1,0 +1,135 @@
+// Validates that the paper's code fragments work almost verbatim against
+// the C-flavoured shim.
+#include "mrapi/capi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "mrapi/database.hpp"
+
+namespace ompmca::mrapi::capi {
+namespace {
+
+// The shim tracks the calling node per *thread*; tests run on the main
+// thread, so initialize once for the whole suite.
+class CapiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Database::instance().reset();
+    mrapi_status_t status;
+    mrapi_initialize(0, 1, &status);
+    ASSERT_EQ(status, MRAPI_SUCCESS);
+  }
+};
+
+TEST_F(CapiTest, InitializedReportsTrue) {
+  EXPECT_TRUE(mrapi_initialized());
+  mrapi_status_t status;
+  mrapi_initialize(0, 2, &status);
+  EXPECT_EQ(status, Status::kAlreadyInitialized);
+}
+
+TEST_F(CapiTest, ListingTwoThreadCreate) {
+  // The paper's Listing 2 usage: create a worker thread bound to node 10.
+  static std::atomic<int> ran{0};
+  mrapi_thread_parameters_t params;
+  params.start_routine = [](void* arg) -> void* {
+    static_cast<std::atomic<int>*>(arg)->store(7);
+    return nullptr;
+  };
+  params.arg = &ran;
+  mrapi_status_t status;
+  mrapi_thread_create(0, 10, &params, &status);
+  ASSERT_EQ(status, MRAPI_SUCCESS);
+  mrapi_thread_join(10, &status);
+  EXPECT_EQ(status, MRAPI_SUCCESS);
+  EXPECT_EQ(ran.load(), 7);
+}
+
+TEST_F(CapiTest, ListingTwoWrongDomainRejected) {
+  mrapi_thread_parameters_t params;
+  params.start_routine = [](void*) -> void* { return nullptr; };
+  mrapi_status_t status;
+  mrapi_thread_create(3, 11, &params, &status);
+  EXPECT_EQ(status, Status::kDomainInvalid);
+}
+
+TEST_F(CapiTest, ListingThreeGompMalloc) {
+  // The paper's gomp_malloc (Listing 3), reproduced exactly.
+  auto gomp_malloc = [](std::size_t size) -> void* {
+    mrapi_shmem_attributes_t shm_attr;
+    shm_attr.use_malloc = MCA_TRUE;
+    mrapi_status_t mrapi_status;
+    constexpr mrapi_key_t SHMEM_DATA_KEY = 0x1000;
+    mrapi_shmem_create_malloc(SHMEM_DATA_KEY, size, &shm_attr, &mrapi_status);
+    if (mrapi_status == MRAPI_SUCCESS) {
+      return shm_attr.mem_addr;
+    }
+    return nullptr;  // the paper calls gomp_fatal here
+  };
+  void* p = gomp_malloc(1024);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xEE, 1024);
+  mrapi_status_t status;
+  mrapi_shmem_delete(0x1000, &status);
+  EXPECT_EQ(status, MRAPI_SUCCESS);
+}
+
+TEST_F(CapiTest, ListingFourMutexRoutines) {
+  // gomp_mrapi_mutex_lock (Listing 4): create, lock with key, unlock.
+  mrapi_status_t status;
+  auto handle = mrapi_mutex_create(0x2000, &status);
+  ASSERT_EQ(status, MRAPI_SUCCESS);
+  ASSERT_NE(handle, nullptr);
+
+  mrapi_key_t key = 0;
+  mrapi_mutex_lock(handle, &key, MRAPI_TIMEOUT_INFINITE, &status);
+  EXPECT_EQ(status, MRAPI_SUCCESS);
+  EXPECT_EQ(key, 1u);
+  mrapi_mutex_unlock(handle, &key, &status);
+  EXPECT_EQ(status, MRAPI_SUCCESS);
+}
+
+TEST_F(CapiTest, MutexCreateIsGetOrCreate) {
+  mrapi_status_t status;
+  auto a = mrapi_mutex_create(0x2001, &status);
+  ASSERT_EQ(status, MRAPI_SUCCESS);
+  auto b = mrapi_mutex_create(0x2001, &status);
+  ASSERT_EQ(status, MRAPI_SUCCESS);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST_F(CapiTest, MetadataProcessorCount) {
+  mrapi_status_t status;
+  unsigned procs = mrapi_resources_num_processors(&status);
+  EXPECT_EQ(status, MRAPI_SUCCESS);
+  EXPECT_EQ(procs, 24u);  // T4240RDB default platform
+}
+
+TEST(CapiUninitialized, CallsFailWithNodeNotInit) {
+  // A fresh thread has no calling node.
+  std::thread t([] {
+    EXPECT_FALSE(mrapi_initialized());
+    mrapi_status_t status;
+    mrapi_thread_parameters_t params;
+    params.start_routine = [](void*) -> void* { return nullptr; };
+    mrapi_thread_create(0, 50, &params, &status);
+    EXPECT_EQ(status, MRAPI_ERR_NODE_NOTINIT);
+
+    mrapi_shmem_attributes_t attrs;
+    mrapi_shmem_create_malloc(0x3000, 64, &attrs, &status);
+    EXPECT_EQ(status, MRAPI_ERR_NODE_NOTINIT);
+
+    EXPECT_EQ(mrapi_mutex_create(0x3000, &status), nullptr);
+    EXPECT_EQ(status, MRAPI_ERR_NODE_NOTINIT);
+
+    EXPECT_EQ(mrapi_resources_num_processors(&status), 0u);
+    EXPECT_EQ(status, MRAPI_ERR_NODE_NOTINIT);
+  });
+  t.join();
+}
+
+}  // namespace
+}  // namespace ompmca::mrapi::capi

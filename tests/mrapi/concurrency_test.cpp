@@ -1,0 +1,201 @@
+// Concurrency stress over the MRAPI database: the domain-wide registries
+// must stay consistent under simultaneous node lifecycle and resource
+// create/get/delete traffic — this is precisely the state the paper's
+// runtime hammers at every fork/join.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mrapi/mrapi.hpp"
+
+namespace ompmca::mrapi {
+namespace {
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Database::instance().reset(); }
+};
+
+TEST_F(ConcurrencyTest, ParallelNodeInitFinalizeCycles) {
+  const int kThreads = 8;
+  const int kCycles = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &failures] {
+      for (int c = 0; c < kCycles; ++c) {
+        auto n = Node::initialize(0, static_cast<NodeId>(t));
+        if (!n) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (!ok(n->finalize())) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto d = Database::instance().find_domain(0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ((*d)->node_count(), 0u);
+}
+
+TEST_F(ConcurrencyTest, RacingInitSameNodeIdExactlyOneWins) {
+  const int kThreads = 8;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    std::vector<Node> nodes(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto n = Node::initialize(0, 42);
+        if (n) {
+          winners.fetch_add(1);
+          nodes[static_cast<std::size_t>(t)] = *n;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(winners.load(), 1) << "round " << round;
+    for (auto& n : nodes) {
+      if (n.initialized()) (void)n.finalize();
+    }
+  }
+}
+
+TEST_F(ConcurrencyTest, ParallelShmemLifecyclesDistinctKeys) {
+  auto host = Node::initialize(0, 0);
+  ASSERT_TRUE(host.has_value());
+  const int kThreads = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= kThreads; ++t) {
+    threads.emplace_back([t, &failures] {
+      auto me = Node::initialize(0, static_cast<NodeId>(t));
+      if (!me) {
+        failures.fetch_add(1);
+        return;
+      }
+      ShmemAttributes attrs;
+      attrs.use_malloc = true;
+      for (int c = 0; c < 200; ++c) {
+        ResourceKey key = static_cast<ResourceKey>(t * 1000 + (c % 8));
+        auto seg = me->shmem_create(key, 256, attrs);
+        if (!seg) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto addr = (*seg)->attach(me->node_id());
+        if (!addr) failures.fetch_add(1);
+        if (!ok((*seg)->detach(me->node_id()))) failures.fetch_add(1);
+        if (!ok(me->shmem_delete(key))) failures.fetch_add(1);
+      }
+      (void)me->finalize();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  (void)host->finalize();
+}
+
+TEST_F(ConcurrencyTest, RacingMutexCreateSameKeyOneWinner) {
+  auto host = Node::initialize(0, 0);
+  ASSERT_TRUE(host.has_value());
+  for (int round = 0; round < 40; ++round) {
+    ResourceKey key = static_cast<ResourceKey>(7000 + round);
+    std::atomic<int> created{0};
+    std::atomic<int> existed{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t) {
+      threads.emplace_back([&] {
+        auto m = host->mutex_create(key);
+        if (m) {
+          created.fetch_add(1);
+        } else if (m.status() == Status::kMutexExists) {
+          existed.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(created.load(), 1);
+    EXPECT_EQ(existed.load(), 5);
+  }
+  (void)host->finalize();
+}
+
+TEST_F(ConcurrencyTest, SharedShmemVisibleAcrossWorkerNodes) {
+  auto host = Node::initialize(0, 0);
+  ASSERT_TRUE(host.has_value());
+  auto addr = host->shmem_create_malloc(500, sizeof(long) * 16);
+  ASSERT_TRUE(addr.has_value());
+  auto* slots = static_cast<long*>(*addr);
+  for (int i = 0; i < 16; ++i) slots[i] = 0;
+
+  // Listing-2 workers each fill their slot of the shared segment.
+  for (int w = 0; w < 16; ++w) {
+    ThreadParameters params;
+    params.start_routine = [slots, w] {
+      // Workers locate the segment by key, the MRAPI sharing model.
+      auto me = Node::initialize(0, static_cast<NodeId>(100 + w));
+      if (!me) return;
+      auto seg = me->shmem_get(500);
+      if (seg) {
+        auto base = (*seg)->attach(me->node_id());
+        if (base) {
+          static_cast<long*>(*base)[w] = w + 1;
+          (void)(*seg)->detach(me->node_id());
+        }
+      }
+      (void)me->finalize();
+    };
+    ASSERT_EQ(host->thread_create(static_cast<NodeId>(50 + w),
+                                  std::move(params)),
+              Status::kSuccess);
+  }
+  for (int w = 0; w < 16; ++w) {
+    (void)host->thread_join(static_cast<NodeId>(50 + w));
+    (void)host->thread_finalize(static_cast<NodeId>(50 + w));
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(slots[i], i + 1);
+  (void)host->finalize();
+}
+
+TEST_F(ConcurrencyTest, DmaEngineHandlesConcurrentSubmitters) {
+  auto host = Node::initialize(0, 0);
+  ASSERT_TRUE(host.has_value());
+  auto rmem = host->rmem_create(600, 1 << 16, RmemAccess::kDma);
+  ASSERT_TRUE(rmem.has_value());
+
+  const int kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto me = Node::initialize(0, static_cast<NodeId>(t + 1));
+      if (!me || !ok((*rmem)->attach(me->node_id(), RmemAccess::kDma))) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<std::uint8_t> out(512, static_cast<std::uint8_t>(t));
+      std::vector<std::uint8_t> in(512);
+      const std::size_t offset = static_cast<std::size_t>(t) * 1024;
+      for (int c = 0; c < 100; ++c) {
+        if (!ok((*rmem)->write(me->node_id(), offset, out.data(), 512)) ||
+            !ok((*rmem)->read(me->node_id(), offset, in.data(), 512)) ||
+            in != out) {
+          failures.fetch_add(1);
+        }
+      }
+      (void)(*rmem)->detach(me->node_id());
+      (void)me->finalize();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  (void)host->finalize();
+}
+
+}  // namespace
+}  // namespace ompmca::mrapi

@@ -1,0 +1,75 @@
+#include "mrapi/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mrapi/node.hpp"
+#include "platform/topology.hpp"
+
+namespace ompmca::mrapi {
+namespace {
+
+class MetadataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Database::instance().reset();
+    Database::instance().configure_platform(platform::Topology::t4240rdb());
+    auto n = Node::initialize(0, 1);
+    ASSERT_TRUE(n.has_value());
+    node_ = *n;
+  }
+  void TearDown() override {
+    (void)node_.finalize();
+    Database::instance().configure_platform(platform::Topology::t4240rdb());
+  }
+  Node node_;
+};
+
+TEST_F(MetadataTest, ProcessorsOnlineMatchesBoard) {
+  auto md = node_.metadata();
+  ASSERT_TRUE(md.has_value());
+  // §5B.4: the runtime sizes its pool by this number — 24 on the T4240RDB.
+  EXPECT_EQ(md->processors_online(), 24u);
+  EXPECT_EQ(md->cores(), 12u);
+}
+
+TEST_F(MetadataTest, ResourceFilterQueries) {
+  auto md = node_.metadata();
+  ASSERT_TRUE(md.has_value());
+  EXPECT_EQ(md->resources(platform::ResourceKind::kCluster).size(), 3u);
+  EXPECT_EQ(md->resources(platform::ResourceKind::kHwThread).size(), 24u);
+  EXPECT_EQ(md->resources(platform::ResourceKind::kCache).size(), 16u);
+}
+
+TEST_F(MetadataTest, NodesOnlineIsDynamic) {
+  auto md = node_.metadata();
+  ASSERT_TRUE(md.has_value());
+  EXPECT_EQ(md->nodes_online(), 1u);
+  auto other = Node::initialize(0, 2);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(md->nodes_online(), 2u);
+  (void)other->finalize();
+  EXPECT_EQ(md->nodes_online(), 1u);
+}
+
+TEST_F(MetadataTest, RenderedTreeMentionsBoard) {
+  auto md = node_.metadata();
+  ASSERT_TRUE(md.has_value());
+  std::string text = md->render();
+  EXPECT_NE(text.find("T4240RDB"), std::string::npos);
+}
+
+TEST(MetadataPlatform, P4080DomainReportsEight) {
+  Database::instance().reset();
+  Database::instance().configure_platform(platform::Topology::p4080ds());
+  auto n = Node::initialize(1, 1);
+  ASSERT_TRUE(n.has_value());
+  auto md = n->metadata();
+  ASSERT_TRUE(md.has_value());
+  EXPECT_EQ(md->processors_online(), 8u);
+  (void)n->finalize();
+  Database::instance().reset();
+  Database::instance().configure_platform(platform::Topology::t4240rdb());
+}
+
+}  // namespace
+}  // namespace ompmca::mrapi

@@ -1,0 +1,189 @@
+#include "mrapi/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace ompmca::mrapi {
+namespace {
+
+// Each test uses its own domain id so the process-global database never
+// couples tests.
+class NodeTest : public ::testing::Test {
+ protected:
+  static DomainId next_domain() {
+    static std::atomic<DomainId> next{0};
+    return next.fetch_add(1) % Limits::kMaxDomains;
+  }
+  void SetUp() override {
+    Database::instance().reset();
+    domain_ = next_domain();
+  }
+  DomainId domain_ = 0;
+};
+
+TEST_F(NodeTest, InitializeAndFinalize) {
+  auto n = Node::initialize(domain_, 1);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_TRUE(n->initialized());
+  EXPECT_EQ(n->domain_id(), domain_);
+  EXPECT_EQ(n->node_id(), 1u);
+  EXPECT_EQ(n->finalize(), Status::kSuccess);
+  EXPECT_FALSE(n->initialized());
+}
+
+TEST_F(NodeTest, DuplicateNodeIdRejected) {
+  auto a = Node::initialize(domain_, 7);
+  ASSERT_TRUE(a.has_value());
+  auto b = Node::initialize(domain_, 7);
+  EXPECT_EQ(b.status(), Status::kNodeExists);
+  (void)a->finalize();
+}
+
+TEST_F(NodeTest, NodeIdReusableAfterFinalize) {
+  auto a = Node::initialize(domain_, 7);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_EQ(a->finalize(), Status::kSuccess);
+  auto b = Node::initialize(domain_, 7);
+  EXPECT_TRUE(b.has_value());
+  (void)b->finalize();
+}
+
+TEST_F(NodeTest, OperationsBeforeInitFail) {
+  Node n;
+  EXPECT_FALSE(n.initialized());
+  EXPECT_EQ(n.shmem_create(1, 64).status(), Status::kNodeNotInit);
+  EXPECT_EQ(n.mutex_create(1).status(), Status::kNodeNotInit);
+  EXPECT_EQ(n.metadata().status(), Status::kNodeNotInit);
+  EXPECT_EQ(n.finalize(), Status::kNodeNotInit);
+}
+
+TEST_F(NodeTest, ManyNodesOneDomain) {
+  std::vector<Node> nodes;
+  for (NodeId id = 0; id < 32; ++id) {
+    auto n = Node::initialize(domain_, id);
+    ASSERT_TRUE(n.has_value()) << id;
+    nodes.push_back(*n);
+  }
+  auto md = nodes[0].metadata();
+  ASSERT_TRUE(md.has_value());
+  EXPECT_EQ(md->nodes_online(), 32u);
+  for (auto& n : nodes) EXPECT_EQ(n.finalize(), Status::kSuccess);
+}
+
+TEST_F(NodeTest, NodeLimitEnforced) {
+  std::vector<Node> nodes;
+  for (NodeId id = 0; id < Limits::kMaxNodesPerDomain; ++id) {
+    auto n = Node::initialize(domain_, id);
+    ASSERT_TRUE(n.has_value());
+    nodes.push_back(*n);
+  }
+  auto overflow = Node::initialize(domain_, 9999);
+  EXPECT_EQ(overflow.status(), Status::kOutOfResources);
+  for (auto& n : nodes) (void)n.finalize();
+}
+
+// --- the paper's Listing-2 extension ---------------------------------------
+
+TEST_F(NodeTest, ThreadCreateRunsRoutineAsNode) {
+  auto host = Node::initialize(domain_, 0);
+  ASSERT_TRUE(host.has_value());
+
+  std::atomic<int> ran{0};
+  ThreadParameters params;
+  params.start_routine = [&ran] { ran.store(42); };
+  ASSERT_EQ(host->thread_create(10, std::move(params)), Status::kSuccess);
+  EXPECT_EQ(host->thread_join(10), Status::kSuccess);
+  EXPECT_EQ(ran.load(), 42);
+
+  // The worker node is registered until finalized.
+  auto md = host->metadata();
+  ASSERT_TRUE(md.has_value());
+  EXPECT_EQ(md->nodes_online(), 2u);
+  EXPECT_EQ(host->thread_finalize(10), Status::kSuccess);
+  EXPECT_EQ(md->nodes_online(), 1u);
+  (void)host->finalize();
+}
+
+TEST_F(NodeTest, ThreadCreateTeamOfWorkers) {
+  auto host = Node::initialize(domain_, 0);
+  ASSERT_TRUE(host.has_value());
+  std::atomic<int> sum{0};
+  const int kWorkers = 8;
+  for (int i = 1; i <= kWorkers; ++i) {
+    ThreadParameters params;
+    params.start_routine = [&sum, i] { sum.fetch_add(i); };
+    ASSERT_EQ(host->thread_create(static_cast<NodeId>(i), std::move(params)),
+              Status::kSuccess);
+  }
+  for (int i = 1; i <= kWorkers; ++i) {
+    EXPECT_EQ(host->thread_join(static_cast<NodeId>(i)), Status::kSuccess);
+    EXPECT_EQ(host->thread_finalize(static_cast<NodeId>(i)), Status::kSuccess);
+  }
+  EXPECT_EQ(sum.load(), kWorkers * (kWorkers + 1) / 2);
+  (void)host->finalize();
+}
+
+TEST_F(NodeTest, ThreadCreateNullRoutineRejected) {
+  auto host = Node::initialize(domain_, 0);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->thread_create(1, ThreadParameters{}),
+            Status::kInvalidArgument);
+  (void)host->finalize();
+}
+
+TEST_F(NodeTest, ThreadJoinUnknownNode) {
+  auto host = Node::initialize(domain_, 0);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->thread_join(99), Status::kNodeInvalid);
+  (void)host->finalize();
+}
+
+TEST_F(NodeTest, ThreadJoinIdempotent) {
+  auto host = Node::initialize(domain_, 0);
+  ASSERT_TRUE(host.has_value());
+  ThreadParameters params;
+  params.start_routine = [] {};
+  ASSERT_EQ(host->thread_create(5, std::move(params)), Status::kSuccess);
+  EXPECT_EQ(host->thread_join(5), Status::kSuccess);
+  EXPECT_EQ(host->thread_join(5), Status::kSuccess);
+  (void)host->thread_finalize(5);
+  (void)host->finalize();
+}
+
+TEST_F(NodeTest, WorkerCanUseDomainResources) {
+  auto host = Node::initialize(domain_, 0);
+  ASSERT_TRUE(host.has_value());
+  auto mu = host->mutex_create(100);
+  ASSERT_TRUE(mu.has_value());
+  std::atomic<bool> locked_ok{false};
+  ThreadParameters params;
+  params.start_routine = [&] {
+    LockKey key;
+    if (ok((*mu)->lock(kTimeoutInfinite, &key)) &&
+        ok((*mu)->unlock(key))) {
+      locked_ok.store(true);
+    }
+  };
+  ASSERT_EQ(host->thread_create(1, std::move(params)), Status::kSuccess);
+  (void)host->thread_join(1);
+  (void)host->thread_finalize(1);
+  EXPECT_TRUE(locked_ok.load());
+  (void)host->finalize();
+}
+
+TEST_F(NodeTest, DomainLimitEnforced) {
+  // Domain ids are created lazily; exhaust the table.
+  std::vector<Node> nodes;
+  for (DomainId d = 0; d < Limits::kMaxDomains; ++d) {
+    auto n = Node::initialize(d, 1);
+    ASSERT_TRUE(n.has_value());
+    nodes.push_back(*n);
+  }
+  auto overflow = Node::initialize(Limits::kMaxDomains + 10, 1);
+  EXPECT_EQ(overflow.status(), Status::kDomainInvalid);
+  for (auto& n : nodes) (void)n.finalize();
+}
+
+}  // namespace
+}  // namespace ompmca::mrapi

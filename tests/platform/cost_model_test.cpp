@@ -1,0 +1,150 @@
+#include "platform/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompmca::platform {
+namespace {
+
+CostModel native_model() {
+  return CostModel(Topology::t4240rdb(), ServiceCosts::native());
+}
+
+TEST(TeamShape, SingleThreadOwnsItsCore) {
+  Topology t = Topology::t4240rdb();
+  TeamShape shape(t, 1);
+  EXPECT_FALSE(shape.smt_shared(0));
+  EXPECT_EQ(shape.clusters_spanned(), 1u);
+}
+
+TEST(TeamShape, TwelveThreadsNoSmtSharing) {
+  Topology t = Topology::t4240rdb();
+  TeamShape shape(t, 12);
+  for (unsigned i = 0; i < 12; ++i) EXPECT_FALSE(shape.smt_shared(i));
+  EXPECT_EQ(shape.clusters_spanned(), 3u);
+}
+
+TEST(TeamShape, TwentyFourThreadsAllSmtShared) {
+  Topology t = Topology::t4240rdb();
+  TeamShape shape(t, 24);
+  for (unsigned i = 0; i < 24; ++i) EXPECT_TRUE(shape.smt_shared(i));
+}
+
+TEST(TeamShape, ThirteenThreadsOneSharedCore) {
+  Topology t = Topology::t4240rdb();
+  TeamShape shape(t, 13);
+  int shared = 0;
+  for (unsigned i = 0; i < 13; ++i) {
+    if (shape.smt_shared(i)) ++shared;
+  }
+  EXPECT_EQ(shared, 2);  // the 13th thread plus the lane-0 it joined
+}
+
+TEST(CostModel, ComputeScalesInverselyWithIssue) {
+  CostModel m = native_model();
+  Topology t = Topology::t4240rdb();
+  Work w;
+  w.flops = 1e9;
+  TeamShape one(t, 1);
+  TeamShape full(t, 24);
+  // A thread sharing a core via SMT must be slower on the same work.
+  EXPECT_GT(m.chunk_seconds(w, full, 0), m.chunk_seconds(w, one, 0));
+}
+
+TEST(CostModel, L1ResidentFasterThanDram) {
+  CostModel m = native_model();
+  Topology t = Topology::t4240rdb();
+  TeamShape shape(t, 1);
+  Work small;
+  small.bytes = 1e6;
+  small.footprint_bytes = 16 * 1024;  // fits L1
+  Work big = small;
+  big.footprint_bytes = 64.0 * 1024 * 1024;  // DRAM
+  EXPECT_LT(m.chunk_seconds(small, shape, 0),
+            m.chunk_seconds(big, shape, 0));
+}
+
+TEST(CostModel, DramBandwidthDividesAmongThreads) {
+  CostModel m = native_model();
+  Topology t = Topology::t4240rdb();
+  Work w;
+  w.bytes = 1e8;
+  w.footprint_bytes = 256.0 * 1024 * 1024;
+  TeamShape few(t, 2);
+  TeamShape many(t, 24);
+  EXPECT_LT(m.chunk_seconds(w, few, 0), m.chunk_seconds(w, many, 0));
+}
+
+TEST(CostModel, RooflineTakesMax) {
+  CostModel m = native_model();
+  Topology t = Topology::t4240rdb();
+  TeamShape shape(t, 1);
+  Work compute_only;
+  compute_only.flops = 1e9;
+  Work memory_only;
+  memory_only.bytes = 1e9;
+  memory_only.footprint_bytes = 1e9;
+  Work both;
+  both.flops = 1e9;
+  both.bytes = 1e9;
+  both.footprint_bytes = 1e9;
+  double tc = m.chunk_seconds(compute_only, shape, 0);
+  double tm = m.chunk_seconds(memory_only, shape, 0);
+  double tb = m.chunk_seconds(both, shape, 0);
+  EXPECT_DOUBLE_EQ(tb, std::max(tc, tm));
+}
+
+TEST(CostModel, BarrierCostGrowsWithThreads) {
+  CostModel m = native_model();
+  Topology t = Topology::t4240rdb();
+  double prev = 0.0;
+  for (unsigned n : {2u, 4u, 8u, 16u, 24u}) {
+    TeamShape shape(t, n);
+    double cost = m.barrier_seconds(shape);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(CostModel, ForkJoinPositiveAndGrowing) {
+  CostModel m = native_model();
+  EXPECT_GT(m.fork_seconds(4), 0.0);
+  EXPECT_GT(m.fork_seconds(24), m.fork_seconds(4));
+  EXPECT_GT(m.join_seconds(24), m.join_seconds(4));
+}
+
+TEST(ServiceCosts, McaWithinTableOneBandOfNative) {
+  // Table I reports ratios scattered around 1.0; the calibrated service
+  // costs must keep every primitive within a modest band of native.
+  ServiceCosts n = ServiceCosts::native();
+  ServiceCosts m = ServiceCosts::mca();
+  auto ratio = [](double a, double b) { return a / b; };
+  EXPECT_NEAR(ratio(m.fork_base, n.fork_base), 1.0, 0.15);
+  EXPECT_NEAR(ratio(m.barrier_per_thread, n.barrier_per_thread), 1.0, 0.15);
+  EXPECT_NEAR(ratio(m.lock_cycles, n.lock_cycles), 1.0, 0.25);
+  EXPECT_NEAR(ratio(m.single_cycles, n.single_cycles), 1.0, 0.25);
+  EXPECT_NEAR(ratio(m.reduction_base, n.reduction_base), 1.0, 0.15);
+}
+
+TEST(CostModel, WorkAccumulation) {
+  Work a;
+  a.flops = 10;
+  a.bytes = 100;
+  a.footprint_bytes = 1000;
+  Work b;
+  b.flops = 5;
+  b.bytes = 50;
+  b.footprint_bytes = 500;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.flops, 15);
+  EXPECT_DOUBLE_EQ(a.bytes, 150);
+  EXPECT_DOUBLE_EQ(a.footprint_bytes, 1000);  // max, not sum
+}
+
+TEST(CostModel, CyclesToSeconds) {
+  CostModel m = native_model();
+  // 1.8e9 cycles at 1.8 GHz is one second.
+  EXPECT_DOUBLE_EQ(m.cycles_to_seconds(1.8e9), 1.0);
+}
+
+}  // namespace
+}  // namespace ompmca::platform

@@ -1,0 +1,84 @@
+#include "platform/resource_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompmca::platform {
+namespace {
+
+TEST(ResourceTree, T4240Counts) {
+  Topology t = Topology::t4240rdb();
+  auto root = build_resource_tree(t);
+  EXPECT_EQ(root->count(ResourceKind::kCluster), 3u);
+  EXPECT_EQ(root->count(ResourceKind::kCore), 12u);
+  EXPECT_EQ(root->count(ResourceKind::kHwThread), 24u);
+  // 12 L1 + 3 L2 + 1 L3.
+  EXPECT_EQ(root->count(ResourceKind::kCache), 16u);
+  EXPECT_EQ(root->count(ResourceKind::kMemory), 1u);
+  EXPECT_EQ(root->count(ResourceKind::kDma), 1u);
+}
+
+TEST(ResourceTree, RootAttributes) {
+  Topology t = Topology::t4240rdb();
+  auto root = build_resource_tree(t);
+  EXPECT_EQ(root->attr_int("num_hw_threads"), 24);
+  EXPECT_EQ(root->attr_int("num_cores"), 12);
+  EXPECT_EQ(root->attr_int("frequency_mhz"), 1800);
+}
+
+TEST(ResourceTree, HwThreadsMarkedOnline) {
+  auto root = build_resource_tree(Topology::t4240rdb());
+  std::size_t online = 0;
+  std::function<void(const ResourceNode&)> walk = [&](const ResourceNode& n) {
+    if (n.kind == ResourceKind::kHwThread && n.attr_int("online", 0) == 1)
+      ++online;
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(*root);
+  EXPECT_EQ(online, 24u);
+}
+
+TEST(ResourceTree, FindFirst) {
+  auto root = build_resource_tree(Topology::t4240rdb());
+  const ResourceNode* cache = root->find_first(ResourceKind::kCache);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(cache->attr_int("size_bytes"), 0);
+  EXPECT_EQ(root->find_first(ResourceKind::kPartition), nullptr);
+}
+
+TEST(ResourceTree, PartitionsIncludedWhenConfigured) {
+  Topology t = Topology::t4240rdb();
+  auto hv = HypervisorConfig::whole_board(&t, 6ull << 30);
+  auto root = build_resource_tree(t, &hv);
+  EXPECT_EQ(root->count(ResourceKind::kPartition), 1u);
+  const ResourceNode* p = root->find_first(ResourceKind::kPartition);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->attr_int("num_hw_threads"), 24);
+  EXPECT_EQ(p->count(ResourceKind::kIoDevice), 3u);
+}
+
+TEST(ResourceTree, AttrFallbacks) {
+  ResourceNode n;
+  EXPECT_EQ(n.attr_int("missing", -5), -5);
+  EXPECT_EQ(n.attr_string("missing", "x"), "x");
+  n.attributes["s"] = std::string("v");
+  EXPECT_EQ(n.attr_int("s", -1), -1);  // wrong type -> fallback
+  EXPECT_EQ(n.attr_string("s"), "v");
+}
+
+TEST(ResourceTree, RenderContainsKeyRows) {
+  auto root = build_resource_tree(Topology::t4240rdb());
+  std::string text = render_resource_tree(*root);
+  EXPECT_NE(text.find("[system]"), std::string::npos);
+  EXPECT_NE(text.find("[cluster] cluster0"), std::string::npos);
+  EXPECT_NE(text.find("hwthread23"), std::string::npos);
+  EXPECT_NE(text.find("[dma]"), std::string::npos);
+}
+
+TEST(ResourceTree, P4080Counts) {
+  auto root = build_resource_tree(Topology::p4080ds());
+  EXPECT_EQ(root->count(ResourceKind::kCore), 8u);
+  EXPECT_EQ(root->count(ResourceKind::kHwThread), 8u);
+}
+
+}  // namespace
+}  // namespace ompmca::platform

@@ -1,0 +1,119 @@
+#include "platform/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ompmca::platform {
+namespace {
+
+TEST(TopologyT4240, PaperShape) {
+  Topology t = Topology::t4240rdb();
+  EXPECT_EQ(t.num_clusters(), 3u);
+  EXPECT_EQ(t.num_cores(), 12u);
+  EXPECT_EQ(t.num_hw_threads(), 24u);  // "twenty-four virtual threads"
+  EXPECT_DOUBLE_EQ(t.frequency_ghz(), 1.8);
+}
+
+TEST(TopologyT4240, ClustersOfFourCores) {
+  Topology t = Topology::t4240rdb();
+  for (unsigned c = 0; c < t.num_clusters(); ++c) {
+    EXPECT_EQ(t.cluster(c).cores.size(), 4u);
+  }
+}
+
+TEST(TopologyT4240, EveryCoreDualThreaded) {
+  Topology t = Topology::t4240rdb();
+  for (unsigned c = 0; c < t.num_cores(); ++c) {
+    EXPECT_EQ(t.core(c).hw_threads.size(), 2u);
+  }
+}
+
+TEST(TopologyT4240, CacheHierarchyPerPaper) {
+  Topology t = Topology::t4240rdb();
+  ASSERT_EQ(t.caches().size(), 3u);
+  EXPECT_EQ(t.cache(0).size_bytes, 32u * 1024);        // L1 32KB (§4C)
+  EXPECT_EQ(t.cache(2).size_bytes, 3u * 512 * 1024);   // 1.5MB CoreNet L3
+}
+
+TEST(TopologyP4080, PreviousBoardShape) {
+  Topology t = Topology::p4080ds();
+  EXPECT_EQ(t.num_cores(), 8u);          // eight e500mc cores
+  EXPECT_EQ(t.num_hw_threads(), 8u);     // no SMT
+  EXPECT_EQ(t.num_clusters(), 1u);       // cores connect to CoreNet directly
+  EXPECT_EQ(t.cache(1).size_bytes, 128u * 1024);  // 128KB backside L2 (§4C)
+  EXPECT_EQ(t.cache(1).shared_by_hw_threads, 1u); // private per core
+}
+
+TEST(Topology, PlacementCoversAllHwThreadsOnce) {
+  for (const Topology& t :
+       {Topology::t4240rdb(), Topology::p4080ds(), Topology::generic(6, 2)}) {
+    std::set<unsigned> seen;
+    for (unsigned i = 0; i < t.num_hw_threads(); ++i) {
+      unsigned hw = t.placement(i);
+      EXPECT_LT(hw, t.num_hw_threads());
+      EXPECT_TRUE(seen.insert(hw).second)
+          << "duplicate placement at slot " << i;
+    }
+  }
+}
+
+TEST(Topology, PlacementFillsCoresBeforeSmtSiblings) {
+  Topology t = Topology::t4240rdb();
+  // The first 12 software threads must land on 12 distinct cores.
+  std::set<unsigned> cores;
+  for (unsigned i = 0; i < 12; ++i) {
+    cores.insert(t.hw_thread(t.placement(i)).core);
+  }
+  EXPECT_EQ(cores.size(), 12u);
+  // Threads 12..23 are the SMT siblings; every core now has 2.
+  std::map<unsigned, int> occupancy;
+  for (unsigned i = 0; i < 24; ++i) {
+    ++occupancy[t.hw_thread(t.placement(i)).core];
+  }
+  for (const auto& [core, n] : occupancy) EXPECT_EQ(n, 2) << "core " << core;
+}
+
+TEST(Topology, PlacementSpreadsClusters) {
+  Topology t = Topology::t4240rdb();
+  // The first 3 software threads should hit 3 different clusters.
+  std::set<unsigned> clusters;
+  for (unsigned i = 0; i < 3; ++i) {
+    unsigned core = t.hw_thread(t.placement(i)).core;
+    clusters.insert(t.core(core).cluster);
+  }
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(Topology, SameCoreSameCluster) {
+  Topology t = Topology::t4240rdb();
+  // HW threads 0 and 1 are the two lanes of core 0.
+  EXPECT_TRUE(t.same_core(0, 1));
+  EXPECT_TRUE(t.same_cluster(0, 1));
+  // HW threads 0 and 2 are different cores of cluster 0.
+  EXPECT_FALSE(t.same_core(0, 2));
+  EXPECT_TRUE(t.same_cluster(0, 2));
+  // Core 0 (cluster 0) and core 4 (cluster 1).
+  EXPECT_FALSE(t.same_cluster(0, 8));
+}
+
+TEST(Topology, HopCyclesMonotoneWithDistance) {
+  Topology t = Topology::t4240rdb();
+  double same = t.hop_cycles(0, 0);
+  double smt = t.hop_cycles(0, 1);
+  double intra = t.hop_cycles(0, 2);
+  double inter = t.hop_cycles(0, 8);
+  EXPECT_EQ(same, 0.0);
+  EXPECT_LT(smt, intra);
+  EXPECT_LT(intra, inter);
+}
+
+TEST(TopologyGeneric, RespectsParameters) {
+  Topology t = Topology::generic(6, 2, 2.5);
+  EXPECT_EQ(t.num_cores(), 6u);
+  EXPECT_EQ(t.num_hw_threads(), 12u);
+  EXPECT_DOUBLE_EQ(t.frequency_ghz(), 2.5);
+}
+
+}  // namespace
+}  // namespace ompmca::platform

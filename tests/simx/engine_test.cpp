@@ -1,0 +1,220 @@
+#include "simx/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ompmca::simx {
+namespace {
+
+platform::CostModel model() {
+  return platform::CostModel(platform::Topology::t4240rdb(),
+                             platform::ServiceCosts::native());
+}
+
+/// Work that is purely compute (no memory component) so timing is linear.
+ChunkWorkFn compute_work(double flops_per_iter) {
+  return [flops_per_iter](long lo, long hi) {
+    platform::Work w;
+    w.flops = flops_per_iter * static_cast<double>(hi - lo);
+    return w;
+  };
+}
+
+Program single_loop_program(long iters, gomp::ScheduleSpec spec = {}) {
+  Program p;
+  p.name = "test";
+  RegionStep region;
+  LoopStep loop;
+  loop.iterations = iters;
+  loop.work = compute_work(1000.0);
+  loop.schedule = spec;
+  region.steps.emplace_back(std::move(loop));
+  p.steps.emplace_back(std::move(region));
+  return p;
+}
+
+TEST(SimEngine, Deterministic) {
+  auto m = model();
+  Program p = single_loop_program(10000);
+  Engine a(&m, 8), b(&m, 8);
+  EXPECT_DOUBLE_EQ(a.run(p).seconds, b.run(p).seconds);
+}
+
+TEST(SimEngine, MoreThreadsFasterUpToCores) {
+  auto m = model();
+  Program p = single_loop_program(120000);
+  double prev = 1e300;
+  for (unsigned n : {1u, 2u, 4u, 8u, 12u}) {
+    Engine e(&m, n);
+    double t = e.run(p).seconds;
+    EXPECT_LT(t, prev) << n << " threads";
+    prev = t;
+  }
+}
+
+TEST(SimEngine, ComputeBoundSpeedupNearLinearOnCores) {
+  auto m = model();
+  Program p = single_loop_program(1200000);
+  auto speedups = Engine::speedup_series(m, p, {2, 4, 12});
+  EXPECT_NEAR(speedups[0], 2.0, 0.1);
+  EXPECT_NEAR(speedups[1], 4.0, 0.2);
+  EXPECT_NEAR(speedups[2], 12.0, 0.8);
+}
+
+TEST(SimEngine, AmdahlSerialFractionCapsSpeedup) {
+  auto m = model();
+  Program p;
+  RegionStep region;
+  LoopStep loop;
+  loop.iterations = 100000;
+  loop.work = compute_work(1000.0);
+  region.steps.emplace_back(loop);
+  SerialStep serial;
+  serial.work.flops = 100000.0 * 1000.0;  // serial part == parallel part
+  region.steps.emplace_back(serial);
+  p.steps.emplace_back(region);
+
+  auto speedups = Engine::speedup_series(m, p, {12});
+  // Amdahl with f=0.5: S(12) = 1 / (0.5 + 0.5/12) ~ 1.85.
+  EXPECT_NEAR(speedups[0], 1.85, 0.15);
+}
+
+TEST(SimEngine, BarrierCostsAccumulate) {
+  auto m = model();
+  Program with_barriers;
+  Program without;
+  RegionStep r1, r2;
+  for (int i = 0; i < 100; ++i) r1.steps.emplace_back(BarrierStep{});
+  with_barriers.steps.emplace_back(r1);
+  without.steps.emplace_back(r2);
+  Engine e1(&m, 8), e2(&m, 8);
+  EXPECT_GT(e1.run(with_barriers).seconds, e2.run(without).seconds);
+}
+
+TEST(SimEngine, CriticalSerializesWork) {
+  auto m = model();
+  platform::Work inside;
+  inside.flops = 1e6;
+  Program p;
+  RegionStep region;
+  region.steps.emplace_back(CriticalStep{inside, 1});
+  p.steps.emplace_back(region);
+
+  Engine one(&m, 1);
+  Engine eight(&m, 8);
+  double t1 = one.run(p).seconds;
+  double t8 = eight.run(p).seconds;
+  // Every thread passes through the critical in turn: cost scales ~x8.
+  EXPECT_GT(t8, t1 * 6.0);
+}
+
+TEST(SimEngine, StaticAndDynamicAgreeOnUniformWork) {
+  auto m = model();
+  Program stat =
+      single_loop_program(10000, {gomp::Schedule::kStatic, 0});
+  Program dyn =
+      single_loop_program(10000, {gomp::Schedule::kDynamic, 100});
+  Engine e1(&m, 8), e2(&m, 8);
+  double ts = e1.run(stat).seconds;
+  double td = e2.run(dyn).seconds;
+  EXPECT_NEAR(td / ts, 1.0, 0.1);  // dynamic pays only dispatch overhead
+}
+
+TEST(SimEngine, DynamicBeatsStaticOnSkewedWork) {
+  auto m = model();
+  // Triangular work: iteration i costs ~i.
+  ChunkWorkFn skewed = [](long lo, long hi) {
+    platform::Work w;
+    // sum of i over [lo, hi)
+    double n = static_cast<double>(hi - lo);
+    w.flops = (static_cast<double>(lo) + static_cast<double>(hi - 1)) * n / 2.0 * 100.0;
+    return w;
+  };
+  auto make = [&](gomp::ScheduleSpec spec) {
+    Program p;
+    RegionStep region;
+    LoopStep loop;
+    loop.iterations = 1000;
+    loop.work = skewed;
+    loop.schedule = spec;
+    region.steps.emplace_back(loop);
+    p.steps.emplace_back(region);
+    return p;
+  };
+  // Static cyclic with a big chunk strands the tail on one thread;
+  // dynamic with a small chunk balances.
+  Engine e1(&m, 8), e2(&m, 8);
+  double ts = e1.run(make({gomp::Schedule::kStatic, 125})).seconds;
+  double td = e2.run(make({gomp::Schedule::kDynamic, 10})).seconds;
+  EXPECT_LT(td, ts);
+}
+
+TEST(SimEngine, GuidedCoversAllIterations) {
+  auto m = model();
+  Program p = single_loop_program(54321, {gomp::Schedule::kGuided, 1});
+  Engine e(&m, 6);
+  // The engine asserts internally that the cursor reaches the end; a finite
+  // positive time means the loop completed.
+  double t = e.run(p).seconds;
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(SimEngine, SerialOutsideUsesOneThread) {
+  auto m = model();
+  Program p;
+  SerialOutside s;
+  s.work.flops = 1e9;
+  p.steps.emplace_back(s);
+  Engine e1(&m, 1), e24(&m, 24);
+  // Serial work outside regions must cost the same regardless of team size.
+  EXPECT_DOUBLE_EQ(e1.run(p).seconds, e24.run(p).seconds);
+}
+
+TEST(SimEngine, TotalWorkSumsLoopsAndSerial) {
+  Program p;
+  RegionStep region;
+  LoopStep loop;
+  loop.iterations = 100;
+  loop.work = compute_work(10.0);
+  region.steps.emplace_back(loop);
+  SerialStep serial;
+  serial.work.flops = 500;
+  region.steps.emplace_back(serial);
+  region.steps.emplace_back(CriticalStep{platform::Work{.flops = 3}, 2});
+  p.steps.emplace_back(region);
+  SerialOutside outside;
+  outside.work.flops = 250;
+  p.steps.emplace_back(outside);
+
+  platform::Work total = total_work(p);
+  EXPECT_DOUBLE_EQ(total.flops, 100 * 10.0 + 500 + 3 * 2 + 250);
+}
+
+TEST(SimEngine, McaAndNativeModelsStayClose) {
+  // The Figure-4 "curves overlap" property at the engine level.
+  platform::CostModel native(platform::Topology::t4240rdb(),
+                             platform::ServiceCosts::native());
+  platform::CostModel mca(platform::Topology::t4240rdb(),
+                          platform::ServiceCosts::mca());
+  Program p = single_loop_program(100000);
+  for (unsigned n : {4u, 12u, 24u}) {
+    Engine en(&native, n), em(&mca, n);
+    double tn = en.run(p).seconds;
+    double tm = em.run(p).seconds;
+    EXPECT_NEAR(tm / tn, 1.0, 0.05) << n;
+  }
+}
+
+TEST(SimEngine, BusySecondsExcludeWaits) {
+  auto m = model();
+  Program p = single_loop_program(10000);
+  Engine e(&m, 4);
+  SimResult r = e.run(p);
+  double busy_total = 0;
+  for (double b : r.busy_seconds) busy_total += b;
+  // Busy time is bounded by nthreads * wall time.
+  EXPECT_LE(busy_total, r.seconds * 4.0 + 1e-12);
+  EXPECT_GT(busy_total, 0.0);
+}
+
+}  // namespace
+}  // namespace ompmca::simx

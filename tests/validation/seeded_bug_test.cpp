@@ -1,0 +1,105 @@
+// Fault injection: reproduces the paper's §6A anecdote — "the results
+// helped determine some bugs ... such as tracing potential issues with a
+// non-functional synchronization primitive in MCA-libGOMP that caused an
+// OpenMP critical construct to fail."
+//
+// A backend whose mutexes are deliberately broken is injected under the
+// unmodified runtime core; the validation battery must catch it (critical
+// and lock checks fail) while the unsynchronised directives still pass —
+// exactly the signature that pointed the authors at their mutex mapping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gomp/backend_native.hpp"
+#include "validation_common.hpp"
+
+namespace ompmca::validation {
+namespace {
+
+/// A mutex that silently provides no exclusion (the seeded bug).
+class NoOpMutex final : public gomp::BackendMutex {
+ public:
+  void lock() override {}
+  void unlock() override {}
+  bool try_lock() override { return true; }
+};
+
+/// Native backend with broken create_mutex.
+class BrokenMutexBackend final : public gomp::SystemBackend {
+ public:
+  BrokenMutexBackend() : inner_(platform::Topology::t4240rdb()) {}
+
+  std::string_view name() const override { return "broken-mutex"; }
+  Status launch_thread(unsigned index, std::function<void()> fn) override {
+    return inner_.launch_thread(index, std::move(fn));
+  }
+  Status join_thread(unsigned index) override {
+    return inner_.join_thread(index);
+  }
+  void* allocate(std::size_t bytes) override { return inner_.allocate(bytes); }
+  void deallocate(void* p) override { inner_.deallocate(p); }
+  std::unique_ptr<gomp::BackendMutex> create_mutex() override {
+    return std::make_unique<NoOpMutex>();
+  }
+  unsigned num_procs() override { return inner_.num_procs(); }
+
+ private:
+  gomp::NativeBackend inner_;
+};
+
+gomp::Runtime make_broken_runtime() {
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = 8;
+  opts.icvs = icvs;
+  opts.backend_factory = [] {
+    return std::make_unique<BrokenMutexBackend>();
+  };
+  return gomp::Runtime(opts);
+}
+
+TEST(SeededBug, ValidationCatchesBrokenCritical) {
+  gomp::Runtime rt = make_broken_runtime();
+  BatteryResult r = run_battery(rt);
+  // The battery must flag the failure...
+  EXPECT_FALSE(r.all_passed());
+  auto failures = r.failures();
+  // ...and the failing checks must be exactly the mutex-backed ones, which
+  // is what localises the bug to the synchronisation mapping (§5B.3).
+  EXPECT_TRUE(std::find(failures.begin(), failures.end(), "critical") !=
+              failures.end())
+      << r.summary();
+  for (const auto& name : failures) {
+    EXPECT_TRUE(name == "critical" || name == "lock")
+        << "unexpected failure: " << name << "\n"
+        << r.summary();
+  }
+}
+
+TEST(SeededBug, UnsynchronisedDirectivesUnaffected) {
+  gomp::Runtime rt = make_broken_runtime();
+  EXPECT_TRUE(check_parallel(rt));
+  EXPECT_TRUE(check_for(rt));
+  EXPECT_TRUE(check_barrier(rt));
+  EXPECT_TRUE(check_single(rt));
+  EXPECT_TRUE(check_reduction(rt));
+}
+
+TEST(SeededBug, HealthyBackendPassesSameBattery) {
+  // Control: the identical battery over the real backends is green
+  // (otherwise the detector proves nothing).
+  for (auto kind : {gomp::BackendKind::kNative, gomp::BackendKind::kMca}) {
+    gomp::RuntimeOptions opts;
+    opts.backend = kind;
+    gomp::Icvs icvs;
+    icvs.num_threads = 8;
+    opts.icvs = icvs;
+    gomp::Runtime rt(opts);
+    BatteryResult r = run_battery(rt);
+    EXPECT_TRUE(r.all_passed()) << r.summary();
+  }
+}
+
+}  // namespace
+}  // namespace ompmca::validation

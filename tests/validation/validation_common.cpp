@@ -1,0 +1,211 @@
+#include "validation_common.hpp"
+
+#include <atomic>
+#include <thread>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace ompmca::validation {
+
+using gomp::ParallelContext;
+
+bool check_parallel(gomp::Runtime& rt) {
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::set<unsigned> tids;
+  unsigned team = 0;
+  rt.parallel([&](ParallelContext& ctx) {
+    count.fetch_add(1);
+    std::lock_guard lk(mu);
+    tids.insert(ctx.thread_num());
+    team = ctx.num_threads();
+  });
+  return count.load() == static_cast<int>(team) && tids.size() == team &&
+         *tids.begin() == 0 && *tids.rbegin() == team - 1;
+}
+
+bool check_for(gomp::Runtime& rt) {
+  const long n = 4321;
+  bool ok_all = true;
+  for (gomp::Schedule kind :
+       {gomp::Schedule::kStatic, gomp::Schedule::kDynamic,
+        gomp::Schedule::kGuided}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    rt.parallel([&](ParallelContext& ctx) {
+      ctx.for_loop(
+          0, n,
+          [&](long lo, long hi) {
+            for (long i = lo; i < hi; ++i) hits[i].fetch_add(1);
+          },
+          gomp::ScheduleSpec{kind, 3});
+    });
+    for (long i = 0; i < n; ++i) ok_all &= hits[i].load() == 1;
+  }
+  return ok_all;
+}
+
+bool check_barrier(gomp::Runtime& rt) {
+  // Flags written before the barrier must be visible after it.
+  const int kRounds = 20;
+  std::vector<int> stage(rt.max_threads(), 0);
+  std::atomic<bool> violation{false};
+  rt.parallel([&](ParallelContext& ctx) {
+    for (int round = 1; round <= kRounds; ++round) {
+      stage[ctx.thread_num()] = round;
+      ctx.barrier();
+      for (unsigned t = 0; t < ctx.num_threads(); ++t) {
+        if (stage[t] < round) violation.store(true);
+      }
+      ctx.barrier();
+    }
+  });
+  return !violation.load();
+}
+
+bool check_single(gomp::Runtime& rt) {
+  std::atomic<int> executions{0};
+  std::atomic<bool> seen_late{false};
+  rt.parallel([&](ParallelContext& ctx) {
+    for (int i = 0; i < 25; ++i) {
+      ctx.single([&] { executions.fetch_add(1); });
+      // After single's implicit barrier at least i+1 executions happened
+      // (a fast teammate may already have won single i+1, so not exact).
+      if (executions.load() < i + 1) seen_late.store(true);
+    }
+  });
+  return executions.load() == 25 && !seen_late.load();
+}
+
+bool check_master(gomp::Runtime& rt) {
+  std::atomic<int> count{0};
+  std::atomic<unsigned> executor{99};
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.master([&] {
+      count.fetch_add(1);
+      executor.store(ctx.thread_num());
+    });
+  });
+  return count.load() == 1 && executor.load() == 0;
+}
+
+bool check_critical(gomp::Runtime& rt) {
+  // The paper's war story: a broken critical lets increments race.
+  // An unprotected ++ on a shared long is the canonical detector.
+  long counter = 0;
+  const int kIters = 400;
+  rt.parallel([&](ParallelContext& ctx) {
+    for (int i = 0; i < kIters; ++i) {
+      ctx.critical([&] {
+        // Read-modify-write with a scheduling point in the window: on a
+        // single-CPU host a plain data race almost never manifests (threads
+        // are not preempted inside short windows), but the yield hands the
+        // CPU to a sibling mid-update, so a broken critical loses updates
+        // massively while a working one is unaffected.
+        long v = counter;
+        std::this_thread::yield();
+        counter = v + 1;
+      });
+    }
+  });
+  return counter == static_cast<long>(kIters) * rt.max_threads();
+}
+
+bool check_reduction(gomp::Runtime& rt) {
+  const long n = 10000;
+  double result = 0;
+  rt.parallel([&](ParallelContext& ctx) {
+    double local = 0;
+    ctx.for_loop(
+        1, n + 1,
+        [&](long lo, long hi) {
+          for (long i = lo; i < hi; ++i) local += static_cast<double>(i);
+        },
+        {}, /*nowait=*/true);
+    double sum = ctx.reduce_sum(local);
+    if (ctx.thread_num() == 0) result = sum;
+  });
+  return result == static_cast<double>(n) * (n + 1) / 2.0;
+}
+
+bool check_sections(gomp::Runtime& rt) {
+  std::atomic<int> a{0}, b{0}, c{0}, d{0};
+  rt.parallel([&](ParallelContext& ctx) {
+    auto s1 = [&] { a.fetch_add(1); };
+    auto s2 = [&] { b.fetch_add(1); };
+    auto s3 = [&] { c.fetch_add(1); };
+    auto s4 = [&] { d.fetch_add(1); };
+    ctx.sections({FunctionRef<void()>(s1), FunctionRef<void()>(s2),
+                  FunctionRef<void()>(s3), FunctionRef<void()>(s4)});
+  });
+  return a.load() == 1 && b.load() == 1 && c.load() == 1 && d.load() == 1;
+}
+
+bool check_ordered(gomp::Runtime& rt) {
+  std::vector<long> order;
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.for_loop_ordered(
+        0, 60,
+        [&](long lo, long hi) {
+          for (long i = lo; i < hi; ++i) {
+            ctx.ordered(i, [&] { order.push_back(i); });
+          }
+        },
+        gomp::ScheduleSpec{gomp::Schedule::kDynamic, 1});
+  });
+  if (order.size() != 60u) return false;
+  for (long i = 0; i < 60; ++i) {
+    if (order[static_cast<std::size_t>(i)] != i) return false;
+  }
+  return true;
+}
+
+bool check_tasks(gomp::Runtime& rt) {
+  std::atomic<int> done{0};
+  std::atomic<bool> early{false};
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.single([&] {
+      for (int i = 0; i < 50; ++i) {
+        ctx.task([&done] { done.fetch_add(1); });
+      }
+      ctx.taskwait();
+      if (done.load() != 50) early.store(true);
+    });
+  });
+  return done.load() == 50 && !early.load();
+}
+
+bool check_lock(gomp::Runtime& rt) {
+  gomp::OmpLock lock(rt);
+  long counter = 0;
+  const int kIters = 400;
+  rt.parallel([&](ParallelContext&) {
+    for (int i = 0; i < kIters; ++i) {
+      lock.set();
+      long v = counter;
+      std::this_thread::yield();  // see check_critical
+      counter = v + 1;
+      lock.unset();
+    }
+  });
+  return counter == static_cast<long>(kIters) * rt.max_threads();
+}
+
+BatteryResult run_battery(gomp::Runtime& rt) {
+  BatteryResult r;
+  r.entries.push_back({"parallel", check_parallel(rt)});
+  r.entries.push_back({"for", check_for(rt)});
+  r.entries.push_back({"barrier", check_barrier(rt)});
+  r.entries.push_back({"single", check_single(rt)});
+  r.entries.push_back({"master", check_master(rt)});
+  r.entries.push_back({"critical", check_critical(rt)});
+  r.entries.push_back({"reduction", check_reduction(rt)});
+  r.entries.push_back({"sections", check_sections(rt)});
+  r.entries.push_back({"ordered", check_ordered(rt)});
+  r.entries.push_back({"tasks", check_tasks(rt)});
+  r.entries.push_back({"lock", check_lock(rt)});
+  return r;
+}
+
+}  // namespace ompmca::validation

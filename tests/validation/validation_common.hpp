@@ -1,0 +1,58 @@
+// The validation battery: directive semantics expressed as predicates over
+// a runtime, so both the conformance tests (must pass) and the
+// fault-injection tests (must fail against a seeded-broken backend) can run
+// the same checks.
+#pragma once
+
+#include <string>
+
+#include "gomp/gomp.hpp"
+
+namespace ompmca::validation {
+
+bool check_parallel(gomp::Runtime& rt);
+bool check_for(gomp::Runtime& rt);
+bool check_barrier(gomp::Runtime& rt);
+bool check_single(gomp::Runtime& rt);
+bool check_master(gomp::Runtime& rt);
+bool check_critical(gomp::Runtime& rt);
+bool check_reduction(gomp::Runtime& rt);
+bool check_sections(gomp::Runtime& rt);
+bool check_ordered(gomp::Runtime& rt);
+bool check_tasks(gomp::Runtime& rt);
+bool check_lock(gomp::Runtime& rt);
+
+struct BatteryResult {
+  struct Entry {
+    std::string name;
+    bool passed;
+  };
+  std::vector<Entry> entries;
+
+  bool all_passed() const {
+    for (const auto& e : entries) {
+      if (!e.passed) return false;
+    }
+    return true;
+  }
+  std::vector<std::string> failures() const {
+    std::vector<std::string> out;
+    for (const auto& e : entries) {
+      if (!e.passed) out.push_back(e.name);
+    }
+    return out;
+  }
+  std::string summary() const {
+    std::string s;
+    for (const auto& e : entries) {
+      s += e.name;
+      s += e.passed ? ": pass\n" : ": FAIL\n";
+    }
+    return s;
+  }
+};
+
+/// Runs every check; never throws, never hangs (bounded iteration counts).
+BatteryResult run_battery(gomp::Runtime& rt);
+
+}  // namespace ompmca::validation
