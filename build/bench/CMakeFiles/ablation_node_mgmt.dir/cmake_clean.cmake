@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_node_mgmt.dir/ablation_node_mgmt.cpp.o"
+  "CMakeFiles/ablation_node_mgmt.dir/ablation_node_mgmt.cpp.o.d"
+  "ablation_node_mgmt"
+  "ablation_node_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_node_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

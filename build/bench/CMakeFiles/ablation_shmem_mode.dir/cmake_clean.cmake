@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shmem_mode.dir/ablation_shmem_mode.cpp.o"
+  "CMakeFiles/ablation_shmem_mode.dir/ablation_shmem_mode.cpp.o.d"
+  "ablation_shmem_mode"
+  "ablation_shmem_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shmem_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

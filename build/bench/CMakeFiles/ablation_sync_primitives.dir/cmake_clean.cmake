@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_primitives.dir/ablation_sync_primitives.cpp.o"
+  "CMakeFiles/ablation_sync_primitives.dir/ablation_sync_primitives.cpp.o.d"
+  "ablation_sync_primitives"
+  "ablation_sync_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

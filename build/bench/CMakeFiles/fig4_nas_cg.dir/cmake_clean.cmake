@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nas_cg.dir/fig4/fig4_common.cpp.o"
+  "CMakeFiles/fig4_nas_cg.dir/fig4/fig4_common.cpp.o.d"
+  "CMakeFiles/fig4_nas_cg.dir/fig4/fig4_nas_cg.cpp.o"
+  "CMakeFiles/fig4_nas_cg.dir/fig4/fig4_nas_cg.cpp.o.d"
+  "fig4_nas_cg"
+  "fig4_nas_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nas_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_nas_ep.
+# This may be replaced when dependencies are built.

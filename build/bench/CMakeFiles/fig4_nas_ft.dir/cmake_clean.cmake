@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nas_ft.dir/fig4/fig4_common.cpp.o"
+  "CMakeFiles/fig4_nas_ft.dir/fig4/fig4_common.cpp.o.d"
+  "CMakeFiles/fig4_nas_ft.dir/fig4/fig4_nas_ft.cpp.o"
+  "CMakeFiles/fig4_nas_ft.dir/fig4/fig4_nas_ft.cpp.o.d"
+  "fig4_nas_ft"
+  "fig4_nas_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nas_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nas_is.dir/fig4/fig4_common.cpp.o"
+  "CMakeFiles/fig4_nas_is.dir/fig4/fig4_common.cpp.o.d"
+  "CMakeFiles/fig4_nas_is.dir/fig4/fig4_nas_is.cpp.o"
+  "CMakeFiles/fig4_nas_is.dir/fig4/fig4_nas_is.cpp.o.d"
+  "fig4_nas_is"
+  "fig4_nas_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nas_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_epcc_overhead.cpp" "bench/CMakeFiles/table1_epcc_overhead.dir/table1_epcc_overhead.cpp.o" "gcc" "bench/CMakeFiles/table1_epcc_overhead.dir/table1_epcc_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompmca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ompmca_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrapi/CMakeFiles/ompmca_mrapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gomp/CMakeFiles/ompmca_gomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/simx/CMakeFiles/ompmca_simx.dir/DependInfo.cmake"
+  "/root/repo/build/src/epcc/CMakeFiles/ompmca_epcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/npb/CMakeFiles/ompmca_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcapi/CMakeFiles/ompmca_mcapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtapi/CMakeFiles/ompmca_mtapi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_router.dir/packet_router.cpp.o"
+  "CMakeFiles/packet_router.dir/packet_router.cpp.o.d"
+  "packet_router"
+  "packet_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_report.dir/platform_report.cpp.o"
+  "CMakeFiles/platform_report.dir/platform_report.cpp.o.d"
+  "platform_report"
+  "platform_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

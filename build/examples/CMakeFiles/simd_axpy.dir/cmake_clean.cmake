@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_axpy.dir/simd_axpy.cpp.o"
+  "CMakeFiles/simd_axpy.dir/simd_axpy.cpp.o.d"
+  "simd_axpy"
+  "simd_axpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_axpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

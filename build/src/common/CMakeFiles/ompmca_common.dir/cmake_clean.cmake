@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompmca_common.dir/env.cpp.o"
+  "CMakeFiles/ompmca_common.dir/env.cpp.o.d"
+  "CMakeFiles/ompmca_common.dir/log.cpp.o"
+  "CMakeFiles/ompmca_common.dir/log.cpp.o.d"
+  "CMakeFiles/ompmca_common.dir/status.cpp.o"
+  "CMakeFiles/ompmca_common.dir/status.cpp.o.d"
+  "libompmca_common.a"
+  "libompmca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompmca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

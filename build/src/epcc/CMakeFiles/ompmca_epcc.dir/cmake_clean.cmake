@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompmca_epcc.dir/schedbench.cpp.o"
+  "CMakeFiles/ompmca_epcc.dir/schedbench.cpp.o.d"
+  "CMakeFiles/ompmca_epcc.dir/syncbench.cpp.o"
+  "CMakeFiles/ompmca_epcc.dir/syncbench.cpp.o.d"
+  "libompmca_epcc.a"
+  "libompmca_epcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompmca_epcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gomp/api.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/api.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/api.cpp.o.d"
+  "/root/repo/src/gomp/backend_mca.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/backend_mca.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/backend_mca.cpp.o.d"
+  "/root/repo/src/gomp/backend_native.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/backend_native.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/backend_native.cpp.o.d"
+  "/root/repo/src/gomp/barrier.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/barrier.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/barrier.cpp.o.d"
+  "/root/repo/src/gomp/gomp_compat.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/gomp_compat.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/gomp_compat.cpp.o.d"
+  "/root/repo/src/gomp/icv.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/icv.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/icv.cpp.o.d"
+  "/root/repo/src/gomp/pool.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/pool.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/pool.cpp.o.d"
+  "/root/repo/src/gomp/runtime.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/runtime.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/runtime.cpp.o.d"
+  "/root/repo/src/gomp/task.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/task.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/task.cpp.o.d"
+  "/root/repo/src/gomp/team.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/team.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/team.cpp.o.d"
+  "/root/repo/src/gomp/workshare.cpp" "src/gomp/CMakeFiles/ompmca_gomp.dir/workshare.cpp.o" "gcc" "src/gomp/CMakeFiles/ompmca_gomp.dir/workshare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompmca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ompmca_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrapi/CMakeFiles/ompmca_mrapi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

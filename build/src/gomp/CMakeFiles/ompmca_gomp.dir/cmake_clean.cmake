@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompmca_gomp.dir/api.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/api.cpp.o.d"
+  "CMakeFiles/ompmca_gomp.dir/backend_mca.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/backend_mca.cpp.o.d"
+  "CMakeFiles/ompmca_gomp.dir/backend_native.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/backend_native.cpp.o.d"
+  "CMakeFiles/ompmca_gomp.dir/barrier.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/barrier.cpp.o.d"
+  "CMakeFiles/ompmca_gomp.dir/gomp_compat.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/gomp_compat.cpp.o.d"
+  "CMakeFiles/ompmca_gomp.dir/icv.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/icv.cpp.o.d"
+  "CMakeFiles/ompmca_gomp.dir/pool.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/pool.cpp.o.d"
+  "CMakeFiles/ompmca_gomp.dir/runtime.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/runtime.cpp.o.d"
+  "CMakeFiles/ompmca_gomp.dir/task.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/task.cpp.o.d"
+  "CMakeFiles/ompmca_gomp.dir/team.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/team.cpp.o.d"
+  "CMakeFiles/ompmca_gomp.dir/workshare.cpp.o"
+  "CMakeFiles/ompmca_gomp.dir/workshare.cpp.o.d"
+  "libompmca_gomp.a"
+  "libompmca_gomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompmca_gomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

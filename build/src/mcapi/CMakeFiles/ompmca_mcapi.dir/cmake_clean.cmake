@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompmca_mcapi.dir/endpoint.cpp.o"
+  "CMakeFiles/ompmca_mcapi.dir/endpoint.cpp.o.d"
+  "libompmca_mcapi.a"
+  "libompmca_mcapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompmca_mcapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrapi/arena.cpp" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/arena.cpp.o" "gcc" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/arena.cpp.o.d"
+  "/root/repo/src/mrapi/capi.cpp" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/capi.cpp.o" "gcc" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/capi.cpp.o.d"
+  "/root/repo/src/mrapi/database.cpp" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/database.cpp.o" "gcc" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/database.cpp.o.d"
+  "/root/repo/src/mrapi/metadata.cpp" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/metadata.cpp.o" "gcc" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/metadata.cpp.o.d"
+  "/root/repo/src/mrapi/mutex.cpp" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/mutex.cpp.o" "gcc" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/mutex.cpp.o.d"
+  "/root/repo/src/mrapi/node.cpp" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/node.cpp.o" "gcc" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/node.cpp.o.d"
+  "/root/repo/src/mrapi/rmem.cpp" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/rmem.cpp.o" "gcc" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/rmem.cpp.o.d"
+  "/root/repo/src/mrapi/rwlock.cpp" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/rwlock.cpp.o" "gcc" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/rwlock.cpp.o.d"
+  "/root/repo/src/mrapi/semaphore.cpp" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/semaphore.cpp.o" "gcc" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/semaphore.cpp.o.d"
+  "/root/repo/src/mrapi/shmem.cpp" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/shmem.cpp.o" "gcc" "src/mrapi/CMakeFiles/ompmca_mrapi.dir/shmem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompmca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ompmca_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

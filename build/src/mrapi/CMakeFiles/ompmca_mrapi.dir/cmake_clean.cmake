@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompmca_mrapi.dir/arena.cpp.o"
+  "CMakeFiles/ompmca_mrapi.dir/arena.cpp.o.d"
+  "CMakeFiles/ompmca_mrapi.dir/capi.cpp.o"
+  "CMakeFiles/ompmca_mrapi.dir/capi.cpp.o.d"
+  "CMakeFiles/ompmca_mrapi.dir/database.cpp.o"
+  "CMakeFiles/ompmca_mrapi.dir/database.cpp.o.d"
+  "CMakeFiles/ompmca_mrapi.dir/metadata.cpp.o"
+  "CMakeFiles/ompmca_mrapi.dir/metadata.cpp.o.d"
+  "CMakeFiles/ompmca_mrapi.dir/mutex.cpp.o"
+  "CMakeFiles/ompmca_mrapi.dir/mutex.cpp.o.d"
+  "CMakeFiles/ompmca_mrapi.dir/node.cpp.o"
+  "CMakeFiles/ompmca_mrapi.dir/node.cpp.o.d"
+  "CMakeFiles/ompmca_mrapi.dir/rmem.cpp.o"
+  "CMakeFiles/ompmca_mrapi.dir/rmem.cpp.o.d"
+  "CMakeFiles/ompmca_mrapi.dir/rwlock.cpp.o"
+  "CMakeFiles/ompmca_mrapi.dir/rwlock.cpp.o.d"
+  "CMakeFiles/ompmca_mrapi.dir/semaphore.cpp.o"
+  "CMakeFiles/ompmca_mrapi.dir/semaphore.cpp.o.d"
+  "CMakeFiles/ompmca_mrapi.dir/shmem.cpp.o"
+  "CMakeFiles/ompmca_mrapi.dir/shmem.cpp.o.d"
+  "libompmca_mrapi.a"
+  "libompmca_mrapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompmca_mrapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ompmca_mrapi.
+# This may be replaced when dependencies are built.

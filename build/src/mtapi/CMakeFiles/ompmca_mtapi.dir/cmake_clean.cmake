@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompmca_mtapi.dir/mtapi.cpp.o"
+  "CMakeFiles/ompmca_mtapi.dir/mtapi.cpp.o.d"
+  "libompmca_mtapi.a"
+  "libompmca_mtapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompmca_mtapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

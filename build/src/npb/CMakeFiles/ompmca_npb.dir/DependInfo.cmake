@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/cg.cpp" "src/npb/CMakeFiles/ompmca_npb.dir/cg.cpp.o" "gcc" "src/npb/CMakeFiles/ompmca_npb.dir/cg.cpp.o.d"
+  "/root/repo/src/npb/ep.cpp" "src/npb/CMakeFiles/ompmca_npb.dir/ep.cpp.o" "gcc" "src/npb/CMakeFiles/ompmca_npb.dir/ep.cpp.o.d"
+  "/root/repo/src/npb/ft.cpp" "src/npb/CMakeFiles/ompmca_npb.dir/ft.cpp.o" "gcc" "src/npb/CMakeFiles/ompmca_npb.dir/ft.cpp.o.d"
+  "/root/repo/src/npb/is.cpp" "src/npb/CMakeFiles/ompmca_npb.dir/is.cpp.o" "gcc" "src/npb/CMakeFiles/ompmca_npb.dir/is.cpp.o.d"
+  "/root/repo/src/npb/mg.cpp" "src/npb/CMakeFiles/ompmca_npb.dir/mg.cpp.o" "gcc" "src/npb/CMakeFiles/ompmca_npb.dir/mg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompmca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gomp/CMakeFiles/ompmca_gomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/simx/CMakeFiles/ompmca_simx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrapi/CMakeFiles/ompmca_mrapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ompmca_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompmca_npb.dir/cg.cpp.o"
+  "CMakeFiles/ompmca_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/ompmca_npb.dir/ep.cpp.o"
+  "CMakeFiles/ompmca_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/ompmca_npb.dir/ft.cpp.o"
+  "CMakeFiles/ompmca_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/ompmca_npb.dir/is.cpp.o"
+  "CMakeFiles/ompmca_npb.dir/is.cpp.o.d"
+  "CMakeFiles/ompmca_npb.dir/mg.cpp.o"
+  "CMakeFiles/ompmca_npb.dir/mg.cpp.o.d"
+  "libompmca_npb.a"
+  "libompmca_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompmca_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cost_model.cpp" "src/platform/CMakeFiles/ompmca_platform.dir/cost_model.cpp.o" "gcc" "src/platform/CMakeFiles/ompmca_platform.dir/cost_model.cpp.o.d"
+  "/root/repo/src/platform/partition.cpp" "src/platform/CMakeFiles/ompmca_platform.dir/partition.cpp.o" "gcc" "src/platform/CMakeFiles/ompmca_platform.dir/partition.cpp.o.d"
+  "/root/repo/src/platform/resource_tree.cpp" "src/platform/CMakeFiles/ompmca_platform.dir/resource_tree.cpp.o" "gcc" "src/platform/CMakeFiles/ompmca_platform.dir/resource_tree.cpp.o.d"
+  "/root/repo/src/platform/topology.cpp" "src/platform/CMakeFiles/ompmca_platform.dir/topology.cpp.o" "gcc" "src/platform/CMakeFiles/ompmca_platform.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompmca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

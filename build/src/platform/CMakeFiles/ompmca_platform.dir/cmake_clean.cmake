@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompmca_platform.dir/cost_model.cpp.o"
+  "CMakeFiles/ompmca_platform.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ompmca_platform.dir/partition.cpp.o"
+  "CMakeFiles/ompmca_platform.dir/partition.cpp.o.d"
+  "CMakeFiles/ompmca_platform.dir/resource_tree.cpp.o"
+  "CMakeFiles/ompmca_platform.dir/resource_tree.cpp.o.d"
+  "CMakeFiles/ompmca_platform.dir/topology.cpp.o"
+  "CMakeFiles/ompmca_platform.dir/topology.cpp.o.d"
+  "libompmca_platform.a"
+  "libompmca_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompmca_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompmca_simx.dir/engine.cpp.o"
+  "CMakeFiles/ompmca_simx.dir/engine.cpp.o.d"
+  "libompmca_simx.a"
+  "libompmca_simx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompmca_simx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/align_test.cpp" "tests/common/CMakeFiles/common_test.dir/align_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/align_test.cpp.o.d"
+  "/root/repo/tests/common/env_test.cpp" "tests/common/CMakeFiles/common_test.dir/env_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/env_test.cpp.o.d"
+  "/root/repo/tests/common/expected_test.cpp" "tests/common/CMakeFiles/common_test.dir/expected_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/expected_test.cpp.o.d"
+  "/root/repo/tests/common/fixed_vector_test.cpp" "tests/common/CMakeFiles/common_test.dir/fixed_vector_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/fixed_vector_test.cpp.o.d"
+  "/root/repo/tests/common/function_ref_test.cpp" "tests/common/CMakeFiles/common_test.dir/function_ref_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/function_ref_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/common/CMakeFiles/common_test.dir/rng_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/common/status_test.cpp" "tests/common/CMakeFiles/common_test.dir/status_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/status_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompmca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ompmca_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrapi/CMakeFiles/ompmca_mrapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gomp/CMakeFiles/ompmca_gomp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/align_test.cpp.o"
+  "CMakeFiles/common_test.dir/align_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/env_test.cpp.o"
+  "CMakeFiles/common_test.dir/env_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/expected_test.cpp.o"
+  "CMakeFiles/common_test.dir/expected_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/fixed_vector_test.cpp.o"
+  "CMakeFiles/common_test.dir/fixed_vector_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/function_ref_test.cpp.o"
+  "CMakeFiles/common_test.dir/function_ref_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/rng_test.cpp.o"
+  "CMakeFiles/common_test.dir/rng_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/status_test.cpp.o"
+  "CMakeFiles/common_test.dir/status_test.cpp.o.d"
+  "common_test"
+  "common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/epcc
+# Build directory: /root/repo/build/tests/epcc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(epcc_test "/root/repo/build/tests/epcc/epcc_test")
+set_tests_properties(epcc_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/epcc/CMakeLists.txt;1;ompmca_add_test;/root/repo/tests/epcc/CMakeLists.txt;0;")

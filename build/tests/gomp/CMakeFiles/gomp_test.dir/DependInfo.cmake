@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gomp/api_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/api_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/api_test.cpp.o.d"
+  "/root/repo/tests/gomp/backend_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/backend_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/backend_test.cpp.o.d"
+  "/root/repo/tests/gomp/barrier_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/barrier_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/barrier_test.cpp.o.d"
+  "/root/repo/tests/gomp/compat_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/compat_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/compat_test.cpp.o.d"
+  "/root/repo/tests/gomp/icv_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/icv_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/icv_test.cpp.o.d"
+  "/root/repo/tests/gomp/integration_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/integration_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/gomp/runtime_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/runtime_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/gomp/simd_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/simd_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/simd_test.cpp.o.d"
+  "/root/repo/tests/gomp/stress_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/stress_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/stress_test.cpp.o.d"
+  "/root/repo/tests/gomp/task_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/task_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/task_test.cpp.o.d"
+  "/root/repo/tests/gomp/workshare_fuzz_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/workshare_fuzz_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/workshare_fuzz_test.cpp.o.d"
+  "/root/repo/tests/gomp/workshare_test.cpp" "tests/gomp/CMakeFiles/gomp_test.dir/workshare_test.cpp.o" "gcc" "tests/gomp/CMakeFiles/gomp_test.dir/workshare_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompmca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ompmca_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrapi/CMakeFiles/ompmca_mrapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gomp/CMakeFiles/ompmca_gomp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gomp_test.dir/api_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/api_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/backend_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/backend_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/barrier_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/barrier_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/compat_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/compat_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/icv_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/icv_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/integration_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/integration_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/runtime_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/runtime_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/simd_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/simd_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/stress_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/stress_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/task_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/task_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/workshare_fuzz_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/workshare_fuzz_test.cpp.o.d"
+  "CMakeFiles/gomp_test.dir/workshare_test.cpp.o"
+  "CMakeFiles/gomp_test.dir/workshare_test.cpp.o.d"
+  "gomp_test"
+  "gomp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

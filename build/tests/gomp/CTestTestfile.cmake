@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gomp
+# Build directory: /root/repo/build/tests/gomp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(gomp_test "/root/repo/build/tests/gomp/gomp_test")
+set_tests_properties(gomp_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/gomp/CMakeLists.txt;1;ompmca_add_test;/root/repo/tests/gomp/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcapi_test.dir/mcapi_test.cpp.o"
+  "CMakeFiles/mcapi_test.dir/mcapi_test.cpp.o.d"
+  "mcapi_test"
+  "mcapi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcapi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapi_capi_test.dir/capi_test.cpp.o"
+  "CMakeFiles/mrapi_capi_test.dir/capi_test.cpp.o.d"
+  "mrapi_capi_test"
+  "mrapi_capi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapi_capi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

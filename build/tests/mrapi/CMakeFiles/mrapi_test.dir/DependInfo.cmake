@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mrapi/arena_fuzz_test.cpp" "tests/mrapi/CMakeFiles/mrapi_test.dir/arena_fuzz_test.cpp.o" "gcc" "tests/mrapi/CMakeFiles/mrapi_test.dir/arena_fuzz_test.cpp.o.d"
+  "/root/repo/tests/mrapi/arena_test.cpp" "tests/mrapi/CMakeFiles/mrapi_test.dir/arena_test.cpp.o" "gcc" "tests/mrapi/CMakeFiles/mrapi_test.dir/arena_test.cpp.o.d"
+  "/root/repo/tests/mrapi/concurrency_test.cpp" "tests/mrapi/CMakeFiles/mrapi_test.dir/concurrency_test.cpp.o" "gcc" "tests/mrapi/CMakeFiles/mrapi_test.dir/concurrency_test.cpp.o.d"
+  "/root/repo/tests/mrapi/metadata_test.cpp" "tests/mrapi/CMakeFiles/mrapi_test.dir/metadata_test.cpp.o" "gcc" "tests/mrapi/CMakeFiles/mrapi_test.dir/metadata_test.cpp.o.d"
+  "/root/repo/tests/mrapi/node_test.cpp" "tests/mrapi/CMakeFiles/mrapi_test.dir/node_test.cpp.o" "gcc" "tests/mrapi/CMakeFiles/mrapi_test.dir/node_test.cpp.o.d"
+  "/root/repo/tests/mrapi/rmem_test.cpp" "tests/mrapi/CMakeFiles/mrapi_test.dir/rmem_test.cpp.o" "gcc" "tests/mrapi/CMakeFiles/mrapi_test.dir/rmem_test.cpp.o.d"
+  "/root/repo/tests/mrapi/shmem_test.cpp" "tests/mrapi/CMakeFiles/mrapi_test.dir/shmem_test.cpp.o" "gcc" "tests/mrapi/CMakeFiles/mrapi_test.dir/shmem_test.cpp.o.d"
+  "/root/repo/tests/mrapi/sync_test.cpp" "tests/mrapi/CMakeFiles/mrapi_test.dir/sync_test.cpp.o" "gcc" "tests/mrapi/CMakeFiles/mrapi_test.dir/sync_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompmca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ompmca_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrapi/CMakeFiles/ompmca_mrapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gomp/CMakeFiles/ompmca_gomp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrapi_test.dir/arena_fuzz_test.cpp.o"
+  "CMakeFiles/mrapi_test.dir/arena_fuzz_test.cpp.o.d"
+  "CMakeFiles/mrapi_test.dir/arena_test.cpp.o"
+  "CMakeFiles/mrapi_test.dir/arena_test.cpp.o.d"
+  "CMakeFiles/mrapi_test.dir/concurrency_test.cpp.o"
+  "CMakeFiles/mrapi_test.dir/concurrency_test.cpp.o.d"
+  "CMakeFiles/mrapi_test.dir/metadata_test.cpp.o"
+  "CMakeFiles/mrapi_test.dir/metadata_test.cpp.o.d"
+  "CMakeFiles/mrapi_test.dir/node_test.cpp.o"
+  "CMakeFiles/mrapi_test.dir/node_test.cpp.o.d"
+  "CMakeFiles/mrapi_test.dir/rmem_test.cpp.o"
+  "CMakeFiles/mrapi_test.dir/rmem_test.cpp.o.d"
+  "CMakeFiles/mrapi_test.dir/shmem_test.cpp.o"
+  "CMakeFiles/mrapi_test.dir/shmem_test.cpp.o.d"
+  "CMakeFiles/mrapi_test.dir/sync_test.cpp.o"
+  "CMakeFiles/mrapi_test.dir/sync_test.cpp.o.d"
+  "mrapi_test"
+  "mrapi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrapi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mrapi
+# Build directory: /root/repo/build/tests/mrapi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mrapi_test "/root/repo/build/tests/mrapi/mrapi_test")
+set_tests_properties(mrapi_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mrapi/CMakeLists.txt;1;ompmca_add_test;/root/repo/tests/mrapi/CMakeLists.txt;0;")
+add_test(mrapi_capi_test "/root/repo/build/tests/mrapi/mrapi_capi_test")
+set_tests_properties(mrapi_capi_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mrapi/CMakeLists.txt;6;ompmca_add_test;/root/repo/tests/mrapi/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtapi_test.dir/mtapi_test.cpp.o"
+  "CMakeFiles/mtapi_test.dir/mtapi_test.cpp.o.d"
+  "mtapi_test"
+  "mtapi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtapi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mtapi
+# Build directory: /root/repo/build/tests/mtapi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mtapi_test "/root/repo/build/tests/mtapi/mtapi_test")
+set_tests_properties(mtapi_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mtapi/CMakeLists.txt;1;ompmca_add_test;/root/repo/tests/mtapi/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_test.dir/kernels_test.cpp.o"
+  "CMakeFiles/npb_test.dir/kernels_test.cpp.o.d"
+  "CMakeFiles/npb_test.dir/trace_test.cpp.o"
+  "CMakeFiles/npb_test.dir/trace_test.cpp.o.d"
+  "npb_test"
+  "npb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

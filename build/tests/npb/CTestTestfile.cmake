@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/npb
+# Build directory: /root/repo/build/tests/npb
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(npb_test "/root/repo/build/tests/npb/npb_test")
+set_tests_properties(npb_test PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/npb/CMakeLists.txt;1;ompmca_add_test;/root/repo/tests/npb/CMakeLists.txt;0;")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platform/cost_model_test.cpp" "tests/platform/CMakeFiles/platform_test.dir/cost_model_test.cpp.o" "gcc" "tests/platform/CMakeFiles/platform_test.dir/cost_model_test.cpp.o.d"
+  "/root/repo/tests/platform/partition_test.cpp" "tests/platform/CMakeFiles/platform_test.dir/partition_test.cpp.o" "gcc" "tests/platform/CMakeFiles/platform_test.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/platform/placement_test.cpp" "tests/platform/CMakeFiles/platform_test.dir/placement_test.cpp.o" "gcc" "tests/platform/CMakeFiles/platform_test.dir/placement_test.cpp.o.d"
+  "/root/repo/tests/platform/resource_tree_test.cpp" "tests/platform/CMakeFiles/platform_test.dir/resource_tree_test.cpp.o" "gcc" "tests/platform/CMakeFiles/platform_test.dir/resource_tree_test.cpp.o.d"
+  "/root/repo/tests/platform/topology_test.cpp" "tests/platform/CMakeFiles/platform_test.dir/topology_test.cpp.o" "gcc" "tests/platform/CMakeFiles/platform_test.dir/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompmca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ompmca_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrapi/CMakeFiles/ompmca_mrapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gomp/CMakeFiles/ompmca_gomp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_test.dir/cost_model_test.cpp.o"
+  "CMakeFiles/platform_test.dir/cost_model_test.cpp.o.d"
+  "CMakeFiles/platform_test.dir/partition_test.cpp.o"
+  "CMakeFiles/platform_test.dir/partition_test.cpp.o.d"
+  "CMakeFiles/platform_test.dir/placement_test.cpp.o"
+  "CMakeFiles/platform_test.dir/placement_test.cpp.o.d"
+  "CMakeFiles/platform_test.dir/resource_tree_test.cpp.o"
+  "CMakeFiles/platform_test.dir/resource_tree_test.cpp.o.d"
+  "CMakeFiles/platform_test.dir/topology_test.cpp.o"
+  "CMakeFiles/platform_test.dir/topology_test.cpp.o.d"
+  "platform_test"
+  "platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

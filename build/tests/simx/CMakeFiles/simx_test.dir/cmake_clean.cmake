@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simx_test.dir/engine_test.cpp.o"
+  "CMakeFiles/simx_test.dir/engine_test.cpp.o.d"
+  "simx_test"
+  "simx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

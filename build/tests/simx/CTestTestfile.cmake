@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/simx
+# Build directory: /root/repo/build/tests/simx
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(simx_test "/root/repo/build/tests/simx/simx_test")
+set_tests_properties(simx_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/simx/CMakeLists.txt;1;ompmca_add_test;/root/repo/tests/simx/CMakeLists.txt;0;")

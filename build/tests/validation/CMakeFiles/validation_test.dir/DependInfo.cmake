@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/validation/seeded_bug_test.cpp" "tests/validation/CMakeFiles/validation_test.dir/seeded_bug_test.cpp.o" "gcc" "tests/validation/CMakeFiles/validation_test.dir/seeded_bug_test.cpp.o.d"
+  "/root/repo/tests/validation/validation_common.cpp" "tests/validation/CMakeFiles/validation_test.dir/validation_common.cpp.o" "gcc" "tests/validation/CMakeFiles/validation_test.dir/validation_common.cpp.o.d"
+  "/root/repo/tests/validation/validation_suite_test.cpp" "tests/validation/CMakeFiles/validation_test.dir/validation_suite_test.cpp.o" "gcc" "tests/validation/CMakeFiles/validation_test.dir/validation_suite_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompmca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ompmca_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrapi/CMakeFiles/ompmca_mrapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gomp/CMakeFiles/ompmca_gomp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

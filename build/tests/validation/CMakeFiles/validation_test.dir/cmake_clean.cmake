@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_test.dir/seeded_bug_test.cpp.o"
+  "CMakeFiles/validation_test.dir/seeded_bug_test.cpp.o.d"
+  "CMakeFiles/validation_test.dir/validation_common.cpp.o"
+  "CMakeFiles/validation_test.dir/validation_common.cpp.o.d"
+  "CMakeFiles/validation_test.dir/validation_suite_test.cpp.o"
+  "CMakeFiles/validation_test.dir/validation_suite_test.cpp.o.d"
+  "validation_test"
+  "validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

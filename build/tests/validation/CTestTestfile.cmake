@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/validation
+# Build directory: /root/repo/build/tests/validation
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(validation_test "/root/repo/build/tests/validation/validation_test")
+set_tests_properties(validation_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/validation/CMakeLists.txt;1;ompmca_add_test;/root/repo/tests/validation/CMakeLists.txt;0;")
