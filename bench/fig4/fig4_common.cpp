@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/telemetry.hpp"
+
 namespace ompmca::bench {
 
 namespace {
@@ -99,6 +101,8 @@ int run_fig4(const Fig4Config& config) {
                   "time decreases while threads map to distinct cores",
                   native_t12);
   std::printf("\n  overall: %s\n\n", all_ok ? "PASS" : "FAIL");
+
+  obs::Registry::instance().maybe_write_report("fig4_nas_" + config.kernel);
   return all_ok ? 0 : 1;
 }
 

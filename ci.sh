@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 verification with warnings-as-errors, as CI runs it.
+#
+#   ./ci.sh            configure + build + ctest in ./build
+#
+# Mirrors ROADMAP.md's tier-1 verify line, with -Werror on so new
+# warnings fail the build instead of rotting.
+set -eu
+
+cd "$(dirname "$0")"
+
+cmake -B build -S . -DOMPMCA_WERROR=ON
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "common/time.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ompmca::gomp {
 
@@ -44,6 +46,7 @@ void ThreadPool::worker_loop(WorkerSlot& slot) {
   for (;;) {
     FunctionRef<void(unsigned)> work;
     unsigned tid = 0;
+    std::uint64_t dispatched_ns = 0;
     {
       std::unique_lock lk(slot.mu);
       slot.cv.wait(lk, [&] {
@@ -53,6 +56,12 @@ void ThreadPool::worker_loop(WorkerSlot& slot) {
       slot.served = slot.generation;
       work = slot.work;
       tid = slot.tid;
+      dispatched_ns = slot.dispatch_start_ns;
+    }
+    if (dispatched_ns != 0 && obs::enabled()) {
+      obs::count(obs::Counter::kGompPoolDispatch);
+      obs::record(obs::Hist::kGompPoolDispatchNs,
+                  monotonic_nanos() - dispatched_ns);
     }
     work(tid);
     if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -77,6 +86,7 @@ void ThreadPool::start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn) {
         std::lock_guard lk(slot.mu);
         slot.work = fn;
         slot.tid = i + 1;
+        slot.dispatch_start_ns = obs::enabled() ? monotonic_nanos() : 0;
         ++slot.generation;
       }
       slot.cv.notify_one();
@@ -87,7 +97,12 @@ void ThreadPool::start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn) {
     // node-per-region lifecycle.
     for (unsigned i = 0; i < extra; ++i) {
       unsigned tid = i + 1;
-      Status s = backend_.launch_thread(i, [this, fn, tid] {
+      const std::uint64_t t0 = obs::enabled() ? monotonic_nanos() : 0;
+      Status s = backend_.launch_thread(i, [this, fn, tid, t0] {
+        if (t0 != 0 && obs::enabled()) {
+          obs::count(obs::Counter::kGompPoolDispatch);
+          obs::record(obs::Hist::kGompPoolDispatchNs, monotonic_nanos() - t0);
+        }
         fn(tid);
         if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           std::lock_guard lk(done_mu_);

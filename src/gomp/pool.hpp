@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -51,6 +52,8 @@ class ThreadPool {
     FunctionRef<void(unsigned)> work;
     unsigned tid = 0;
     bool exit = false;
+    // Telemetry: when the master handed out this generation (0 = untimed).
+    std::uint64_t dispatch_start_ns = 0;
   };
 
   void ensure_workers(unsigned count);

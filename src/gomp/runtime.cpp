@@ -7,6 +7,7 @@
 #include "gomp/backend_mca.hpp"
 #include "gomp/backend_native.hpp"
 #include "mrapi/database.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ompmca::gomp {
 
@@ -76,6 +77,8 @@ ParallelContext* Runtime::current() { return t_current_; }
 
 void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
                        unsigned num_threads) {
+  obs::count(obs::Counter::kGompParallel);
+  obs::ScopedTimer region_timer(obs::Hist::kGompParallelNs);
   unsigned n = resolve_num_threads(num_threads);
   ParallelContext* outer = current();
   const bool nested = outer != nullptr;

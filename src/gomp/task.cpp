@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/telemetry.hpp"
+
 namespace ompmca::gomp {
 
 void TaskSystem::spawn(Task* parent, TaskGroup* group,
@@ -13,12 +15,16 @@ void TaskSystem::spawn(Task* parent, TaskGroup* group,
   // shared_from_this is safe here.
   if (parent != nullptr) task->parent = parent->shared_from_this();
   task->group = group;
+  std::size_t depth;
   {
     std::lock_guard lk(mu_);
     if (parent != nullptr) ++parent->live_children;
     if (group != nullptr) ++group->live_tasks;
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  obs::count(obs::Counter::kGompTaskSpawned);
+  obs::gauge_max(obs::Gauge::kGompTaskQueueDepthHwm, depth);
 }
 
 bool TaskSystem::run_one(Task** current_slot) {

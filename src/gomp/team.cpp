@@ -3,9 +3,38 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/time.hpp"
 #include "gomp/runtime.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ompmca::gomp {
+
+namespace {
+
+obs::Hist barrier_wait_hist(BarrierKind k) {
+  switch (k) {
+    case BarrierKind::kCentral: return obs::Hist::kGompBarrierWaitCentralNs;
+    case BarrierKind::kTree: return obs::Hist::kGompBarrierWaitTreeNs;
+    case BarrierKind::kDissemination:
+      return obs::Hist::kGompBarrierWaitDisseminationNs;
+  }
+  return obs::Hist::kGompBarrierWaitCentralNs;
+}
+
+/// Unlocks a BackendMutex the caller already holds (the telemetry path
+/// acquires with try_lock-then-lock so it can count contention).
+class AdoptedBackendLock {
+ public:
+  explicit AdoptedBackendLock(BackendMutex& m) : m_(m) {}
+  ~AdoptedBackendLock() { m_.unlock(); }
+  AdoptedBackendLock(const AdoptedBackendLock&) = delete;
+  AdoptedBackendLock& operator=(const AdoptedBackendLock&) = delete;
+
+ private:
+  BackendMutex& m_;
+};
+
+}  // namespace
 
 Team::Team(Runtime& rt, unsigned nthreads, ParallelContext* parent_ctx)
     : rt_(rt),
@@ -60,12 +89,22 @@ Runtime& ParallelContext::runtime() const { return team_->rt_; }
 
 void ParallelContext::barrier() {
   team_->tasks_.drain(&current_task_);
-  team_->barrier_->arrive_and_wait(tid_);
+  if (obs::enabled()) {
+    obs::count(obs::Counter::kGompBarrier);
+    const std::uint64_t t0 = monotonic_nanos();
+    team_->barrier_->arrive_and_wait(tid_);
+    obs::record(barrier_wait_hist(team_->rt_.barrier_kind()),
+                monotonic_nanos() - t0);
+  } else {
+    team_->barrier_->arrive_and_wait(tid_);
+  }
 }
 
 void ParallelContext::for_loop(long begin, long end,
                                FunctionRef<void(long, long)> body,
                                ScheduleSpec spec, bool nowait) {
+  obs::count(obs::Counter::kGompFor);
+  obs::ScopedTimer timer(obs::Hist::kGompForNs);
   if (spec.kind == Schedule::kRuntime) spec = team_->rt_.icvs().run_schedule;
   LoopInstance& loop = team_->loops_[loop_gen_ % kWorkshareRing];
   loop.enter(loop_gen_, begin, end, spec, team_->nthreads_);
@@ -83,6 +122,8 @@ void ParallelContext::for_loop(long begin, long end,
 void ParallelContext::for_loop_ordered(long begin, long end,
                                        FunctionRef<void(long, long)> body,
                                        ScheduleSpec spec) {
+  obs::count(obs::Counter::kGompFor);
+  obs::ScopedTimer timer(obs::Hist::kGompForNs);
   if (spec.kind == Schedule::kRuntime) spec = team_->rt_.icvs().run_schedule;
   LoopInstance& loop = team_->loops_[loop_gen_ % kWorkshareRing];
   loop.enter(loop_gen_, begin, end, spec, team_->nthreads_);
@@ -103,6 +144,8 @@ void ParallelContext::for_loop_ordered(long begin, long end,
 void ParallelContext::for_loop_simd(long begin, long end,
                                     FunctionRef<void(long, long)> body,
                                     long simd_width, bool nowait) {
+  obs::count(obs::Counter::kGompFor);
+  obs::ScopedTimer timer(obs::Hist::kGompForNs);
   if (simd_width < 1) simd_width = 1;
   const long total = end - begin;
   if (total > 0) {
@@ -179,6 +222,8 @@ bool ParallelContext::single_begin() {
 }
 
 void ParallelContext::single(FunctionRef<void()> fn, bool nowait) {
+  obs::count(obs::Counter::kGompSingle);
+  obs::ScopedTimer timer(obs::Hist::kGompSingleNs);
   if (single_begin()) fn();
   if (!nowait) barrier();
 }
@@ -194,8 +239,21 @@ void ParallelContext::critical(FunctionRef<void()> fn) {
 void ParallelContext::critical(std::string_view name,
                                FunctionRef<void()> fn) {
   BackendMutex& mu = team_->rt_.critical_mutex(std::string(name));
-  BackendLockGuard guard(mu);
-  fn();
+  if (obs::enabled()) {
+    obs::count(obs::Counter::kGompCritical);
+    obs::ScopedTimer timer(obs::Hist::kGompCriticalNs);
+    // try_lock first so a blocked acquisition is observable as contention;
+    // a no-op (seeded-broken) mutex never blocks and counts zero here.
+    if (!mu.try_lock()) {
+      obs::count(obs::Counter::kGompCriticalContended);
+      mu.lock();
+    }
+    AdoptedBackendLock guard(mu);
+    fn();
+  } else {
+    BackendLockGuard guard(mu);
+    fn();
+  }
 }
 
 void ParallelContext::task(std::function<void()> fn) {

@@ -1,6 +1,9 @@
 #include "mrapi/arena.hpp"
 
+#include <cstdint>
+
 #include "common/align.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ompmca::mrapi {
 
@@ -14,6 +17,7 @@ SystemShmArena::SystemShmArena(std::size_t capacity_bytes)
 }
 
 Result<void*> SystemShmArena::allocate(std::size_t bytes) {
+  obs::ScopedTimer timer(obs::Hist::kMrapiArenaAllocateNs);
   if (bytes == 0) return Status::kInvalidArgument;
   const std::size_t need = align_up(bytes, kCacheLineBytes);
   std::lock_guard<std::mutex> lk(mu_);
@@ -24,21 +28,35 @@ Result<void*> SystemShmArena::allocate(std::size_t bytes) {
       free_list_.erase(it);
       if (remaining > 0) free_list_[offset + need] = remaining;
       allocated_[offset] = need;
+      used_bytes_ += need;
+      obs::count(obs::Counter::kMrapiArenaAllocate);
+      obs::gauge_max(obs::Gauge::kMrapiArenaBytesInUseHwm, used_bytes_);
       return static_cast<void*>(storage_.get() + base_offset_adjust_ + offset);
     }
   }
+  obs::count(obs::Counter::kMrapiArenaAllocateFailed);
   return Status::kOutOfResources;
 }
 
 Status SystemShmArena::release(void* ptr) {
-  auto* p = static_cast<std::byte*>(ptr);
+  obs::ScopedTimer timer(obs::Hist::kMrapiArenaReleaseNs);
   std::lock_guard<std::mutex> lk(mu_);
-  const auto offset =
-      static_cast<std::size_t>(p - (storage_.get() + base_offset_adjust_));
+  // Validate the pointer against the arena's range as integers before doing
+  // any pointer subtraction: `p - base` on a pointer that does not point
+  // into storage_ is undefined behaviour and can wrap to a huge offset.
+  const auto p_addr = reinterpret_cast<std::uintptr_t>(ptr);
+  const auto base_addr =
+      reinterpret_cast<std::uintptr_t>(storage_.get() + base_offset_adjust_);
+  if (p_addr < base_addr || p_addr >= base_addr + capacity_) {
+    return Status::kInvalidArgument;
+  }
+  const auto offset = static_cast<std::size_t>(p_addr - base_addr);
   auto it = allocated_.find(offset);
   if (it == allocated_.end()) return Status::kInvalidArgument;
   std::size_t size = it->second;
   allocated_.erase(it);
+  used_bytes_ -= size;
+  obs::count(obs::Counter::kMrapiArenaRelease);
 
   // Insert and coalesce with the previous / next free block.
   auto [ins, inserted] = free_list_.emplace(offset, size);
@@ -61,9 +79,7 @@ Status SystemShmArena::release(void* ptr) {
 
 std::size_t SystemShmArena::used() const {
   std::lock_guard<std::mutex> lk(mu_);
-  std::size_t total = 0;
-  for (const auto& [offset, size] : allocated_) total += size;
-  return total;
+  return used_bytes_;
 }
 
 std::size_t SystemShmArena::free_blocks() const {

@@ -27,10 +27,15 @@ class SystemShmArena {
   /// First-fit allocation, 64-byte aligned; kOutOfResources when exhausted.
   Result<void*> allocate(std::size_t bytes);
 
-  /// Returns a block to the free list (coalescing neighbours).
+  /// Returns a block to the free list (coalescing neighbours).  Pointers
+  /// outside [base, base+capacity) are rejected with kInvalidArgument
+  /// *before* any offset arithmetic — a foreign pointer must never turn
+  /// into undefined pointer subtraction.
   Status release(void* ptr);
 
   std::size_t capacity() const { return capacity_; }
+  /// Bytes currently allocated.  O(1): a running counter maintained by
+  /// allocate()/release(), safe to call from hot telemetry paths.
   std::size_t used() const;
   std::size_t free_blocks() const;
 
@@ -42,6 +47,7 @@ class SystemShmArena {
   // offset -> size
   std::map<std::size_t, std::size_t> free_list_;
   std::map<std::size_t, std::size_t> allocated_;
+  std::size_t used_bytes_ = 0;
 };
 
 }  // namespace ompmca::mrapi

@@ -2,9 +2,12 @@
 
 #include <chrono>
 
+#include "obs/telemetry.hpp"
+
 namespace ompmca::mrapi {
 
 Status Mutex::lock(Timeout timeout_ms, LockKey* key) {
+  obs::ScopedTimer timer(obs::Hist::kMrapiMutexAcquireNs);
   std::unique_lock<std::mutex> lk(mu_);
   return lock_locked(lk, timeout_ms, key);
 }
@@ -27,11 +30,13 @@ Status Mutex::lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
     }
     ++depth_;
     key->value = depth_;
+    obs::count(obs::Counter::kMrapiMutexAcquire);
     return Status::kSuccess;
   }
 
   auto available = [this] { return depth_ == 0; };
   if (!available()) {
+    obs::count(obs::Counter::kMrapiMutexContended);
     if (timeout_ms == kTimeoutImmediate) return Status::kMutexLocked;
     if (timeout_ms == kTimeoutInfinite) {
       cv_.wait(lk, available);
@@ -43,6 +48,7 @@ Status Mutex::lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
   owner_ = self;
   depth_ = 1;
   key->value = 1;
+  obs::count(obs::Counter::kMrapiMutexAcquire);
   return Status::kSuccess;
 }
 

@@ -1,5 +1,7 @@
 #include "mrapi/node.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace ompmca::mrapi {
 
 Result<Node> Node::initialize(DomainId domain, NodeId node,
@@ -8,6 +10,7 @@ Result<Node> Node::initialize(DomainId domain, NodeId node,
   if (!d) return d.status();
   Status s = (*d)->register_node(node, std::move(attrs));
   if (!ok(s)) return s;
+  obs::count(obs::Counter::kMrapiNodeCreate);
   return Node(*d, domain, node);
 }
 
@@ -15,6 +18,7 @@ Status Node::finalize() {
   OMPMCA_RETURN_IF_ERROR(require_init());
   Status s = domain_->unregister_node(node_id_);
   domain_ = nullptr;
+  if (ok(s)) obs::count(obs::Counter::kMrapiNodeRetire);
   return s;
 }
 
@@ -22,8 +26,10 @@ Status Node::thread_create(NodeId worker_node, ThreadParameters params) {
   OMPMCA_RETURN_IF_ERROR(require_init());
   if (!params.start_routine) return Status::kInvalidArgument;
   std::thread worker(std::move(params.start_routine));
-  return domain_->register_worker_node(
+  Status s = domain_->register_worker_node(
       worker_node, NodeAttributes{"worker"}, std::move(worker));
+  if (ok(s)) obs::count(obs::Counter::kMrapiNodeCreate);
+  return s;
 }
 
 Status Node::thread_join(NodeId worker_node) {
@@ -33,7 +39,9 @@ Status Node::thread_join(NodeId worker_node) {
 
 Status Node::thread_finalize(NodeId worker_node) {
   OMPMCA_RETURN_IF_ERROR(require_init());
-  return domain_->unregister_node(worker_node);
+  Status s = domain_->unregister_node(worker_node);
+  if (ok(s)) obs::count(obs::Counter::kMrapiNodeRetire);
+  return s;
 }
 
 Result<ShmemHandle> Node::shmem_create(ResourceKey key, std::size_t size,

@@ -1,0 +1,365 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/env.hpp"
+
+namespace ompmca::obs {
+
+namespace {
+
+/// Bucket index for a duration: 0 holds sub-nanosecond/zero samples, bucket
+/// b >= 1 holds [2^(b-1), 2^b) ns; the last bucket absorbs the tail.
+unsigned bucket_of(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  unsigned b = static_cast<unsigned>(std::bit_width(ns));
+  return b < kHistBuckets ? b : kHistBuckets - 1;
+}
+
+void atomic_fetch_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Per-thread metric slab.  One writer (the owning thread), many relaxed
+/// readers (snapshots); alignment keeps neighbouring slabs off each other's
+/// cache lines.
+struct alignas(kCacheLineBytes) ThreadSlab {
+  std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+  struct HistSlab {
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+  std::array<HistSlab, kNumHists> hists{};
+};
+
+enum class Mode { kOff, kOn, kJson };
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+// --- names --------------------------------------------------------------------
+
+std::string_view name(Counter c) {
+  switch (c) {
+    case Counter::kGompParallel: return "gomp.parallel";
+    case Counter::kGompFor: return "gomp.for";
+    case Counter::kGompBarrier: return "gomp.barrier";
+    case Counter::kGompSingle: return "gomp.single";
+    case Counter::kGompCritical: return "gomp.critical";
+    case Counter::kGompCriticalContended: return "gomp.critical_contended";
+    case Counter::kGompReduction: return "gomp.reduction";
+    case Counter::kGompTaskSpawned: return "gomp.task_spawned";
+    case Counter::kGompPoolDispatch: return "gomp.pool_dispatch";
+    case Counter::kMrapiMutexAcquire: return "mrapi.mutex_acquire";
+    case Counter::kMrapiMutexContended: return "mrapi.mutex_contended";
+    case Counter::kMrapiNodeCreate: return "mrapi.node_create";
+    case Counter::kMrapiNodeRetire: return "mrapi.node_retire";
+    case Counter::kMrapiArenaAllocate: return "mrapi.arena_allocate";
+    case Counter::kMrapiArenaAllocateFailed:
+      return "mrapi.arena_allocate_failed";
+    case Counter::kMrapiArenaRelease: return "mrapi.arena_release";
+    case Counter::kPlatformTeamShape: return "platform.team_shape";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view name(Hist h) {
+  switch (h) {
+    case Hist::kGompParallelNs: return "gomp.parallel_ns";
+    case Hist::kGompForNs: return "gomp.for_ns";
+    case Hist::kGompSingleNs: return "gomp.single_ns";
+    case Hist::kGompCriticalNs: return "gomp.critical_ns";
+    case Hist::kGompReductionNs: return "gomp.reduction_ns";
+    case Hist::kGompBarrierWaitCentralNs:
+      return "gomp.barrier_wait.central_ns";
+    case Hist::kGompBarrierWaitTreeNs: return "gomp.barrier_wait.tree_ns";
+    case Hist::kGompBarrierWaitDisseminationNs:
+      return "gomp.barrier_wait.dissemination_ns";
+    case Hist::kGompPoolDispatchNs: return "gomp.pool_dispatch_ns";
+    case Hist::kMrapiMutexAcquireNs: return "mrapi.mutex_acquire_ns";
+    case Hist::kMrapiArenaAllocateNs: return "mrapi.arena_allocate_ns";
+    case Hist::kMrapiArenaReleaseNs: return "mrapi.arena_release_ns";
+    case Hist::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view name(Gauge g) {
+  switch (g) {
+    case Gauge::kMrapiArenaBytesInUseHwm:
+      return "mrapi.arena_bytes_in_use_hwm";
+    case Gauge::kGompTaskQueueDepthHwm: return "gomp.task_queue_depth_hwm";
+    case Gauge::kCount: break;
+  }
+  return "?";
+}
+
+// --- Registry -----------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex slabs_mu;
+  std::deque<std::unique_ptr<ThreadSlab>> slabs;  // stable addresses
+
+  std::array<std::atomic<std::uint64_t>, kNumGauges> gauges{};
+  std::array<std::atomic<std::uint64_t>, kMaxClusters> placements{};
+
+  Mode mode = Mode::kOff;
+  std::string report_path;                // empty = stderr
+  std::atomic<bool> reported{false};      // explicit report suppresses atexit
+
+  ThreadSlab& local_slab() {
+    thread_local ThreadSlab* slab = [this] {
+      auto owned = std::make_unique<ThreadSlab>();
+      ThreadSlab* raw = owned.get();
+      std::lock_guard<std::mutex> lk(slabs_mu);
+      slabs.push_back(std::move(owned));
+      return raw;
+    }();
+    return *slab;
+  }
+};
+
+Registry& Registry::instance() {
+  // Leaked singleton: worker threads (and atexit hooks) may touch metrics
+  // after static destructors would have run.
+  static Registry* reg = new Registry();
+  return *reg;
+}
+
+namespace {
+// The hooks never touch the Registry while disabled (one relaxed load of
+// g_enabled only), so OMPMCA_TELEMETRY must be parsed — and the atexit
+// report registered — before main() rather than lazily on first use.
+[[maybe_unused]] const bool g_bootstrap = (Registry::instance(), true);
+}  // namespace
+
+Registry::Registry() : impl_(new Impl()) {
+  if (auto v = env_string("OMPMCA_TELEMETRY")) {
+    if (iequals(*v, "json")) {
+      impl_->mode = Mode::kJson;
+    } else if (iequals(*v, "on") || iequals(*v, "1") ||
+               iequals(*v, "true")) {
+      impl_->mode = Mode::kOn;
+    }
+  }
+  if (auto f = env_string("OMPMCA_TELEMETRY_FILE")) impl_->report_path = *f;
+  if (impl_->mode != Mode::kOff) {
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+  }
+  if (impl_->mode == Mode::kJson) {
+    std::atexit([] {
+      Registry& reg = Registry::instance();
+      if (!reg.impl_->reported.load(std::memory_order_acquire)) {
+        reg.write_report("atexit");
+      }
+    });
+  }
+}
+
+bool Registry::json_mode() const { return impl_->mode == Mode::kJson; }
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(impl_->slabs_mu);
+  for (auto& slab : impl_->slabs) {
+    for (auto& c : slab->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : slab->hists) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum_ns.store(0, std::memory_order_relaxed);
+      h.max_ns.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : impl_->gauges) g.store(0, std::memory_order_relaxed);
+  for (auto& p : impl_->placements) p.store(0, std::memory_order_relaxed);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lk(impl_->slabs_mu);
+  out.threads_observed = static_cast<unsigned>(impl_->slabs.size());
+  for (const auto& slab : impl_->slabs) {
+    for (unsigned c = 0; c < kNumCounters; ++c) {
+      out.counters[c] += slab->counters[c].load(std::memory_order_relaxed);
+    }
+    for (unsigned h = 0; h < kNumHists; ++h) {
+      const auto& src = slab->hists[h];
+      auto& dst = out.hists[h];
+      for (unsigned b = 0; b < kHistBuckets; ++b) {
+        dst.buckets[b] += src.buckets[b].load(std::memory_order_relaxed);
+      }
+      dst.count += src.count.load(std::memory_order_relaxed);
+      dst.sum_ns += src.sum_ns.load(std::memory_order_relaxed);
+      dst.max_ns =
+          std::max(dst.max_ns, src.max_ns.load(std::memory_order_relaxed));
+    }
+  }
+  for (unsigned g = 0; g < kNumGauges; ++g) {
+    out.gauges[g] = impl_->gauges[g].load(std::memory_order_relaxed);
+  }
+  for (unsigned p = 0; p < kMaxClusters; ++p) {
+    out.placements[p] = impl_->placements[p].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+namespace {
+
+void append(std::string& s, std::string_view v) { s.append(v); }
+
+void append_u64(std::string& s, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  s += buf;
+}
+
+}  // namespace
+
+std::string Registry::json(std::string_view tag) const {
+  const Snapshot snap = snapshot();
+  std::string s;
+  s.reserve(4096);
+  append(s, "{\n  \"telemetry\": \"ompmca\",\n  \"tag\": \"");
+  append(s, tag);
+  append(s, "\",\n  \"threads_observed\": ");
+  append_u64(s, snap.threads_observed);
+  append(s, ",\n  \"counters\": {");
+  bool first = true;
+  for (unsigned c = 0; c < kNumCounters; ++c) {
+    append(s, first ? "\n" : ",\n");
+    first = false;
+    append(s, "    \"");
+    append(s, name(static_cast<Counter>(c)));
+    append(s, "\": ");
+    append_u64(s, snap.counters[c]);
+  }
+  append(s, "\n  },\n  \"gauges\": {");
+  first = true;
+  for (unsigned g = 0; g < kNumGauges; ++g) {
+    append(s, first ? "\n" : ",\n");
+    first = false;
+    append(s, "    \"");
+    append(s, name(static_cast<Gauge>(g)));
+    append(s, "\": ");
+    append_u64(s, snap.gauges[g]);
+  }
+  append(s, "\n  },\n  \"placements_per_cluster\": {");
+  first = true;
+  for (unsigned p = 0; p < kMaxClusters; ++p) {
+    if (snap.placements[p] == 0) continue;
+    append(s, first ? "\n" : ",\n");
+    first = false;
+    append(s, "    \"cluster");
+    append_u64(s, p);
+    append(s, "\": ");
+    append_u64(s, snap.placements[p]);
+  }
+  append(s, first ? "},\n  \"histograms\": {" : "\n  },\n  \"histograms\": {");
+  first = true;
+  for (unsigned h = 0; h < kNumHists; ++h) {
+    const HistogramData& hd = snap.hists[h];
+    append(s, first ? "\n" : ",\n");
+    first = false;
+    append(s, "    \"");
+    append(s, name(static_cast<Hist>(h)));
+    append(s, "\": {\"count\": ");
+    append_u64(s, hd.count);
+    append(s, ", \"sum_ns\": ");
+    append_u64(s, hd.sum_ns);
+    append(s, ", \"max_ns\": ");
+    append_u64(s, hd.max_ns);
+    append(s, ", \"buckets\": [");
+    bool first_bucket = true;
+    for (unsigned b = 0; b < kHistBuckets; ++b) {
+      if (hd.buckets[b] == 0) continue;
+      if (!first_bucket) append(s, ", ");
+      first_bucket = false;
+      append(s, "{\"le_ns\": ");
+      append_u64(s, HistogramData::bucket_upper_ns(b));
+      append(s, ", \"count\": ");
+      append_u64(s, hd.buckets[b]);
+      append(s, "}");
+    }
+    append(s, "]}");
+  }
+  append(s, "\n  }\n}\n");
+  return s;
+}
+
+void Registry::write_report(std::string_view tag, std::FILE* out) {
+  const std::string report = json(tag);
+  std::FILE* f = out;
+  bool close = false;
+  if (f == nullptr) {
+    if (!impl_->report_path.empty()) {
+      f = std::fopen(impl_->report_path.c_str(), "a");
+      close = f != nullptr;
+    }
+    if (f == nullptr) f = stderr;
+  }
+  std::fwrite(report.data(), 1, report.size(), f);
+  std::fflush(f);
+  if (close) std::fclose(f);
+  impl_->reported.store(true, std::memory_order_release);
+}
+
+void Registry::maybe_write_report(std::string_view tag) {
+  if (json_mode()) write_report(tag);
+}
+
+// --- hot-path backends --------------------------------------------------------
+
+void set_enabled(bool on) {
+  (void)Registry::instance();  // make sure atexit/env setup has run
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void add_counter(Counter c, std::uint64_t n) {
+  Registry::instance()
+      .impl_->local_slab()
+      .counters[static_cast<unsigned>(c)]
+      .fetch_add(n, std::memory_order_relaxed);
+}
+
+void record_hist(Hist h, std::uint64_t ns) {
+  auto& hist =
+      Registry::instance().impl_->local_slab().hists[static_cast<unsigned>(h)];
+  hist.buckets[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  hist.count.fetch_add(1, std::memory_order_relaxed);
+  hist.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  atomic_fetch_max(hist.max_ns, ns);
+}
+
+}  // namespace detail
+
+void gauge_max(Gauge g, std::uint64_t value) {
+  if (!enabled()) return;
+  atomic_fetch_max(
+      Registry::instance().impl_->gauges[static_cast<unsigned>(g)], value);
+}
+
+void placement(unsigned cluster, std::uint64_t n) {
+  if (!enabled()) return;
+  if (cluster >= kMaxClusters) cluster = kMaxClusters - 1;
+  Registry::instance().impl_->placements[cluster].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+}  // namespace ompmca::obs

@@ -1,0 +1,240 @@
+// Runtime-wide telemetry: lock-free counters, duration histograms and
+// high-water gauges threaded through every layer of the stack.
+//
+// The paper's evaluation (§6, Table I and Figure 4) is entirely about
+// measuring the runtime's *own* overhead, so the runtime must be able to
+// observe itself without perturbing what it observes:
+//
+//  * every thread writes to its own cache-line-padded slab (no sharing on
+//    the hot path, no locks); slabs are merged only at snapshot time;
+//  * durations land in power-of-two-bucket histograms (bucket b >= 1 covers
+//    [2^(b-1), 2^b) nanoseconds), so recording is a handful of ALU ops;
+//  * with telemetry disabled every hook compiles down to one relaxed
+//    atomic load and a predictable branch — cheap enough that Table I
+//    ratios are unaffected.
+//
+// Enable with OMPMCA_TELEMETRY=json (JSON report on process exit, or
+// explicitly via Registry::maybe_write_report) or programmatically with
+// set_enabled(true) / ScopedEnable (what the tests use).  The report goes
+// to OMPMCA_TELEMETRY_FILE when set, stderr otherwise.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/align.hpp"
+#include "common/time.hpp"
+
+namespace ompmca::obs {
+
+// --- metric identifiers -------------------------------------------------------
+
+/// Monotonic event counters, one slot per thread slab.
+enum class Counter : unsigned {
+  // gomp — per-directive entries.
+  kGompParallel,
+  kGompFor,
+  kGompBarrier,
+  kGompSingle,
+  kGompCritical,
+  kGompCriticalContended,
+  kGompReduction,
+  kGompTaskSpawned,
+  kGompPoolDispatch,
+  // mrapi — the MCA service layer.
+  kMrapiMutexAcquire,
+  kMrapiMutexContended,
+  kMrapiNodeCreate,
+  kMrapiNodeRetire,
+  kMrapiArenaAllocate,
+  kMrapiArenaAllocateFailed,
+  kMrapiArenaRelease,
+  // platform — placement machinery.
+  kPlatformTeamShape,
+  kCount
+};
+
+/// Duration histograms (nanoseconds, power-of-two buckets).
+enum class Hist : unsigned {
+  kGompParallelNs,
+  kGompForNs,
+  kGompSingleNs,
+  kGompCriticalNs,
+  kGompReductionNs,
+  kGompBarrierWaitCentralNs,
+  kGompBarrierWaitTreeNs,
+  kGompBarrierWaitDisseminationNs,
+  kGompPoolDispatchNs,
+  kMrapiMutexAcquireNs,
+  kMrapiArenaAllocateNs,
+  kMrapiArenaReleaseNs,
+  kCount
+};
+
+/// High-water-mark gauges (global, updated with a fetch-max loop).
+enum class Gauge : unsigned {
+  kMrapiArenaBytesInUseHwm,
+  kGompTaskQueueDepthHwm,
+  kCount
+};
+
+inline constexpr unsigned kNumCounters = static_cast<unsigned>(Counter::kCount);
+inline constexpr unsigned kNumHists = static_cast<unsigned>(Hist::kCount);
+inline constexpr unsigned kNumGauges = static_cast<unsigned>(Gauge::kCount);
+inline constexpr unsigned kHistBuckets = 40;  // covers up to ~9 minutes in ns
+/// Per-cluster placement counters (T4240 has 3 clusters; leave headroom).
+inline constexpr unsigned kMaxClusters = 16;
+
+/// Dotted metric names used in the JSON report.
+std::string_view name(Counter c);
+std::string_view name(Hist h);
+std::string_view name(Gauge g);
+
+// --- the enabled switch (the only thing disabled-mode hooks touch) -----------
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+
+void add_counter(Counter c, std::uint64_t n);
+void record_hist(Hist h, std::uint64_t ns);
+}  // namespace detail
+
+/// One relaxed load; the disabled-mode cost of every hook.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on);
+
+// --- recording hooks ----------------------------------------------------------
+
+inline void count(Counter c, std::uint64_t n = 1) {
+  if (!enabled()) return;
+  detail::add_counter(c, n);
+}
+
+/// Records a duration that was measured by the caller (the caller must have
+/// checked enabled() before paying for the clock reads).
+inline void record(Hist h, std::uint64_t ns) {
+  if (!enabled()) return;
+  detail::record_hist(h, ns);
+}
+
+void gauge_max(Gauge g, std::uint64_t value);
+
+/// One software thread placed into hardware cluster @p cluster.
+void placement(unsigned cluster, std::uint64_t n = 1);
+
+/// RAII duration probe: reads the clock only when telemetry is enabled at
+/// construction, so the disabled path is load + branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Hist h) {
+    if (enabled()) {
+      hist_ = h;
+      start_ns_ = monotonic_nanos();
+      armed_ = true;
+    }
+  }
+  ~ScopedTimer() {
+    if (armed_) detail::record_hist(hist_, monotonic_nanos() - start_ns_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::uint64_t start_ns_ = 0;
+  Hist hist_{};
+  bool armed_ = false;
+};
+
+// --- snapshot / report --------------------------------------------------------
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+
+  /// Exclusive upper bound (ns) of bucket @p b: 1 for b == 0, else 2^b.
+  static std::uint64_t bucket_upper_ns(unsigned b) {
+    return b == 0 ? 1 : (std::uint64_t{1} << b);
+  }
+};
+
+/// A merged, self-consistent-enough view of all thread slabs (individual
+/// slots are read relaxed; exactness across slots is not a goal).
+struct Snapshot {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::array<std::uint64_t, kNumGauges> gauges{};
+  std::array<std::uint64_t, kMaxClusters> placements{};
+  std::array<HistogramData, kNumHists> hists{};
+  unsigned threads_observed = 0;
+
+  std::uint64_t counter(Counter c) const {
+    return counters[static_cast<unsigned>(c)];
+  }
+  std::uint64_t gauge(Gauge g) const {
+    return gauges[static_cast<unsigned>(g)];
+  }
+  const HistogramData& hist(Hist h) const {
+    return hists[static_cast<unsigned>(h)];
+  }
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  Snapshot snapshot() const;
+
+  /// The snapshot rendered as a JSON object (histograms list only their
+  /// occupied buckets).
+  std::string json(std::string_view tag) const;
+
+  /// Unconditionally writes the JSON report to @p out (defaults to the
+  /// OMPMCA_TELEMETRY_FILE / stderr sink).
+  void write_report(std::string_view tag, std::FILE* out = nullptr);
+
+  /// Writes the report only when OMPMCA_TELEMETRY=json; benches call this
+  /// so their telemetry rides alongside the printed tables.
+  void maybe_write_report(std::string_view tag);
+
+  /// Zeroes every slab, gauge and placement counter (tests only — racing
+  /// writers make the result approximate).
+  void reset();
+
+  /// True when OMPMCA_TELEMETRY=json (report-on-exit mode).
+  bool json_mode() const;
+
+ private:
+  Registry();
+  struct Impl;
+  Impl* impl_;  // leaked intentionally: threads may outlive static dtors
+
+  friend void detail::add_counter(Counter, std::uint64_t);
+  friend void detail::record_hist(Hist, std::uint64_t);
+  friend void gauge_max(Gauge, std::uint64_t);
+  friend void placement(unsigned, std::uint64_t);
+};
+
+/// Test helper: enables telemetry and resets all metrics for the scope.
+class ScopedEnable {
+ public:
+  ScopedEnable() : was_(enabled()) {
+    Registry::instance().reset();
+    set_enabled(true);
+  }
+  ~ScopedEnable() { set_enabled(was_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool was_;
+};
+
+}  // namespace ompmca::obs

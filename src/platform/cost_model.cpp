@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/telemetry.hpp"
+
 namespace ompmca::platform {
 
 ServiceCosts ServiceCosts::native() {
@@ -60,6 +62,12 @@ TeamShape::TeamShape(const Topology& topo, unsigned nthreads,
     const auto& hwt = topo.hw_thread(hw_[i]);
     ++core_occupancy[hwt.core];
     ++cluster_occupancy[topo.core(hwt.core).cluster];
+  }
+  obs::count(obs::Counter::kPlatformTeamShape);
+  if (obs::enabled()) {
+    for (unsigned c = 0; c < topo.num_clusters(); ++c) {
+      if (cluster_occupancy[c] > 0) obs::placement(c, cluster_occupancy[c]);
+    }
   }
   clusters_spanned_ = 0;
   for (unsigned occ : cluster_occupancy) {

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 namespace ompmca::mrapi {
@@ -46,6 +47,55 @@ TEST(Arena, ReleaseUnknownPointerRejected) {
   SystemShmArena arena(4096);
   int x;
   EXPECT_EQ(arena.release(&x), Status::kInvalidArgument);
+}
+
+// Regression: release() used to compute `p - base` before any range check,
+// which is UB for foreign pointers and could wrap to a huge offset.  Every
+// out-of-range pointer — below base, past the end, and wildly far away in
+// both directions — must be rejected, and must not corrupt the arena.
+TEST(Arena, ReleaseOutOfRangePointerRejected) {
+  SystemShmArena arena(4096);
+  auto p = arena.allocate(64);
+  ASSERT_TRUE(p.has_value());
+  auto* base = static_cast<std::byte*>(*p);
+
+  const std::uintptr_t base_addr = reinterpret_cast<std::uintptr_t>(base);
+  const std::uintptr_t probes[] = {
+      base_addr - 64,             // just below the arena
+      base_addr + 4096,           // one past the end
+      base_addr + (1u << 20),     // far above
+      base_addr - (1u << 20),     // far below
+      0x1000,                     // unrelated low address
+  };
+  for (std::uintptr_t addr : probes) {
+    EXPECT_EQ(arena.release(reinterpret_cast<void*>(addr)),
+              Status::kInvalidArgument);
+  }
+
+  // The arena still works after the bad releases.
+  EXPECT_EQ(arena.used(), 64u);
+  EXPECT_EQ(arena.release(*p), Status::kSuccess);
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_TRUE(arena.allocate(4096).has_value());
+}
+
+// Regression for the O(1) used() counter: exact accounting through an
+// interleaved alloc/release sequence (sizes round up to the cache line).
+TEST(Arena, UsedCounterTracksAllocations) {
+  SystemShmArena arena(1 << 16);
+  EXPECT_EQ(arena.used(), 0u);
+  auto a = arena.allocate(64);
+  auto b = arena.allocate(100);  // rounds to 128
+  auto c = arena.allocate(1);    // rounds to 64
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(arena.used(), 64u + 128u + 64u);
+  ASSERT_EQ(arena.release(*b), Status::kSuccess);
+  EXPECT_EQ(arena.used(), 64u + 64u);
+  ASSERT_EQ(arena.release(*a), Status::kSuccess);
+  ASSERT_EQ(arena.release(*c), Status::kSuccess);
+  EXPECT_EQ(arena.used(), 0u);
 }
 
 TEST(Arena, CoalescingAllowsFullReallocation) {

@@ -1,0 +1,189 @@
+// Telemetry subsystem unit tests: counter/histogram mechanics, the
+// disabled-mode no-op guarantee, JSON shape, and end-to-end counts from a
+// real runtime driving real directives.
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "gomp/gomp.hpp"
+#include "mrapi/mutex.hpp"
+
+namespace ompmca::obs {
+namespace {
+
+TEST(Telemetry, DisabledHooksRecordNothing) {
+  Registry::instance().reset();
+  set_enabled(false);
+  count(Counter::kGompParallel, 5);
+  record(Hist::kGompParallelNs, 1234);
+  gauge_max(Gauge::kGompTaskQueueDepthHwm, 42);
+  placement(1, 3);
+  { ScopedTimer t(Hist::kGompForNs); }
+  Snapshot s = Registry::instance().snapshot();
+  EXPECT_EQ(s.counter(Counter::kGompParallel), 0u);
+  EXPECT_EQ(s.hist(Hist::kGompParallelNs).count, 0u);
+  EXPECT_EQ(s.hist(Hist::kGompForNs).count, 0u);
+  EXPECT_EQ(s.gauge(Gauge::kGompTaskQueueDepthHwm), 0u);
+  EXPECT_EQ(s.placements[1], 0u);
+}
+
+TEST(Telemetry, CountersAccumulateAcrossThreads) {
+  ScopedEnable scope;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) count(Counter::kMrapiMutexAcquire);
+    });
+  }
+  for (auto& t : threads) t.join();
+  Snapshot s = Registry::instance().snapshot();
+  EXPECT_EQ(s.counter(Counter::kMrapiMutexAcquire), 4000u);
+  EXPECT_GE(s.threads_observed, 4u);
+}
+
+TEST(Telemetry, HistogramBucketsArePowersOfTwo) {
+  ScopedEnable scope;
+  // Bucket b >= 1 covers [2^(b-1), 2^b); bucket 0 holds zero samples.
+  record(Hist::kGompBarrierWaitCentralNs, 0);     // bucket 0
+  record(Hist::kGompBarrierWaitCentralNs, 1);     // bucket 1: [1, 2)
+  record(Hist::kGompBarrierWaitCentralNs, 2);     // bucket 2: [2, 4)
+  record(Hist::kGompBarrierWaitCentralNs, 3);     // bucket 2
+  record(Hist::kGompBarrierWaitCentralNs, 1024);  // bucket 11: [1024, 2048)
+  record(Hist::kGompBarrierWaitCentralNs, 2047);  // bucket 11
+  Snapshot s = Registry::instance().snapshot();
+  const HistogramData& h = s.hist(Hist::kGompBarrierWaitCentralNs);
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_EQ(h.sum_ns, 0u + 1 + 2 + 3 + 1024 + 2047);
+  EXPECT_EQ(h.max_ns, 2047u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[11], 2u);
+  EXPECT_EQ(HistogramData::bucket_upper_ns(0), 1u);
+  EXPECT_EQ(HistogramData::bucket_upper_ns(11), 2048u);
+}
+
+TEST(Telemetry, GaugeKeepsHighWaterMark) {
+  ScopedEnable scope;
+  gauge_max(Gauge::kMrapiArenaBytesInUseHwm, 100);
+  gauge_max(Gauge::kMrapiArenaBytesInUseHwm, 500);
+  gauge_max(Gauge::kMrapiArenaBytesInUseHwm, 300);
+  Snapshot s = Registry::instance().snapshot();
+  EXPECT_EQ(s.gauge(Gauge::kMrapiArenaBytesInUseHwm), 500u);
+}
+
+TEST(Telemetry, ScopedTimerRecordsPlausibleDuration) {
+  ScopedEnable scope;
+  {
+    ScopedTimer t(Hist::kMrapiArenaAllocateNs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Snapshot s = Registry::instance().snapshot();
+  const HistogramData& h = s.hist(Hist::kMrapiArenaAllocateNs);
+  ASSERT_EQ(h.count, 1u);
+  EXPECT_GE(h.sum_ns, 2'000'000u);  // at least the 2 ms we slept
+}
+
+TEST(Telemetry, JsonReportContainsAllSections) {
+  ScopedEnable scope;
+  count(Counter::kGompParallel, 3);
+  record(Hist::kGompBarrierWaitCentralNs, 512);
+  gauge_max(Gauge::kGompTaskQueueDepthHwm, 7);
+  placement(2, 4);
+  std::string json = Registry::instance().json("unit-test");
+  EXPECT_NE(json.find("\"tag\": \"unit-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"gomp.parallel\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"gomp.barrier_wait.central_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"le_ns\": 1024, \"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"gomp.task_queue_depth_hwm\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"cluster2\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Telemetry, RuntimeDirectivesAreObserved) {
+  ScopedEnable scope;
+  gomp::RuntimeOptions opts;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+
+  long sum = 0;
+  rt.parallel([&](gomp::ParallelContext& ctx) {
+    long local = 0;
+    ctx.for_loop(0, 1000, [&](long lo, long hi) {
+      for (long i = lo; i < hi; ++i) local += i;
+    });
+    ctx.barrier();
+    ctx.single([] {});
+    ctx.critical([&] { sum += local; });
+    (void)ctx.reduce_sum(local);
+  });
+
+  Snapshot s = Registry::instance().snapshot();
+  EXPECT_EQ(s.counter(Counter::kGompParallel), 1u);
+  EXPECT_EQ(s.counter(Counter::kGompFor), 4u);      // one per team member
+  EXPECT_EQ(s.counter(Counter::kGompSingle), 4u);   // entry per thread
+  EXPECT_EQ(s.counter(Counter::kGompCritical), 4u);
+  EXPECT_EQ(s.counter(Counter::kGompReduction), 4u);
+  // for (barrier) + explicit + single + 2x reduce + implicit, per thread.
+  EXPECT_GE(s.counter(Counter::kGompBarrier), 4u * 5u);
+  EXPECT_EQ(s.hist(Hist::kGompParallelNs).count, 1u);
+  EXPECT_GE(s.hist(Hist::kGompBarrierWaitCentralNs).count,
+            s.counter(Counter::kGompBarrier));
+  // Three pool workers were handed the region.
+  EXPECT_EQ(s.counter(Counter::kGompPoolDispatch), 3u);
+  EXPECT_EQ(s.hist(Hist::kGompPoolDispatchNs).count, 3u);
+}
+
+TEST(Telemetry, McaBackendObservesMrapiLayer) {
+  ScopedEnable scope;
+  gomp::RuntimeOptions opts;
+  opts.backend = gomp::BackendKind::kMca;
+  gomp::Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  {
+    gomp::Runtime rt(opts);
+    rt.parallel([&](gomp::ParallelContext& ctx) {
+      ctx.critical([] {});
+    });
+  }
+  Snapshot s = Registry::instance().snapshot();
+  // Master node + 3 worker nodes at minimum; all retired with the runtime.
+  EXPECT_GE(s.counter(Counter::kMrapiNodeCreate), 4u);
+  EXPECT_EQ(s.counter(Counter::kMrapiNodeCreate),
+            s.counter(Counter::kMrapiNodeRetire));
+  // The critical construct goes through an MRAPI mutex on this backend.
+  EXPECT_GE(s.counter(Counter::kMrapiMutexAcquire), 4u);
+
+  // A blocking MRAPI lock() records its acquire latency.
+  mrapi::Mutex mu;
+  mrapi::LockKey lock_key;
+  ASSERT_EQ(mu.lock(mrapi::kTimeoutInfinite, &lock_key), Status::kSuccess);
+  ASSERT_EQ(mu.unlock(lock_key), Status::kSuccess);
+  s = Registry::instance().snapshot();
+  EXPECT_GE(s.hist(Hist::kMrapiMutexAcquireNs).count, 1u);
+}
+
+TEST(Telemetry, ResetClearsEverything) {
+  ScopedEnable scope;
+  count(Counter::kGompParallel, 9);
+  record(Hist::kGompForNs, 77);
+  gauge_max(Gauge::kGompTaskQueueDepthHwm, 5);
+  placement(0, 2);
+  Registry::instance().reset();
+  Snapshot s = Registry::instance().snapshot();
+  EXPECT_EQ(s.counter(Counter::kGompParallel), 0u);
+  EXPECT_EQ(s.hist(Hist::kGompForNs).count, 0u);
+  EXPECT_EQ(s.gauge(Gauge::kGompTaskQueueDepthHwm), 0u);
+  EXPECT_EQ(s.placements[0], 0u);
+}
+
+}  // namespace
+}  // namespace ompmca::obs

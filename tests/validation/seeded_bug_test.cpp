@@ -10,8 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "gomp/backend_native.hpp"
+#include "obs/telemetry.hpp"
 #include "validation_common.hpp"
 
 namespace ompmca::validation {
@@ -84,6 +87,62 @@ TEST(SeededBug, UnsynchronisedDirectivesUnaffected) {
   EXPECT_TRUE(check_barrier(rt));
   EXPECT_TRUE(check_single(rt));
   EXPECT_TRUE(check_reduction(rt));
+}
+
+// The telemetry layer must observe *real* lock behaviour: hammering an
+// unnamed critical from 8 threads produces contention events on a working
+// mutex, while the seeded no-op mutex — whose try_lock always "succeeds" —
+// produces exactly zero.  This is the counter-based variant of the §6A bug
+// hunt: a synchronisation primitive that never contends under load is not
+// synchronising.
+TEST(SeededBug, TelemetrySeesZeroContentionOnBrokenMutex) {
+  constexpr int kIters = 8;
+  auto hammer_critical = [](gomp::Runtime& rt) {
+    rt.parallel([](gomp::ParallelContext& ctx) {
+      // Line the team up so every thread reaches the critical loop with the
+      // others still active in it.
+      ctx.barrier();
+      for (int i = 0; i < kIters; ++i) {
+        ctx.critical([] {
+          // Sleep while holding the lock: the holder blocks, the scheduler
+          // runs a sibling, and that sibling's try_lock must fail.  This
+          // makes contention on a real mutex deterministic even on a
+          // single-core host, where spinning inside the lock would not be
+          // (a thread is almost never preempted mid-section).
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        });
+      }
+    });
+  };
+
+  std::uint64_t broken_contended = 0;
+  {
+    obs::ScopedEnable telemetry;
+    gomp::Runtime rt = make_broken_runtime();
+    hammer_critical(rt);
+    obs::Snapshot s = obs::Registry::instance().snapshot();
+    EXPECT_EQ(s.counter(obs::Counter::kGompCritical), 8u * static_cast<unsigned>(kIters));
+    broken_contended = s.counter(obs::Counter::kGompCriticalContended);
+  }
+
+  std::uint64_t native_contended = 0;
+  {
+    obs::ScopedEnable telemetry;
+    gomp::RuntimeOptions opts;
+    gomp::Icvs icvs;
+    icvs.num_threads = 8;
+    opts.icvs = icvs;
+    gomp::Runtime rt(opts);
+    hammer_critical(rt);
+    obs::Snapshot s = obs::Registry::instance().snapshot();
+    EXPECT_EQ(s.counter(obs::Counter::kGompCritical), 8u * static_cast<unsigned>(kIters));
+    native_contended = s.counter(obs::Counter::kGompCriticalContended);
+  }
+
+  // A no-op mutex can never block, so zero contention is deterministic;
+  // a functional mutex under this load shows plenty.
+  EXPECT_EQ(broken_contended, 0u);
+  EXPECT_GT(native_contended, 0u);
 }
 
 TEST(SeededBug, HealthyBackendPassesSameBattery) {
