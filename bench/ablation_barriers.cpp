@@ -20,8 +20,10 @@ void run_barrier(benchmark::State& state, gomp::BarrierKind kind) {
   const unsigned threads = static_cast<unsigned>(state.range(0));
   const int rounds = 200;
   for (auto _ : state) {
+    // kActive: a passive request would silently substitute the tree
+    // barrier for dissemination (see make_barrier), defeating the ablation.
     auto barrier =
-        gomp::make_barrier(kind, threads, gomp::WaitPolicy::kPassive);
+        gomp::make_barrier(kind, threads, gomp::WaitPolicy::kActive);
     std::vector<std::thread> team;
     for (unsigned t = 1; t < threads; ++t) {
       team.emplace_back([&barrier, t] {

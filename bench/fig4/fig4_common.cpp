@@ -1,6 +1,7 @@
 #include "fig4_common.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "obs/telemetry.hpp"
 
@@ -8,9 +9,11 @@ namespace ompmca::bench {
 
 namespace {
 
-bool check(bool condition, const char* what, double got) {
-  std::printf("  [%s] %-58s (got %.3f)\n", condition ? "PASS" : "FAIL", what,
-              got);
+bool check(bool condition, const char* what, double got, bool json) {
+  if (!json) {
+    std::printf("  [%s] %-58s (got %.3f)\n", condition ? "PASS" : "FAIL",
+                what, got);
+  }
   return condition;
 }
 
@@ -23,22 +26,41 @@ gomp::RuntimeOptions options_for(gomp::BackendKind kind) {
   return opts;
 }
 
+struct SeriesPoint {
+  unsigned threads;
+  double native_s;
+  double mca_s;
+};
+
 }  // namespace
 
-int run_fig4(const Fig4Config& config) {
-  std::printf("== Figure 4 / %s: NAS %s class %c, 1..24 threads ==\n",
-              config.kernel.c_str(), config.kernel.c_str(),
-              npb::to_char(config.timing_class));
+int run_fig4(const Fig4Config& config, int argc, char* const* argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  if (json) obs::set_enabled(true);
+
+  if (!json) {
+    std::printf("== Figure 4 / %s: NAS %s class %c, 1..24 threads ==\n",
+                config.kernel.c_str(), config.kernel.c_str(),
+                npb::to_char(config.timing_class));
+  }
 
   // Stage 1: real-runtime verification on both backends.
   bool all_ok = true;
+  bool verified[2] = {false, false};
+  int vi = 0;
   for (auto kind : {gomp::BackendKind::kNative, gomp::BackendKind::kMca}) {
     gomp::Runtime rt(options_for(kind));
     npb::VerifyResult v = config.run_real(rt, config.verify_class);
-    std::printf("  [%s] %s verification (class %c, %s runtime): %s\n",
-                v.verified ? "PASS" : "FAIL", config.kernel.c_str(),
-                npb::to_char(config.verify_class),
-                std::string(to_string(kind)).c_str(), v.detail.c_str());
+    if (!json) {
+      std::printf("  [%s] %s verification (class %c, %s runtime): %s\n",
+                  v.verified ? "PASS" : "FAIL", config.kernel.c_str(),
+                  npb::to_char(config.verify_class),
+                  std::string(to_string(kind)).c_str(), v.detail.c_str());
+    }
+    verified[vi++] = v.verified;
     all_ok &= v.verified;
   }
 
@@ -52,8 +74,11 @@ int run_fig4(const Fig4Config& config) {
   std::vector<unsigned> threads;
   for (unsigned n = 1; n <= board.num_hw_threads(); ++n) threads.push_back(n);
 
-  std::printf("\n  %-8s %-14s %-14s %-10s %-10s\n", "threads",
-              "libGOMP (s)", "MCA-libGOMP(s)", "spd-gomp", "spd-mca");
+  if (!json) {
+    std::printf("\n  %-8s %-14s %-14s %-10s %-10s\n", "threads",
+                "libGOMP (s)", "MCA-libGOMP(s)", "spd-gomp", "spd-mca");
+  }
+  std::vector<SeriesPoint> series;
   double native_t1 = 0, mca_t1 = 0, native_t24 = 0, mca_t24 = 0;
   double native_t12 = 0;
   double max_rel_gap = 0;
@@ -78,31 +103,69 @@ int run_fig4(const Fig4Config& config) {
     }
     prev_native = tn;
     max_rel_gap = std::max(max_rel_gap, std::fabs(tm - tn) / tn);
-    std::printf("  %-8u %-14.4f %-14.4f %-10.2f %-10.2f\n", n, tn, tm,
-                native_t1 / tn, mca_t1 / tm);
+    series.push_back({n, tn, tm});
+    if (!json) {
+      std::printf("  %-8u %-14.4f %-14.4f %-10.2f %-10.2f\n", n, tn, tm,
+                  native_t1 / tn, mca_t1 / tm);
+    }
   }
 
   const double speedup_native = native_t1 / native_t24;
   const double speedup_mca = mca_t1 / mca_t24;
 
-  std::printf("\n  shape checks (paper claims):\n");
-  all_ok &= check(max_rel_gap < 0.08,
-                  "MCA layer adds no significant overhead (curves overlap)",
-                  max_rel_gap);
-  all_ok &= check(speedup_native >= config.min_speedup_24 &&
-                      speedup_native <= config.max_speedup_24,
-                  "24-thread speedup in the paper's band (libGOMP)",
-                  speedup_native);
-  all_ok &= check(speedup_mca >= config.min_speedup_24 &&
-                      speedup_mca <= config.max_speedup_24,
-                  "24-thread speedup in the paper's band (MCA-libGOMP)",
-                  speedup_mca);
-  all_ok &= check(monotone_to_cores,
-                  "time decreases while threads map to distinct cores",
-                  native_t12);
-  std::printf("\n  overall: %s\n\n", all_ok ? "PASS" : "FAIL");
+  if (!json) std::printf("\n  shape checks (paper claims):\n");
+  const bool gap_ok =
+      check(max_rel_gap < 0.08,
+            "MCA layer adds no significant overhead (curves overlap)",
+            max_rel_gap, json);
+  const bool band_native_ok =
+      check(speedup_native >= config.min_speedup_24 &&
+                speedup_native <= config.max_speedup_24,
+            "24-thread speedup in the paper's band (libGOMP)", speedup_native,
+            json);
+  const bool band_mca_ok =
+      check(speedup_mca >= config.min_speedup_24 &&
+                speedup_mca <= config.max_speedup_24,
+            "24-thread speedup in the paper's band (MCA-libGOMP)", speedup_mca,
+            json);
+  const bool monotone_ok =
+      check(monotone_to_cores,
+            "time decreases while threads map to distinct cores", native_t12,
+            json);
+  all_ok &= gap_ok && band_native_ok && band_mca_ok && monotone_ok;
 
-  obs::Registry::instance().maybe_write_report("fig4_nas_" + config.kernel);
+  if (json) {
+    std::printf("{\n  \"bench\": \"fig4_nas_%s\",\n", config.kernel.c_str());
+    std::printf("  \"timing_class\": \"%c\",\n",
+                npb::to_char(config.timing_class));
+    std::printf("  \"verified\": {\"native\": %s, \"mca\": %s},\n",
+                verified[0] ? "true" : "false", verified[1] ? "true" : "false");
+    std::printf("  \"series\": [\n");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const auto& p = series[i];
+      std::printf(
+          "    {\"threads\": %u, \"native_s\": %.6f, \"mca_s\": %.6f, "
+          "\"speedup_native\": %.4f, \"speedup_mca\": %.4f}%s\n",
+          p.threads, p.native_s, p.mca_s, native_t1 / p.native_s,
+          mca_t1 / p.mca_s, i + 1 < series.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf(
+        "  \"checks\": {\"max_rel_gap\": %.4f, \"gap_ok\": %s, "
+        "\"speedup_native_24\": %.3f, \"speedup_mca_24\": %.3f, "
+        "\"band_ok\": %s, \"monotone_to_cores\": %s},\n",
+        max_rel_gap, gap_ok ? "true" : "false", speedup_native, speedup_mca,
+        band_native_ok && band_mca_ok ? "true" : "false",
+        monotone_ok ? "true" : "false");
+    std::printf("  \"pass\": %s,\n", all_ok ? "true" : "false");
+    std::printf("  \"telemetry\": %s\n}\n",
+                obs::Registry::instance()
+                    .json("fig4_nas_" + config.kernel)
+                    .c_str());
+  } else {
+    std::printf("\n  overall: %s\n\n", all_ok ? "PASS" : "FAIL");
+    obs::Registry::instance().maybe_write_report("fig4_nas_" + config.kernel);
+  }
   return all_ok ? 0 : 1;
 }
 

@@ -15,6 +15,10 @@
 // The binary prints the series and then PASS/FAIL shape checks mirroring
 // the paper's claims: overlapping curves (no MCA overhead), the expected
 // speedup band at 24 threads, and monotone scaling up to the core count.
+//
+// With --json the same run is emitted as a machine-readable artifact (the
+// per-thread series, the checks, and the src/obs/ telemetry report) so
+// panels can be diffed across PRs.
 #pragma once
 
 #include <cstdio>
@@ -40,6 +44,8 @@ struct Fig4Config {
   double max_speedup_24 = 26.0;
 };
 
-int run_fig4(const Fig4Config& config);
+/// Runs one panel; recognises --json in argv (mains forward their args).
+int run_fig4(const Fig4Config& config, int argc = 0,
+             char* const* argv = nullptr);
 
 }  // namespace ompmca::bench

@@ -1,7 +1,7 @@
 // Figure 4, CG panel: memory/sync-bound kernel, ~15x at 24 threads.
 #include "fig4_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ompmca;
   bench::Fig4Config config;
   config.kernel = "CG";
@@ -11,5 +11,5 @@ int main() {
   config.trace = npb::trace_cg;
   config.min_speedup_24 = 9.0;
   config.max_speedup_24 = 20.0;
-  return bench::run_fig4(config);
+  return bench::run_fig4(config, argc, argv);
 }

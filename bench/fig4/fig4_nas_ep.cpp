@@ -1,7 +1,7 @@
 // Figure 4, EP panel: near-ideal speedup on both runtimes.
 #include "fig4_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ompmca;
   bench::Fig4Config config;
   config.kernel = "EP";
@@ -13,5 +13,5 @@ int main() {
   // speedup rate for benchmark EP".
   config.min_speedup_24 = 17.0;
   config.max_speedup_24 = 26.0;
-  return bench::run_fig4(config);
+  return bench::run_fig4(config, argc, argv);
 }

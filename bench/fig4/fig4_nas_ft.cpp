@@ -1,7 +1,7 @@
 // Figure 4, FT panel: 3D FFT, bandwidth-bound transposes.
 #include "fig4_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ompmca;
   bench::Fig4Config config;
   config.kernel = "FT";
@@ -11,5 +11,5 @@ int main() {
   config.trace = npb::trace_ft;
   config.min_speedup_24 = 8.0;
   config.max_speedup_24 = 20.0;
-  return bench::run_fig4(config);
+  return bench::run_fig4(config, argc, argv);
 }

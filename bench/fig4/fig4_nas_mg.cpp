@@ -1,7 +1,7 @@
 // Figure 4, MG panel: multigrid V-cycle with serial ghost exchange.
 #include "fig4_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ompmca;
   bench::Fig4Config config;
   config.kernel = "MG";
@@ -11,5 +11,5 @@ int main() {
   config.trace = npb::trace_mg;
   config.min_speedup_24 = 8.0;
   config.max_speedup_24 = 20.0;
-  return bench::run_fig4(config);
+  return bench::run_fig4(config, argc, argv);
 }

@@ -12,9 +12,16 @@
 //
 // Paper claim (Table I): ratios scatter around 1.0 — the MCA layer adds no
 // significant overhead; some constructs are slightly better, some worse.
+//
+// --json switches stdout to a machine-readable artifact: every cell with
+// its absolute per-runtime overheads (not just the ratio), the modelled
+// table, the shape-check verdict, and the src/obs/ telemetry report —
+// so benchmark results can be diffed across PRs.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "epcc/syncbench.hpp"
@@ -51,6 +58,8 @@ double modelled_ratio(epcc::Directive d, unsigned n) {
                m.join_seconds(n);
       case epcc::Directive::kFor:
         return m.chunk_dispatch_seconds(false) + m.barrier_seconds(shape);
+      case epcc::Directive::kForDynamic:
+        return m.chunk_dispatch_seconds(true) + m.barrier_seconds(shape);
       case epcc::Directive::kParallelFor:
         return m.fork_seconds(n) + m.chunk_dispatch_seconds(false) +
                m.barrier_seconds(shape) + m.join_seconds(n);
@@ -82,15 +91,63 @@ void print_table(const char* title,
   }
 }
 
+void print_json(const std::vector<epcc::RelativeOverhead>& cells,
+                const std::map<epcc::Directive, std::vector<double>>& modelled,
+                bool all_ok) {
+  std::printf("{\n  \"bench\": \"table1_epcc_overhead\",\n");
+  std::printf("  \"threads\": [");
+  for (std::size_t i = 0; i < kThreadCounts.size(); ++i) {
+    std::printf("%s%u", i ? ", " : "", kThreadCounts[i]);
+  }
+  std::printf("],\n  \"measured\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    std::printf(
+        "    {\"directive\": \"%s\", \"nthreads\": %u, "
+        "\"native_overhead_us\": %.4f, \"native_mean_us\": %.4f, "
+        "\"mca_overhead_us\": %.4f, \"mca_mean_us\": %.4f, "
+        "\"ratio\": %.4f}%s\n",
+        std::string(to_string(c.directive)).c_str(), c.nthreads,
+        c.native.overhead_us, c.native.mean_us, c.mca.overhead_us,
+        c.mca.mean_us, c.ratio, i + 1 < cells.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"modelled\": [\n");
+  std::size_t row = 0;
+  for (const auto& [d, ratios] : modelled) {
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+      ++row;
+      std::printf(
+          "    {\"directive\": \"%s\", \"nthreads\": %u, \"ratio\": %.4f}%s\n",
+          std::string(to_string(d)).c_str(), kThreadCounts[i], ratios[i],
+          row < modelled.size() * kThreadCounts.size() ? "," : "");
+    }
+  }
+  std::printf("  ],\n  \"pass\": %s,\n", all_ok ? "true" : "false");
+  // The runtime's own view of the run: per-directive counts, doorbell wake
+  // and barrier wait histograms, steal counters.
+  std::printf("  \"telemetry\": %s\n}\n",
+              obs::Registry::instance().json("table1_epcc_overhead").c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --quick shrinks reps (used by CI smoke runs).
-  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bool quick = false;  // --quick shrinks reps (CI smoke runs)
+  bool json = false;   // --json: machine-readable artifact on stdout
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
 
-  std::printf(
-      "== Table I: relative overhead of MCA-libGOMP vs GNU OpenMP runtime "
-      "==\n");
+  // JSON artifacts always carry the telemetry section, independent of
+  // OMPMCA_TELEMETRY (which additionally controls the exit report).
+  if (json) obs::set_enabled(true);
+
+  if (!json) {
+    std::printf(
+        "== Table I: relative overhead of MCA-libGOMP vs GNU OpenMP runtime "
+        "==\n");
+  }
 
   gomp::Runtime native(options_for(gomp::BackendKind::kNative));
   gomp::Runtime mca(options_for(gomp::BackendKind::kMca));
@@ -106,7 +163,6 @@ int main(int argc, char** argv) {
   for (const auto& cell : cells) {
     measured[cell.directive].push_back(cell.ratio);
   }
-  print_table("measured on this host (wall clock):", measured);
 
   std::map<epcc::Directive, std::vector<double>> modelled;
   for (epcc::Directive d : epcc::kAllDirectives) {
@@ -114,33 +170,43 @@ int main(int argc, char** argv) {
       modelled[d].push_back(modelled_ratio(d, n));
     }
   }
-  print_table("modelled for the T4240RDB (service-cost model):", modelled);
 
   // Shape check: per-directive geometric-mean ratio near 1.0 (Table I's
   // entries span roughly 0.41..2.39 with means close to 1).
-  std::printf("\nshape checks (paper: no significant MCA overhead):\n");
   bool all_ok = true;
+  std::vector<std::string> check_lines;
   for (const auto& [d, ratios] : measured) {
     double log_sum = 0;
     for (double r : ratios) log_sum += std::log(std::max(r, 1e-6));
     double gmean = std::exp(log_sum / static_cast<double>(ratios.size()));
     bool ok_cell = gmean > 0.5 && gmean < 2.0;
-    std::printf("  [%s] %-14s geometric-mean ratio %.2f in (0.5, 2.0)\n",
-                ok_cell ? "PASS" : "FAIL",
-                std::string(to_string(d)).c_str(), gmean);
+    char line[128];
+    std::snprintf(line, sizeof line,
+                  "  [%s] %-14s geometric-mean ratio %.2f in (0.5, 2.0)",
+                  ok_cell ? "PASS" : "FAIL",
+                  std::string(to_string(d)).c_str(), gmean);
+    check_lines.emplace_back(line);
     all_ok &= ok_cell;
   }
+  bool model_ok = true;
   for (const auto& [d, ratios] : modelled) {
-    for (double r : ratios) {
-      all_ok &= r > 0.7 && r < 1.4;
-    }
+    for (double r : ratios) model_ok &= r > 0.7 && r < 1.4;
   }
-  std::printf("  [%s] %-14s modelled ratios all within (0.7, 1.4)\n",
-              all_ok ? "PASS" : "FAIL", "model");
-  std::printf("\noverall: %s\n", all_ok ? "PASS" : "FAIL");
+  all_ok &= model_ok;
 
-  // With OMPMCA_TELEMETRY=json the runtime's own per-directive counters and
-  // barrier wait histograms ride alongside the table.
-  obs::Registry::instance().maybe_write_report("table1_epcc_overhead");
+  if (json) {
+    print_json(cells, modelled, all_ok);
+  } else {
+    print_table("measured on this host (wall clock):", measured);
+    print_table("modelled for the T4240RDB (service-cost model):", modelled);
+    std::printf("\nshape checks (paper: no significant MCA overhead):\n");
+    for (const auto& line : check_lines) std::printf("%s\n", line.c_str());
+    std::printf("  [%s] %-14s modelled ratios all within (0.7, 1.4)\n",
+                model_ok ? "PASS" : "FAIL", "model");
+    std::printf("\noverall: %s\n", all_ok ? "PASS" : "FAIL");
+    // With OMPMCA_TELEMETRY=json the runtime's own per-directive counters
+    // and barrier wait histograms ride alongside the table.
+    obs::Registry::instance().maybe_write_report("table1_epcc_overhead");
+  }
   return all_ok ? 0 : 1;
 }

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Tier-1 verification with warnings-as-errors, as CI runs it.
 #
-#   ./ci.sh            configure + build + ctest in ./build
+#   ./ci.sh            configure + build + ctest in ./build, then a
+#                      ThreadSanitizer pass over the gomp suites in
+#                      ./build-tsan
 #
 # Mirrors ROADMAP.md's tier-1 verify line, with -Werror on so new
 # warnings fail the build instead of rotting.
@@ -11,5 +13,13 @@ cd "$(dirname "$0")"
 
 cmake -B build -S . -DOMPMCA_WERROR=ON
 cmake --build build -j
-cd build
-ctest --output-on-failure -j
+# Serial on purpose: epcc_test asserts on measured timings, which parallel
+# test load can flip.
+(cd build && ctest --output-on-failure)
+
+# Race-check the lock-free hot paths (doorbell dispatch, stealing ranges,
+# barriers) under ThreadSanitizer.  gomp_test contains the pool, workshare,
+# barrier, steal and stress suites.
+cmake -B build-tsan -S . -DOMPMCA_WERROR=ON -DOMPMCA_TSAN=ON
+cmake --build build-tsan -j --target gomp_test
+(cd build-tsan && ctest --output-on-failure -R '^gomp_test$')

@@ -17,6 +17,12 @@ namespace ompmca {
 inline void cpu_relax() {
 #if defined(__x86_64__) || defined(__i386__)
   _mm_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#elif defined(__powerpc64__) || defined(__powerpc__)
+  // "or 27,27,27": the Power ISA low-priority hint (the e6500 drops the
+  // spinning SMT lane's dispatch priority so its sibling keeps the core).
+  asm volatile("or 27,27,27" ::: "memory");
 #else
   // Fallback: a compiler barrier so the loop is not optimised out.
   asm volatile("" ::: "memory");

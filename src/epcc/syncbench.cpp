@@ -11,6 +11,7 @@ std::string_view to_string(Directive d) {
   switch (d) {
     case Directive::kParallel: return "PARALLEL";
     case Directive::kFor: return "FOR";
+    case Directive::kForDynamic: return "FOR DYNAMIC";
     case Directive::kParallelFor: return "PARALLEL FOR";
     case Directive::kBarrier: return "BARRIER";
     case Directive::kSingle: return "SINGLE";
@@ -69,6 +70,24 @@ double Syncbench::one_rep_seconds(Directive d, unsigned nthreads) {
                            [len](long lo, long hi) {
                              for (long i = lo; i < hi; ++i) delay(len);
                            });
+            }
+          },
+          nthreads);
+      t1 = monotonic_seconds();
+      break;
+    }
+    case Directive::kForDynamic: {
+      // One iteration per thread under schedule(dynamic,1): the pure cost
+      // of dynamic chunk distribution (each chunk is one delay()).
+      t0 = monotonic_seconds();
+      rt_->parallel(
+          [&](ParallelContext& ctx) {
+            for (int j = 0; j < inner; ++j) {
+              ctx.for_loop(0, static_cast<long>(ctx.num_threads()),
+                           [len](long lo, long hi) {
+                             for (long i = lo; i < hi; ++i) delay(len);
+                           },
+                           gomp::ScheduleSpec{gomp::Schedule::kDynamic, 1});
             }
           },
           nthreads);
@@ -199,7 +218,7 @@ std::vector<RelativeOverhead> relative_overheads(
         denom = mn.mean_us;
         num = mm.mean_us;
       }
-      out.push_back({d, n, denom > 0 ? num / denom : 1.0});
+      out.push_back({d, n, denom > 0 ? num / denom : 1.0, mn, mm});
     }
   }
   return out;

@@ -22,6 +22,7 @@ namespace ompmca::epcc {
 enum class Directive {
   kParallel,
   kFor,
+  kForDynamic,  // FOR with schedule(dynamic,1): the steal-scheduler hot path
   kParallelFor,
   kBarrier,
   kSingle,
@@ -29,10 +30,10 @@ enum class Directive {
   kReduction,
 };
 
-inline constexpr std::array<Directive, 7> kAllDirectives = {
-    Directive::kParallel, Directive::kFor,      Directive::kParallelFor,
-    Directive::kBarrier,  Directive::kSingle,   Directive::kCritical,
-    Directive::kReduction,
+inline constexpr std::array<Directive, 8> kAllDirectives = {
+    Directive::kParallel, Directive::kFor,      Directive::kForDynamic,
+    Directive::kParallelFor, Directive::kBarrier,  Directive::kSingle,
+    Directive::kCritical,    Directive::kReduction,
 };
 
 std::string_view to_string(Directive d);
@@ -80,11 +81,15 @@ class Syncbench {
   double reference_cache_ = -1.0;
 };
 
-/// Relative-overhead cell: mca / native (Table I's entries).
+/// Relative-overhead cell: mca / native (Table I's entries), carrying the
+/// absolute per-runtime measurements so --json artifacts can be diffed
+/// across builds.
 struct RelativeOverhead {
   Directive directive;
   unsigned nthreads;
   double ratio;
+  Measurement native;
+  Measurement mca;
 };
 
 /// Builds Table I from two runtimes measured under identical options.

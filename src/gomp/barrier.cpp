@@ -15,9 +15,16 @@ std::string_view to_string(BarrierKind k) {
   return "?";
 }
 
+BarrierKind effective_barrier_kind(BarrierKind kind, WaitPolicy policy) {
+  if (kind == BarrierKind::kDissemination && policy == WaitPolicy::kPassive) {
+    return BarrierKind::kTree;
+  }
+  return kind;
+}
+
 std::unique_ptr<TeamBarrier> make_barrier(BarrierKind kind, unsigned nthreads,
                                           WaitPolicy policy) {
-  switch (kind) {
+  switch (effective_barrier_kind(kind, policy)) {
     case BarrierKind::kCentral:
       return std::make_unique<CentralBarrier>(nthreads, policy);
     case BarrierKind::kTree:

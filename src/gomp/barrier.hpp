@@ -11,8 +11,13 @@
 // Wait policy: kPassive blocks on a condition variable (right for the
 // oversubscribed reproduction host and for power-conscious embedded use);
 // kActive spins with escalating backoff (right when threads own HW threads).
-// The dissemination barrier is inherently flag-spinning; under kPassive its
-// backoff escalates to OS yields.
+// The dissemination barrier is inherently flag-spinning — each of its
+// ceil(log2 n) rounds waits on a different per-thread flag, so there is no
+// single predicate a condition variable could park on.  Rather than let a
+// kPassive request silently burn CPU, make_barrier substitutes a
+// TreeBarrier (same O(log n) signalling depth, blockable); callers that
+// really want dissemination's spin behaviour must ask for kActive, which
+// is exactly what bench/ablation_barriers does.
 #pragma once
 
 #include <atomic>
@@ -37,6 +42,11 @@ class TeamBarrier {
 enum class BarrierKind { kCentral, kTree, kDissemination };
 
 std::string_view to_string(BarrierKind k);
+
+/// The algorithm make_barrier actually instantiates for a request — only
+/// (kDissemination, kPassive) differs, falling back to kTree (see above).
+/// Telemetry uses this so wait histograms are attributed correctly.
+BarrierKind effective_barrier_kind(BarrierKind kind, WaitPolicy policy);
 
 std::unique_ptr<TeamBarrier> make_barrier(BarrierKind kind, unsigned nthreads,
                                           WaitPolicy policy);

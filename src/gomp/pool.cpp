@@ -1,144 +1,220 @@
 #include "gomp/pool.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <thread>
 
 #include "common/log.hpp"
+#include "common/spin.hpp"
 #include "common/time.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ompmca::gomp {
 
-ThreadPool::ThreadPool(SystemBackend& backend, PoolMode mode)
-    : backend_(backend), mode_(mode) {}
+ThreadPool::ThreadPool(SystemBackend& backend, PoolMode mode,
+                       WaitPolicy wait_policy)
+    : backend_(backend),
+      mode_(mode),
+      wait_policy_(wait_policy),
+      can_spin_(std::thread::hardware_concurrency() > 1) {}
 
 ThreadPool::~ThreadPool() {
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    {
-      std::lock_guard lk(slots_[i]->mu);
-      slots_[i]->exit = true;
-    }
-    slots_[i]->cv.notify_one();
-    (void)backend_.join_thread(static_cast<unsigned>(i));
+  exit_.store(true, std::memory_order_seq_cst);
+  for (auto& bell : bells_) {
+    // Empty critical section: flushes out a worker caught between its
+    // predicate check and its actual sleep (lost-wakeup guard).
+    { std::lock_guard lk(bell->mu); }
+    bell->cv.notify_one();
+  }
+  for (unsigned i = 0; i < persistent_workers_; ++i) {
+    (void)backend_.join_thread(i);
   }
 }
 
-void ThreadPool::ensure_workers(unsigned count) {
-  while (slots_.size() < count) {
-    unsigned index = static_cast<unsigned>(slots_.size());
-    slots_.push_back(std::make_unique<WorkerSlot>());
-    // Hand the worker its slot pointer directly: the slots_ vector may
-    // reallocate later and must not be read from worker threads.
-    WorkerSlot* slot = slots_.back().get();
-    Status s = backend_.launch_thread(index, [this, slot] {
-      worker_loop(*slot);
+int ThreadPool::spin_budget() const {
+  // Active waits burn a long Backoff budget before sleeping (threads own a
+  // HW thread on the board).  Passive waits stay strictly below Backoff's
+  // yield threshold: a few dozen relaxes catch back-to-back regions, then
+  // the worker parks without ever calling sched_yield — on an
+  // oversubscribed host yield-spinning only churns the run queue that the
+  // master needs.  A single-CPU host never spins at all: the ticket cannot
+  // change while we hold the only core.
+  if (wait_policy_ == WaitPolicy::kActive) return 20000;
+  return can_spin_ ? 48 : 0;
+}
+
+void ThreadPool::wake_participants(unsigned extra) {
+  // Targeted ring: only this epoch's participants, and among those only
+  // the ones that actually sleep — a 4-wide team on a 16-wide pool touches
+  // 3 bells, not 15, and a worker still inside its spin window costs no
+  // syscall at all.  Dekker pair per bell: our seq_cst ticket store is
+  // ordered before this sleeping load; the worker stores sleeping
+  // (seq_cst) before re-checking the ticket.  Either we see the sleeper,
+  // or it sees the new ticket — never neither.
+  for (unsigned i = 0; i < extra; ++i) {
+    Bell& bell = *bells_[i];
+    if (bell.sleeping.load(std::memory_order_seq_cst)) {
+      // Empty critical section: a worker between its predicate check and
+      // its actual sleep holds bell.mu, so this lock flushes it out before
+      // the notify — the classic lost-wakeup guard.
+      { std::lock_guard lk(bell.mu); }
+      bell.cv.notify_one();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(unsigned index, Bell& bell, std::uint64_t seen,
+                             bool one_shot) {
+  for (;;) {
+    std::uint64_t t = ticket_.load(std::memory_order_acquire);
+    if (t == seen && !exit_.load(std::memory_order_relaxed)) {
+      Backoff backoff;
+      int budget = spin_budget();
+      while ((t = ticket_.load(std::memory_order_acquire)) == seen &&
+             !exit_.load(std::memory_order_relaxed) && budget-- > 0) {
+        backoff.pause();
+      }
+      if (t == seen && !exit_.load(std::memory_order_relaxed)) {
+        bell.sleeping.store(true, std::memory_order_seq_cst);
+        {
+          std::unique_lock lk(bell.mu);
+          bell.cv.wait(lk, [&] {
+            return ticket_.load(std::memory_order_seq_cst) != seen ||
+                   exit_.load(std::memory_order_seq_cst);
+          });
+        }
+        bell.sleeping.store(false, std::memory_order_relaxed);
+        t = ticket_.load(std::memory_order_acquire);
+      }
+    }
+    if (exit_.load(std::memory_order_acquire)) return;
+    seen = t;
+    // A worker that slept across several epochs serves only the newest one;
+    // skipped epochs are safe to ignore — the master cannot have counted a
+    // non-woken worker into an older team's width and still be past its
+    // join.  Participation comes from the ticket itself, never the slab.
+    if (index + 1 < ticket_width(t)) {
+      if (obs::enabled() && slab_.dispatch_start_ns != 0) {
+        const std::uint64_t wake_ns =
+            monotonic_nanos() - slab_.dispatch_start_ns;
+        obs::count(obs::Counter::kGompPoolDispatch);
+        obs::record(obs::Hist::kGompDoorbellWakeNs, wake_ns);
+        obs::record(obs::Hist::kGompPoolDispatchNs, wake_ns);
+      }
+      slab_.work(index + 1);
+      // Dekker pair with wait_team: the decrement (seq_cst) is ordered
+      // before the join_waiting_ load, the master's join_waiting_ store
+      // before its active_ re-check.  Only the last finisher — and only
+      // when the master actually sleeps — pays for a notify.
+      if (active_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+          join_waiting_.load(std::memory_order_seq_cst)) {
+        { std::lock_guard lk(done_mu_); }
+        done_cv_.notify_one();
+      }
+    }
+    if (one_shot) return;
+  }
+}
+
+unsigned ThreadPool::prepare(unsigned nthreads) {
+  if (nthreads <= 1) return std::max(nthreads, 1u);
+  const unsigned extra = nthreads - 1;
+  const std::uint64_t cur = ticket_.load(std::memory_order_relaxed);
+
+  if (mode_ == PoolMode::kPersistent) {
+    while (persistent_workers_ < extra) {
+      const unsigned index = persistent_workers_;
+      if (bells_.size() <= index) bells_.push_back(std::make_unique<Bell>());
+      Bell* bell = bells_[index].get();
+      Status s = backend_.launch_thread(index, [this, index, bell, cur] {
+        worker_loop(index, *bell, cur, /*one_shot=*/false);
+      });
+      if (!ok(s)) {
+        OMPMCA_LOG_ERROR("pool: failed to launch worker %u: %s", index,
+                         std::string(to_string(s)).c_str());
+        break;
+      }
+      ++persistent_workers_;
+      ++workers_launched_;
+    }
+    return 1 + std::min(extra, persistent_workers_);
+  }
+
+  // kPerRegion: fresh backend thread (node) per worker, parked on the same
+  // doorbell until start_team rings it, joined in wait_team.
+  assert(region_indices_.empty() && "prepare() while a region is running");
+  for (unsigned i = 0; i < extra; ++i) {
+    if (bells_.size() <= i) bells_.push_back(std::make_unique<Bell>());
+    Bell* bell = bells_[i].get();
+    Status s = backend_.launch_thread(i, [this, i, bell, cur] {
+      worker_loop(i, *bell, cur, /*one_shot=*/true);
     });
     if (!ok(s)) {
-      OMPMCA_LOG_ERROR("pool: failed to launch worker %u: %s", index,
-                       std::string(to_string(s)).c_str());
-      slots_.pop_back();
-      return;
+      OMPMCA_LOG_ERROR("pool: per-region launch %u failed", i);
+      break;
     }
+    region_indices_.push_back(i);
     ++workers_launched_;
   }
-}
-
-void ThreadPool::worker_loop(WorkerSlot& slot) {
-  for (;;) {
-    FunctionRef<void(unsigned)> work;
-    unsigned tid = 0;
-    std::uint64_t dispatched_ns = 0;
-    {
-      std::unique_lock lk(slot.mu);
-      slot.cv.wait(lk, [&] {
-        return slot.exit || slot.generation != slot.served;
-      });
-      if (slot.exit) return;
-      slot.served = slot.generation;
-      work = slot.work;
-      tid = slot.tid;
-      dispatched_ns = slot.dispatch_start_ns;
-    }
-    if (dispatched_ns != 0 && obs::enabled()) {
-      obs::count(obs::Counter::kGompPoolDispatch);
-      obs::record(obs::Hist::kGompPoolDispatchNs,
-                  monotonic_nanos() - dispatched_ns);
-    }
-    work(tid);
-    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lk(done_mu_);
-      done_cv_.notify_one();
-    }
-  }
+  return 1 + static_cast<unsigned>(region_indices_.size());
 }
 
 void ThreadPool::start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn) {
-  assert(region_indices_.empty() && "team already running");
-  if (nthreads <= 1) return;
-  const unsigned extra = nthreads - 1;
-  active_.store(extra, std::memory_order_relaxed);
+  const unsigned available = mode_ == PoolMode::kPersistent
+                                 ? persistent_workers_
+                                 : static_cast<unsigned>(region_indices_.size());
+  unsigned extra = nthreads > 0 ? nthreads - 1 : 0;
+  extra = std::min(extra, available);  // degraded teams, never out of bounds
+  // Per-region one-shot workers park until rung even when the team ends up
+  // narrower than prepare() launched, so ring whenever any exist.
+  const unsigned to_ring = mode_ == PoolMode::kPerRegion
+                               ? static_cast<unsigned>(region_indices_.size())
+                               : extra;
+  if (to_ring == 0) return;
 
-  if (mode_ == PoolMode::kPersistent) {
-    ensure_workers(extra);
-    assert(slots_.size() >= extra && "worker launch failed");
-    for (unsigned i = 0; i < extra; ++i) {
-      WorkerSlot& slot = *slots_[i];
-      {
-        std::lock_guard lk(slot.mu);
-        slot.work = fn;
-        slot.tid = i + 1;
-        slot.dispatch_start_ns = obs::enabled() ? monotonic_nanos() : 0;
-        ++slot.generation;
-      }
-      slot.cv.notify_one();
-      region_indices_.push_back(i);
-    }
-  } else {
-    // Fresh thread per region, joined in wait_team — §5B.1's literal
-    // node-per-region lifecycle.
-    for (unsigned i = 0; i < extra; ++i) {
-      unsigned tid = i + 1;
-      const std::uint64_t t0 = obs::enabled() ? monotonic_nanos() : 0;
-      Status s = backend_.launch_thread(i, [this, fn, tid, t0] {
-        if (t0 != 0 && obs::enabled()) {
-          obs::count(obs::Counter::kGompPoolDispatch);
-          obs::record(obs::Hist::kGompPoolDispatchNs, monotonic_nanos() - t0);
-        }
-        fn(tid);
-        if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard lk(done_mu_);
-          done_cv_.notify_one();
-        }
-      });
-      if (ok(s)) {
-        region_indices_.push_back(i);
-      } else {
-        OMPMCA_LOG_ERROR("pool: per-region launch %u failed", i);
-        active_.fetch_sub(1, std::memory_order_acq_rel);
-      }
-    }
-  }
+  active_.store(extra, std::memory_order_relaxed);
+  slab_.work = fn;
+  slab_.dispatch_start_ns = obs::enabled() ? monotonic_nanos() : 0;
+  ++epoch_;
+  ticket_.store((epoch_ << kWidthBits) | (extra + 1),
+                std::memory_order_seq_cst);
+  wake_participants(to_ring);
 }
 
 void ThreadPool::wait_team() {
-  if (region_indices_.empty() && active_.load(std::memory_order_acquire) == 0) {
-    return;
-  }
-  {
-    std::unique_lock lk(done_mu_);
-    done_cv_.wait(lk, [&] {
-      return active_.load(std::memory_order_acquire) == 0;
-    });
+  if (active_.load(std::memory_order_acquire) != 0) {
+    // The region-ending barrier already synchronised the team, so only the
+    // workers' post-barrier teardown is outstanding.  Relax-spin briefly
+    // (no yields), then block on done_cv_ — the spin catches the common
+    // case on real cores, the block keeps an oversubscribed host from
+    // burning the timeslice the last worker needs.
+    const int join_spins = can_spin_ ? 256 : 0;
+    for (int i = 0; i < join_spins; ++i) {
+      if (active_.load(std::memory_order_acquire) == 0) break;
+      cpu_relax();
+    }
+    if (active_.load(std::memory_order_acquire) != 0) {
+      join_waiting_.store(true, std::memory_order_seq_cst);
+      {
+        std::unique_lock lk(done_mu_);
+        done_cv_.wait(lk, [&] {
+          return active_.load(std::memory_order_seq_cst) == 0;
+        });
+      }
+      join_waiting_.store(false, std::memory_order_relaxed);
+    }
   }
   if (mode_ == PoolMode::kPerRegion) {
     for (unsigned index : region_indices_) {
       (void)backend_.join_thread(index);
     }
+    region_indices_.clear();
   }
-  region_indices_.clear();
 }
 
 void ThreadPool::run(unsigned nthreads, FunctionRef<void(unsigned)> fn) {
-  start_team(nthreads, fn);
+  const unsigned actual = prepare(nthreads);
+  start_team(actual, fn);
   fn(0);
   wait_team();
 }

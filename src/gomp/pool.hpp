@@ -1,4 +1,4 @@
-// Worker-thread pool.
+// Worker-thread pool with broadcast (doorbell) team dispatch.
 //
 // kPersistent (default): workers are launched once through the backend and
 // parked between regions — what libGOMP does, and what keeps the EPCC
@@ -6,6 +6,32 @@
 // and joined at region exit — the literal lifecycle §5B.1 describes (node
 // created at fork, finalized at join).  bench/ablation_node_mgmt measures
 // the difference.
+//
+// Dispatch protocol (the hot path):
+//  * The master publishes the region's work descriptor in one padded slab
+//    (TeamSlab), then rings the doorbell: a single seq_cst store of
+//    ticket_, which packs the team epoch and the team width into one
+//    64-bit word.  That store IS the dispatch — no per-worker locked
+//    generation writes.
+//  * Workers spin-then-block on ticket_ (spin budget from WaitPolicy; the
+//    passive budget stays below Backoff's yield threshold so an
+//    oversubscribed host never churns the scheduler).  A worker that must
+//    sleep parks on its own cache-line-padded bell and advertises it in
+//    bell.sleeping, so the master wakes exactly the sleeping participants
+//    — a team of 4 on a 16-wide pool touches 3 bells, not 15, and when
+//    everyone is still inside the spin window the ring costs zero
+//    syscalls.  Each bell's sleeping/ticket pair is a Dekker-style
+//    store-then-load on both sides (all seq_cst), so a ring can never be
+//    missed.
+//  * A woken worker decodes the width from its ticket: workers with
+//    index + 1 < width run the slab's work as tid index + 1; the rest go
+//    back to waiting (they never touch the slab, which is why the slab
+//    needs no synchronisation beyond the ticket).
+//  * Join: each participant decrements active_; the master relax-spins
+//    briefly — the region-ending team barrier has already synchronised the
+//    team, so only post-barrier teardown is outstanding — then falls back
+//    to blocking on done_cv_ (the last worker notifies only when
+//    join_waiting_ says the master actually sleeps).
 //
 // Under the MCA backend, either way every worker is an MRAPI node: the pool
 // calls SystemBackend::launch_thread, which routes to the Listing-2
@@ -19,6 +45,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/align.hpp"
 #include "common/function_ref.hpp"
 #include "gomp/backend.hpp"
 #include "gomp/icv.hpp"
@@ -29,48 +56,90 @@ enum class PoolMode { kPersistent, kPerRegion };
 
 class ThreadPool {
  public:
-  ThreadPool(SystemBackend& backend, PoolMode mode);
+  ThreadPool(SystemBackend& backend, PoolMode mode,
+             WaitPolicy wait_policy = WaitPolicy::kPassive);
   ~ThreadPool();
 
-  /// Runs @p fn(tid) on threads 1..nthreads-1; the caller must then run
-  /// fn(0) itself and call wait_team().
+  /// Region entry, phase 1: ensures workers for an @p nthreads-wide team
+  /// exist (persistent: parked on the doorbell; per-region: freshly
+  /// launched) and returns the width actually achievable.  Launch failures
+  /// degrade the team to the workers that did start instead of indexing out
+  /// of bounds later.
+  unsigned prepare(unsigned nthreads);
+
+  /// Region entry, phase 2: publishes @p fn in the team slab and rings the
+  /// doorbell; threads 1..nthreads-1 run fn(tid).  @p nthreads must not
+  /// exceed the width prepare() returned; @p fn must stay alive until
+  /// wait_team() returns.  The caller then runs fn(0) itself.
   void start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn);
   void wait_team();
 
-  /// Convenience: start_team + fn(0) + wait_team.
+  /// Convenience: prepare + start_team + fn(0) + wait_team.  The team may
+  /// be narrower than requested if workers failed to launch.
   void run(unsigned nthreads, FunctionRef<void(unsigned)> fn);
 
   unsigned workers_launched() const { return workers_launched_; }
   PoolMode mode() const { return mode_; }
 
  private:
-  struct WorkerSlot {
-    std::mutex mu;
-    std::condition_variable cv;
-    unsigned long generation = 0;  // bumped to hand out work
-    unsigned long served = 0;      // last generation executed
+  // ticket_ layout: [epoch:48][width:16].  Width rides inside the atomic so
+  // a late waker from an older epoch decodes its participation without ever
+  // reading the slab (which the master may already be rewriting).
+  static constexpr unsigned kWidthBits = 16;
+  static constexpr std::uint64_t kWidthMask = (1u << kWidthBits) - 1;
+  static unsigned ticket_width(std::uint64_t t) {
+    return static_cast<unsigned>(t & kWidthMask);
+  }
+
+  // The work descriptor for the current epoch.  Written by the master
+  // before the doorbell ring; read only by that epoch's participants, whose
+  // completion the master awaits before the next write — so the ticket's
+  // release/acquire pair is the only synchronisation it needs.
+  struct alignas(kCacheLineBytes) TeamSlab {
     FunctionRef<void(unsigned)> work;
-    unsigned tid = 0;
-    bool exit = false;
-    // Telemetry: when the master handed out this generation (0 = untimed).
-    std::uint64_t dispatch_start_ns = 0;
+    std::uint64_t dispatch_start_ns = 0;  // telemetry; 0 = untimed
   };
 
-  void ensure_workers(unsigned count);
-  void worker_loop(WorkerSlot& slot);
+  // Per-worker parking spot.  The shared ticket carries the information;
+  // the bell only carries the *sleeping* worker, so rings stay targeted.
+  struct alignas(kCacheLineBytes) Bell {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> sleeping{false};
+  };
+
+  int spin_budget() const;
+  void wake_participants(unsigned extra);
+  // bell is passed by reference (captured at launch) so workers never read
+  // the bells_ vector itself, which the master may grow for later teams.
+  void worker_loop(unsigned index, Bell& bell, std::uint64_t seen_ticket,
+                   bool one_shot);
 
   SystemBackend& backend_;
   PoolMode mode_;
-  std::vector<std::unique_ptr<WorkerSlot>> slots_;
-  unsigned workers_launched_ = 0;
+  WaitPolicy wait_policy_;
+  // Spinning only pays when the peer can make progress on another core;
+  // on a single-CPU host every pause is stolen from the thread being
+  // waited for, so all spin windows collapse to zero there.
+  bool can_spin_;
 
-  // Per-region participation bookkeeping (master side).
-  std::atomic<unsigned> active_{0};
+  // --- doorbell ---------------------------------------------------------------
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> ticket_{0};
+  TeamSlab slab_;
+  std::atomic<bool> exit_{false};
+  // unique_ptr: workers keep a stable Bell& across bells_ growth.
+  std::vector<std::unique_ptr<Bell>> bells_;
+
+  // --- join -------------------------------------------------------------------
+  alignas(kCacheLineBytes) std::atomic<unsigned> active_{0};
+  std::atomic<bool> join_waiting_{false};
   std::mutex done_mu_;
   std::condition_variable done_cv_;
 
-  // kPerRegion: worker indices of the currently running region.
-  std::vector<unsigned> region_indices_;
+  std::uint64_t epoch_ = 0;          // master-side generation counter
+  unsigned persistent_workers_ = 0;  // workers parked on the doorbell
+  unsigned workers_launched_ = 0;    // total successful launches (both modes)
+  std::vector<unsigned> region_indices_;  // kPerRegion: ids to join
 };
 
 }  // namespace ompmca::gomp

@@ -43,7 +43,8 @@ Runtime::Runtime(RuntimeOptions opts)
     : opts_(std::move(opts)), backend_(make_backend(opts_)) {
   icvs_ = opts_.icvs ? *opts_.icvs : Icvs::from_env(backend_->num_procs());
   icvs_.num_threads = std::min(icvs_.num_threads, icvs_.thread_limit);
-  pool_ = std::make_unique<ThreadPool>(*backend_, opts_.pool_mode);
+  pool_ = std::make_unique<ThreadPool>(*backend_, opts_.pool_mode,
+                                       icvs_.wait_policy);
   // Nested teams draw worker ids from a high range so they never collide
   // with pool workers (pool ids are 0..thread_limit-1 in practice).
   for (unsigned id = 255; id >= 128; --id) free_nested_ids_.push_back(id);
@@ -84,8 +85,17 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
   const bool nested = outer != nullptr;
 
   if (!nested) {
+    // Launch-or-park workers first: the returned width reflects launch
+    // failures, so the team (and its barrier) never waits on a thread that
+    // does not exist.
+    n = pool_->prepare(n);
     Team team(*this, n, nullptr);
-    pool_->run(n, [&team, body](unsigned tid) { team.run_thread(tid, body); });
+    auto thread_fn = [&team, body](unsigned tid) {
+      team.run_thread(tid, body);
+    };
+    pool_->start_team(n, thread_fn);
+    thread_fn(0);
+    pool_->wait_team();
     team.finish();
     return;
   }

@@ -43,8 +43,19 @@ Team::Team(Runtime& rt, unsigned nthreads, ParallelContext* parent_ctx)
       parent_ctx_(parent_ctx),
       barrier_(make_barrier(rt.barrier_kind(), nthreads,
                             rt.icvs().wait_policy)),
+      cluster_of_thread_(nthreads),
       meters_(nthreads),
-      reduce_slots_(nthreads) {}
+      reduce_slots_(nthreads) {
+  const platform::Topology& topo = rt.topology();
+  const platform::PlacementPolicy place =
+      rt.icvs().proc_bind == ProcBind::kClose
+          ? platform::PlacementPolicy::kCompact
+          : platform::PlacementPolicy::kScatter;
+  for (unsigned i = 0; i < nthreads_; ++i) {
+    cluster_of_thread_[i] =
+        topo.cluster_of_hw_thread(topo.placement(i, place));
+  }
+}
 
 void Team::run_thread(unsigned tid, FunctionRef<void(ParallelContext&)> body) {
   ParallelContext ctx;
@@ -60,9 +71,17 @@ void Team::run_thread(unsigned tid, FunctionRef<void(ParallelContext&)> body) {
   ParallelContext* saved = Runtime::t_current_;
   Runtime::t_current_ = &ctx;
   body(ctx);
-  // Implicit region-ending barrier; also guarantees all explicit tasks
-  // finish inside the region (OpenMP requires it of the implicit barrier).
-  ctx.barrier();
+  // Region-ending synchronisation, split in two.  Draining here guarantees
+  // every explicit task finishes inside the region (OpenMP requires it of
+  // the implicit barrier): each spawner drains until the task system is
+  // quiescent, and the master cannot pass the join until every thread's
+  // drain returned.  The thread rendezvous itself is the fork/join join —
+  // the pool's active_ count, or the thread join for nested/per-region
+  // teams.  Workers have nothing to execute after the region, so they
+  // signal arrival and park instead of sleeping through a full barrier
+  // release broadcast first; the release is observable only by the master,
+  // and the join gives it exactly that.
+  tasks_.drain(&ctx.current_task_);
   Runtime::t_current_ = saved;
 }
 
@@ -93,7 +112,8 @@ void ParallelContext::barrier() {
     obs::count(obs::Counter::kGompBarrier);
     const std::uint64_t t0 = monotonic_nanos();
     team_->barrier_->arrive_and_wait(tid_);
-    obs::record(barrier_wait_hist(team_->rt_.barrier_kind()),
+    obs::record(barrier_wait_hist(effective_barrier_kind(
+                    team_->rt_.barrier_kind(), team_->rt_.icvs().wait_policy)),
                 monotonic_nanos() - t0);
   } else {
     team_->barrier_->arrive_and_wait(tid_);
@@ -107,7 +127,8 @@ void ParallelContext::for_loop(long begin, long end,
   obs::ScopedTimer timer(obs::Hist::kGompForNs);
   if (spec.kind == Schedule::kRuntime) spec = team_->rt_.icvs().run_schedule;
   LoopInstance& loop = team_->loops_[loop_gen_ % kWorkshareRing];
-  loop.enter(loop_gen_, begin, end, spec, team_->nthreads_);
+  loop.enter(loop_gen_, begin, end, spec, team_->nthreads_,
+             team_->cluster_of_thread_.data());
   ++loop_gen_;
   long pos = 0;
   long lo = 0;
@@ -126,7 +147,8 @@ void ParallelContext::for_loop_ordered(long begin, long end,
   obs::ScopedTimer timer(obs::Hist::kGompForNs);
   if (spec.kind == Schedule::kRuntime) spec = team_->rt_.icvs().run_schedule;
   LoopInstance& loop = team_->loops_[loop_gen_ % kWorkshareRing];
-  loop.enter(loop_gen_, begin, end, spec, team_->nthreads_);
+  loop.enter(loop_gen_, begin, end, spec, team_->nthreads_,
+             team_->cluster_of_thread_.data());
   ++loop_gen_;
   LoopInstance* saved = active_ordered_loop_;
   active_ordered_loop_ = &loop;
@@ -172,7 +194,8 @@ bool ParallelContext::loop_start(long begin, long end, ScheduleSpec spec,
   assert(active_loop_ == nullptr && "loop_start while a loop is open");
   if (spec.kind == Schedule::kRuntime) spec = team_->rt_.icvs().run_schedule;
   LoopInstance& loop = team_->loops_[loop_gen_ % kWorkshareRing];
-  loop.enter(loop_gen_, begin, end, spec, team_->nthreads_);
+  loop.enter(loop_gen_, begin, end, spec, team_->nthreads_,
+             team_->cluster_of_thread_.data());
   ++loop_gen_;
   active_loop_ = &loop;
   active_loop_pos_ = 0;

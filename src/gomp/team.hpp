@@ -180,6 +180,9 @@ class Team {
   unsigned level_;
   ParallelContext* parent_ctx_;
   std::unique_ptr<TeamBarrier> barrier_;
+  // Thread -> hardware cluster, from the topology's placement under the
+  // proc-bind ICV; feeds the loop scheduler's cluster-local steal pass.
+  std::vector<unsigned> cluster_of_thread_;
   std::array<LoopInstance, kWorkshareRing> loops_;
   std::array<SectionsInstance, kWorkshareRing> sections_;
   std::atomic<unsigned long> single_counter_{0};

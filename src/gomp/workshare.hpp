@@ -6,10 +6,25 @@
 // `nowait` loops can overlap (threads may be up to kRingSize constructs
 // apart before the earliest must fully drain — libGOMP has the same kind of
 // bounded lookahead).
+//
+// Dynamic and guided schedules use distributed per-thread ranges with
+// cluster-aware work-stealing instead of one shared cursor: the iteration
+// space is pre-sliced into one contiguous range per thread (a single packed
+// 64-bit atomic each, cache-line padded), owners claim chunks off the front
+// of their own range, and a thread whose range runs dry steals the back
+// half of a victim's range — preferring victims in its own cluster (same
+// shared L2) before crossing clusters over CoreNet.  Every iteration has a
+// unique remover (owner CAS on the front, thief CAS on the back), so
+// exactly-once execution holds by construction.  Loops too large for the
+// 32-bit packed offsets, width-1 teams, and loops too small to amortise the
+// per-thread slots (under kMinChunksPerThread chunks per thread) fall back
+// to the shared cursor.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 
 #include "common/align.hpp"
@@ -21,10 +36,13 @@ class LoopInstance {
  public:
   /// First arriver configures; later arrivers (same generation) pass through.
   /// Blocks (briefly) until stragglers of generation gen - kRingSize leave.
+  /// @p cluster_of_thread (optional, length nthreads, must outlive the
+  /// construct) drives cluster-local victim preference when stealing.
   void enter(unsigned long gen, long begin, long end, ScheduleSpec spec,
-             unsigned nthreads);
+             unsigned nthreads, const unsigned* cluster_of_thread = nullptr);
 
-  /// Next chunk for @p tid; false when the thread's share is exhausted.
+  /// Next chunk for @p tid; false when no work is left anywhere (stealing
+  /// schedules) or the thread's share is exhausted (static).
   /// @p thread_pos is per-thread cursor state owned by the caller
   /// (chunk ordinal for static schedules; ignored otherwise).
   bool next_chunk(unsigned tid, long* thread_pos, long* lo, long* hi);
@@ -41,18 +59,63 @@ class LoopInstance {
 
   ScheduleSpec spec() const { return spec_; }
 
+  /// True when this generation hands out distributed per-thread ranges
+  /// (the work-stealing path) rather than a shared cursor.
+  bool distributed() const { return distributed_; }
+
  private:
+  // A thread's remaining range, packed [lo:32][hi:32] as offsets from
+  // begin_.  Owner claims [lo, lo+k) with a CAS on the front; a thief
+  // claims [mid, hi) with a CAS on the back.  Empty when lo >= hi.
+  struct alignas(kCacheLineBytes) RangeSlot {
+    std::atomic<std::uint64_t> range{0};
+  };
+  static constexpr long kMaxStealableIters = 0x7fffffffL;
+  // Minimum chunks per thread before distribution pays for itself; below
+  // this the shared cursor wins (loop-end detection there is one load, not
+  // an O(nthreads) scan of every slot).
+  static constexpr long kMinChunksPerThread = 4;
+
+  static std::uint64_t pack(std::uint32_t lo, std::uint32_t hi) {
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+  static std::uint32_t range_lo(std::uint64_t r) {
+    return static_cast<std::uint32_t>(r >> 32);
+  }
+  static std::uint32_t range_hi(std::uint64_t r) {
+    return static_cast<std::uint32_t>(r);
+  }
+
+  /// Chunk size for a claim from a range with @p len iterations left.
+  std::uint32_t claim_size(std::uint32_t len) const;
+  /// Claims the next chunk off the front of @p slot's own range.
+  bool claim_local(unsigned slot, long* lo, long* hi);
+  /// Scans victims (same cluster first) and steals the back half of one.
+  bool steal_range(unsigned tid, long* lo, long* hi);
+
+  // Generation whose configuration is currently published; kNoGen before
+  // the first construct.  enter() stays mutex-serialised on purpose: an
+  // uncontended handoff measures faster than a lock-free check on the hot
+  // EPCC loops, because it gives the configuring thread an exclusive
+  // window on the descriptor cache lines.  leave() is lock-free for every
+  // thread but the last, which resets the slot under the mutex.
+  static constexpr unsigned long kNoGen = ~0ul;
+
   std::mutex init_mu_;
   std::condition_variable drained_cv_;
-  unsigned long gen_ = 0;
+  std::atomic<unsigned long> ready_gen_{kNoGen};
   bool configured_ = false;
   unsigned participants_ = 0;
-  unsigned left_ = 0;
+  std::atomic<unsigned> left_{0};
 
   long begin_ = 0;
   long end_ = 0;
   ScheduleSpec spec_;
   unsigned nthreads_ = 1;
+  bool distributed_ = false;
+  const unsigned* cluster_of_ = nullptr;
+  unsigned ranges_cap_ = 0;
+  std::unique_ptr<RangeSlot[]> ranges_;
   alignas(kCacheLineBytes) std::atomic<long> cursor_{0};
 
   std::mutex ordered_mu_;

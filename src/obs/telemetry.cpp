@@ -64,6 +64,10 @@ std::string_view name(Counter c) {
     case Counter::kGompReduction: return "gomp.reduction";
     case Counter::kGompTaskSpawned: return "gomp.task_spawned";
     case Counter::kGompPoolDispatch: return "gomp.pool_dispatch";
+    case Counter::kGompLoopStealAttempt: return "gomp.loop_steal_attempt";
+    case Counter::kGompLoopSteal: return "gomp.loop_steal";
+    case Counter::kGompLoopStealLocal: return "gomp.loop_steal_local";
+    case Counter::kGompLoopStealRemote: return "gomp.loop_steal_remote";
     case Counter::kMrapiMutexAcquire: return "mrapi.mutex_acquire";
     case Counter::kMrapiMutexContended: return "mrapi.mutex_contended";
     case Counter::kMrapiNodeCreate: return "mrapi.node_create";
@@ -91,6 +95,7 @@ std::string_view name(Hist h) {
     case Hist::kGompBarrierWaitDisseminationNs:
       return "gomp.barrier_wait.dissemination_ns";
     case Hist::kGompPoolDispatchNs: return "gomp.pool_dispatch_ns";
+    case Hist::kGompDoorbellWakeNs: return "gomp.doorbell_wake_ns";
     case Hist::kMrapiMutexAcquireNs: return "mrapi.mutex_acquire_ns";
     case Hist::kMrapiArenaAllocateNs: return "mrapi.arena_allocate_ns";
     case Hist::kMrapiArenaReleaseNs: return "mrapi.arena_release_ns";

@@ -45,6 +45,11 @@ enum class Counter : unsigned {
   kGompReduction,
   kGompTaskSpawned,
   kGompPoolDispatch,
+  // Work-stealing loop scheduler (dynamic/guided distributed ranges).
+  kGompLoopStealAttempt,
+  kGompLoopSteal,
+  kGompLoopStealLocal,   // victim in the thief's cluster
+  kGompLoopStealRemote,  // steal crossed a cluster boundary (CoreNet hop)
   // mrapi — the MCA service layer.
   kMrapiMutexAcquire,
   kMrapiMutexContended,
@@ -69,6 +74,7 @@ enum class Hist : unsigned {
   kGompBarrierWaitTreeNs,
   kGompBarrierWaitDisseminationNs,
   kGompPoolDispatchNs,
+  kGompDoorbellWakeNs,  // doorbell ring -> worker starts the region body
   kMrapiMutexAcquireNs,
   kMrapiArenaAllocateNs,
   kMrapiArenaReleaseNs,

@@ -81,6 +81,10 @@ bool Topology::same_cluster(unsigned a, unsigned b) const {
          cores_.at(hw_threads_.at(b).core).cluster;
 }
 
+unsigned Topology::cluster_of_hw_thread(unsigned hw_thread) const {
+  return cores_.at(hw_threads_.at(hw_thread).core).cluster;
+}
+
 double Topology::hop_cycles(unsigned a, unsigned b) const {
   if (a == b) return 0.0;
   if (same_core(a, b)) return 4.0;        // shared L1, SMT siblings

@@ -119,6 +119,8 @@ class Topology {
   bool same_core(unsigned a, unsigned b) const;
   /// True when HW threads a and b live in the same cluster.
   bool same_cluster(unsigned a, unsigned b) const;
+  /// The cluster the given HW thread belongs to (steal-victim ordering).
+  unsigned cluster_of_hw_thread(unsigned hw_thread) const;
 
   /// Communication distance in cycles between two HW threads (used by the
   /// barrier/lock latency model): same core < same cluster (via L2) <

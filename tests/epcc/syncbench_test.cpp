@@ -28,7 +28,9 @@ TEST(Syncbench, DirectiveNames) {
   EXPECT_EQ(to_string(Directive::kParallel), "PARALLEL");
   EXPECT_EQ(to_string(Directive::kParallelFor), "PARALLEL FOR");
   EXPECT_EQ(to_string(Directive::kReduction), "REDUCTION");
-  EXPECT_EQ(kAllDirectives.size(), 7u);  // the seven Table-I rows
+  EXPECT_EQ(to_string(Directive::kForDynamic), "FOR DYNAMIC");
+  // The seven Table-I rows plus FOR DYNAMIC (the steal-scheduler probe).
+  EXPECT_EQ(kAllDirectives.size(), 8u);
 }
 
 TEST(Syncbench, DelayConsumesTime) {

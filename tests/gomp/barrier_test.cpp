@@ -91,5 +91,25 @@ TEST(TreeBarrier, ArityMatchesClusterWidth) {
   EXPECT_EQ(TreeBarrier::kArity, 4u);
 }
 
+// Dissemination is inherently flag-spinning; a passive-policy request must
+// get a blockable algorithm (the tree barrier) instead of a silent spin.
+TEST(Barrier, PassiveDisseminationFallsBackToTree) {
+  EXPECT_EQ(
+      effective_barrier_kind(BarrierKind::kDissemination, WaitPolicy::kPassive),
+      BarrierKind::kTree);
+  EXPECT_EQ(
+      effective_barrier_kind(BarrierKind::kDissemination, WaitPolicy::kActive),
+      BarrierKind::kDissemination);
+  EXPECT_EQ(effective_barrier_kind(BarrierKind::kCentral, WaitPolicy::kPassive),
+            BarrierKind::kCentral);
+
+  auto passive =
+      make_barrier(BarrierKind::kDissemination, 4, WaitPolicy::kPassive);
+  EXPECT_NE(dynamic_cast<TreeBarrier*>(passive.get()), nullptr);
+  auto active =
+      make_barrier(BarrierKind::kDissemination, 4, WaitPolicy::kActive);
+  EXPECT_NE(dynamic_cast<DisseminationBarrier*>(active.get()), nullptr);
+}
+
 }  // namespace
 }  // namespace ompmca::gomp

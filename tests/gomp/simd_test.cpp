@@ -3,6 +3,7 @@
 
 #include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "gomp/gomp.hpp"
@@ -60,8 +61,15 @@ INSTANTIATE_TEST_SUITE_P(
                       SimdCase{4096, 16, 6}),
     [](const ::testing::TestParamInfo<SimdCase>& param_info) {
       const auto& c = param_info.param;
-      return "n" + std::to_string(c.total) + "_w" + std::to_string(c.width) +
-             "_t" + std::to_string(c.threads);
+      // Built with appends: the `"lit" + std::to_string(...) + ...` chain
+      // trips GCC 12's -Wrestrict false positive inside basic_string.
+      std::string name = "n";
+      name += std::to_string(c.total);
+      name += "_w";
+      name += std::to_string(c.width);
+      name += "_t";
+      name += std::to_string(c.threads);
+      return name;
     });
 
 TEST(SimdLoop, EmptyRangeIsBarrierOnly) {
