@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Diff two EPCC artifact snapshots (bench/artifacts/*.json).
+
+Prints a per-directive table of overhead deltas (absolute and relative)
+between a baseline and a candidate snapshot, so cross-PR regressions are
+visible from the committed artifacts instead of being re-measured by hand.
+
+    python3 bench/diff_artifacts.py bench/artifacts/epcc_before.json \
+                                    bench/artifacts/epcc_after.json
+
+Informational by default (always exits 0).  With --threshold PCT it exits 1
+when any directive's overhead regressed by more than PCT percent — CI keeps
+it informational, release checklists can tighten it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_overheads(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"diff_artifacts: cannot read {path}: {e}")
+    overheads = doc.get("overheads")
+    if not isinstance(overheads, dict) or not overheads:
+        sys.exit(f"diff_artifacts: {path} has no 'overheads' map")
+    return doc.get("_meta", {}), overheads
+
+
+def fmt_us(v):
+    return f"{v:9.3f}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline artifact JSON")
+    ap.add_argument("candidate", help="candidate artifact JSON")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if any overhead regresses by more than PCT percent",
+    )
+    args = ap.parse_args()
+
+    base_meta, base = load_overheads(args.baseline)
+    cand_meta, cand = load_overheads(args.candidate)
+
+    print(f"baseline : {args.baseline}")
+    if base_meta.get("build_state"):
+        print(f"           ({base_meta['build_state']})")
+    print(f"candidate: {args.candidate}")
+    if cand_meta.get("build_state"):
+        print(f"           ({cand_meta['build_state']})")
+    print()
+    header = (
+        f"{'directive':<18} {'base_us':>9} {'cand_us':>9} "
+        f"{'delta_us':>9} {'delta_%':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    # Keep the baseline's ordering; append candidate-only rows at the end.
+    keys = [k for k in base if k in cand]
+    keys += [k for k in cand if k not in base]
+    worst_pct = 0.0
+    worst_key = None
+    for key in keys:
+        b = base.get(key, {}).get("overhead_us")
+        c = cand.get(key, {}).get("overhead_us")
+        if b is None or c is None:
+            side = "baseline" if c is None else "candidate"
+            print(f"{key:<18} {'(only in ' + side + ')':>38}")
+            continue
+        delta = c - b
+        pct = (delta / b * 100.0) if b else float("inf") if delta else 0.0
+        print(
+            f"{key:<18} {fmt_us(b)} {fmt_us(c)} {fmt_us(delta)} {pct:7.1f}%"
+        )
+        if pct > worst_pct:
+            worst_pct, worst_key = pct, key
+
+    missing_base = [k for k in cand if k not in base]
+    missing_cand = [k for k in base if k not in cand]
+    if missing_base or missing_cand:
+        print()
+        if missing_cand:
+            print(f"dropped from candidate: {', '.join(missing_cand)}")
+        if missing_base:
+            print(f"new in candidate: {', '.join(missing_base)}")
+
+    print()
+    if worst_key is not None and worst_pct > 0:
+        print(f"worst regression: {worst_key} ({worst_pct:+.1f}%)")
+    else:
+        print("no directive regressed")
+
+    if args.threshold is not None and worst_pct > args.threshold:
+        print(
+            f"FAIL: {worst_key} exceeds --threshold {args.threshold}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,13 @@
 #!/usr/bin/env sh
 # Tier-1 verification with warnings-as-errors, as CI runs it.
 #
-#   ./ci.sh            configure + build + ctest in ./build, then a
-#                      ThreadSanitizer pass over the gomp suites in
-#                      ./build-tsan
+#   ./ci.sh            runs the full matrix:
+#                        1. normal build + full ctest        (./build)
+#                        2. ThreadSanitizer, all suites      (./build-tsan)
+#                        3. ASan+UBSan, all suites           (./build-asan)
+#                        4. correctness checker, all suites  (./build-check)
+#                        5. clang-tidy over src/ (skipped when absent)
+#                        6. EPCC artifact diff (informational)
 #
 # Mirrors ROADMAP.md's tier-1 verify line, with -Werror on so new
 # warnings fail the build instead of rotting.
@@ -11,15 +15,51 @@ set -eu
 
 cd "$(dirname "$0")"
 
-cmake -B build -S . -DOMPMCA_WERROR=ON
+echo "== [1/6] normal build + ctest =="
+cmake -B build -S . -DOMPMCA_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j
 # Serial on purpose: epcc_test asserts on measured timings, which parallel
 # test load can flip.
 (cd build && ctest --output-on-failure)
 
-# Race-check the lock-free hot paths (doorbell dispatch, stealing ranges,
-# barriers) under ThreadSanitizer.  gomp_test contains the pool, workshare,
-# barrier, steal and stress suites.
+echo "== [2/6] ThreadSanitizer, all suites =="
+# Race-check everything, not just the gomp hot paths: the MRAPI database,
+# arena and DMA engine carry their own lock-free fast paths.
 cmake -B build-tsan -S . -DOMPMCA_WERROR=ON -DOMPMCA_TSAN=ON
-cmake --build build-tsan -j --target gomp_test
-(cd build-tsan && ctest --output-on-failure -R '^gomp_test$')
+cmake --build build-tsan -j
+# epcc_test is excluded: it asserts on measured overhead ratios, and TSan's
+# ~10x slowdown plus its scheduler shifts them past the tolerances.  Every
+# synchronisation path it exercises is already covered by gomp_test and
+# validation_test under TSan.
+(cd build-tsan && ctest --output-on-failure -E '^epcc_test$')
+
+echo "== [3/6] ASan+UBSan, all suites =="
+cmake -B build-asan -S . -DOMPMCA_WERROR=ON -DOMPMCA_ASAN=ON
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -E '^epcc_test$')
+
+echo "== [4/6] correctness checker (OMPMCA_CHECK=ON), all suites =="
+# The check build compiles the lockdep/lifecycle/usage hooks in; check_test
+# seeds violations and asserts the reports, the rest of the suite doubles
+# as a no-false-positives audit.
+cmake -B build-check -S . -DOMPMCA_WERROR=ON -DOMPMCA_CHECK=ON
+cmake --build build-check -j
+(cd build-check && ctest --output-on-failure)
+
+echo "== [5/6] clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Uses .clang-tidy at the repo root and the compile database from step 1.
+  find src -name '*.cpp' -print | xargs clang-tidy -p build --quiet
+else
+  echo "clang-tidy not installed; skipping lint step"
+fi
+
+echo "== [6/6] EPCC artifact diff (informational) =="
+if command -v python3 >/dev/null 2>&1; then
+  python3 bench/diff_artifacts.py \
+    bench/artifacts/epcc_before.json bench/artifacts/epcc_after.json || true
+else
+  echo "python3 not installed; skipping artifact diff"
+fi
+
+echo "ci.sh: all passes complete"

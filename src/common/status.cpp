@@ -34,6 +34,7 @@ std::string_view to_string(Status s) {
     case Status::kSemIdInvalid: return "ERR_SEM_ID_INVALID";
     case Status::kSemExists: return "ERR_SEM_EXISTS";
     case Status::kSemValueInvalid: return "ERR_SEM_VALUE";
+    case Status::kSemLocked: return "ERR_SEM_LOCKED";
     case Status::kSemNotLocked: return "ERR_SEM_NOTLOCKED";
     case Status::kRwlIdInvalid: return "ERR_RWL_ID_INVALID";
     case Status::kRwlExists: return "ERR_RWL_EXISTS";

@@ -50,6 +50,7 @@ enum class Status : std::int32_t {
   kSemIdInvalid,
   kSemExists,
   kSemValueInvalid,
+  kSemLocked,
   kSemNotLocked,
   kRwlIdInvalid,
   kRwlExists,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
 #include "common/time.hpp"
 
 namespace ompmca::gomp {
@@ -46,6 +47,7 @@ void OmpNestLock::set() {
     }
   }
   mu_->lock();
+  OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompUserLock, mu_.get(), 0);
   std::lock_guard lk(state_mu_);
   owner_ = std::this_thread::get_id();
   depth_ = 1;
@@ -55,13 +57,24 @@ void OmpNestLock::unset() {
   bool release = false;
   {
     std::lock_guard lk(state_mu_);
-    if (depth_ == 0 || owner_ != std::this_thread::get_id()) return;
+    if (depth_ == 0) {
+      OMPMCA_CHECK_DOUBLE_UNLOCK(check::LockClass::kGompUserLock, mu_.get());
+      return;
+    }
+    if (owner_ != std::this_thread::get_id()) {
+      OMPMCA_CHECK_UNLOCK_NOT_OWNER(check::LockClass::kGompUserLock,
+                                    mu_.get());
+      return;
+    }
     if (--depth_ == 0) {
       owner_ = std::thread::id{};
       release = true;
     }
   }
-  if (release) mu_->unlock();
+  if (release) {
+    OMPMCA_CHECK_RELEASE(check::LockClass::kGompUserLock, mu_.get());
+    mu_->unlock();
+  }
 }
 
 int OmpNestLock::test() {
@@ -72,6 +85,7 @@ int OmpNestLock::test() {
     }
   }
   if (!mu_->try_lock()) return 0;
+  OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompUserLock, mu_.get(), 0);
   std::lock_guard lk(state_mu_);
   owner_ = std::this_thread::get_id();
   depth_ = 1;

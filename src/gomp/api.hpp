@@ -11,6 +11,7 @@
 #include <memory>
 #include <thread>
 
+#include "check/check.hpp"
 #include "gomp/runtime.hpp"
 
 namespace ompmca::gomp {
@@ -45,9 +46,19 @@ class OmpLock {
  public:
   explicit OmpLock(Runtime& rt) : mu_(rt.backend().create_mutex()) {}
 
-  void set() { mu_->lock(); }
-  void unset() { mu_->unlock(); }
-  bool test() { return mu_->try_lock(); }
+  void set() {
+    mu_->lock();
+    OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompUserLock, mu_.get(), 0);
+  }
+  void unset() {
+    OMPMCA_CHECK_RELEASE(check::LockClass::kGompUserLock, mu_.get());
+    mu_->unlock();
+  }
+  bool test() {
+    if (!mu_->try_lock()) return false;
+    OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompUserLock, mu_.get(), 0);
+    return true;
+  }
 
  private:
   std::unique_ptr<BackendMutex> mu_;

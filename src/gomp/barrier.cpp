@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "check/check.hpp"
 #include "common/spin.hpp"
 
 namespace ompmca::gomp {
@@ -43,6 +44,7 @@ CentralBarrier::CentralBarrier(unsigned nthreads, WaitPolicy policy)
 }
 
 void CentralBarrier::arrive_and_wait(unsigned /*tid*/) {
+  OMPMCA_CHECK_BARRIER_HELD();
   const bool my_sense = !sense_.load(std::memory_order_relaxed);
   if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
     count_.store(0, std::memory_order_relaxed);
@@ -116,6 +118,7 @@ TreeBarrier::TreeBarrier(unsigned nthreads, WaitPolicy policy)
 }
 
 void TreeBarrier::arrive_and_wait(unsigned tid) {
+  OMPMCA_CHECK_BARRIER_HELD();
   const bool my_sense = !sense_.load(std::memory_order_relaxed);
 
   // Climb: the last arriver at each node continues to its parent.
@@ -175,6 +178,7 @@ DisseminationBarrier::DisseminationBarrier(unsigned nthreads) : n_(nthreads) {
 }
 
 void DisseminationBarrier::arrive_and_wait(unsigned tid) {
+  OMPMCA_CHECK_BARRIER_HELD();
   if (n_ == 1) return;
   ThreadState& st = *state_[tid];
   Backoff backoff;

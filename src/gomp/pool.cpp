@@ -4,6 +4,7 @@
 #include <cassert>
 #include <thread>
 
+#include "check/check.hpp"
 #include "common/log.hpp"
 #include "common/spin.hpp"
 #include "common/time.hpp"
@@ -172,6 +173,12 @@ void ThreadPool::start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn) {
                                : extra;
   if (to_ring == 0) return;
 
+  // Pseudo-lock held by the master across the fork..join window: it gives
+  // the order graph an edge from every lock held at start_team to the pool,
+  // and from the pool to every lock acquired before wait_team — so taking a
+  // region-internal lock around the whole region in one place and inside it
+  // in another shows up as an inversion.
+  OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompPool, this, 0);
   active_.store(extra, std::memory_order_relaxed);
   slab_.work = fn;
   slab_.dispatch_start_ns = obs::enabled() ? monotonic_nanos() : 0;
@@ -210,6 +217,7 @@ void ThreadPool::wait_team() {
     }
     region_indices_.clear();
   }
+  OMPMCA_CHECK_RELEASE(check::LockClass::kGompPool, this);
 }
 
 void ThreadPool::run(unsigned nthreads, FunctionRef<void(unsigned)> fn) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/check.hpp"
 #include "common/time.hpp"
 #include "gomp/runtime.hpp"
 #include "obs/telemetry.hpp"
@@ -10,6 +11,17 @@
 namespace ompmca::gomp {
 
 namespace {
+
+/// Stable order-graph key for a named critical's backing mutex (FNV-1a of
+/// the name), so inversion reports name the construct, not a pointer.
+[[maybe_unused]] std::uint64_t critical_key(std::string_view name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 obs::Hist barrier_wait_hist(BarrierKind k) {
   switch (k) {
@@ -107,6 +119,7 @@ unsigned ParallelContext::level() const { return team_->level_; }
 Runtime& ParallelContext::runtime() const { return team_->rt_; }
 
 void ParallelContext::barrier() {
+  OMPMCA_CHECK_BARRIER_USAGE(team_);
   team_->tasks_.drain(&current_task_);
   if (obs::enabled()) {
     obs::count(obs::Counter::kGompBarrier);
@@ -130,12 +143,14 @@ void ParallelContext::for_loop(long begin, long end,
   loop.enter(loop_gen_, begin, end, spec, team_->nthreads_,
              team_->cluster_of_thread_.data());
   ++loop_gen_;
+  OMPMCA_CHECK_REGION_ENTER(check::Region::kWorkshare, team_);
   long pos = 0;
   long lo = 0;
   long hi = 0;
   while (loop.next_chunk(tid_, &pos, &lo, &hi)) {
     body(lo, hi);
   }
+  OMPMCA_CHECK_REGION_EXIT(check::Region::kWorkshare, team_);
   loop.leave();
   if (!nowait) barrier();
 }
@@ -152,12 +167,14 @@ void ParallelContext::for_loop_ordered(long begin, long end,
   ++loop_gen_;
   LoopInstance* saved = active_ordered_loop_;
   active_ordered_loop_ = &loop;
+  OMPMCA_CHECK_REGION_ENTER(check::Region::kWorkshare, team_);
   long pos = 0;
   long lo = 0;
   long hi = 0;
   while (loop.next_chunk(tid_, &pos, &lo, &hi)) {
     body(lo, hi);
   }
+  OMPMCA_CHECK_REGION_EXIT(check::Region::kWorkshare, team_);
   active_ordered_loop_ = saved;
   loop.leave();
   barrier();
@@ -169,6 +186,7 @@ void ParallelContext::for_loop_simd(long begin, long end,
   obs::count(obs::Counter::kGompFor);
   obs::ScopedTimer timer(obs::Hist::kGompForNs);
   if (simd_width < 1) simd_width = 1;
+  OMPMCA_CHECK_REGION_ENTER(check::Region::kWorkshare, team_);
   const long total = end - begin;
   if (total > 0) {
     // Block partition in units of simd_width vectors; the remainder tail
@@ -186,6 +204,7 @@ void ParallelContext::for_loop_simd(long begin, long end,
       body(lo, hi);
     }
   }
+  OMPMCA_CHECK_REGION_EXIT(check::Region::kWorkshare, team_);
   if (!nowait) barrier();
 }
 
@@ -199,6 +218,7 @@ bool ParallelContext::loop_start(long begin, long end, ScheduleSpec spec,
   ++loop_gen_;
   active_loop_ = &loop;
   active_loop_pos_ = 0;
+  OMPMCA_CHECK_REGION_ENTER(check::Region::kWorkshare, team_);
   return loop_next(lo, hi);
 }
 
@@ -209,6 +229,7 @@ bool ParallelContext::loop_next(long* lo, long* hi) {
 
 void ParallelContext::loop_end(bool nowait) {
   assert(active_loop_ != nullptr && "loop_end without loop_start");
+  OMPMCA_CHECK_REGION_EXIT(check::Region::kWorkshare, team_);
   active_loop_->leave();
   active_loop_ = nullptr;
   if (!nowait) barrier();
@@ -228,11 +249,13 @@ void ParallelContext::sections(
   ws.enter(sections_gen_, static_cast<int>(section_bodies.size()),
            team_->nthreads_);
   ++sections_gen_;
+  OMPMCA_CHECK_REGION_ENTER(check::Region::kWorkshare, team_);
   for (;;) {
     int idx = ws.next_section();
     if (idx < 0) break;
     (section_bodies.begin() + idx)->operator()();
   }
+  OMPMCA_CHECK_REGION_EXIT(check::Region::kWorkshare, team_);
   ws.leave();
   if (!nowait) barrier();
 }
@@ -247,7 +270,11 @@ bool ParallelContext::single_begin() {
 void ParallelContext::single(FunctionRef<void()> fn, bool nowait) {
   obs::count(obs::Counter::kGompSingle);
   obs::ScopedTimer timer(obs::Hist::kGompSingleNs);
-  if (single_begin()) fn();
+  if (single_begin()) {
+    OMPMCA_CHECK_REGION_ENTER(check::Region::kSingle, team_);
+    fn();
+    OMPMCA_CHECK_REGION_EXIT(check::Region::kSingle, team_);
+  }
   if (!nowait) barrier();
 }
 
@@ -271,11 +298,21 @@ void ParallelContext::critical(std::string_view name,
       obs::count(obs::Counter::kGompCriticalContended);
       mu.lock();
     }
+    OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompCritical, &mu,
+                         critical_key(name));
     AdoptedBackendLock guard(mu);
+    OMPMCA_CHECK_REGION_ENTER(check::Region::kCritical, team_);
     fn();
+    OMPMCA_CHECK_REGION_EXIT(check::Region::kCritical, team_);
+    OMPMCA_CHECK_RELEASE(check::LockClass::kGompCritical, &mu);
   } else {
     BackendLockGuard guard(mu);
+    OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompCritical, &mu,
+                         critical_key(name));
+    OMPMCA_CHECK_REGION_ENTER(check::Region::kCritical, team_);
     fn();
+    OMPMCA_CHECK_REGION_EXIT(check::Region::kCritical, team_);
+    OMPMCA_CHECK_RELEASE(check::LockClass::kGompCritical, &mu);
   }
 }
 

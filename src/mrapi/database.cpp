@@ -1,5 +1,6 @@
 #include "mrapi/database.hpp"
 
+#include "check/check.hpp"
 #include "common/log.hpp"
 
 namespace ompmca::mrapi {
@@ -109,6 +110,7 @@ Result<ShmemHandle> DomainState::shmem_create(ResourceKey key,
   auto seg = std::make_shared<Shmem>(key, size, attrs, &arena_);
   if (!seg->valid()) return Status::kOutOfResources;
   shmems_.emplace(key, seg);
+  OMPMCA_CHECK_CREATE(check::LockClass::kMrapiShmem, key, seg.get());
   return seg;
 }
 
@@ -124,12 +126,16 @@ Status DomainState::shmem_delete(ResourceKey key) {
   {
     std::unique_lock lk(mu_);
     auto it = shmems_.find(key);
-    if (it == shmems_.end()) return Status::kShmemIdInvalid;
+    if (it == shmems_.end()) {
+      OMPMCA_CHECK_DELETE_MISSING(check::LockClass::kMrapiShmem, key);
+      return Status::kShmemIdInvalid;
+    }
     seg = it->second;
     // The key becomes free immediately; the segment's storage survives via
     // attached nodes' handles until the last detach (see Shmem::mark_delete).
     shmems_.erase(it);
   }
+  OMPMCA_CHECK_DELETE(check::LockClass::kMrapiShmem, key, seg.get());
   return seg->mark_delete();
 }
 
@@ -140,6 +146,7 @@ Result<std::shared_ptr<Mutex>> DomainState::mutex_create(
   if (mutexes_.count(key) > 0) return Status::kMutexExists;
   auto m = std::make_shared<Mutex>(attrs);
   mutexes_.emplace(key, m);
+  OMPMCA_CHECK_CREATE(check::LockClass::kMrapiMutex, key, m.get());
   return m;
 }
 
@@ -153,8 +160,16 @@ Result<std::shared_ptr<Mutex>> DomainState::mutex_get(ResourceKey key) const {
 Status DomainState::mutex_delete(ResourceKey key) {
   std::unique_lock lk(mu_);
   auto it = mutexes_.find(key);
-  if (it == mutexes_.end()) return Status::kMutexIdInvalid;
-  if (it->second->locked()) return Status::kMutexLocked;
+  if (it == mutexes_.end()) {
+    OMPMCA_CHECK_DELETE_MISSING(check::LockClass::kMrapiMutex, key);
+    return Status::kMutexIdInvalid;
+  }
+  // retire() is the atomic held-check-and-mark: a locked()-then-erase pair
+  // would leave a window where a racing lock() through an existing handle
+  // succeeds on a mutex whose key is already gone.  After retirement every
+  // stale-handle operation fails with kMutexIdInvalid.
+  OMPMCA_RETURN_IF_ERROR(it->second->retire());
+  OMPMCA_CHECK_DELETE(check::LockClass::kMrapiMutex, key, it->second.get());
   mutexes_.erase(it);
   return Status::kSuccess;
 }
@@ -167,6 +182,7 @@ Result<std::shared_ptr<Semaphore>> DomainState::sem_create(
   if (sems_.count(key) > 0) return Status::kSemExists;
   auto s = std::make_shared<Semaphore>(attrs);
   sems_.emplace(key, s);
+  OMPMCA_CHECK_CREATE(check::LockClass::kMrapiSemaphore, key, s.get());
   return s;
 }
 
@@ -181,7 +197,15 @@ Result<std::shared_ptr<Semaphore>> DomainState::sem_get(
 Status DomainState::sem_delete(ResourceKey key) {
   std::unique_lock lk(mu_);
   auto it = sems_.find(key);
-  if (it == sems_.end()) return Status::kSemIdInvalid;
+  if (it == sems_.end()) {
+    OMPMCA_CHECK_DELETE_MISSING(check::LockClass::kMrapiSemaphore, key);
+    return Status::kSemIdInvalid;
+  }
+  // Atomic outstanding-units check + mark; previously a semaphore could be
+  // deleted while acquired, stranding the holders' releases.
+  OMPMCA_RETURN_IF_ERROR(it->second->retire());
+  OMPMCA_CHECK_DELETE(check::LockClass::kMrapiSemaphore, key,
+                      it->second.get());
   sems_.erase(it);
   return Status::kSuccess;
 }
@@ -193,6 +217,7 @@ Result<std::shared_ptr<Rwlock>> DomainState::rwlock_create(
   if (rwlocks_.count(key) > 0) return Status::kRwlExists;
   auto r = std::make_shared<Rwlock>(attrs);
   rwlocks_.emplace(key, r);
+  OMPMCA_CHECK_CREATE(check::LockClass::kMrapiRwlock, key, r.get());
   return r;
 }
 
@@ -207,9 +232,15 @@ Result<std::shared_ptr<Rwlock>> DomainState::rwlock_get(
 Status DomainState::rwlock_delete(ResourceKey key) {
   std::unique_lock lk(mu_);
   auto it = rwlocks_.find(key);
-  if (it == rwlocks_.end()) return Status::kRwlIdInvalid;
-  if (it->second->write_locked() || it->second->readers() > 0)
-    return Status::kRwlLocked;
+  if (it == rwlocks_.end()) {
+    OMPMCA_CHECK_DELETE_MISSING(check::LockClass::kMrapiRwlock, key);
+    return Status::kRwlIdInvalid;
+  }
+  // Atomic idle-check + mark (same window as mutex_delete: a reader
+  // arriving between the held-check and the erase used to survive the
+  // delete unnoticed).
+  OMPMCA_RETURN_IF_ERROR(it->second->retire());
+  OMPMCA_CHECK_DELETE(check::LockClass::kMrapiRwlock, key, it->second.get());
   rwlocks_.erase(it);
   return Status::kSuccess;
 }
@@ -222,6 +253,7 @@ Result<RmemHandle> DomainState::rmem_create(ResourceKey key, std::size_t size,
   if (rmems_.count(key) > 0) return Status::kRmemExists;
   auto r = std::make_shared<Rmem>(key, size, access, &dma_);
   rmems_.emplace(key, r);
+  OMPMCA_CHECK_CREATE(check::LockClass::kMrapiRmem, key, r.get());
   return r;
 }
 
@@ -235,7 +267,11 @@ Result<RmemHandle> DomainState::rmem_get(ResourceKey key) const {
 Status DomainState::rmem_delete(ResourceKey key) {
   std::unique_lock lk(mu_);
   auto it = rmems_.find(key);
-  if (it == rmems_.end()) return Status::kRmemIdInvalid;
+  if (it == rmems_.end()) {
+    OMPMCA_CHECK_DELETE_MISSING(check::LockClass::kMrapiRmem, key);
+    return Status::kRmemIdInvalid;
+  }
+  OMPMCA_CHECK_DELETE(check::LockClass::kMrapiRmem, key, it->second.get());
   rmems_.erase(it);
   return Status::kSuccess;
 }

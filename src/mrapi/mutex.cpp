@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "check/check.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ompmca::mrapi {
@@ -20,6 +21,10 @@ Status Mutex::trylock(LockKey* key) {
 Status Mutex::lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
                           LockKey* key) {
   if (key == nullptr) return Status::kInvalidArgument;
+  if (retired_) {
+    OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiMutex, this);
+    return Status::kMutexIdInvalid;
+  }
   const auto self = std::this_thread::get_id();
 
   if (depth_ > 0 && owner_ == self) {
@@ -31,11 +36,14 @@ Status Mutex::lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
     ++depth_;
     key->value = depth_;
     obs::count(obs::Counter::kMrapiMutexAcquire);
+    OMPMCA_CHECK_ACQUIRE(check::LockClass::kMrapiMutex, this, 0);
     return Status::kSuccess;
   }
 
-  auto available = [this] { return depth_ == 0; };
-  if (!available()) {
+  // Retirement also satisfies the wait so parked threads can fail fast
+  // instead of sleeping on a deleted mutex forever.
+  auto available = [this] { return depth_ == 0 || retired_; };
+  if (depth_ > 0) {
     obs::count(obs::Counter::kMrapiMutexContended);
     if (timeout_ms == kTimeoutImmediate) return Status::kMutexLocked;
     if (timeout_ms == kTimeoutInfinite) {
@@ -44,27 +52,61 @@ Status Mutex::lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
                              available)) {
       return Status::kTimeout;
     }
+    if (retired_) {
+      OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiMutex, this);
+      return Status::kMutexIdInvalid;
+    }
   }
   owner_ = self;
   depth_ = 1;
   key->value = 1;
   obs::count(obs::Counter::kMrapiMutexAcquire);
+  OMPMCA_CHECK_ACQUIRE(check::LockClass::kMrapiMutex, this, 0);
   return Status::kSuccess;
 }
 
 Status Mutex::unlock(const LockKey& key) {
   std::unique_lock<std::mutex> lk(mu_);
-  if (depth_ == 0) return Status::kMutexNotLocked;
-  if (owner_ != std::this_thread::get_id()) return Status::kMutexKeyInvalid;
+  if (retired_) {
+    OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiMutex, this);
+    return Status::kMutexIdInvalid;
+  }
+  if (depth_ == 0) {
+    OMPMCA_CHECK_DOUBLE_UNLOCK(check::LockClass::kMrapiMutex, this);
+    return Status::kMutexNotLocked;
+  }
+  if (owner_ != std::this_thread::get_id()) {
+    OMPMCA_CHECK_UNLOCK_NOT_OWNER(check::LockClass::kMrapiMutex, this);
+    return Status::kMutexKeyInvalid;
+  }
   // Recursive acquisitions must be released innermost-first.
-  if (key.value != depth_) return Status::kMutexKeyInvalid;
+  if (key.value != depth_) {
+    OMPMCA_CHECK_UNLOCK_NOT_OWNER(check::LockClass::kMrapiMutex, this);
+    return Status::kMutexKeyInvalid;
+  }
   --depth_;
+  OMPMCA_CHECK_RELEASE(check::LockClass::kMrapiMutex, this);
   if (depth_ == 0) {
     owner_ = std::thread::id{};
     lk.unlock();
     cv_.notify_one();
   }
   return Status::kSuccess;
+}
+
+Status Mutex::retire() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (retired_) return Status::kMutexIdInvalid;
+  if (depth_ > 0) return Status::kMutexLocked;
+  retired_ = true;
+  lk.unlock();
+  cv_.notify_all();
+  return Status::kSuccess;
+}
+
+bool Mutex::retired() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retired_;
 }
 
 bool Mutex::locked() const {

@@ -37,6 +37,16 @@ class Mutex {
   /// out-of-order release of a recursive mutex).
   Status unlock(const LockKey& key);
 
+  /// Atomically checks the mutex is unheld and marks it deleted, closing
+  /// the check-then-erase window of Database::mutex_delete: a lock()
+  /// racing the delete either completes first (retire fails with
+  /// kMutexLocked) or observes the retired state (kMutexIdInvalid).
+  /// Outstanding waiters are woken and fail with kMutexIdInvalid.
+  Status retire();
+
+  /// True once retire() succeeded (stale-handle detection).
+  bool retired() const;
+
   /// Observational only (racy by nature); used by tests and metadata.
   bool locked() const;
 
@@ -49,6 +59,7 @@ class Mutex {
   std::condition_variable cv_;
   std::thread::id owner_{};
   std::uint32_t depth_ = 0;
+  bool retired_ = false;
 };
 
 }  // namespace ompmca::mrapi

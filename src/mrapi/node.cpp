@@ -1,5 +1,6 @@
 #include "mrapi/node.hpp"
 
+#include "check/check.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ompmca::mrapi {
@@ -16,6 +17,7 @@ Result<Node> Node::initialize(DomainId domain, NodeId node,
 
 Status Node::finalize() {
   OMPMCA_RETURN_IF_ERROR(require_init());
+  OMPMCA_CHECK_NODE_RETIRE(node_id_);
   Status s = domain_->unregister_node(node_id_);
   domain_ = nullptr;
   if (ok(s)) obs::count(obs::Counter::kMrapiNodeRetire);

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "check/check.hpp"
+
 namespace ompmca::mrapi {
 
 namespace {
@@ -25,7 +27,12 @@ Status timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
 
 Status Rwlock::lock_read(Timeout timeout_ms) {
   std::unique_lock<std::mutex> lk(mu_);
+  if (retired_) {
+    OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiRwlock, this);
+    return Status::kRwlIdInvalid;
+  }
   auto pred = [this] {
+    if (retired_) return true;  // fail fast below, never sleep on a corpse
     if (writer_active_ || waiting_writers_ > 0) return false;
     if (attrs_.max_readers > 0 && active_readers_ >= attrs_.max_readers)
       return false;
@@ -33,16 +40,31 @@ Status Rwlock::lock_read(Timeout timeout_ms) {
   };
   OMPMCA_RETURN_IF_ERROR(
       timed_wait(readers_cv_, lk, timeout_ms, pred, Status::kRwlLocked));
+  if (retired_) {
+    OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiRwlock, this);
+    return Status::kRwlIdInvalid;
+  }
   ++active_readers_;
+  OMPMCA_CHECK_ACQUIRE(check::LockClass::kMrapiRwlock, this, 0);
   return Status::kSuccess;
 }
 
 Status Rwlock::lock_write(Timeout timeout_ms) {
   std::unique_lock<std::mutex> lk(mu_);
+  if (retired_) {
+    OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiRwlock, this);
+    return Status::kRwlIdInvalid;
+  }
   ++waiting_writers_;
-  auto pred = [this] { return !writer_active_ && active_readers_ == 0; };
+  auto pred = [this] {
+    return retired_ || (!writer_active_ && active_readers_ == 0);
+  };
   Status s = timed_wait(writers_cv_, lk, timeout_ms, pred, Status::kRwlLocked);
   --waiting_writers_;
+  if (ok(s) && retired_) {
+    OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiRwlock, this);
+    s = Status::kRwlIdInvalid;
+  }
   if (!ok(s)) {
     // A failed writer must not keep readers parked.
     if (waiting_writers_ == 0) {
@@ -52,13 +74,22 @@ Status Rwlock::lock_write(Timeout timeout_ms) {
     return s;
   }
   writer_active_ = true;
+  OMPMCA_CHECK_ACQUIRE(check::LockClass::kMrapiRwlock, this, 0);
   return Status::kSuccess;
 }
 
 Status Rwlock::unlock_read() {
   std::unique_lock<std::mutex> lk(mu_);
-  if (active_readers_ == 0) return Status::kRwlNotLocked;
+  if (retired_) {
+    OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiRwlock, this);
+    return Status::kRwlIdInvalid;
+  }
+  if (active_readers_ == 0) {
+    OMPMCA_CHECK_DOUBLE_UNLOCK(check::LockClass::kMrapiRwlock, this);
+    return Status::kRwlNotLocked;
+  }
   --active_readers_;
+  OMPMCA_CHECK_RELEASE(check::LockClass::kMrapiRwlock, this);
   const bool wake_writer = active_readers_ == 0 && waiting_writers_ > 0;
   lk.unlock();
   if (wake_writer) {
@@ -69,8 +100,16 @@ Status Rwlock::unlock_read() {
 
 Status Rwlock::unlock_write() {
   std::unique_lock<std::mutex> lk(mu_);
-  if (!writer_active_) return Status::kRwlNotLocked;
+  if (retired_) {
+    OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiRwlock, this);
+    return Status::kRwlIdInvalid;
+  }
+  if (!writer_active_) {
+    OMPMCA_CHECK_DOUBLE_UNLOCK(check::LockClass::kMrapiRwlock, this);
+    return Status::kRwlNotLocked;
+  }
   writer_active_ = false;
+  OMPMCA_CHECK_RELEASE(check::LockClass::kMrapiRwlock, this);
   const bool wake_writer = waiting_writers_ > 0;
   lk.unlock();
   if (wake_writer) {
@@ -79,6 +118,22 @@ Status Rwlock::unlock_write() {
     readers_cv_.notify_all();
   }
   return Status::kSuccess;
+}
+
+Status Rwlock::retire() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (retired_) return Status::kRwlIdInvalid;
+  if (writer_active_ || active_readers_ > 0) return Status::kRwlLocked;
+  retired_ = true;
+  lk.unlock();
+  readers_cv_.notify_all();
+  writers_cv_.notify_all();
+  return Status::kSuccess;
+}
+
+bool Rwlock::retired() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retired_;
 }
 
 std::uint32_t Rwlock::readers() const {

@@ -29,6 +29,12 @@ class Rwlock {
   Status unlock_read();
   Status unlock_write();
 
+  /// Atomically checks the lock is idle (no readers, no writer) and marks
+  /// it deleted; later operations through stale handles fail with
+  /// kRwlIdInvalid.  kRwlLocked when held.
+  Status retire();
+  bool retired() const;
+
   std::uint32_t readers() const;
   bool write_locked() const;
 
@@ -40,6 +46,7 @@ class Rwlock {
   std::uint32_t active_readers_ = 0;
   std::uint32_t waiting_writers_ = 0;
   bool writer_active_ = false;
+  bool retired_ = false;
 };
 
 }  // namespace ompmca::mrapi

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "check/check.hpp"
+
 namespace ompmca::mrapi {
 
 Semaphore::Semaphore(SemaphoreAttributes attrs)
@@ -9,8 +11,12 @@ Semaphore::Semaphore(SemaphoreAttributes attrs)
 
 Status Semaphore::acquire(Timeout timeout_ms) {
   std::unique_lock<std::mutex> lk(mu_);
-  auto available_pred = [this] { return count_ > 0; };
-  if (!available_pred()) {
+  if (retired_) {
+    OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiSemaphore, this);
+    return Status::kSemIdInvalid;
+  }
+  auto available_pred = [this] { return count_ > 0 || retired_; };
+  if (count_ == 0) {
     if (timeout_ms == kTimeoutImmediate) return Status::kMutexLocked;
     if (timeout_ms == kTimeoutInfinite) {
       cv_.wait(lk, available_pred);
@@ -18,8 +24,13 @@ Status Semaphore::acquire(Timeout timeout_ms) {
                              available_pred)) {
       return Status::kTimeout;
     }
+    if (retired_) {
+      OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiSemaphore, this);
+      return Status::kSemIdInvalid;
+    }
   }
   --count_;
+  OMPMCA_CHECK_ACQUIRE(check::LockClass::kMrapiSemaphore, this, 0);
   return Status::kSuccess;
 }
 
@@ -28,11 +39,34 @@ Status Semaphore::try_acquire() { return acquire(kTimeoutImmediate); }
 Status Semaphore::release() {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (count_ >= attrs_.shared_lock_limit) return Status::kSemNotLocked;
+    if (retired_) {
+      OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiSemaphore, this);
+      return Status::kSemIdInvalid;
+    }
+    if (count_ >= attrs_.shared_lock_limit) {
+      OMPMCA_CHECK_DOUBLE_UNLOCK(check::LockClass::kMrapiSemaphore, this);
+      return Status::kSemNotLocked;
+    }
     ++count_;
+    OMPMCA_CHECK_RELEASE(check::LockClass::kMrapiSemaphore, this);
   }
   cv_.notify_one();
   return Status::kSuccess;
+}
+
+Status Semaphore::retire() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (retired_) return Status::kSemIdInvalid;
+  if (count_ != attrs_.shared_lock_limit) return Status::kSemLocked;
+  retired_ = true;
+  lk.unlock();
+  cv_.notify_all();
+  return Status::kSuccess;
+}
+
+bool Semaphore::retired() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retired_;
 }
 
 std::uint32_t Semaphore::available() const {

@@ -26,6 +26,12 @@ class Semaphore {
   Status try_acquire();
   Status release();
 
+  /// Atomically checks no units are outstanding and marks the semaphore
+  /// deleted; later operations through stale handles fail with
+  /// kSemIdInvalid.  kSemLocked when units are held.
+  Status retire();
+  bool retired() const;
+
   /// Current available count (racy; tests/metadata only).
   std::uint32_t available() const;
 
@@ -34,6 +40,7 @@ class Semaphore {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::uint32_t count_;
+  bool retired_ = false;
 };
 
 }  // namespace ompmca::mrapi

@@ -256,18 +256,32 @@ Result<TaskHandle> TaskRuntime::queue_enqueue(const QueueHandle& queue,
   auto task = make_task(queue->job(), args, arg_size, group, queue.get());
   if (!task) return task.status();
   bool run_now = false;
+  bool refused = false;
   {
     std::lock_guard lk(queue->mu_);
     if (!queue->enabled_) {
       // Spec: enqueue on a disabled queue is refused.
-      return Status::kQueueDisabled;
-    }
-    if (queue->running_ || !queue->waiting_.empty()) {
+      refused = true;
+    } else if (queue->running_ || !queue->waiting_.empty()) {
       queue->waiting_.push_back(*task);
     } else {
       queue->running_ = true;
       run_now = true;
     }
+  }
+  if (refused) {
+    // The task will never run: break the fn_ -> task_keepalive self-cycle
+    // (only the execute path clears it otherwise) and undo the group's
+    // live count so wait_all() doesn't count a task that was never queued.
+    (*task)->fn_ = nullptr;
+    if (group != nullptr) {
+      {
+        std::lock_guard lk(group->mu_);
+        --group->live_;
+      }
+      group->cv_.notify_all();
+    }
+    return Status::kQueueDisabled;
   }
   if (run_now) submit(*task);
   return task;

@@ -352,8 +352,12 @@ MgResult run_mg(gomp::Runtime& rt, Class cls, unsigned nthreads) {
           double s = ctx.reduce_sum(local_s);
           double mx = ctx.reduce_max(local_max);
           double n = static_cast<double>(params.nx);
-          *n2out = std::sqrt(s / (n * n * n));
-          *nuout = mx;
+          // Every thread holds the reduced values; only one may write the
+          // shared outputs.  The region join publishes them to the caller.
+          if (ctx.thread_num() == 0) {
+            *n2out = std::sqrt(s / (n * n * n));
+            *nuout = mx;
+          }
         };
 
         auto mg3p = [&] {

@@ -6,6 +6,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/env.hpp"
@@ -119,6 +120,9 @@ std::string_view name(Gauge g) {
 struct Registry::Impl {
   mutable std::mutex slabs_mu;
   std::deque<std::unique_ptr<ThreadSlab>> slabs;  // stable addresses
+
+  mutable std::mutex sections_mu;
+  std::vector<std::pair<std::string, std::string (*)()>> sections;
 
   std::array<std::atomic<std::uint64_t>, kNumGauges> gauges{};
   std::array<std::atomic<std::uint64_t>, kMaxClusters> placements{};
@@ -302,7 +306,17 @@ std::string Registry::json(std::string_view tag) const {
     }
     append(s, "]}");
   }
-  append(s, "\n  }\n}\n");
+  append(s, "\n  }");
+  {
+    std::lock_guard<std::mutex> sections_lk(impl_->sections_mu);
+    for (const auto& [key, fn] : impl_->sections) {
+      append(s, ",\n  \"");
+      append(s, key);
+      append(s, "\": ");
+      append(s, fn());
+    }
+  }
+  append(s, "\n}\n");
   return s;
 }
 
@@ -353,6 +367,18 @@ void record_hist(Hist h, std::uint64_t ns) {
 }
 
 }  // namespace detail
+
+void register_report_section(std::string_view key, std::string (*fn)()) {
+  auto* impl = Registry::instance().impl_;
+  std::lock_guard<std::mutex> lk(impl->sections_mu);
+  for (auto& [k, f] : impl->sections) {
+    if (k == key) {
+      f = fn;
+      return;
+    }
+  }
+  impl->sections.emplace_back(std::string(key), fn);
+}
 
 void gauge_max(Gauge g, std::uint64_t value) {
   if (!enabled()) return;

@@ -132,6 +132,13 @@ inline void record(Hist h, std::uint64_t ns) {
 
 void gauge_max(Gauge g, std::uint64_t value);
 
+/// Registers an extra top-level section for the JSON report: rendered as
+/// `"key": <fn()>` after the histograms.  @p fn must return a complete JSON
+/// value and stay callable for the process lifetime (the check subsystem
+/// publishes its violation report this way).  Re-registering a key
+/// replaces the previous provider.
+void register_report_section(std::string_view key, std::string (*fn)());
+
 /// One software thread placed into hardware cluster @p cluster.
 void placement(unsigned cluster, std::uint64_t n = 1);
 
@@ -226,6 +233,7 @@ class Registry {
   friend void detail::record_hist(Hist, std::uint64_t);
   friend void gauge_max(Gauge, std::uint64_t);
   friend void placement(unsigned, std::uint64_t);
+  friend void register_report_section(std::string_view, std::string (*)());
 };
 
 /// Test helper: enables telemetry and resets all metrics for the scope.

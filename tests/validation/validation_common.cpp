@@ -92,8 +92,13 @@ bool check_master(gomp::Runtime& rt) {
 
 bool check_critical(gomp::Runtime& rt) {
   // The paper's war story: a broken critical lets increments race.
-  // An unprotected ++ on a shared long is the canonical detector.
-  long counter = 0;
+  // A non-atomic read-modify-write on a shared counter is the canonical
+  // detector.  The counter is a relaxed atomic so the *test itself* stays
+  // defined behaviour (and TSan-clean) when the seeded-bug battery runs it
+  // with a deliberately broken critical: lost updates — separate load and
+  // store with a window between them — still happen exactly as with a plain
+  // long, only the torn-access UB is gone.
+  std::atomic<long> counter{0};
   const int kIters = 400;
   rt.parallel([&](ParallelContext& ctx) {
     for (int i = 0; i < kIters; ++i) {
@@ -103,13 +108,13 @@ bool check_critical(gomp::Runtime& rt) {
         // are not preempted inside short windows), but the yield hands the
         // CPU to a sibling mid-update, so a broken critical loses updates
         // massively while a working one is unaffected.
-        long v = counter;
+        long v = counter.load(std::memory_order_relaxed);
         std::this_thread::yield();
-        counter = v + 1;
+        counter.store(v + 1, std::memory_order_relaxed);
       });
     }
   });
-  return counter == static_cast<long>(kIters) * rt.max_threads();
+  return counter.load() == static_cast<long>(kIters) * rt.max_threads();
 }
 
 bool check_reduction(gomp::Runtime& rt) {
@@ -178,18 +183,18 @@ bool check_tasks(gomp::Runtime& rt) {
 
 bool check_lock(gomp::Runtime& rt) {
   gomp::OmpLock lock(rt);
-  long counter = 0;
+  std::atomic<long> counter{0};  // relaxed atomic: see check_critical
   const int kIters = 400;
   rt.parallel([&](ParallelContext&) {
     for (int i = 0; i < kIters; ++i) {
       lock.set();
-      long v = counter;
+      long v = counter.load(std::memory_order_relaxed);
       std::this_thread::yield();  // see check_critical
-      counter = v + 1;
+      counter.store(v + 1, std::memory_order_relaxed);
       lock.unset();
     }
   });
-  return counter == static_cast<long>(kIters) * rt.max_threads();
+  return counter.load() == static_cast<long>(kIters) * rt.max_threads();
 }
 
 BatteryResult run_battery(gomp::Runtime& rt) {
