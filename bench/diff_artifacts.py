@@ -24,10 +24,30 @@ def load_overheads(path):
             doc = json.load(f)
     except (OSError, ValueError) as e:
         sys.exit(f"diff_artifacts: cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        sys.exit(
+            f"diff_artifacts: {path} is not an artifact object "
+            f"(top-level {type(doc).__name__})"
+        )
     overheads = doc.get("overheads")
     if not isinstance(overheads, dict) or not overheads:
         sys.exit(f"diff_artifacts: {path} has no 'overheads' map")
-    return doc.get("_meta", {}), overheads
+    for key, entry in overheads.items():
+        if not isinstance(entry, dict):
+            sys.exit(
+                f"diff_artifacts: {path}: entry {key!r} is not an object "
+                f"(truncated artifact?)"
+            )
+        v = entry.get("overhead_us")
+        if v is not None and (isinstance(v, bool) or not isinstance(v, (int, float))):
+            sys.exit(
+                f"diff_artifacts: {path}: entry {key!r} has non-numeric "
+                f"overhead_us ({v!r})"
+            )
+    meta = doc.get("_meta", {})
+    if not isinstance(meta, dict):
+        meta = {}
+    return meta, overheads
 
 
 def fmt_us(v):
@@ -77,12 +97,22 @@ def main():
             print(f"{key:<18} {'(only in ' + side + ')':>38}")
             continue
         delta = c - b
-        pct = (delta / b * 100.0) if b else float("inf") if delta else 0.0
-        print(
-            f"{key:<18} {fmt_us(b)} {fmt_us(c)} {fmt_us(delta)} {pct:7.1f}%"
-        )
-        if pct > worst_pct:
-            worst_pct, worst_key = pct, key
+        if b:
+            # A zero/missing baseline has no meaningful relative delta;
+            # print n/a and keep it out of the worst-regression threshold
+            # (the absolute column still shows the change).
+            pct = delta / b * 100.0
+            print(
+                f"{key:<18} {fmt_us(b)} {fmt_us(c)} {fmt_us(delta)} "
+                f"{pct:7.1f}%"
+            )
+            if pct > worst_pct:
+                worst_pct, worst_key = pct, key
+        else:
+            print(
+                f"{key:<18} {fmt_us(b)} {fmt_us(c)} {fmt_us(delta)} "
+                f"{'n/a':>8}"
+            )
 
     missing_base = [k for k in cand if k not in base]
     missing_cand = [k for k in base if k not in cand]

@@ -6,8 +6,9 @@
 #                        2. ThreadSanitizer, all suites      (./build-tsan)
 #                        3. ASan+UBSan, all suites           (./build-asan)
 #                        4. correctness checker, all suites  (./build-check)
-#                        5. clang-tidy over src/ (skipped when absent)
-#                        6. EPCC artifact diff (informational)
+#                        5. fault injection + checker, chaos  (./build-fault)
+#                        6. clang-tidy over src/ (skipped when absent)
+#                        7. EPCC artifact diff (informational)
 #
 # Mirrors ROADMAP.md's tier-1 verify line, with -Werror on so new
 # warnings fail the build instead of rotting.
@@ -15,14 +16,14 @@ set -eu
 
 cd "$(dirname "$0")"
 
-echo "== [1/6] normal build + ctest =="
+echo "== [1/7] normal build + ctest =="
 cmake -B build -S . -DOMPMCA_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j
 # Serial on purpose: epcc_test asserts on measured timings, which parallel
 # test load can flip.
 (cd build && ctest --output-on-failure)
 
-echo "== [2/6] ThreadSanitizer, all suites =="
+echo "== [2/7] ThreadSanitizer, all suites =="
 # Race-check everything, not just the gomp hot paths: the MRAPI database,
 # arena and DMA engine carry their own lock-free fast paths.
 cmake -B build-tsan -S . -DOMPMCA_WERROR=ON -DOMPMCA_TSAN=ON
@@ -33,12 +34,12 @@ cmake --build build-tsan -j
 # validation_test under TSan.
 (cd build-tsan && ctest --output-on-failure -E '^epcc_test$')
 
-echo "== [3/6] ASan+UBSan, all suites =="
+echo "== [3/7] ASan+UBSan, all suites =="
 cmake -B build-asan -S . -DOMPMCA_WERROR=ON -DOMPMCA_ASAN=ON
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -E '^epcc_test$')
 
-echo "== [4/6] correctness checker (OMPMCA_CHECK=ON), all suites =="
+echo "== [4/7] correctness checker (OMPMCA_CHECK=ON), all suites =="
 # The check build compiles the lockdep/lifecycle/usage hooks in; check_test
 # seeds violations and asserts the reports, the rest of the suite doubles
 # as a no-false-positives audit.
@@ -46,7 +47,16 @@ cmake -B build-check -S . -DOMPMCA_WERROR=ON -DOMPMCA_CHECK=ON
 cmake --build build-check -j
 (cd build-check && ctest --output-on-failure)
 
-echo "== [5/6] clang-tidy =="
+echo "== [5/7] fault injection (OMPMCA_FAULT=ON + OMPMCA_CHECK=ON), all suites =="
+# Compiles the injection points and recovery policies in and runs the whole
+# suite, including the fixed-seed chaos tests in tests/fault/ (which skip in
+# every other build).  The checker rides along so injected failures cannot
+# mask lock-order or lifecycle violations.
+cmake -B build-fault -S . -DOMPMCA_WERROR=ON -DOMPMCA_FAULT=ON -DOMPMCA_CHECK=ON
+cmake --build build-fault -j
+(cd build-fault && ctest --output-on-failure)
+
+echo "== [6/7] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Uses .clang-tidy at the repo root and the compile database from step 1.
   find src -name '*.cpp' -print | xargs clang-tidy -p build --quiet
@@ -54,7 +64,7 @@ else
   echo "clang-tidy not installed; skipping lint step"
 fi
 
-echo "== [6/6] EPCC artifact diff (informational) =="
+echo "== [7/7] EPCC artifact diff (informational) =="
 if command -v python3 >/dev/null 2>&1; then
   python3 bench/diff_artifacts.py \
     bench/artifacts/epcc_before.json bench/artifacts/epcc_after.json || true

@@ -1,9 +1,25 @@
 #include "common/env.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace ompmca {
+
+bool parse_long(std::string_view text, long* out) {
+  std::string buf(trim(text));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(buf.c_str(), &end, 10);
+  // Reject partial parses ("4x") and overflow/underflow (ERANGE): a value
+  // strtol silently saturated would otherwise truncate again at the
+  // caller's cast to a smaller type.
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
 
 std::optional<std::string> env_string(const char* name) {
   const char* v = std::getenv(name);
@@ -14,10 +30,15 @@ std::optional<std::string> env_string(const char* name) {
 std::optional<long> env_long(const char* name) {
   auto s = env_string(name);
   if (!s) return std::nullopt;
-  char* end = nullptr;
-  long v = std::strtol(s->c_str(), &end, 10);
-  if (end == s->c_str()) return std::nullopt;
+  long v = 0;
+  if (!parse_long(*s, &v)) return std::nullopt;
   return v;
+}
+
+std::optional<long> env_long_clamped(const char* name, long lo, long hi) {
+  auto v = env_long(name);
+  if (!v) return std::nullopt;
+  return std::clamp(*v, lo, hi);
 }
 
 std::optional<bool> env_bool(const char* name) {
@@ -36,9 +57,10 @@ std::vector<long> env_long_list(const char* name) {
   auto s = env_string(name);
   if (!s) return out;
   for (const auto& piece : split(*s, ',')) {
-    char* end = nullptr;
-    long v = std::strtol(piece.c_str(), &end, 10);
-    if (end == piece.c_str()) return {};
+    long v = 0;
+    // Empty pieces ("4,,8"), trailing garbage ("4x") and overflow all make
+    // the whole list malformed — a half-parsed list is worse than none.
+    if (!parse_long(piece, &v)) return {};
     out.push_back(v);
   }
   return out;

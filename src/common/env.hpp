@@ -12,13 +12,25 @@ namespace ompmca {
 /// Raw lookup; nullopt when unset.
 std::optional<std::string> env_string(const char* name);
 
-/// Integer lookup; nullopt when unset or unparsable.
+/// Strict integer parse of @p text (trimmed): the whole string must be one
+/// base-10 integer that fits in a long.  Trailing garbage ("4x") and
+/// out-of-range values ("99999999999999999999", ERANGE) are rejected.
+bool parse_long(std::string_view text, long* out);
+
+/// Integer lookup; nullopt when unset, unparsable (trailing garbage) or out
+/// of long's range.
 std::optional<long> env_long(const char* name);
+
+/// Integer lookup clamped into [lo, hi]; nullopt when unset or unparsable.
+/// Parsable-but-huge values clamp instead of silently truncating at the
+/// cast to a smaller type.
+std::optional<long> env_long_clamped(const char* name, long lo, long hi);
 
 /// Boolean lookup: accepts true/false, yes/no, on/off, 1/0 (case-insensitive).
 std::optional<bool> env_bool(const char* name);
 
-/// Comma-separated integer list ("4,8,12"); empty when unset/unparsable.
+/// Comma-separated integer list ("4,8,12"); empty when unset or when any
+/// piece is empty, has trailing garbage or overflows long.
 std::vector<long> env_long_list(const char* name);
 
 /// Case-insensitive ASCII comparison.

@@ -1,0 +1,153 @@
+// Deterministic fault injection with seeded, reproducible schedules.
+//
+// The paper's pitch is that routing libGOMP through MRAPI yields an
+// industry-standard, *dependable* resource layer — which is only true if
+// the runtime survives the resource layer saying "no".  This subsystem
+// makes resource failure a first-class, repeatable test input: every
+// fallible operation (shmem create, node launch, mutex acquire, MCAPI
+// send, ...) carries an injection point, and a seeded schedule decides
+// which calls fail.  The recovery policies those failures exercise —
+// bounded retry-with-backoff, shmem fallback to the paper's use_malloc
+// heap mode (Listing 3), team-width degradation — are real runtime
+// behaviour, compiled in unconditionally; only the *injection* and its
+// accounting are gated.
+//
+// Cost model (mirrors src/check/): compiled without -DOMPMCA_FAULT=ON the
+// macros below expand to (false) / ((void)0) — no load, no branch, no
+// symbol reference — so release hot paths are bit-identical with or
+// without the subsystem.  With the option ON, each point is one relaxed
+// load while injection is disabled, and a global mutex when armed (a
+// chaos-testing configuration, not a benchmarking one).
+//
+// Schedule grammar (OMPMCA_FAULT, fault builds only):
+//
+//   spec     := entry (',' entry)*
+//   entry    := site (':' param)*
+//   param    := 'rate=' FLOAT    fail each evaluation with probability
+//                                FLOAT in [0,1] (seeded, reproducible)
+//            |  'nth=' N         fail every Nth evaluation (N, 2N, ...)
+//            |  'count=' M       stop after M injected failures
+//            |  'seed=' S        per-site RNG seed (default 42)
+//
+// An entry with neither rate nor nth fails every evaluation.  Examples:
+//
+//   OMPMCA_FAULT=mrapi.shmem_create:rate=0.1:seed=42
+//   OMPMCA_FAULT=pool.worker_launch:nth=3,mcapi.msg_send:rate=0.05
+//
+// Accounting: should_fail() counts an injection; the recovery code that
+// absorbs a failure reports it via OMPMCA_FAULT_RECOVERED (absorbed and
+// overcome) or OMPMCA_FAULT_EXHAUSTED (retries ran out; the failure
+// surfaced to the caller).  Recovered/exhausted counts are attributed to
+// the site the recovery code guards, so per-site pairs balance when the
+// injection and its recovery wrap the same operation, and the totals
+// balance (injected == recovered + exhausted) under any pure-injection
+// schedule.  The report lands in the obs telemetry JSON as a "fault"
+// section.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#ifndef OMPMCA_FAULT_ENABLED
+#define OMPMCA_FAULT_ENABLED 0
+#endif
+
+namespace ompmca::fault {
+
+/// Injection points threaded through the runtime.  Dotted names (used in
+/// the OMPMCA_FAULT spec and the JSON report) are in name().
+enum class Site : unsigned {
+  kMrapiShmemCreate,   // mrapi.shmem_create — segment allocation
+  kMrapiArenaAlloc,    // mrapi.arena_alloc  — system arena carve-out
+  kMrapiNodeCreate,    // mrapi.node_create  — node init / worker register
+  kMrapiMutexCreate,   // mrapi.mutex_create
+  kMrapiSemCreate,     // mrapi.sem_create
+  kMrapiMutexAcquire,  // mrapi.mutex_acquire — spurious timeout
+  kMrapiSemAcquire,    // mrapi.sem_acquire   — spurious timeout
+  kPoolWorkerLaunch,   // pool.worker_launch  — gomp team member launch
+  kMcapiMsgSend,       // mcapi.msg_send      — kMessageLimit on delivery
+  kMtapiTaskStart,     // mtapi.task_start    — transient exhaustion
+  kCount,
+};
+
+std::string_view name(Site s);
+/// Parses a dotted site name; false when unknown.
+bool site_from_name(std::string_view text, Site* out);
+
+// --- runtime switches ---------------------------------------------------------
+
+/// Master switch (one relaxed load); armed sites fire only while enabled.
+bool enabled();
+void set_enabled(bool on);
+
+/// Replaces the active schedule with @p spec (grammar above).  Empty spec
+/// disarms every site.  On a malformed spec the schedule is cleared, a
+/// warning names the offending entry and false is returned — a bad
+/// schedule must never half-arm.
+bool configure(std::string_view spec);
+
+/// Disarms all sites, zeroes all statistics and disables injection (tests).
+void reset();
+/// Zeroes statistics but keeps the armed schedule (tests).
+void reset_counts();
+
+// --- the injection points -----------------------------------------------------
+
+/// One evaluation of @p site's schedule; true = the caller must fail this
+/// operation.  Counts the injection.
+bool should_fail(Site site);
+
+/// Recovery accounting: @p n absorbed failures were overcome (retry
+/// succeeded, fallback engaged) / @p n failures survived every retry and
+/// surfaced to the caller.
+void note_recovered(Site site, std::uint64_t n = 1);
+void note_exhausted(Site site, std::uint64_t n = 1);
+
+struct Counts {
+  std::uint64_t injected = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t exhausted = 0;
+};
+Counts counts(Site site);
+Counts totals();
+
+/// The "fault" section of the obs JSON report (a complete JSON value).
+std::string json_section();
+
+}  // namespace ompmca::fault
+
+// --- injection macros ---------------------------------------------------------
+//
+// All call sites go through these so an OMPMCA_FAULT=OFF build contains no
+// trace of the subsystem: no load, no branch, no dead argument evaluation.
+// OMPMCA_FAULT_POINT is an expression (usable in conditions); the
+// accounting hooks are statements.
+
+#if OMPMCA_FAULT_ENABLED
+
+#define OMPMCA_FAULT_POINT(site)       \
+  (::ompmca::fault::enabled() &&       \
+   ::ompmca::fault::should_fail(::ompmca::fault::Site::site))
+
+#define OMPMCA_FAULT_RECOVERED(site, n)                                     \
+  do {                                                                      \
+    if (::ompmca::fault::enabled()) {                                       \
+      ::ompmca::fault::note_recovered(::ompmca::fault::Site::site, (n));    \
+    }                                                                       \
+  } while (false)
+
+#define OMPMCA_FAULT_EXHAUSTED(site, n)                                     \
+  do {                                                                      \
+    if (::ompmca::fault::enabled()) {                                       \
+      ::ompmca::fault::note_exhausted(::ompmca::fault::Site::site, (n));    \
+    }                                                                       \
+  } while (false)
+
+#else  // !OMPMCA_FAULT_ENABLED
+
+#define OMPMCA_FAULT_POINT(site) (false)
+#define OMPMCA_FAULT_RECOVERED(site, n) ((void)0)
+#define OMPMCA_FAULT_EXHAUSTED(site, n) ((void)0)
+
+#endif  // OMPMCA_FAULT_ENABLED

@@ -1,10 +1,27 @@
 #include "gomp/backend_mca.hpp"
 
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 
 namespace ompmca::gomp {
 
 namespace {
+
+// Retry policy for transient MRAPI resource exhaustion on the create-type
+// paths (segment tables full, arena pressure): 8 attempts with exponential
+// backoff capped at 256us keeps the residual failure probability negligible
+// at the chaos suite's 10% injection rates while bounding the worst-case
+// stall well under the region timescale.
+constexpr unsigned kCreateRetries = 8;
+
+void create_backoff(unsigned attempt) {
+  const unsigned us = std::min(4u << attempt, 256u);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
 
 // Process-wide id carving: each backend instance claims a contiguous block
 // of node ids (1 master + up to kMaxWorkers workers); resource keys for
@@ -29,8 +46,31 @@ class McaMutex final : public BackendMutex {
   explicit McaMutex(std::shared_ptr<mrapi::Mutex> m) : m_(std::move(m)) {}
 
   void lock() override {
+    // Spurious kTimeout (fault-injected, or a future bounded-wait backend)
+    // is transient: re-arm the wait.  The retry bound only guards against a
+    // pathological schedule; a real unbounded failure surfaces as a logged
+    // error rather than silent mutual-exclusion loss.
+    constexpr unsigned kLockRetries = 64;
     mrapi::LockKey key;
-    (void)m_->lock(mrapi::kTimeoutInfinite, &key);
+    std::uint64_t failures = 0;
+    for (;;) {
+      Status s = m_->lock(mrapi::kTimeoutInfinite, &key);
+      if (ok(s)) {
+        if (failures > 0) {
+          OMPMCA_FAULT_RECOVERED(kMrapiMutexAcquire, failures);
+        }
+        return;
+      }
+      if (s != Status::kTimeout || ++failures >= kLockRetries) {
+        if (failures > 0) {
+          OMPMCA_FAULT_EXHAUSTED(kMrapiMutexAcquire, failures);
+        }
+        OMPMCA_LOG_ERROR("MCA backend: mutex lock failed: %s",
+                         std::string(to_string(s)).c_str());
+        return;
+      }
+      create_backoff(failures > 6 ? 6 : static_cast<unsigned>(failures));
+    }
   }
   void unlock() override { (void)m_->unlock(mrapi::LockKey{1}); }
   bool try_lock() override {
@@ -46,14 +86,25 @@ class McaMutex final : public BackendMutex {
 
 McaBackend::McaBackend(mrapi::DomainId domain)
     : domain_(domain), node_base_(claim_node_base()) {
-  auto n = mrapi::Node::initialize(domain_, node_base_,
-                                   mrapi::NodeAttributes{"gomp-master"});
-  if (!n) {
-    OMPMCA_LOG_ERROR("MCA backend: master node init failed: %s",
-                     std::string(to_string(n.status())).c_str());
-    return;
+  std::uint64_t failures = 0;
+  for (unsigned attempt = 0; attempt < kCreateRetries; ++attempt) {
+    auto n = mrapi::Node::initialize(domain_, node_base_,
+                                     mrapi::NodeAttributes{"gomp-master"});
+    if (n) {
+      if (failures > 0) OMPMCA_FAULT_RECOVERED(kMrapiNodeCreate, failures);
+      node_ = *n;
+      return;
+    }
+    if (n.status() != Status::kOutOfResources) {
+      OMPMCA_LOG_ERROR("MCA backend: master node init failed: %s",
+                       std::string(to_string(n.status())).c_str());
+      return;
+    }
+    ++failures;
+    create_backoff(attempt);
   }
-  node_ = *n;
+  OMPMCA_FAULT_EXHAUSTED(kMrapiNodeCreate, failures);
+  OMPMCA_LOG_ERROR("MCA backend: master node init failed after retries");
 }
 
 McaBackend::~McaBackend() {
@@ -85,17 +136,24 @@ Status McaBackend::join_thread(unsigned index) {
 
 void* McaBackend::allocate(std::size_t bytes) {
   // gomp_malloc (Listing 3): a heap-mode shared-memory segment per request.
-  mrapi::ResourceKey key = next_resource_key();
-  auto addr = node_.shmem_create_malloc(key, bytes);
-  if (!addr) {
-    // The paper's gomp_fatal("MRAPI failed memory allocation") path; the
-    // runtime core turns nullptr into a fatal error.
-    failed_allocations_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
+  // Creation failures are retried as transient before the paper's
+  // gomp_fatal("MRAPI failed memory allocation") path is surfaced.
+  std::uint64_t failures = 0;
+  for (unsigned attempt = 0; attempt < kCreateRetries; ++attempt) {
+    mrapi::ResourceKey key = next_resource_key();
+    auto addr = node_.shmem_create_malloc(key, bytes);
+    if (addr) {
+      if (failures > 0) OMPMCA_FAULT_RECOVERED(kMrapiShmemCreate, failures);
+      std::lock_guard lk(alloc_mu_);
+      allocations_[*addr] = key;
+      return *addr;
+    }
+    ++failures;
+    create_backoff(attempt);
   }
-  std::lock_guard lk(alloc_mu_);
-  allocations_[*addr] = key;
-  return *addr;
+  OMPMCA_FAULT_EXHAUSTED(kMrapiShmemCreate, failures);
+  failed_allocations_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
 }
 
 void McaBackend::deallocate(void* p) {
@@ -115,9 +173,19 @@ void McaBackend::deallocate(void* p) {
 }
 
 std::unique_ptr<BackendMutex> McaBackend::create_mutex() {
-  auto m = node_.mutex_create(next_resource_key());
-  if (!m) return nullptr;
-  return std::make_unique<McaMutex>(std::move(*m));
+  std::uint64_t failures = 0;
+  for (unsigned attempt = 0; attempt < kCreateRetries; ++attempt) {
+    auto m = node_.mutex_create(next_resource_key());
+    if (m) {
+      if (failures > 0) OMPMCA_FAULT_RECOVERED(kMrapiMutexCreate, failures);
+      return std::make_unique<McaMutex>(std::move(*m));
+    }
+    if (m.status() != Status::kOutOfResources) break;  // not transient
+    ++failures;
+    create_backoff(attempt);
+  }
+  if (failures > 0) OMPMCA_FAULT_EXHAUSTED(kMrapiMutexCreate, failures);
+  return nullptr;
 }
 
 unsigned McaBackend::num_procs() {

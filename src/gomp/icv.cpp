@@ -33,9 +33,10 @@ bool parse_schedule(const std::string& text, ScheduleSpec* out) {
     return false;
   }
   if (parts.size() == 2) {
-    char* end = nullptr;
-    long chunk = std::strtol(parts[1].c_str(), &end, 10);
-    if (end == parts[1].c_str() || chunk <= 0) return false;
+    long chunk = 0;
+    // Strict parse: "dynamic,4x" and overflowing chunk sizes reject the
+    // whole schedule string (the caller keeps its documented default).
+    if (!parse_long(parts[1], &chunk) || chunk <= 0) return false;
     spec.chunk = chunk;
   } else if (spec.kind == Schedule::kDynamic || spec.kind == Schedule::kGuided) {
     spec.chunk = 1;
@@ -45,14 +46,21 @@ bool parse_schedule(const std::string& text, ScheduleSpec* out) {
 }
 
 Icvs Icvs::from_env(unsigned default_threads) {
+  // Upper clamp for the thread-count ICVs: values above this are honoured
+  // as "as many as possible" instead of silently truncating in the cast to
+  // unsigned (OMP_NUM_THREADS=99999999999999999999 is rejected outright by
+  // the strict parser; OMP_NUM_THREADS=5000000000 clamps here).
+  constexpr long kMaxThreadsIcv = 1L << 20;
   Icvs icvs;
   icvs.num_threads = std::max(1u, default_threads);
-  if (auto n = env_long("OMP_NUM_THREADS"); n && *n > 0) {
+  if (auto n = env_long_clamped("OMP_NUM_THREADS", 0, kMaxThreadsIcv);
+      n && *n > 0) {
     icvs.num_threads = static_cast<unsigned>(*n);
   }
   if (auto d = env_bool("OMP_DYNAMIC")) icvs.dynamic_threads = *d;
   if (auto n = env_bool("OMP_NESTED")) icvs.nested = *n;
-  if (auto levels = env_long("OMP_MAX_ACTIVE_LEVELS"); levels && *levels > 0) {
+  if (auto levels = env_long_clamped("OMP_MAX_ACTIVE_LEVELS", 0, 1024);
+      levels && *levels > 0) {
     icvs.max_active_levels = static_cast<unsigned>(*levels);
   } else if (icvs.nested) {
     icvs.max_active_levels = 8;
@@ -70,7 +78,8 @@ Icvs Icvs::from_env(unsigned default_threads) {
     if (iequals(*b, "spread") || iequals(*b, "false"))
       icvs.proc_bind = ProcBind::kSpread;
   }
-  if (auto lim = env_long("OMP_THREAD_LIMIT"); lim && *lim > 0) {
+  if (auto lim = env_long_clamped("OMP_THREAD_LIMIT", 0, kMaxThreadsIcv);
+      lim && *lim > 0) {
     icvs.thread_limit = static_cast<unsigned>(*lim);
     icvs.num_threads = std::min(icvs.num_threads, icvs.thread_limit);
   }

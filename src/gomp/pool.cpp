@@ -2,15 +2,48 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdint>
 #include <thread>
 
 #include "check/check.hpp"
 #include "common/log.hpp"
 #include "common/spin.hpp"
 #include "common/time.hpp"
+#include "fault/fault.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ompmca::gomp {
+
+Status launch_worker_with_retry(SystemBackend& backend, unsigned index,
+                                std::function<void()> fn) {
+  // A handful of attempts with exponential backoff: worker launch failures
+  // under MRAPI are resource-exhaustion shaped (node table full, thread
+  // creation refused) and usually clear once a peer retires.  The caller
+  // degrades the team width when even the retries fail.
+  constexpr unsigned kLaunchRetries = 4;
+  constexpr unsigned kBackoffUs = 32;
+  std::uint64_t failures = 0;
+  for (unsigned attempt = 0;; ++attempt) {
+    Status s;
+    if (OMPMCA_FAULT_POINT(kPoolWorkerLaunch)) {
+      s = Status::kOutOfResources;
+    } else {
+      s = backend.launch_thread(index, fn);
+    }
+    if (ok(s)) {
+      if (failures > 0) OMPMCA_FAULT_RECOVERED(kPoolWorkerLaunch, failures);
+      return s;
+    }
+    ++failures;
+    if (attempt + 1 >= kLaunchRetries) {
+      OMPMCA_FAULT_EXHAUSTED(kPoolWorkerLaunch, failures);
+      return s;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(kBackoffUs << attempt));
+  }
+}
 
 ThreadPool::ThreadPool(SystemBackend& backend, PoolMode mode,
                        WaitPolicy wait_policy)
@@ -127,12 +160,15 @@ unsigned ThreadPool::prepare(unsigned nthreads) {
       const unsigned index = persistent_workers_;
       if (bells_.size() <= index) bells_.push_back(std::make_unique<Bell>());
       Bell* bell = bells_[index].get();
-      Status s = backend_.launch_thread(index, [this, index, bell, cur] {
-        worker_loop(index, *bell, cur, /*one_shot=*/false);
-      });
+      Status s = launch_worker_with_retry(backend_, index,
+                                          [this, index, bell, cur] {
+                                            worker_loop(index, *bell, cur,
+                                                        /*one_shot=*/false);
+                                          });
       if (!ok(s)) {
         OMPMCA_LOG_ERROR("pool: failed to launch worker %u: %s", index,
                          std::string(to_string(s)).c_str());
+        obs::count(obs::Counter::kGompTeamDegraded);
         break;
       }
       ++persistent_workers_;
@@ -147,11 +183,12 @@ unsigned ThreadPool::prepare(unsigned nthreads) {
   for (unsigned i = 0; i < extra; ++i) {
     if (bells_.size() <= i) bells_.push_back(std::make_unique<Bell>());
     Bell* bell = bells_[i].get();
-    Status s = backend_.launch_thread(i, [this, i, bell, cur] {
+    Status s = launch_worker_with_retry(backend_, i, [this, i, bell, cur] {
       worker_loop(i, *bell, cur, /*one_shot=*/true);
     });
     if (!ok(s)) {
       OMPMCA_LOG_ERROR("pool: per-region launch %u failed", i);
+      obs::count(obs::Counter::kGompTeamDegraded);
       break;
     }
     region_indices_.push_back(i);

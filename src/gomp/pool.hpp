@@ -54,6 +54,14 @@ namespace ompmca::gomp {
 
 enum class PoolMode { kPersistent, kPerRegion };
 
+/// Launches worker @p index through @p backend with the fault-injection
+/// point and the bounded retry-with-backoff policy applied: transient
+/// launch failures (fault-injected or real resource exhaustion) are retried
+/// a few times with exponential backoff before the failure is surfaced.
+/// Shared by the pool's two launch loops and the nested-team path.
+Status launch_worker_with_retry(SystemBackend& backend, unsigned index,
+                                std::function<void()> fn);
+
 class ThreadPool {
  public:
   ThreadPool(SystemBackend& backend, PoolMode mode,

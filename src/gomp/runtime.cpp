@@ -1,7 +1,7 @@
 #include "gomp/runtime.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <mutex>
 
 #include "common/log.hpp"
 #include "gomp/backend_mca.hpp"
@@ -22,6 +22,19 @@ std::string_view to_string(BackendKind k) {
 }
 
 namespace {
+
+/// Last-resort mutex for `critical` when the backend cannot produce one
+/// even after its internal retries: exclusion must still hold, so degrade
+/// to a plain process mutex (correct, just not an MRAPI-visible resource).
+class FallbackNativeMutex final : public BackendMutex {
+ public:
+  void lock() override { mu_.lock(); }
+  void unlock() override { mu_.unlock(); }
+  bool try_lock() override { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
 
 std::unique_ptr<SystemBackend> make_backend(const RuntimeOptions& opts) {
   if (opts.backend_factory) return opts.backend_factory();
@@ -68,7 +81,13 @@ BackendMutex& Runtime::critical_mutex(const std::string& name) {
   auto it = criticals_.find(name);
   if (it == criticals_.end()) {
     auto mu = backend_->create_mutex();
-    assert(mu != nullptr && "backend failed to create a critical mutex");
+    if (mu == nullptr) {
+      OMPMCA_LOG_WARN(
+          "critical(%s): backend mutex create failed, degrading to a native "
+          "mutex",
+          name.c_str());
+      mu = std::make_unique<FallbackNativeMutex>();
+    }
     it = criticals_.emplace(name, std::move(mu)).first;
   }
   return *it->second;
@@ -111,26 +130,31 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
       free_nested_ids_.pop_back();
     }
   }
-  n = static_cast<unsigned>(ids.size()) + 1;
+  // Launch the workers before sizing the team: each parks on a gate until
+  // the Team — sized to the launches that actually succeeded — is armed, so
+  // a launch failure shrinks the team instead of deadlocking its barrier on
+  // a member that never existed.
+  TeamLaunchGate gate;
+  std::vector<unsigned> launched;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const unsigned tid = static_cast<unsigned>(launched.size()) + 1;
+    Status s = launch_worker_with_retry(
+        *backend_, ids[i], [&gate, tid] { gate.worker_main(tid); });
+    if (ok(s)) {
+      launched.push_back(ids[i]);
+    } else {
+      OMPMCA_LOG_ERROR("nested team: launch failed (%u), degrading width",
+                       ids[i]);
+      obs::count(obs::Counter::kGompTeamDegraded);
+    }
+  }
+  n = static_cast<unsigned>(launched.size()) + 1;
 
   Team team(*this, n, outer);
   auto thread_fn = [&team, body](unsigned tid) {
     team.run_thread(tid, body);
   };
-  std::vector<unsigned> launched;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    unsigned tid = static_cast<unsigned>(i) + 1;
-    Status s = backend_->launch_thread(ids[i], [thread_fn, tid] {
-      thread_fn(tid);
-    });
-    if (ok(s)) {
-      launched.push_back(ids[i]);
-    } else {
-      // A missing member would deadlock the team barrier; treat as fatal.
-      OMPMCA_LOG_ERROR("nested team: launch failed (%u)", ids[i]);
-      assert(false && "nested team launch failed");
-    }
-  }
+  gate.arm([&team, body](unsigned tid) { team.run_thread(tid, body); });
   thread_fn(0);
   for (unsigned id : launched) (void)backend_->join_thread(id);
   {

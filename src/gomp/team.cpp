@@ -48,6 +48,34 @@ class AdoptedBackendLock {
 
 }  // namespace
 
+void TeamLaunchGate::worker_main(unsigned tid) {
+  std::function<void(unsigned)> fn;
+  {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [this] { return ready_ || abandoned_; });
+    if (abandoned_) return;
+    fn = fn_;  // copy: run outside the lock, peers run concurrently
+  }
+  fn(tid);
+}
+
+void TeamLaunchGate::arm(std::function<void(unsigned)> fn) {
+  {
+    std::lock_guard lk(mu_);
+    fn_ = std::move(fn);
+    ready_ = true;
+  }
+  cv_.notify_all();
+}
+
+void TeamLaunchGate::abandon() {
+  {
+    std::lock_guard lk(mu_);
+    abandoned_ = true;
+  }
+  cv_.notify_all();
+}
+
 Team::Team(Runtime& rt, unsigned nthreads, ParallelContext* parent_ctx)
     : rt_(rt),
       nthreads_(nthreads),

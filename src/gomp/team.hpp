@@ -15,9 +15,11 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstring>
 #include <functional>
 #include <initializer_list>
+#include <mutex>
 #include <string_view>
 #include <type_traits>
 #include <vector>
@@ -38,6 +40,32 @@ class Team;
 
 /// Bounded lookahead for back-to-back nowait worksharing constructs.
 inline constexpr unsigned kWorkshareRing = 4;
+
+/// Decouples nested-team worker launch from Team construction so launch
+/// failures degrade the team width instead of deadlocking its barrier.
+/// Workers are launched first and park on the gate; the master then sizes
+/// the Team to the launches that actually succeeded and arm()s the gate
+/// with the team body.  A master that aborts instead calls abandon() so
+/// parked workers exit without work.
+class TeamLaunchGate {
+ public:
+  /// Worker entry point: blocks until arm() or abandon(); runs the armed
+  /// body as thread @p tid when armed.
+  void worker_main(unsigned tid);
+
+  /// Publishes @p fn and releases every parked (and future) worker.
+  void arm(std::function<void(unsigned)> fn);
+
+  /// Releases parked workers without running anything.
+  void abandon();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+  bool abandoned_ = false;
+  std::function<void(unsigned)> fn_;
+};
 
 class ParallelContext {
  public:

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
+
+#include "fault/fault.hpp"
 
 namespace ompmca::mcapi {
 
@@ -21,6 +24,14 @@ Result<std::size_t> RecvRequest::wait(mrapi::Timeout timeout_ms) {
       cv_.wait(lk, done);
     } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
                              done)) {
+      // Expiry kills the request under mu_, the same lock deliver() takes
+      // before touching it: either delivery already completed us (the
+      // predicate above saw it) or the request dies here and a late
+      // deliver() skips it.  Without this, a delivery after expiry would
+      // write into a buffer the caller has every right to reclaim.
+      canceled_ = true;
+      done_ = true;
+      status_ = Status::kTimeout;
       return Status::kTimeout;
     }
   }
@@ -29,6 +40,10 @@ Result<std::size_t> RecvRequest::wait(mrapi::Timeout timeout_ms) {
 }
 
 Status RecvRequest::cancel() {
+  // Serialises against deliver() on mu_: exactly one of {delivered,
+  // canceled} wins.  If delivery got there first, done_ is already set and
+  // the cancel reports kRequestInvalid (the message was consumed into the
+  // buffer); otherwise the request dies and deliver() skips it.
   std::lock_guard lk(mu_);
   if (done_) return Status::kRequestInvalid;
   canceled_ = true;
@@ -51,7 +66,10 @@ Status Endpoint::deliver(const void* data, std::size_t bytes,
     RecvRequestHandle req = pending_recvs_.front();
     pending_recvs_.pop_front();
     std::lock_guard rlk(req->mu_);
-    if (req->canceled_) continue;
+    // Dead requests (canceled, or killed by finite-timeout expiry) linger
+    // in the deque until a delivery pops them; skipping here is what makes
+    // cancel-vs-deliver a clean either/or.
+    if (req->canceled_ || req->done_) continue;
     std::size_t n = std::min(bytes, req->capacity_);
     std::memcpy(req->buffer_, data, n);
     req->size_ = n;
@@ -91,7 +109,9 @@ Result<std::size_t> Endpoint::msg_recv(void* buffer, std::size_t capacity,
   std::unique_lock lk(mu_);
   auto has_data = [this] { return queued_total_ > 0; };
   if (!has_data()) {
-    if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kRequestPending;
+    // An empty queue is a timeout for a blocking receive, immediate or
+    // not — kRequestPending is reserved for non-blocking request tokens.
+    if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kTimeout;
     if (timeout_ms == mrapi::kTimeoutInfinite) {
       cv_.wait(lk, has_data);
     } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
@@ -100,7 +120,7 @@ Result<std::size_t> Endpoint::msg_recv(void* buffer, std::size_t capacity,
     }
   }
   Message m;
-  pop_locked(&m);
+  if (!pop_locked(&m)) return Status::kTimeout;
   std::size_t n = std::min(m.payload.size(), capacity);
   std::memcpy(buffer, m.payload.data(), n);
   if (m.payload.size() > capacity) return Status::kMessageTruncated;
@@ -181,7 +201,7 @@ Result<std::uint64_t> Endpoint::scalar_recv(unsigned width_bytes,
   std::unique_lock lk(mu_);
   auto has_data = [this] { return !scalars_.empty(); };
   if (!has_data()) {
-    if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kRequestPending;
+    if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kTimeout;
     if (timeout_ms == mrapi::kTimeoutInfinite) {
       cv_.wait(lk, has_data);
     } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
@@ -270,7 +290,34 @@ Status msg_send(const EndpointHandle& from, const EndpointHandle& to,
   if (from == nullptr || to == nullptr) return Status::kEndpointInvalid;
   // Endpoints attached to a connected channel refuse datagrams (spec).
   if (to->channel_type() != ChannelType::kNone) return Status::kChannelOpen;
-  return to->deliver(data, bytes, priority);
+  // Resilience policy: a full receive queue (kMessageLimit) is transient —
+  // the receiver only needs to drain — so absorb a bounded burst with
+  // exponential backoff before surfacing it.  Other errors are permanent
+  // and return immediately.
+  constexpr unsigned kSendRetries = 6;
+  constexpr unsigned kSendBackoffUs = 16;
+  std::uint64_t failures = 0;
+  for (unsigned attempt = 0;; ++attempt) {
+    Status s;
+    if (OMPMCA_FAULT_POINT(kMcapiMsgSend)) {
+      s = Status::kMessageLimit;
+    } else {
+      s = to->deliver(data, bytes, priority);
+    }
+    if (s != Status::kMessageLimit) {
+      if (ok(s) && failures > 0) {
+        OMPMCA_FAULT_RECOVERED(kMcapiMsgSend, failures);
+      }
+      return s;
+    }
+    ++failures;
+    if (attempt + 1 >= kSendRetries) {
+      OMPMCA_FAULT_EXHAUSTED(kMcapiMsgSend, failures);
+      return s;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(kSendBackoffUs << attempt));
+  }
 }
 
 Status channel_connect(ChannelType type, const EndpointHandle& sender,

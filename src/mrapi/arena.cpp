@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "fault/fault.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ompmca::mrapi {
@@ -19,6 +20,10 @@ SystemShmArena::SystemShmArena(std::size_t capacity_bytes)
 Result<void*> SystemShmArena::allocate(std::size_t bytes) {
   obs::ScopedTimer timer(obs::Hist::kMrapiArenaAllocateNs);
   if (bytes == 0) return Status::kInvalidArgument;
+  if (OMPMCA_FAULT_POINT(kMrapiArenaAlloc)) {
+    obs::count(obs::Counter::kMrapiArenaAllocateFailed);
+    return Status::kOutOfResources;
+  }
   const std::size_t need = align_up(bytes, kCacheLineBytes);
   std::lock_guard<std::mutex> lk(mu_);
   for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {

@@ -2,6 +2,7 @@
 
 #include "check/check.hpp"
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 
 namespace ompmca::mrapi {
 
@@ -142,6 +143,7 @@ Status DomainState::shmem_delete(ResourceKey key) {
 Result<std::shared_ptr<Mutex>> DomainState::mutex_create(
     ResourceKey key, MutexAttributes attrs) {
   std::unique_lock lk(mu_);
+  if (OMPMCA_FAULT_POINT(kMrapiMutexCreate)) return Status::kOutOfResources;
   if (mutexes_.size() >= Limits::kMaxMutexes) return Status::kOutOfResources;
   if (mutexes_.count(key) > 0) return Status::kMutexExists;
   auto m = std::make_shared<Mutex>(attrs);
@@ -178,6 +180,7 @@ Result<std::shared_ptr<Semaphore>> DomainState::sem_create(
     ResourceKey key, SemaphoreAttributes attrs) {
   if (attrs.shared_lock_limit == 0) return Status::kSemValueInvalid;
   std::unique_lock lk(mu_);
+  if (OMPMCA_FAULT_POINT(kMrapiSemCreate)) return Status::kOutOfResources;
   if (sems_.size() >= Limits::kMaxSemaphores) return Status::kOutOfResources;
   if (sems_.count(key) > 0) return Status::kSemExists;
   auto s = std::make_shared<Semaphore>(attrs);

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ompmca::mrapi {
@@ -38,6 +39,14 @@ Status Mutex::lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
     obs::count(obs::Counter::kMrapiMutexAcquire);
     OMPMCA_CHECK_ACQUIRE(check::LockClass::kMrapiMutex, this, 0);
     return Status::kSuccess;
+  }
+
+  // Fault injection simulates a timeout on the blocking acquire path only;
+  // trylock (kTimeoutImmediate) keeps its exact semantics so lock-free
+  // fast paths stay deterministic under chaos schedules.
+  if (timeout_ms != kTimeoutImmediate &&
+      OMPMCA_FAULT_POINT(kMrapiMutexAcquire)) {
+    return Status::kTimeout;
   }
 
   // Retirement also satisfies the wait so parked threads can fail fast

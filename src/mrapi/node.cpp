@@ -1,6 +1,7 @@
 #include "mrapi/node.hpp"
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ompmca::mrapi {
@@ -9,6 +10,7 @@ Result<Node> Node::initialize(DomainId domain, NodeId node,
                               NodeAttributes attrs) {
   auto d = Database::instance().domain(domain);
   if (!d) return d.status();
+  if (OMPMCA_FAULT_POINT(kMrapiNodeCreate)) return Status::kOutOfResources;
   Status s = (*d)->register_node(node, std::move(attrs));
   if (!ok(s)) return s;
   obs::count(obs::Counter::kMrapiNodeCreate);
@@ -27,6 +29,7 @@ Status Node::finalize() {
 Status Node::thread_create(NodeId worker_node, ThreadParameters params) {
   OMPMCA_RETURN_IF_ERROR(require_init());
   if (!params.start_routine) return Status::kInvalidArgument;
+  if (OMPMCA_FAULT_POINT(kMrapiNodeCreate)) return Status::kOutOfResources;
   std::thread worker(std::move(params.start_routine));
   Status s = domain_->register_worker_node(
       worker_node, NodeAttributes{"worker"}, std::move(worker));

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 
 namespace ompmca::mrapi {
 
@@ -14,6 +15,11 @@ Status Semaphore::acquire(Timeout timeout_ms) {
   if (retired_) {
     OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiSemaphore, this);
     return Status::kSemIdInvalid;
+  }
+  // Spurious timeout on blocking acquires only; try_acquire is exempt.
+  if (timeout_ms != kTimeoutImmediate &&
+      OMPMCA_FAULT_POINT(kMrapiSemAcquire)) {
+    return Status::kTimeout;
   }
   auto available_pred = [this] { return count_ > 0 || retired_; };
   if (count_ == 0) {

@@ -3,19 +3,36 @@
 #include <cstdlib>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 
 namespace ompmca::mrapi {
 
 Shmem::Shmem(ResourceKey key, std::size_t size, ShmemAttributes attrs,
              SystemShmArena* arena)
     : key_(key), size_(size), attrs_(attrs), arena_(arena) {
+  const bool inject = OMPMCA_FAULT_POINT(kMrapiShmemCreate);
   if (attrs_.use_malloc) attrs_.mode = ShmemMode::kHeap;
   if (attrs_.mode == ShmemMode::kHeap) {
     // The paper's extension: plain process-heap storage.
-    base_ = std::malloc(size_);
+    base_ = inject ? nullptr : std::malloc(size_);
   } else {
-    auto r = arena_->allocate(size_);
-    base_ = r ? *r : nullptr;
+    if (!inject) {
+      auto r = arena_->allocate(size_);
+      base_ = r ? *r : nullptr;
+    }
+    if (base_ == nullptr && attrs_.allow_heap_fallback) {
+      // Degradation policy: a kSystem segment the arena cannot place is
+      // re-homed on the process heap (the paper's use_malloc mode, Listing
+      // 3).  Thread-level consumers — the OpenMP runtime above us — only
+      // need a shared address, which the heap provides.
+      OMPMCA_LOG_WARN(
+          "shmem key=%u: arena cannot place %zu bytes, falling back to heap "
+          "mode",
+          key_, size_);
+      attrs_.mode = ShmemMode::kHeap;
+      base_ = std::malloc(size_);
+      if (base_ != nullptr) OMPMCA_FAULT_RECOVERED(kMrapiShmemCreate, 1);
+    }
   }
   if (base_ == nullptr) {
     OMPMCA_LOG_WARN("shmem key=%u: allocation of %zu bytes failed", key_,

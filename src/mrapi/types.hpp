@@ -50,6 +50,11 @@ struct ShmemAttributes {
   ShmemMode mode = ShmemMode::kSystem;
   bool use_malloc = false;  // paper's attribute name; true implies kHeap
   std::size_t alignment = 64;
+  // Graceful degradation: when the system arena cannot satisfy a kSystem
+  // request, fall back to the paper's thread-level heap mode instead of
+  // failing the create.  Callers that need the system-segment semantics
+  // (inter-process visibility, survival across detach) opt out.
+  bool allow_heap_fallback = true;
 };
 
 /// Remote-memory access mechanism (§2B.2): direct load/store when the

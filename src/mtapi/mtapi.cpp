@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <thread>
+
+#include "fault/fault.hpp"
 
 namespace ompmca::mtapi {
 
@@ -237,10 +241,27 @@ Result<TaskHandle> TaskRuntime::make_task(JobId job, const void* args,
 Result<TaskHandle> TaskRuntime::task_start(JobId job, const void* args,
                                            std::size_t arg_size,
                                            const GroupHandle& group) {
-  auto task = make_task(job, args, arg_size, group, nullptr);
-  if (!task) return task.status();
-  submit(*task);
-  return task;
+  // Transient start failures (fault-injected resource exhaustion) are
+  // retried with backoff; semantic errors from make_task (unknown job,
+  // oversized arguments) are permanent and pass straight through.
+  constexpr unsigned kStartRetries = 4;
+  std::uint64_t failures = 0;
+  for (unsigned attempt = 0;; ++attempt) {
+    if (OMPMCA_FAULT_POINT(kMtapiTaskStart)) {
+      ++failures;
+      if (attempt + 1 >= kStartRetries) {
+        OMPMCA_FAULT_EXHAUSTED(kMtapiTaskStart, failures);
+        return Status::kOutOfResources;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(16u << attempt));
+      continue;
+    }
+    auto task = make_task(job, args, arg_size, group, nullptr);
+    if (!task) return task.status();
+    if (failures > 0) OMPMCA_FAULT_RECOVERED(kMtapiTaskStart, failures);
+    submit(*task);
+    return task;
+  }
 }
 
 Result<QueueHandle> TaskRuntime::queue_create(JobId job) {

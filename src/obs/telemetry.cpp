@@ -65,6 +65,7 @@ std::string_view name(Counter c) {
     case Counter::kGompReduction: return "gomp.reduction";
     case Counter::kGompTaskSpawned: return "gomp.task_spawned";
     case Counter::kGompPoolDispatch: return "gomp.pool_dispatch";
+    case Counter::kGompTeamDegraded: return "gomp.team_degraded";
     case Counter::kGompLoopStealAttempt: return "gomp.loop_steal_attempt";
     case Counter::kGompLoopSteal: return "gomp.loop_steal";
     case Counter::kGompLoopStealLocal: return "gomp.loop_steal_local";

@@ -45,6 +45,9 @@ enum class Counter : unsigned {
   kGompReduction,
   kGompTaskSpawned,
   kGompPoolDispatch,
+  // Teams that ran narrower than requested because worker launch failed
+  // (graceful degradation instead of a deadlocked barrier).
+  kGompTeamDegraded,
   // Work-stealing loop scheduler (dynamic/guided distributed ranges).
   kGompLoopStealAttempt,
   kGompLoopSteal,

@@ -41,6 +41,48 @@ TEST_F(EnvTest, LongGarbageIsNullopt) {
   EXPECT_FALSE(env_long("OMPMCA_TEST_G").has_value());
 }
 
+TEST_F(EnvTest, LongOverflowIsNullopt) {
+  // strtol saturates with ERANGE; the parser must reject, not saturate —
+  // a later cast to unsigned would otherwise truncate the saturated value.
+  set("OMPMCA_TEST_OVF", "99999999999999999999");
+  EXPECT_FALSE(env_long("OMPMCA_TEST_OVF").has_value());
+  set("OMPMCA_TEST_OVF", "-99999999999999999999");
+  EXPECT_FALSE(env_long("OMPMCA_TEST_OVF").has_value());
+}
+
+TEST_F(EnvTest, LongTrailingGarbageIsNullopt) {
+  set("OMPMCA_TEST_TG", "4x");
+  EXPECT_FALSE(env_long("OMPMCA_TEST_TG").has_value());
+}
+
+TEST_F(EnvTest, LongSurroundingWhitespaceTolerated) {
+  set("OMPMCA_TEST_WS", "  42 ");
+  EXPECT_EQ(env_long("OMPMCA_TEST_WS").value(), 42);
+}
+
+TEST_F(EnvTest, LongClampedClampsButNeverTruncates) {
+  set("OMPMCA_TEST_CL", "5000000000");  // parses as long, above the cap
+  EXPECT_EQ(env_long_clamped("OMPMCA_TEST_CL", 0, 1L << 20).value(),
+            1L << 20);
+  set("OMPMCA_TEST_CL", "-3");
+  EXPECT_EQ(env_long_clamped("OMPMCA_TEST_CL", 0, 1L << 20).value(), 0);
+  set("OMPMCA_TEST_CL", "99999999999999999999");  // unparsable: reject
+  EXPECT_FALSE(env_long_clamped("OMPMCA_TEST_CL", 0, 1L << 20).has_value());
+}
+
+TEST(ParseLong, StrictWholeStringParse) {
+  long v = 0;
+  EXPECT_TRUE(parse_long("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_long("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(parse_long("", &v));
+  EXPECT_FALSE(parse_long("   ", &v));
+  EXPECT_FALSE(parse_long("4x", &v));
+  EXPECT_FALSE(parse_long("x4", &v));
+  EXPECT_FALSE(parse_long("99999999999999999999", &v));
+}
+
 TEST_F(EnvTest, BoolSpellings) {
   for (const char* t : {"true", "TRUE", "yes", "on", "1"}) {
     set("OMPMCA_TEST_B", t);
@@ -65,6 +107,21 @@ TEST_F(EnvTest, LongList) {
 
 TEST_F(EnvTest, LongListMalformedIsEmpty) {
   set("OMPMCA_TEST_LIST", "4,x,12");
+  EXPECT_TRUE(env_long_list("OMPMCA_TEST_LIST").empty());
+}
+
+TEST_F(EnvTest, LongListEmptyPieceIsEmpty) {
+  set("OMPMCA_TEST_LIST", "4,,12");
+  EXPECT_TRUE(env_long_list("OMPMCA_TEST_LIST").empty());
+}
+
+TEST_F(EnvTest, LongListTrailingGarbagePieceIsEmpty) {
+  set("OMPMCA_TEST_LIST", "4,8x,12");
+  EXPECT_TRUE(env_long_list("OMPMCA_TEST_LIST").empty());
+}
+
+TEST_F(EnvTest, LongListOverflowPieceIsEmpty) {
+  set("OMPMCA_TEST_LIST", "4,99999999999999999999,12");
   EXPECT_TRUE(env_long_list("OMPMCA_TEST_LIST").empty());
 }
 

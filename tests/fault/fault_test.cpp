@@ -1,0 +1,186 @@
+// Unit tests for the fault-injection core: spec parsing, schedule
+// semantics (rate / nth / count / seed), accounting and the JSON report.
+// The core library is compiled in every build (the OMPMCA_FAULT option
+// only gates the macros at the call sites), so these run unconditionally.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ompmca::fault {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(FaultTest, SiteNamesRoundTrip) {
+  for (unsigned i = 0; i < static_cast<unsigned>(Site::kCount); ++i) {
+    auto site = static_cast<Site>(i);
+    Site back;
+    ASSERT_TRUE(site_from_name(name(site), &back)) << name(site);
+    EXPECT_EQ(back, site);
+  }
+  Site out;
+  EXPECT_FALSE(site_from_name("mrapi.not_a_site", &out));
+  EXPECT_FALSE(site_from_name("", &out));
+}
+
+TEST_F(FaultTest, BareSiteFailsEveryEvaluation) {
+  ASSERT_TRUE(configure("mrapi.shmem_create"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(should_fail(Site::kMrapiShmemCreate));
+  }
+  EXPECT_EQ(counts(Site::kMrapiShmemCreate).injected, 10u);
+  // Unarmed sites never fire.
+  EXPECT_FALSE(should_fail(Site::kMcapiMsgSend));
+}
+
+TEST_F(FaultTest, NthFailsEveryNth) {
+  ASSERT_TRUE(configure("pool.worker_launch:nth=3"));
+  std::vector<int> fired;
+  for (int i = 1; i <= 9; ++i) {
+    if (should_fail(Site::kPoolWorkerLaunch)) fired.push_back(i);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9}));
+}
+
+TEST_F(FaultTest, RateZeroNeverFires) {
+  ASSERT_TRUE(configure("mcapi.msg_send:rate=0.0"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(should_fail(Site::kMcapiMsgSend));
+  }
+  EXPECT_EQ(counts(Site::kMcapiMsgSend).injected, 0u);
+}
+
+TEST_F(FaultTest, RateOneAlwaysFires) {
+  ASSERT_TRUE(configure("mcapi.msg_send:rate=1.0"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(should_fail(Site::kMcapiMsgSend));
+  }
+}
+
+TEST_F(FaultTest, RateIsSeededAndReproducible) {
+  auto draw = [](const char* spec) {
+    EXPECT_TRUE(configure(spec));
+    std::vector<bool> seq;
+    for (int i = 0; i < 256; ++i) {
+      seq.push_back(should_fail(Site::kMrapiMutexAcquire));
+    }
+    return seq;
+  };
+  auto a = draw("mrapi.mutex_acquire:rate=0.5:seed=7");
+  auto b = draw("mrapi.mutex_acquire:rate=0.5:seed=7");
+  EXPECT_EQ(a, b);  // same seed, same schedule
+  auto c = draw("mrapi.mutex_acquire:rate=0.5:seed=8");
+  EXPECT_NE(a, c);  // 2^-256 false-failure probability
+}
+
+TEST_F(FaultTest, RateIsApproximatelyHonoured) {
+  ASSERT_TRUE(configure("mrapi.sem_acquire:rate=0.1:seed=42"));
+  int fired = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (should_fail(Site::kMrapiSemAcquire)) ++fired;
+  }
+  // 10000 draws at p=0.1: mean 1000, sd = 30; +/- 10 sd.
+  EXPECT_GT(fired, 700);
+  EXPECT_LT(fired, 1300);
+}
+
+TEST_F(FaultTest, CountCapsInjections) {
+  ASSERT_TRUE(configure("mrapi.node_create:count=2"));
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (should_fail(Site::kMrapiNodeCreate)) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(counts(Site::kMrapiNodeCreate).injected, 2u);
+}
+
+TEST_F(FaultTest, MultiEntrySpec) {
+  ASSERT_TRUE(
+      configure("mrapi.shmem_create:rate=0.1:seed=42,pool.worker_launch:nth=2,"
+                "mcapi.msg_send:rate=0.05"));
+  EXPECT_FALSE(should_fail(Site::kPoolWorkerLaunch));
+  EXPECT_TRUE(should_fail(Site::kPoolWorkerLaunch));
+  // Sites not in the spec stay disarmed.
+  EXPECT_FALSE(should_fail(Site::kMtapiTaskStart));
+}
+
+TEST_F(FaultTest, MalformedSpecClearsEverything) {
+  ASSERT_TRUE(configure("mrapi.shmem_create"));
+  EXPECT_TRUE(should_fail(Site::kMrapiShmemCreate));
+  for (const char* bad :
+       {"mrapi.shmem_create:rate=1.5", "mrapi.shmem_create:rate=abc",
+        "no.such_site", "mrapi.shmem_create:nth=0",
+        "mrapi.shmem_create:bogus=1", "mrapi.shmem_create:rate",
+        "mrapi.shmem_create:nth=99999999999999999999",
+        "mrapi.shmem_create,also.bad"}) {
+    EXPECT_FALSE(configure(bad)) << bad;
+    // A malformed spec must never half-arm: everything is disarmed.
+    EXPECT_FALSE(should_fail(Site::kMrapiShmemCreate)) << bad;
+  }
+}
+
+TEST_F(FaultTest, EmptySpecDisarms) {
+  ASSERT_TRUE(configure("mrapi.shmem_create"));
+  ASSERT_TRUE(configure(""));
+  EXPECT_FALSE(should_fail(Site::kMrapiShmemCreate));
+}
+
+TEST_F(FaultTest, AccountingBalances) {
+  ASSERT_TRUE(configure("mrapi.mutex_create"));
+  ASSERT_TRUE(should_fail(Site::kMrapiMutexCreate));
+  ASSERT_TRUE(should_fail(Site::kMrapiMutexCreate));
+  ASSERT_TRUE(should_fail(Site::kMrapiMutexCreate));
+  note_recovered(Site::kMrapiMutexCreate, 2);
+  note_exhausted(Site::kMrapiMutexCreate, 1);
+  Counts c = counts(Site::kMrapiMutexCreate);
+  EXPECT_EQ(c.injected, 3u);
+  EXPECT_EQ(c.recovered, 2u);
+  EXPECT_EQ(c.exhausted, 1u);
+  Counts t = totals();
+  EXPECT_EQ(t.injected, t.recovered + t.exhausted);
+}
+
+TEST_F(FaultTest, ResetCountsKeepsScheduleAndReplaysIt) {
+  ASSERT_TRUE(configure("pool.worker_launch:nth=2"));
+  EXPECT_FALSE(should_fail(Site::kPoolWorkerLaunch));
+  EXPECT_TRUE(should_fail(Site::kPoolWorkerLaunch));
+  reset_counts();
+  EXPECT_EQ(totals().injected, 0u);
+  // The schedule (including the RNG stream) replays from the start.
+  EXPECT_FALSE(should_fail(Site::kPoolWorkerLaunch));
+  EXPECT_TRUE(should_fail(Site::kPoolWorkerLaunch));
+}
+
+TEST_F(FaultTest, EnabledSwitchIsIndependentOfSchedule) {
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  reset();
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(FaultTest, JsonSectionShape) {
+  ASSERT_TRUE(configure("mrapi.shmem_create:rate=0.5:seed=9"));
+  (void)should_fail(Site::kMrapiShmemCreate);
+  std::string json = json_section();
+  EXPECT_NE(json.find("\"enabled\""), std::string::npos);
+  EXPECT_NE(json.find("\"spec\": \"mrapi.shmem_create:rate=0.5:seed=9\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"injected_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovered_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"exhausted_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"site\": \"mrapi.shmem_create\""), std::string::npos);
+  // Unarmed, never-hit sites are omitted.
+  EXPECT_EQ(json.find("mtapi.task_start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ompmca::fault

@@ -80,9 +80,11 @@ TEST_F(McapiTest, RecvTimesOutWhenEmpty) {
   auto b = endpoint_create(0, 2, 1);
   char buf[8];
   EXPECT_EQ((*b)->msg_recv(buf, sizeof(buf), 10).status(), Status::kTimeout);
+  // Immediate-empty is also a timeout: kRequestPending is reserved for
+  // non-blocking request tokens, and a blocking recv must never leak it.
   EXPECT_EQ((*b)->msg_recv(buf, sizeof(buf), mrapi::kTimeoutImmediate)
                 .status(),
-            Status::kRequestPending);
+            Status::kTimeout);
 }
 
 TEST_F(McapiTest, BlockingRecvWokenBySend) {
@@ -159,6 +161,58 @@ TEST_F(McapiTest, CanceledRequestSkipped) {
   ASSERT_TRUE(r2->wait(1000).has_value());
   EXPECT_EQ(slot2, 5);
   EXPECT_EQ(slot1, 0);
+}
+
+TEST_F(McapiTest, FiniteTimeoutExpiryMarksRequestDead) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  int slot = 0;
+  auto req = (*b)->msg_recv_i(&slot, sizeof(slot));
+  EXPECT_EQ(req->wait(10).status(), Status::kTimeout);
+  // The request died at expiry: a later send must not write into its
+  // buffer (the caller may already have reclaimed it).
+  int v = 41;
+  ASSERT_EQ(msg_send(*a, *b, &v, sizeof(v)), Status::kSuccess);
+  EXPECT_EQ(slot, 0);
+  EXPECT_EQ((*b)->messages_available(), 1u);
+  // The expired request stays dead and keeps reporting the timeout.
+  EXPECT_EQ(req->wait(0).status(), Status::kTimeout);
+  // The undelivered message goes to the next receiver instead.
+  int got = 0;
+  ASSERT_TRUE((*b)->msg_recv(&got, sizeof(got), 0).has_value());
+  EXPECT_EQ(got, 41);
+}
+
+TEST_F(McapiTest, CancelVsDeliveryExactlyOneWins) {
+  auto a = endpoint_create(0, 1, 1);
+  auto b = endpoint_create(0, 2, 1);
+  for (int round = 0; round < 200; ++round) {
+    int slot = -1;
+    auto req = (*b)->msg_recv_i(&slot, sizeof(slot));
+    std::thread sender([&] {
+      int v = round;
+      EXPECT_EQ(msg_send(*a, *b, &v, sizeof(v)), Status::kSuccess);
+    });
+    Status c = req->cancel();
+    sender.join();
+    if (c == Status::kSuccess) {
+      // Cancel won: the request reports canceled, the buffer is untouched
+      // and the message waits for the next receiver.
+      EXPECT_EQ(req->wait(0).status(), Status::kRequestCanceled);
+      EXPECT_EQ(slot, -1);
+      ASSERT_EQ((*b)->messages_available(), 1u);
+      int drain = 0;
+      ASSERT_TRUE((*b)->msg_recv(&drain, sizeof(drain), 0).has_value());
+      EXPECT_EQ(drain, round);
+    } else {
+      // Delivery won: cancel reports the request already completed and the
+      // message was consumed into the buffer.
+      EXPECT_EQ(c, Status::kRequestInvalid);
+      ASSERT_TRUE(req->wait(0).has_value());
+      EXPECT_EQ(slot, round);
+      EXPECT_EQ((*b)->messages_available(), 0u);
+    }
+  }
 }
 
 // --- packet channels -----------------------------------------------------------

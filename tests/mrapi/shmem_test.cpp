@@ -136,9 +136,22 @@ TEST_F(ShmemTest, SystemModeConsumesArena) {
   EXPECT_EQ((*d)->arena().used(), used0);
 }
 
-TEST_F(ShmemTest, SystemModeExhaustionReturnsOutOfResources) {
-  // The default arena is 64 MiB; ask for more.
+TEST_F(ShmemTest, SystemModeExhaustionFallsBackToHeap) {
+  // The default arena is 64 MiB; ask for more.  By default the create
+  // degrades to the paper's heap mode instead of failing.
   auto seg = node_.shmem_create(14, 128u << 20);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_EQ((*seg)->attributes().mode, ShmemMode::kHeap);
+  auto addr = (*seg)->attach(node_.node_id());
+  ASSERT_TRUE(addr.has_value());
+  ASSERT_EQ((*seg)->detach(node_.node_id()), Status::kSuccess);
+  ASSERT_EQ(node_.shmem_delete(14), Status::kSuccess);
+}
+
+TEST_F(ShmemTest, SystemModeExhaustionFailsWhenFallbackDisabled) {
+  ShmemAttributes attrs;
+  attrs.allow_heap_fallback = false;
+  auto seg = node_.shmem_create(14, 128u << 20, attrs);
   EXPECT_EQ(seg.status(), Status::kOutOfResources);
 }
 
