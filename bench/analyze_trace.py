@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Analyze an ompmca Chrome/Perfetto trace (OMPMCA_TRACE export).
+
+Computes, from the flight-recorder JSON that src/obs/trace.cpp exports:
+
+  * per-construct time breakdown — count / total / mean / max per event
+    name, plus share of the traced wall-clock span;
+  * fork critical path — for every doorbell epoch, the time from the
+    master's fork_ring to the *last* worker_wake it caused (the paper's
+    fork overhead is exactly this path);
+  * steal locality — attempts, successes, and the local/remote split of
+    the loop scheduler's range stealing.
+
+    python3 bench/analyze_trace.py bench/artifacts/trace_table1_epcc.json
+
+With --json the same numbers are emitted as a {"trace_summary": ...}
+artifact object (bench/diff_artifacts.py understands it), so a trace
+summary can be committed next to the EPCC artifacts and diffed across PRs.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"analyze_trace: cannot read {path}: {e}")
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        sys.exit(f"analyze_trace: {path} has no traceEvents array")
+    return events
+
+
+def analyze(events):
+    constructs = defaultdict(lambda: {"count": 0, "total_us": 0.0,
+                                      "max_us": 0.0})
+    span_lo, span_hi = None, None
+    ring_ts = {}          # epoch -> fork_ring ts
+    ring_width = {}       # epoch -> team width
+    wakes = defaultdict(list)  # epoch -> [worker_wake ts]
+    steals = {"attempts": 0, "steals": 0, "local": 0, "remote": 0}
+
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        name = e.get("name", "?")
+        ts = float(e.get("ts", 0.0))
+        dur = float(e.get("dur", 0.0))
+        c = constructs[name]
+        c["count"] += 1
+        c["total_us"] += dur
+        c["max_us"] = max(c["max_us"], dur)
+        span_lo = ts if span_lo is None else min(span_lo, ts)
+        span_hi = ts + dur if span_hi is None else max(span_hi, ts + dur)
+
+        args = e.get("args", {})
+        if name == "fork_ring":
+            epoch = args.get("epoch")
+            if epoch is not None:
+                ring_ts[epoch] = ts
+                ring_width[epoch] = args.get("width")
+        elif name == "worker_wake":
+            epoch = args.get("epoch")
+            if epoch is not None:
+                wakes[epoch].append(ts)
+        elif name == "steal_attempt":
+            steals["attempts"] += 1
+        elif name == "steal":
+            steals["steals"] += 1
+            if args.get("local"):
+                steals["local"] += 1
+            else:
+                steals["remote"] += 1
+
+    wall_us = (span_hi - span_lo) if span_lo is not None else 0.0
+
+    # Fork critical path: ring -> last wake of the same epoch.  Epochs whose
+    # wakes were overwritten in the ring (flight-recorder mode) are skipped —
+    # a path needs both ends.
+    paths = []
+    for epoch, t_ring in ring_ts.items():
+        if epoch not in wakes:
+            continue
+        last_wake = max(wakes[epoch])
+        if last_wake >= t_ring:
+            paths.append({"epoch": epoch, "us": last_wake - t_ring,
+                          "width": ring_width.get(epoch)})
+    fork_cp = None
+    if paths:
+        us = sorted(p["us"] for p in paths)
+        fork_cp = {
+            "count": len(us),
+            "mean_us": sum(us) / len(us),
+            "max_us": us[-1],
+            "p95_us": us[min(len(us) - 1, int(len(us) * 0.95))],
+        }
+
+    return {
+        "constructs": {k: dict(v) for k, v in sorted(constructs.items())},
+        "wall_us": wall_us,
+        "fork_critical_path_us": fork_cp,
+        "forks_paired": len(paths),
+        "forks_seen": len(ring_ts),
+        "steal": steals,
+    }
+
+
+def print_human(summary):
+    wall = summary["wall_us"]
+    print(f"traced span: {wall:.1f} us")
+    print()
+    header = (f"{'construct':<16} {'count':>8} {'total_us':>12} "
+              f"{'mean_us':>10} {'max_us':>10} {'%span':>7}")
+    print(header)
+    print("-" * len(header))
+    for name, c in summary["constructs"].items():
+        mean = c["total_us"] / c["count"] if c["count"] else 0.0
+        pct = 100.0 * c["total_us"] / wall if wall > 0 else 0.0
+        print(f"{name:<16} {c['count']:>8} {c['total_us']:>12.1f} "
+              f"{mean:>10.3f} {c['max_us']:>10.1f} {pct:>6.1f}%")
+    print()
+    cp = summary["fork_critical_path_us"]
+    if cp:
+        print(f"fork critical path (ring -> last worker wake), "
+              f"{cp['count']} forks paired of {summary['forks_seen']} seen:")
+        print(f"  mean {cp['mean_us']:.3f} us   p95 {cp['p95_us']:.3f} us   "
+              f"max {cp['max_us']:.3f} us")
+    else:
+        print("fork critical path: no ring/wake pairs in this trace")
+    st = summary["steal"]
+    if st["attempts"] or st["steals"]:
+        total = st["steals"] or 1
+        print(f"steals: {st['steals']} of {st['attempts']} attempts "
+              f"({st['local']} local / {st['remote']} remote; "
+              f"locality {100.0 * st['local'] / total:.1f}%)")
+    else:
+        print("steals: none recorded")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace JSON (OMPMCA_TRACE export)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit a trace_summary artifact object on stdout")
+    args = ap.parse_args()
+
+    summary = analyze(load_events(args.trace))
+    if args.json:
+        json.dump({"_meta": {"source": args.trace,
+                             "tool": "analyze_trace.py"},
+                   "trace_summary": summary}, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print_human(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

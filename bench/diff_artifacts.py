@@ -11,6 +11,10 @@ visible from the committed artifacts instead of being re-measured by hand.
 Informational by default (always exits 0).  With --threshold PCT it exits 1
 when any directive's overhead regressed by more than PCT percent — CI keeps
 it informational, release checklists can tighten it.
+
+Also understands analyze_trace.py --json artifacts: unknown sections are
+skipped, and when both sides carry a trace_summary with a fork critical
+path, the mean fork-critical-path delta is printed after the table.
 """
 
 import argparse
@@ -18,7 +22,13 @@ import json
 import sys
 
 
-def load_overheads(path):
+def load_artifact(path):
+    """Returns (meta, overheads, trace_summary) for any artifact flavour.
+
+    Unknown sections are ignored; an artifact without an 'overheads' map
+    (e.g. an analyze_trace.py trace-summary) yields an empty table instead
+    of a hard exit, so mixed-flavour diffs degrade gracefully.
+    """
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -30,8 +40,8 @@ def load_overheads(path):
             f"(top-level {type(doc).__name__})"
         )
     overheads = doc.get("overheads")
-    if not isinstance(overheads, dict) or not overheads:
-        sys.exit(f"diff_artifacts: {path} has no 'overheads' map")
+    if not isinstance(overheads, dict):
+        overheads = {}
     for key, entry in overheads.items():
         if not isinstance(entry, dict):
             sys.exit(
@@ -47,7 +57,23 @@ def load_overheads(path):
     meta = doc.get("_meta", {})
     if not isinstance(meta, dict):
         meta = {}
-    return meta, overheads
+    trace_summary = doc.get("trace_summary")
+    if not isinstance(trace_summary, dict):
+        trace_summary = None
+    return meta, overheads, trace_summary
+
+
+def fork_cp_mean(trace_summary):
+    """Mean fork critical path (us) from a trace_summary, or None."""
+    if not trace_summary:
+        return None
+    cp = trace_summary.get("fork_critical_path_us")
+    if not isinstance(cp, dict):
+        return None
+    mean = cp.get("mean_us")
+    if isinstance(mean, bool) or not isinstance(mean, (int, float)):
+        return None
+    return mean
 
 
 def fmt_us(v):
@@ -67,8 +93,8 @@ def main():
     )
     args = ap.parse_args()
 
-    base_meta, base = load_overheads(args.baseline)
-    cand_meta, cand = load_overheads(args.candidate)
+    base_meta, base, base_trace = load_artifact(args.baseline)
+    cand_meta, cand, cand_trace = load_artifact(args.candidate)
 
     print(f"baseline : {args.baseline}")
     if base_meta.get("build_state"):
@@ -77,12 +103,20 @@ def main():
     if cand_meta.get("build_state"):
         print(f"           ({cand_meta['build_state']})")
     print()
+    if not base and not cand:
+        if fork_cp_mean(base_trace) is None or fork_cp_mean(cand_trace) is None:
+            sys.exit(
+                "diff_artifacts: neither artifact has an 'overheads' map or "
+                "a comparable 'trace_summary'"
+            )
+        print("no EPCC overhead tables in these artifacts")
     header = (
         f"{'directive':<18} {'base_us':>9} {'cand_us':>9} "
         f"{'delta_us':>9} {'delta_%':>8}"
     )
-    print(header)
-    print("-" * len(header))
+    if base or cand:
+        print(header)
+        print("-" * len(header))
 
     # Keep the baseline's ordering; append candidate-only rows at the end.
     keys = [k for k in base if k in cand]
@@ -123,10 +157,24 @@ def main():
         if missing_base:
             print(f"new in candidate: {', '.join(missing_base)}")
 
+    # Fork-critical-path delta: only when both artifacts carry a
+    # trace_summary with paired forks (analyze_trace.py --json output, or
+    # an EPCC artifact that embeds one).
+    b_cp = fork_cp_mean(base_trace)
+    c_cp = fork_cp_mean(cand_trace)
+    if b_cp is not None and c_cp is not None:
+        delta = c_cp - b_cp
+        rel = f" ({delta / b_cp * 100.0:+.1f}%)" if b_cp else ""
+        print()
+        print(
+            f"fork critical path (mean): {b_cp:.3f} us -> {c_cp:.3f} us, "
+            f"delta {delta:+.3f} us{rel}"
+        )
+
     print()
     if worst_key is not None and worst_pct > 0:
         print(f"worst regression: {worst_key} ({worst_pct:+.1f}%)")
-    else:
+    elif base or cand:
         print("no directive regressed")
 
     if args.threshold is not None and worst_pct > args.threshold:

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ompmca::bench {
 
@@ -36,10 +37,20 @@ struct SeriesPoint {
 
 int run_fig4(const Fig4Config& config, int argc, char* const* argv) {
   bool json = false;
+  bool trace = false;  // --trace[=path]: Chrome trace JSON of the real runs
+  std::string trace_path = "trace_fig4_" + config.kernel + ".json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace = true;
+      trace_path = argv[i] + 8;
+    }
   }
   if (json) obs::set_enabled(true);
+  if (trace && !obs::trace::enabled()) {
+    obs::trace::set_mode(obs::trace::Mode::kRing);
+  }
 
   if (!json) {
     std::printf("== Figure 4 / %s: NAS %s class %c, 1..24 threads ==\n",
@@ -165,6 +176,11 @@ int run_fig4(const Fig4Config& config, int argc, char* const* argv) {
   } else {
     std::printf("\n  overall: %s\n\n", all_ok ? "PASS" : "FAIL");
     obs::Registry::instance().maybe_write_report("fig4_nas_" + config.kernel);
+  }
+  if (trace) {
+    if (obs::trace::write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "trace: wrote %s\n", trace_path.c_str());
+    }
   }
   return all_ok ? 0 : 1;
 }

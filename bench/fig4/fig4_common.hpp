@@ -44,7 +44,9 @@ struct Fig4Config {
   double max_speedup_24 = 26.0;
 };
 
-/// Runs one panel; recognises --json in argv (mains forward their args).
+/// Runs one panel; recognises --json and --trace[=path] in argv (mains
+/// forward their args).  --trace arms the flight recorder for the real
+/// verification runs and writes Chrome trace JSON on exit.
 int run_fig4(const Fig4Config& config, int argc = 0,
              char* const* argv = nullptr);
 

@@ -27,6 +27,7 @@
 #include "epcc/syncbench.hpp"
 #include "gomp/gomp.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "platform/cost_model.hpp"
 
 namespace {
@@ -134,14 +135,27 @@ void print_json(const std::vector<epcc::RelativeOverhead>& cells,
 int main(int argc, char** argv) {
   bool quick = false;  // --quick shrinks reps (CI smoke runs)
   bool json = false;   // --json: machine-readable artifact on stdout
+  bool trace = false;  // --trace[=path]: Chrome trace JSON next to the table
+  std::string trace_path = "trace_table1_epcc.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace = true;
+      trace_path = argv[i] + 8;
+    }
   }
 
   // JSON artifacts always carry the telemetry section, independent of
   // OMPMCA_TELEMETRY (which additionally controls the exit report).
   if (json) obs::set_enabled(true);
+  // --trace arms the flight recorder if OMPMCA_TRACE didn't already; the
+  // export goes to trace_path at the end (stderr notice, so --json stdout
+  // stays a single parseable object).
+  if (trace && !obs::trace::enabled()) {
+    obs::trace::set_mode(obs::trace::Mode::kRing);
+  }
 
   if (!json) {
     std::printf(
@@ -207,6 +221,11 @@ int main(int argc, char** argv) {
     // With OMPMCA_TELEMETRY=json the runtime's own per-directive counters
     // and barrier wait histograms ride alongside the table.
     obs::Registry::instance().maybe_write_report("table1_epcc_overhead");
+  }
+  if (trace) {
+    if (obs::trace::write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "trace: wrote %s\n", trace_path.c_str());
+    }
   }
   return all_ok ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #                        5. fault injection + checker, chaos  (./build-fault)
 #                        6. clang-tidy over src/ (skipped when absent)
 #                        7. EPCC artifact diff (informational)
+#                        8. flight-recorder trace export validation
 #
 # Mirrors ROADMAP.md's tier-1 verify line, with -Werror on so new
 # warnings fail the build instead of rotting.
@@ -16,14 +17,14 @@ set -eu
 
 cd "$(dirname "$0")"
 
-echo "== [1/7] normal build + ctest =="
+echo "== [1/8] normal build + ctest =="
 cmake -B build -S . -DOMPMCA_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j
 # Serial on purpose: epcc_test asserts on measured timings, which parallel
 # test load can flip.
 (cd build && ctest --output-on-failure)
 
-echo "== [2/7] ThreadSanitizer, all suites =="
+echo "== [2/8] ThreadSanitizer, all suites =="
 # Race-check everything, not just the gomp hot paths: the MRAPI database,
 # arena and DMA engine carry their own lock-free fast paths.
 cmake -B build-tsan -S . -DOMPMCA_WERROR=ON -DOMPMCA_TSAN=ON
@@ -34,12 +35,12 @@ cmake --build build-tsan -j
 # validation_test under TSan.
 (cd build-tsan && ctest --output-on-failure -E '^epcc_test$')
 
-echo "== [3/7] ASan+UBSan, all suites =="
+echo "== [3/8] ASan+UBSan, all suites =="
 cmake -B build-asan -S . -DOMPMCA_WERROR=ON -DOMPMCA_ASAN=ON
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -E '^epcc_test$')
 
-echo "== [4/7] correctness checker (OMPMCA_CHECK=ON), all suites =="
+echo "== [4/8] correctness checker (OMPMCA_CHECK=ON), all suites =="
 # The check build compiles the lockdep/lifecycle/usage hooks in; check_test
 # seeds violations and asserts the reports, the rest of the suite doubles
 # as a no-false-positives audit.
@@ -47,7 +48,7 @@ cmake -B build-check -S . -DOMPMCA_WERROR=ON -DOMPMCA_CHECK=ON
 cmake --build build-check -j
 (cd build-check && ctest --output-on-failure)
 
-echo "== [5/7] fault injection (OMPMCA_FAULT=ON + OMPMCA_CHECK=ON), all suites =="
+echo "== [5/8] fault injection (OMPMCA_FAULT=ON + OMPMCA_CHECK=ON), all suites =="
 # Compiles the injection points and recovery policies in and runs the whole
 # suite, including the fixed-seed chaos tests in tests/fault/ (which skip in
 # every other build).  The checker rides along so injected failures cannot
@@ -56,7 +57,7 @@ cmake -B build-fault -S . -DOMPMCA_WERROR=ON -DOMPMCA_FAULT=ON -DOMPMCA_CHECK=ON
 cmake --build build-fault -j
 (cd build-fault && ctest --output-on-failure)
 
-echo "== [6/7] clang-tidy =="
+echo "== [6/8] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Uses .clang-tidy at the repo root and the compile database from step 1.
   find src -name '*.cpp' -print | xargs clang-tidy -p build --quiet
@@ -64,12 +65,27 @@ else
   echo "clang-tidy not installed; skipping lint step"
 fi
 
-echo "== [7/7] EPCC artifact diff (informational) =="
+echo "== [7/8] EPCC artifact diff (informational) =="
 if command -v python3 >/dev/null 2>&1; then
   python3 bench/diff_artifacts.py \
     bench/artifacts/epcc_before.json bench/artifacts/epcc_after.json || true
 else
   echo "python3 not installed; skipping artifact diff"
+fi
+
+echo "== [8/8] flight-recorder trace export =="
+# Runs the EPCC bench with tracing armed and validates the exported Chrome
+# trace JSON strictly (json.tool); the analyzer pass is informational.  The
+# bench's own PASS/FAIL is timing-sensitive on loaded CI hosts, so only the
+# trace pipeline is load-bearing here.
+if command -v python3 >/dev/null 2>&1; then
+  OMPMCA_TRACE=ring ./build/bench/table1_epcc_overhead --quick --json \
+    --trace=build/trace_ci_epcc.json >/dev/null || true
+  python3 -m json.tool build/trace_ci_epcc.json >/dev/null
+  echo "trace export: build/trace_ci_epcc.json is well-formed JSON"
+  python3 bench/analyze_trace.py build/trace_ci_epcc.json || true
+else
+  echo "python3 not installed; skipping trace validation"
 fi
 
 echo "ci.sh: all passes complete"

@@ -10,6 +10,7 @@
 
 #include "common/env.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ompmca::check {
 
@@ -124,6 +125,14 @@ bool record_locked(Global& g, std::string signature, Violation v) {
   std::fprintf(stderr, "[OMPMCA_CHECK] %s: %s (%s) at %s\n",
                std::string(name(v.kind)).c_str(), v.message.c_str(),
                describe(v.lock_class, v.key).c_str(), v.site.c_str());
+  // Attach the event history: the flight record shows the acquisitions that
+  // led here (the tracer takes no lock that can point back at g.mu).
+  obs::trace::instant(obs::trace::Type::kCheckViolation,
+                      static_cast<std::uint64_t>(v.kind));
+  if (obs::trace::enabled()) {
+    std::string reason = "check:" + std::string(name(v.kind));
+    obs::trace::dump_flight_record(reason.c_str());
+  }
   g.violations.push_back(std::move(v));
   if (g_abort.load(std::memory_order_relaxed)) {
     std::fprintf(stderr, "[OMPMCA_CHECK] OMPMCA_CHECK_ABORT=1, aborting\n");
@@ -332,6 +341,10 @@ void on_acquire(LockClass cls, const void* obj, std::uint64_t key_hint,
     ObjInfo info = lookup_obj(g, cls, obj, key_hint);
     held.key = info.key;
     held.node = node_id(cls, true, info.key);
+    // Recorded before the edge scan so a violation's flight record already
+    // contains the offending acquisition.
+    obs::trace::instant(obs::trace::Type::kLockAcquire,
+                        static_cast<std::uint64_t>(cls), held.key);
 
     // One edge from every currently-held lock to the new one.
     for (const HeldLock& h : ts.held) {

@@ -11,6 +11,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ompmca::fault {
 
@@ -189,7 +190,11 @@ bool should_fail(Site site) {
   if (s.cfg.count != 0 && s.stats.injected >= s.cfg.count) return false;
   bool fire = s.cfg.nth != 0 && s.hits % s.cfg.nth == 0;
   if (!fire && s.cfg.rate > 0.0) fire = s.rng.next_double() < s.cfg.rate;
-  if (fire) ++s.stats.injected;
+  if (fire) {
+    ++s.stats.injected;
+    obs::trace::instant(obs::trace::Type::kFaultInject,
+                        static_cast<std::uint64_t>(site));
+  }
   return fire;
 }
 
@@ -197,12 +202,24 @@ void note_recovered(Site site, std::uint64_t n) {
   Global& g = global();
   std::lock_guard lk(g.mu);
   g.sites[static_cast<unsigned>(site)].stats.recovered += n;
+  obs::trace::instant(obs::trace::Type::kFaultRecover,
+                      static_cast<std::uint64_t>(site));
 }
 
 void note_exhausted(Site site, std::uint64_t n) {
   Global& g = global();
   std::lock_guard lk(g.mu);
   g.sites[static_cast<unsigned>(site)].stats.exhausted += n;
+  obs::trace::instant(obs::trace::Type::kFaultExhaust,
+                      static_cast<std::uint64_t>(site));
+  if (obs::trace::enabled()) {
+    // Retry exhaustion is the degradation moment worth a crash record: the
+    // caller is about to surface the failure.
+    std::string reason =
+        "fault-exhausted:" +
+        std::string(kSiteNames[static_cast<unsigned>(site)]);
+    obs::trace::dump_flight_record(reason.c_str());
+  }
 }
 
 Counts counts(Site site) {

@@ -12,6 +12,7 @@
 #include "common/time.hpp"
 #include "fault/fault.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ompmca::gomp {
 
@@ -128,14 +129,26 @@ void ThreadPool::worker_loop(unsigned index, Bell& bell, std::uint64_t seen,
     // non-woken worker into an older team's width and still be past its
     // join.  Participation comes from the ticket itself, never the slab.
     if (index + 1 < ticket_width(t)) {
-      if (obs::enabled() && slab_.dispatch_start_ns != 0) {
-        const std::uint64_t wake_ns =
-            monotonic_nanos() - slab_.dispatch_start_ns;
-        obs::count(obs::Counter::kGompPoolDispatch);
-        obs::record(obs::Hist::kGompDoorbellWakeNs, wake_ns);
-        obs::record(obs::Hist::kGompPoolDispatchNs, wake_ns);
+      if (slab_.dispatch_start_ns != 0) {
+        // dispatch_start_ns is armed by start_team when telemetry or
+        // tracing is on; both consumers share the single clock read.
+        const std::uint64_t now = monotonic_nanos();
+        if (obs::enabled()) {
+          const std::uint64_t wake_ns = now - slab_.dispatch_start_ns;
+          obs::count(obs::Counter::kGompPoolDispatch);
+          obs::record(obs::Hist::kGompDoorbellWakeNs, wake_ns);
+          obs::record(obs::Hist::kGompPoolDispatchNs, wake_ns);
+        }
+        // Flow-arrow target: fork_ring (master) -> worker_wake, keyed by
+        // the epoch the ticket carries.
+        obs::trace::instant_at(obs::trace::Type::kWorkerWake, now,
+                               t >> kWidthBits);
       }
-      slab_.work(index + 1);
+      {
+        obs::trace::Span work_span(obs::trace::Type::kWorkerWork,
+                                   t >> kWidthBits);
+        slab_.work(index + 1);
+      }
       // Dekker pair with wait_team: the decrement (seq_cst) is ordered
       // before the join_waiting_ load, the master's join_waiting_ store
       // before its active_ re-check.  Only the last finisher — and only
@@ -218,15 +231,23 @@ void ThreadPool::start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn) {
   OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompPool, this, 0);
   active_.store(extra, std::memory_order_relaxed);
   slab_.work = fn;
-  slab_.dispatch_start_ns = obs::enabled() ? monotonic_nanos() : 0;
+  slab_.dispatch_start_ns =
+      (obs::enabled() || obs::trace::enabled()) ? monotonic_nanos() : 0;
   ++epoch_;
   ticket_.store((epoch_ << kWidthBits) | (extra + 1),
                 std::memory_order_seq_cst);
+  if (slab_.dispatch_start_ns != 0) {
+    // The ticket store above IS the doorbell ring; stamp it with the same
+    // timestamp the wake-latency probes use so flow arrows line up.
+    obs::trace::instant_at(obs::trace::Type::kForkRing,
+                           slab_.dispatch_start_ns, epoch_, extra + 1);
+  }
   wake_participants(to_ring);
 }
 
 void ThreadPool::wait_team() {
   if (active_.load(std::memory_order_acquire) != 0) {
+    obs::trace::Span join_span(obs::trace::Type::kJoinWait, epoch_);
     // The region-ending barrier already synchronised the team, so only the
     // workers' post-barrier teardown is outstanding.  Relax-spin briefly
     // (no yields), then block on done_cv_ — the spin catches the common

@@ -8,6 +8,7 @@
 #include "gomp/backend_native.hpp"
 #include "mrapi/database.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ompmca::gomp {
 
@@ -99,9 +100,11 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
                        unsigned num_threads) {
   obs::count(obs::Counter::kGompParallel);
   obs::ScopedTimer region_timer(obs::Hist::kGompParallelNs);
+  obs::trace::Span region_span(obs::trace::Type::kParallel);
   unsigned n = resolve_num_threads(num_threads);
   ParallelContext* outer = current();
   const bool nested = outer != nullptr;
+  region_span.set_args(n, nested ? 1 : 0);
 
   if (!nested) {
     // Launch-or-park workers first: the returned width reflects launch

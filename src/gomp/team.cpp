@@ -7,6 +7,7 @@
 #include "common/time.hpp"
 #include "gomp/runtime.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ompmca::gomp {
 
@@ -149,13 +150,17 @@ Runtime& ParallelContext::runtime() const { return team_->rt_; }
 void ParallelContext::barrier() {
   OMPMCA_CHECK_BARRIER_USAGE(team_);
   team_->tasks_.drain(&current_task_);
-  if (obs::enabled()) {
-    obs::count(obs::Counter::kGompBarrier);
+  if (obs::enabled() || obs::trace::enabled()) {
+    const BarrierKind kind = effective_barrier_kind(
+        team_->rt_.barrier_kind(), team_->rt_.icvs().wait_policy);
+    if (obs::enabled()) obs::count(obs::Counter::kGompBarrier);
     const std::uint64_t t0 = monotonic_nanos();
     team_->barrier_->arrive_and_wait(tid_);
-    obs::record(barrier_wait_hist(effective_barrier_kind(
-                    team_->rt_.barrier_kind(), team_->rt_.icvs().wait_policy)),
-                monotonic_nanos() - t0);
+    if (obs::enabled()) {
+      obs::record(barrier_wait_hist(kind), monotonic_nanos() - t0);
+    }
+    obs::trace::complete(obs::trace::Type::kBarrier, t0,
+                         static_cast<std::uint64_t>(kind), team_->nthreads_);
   } else {
     team_->barrier_->arrive_and_wait(tid_);
   }
@@ -167,6 +172,8 @@ void ParallelContext::for_loop(long begin, long end,
   obs::count(obs::Counter::kGompFor);
   obs::ScopedTimer timer(obs::Hist::kGompForNs);
   if (spec.kind == Schedule::kRuntime) spec = team_->rt_.icvs().run_schedule;
+  obs::trace::Span span(obs::trace::Type::kFor,
+                        static_cast<std::uint64_t>(spec.kind));
   LoopInstance& loop = team_->loops_[loop_gen_ % kWorkshareRing];
   loop.enter(loop_gen_, begin, end, spec, team_->nthreads_,
              team_->cluster_of_thread_.data());
@@ -189,6 +196,8 @@ void ParallelContext::for_loop_ordered(long begin, long end,
   obs::count(obs::Counter::kGompFor);
   obs::ScopedTimer timer(obs::Hist::kGompForNs);
   if (spec.kind == Schedule::kRuntime) spec = team_->rt_.icvs().run_schedule;
+  obs::trace::Span span(obs::trace::Type::kFor,
+                        static_cast<std::uint64_t>(spec.kind));
   LoopInstance& loop = team_->loops_[loop_gen_ % kWorkshareRing];
   loop.enter(loop_gen_, begin, end, spec, team_->nthreads_,
              team_->cluster_of_thread_.data());
@@ -213,6 +222,8 @@ void ParallelContext::for_loop_simd(long begin, long end,
                                     long simd_width, bool nowait) {
   obs::count(obs::Counter::kGompFor);
   obs::ScopedTimer timer(obs::Hist::kGompForNs);
+  obs::trace::Span span(obs::trace::Type::kFor,
+                        static_cast<std::uint64_t>(Schedule::kStatic));
   if (simd_width < 1) simd_width = 1;
   OMPMCA_CHECK_REGION_ENTER(check::Region::kWorkshare, team_);
   const long total = end - begin;
@@ -298,6 +309,7 @@ bool ParallelContext::single_begin() {
 void ParallelContext::single(FunctionRef<void()> fn, bool nowait) {
   obs::count(obs::Counter::kGompSingle);
   obs::ScopedTimer timer(obs::Hist::kGompSingleNs);
+  obs::trace::Span span(obs::trace::Type::kSingle);
   if (single_begin()) {
     OMPMCA_CHECK_REGION_ENTER(check::Region::kSingle, team_);
     fn();
@@ -317,6 +329,7 @@ void ParallelContext::critical(FunctionRef<void()> fn) {
 void ParallelContext::critical(std::string_view name,
                                FunctionRef<void()> fn) {
   BackendMutex& mu = team_->rt_.critical_mutex(std::string(name));
+  obs::trace::Span span(obs::trace::Type::kCritical);  // acquire + body
   if (obs::enabled()) {
     obs::count(obs::Counter::kGompCritical);
     obs::ScopedTimer timer(obs::Hist::kGompCriticalNs);

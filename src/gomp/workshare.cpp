@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ompmca::gomp {
 
@@ -140,6 +141,9 @@ bool LoopInstance::steal_range(unsigned tid, long* lo, long* hi) {
           if (v_lo >= v_hi) break;
           any_work = true;
           obs::count(obs::Counter::kGompLoopStealAttempt);
+          if (obs::trace::verbose()) {
+            obs::trace::instant(obs::trace::Type::kStealAttempt, v);
+          }
           // Victim keeps the front half (its cache-warm prefix); we take
           // the back half.  A one-iteration range is taken whole.
           const std::uint32_t mid = v_lo + (v_hi - v_lo) / 2;
@@ -149,6 +153,9 @@ bool LoopInstance::steal_range(unsigned tid, long* lo, long* hi) {
             obs::count(obs::Counter::kGompLoopSteal);
             obs::count(local ? obs::Counter::kGompLoopStealLocal
                              : obs::Counter::kGompLoopStealRemote);
+            if (obs::trace::verbose()) {
+              obs::trace::instant(obs::trace::Type::kSteal, v, local ? 1 : 0);
+            }
             const std::uint32_t take = claim_size(v_hi - mid);
             if (mid + take < v_hi) {
               // Park the rest in our own slot (empty — that's why we're
@@ -170,6 +177,19 @@ bool LoopInstance::steal_range(unsigned tid, long* lo, long* hi) {
 
 bool LoopInstance::next_chunk(unsigned tid, long* thread_pos, long* lo,
                               long* hi) {
+  const bool got = next_chunk_impl(tid, thread_pos, lo, hi);
+  // Per-chunk events are full-mode only: a clock read per chunk is
+  // measurable on EPCC FOR, and the always-on ring tier must stay cheap.
+  if (got && obs::trace::verbose()) {
+    obs::trace::instant(obs::trace::Type::kLoopChunk,
+                        static_cast<std::uint64_t>(*lo),
+                        static_cast<std::uint64_t>(*hi));
+  }
+  return got;
+}
+
+bool LoopInstance::next_chunk_impl(unsigned tid, long* thread_pos, long* lo,
+                                   long* hi) {
   switch (spec_.kind) {
     case Schedule::kAuto:
     case Schedule::kStatic: {

@@ -47,6 +47,12 @@ class LoopInstance {
   /// (chunk ordinal for static schedules; ignored otherwise).
   bool next_chunk(unsigned tid, long* thread_pos, long* lo, long* hi);
 
+ private:
+  /// next_chunk's schedule dispatch; the public wrapper adds the trace hook.
+  bool next_chunk_impl(unsigned tid, long* thread_pos, long* lo, long* hi);
+
+ public:
+
   /// Marks @p tid done with this generation (enables ring recycling).
   void leave();
 

@@ -3,6 +3,7 @@
 #include "check/check.hpp"
 #include "fault/fault.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ompmca::mrapi {
 
@@ -14,6 +15,7 @@ Result<Node> Node::initialize(DomainId domain, NodeId node,
   Status s = (*d)->register_node(node, std::move(attrs));
   if (!ok(s)) return s;
   obs::count(obs::Counter::kMrapiNodeCreate);
+  obs::trace::instant(obs::trace::Type::kNodeCreate, node);
   return Node(*d, domain, node);
 }
 
@@ -22,7 +24,10 @@ Status Node::finalize() {
   OMPMCA_CHECK_NODE_RETIRE(node_id_);
   Status s = domain_->unregister_node(node_id_);
   domain_ = nullptr;
-  if (ok(s)) obs::count(obs::Counter::kMrapiNodeRetire);
+  if (ok(s)) {
+    obs::count(obs::Counter::kMrapiNodeRetire);
+    obs::trace::instant(obs::trace::Type::kNodeRetire, node_id_);
+  }
   return s;
 }
 
@@ -33,7 +38,10 @@ Status Node::thread_create(NodeId worker_node, ThreadParameters params) {
   std::thread worker(std::move(params.start_routine));
   Status s = domain_->register_worker_node(
       worker_node, NodeAttributes{"worker"}, std::move(worker));
-  if (ok(s)) obs::count(obs::Counter::kMrapiNodeCreate);
+  if (ok(s)) {
+    obs::count(obs::Counter::kMrapiNodeCreate);
+    obs::trace::instant(obs::trace::Type::kNodeCreate, worker_node);
+  }
   return s;
 }
 
@@ -45,14 +53,19 @@ Status Node::thread_join(NodeId worker_node) {
 Status Node::thread_finalize(NodeId worker_node) {
   OMPMCA_RETURN_IF_ERROR(require_init());
   Status s = domain_->unregister_node(worker_node);
-  if (ok(s)) obs::count(obs::Counter::kMrapiNodeRetire);
+  if (ok(s)) {
+    obs::count(obs::Counter::kMrapiNodeRetire);
+    obs::trace::instant(obs::trace::Type::kNodeRetire, worker_node);
+  }
   return s;
 }
 
 Result<ShmemHandle> Node::shmem_create(ResourceKey key, std::size_t size,
                                        ShmemAttributes attrs) {
   if (!initialized()) return Status::kNodeNotInit;
-  return domain_->shmem_create(key, size, attrs);
+  auto seg = domain_->shmem_create(key, size, attrs);
+  if (seg) obs::trace::instant(obs::trace::Type::kShmemCreate, key, size);
+  return seg;
 }
 
 Result<ShmemHandle> Node::shmem_get(ResourceKey key) const {
@@ -71,6 +84,7 @@ Result<void*> Node::shmem_create_malloc(ResourceKey key, std::size_t size) {
   attrs.use_malloc = true;  // the paper's MCA_TRUE attribute (Listing 3)
   auto seg = domain_->shmem_create(key, size, attrs);
   if (!seg) return seg.status();
+  obs::trace::instant(obs::trace::Type::kShmemCreate, key, size);
   return (*seg)->attach(node_id_);
 }
 

@@ -129,7 +129,9 @@ struct Registry::Impl {
   std::array<std::atomic<std::uint64_t>, kMaxClusters> placements{};
 
   Mode mode = Mode::kOff;
+  mutable std::mutex report_mu;           // path + truncation state
   std::string report_path;                // empty = stderr
+  bool report_path_fresh = true;          // first write truncates
   std::atomic<bool> reported{false};      // explicit report suppresses atexit
 
   ThreadSlab& local_slab() {
@@ -326,9 +328,14 @@ void Registry::write_report(std::string_view tag, std::FILE* out) {
   std::FILE* f = out;
   bool close = false;
   if (f == nullptr) {
+    std::lock_guard<std::mutex> lk(impl_->report_mu);
     if (!impl_->report_path.empty()) {
-      f = std::fopen(impl_->report_path.c_str(), "a");
+      // First report to a path truncates (a stale file from a previous run
+      // would corrupt parsers); subsequent reports in the same run append.
+      f = std::fopen(impl_->report_path.c_str(),
+                     impl_->report_path_fresh ? "w" : "a");
       close = f != nullptr;
+      if (close) impl_->report_path_fresh = false;
     }
     if (f == nullptr) f = stderr;
   }
@@ -336,6 +343,12 @@ void Registry::write_report(std::string_view tag, std::FILE* out) {
   std::fflush(f);
   if (close) std::fclose(f);
   impl_->reported.store(true, std::memory_order_release);
+}
+
+void Registry::set_report_path(std::string path) {
+  std::lock_guard<std::mutex> lk(impl_->report_mu);
+  impl_->report_path = std::move(path);
+  impl_->report_path_fresh = true;
 }
 
 void Registry::maybe_write_report(std::string_view tag) {

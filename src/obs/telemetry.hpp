@@ -216,6 +216,11 @@ class Registry {
   /// OMPMCA_TELEMETRY_FILE / stderr sink).
   void write_report(std::string_view tag, std::FILE* out = nullptr);
 
+  /// Redirects subsequent reports to @p path (empty = back to stderr).
+  /// Programmatic equivalent of OMPMCA_TELEMETRY_FILE; the first write to a
+  /// path truncates it, later writes append (multi-report runs accumulate).
+  void set_report_path(std::string path);
+
   /// Writes the report only when OMPMCA_TELEMETRY=json; benches call this
   /// so their telemetry rides alongside the printed tables.
   void maybe_write_report(std::string_view tag);

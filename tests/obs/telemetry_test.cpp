@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -169,6 +171,48 @@ TEST(Telemetry, McaBackendObservesMrapiLayer) {
   ASSERT_EQ(mu.unlock(lock_key), Status::kSuccess);
   s = Registry::instance().snapshot();
   EXPECT_GE(s.hist(Hist::kMrapiMutexAcquireNs).count, 1u);
+}
+
+TEST(Telemetry, ReportPathRedirectTruncatesThenAppends) {
+  ScopedEnable scope;
+  Registry::instance().reset();
+  count(Counter::kGompParallel, 2);
+  const std::string path = ::testing::TempDir() + "ompmca_telemetry_test.json";
+
+  Registry::instance().set_report_path(path);
+  Registry::instance().write_report("first");
+  Registry::instance().write_report("second");  // appends
+
+  std::string contents;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+    std::fclose(f);
+  }
+  EXPECT_NE(contents.find("\"tag\": \"first\""), std::string::npos);
+  EXPECT_NE(contents.find("\"tag\": \"second\""), std::string::npos);
+
+  // Re-setting the same path starts a fresh file: the first report of a new
+  // "session" truncates instead of growing the old one forever.
+  Registry::instance().set_report_path(path);
+  Registry::instance().write_report("third");
+  contents.clear();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+    std::fclose(f);
+  }
+  EXPECT_EQ(contents.find("\"tag\": \"first\""), std::string::npos);
+  EXPECT_NE(contents.find("\"tag\": \"third\""), std::string::npos);
+
+  Registry::instance().set_report_path("");  // back to stderr for later tests
+  std::remove(path.c_str());
 }
 
 TEST(Telemetry, ResetClearsEverything) {
