@@ -15,6 +15,7 @@ void TaskSystem::spawn(Task* parent, TaskGroup* group,
   // shared_from_this is safe here.
   if (parent != nullptr) task->parent = parent->shared_from_this();
   task->group = group;
+  task->active_group = group;  // children inherit unless a nested taskgroup
   std::size_t depth;
   {
     std::lock_guard lk(mu_);
@@ -23,6 +24,11 @@ void TaskSystem::spawn(Task* parent, TaskGroup* group,
     queue_.push_back(std::move(task));
     depth = queue_.size();
   }
+  // A waiter parked in taskwait/group_wait (queue momentarily empty, its
+  // children executing elsewhere) must see newly enqueued work, or a team
+  // whose only running task blocks in taskwait deadlocks with runnable
+  // tasks queued.
+  idle_cv_.notify_all();
   obs::count(obs::Counter::kGompTaskSpawned);
   obs::gauge_max(obs::Gauge::kGompTaskQueueDepthHwm, depth);
 }
@@ -36,11 +42,22 @@ bool TaskSystem::run_one(Task** current_slot) {
     queue_.pop_front();
     ++executing_;
   }
-  Task* saved = *current_slot;
+  // RAII: a throwing task body must still restore the caller's current-task
+  // slot and the executing/live-children accounting, or every later
+  // drain()/taskwait on this system wedges on counts that can never reach
+  // zero.
+  struct Bookkeeping {
+    TaskSystem* ts;
+    Task** slot;
+    Task* saved;
+    Task* task;
+    ~Bookkeeping() {
+      *slot = saved;
+      ts->finished(task);
+    }
+  } bookkeeping{this, current_slot, *current_slot, task.get()};
   *current_slot = task.get();
   task->fn();
-  *current_slot = saved;
-  finished(task.get());
   return true;
 }
 

@@ -27,6 +27,12 @@ struct Task : std::enable_shared_from_this<Task> {
   std::uint32_t live_children = 0;
   // Group this task was spawned into, if any.
   struct TaskGroup* group = nullptr;
+  // Group newly spawned children join: the spawn-time group, overridden
+  // while this task executes a taskgroup construct body.  OpenMP requires
+  // taskgroup end to wait for *descendants* of tasks created in the group,
+  // so group membership must follow the executing task, not the thread
+  // that happens to run it.
+  struct TaskGroup* active_group = nullptr;
 };
 
 struct TaskGroup {

@@ -358,20 +358,29 @@ void ParallelContext::critical(std::string_view name,
 }
 
 void ParallelContext::task(std::function<void()> fn) {
-  team_->tasks_.spawn(current_task_, active_group_, std::move(fn));
+  // Children join the *executing task's* active group (current_task_ is
+  // switched by run_one while a stolen task body runs), never the spawning
+  // thread's construct state: OpenMP taskgroup end waits for descendants,
+  // so a task spawned from inside a stolen task must not escape the group.
+  TaskGroup* group =
+      current_task_ != nullptr ? current_task_->active_group : nullptr;
+  team_->tasks_.spawn(current_task_, group, std::move(fn));
 }
 
 void ParallelContext::taskwait() { team_->tasks_.taskwait(&current_task_); }
 
 void ParallelContext::taskgroup(FunctionRef<void()> body) {
-  // Tasks spawned (transitively) inside body join the group; taskgroup end
-  // waits for all of them.  We implement the direct-children-of-this-thread
-  // case, which covers the OpenMP 3.x-era usage the runtime targets.
+  // Tasks spawned inside body — transitively, through any depth of
+  // descendants, on any thread — join the group; taskgroup end waits for
+  // all of them.  The group override lives in the executing task's record
+  // (spawned children inherit it), so descendants of stolen tasks stay
+  // tracked.
   TaskGroup group;
-  TaskGroup* saved = active_group_;
-  active_group_ = &group;
+  TaskGroup* saved =
+      current_task_ != nullptr ? current_task_->active_group : nullptr;
+  if (current_task_ != nullptr) current_task_->active_group = &group;
   body();
-  active_group_ = saved;
+  if (current_task_ != nullptr) current_task_->active_group = saved;
   team_->tasks_.group_wait(&group, &current_task_);
 }
 

@@ -168,7 +168,6 @@ class ParallelContext {
   LoopInstance* active_loop_ = nullptr;  // loop_start/next/end state
   long active_loop_pos_ = 0;
   Task* current_task_ = nullptr;
-  TaskGroup* active_group_ = nullptr;
 };
 
 class Team {

@@ -1,0 +1,216 @@
+// Seeded regressions of the explicit-task subsystem, written against the
+// bugs the seed implementation shipped:
+//
+//  * spawn() enqueued work without notifying idle_cv_, so a thread parked
+//    in taskwait/group_wait (queue momentarily empty, children executing
+//    elsewhere) slept through newly spawned tasks until an unrelated
+//    finished() fired — if the only running task itself depended on the
+//    queued work, the team deadlocked with runnable tasks queued;
+//  * ParallelContext::task attached children to the *spawning thread's*
+//    taskgroup construct state, so a task spawned from inside a stolen
+//    task escaped the taskgroup end wait (OpenMP requires descendants to
+//    be included);
+//  * run_one left the current-task slot and the executing/live-children
+//    accounting corrupted when a task body threw.
+//
+// Each test fails (or hangs, caught by a bounded in-test timeout) on the
+// seed implementation and passes on the fixed one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "gomp/runtime.hpp"
+#include "gomp/task.hpp"
+
+namespace ompmca::gomp {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Spins until @p pred or ~8 s elapse; true when the predicate fired.
+/// Bounded so a lost-wakeup regression fails the test instead of wedging
+/// the whole binary until the ctest timeout.
+template <typename Pred>
+bool spin_until(Pred pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 8s;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+// --- lost wakeup: spawn() must wake parked waiters ---------------------------
+//
+// Thread A spawns child C and blocks in taskwait (C executing on thread B,
+// queue empty -> A parks).  C then spawns grandchild G and busy-waits on
+// G's side effect.  B is occupied by C, so only A can run G — and A only
+// learns about G if spawn() wakes it.  On the seed FIFO, A sleeps until
+// C's bounded busy-wait expires and the test fails; with the fix, A wakes
+// on the spawn and the chain completes promptly.
+TEST(TaskRegression, SpawnWakesParkedTaskwaitWaiter) {
+  TaskSystem ts;
+  std::atomic<bool> child_started{false};
+  std::atomic<bool> grandchild_ran{false};
+  std::atomic<bool> chain_completed{false};
+
+  auto implicit_a = std::make_shared<Task>();
+  auto implicit_b = std::make_shared<Task>();
+
+  std::thread waiter([&] {
+    Task* cur = implicit_a.get();
+    ts.spawn(cur, nullptr, [&ts, &child_started, &grandchild_ran,
+                            &chain_completed] {
+      child_started.store(true);
+      // Let the waiter observe the empty queue and park in taskwait before
+      // the grandchild is spawned (the lost-wakeup window).
+      std::this_thread::sleep_for(100ms);
+      // The helper thread is inside *this* body, so the grandchild can
+      // only run on the parked waiter.
+      ts.spawn(nullptr, nullptr, [&grandchild_ran] {
+        grandchild_ran.store(true);
+      });
+      if (spin_until([&] { return grandchild_ran.load(); })) {
+        chain_completed.store(true);
+      }
+    });
+    // Hand the child to the helper before waiting, so taskwait finds the
+    // queue empty and parks (the lost-wakeup window).
+    while (!child_started.load()) std::this_thread::yield();
+    ts.taskwait(&cur);
+  });
+  std::thread helper([&] {
+    Task* cur = implicit_b.get();
+    while (!child_started.load()) {
+      if (!ts.run_one(&cur)) std::this_thread::yield();
+    }
+  });
+  helper.join();
+  waiter.join();
+  EXPECT_TRUE(chain_completed.load())
+      << "grandchild never ran: spawn() did not wake the parked taskwait";
+  EXPECT_TRUE(grandchild_ran.load());
+}
+
+// Same window through group_wait: the waiter parks on the group, new work
+// arrives, and only the waiter is free to run it.
+TEST(TaskRegression, SpawnWakesParkedGroupWaitWaiter) {
+  TaskSystem ts;
+  TaskGroup group;
+  std::atomic<bool> child_started{false};
+  std::atomic<bool> grandchild_ran{false};
+  std::atomic<bool> chain_completed{false};
+
+  auto implicit_b = std::make_shared<Task>();
+
+  std::thread waiter([&] {
+    Task* cur = nullptr;
+    ts.spawn(nullptr, &group, [&ts, &child_started, &grandchild_ran,
+                               &chain_completed] {
+      child_started.store(true);
+      std::this_thread::sleep_for(100ms);
+      ts.spawn(nullptr, nullptr, [&grandchild_ran] {
+        grandchild_ran.store(true);
+      });
+      if (spin_until([&] { return grandchild_ran.load(); })) {
+        chain_completed.store(true);
+      }
+    });
+    // Hand the group task to the helper, then park on the group.
+    while (!child_started.load()) std::this_thread::yield();
+    ts.group_wait(&group, &cur);
+  });
+  std::thread helper([&] {
+    Task* cur = implicit_b.get();
+    while (!child_started.load()) {
+      if (!ts.run_one(&cur)) std::this_thread::yield();
+    }
+  });
+  helper.join();
+  waiter.join();
+  EXPECT_TRUE(chain_completed.load())
+      << "grandchild never ran: spawn() did not wake the parked group_wait";
+}
+
+// --- taskgroup must include descendants of stolen tasks ----------------------
+//
+// The taskgroup body spawns T and spins until T starts — which can only
+// happen on the *other* thread (it reaches the implicit barrier and drains
+// the queue).  T then spawns grandchild G.  On the seed, G was attached to
+// the executing thread's (empty) construct state and escaped the group, so
+// taskgroup end returned while G — deliberately slow — was still pending.
+TEST(TaskRegression, TaskgroupWaitsForDescendantsOfStolenTasks) {
+  RuntimeOptions opts;
+  Icvs icvs;
+  icvs.num_threads = 2;
+  opts.icvs = icvs;
+  Runtime rt(opts);
+
+  std::atomic<bool> stolen_task_started{false};
+  std::atomic<bool> grandchild_done{false};
+  std::atomic<bool> group_waited_for_grandchild{false};
+
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.single([&] {
+      ctx.taskgroup([&] {
+        ctx.task([&] {
+          stolen_task_started.store(true);
+          // Spawned from the executing task's context (possibly another
+          // thread's); must still land in the enclosing taskgroup.
+          Runtime::current()->task([&] {
+            std::this_thread::sleep_for(50ms);
+            grandchild_done.store(true);
+          });
+        });
+        // Keep this thread inside the body until the other thread picked
+        // the task up, so the spawn above really happens "stolen".
+        ASSERT_TRUE(spin_until([&] { return stolen_task_started.load(); }));
+      });
+      group_waited_for_grandchild.store(grandchild_done.load());
+    });
+  });
+  EXPECT_TRUE(group_waited_for_grandchild.load())
+      << "taskgroup end returned before a stolen task's child completed";
+  EXPECT_TRUE(grandchild_done.load());
+}
+
+// --- run_one exception safety ------------------------------------------------
+
+TEST(TaskRegression, ThrowingTaskRestoresSlotAndAccounting) {
+  TaskSystem ts;
+  auto implicit = std::make_shared<Task>();
+  Task* cur = implicit.get();
+
+  ts.spawn(cur, nullptr, [] { throw std::runtime_error("task body"); });
+  EXPECT_THROW(ts.run_one(&cur), std::runtime_error);
+  // The current-task slot is restored...
+  EXPECT_EQ(cur, implicit.get());
+  // ...the child was accounted finished (taskwait returns instead of
+  // parking forever on live_children)...
+  ts.taskwait(&cur);
+  // ...and the executing count was restored (drain returns instead of
+  // spinning on a phantom in-flight task).
+  std::atomic<int> ran{0};
+  ts.spawn(cur, nullptr, [&] { ran.fetch_add(1); });
+  ts.drain(&cur);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(ts.queued(), 0u);
+}
+
+TEST(TaskRegression, ThrowingTaskInsideGroupReleasesGroup) {
+  TaskSystem ts;
+  TaskGroup group;
+  Task* cur = nullptr;
+  ts.spawn(nullptr, &group, [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(ts.run_one(&cur), std::runtime_error);
+  // The group count was restored; group_wait must return immediately.
+  ts.group_wait(&group, &cur);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ompmca::gomp
