@@ -24,7 +24,7 @@ constexpr std::array<std::string_view, kNumSites> kSiteNames = {
     "mrapi.shmem_create", "mrapi.arena_alloc",   "mrapi.node_create",
     "mrapi.mutex_create", "mrapi.sem_create",    "mrapi.mutex_acquire",
     "mrapi.sem_acquire",  "pool.worker_launch",  "mcapi.msg_send",
-    "mtapi.task_start",
+    "mtapi.task_start",   "gomp.task_alloc",
 };
 
 struct SiteConfig {

@@ -68,6 +68,7 @@ enum class Site : unsigned {
   kPoolWorkerLaunch,   // pool.worker_launch  — gomp team member launch
   kMcapiMsgSend,       // mcapi.msg_send      — kMessageLimit on delivery
   kMtapiTaskStart,     // mtapi.task_start    — transient exhaustion
+  kGompTaskAlloc,      // gomp.task_alloc     — task-record allocation
   kCount,
 };
 

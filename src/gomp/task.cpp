@@ -1,128 +1,458 @@
 #include "gomp/task.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 
+#include "common/env.hpp"
+#include "common/time.hpp"
+#include "fault/fault.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ompmca::gomp {
 
-void TaskSystem::spawn(Task* parent, TaskGroup* group,
-                       std::function<void()> fn) {
-  auto task = std::make_shared<Task>();
-  task->fn = std::move(fn);
-  // Hold the parent record alive until this child completes; an executing
-  // parent is always owned by a shared_ptr (run_one's local), so
-  // shared_from_this is safe here.
-  if (parent != nullptr) task->parent = parent->shared_from_this();
-  task->group = group;
-  task->active_group = group;  // children inherit unless a nested taskgroup
-  std::size_t depth;
-  {
-    std::lock_guard lk(mu_);
-    if (parent != nullptr) ++parent->live_children;
-    if (group != nullptr) ++group->live_tasks;
-    queue_.push_back(std::move(task));
-    depth = queue_.size();
+TaskSystem::TaskSystem() { configure(1, nullptr); }
+
+TaskSystem::~TaskSystem() {
+  // Drop the dependence table's retained references.  After the region's
+  // final drain nothing is queued or executing, so these are the only
+  // references left on completed records.
+  for (auto& [addr, entry] : dep_table_) {
+    if (entry.last_out != nullptr) entry.last_out->release();
+    for (Task* t : entry.last_ins) t->release();
   }
-  // A waiter parked in taskwait/group_wait (queue momentarily empty, its
-  // children executing elsewhere) must see newly enqueued work, or a team
-  // whose only running task blocks in taskwait deadlocks with runnable
-  // tasks queued.
-  idle_cv_.notify_all();
-  obs::count(obs::Counter::kGompTaskSpawned);
-  obs::gauge_max(obs::Gauge::kGompTaskQueueDepthHwm, depth);
 }
 
-bool TaskSystem::run_one(Task** current_slot) {
-  std::shared_ptr<Task> task;
-  {
-    std::lock_guard lk(mu_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
-    ++executing_;
+void TaskSystem::configure(unsigned nthreads, const unsigned* cluster_of_thread) {
+  nthreads_ = nthreads > 0 ? nthreads : 1;
+  cluster_of_thread_ = cluster_of_thread;
+  deques_.clear();
+  deques_.reserve(nthreads_);
+  for (unsigned i = 0; i < nthreads_; ++i) {
+    deques_.push_back(std::make_unique<TaskDeque>());
   }
-  // RAII: a throwing task body must still restore the caller's current-task
-  // slot and the executing/live-children accounting, or every later
-  // drain()/taskwait on this system wedges on counts that can never reach
+  spin_ = env_long_clamped("OMPMCA_TASK_SPIN", 0, 1'000'000).value_or(100);
+  taskloop_grain_ =
+      env_long_clamped("OMPMCA_TASKLOOP_GRAIN", 0, 1L << 30).value_or(0);
+  taskloop_tasks_per_thread_ =
+      env_long_clamped("OMPMCA_TASKLOOP_TASKS_PER_THREAD", 1, 4096).value_or(8);
+}
+
+Task* TaskSystem::make_implicit() { return new Task(); }
+
+Task* TaskSystem::allocate() {
+  // Bounded retry, mirroring the pool's worker-launch recovery: allocation
+  // failures at this site are injected as transient exhaustion and usually
+  // clear; callers degrade to undeferred execution when they don't.
+  constexpr unsigned kAllocRetries = 4;
+  std::uint64_t failures = 0;
+  for (unsigned attempt = 0;; ++attempt) {
+    if (OMPMCA_FAULT_POINT(kGompTaskAlloc)) {
+      ++failures;
+      if (attempt + 1 >= kAllocRetries) {
+        OMPMCA_FAULT_EXHAUSTED(kGompTaskAlloc, failures);
+        return nullptr;
+      }
+      continue;
+    }
+    Task* t = new Task();
+    if (failures > 0) OMPMCA_FAULT_RECOVERED(kGompTaskAlloc, failures);
+    return t;
+  }
+}
+
+void TaskSystem::enqueue(unsigned tid, Task* task) {
+  TaskDeque& d = *deques_[tid];
+  d.push(task);
+  obs::gauge_max(obs::Gauge::kGompTaskQueueDepthHwm,
+                 static_cast<std::uint64_t>(d.size()));
+  bump_progress();
+}
+
+void TaskSystem::spawn(unsigned tid, Task* parent, std::function<void()> fn) {
+  TaskGroup* group = parent != nullptr ? parent->active_group : nullptr;
+  Task* task = allocate();
+  if (task == nullptr) {
+    // Undeferred fallback: run the body inline in the spawner.  Children
+    // it spawns attach to @p parent directly (they become siblings), which
+    // is strictly stronger synchronisation — taskwait and taskgroup still
+    // cover them — without the record the injected failure denied us.
+    obs::count(obs::Counter::kGompTaskSpawned);
+    fn();
+    return;
+  }
+  task->fn = std::move(fn);
+  task->parent = parent;
+  task->group = group;
+  task->active_group = group;  // children inherit unless a nested taskgroup
+  if (parent != nullptr) {
+    parent->retain();  // the child's completion touches the parent record
+    parent->live_children.fetch_add(1, std::memory_order_seq_cst);
+  }
+  if (group != nullptr) {
+    group->live_tasks.fetch_add(1, std::memory_order_seq_cst);
+  }
+  obs::count(obs::Counter::kGompTaskSpawned);
+  if (obs::trace::verbose()) {
+    obs::trace::instant(obs::trace::Type::kTaskSpawn, tid,
+                        static_cast<std::uint64_t>(deques_[tid]->size()));
+  }
+  enqueue(tid, task);
+}
+
+void TaskSystem::spawn_depend(unsigned tid, Task* parent,
+                              std::function<void()> fn, const void* const* ins,
+                              std::size_t nins, const void* const* outs,
+                              std::size_t nouts) {
+  if (nins == 0 && nouts == 0) {
+    spawn(tid, parent, std::move(fn));
+    return;
+  }
+  TaskGroup* group = parent != nullptr ? parent->active_group : nullptr;
+  Task* task = allocate();
+  if (task == nullptr) {
+    // Undeferred fallback.  Inline execution is dependence-correct only
+    // once every predecessor for our addresses has completed, so help
+    // (run tasks) until the table shows them done, then run the body.
+    // We finish before returning, so later siblings on these addresses
+    // are ordered after us without a table entry.
+    auto deps_clear = [&] {
+      std::lock_guard lk(deps_mu_);
+      for (std::size_t i = 0; i < nins; ++i) {
+        auto it = dep_table_.find(ins[i]);
+        if (it != dep_table_.end() && it->second.last_out != nullptr &&
+            !it->second.last_out->dep_done) {
+          return false;
+        }
+      }
+      for (std::size_t i = 0; i < nouts; ++i) {
+        auto it = dep_table_.find(outs[i]);
+        if (it == dep_table_.end()) continue;
+        if (it->second.last_out != nullptr && !it->second.last_out->dep_done) {
+          return false;
+        }
+        for (Task* r : it->second.last_ins) {
+          if (!r->dep_done) return false;
+        }
+      }
+      return true;
+    };
+    Task* slot = parent;
+    long idle = 0;
+    for (;;) {
+      const std::uint64_t e = progress_.load(std::memory_order_seq_cst);
+      if (deps_clear()) break;
+      if (run_one(tid, &slot)) {
+        idle = 0;
+        continue;
+      }
+      if (++idle <= spin_) {
+        std::this_thread::yield();
+        continue;
+      }
+      park(e);
+    }
+    obs::count(obs::Counter::kGompTaskSpawned);
+    fn();
+    return;
+  }
+  task->fn = std::move(fn);
+  task->parent = parent;
+  task->group = group;
+  task->active_group = group;
+  task->has_deps = true;
+  if (parent != nullptr) {
+    parent->retain();
+    parent->live_children.fetch_add(1, std::memory_order_seq_cst);
+  }
+  if (group != nullptr) {
+    group->live_tasks.fetch_add(1, std::memory_order_seq_cst);
+  }
+  obs::count(obs::Counter::kGompTaskSpawned);
+  if (obs::trace::verbose()) {
+    obs::trace::instant(obs::trace::Type::kTaskSpawn, tid, 1);
+  }
+  {
+    std::lock_guard lk(deps_mu_);
+    unsigned preds = 0;
+    auto add_edge = [&](Task* pred) {
+      if (pred == nullptr || pred == task || pred->dep_done) return;
+      pred->successors.push_back(task);
+      ++preds;
+    };
+    // in: serialise against the last writer of each address.
+    for (std::size_t i = 0; i < nins; ++i) {
+      add_edge(dep_table_[ins[i]].last_out);
+    }
+    // out/inout: serialise against the last writer and every reader since.
+    for (std::size_t i = 0; i < nouts; ++i) {
+      DepAddr& a = dep_table_[outs[i]];
+      add_edge(a.last_out);
+      for (Task* r : a.last_ins) add_edge(r);
+    }
+    // Update the table: we are the new last reader / last writer.
+    for (std::size_t i = 0; i < nins; ++i) {
+      task->retain();
+      dep_table_[ins[i]].last_ins.push_back(task);
+    }
+    for (std::size_t i = 0; i < nouts; ++i) {
+      DepAddr& a = dep_table_[outs[i]];
+      if (a.last_out != nullptr) a.last_out->release();
+      for (Task* r : a.last_ins) r->release();
+      a.last_ins.clear();
+      task->retain();
+      a.last_out = task;
+    }
+    task->npredecessors = preds;
+    if (preds != 0) return;  // a predecessor's completion will enqueue us
+  }
+  enqueue(tid, task);
+}
+
+void TaskSystem::taskloop(unsigned tid, Task** current_slot, long begin,
+                          long end, long grain,
+                          const std::function<void(long, long)>& body) {
+  if (begin >= end) return;
+  Task* parent = *current_slot;
+  if (parent == nullptr) {
+    body(begin, end);  // no hierarchy to track: run serially
+    return;
+  }
+  const long n = end - begin;
+  long g = grain > 0 ? grain : taskloop_grain_;
+  if (g <= 0) {
+    // Adaptive grain from the queue-depth signal: aim for tasks_per_thread
+    // chunks per worker, minus the backlog already queued.
+    const long target_total =
+        taskloop_tasks_per_thread_ * static_cast<long>(nthreads_);
+    const long backlog = static_cast<long>(queued());
+    const long target = std::max<long>(1, target_total - backlog);
+    g = std::max<long>(1, (n + target - 1) / target);
+  }
+  obs::count(obs::Counter::kGompTaskloop);
+  // The spec's implicit taskgroup: taskloop end waits for every chunk (and
+  // their descendants).  Chunk bodies may reference @p body by pointer —
+  // this frame outlives the group wait.
+  TaskGroup group;
+  TaskGroup* saved = parent->active_group;
+  parent->active_group = &group;
+  for (long lo = begin; lo < end; lo += g) {
+    const long hi = std::min(end, lo + g);
+    spawn(tid, parent, [&body, lo, hi] { body(lo, hi); });
+  }
+  parent->active_group = saved;
+  group_wait(tid, &group, current_slot);
+}
+
+Task* TaskSystem::take(unsigned tid, bool* stolen) {
+  *stolen = false;
+  Task* t = deques_[tid]->pop();
+  if (t != nullptr) return t;
+  const unsigned n = nthreads_;
+  if (n <= 1) return nullptr;
+  const bool clustered = cluster_of_thread_ != nullptr;
+  const unsigned my_cluster = clustered ? cluster_of_thread_[tid] : 0;
+  const int passes = clustered ? 2 : 1;
+  // Pass 0: victims sharing our cluster's L2; pass 1: across CoreNet —
+  // the loop scheduler's steal_range order, applied to task deques.
+  for (int pass = 0; pass < passes; ++pass) {
+    for (unsigned off = 1; off < n; ++off) {
+      const unsigned v = (tid + off) % n;
+      const bool local = !clustered || cluster_of_thread_[v] == my_cluster;
+      if (passes == 2 && (pass == 0) != local) continue;
+      for (;;) {
+        bool lost_race = false;
+        Task* s = deques_[v]->steal(&lost_race);
+        if (s != nullptr) {
+          obs::count(obs::Counter::kGompTaskStolen);
+          obs::count(local ? obs::Counter::kGompTaskStolenLocal
+                           : obs::Counter::kGompTaskStolenRemote);
+          if (obs::trace::verbose()) {
+            obs::trace::instant(obs::trace::Type::kTaskSteal, v,
+                                local ? 1 : 0);
+          }
+          *stolen = true;
+          return s;
+        }
+        if (!lost_race) break;  // victim drained; try the next one
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool TaskSystem::run_one(unsigned tid, Task** current_slot) {
+  // executing_ rises before the take and falls after completion
+  // bookkeeping, so "every deque empty and executing_ == 0" (checked
+  // against an unchanged progress epoch) proves quiescence: an in-flight
+  // task is either still in a deque or its taker is counted here.
+  executing_.fetch_add(1, std::memory_order_seq_cst);
+  bool stolen = false;
+  Task* task = take(tid, &stolen);
+  if (task == nullptr) {
+    executing_.fetch_sub(1, std::memory_order_seq_cst);
+    return false;
+  }
+  // RAII: a throwing task body must still restore the caller's
+  // current-task slot and run completion accounting, or every later
+  // drain()/taskwait on this system wedges on counts that never reach
   // zero.
   struct Bookkeeping {
     TaskSystem* ts;
+    unsigned tid;
     Task** slot;
     Task* saved;
     Task* task;
     ~Bookkeeping() {
       *slot = saved;
-      ts->finished(task);
+      ts->finished(tid, task);
     }
-  } bookkeeping{this, current_slot, *current_slot, task.get()};
-  *current_slot = task.get();
-  task->fn();
+  } bookkeeping{this, tid, current_slot, *current_slot, task};
+  *current_slot = task;
+  if (obs::trace::verbose()) {
+    const std::uint64_t t0 = monotonic_nanos();
+    task->fn();
+    obs::trace::complete(obs::trace::Type::kTaskRun, t0, stolen ? 1 : 0);
+  } else {
+    task->fn();
+  }
   return true;
 }
 
-void TaskSystem::finished(Task* task) {
+void TaskSystem::finished(unsigned tid, Task* task) {
+  if (task->has_deps) release_dependents(tid, task);
+  Task* parent = task->parent;
+  TaskGroup* group = task->group;
+  // Decrements precede the progress bump: a woken waiter re-checks its
+  // condition and must observe the counts this completion produced.
+  if (parent != nullptr) {
+    parent->live_children.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  if (group != nullptr) {
+    group->live_tasks.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  executing_.fetch_sub(1, std::memory_order_seq_cst);
+  bump_progress();
+  task->release();  // the queue/execution reference
+  if (parent != nullptr) parent->release();
+}
+
+void TaskSystem::release_dependents(unsigned tid, Task* task) {
+  // Collect newly runnable successors under the lock, enqueue outside it
+  // (enqueue rings the progress bell, which takes idle_mu_).
+  std::vector<Task*> ready;
   {
-    std::lock_guard lk(mu_);
-    --executing_;
-    if (task->parent != nullptr) --task->parent->live_children;
-    if (task->group != nullptr) --task->group->live_tasks;
+    std::lock_guard lk(deps_mu_);
+    task->dep_done = true;
+    for (Task* s : task->successors) {
+      if (--s->npredecessors == 0) ready.push_back(s);
+    }
+    task->successors.clear();
   }
-  idle_cv_.notify_all();
+  for (Task* s : ready) enqueue(tid, s);
 }
 
-void TaskSystem::taskwait(Task** current_slot) {
+bool TaskSystem::deques_empty() const {
+  for (const auto& d : deques_) {
+    if (!d->empty()) return false;
+  }
+  return true;
+}
+
+void TaskSystem::bump_progress() {
+  progress_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) != 0) {
+    // Empty critical section: a waiter between its epoch check and its
+    // cv wait holds idle_mu_, so taking it here orders this notify after
+    // that wait begins (or the waiter's predicate sees the new epoch).
+    { std::lock_guard lk(idle_mu_); }
+    idle_cv_.notify_all();
+  }
+}
+
+void TaskSystem::park(std::uint64_t epoch) {
+  std::unique_lock lk(idle_mu_);
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  if (progress_.load(std::memory_order_seq_cst) == epoch) {
+    // Bounded wait: the epoch protocol makes lost wakeups impossible in
+    // principle, and the bound makes any residual hole a stall, never a
+    // deadlock (this is an embedded runtime; fail bounded, not silent).
+    idle_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
+      return progress_.load(std::memory_order_relaxed) != epoch;
+    });
+  }
+  sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void TaskSystem::taskwait(unsigned tid, Task** current_slot) {
   Task* waiting_on = *current_slot;
-  if (waiting_on == nullptr) {
-    // An implicit task has no tracked children; taskwait is a no-op for it
-    // beyond helping with whatever is queued right now.
-    return;
-  }
-  for (;;) {
-    {
-      std::lock_guard lk(mu_);
-      if (waiting_on->live_children == 0) return;
+  if (waiting_on == nullptr) return;
+  long idle = 0;
+  while (waiting_on->live_children.load(std::memory_order_seq_cst) != 0) {
+    const std::uint64_t e = progress_.load(std::memory_order_seq_cst);
+    if (run_one(tid, current_slot)) {
+      idle = 0;
+      continue;
     }
-    if (!run_one(current_slot)) {
-      // Children are executing elsewhere: block until something finishes.
-      std::unique_lock lk(mu_);
-      if (waiting_on->live_children == 0) return;
-      idle_cv_.wait(lk, [&] {
-        return waiting_on->live_children == 0 || !queue_.empty();
-      });
+    if (waiting_on->live_children.load(std::memory_order_seq_cst) == 0) break;
+    if (++idle <= spin_) {
+      std::this_thread::yield();
+      continue;
     }
+    park(e);
   }
 }
 
-void TaskSystem::group_wait(TaskGroup* group, Task** current_slot) {
-  for (;;) {
-    {
-      std::lock_guard lk(mu_);
-      if (group->live_tasks == 0) return;
+void TaskSystem::group_wait(unsigned tid, TaskGroup* group,
+                            Task** current_slot) {
+  long idle = 0;
+  while (group->live_tasks.load(std::memory_order_seq_cst) != 0) {
+    const std::uint64_t e = progress_.load(std::memory_order_seq_cst);
+    if (run_one(tid, current_slot)) {
+      idle = 0;
+      continue;
     }
-    if (!run_one(current_slot)) {
-      std::unique_lock lk(mu_);
-      if (group->live_tasks == 0) return;
-      idle_cv_.wait(lk,
-                    [&] { return group->live_tasks == 0 || !queue_.empty(); });
+    if (group->live_tasks.load(std::memory_order_seq_cst) == 0) break;
+    if (++idle <= spin_) {
+      std::this_thread::yield();
+      continue;
     }
+    park(e);
   }
 }
 
-void TaskSystem::drain(Task** current_slot) {
+void TaskSystem::drain(unsigned tid, Task** current_slot) {
+  long idle = 0;
   for (;;) {
-    if (run_one(current_slot)) continue;
-    std::lock_guard lk(mu_);
-    if (queue_.empty() && executing_ == 0) return;
-    // Tasks are executing on other threads and may spawn more; yield and
-    // re-check rather than blocking (the barrier path needs bounded waits).
-    std::this_thread::yield();
+    if (run_one(tid, current_slot)) {
+      idle = 0;
+      continue;
+    }
+    // Quiescence proof: with the epoch unchanged across the scan and
+    // executing_ zero on both sides of the deque sweep, no task was
+    // queued, running, or completing anywhere during it (run_one raises
+    // executing_ before taking; spawns and completions bump the epoch).
+    const std::uint64_t e = progress_.load(std::memory_order_seq_cst);
+    if (executing_.load(std::memory_order_seq_cst) == 0 && deques_empty() &&
+        executing_.load(std::memory_order_seq_cst) == 0 &&
+        progress_.load(std::memory_order_seq_cst) == e) {
+      return;
+    }
+    if (++idle <= spin_) {
+      std::this_thread::yield();
+      continue;
+    }
+    park(e);
   }
 }
 
 std::size_t TaskSystem::queued() const {
-  std::lock_guard lk(mu_);
-  return queue_.size();
+  std::size_t n = 0;
+  for (const auto& d : deques_) {
+    n += static_cast<std::size_t>(d->size());
+  }
+  return n;
 }
 
 }  // namespace ompmca::gomp

@@ -1,73 +1,173 @@
-// Explicit-task subsystem (OpenMP 3.x task / taskwait / taskgroup).
+// Explicit-task subsystem (OpenMP 3.x task / taskwait / taskgroup, with
+// 4.0-style depend clauses and taskloop).
 //
-// A central FIFO guarded by a mutex — the right scale for an embedded-class
-// runtime (libGOMP's own task queue is a single list under the team lock at
-// this era).  Hierarchy bookkeeping: every task holds a shared_ptr to its
-// parent (a task must outlive its children's completion records), and
-// taskwait runs queued tasks until the current task's child count drops to
-// zero, so waiting threads make progress instead of blocking.
+// Scheduling is per-worker Chase-Lev deques (task_deque.hpp): the owning
+// thread pushes and pops its own bottom end LIFO (cache-warm, no
+// contention), idle threads steal the top end FIFO, visiting victims in
+// the same cluster-first order as the loop scheduler's range stealing —
+// same-cluster L2 neighbours before a CoreNet hop (platform::Topology via
+// Team's thread->cluster map).
+//
+// Lifetime is intrusive refcounting: a Task record is born with one
+// reference (held by whichever deque or dependence edge currently owns the
+// right to run it), children retain their parent (completion decrements
+// the parent's live-child count, so the record must outlive all children),
+// and the dependence table retains the tasks it remembers per address.
+//
+// Waiting (taskwait / taskgroup end / barrier drain) first helps — runs
+// queued tasks — and, when no work is takeable, parks on a progress
+// epoch: every spawn, enqueue and completion bumps progress_ and wakes
+// sleepers, so a parked waiter re-checks its condition after any event
+// that could satisfy it.  A missed wakeup here was the seed
+// implementation's deadlock; the epoch protocol makes the wakeup part of
+// the state change instead of a separate side channel.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "gomp/task_deque.hpp"
 
 namespace ompmca::gomp {
 
-class TaskSystem;
-
-struct Task : std::enable_shared_from_this<Task> {
-  std::function<void()> fn;
-  std::shared_ptr<Task> parent;  // keeps the parent's record alive
-  // Children spawned and not yet finished (guarded by TaskSystem's mutex).
-  std::uint32_t live_children = 0;
-  // Group this task was spawned into, if any.
-  struct TaskGroup* group = nullptr;
-  // Group newly spawned children join: the spawn-time group, overridden
-  // while this task executes a taskgroup construct body.  OpenMP requires
-  // taskgroup end to wait for *descendants* of tasks created in the group,
-  // so group membership must follow the executing task, not the thread
-  // that happens to run it.
-  struct TaskGroup* active_group = nullptr;
+struct TaskGroup {
+  std::atomic<std::uint32_t> live_tasks{0};
 };
 
-struct TaskGroup {
-  std::uint32_t live_tasks = 0;  // guarded by TaskSystem's mutex
+struct Task {
+  std::function<void()> fn;
+  Task* parent = nullptr;  // retained: the record outlives its children
+  // Group this task was spawned into (its completion decrements it).
+  TaskGroup* group = nullptr;
+  // Group newly spawned children join: inherited from the spawning task,
+  // overridden while this task executes a taskgroup construct body.  Kept
+  // in the task record — not thread or construct state — so descendants
+  // of stolen tasks stay tracked (OpenMP taskgroup end waits for
+  // descendants, wherever they execute).
+  TaskGroup* active_group = nullptr;
+  std::atomic<std::uint32_t> refs{1};
+  std::atomic<std::uint32_t> live_children{0};
+
+  // Dependence bookkeeping, all guarded by TaskSystem::deps_mu_.
+  std::vector<Task*> successors;  // tasks whose depend clauses await us
+  std::uint32_t npredecessors = 0;
+  bool has_deps = false;  // spawned with a depend clause
+  bool dep_done = false;  // completed (skip when building new edges)
+
+  void retain() { refs.fetch_add(1, std::memory_order_relaxed); }
+  void release() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
 };
 
 class TaskSystem {
  public:
-  /// Enqueues a child of @p parent (nullptr = an implicit task).
-  void spawn(Task* parent, TaskGroup* group, std::function<void()> fn);
+  TaskSystem();
+  ~TaskSystem();
 
-  /// Pops and runs one queued task; false when the queue is empty.
+  TaskSystem(const TaskSystem&) = delete;
+  TaskSystem& operator=(const TaskSystem&) = delete;
+
+  /// Sizes the per-worker deques and adopts the team's thread->cluster map
+  /// (borrowed; may be nullptr for no cluster structure).  Call before any
+  /// spawn, from single-threaded context (Team construction).
+  void configure(unsigned nthreads, const unsigned* cluster_of_thread);
+
+  /// A thread's implicit-task record: carries the live-children count that
+  /// taskwait consults and the active taskgroup for children.  The caller
+  /// release()s it when the thread's region work (including the final
+  /// drain) is done.
+  Task* make_implicit();
+
+  /// Enqueues a child of @p parent (nullptr = detached from hierarchy
+  /// bookkeeping) on @p tid's deque.  The child joins the parent's active
+  /// group.  @p tid must be the calling thread's team id: pushing is an
+  /// owner-only deque operation.
+  void spawn(unsigned tid, Task* parent, std::function<void()> fn);
+
+  /// spawn() with depend clauses: the task starts only after every earlier
+  /// task whose out-set intersects our in/out addresses (and every earlier
+  /// reader of our out addresses) has finished.  Addresses are opaque keys
+  /// (the depend-clause storage locations).
+  void spawn_depend(unsigned tid, Task* parent, std::function<void()> fn,
+                    const void* const* ins, std::size_t nins,
+                    const void* const* outs, std::size_t nouts);
+
+  /// Divides [begin, end) into grain-sized chunk tasks and waits for all
+  /// of them (an implicit taskgroup, per the spec).  grain <= 0 selects
+  /// the adaptive policy: target OMPMCA_TASKLOOP_TASKS_PER_THREAD tasks
+  /// per worker, shrunk by the current queue backlog (the telemetry
+  /// queue-depth signal) — deep queues mean more tasks help nobody.
+  void taskloop(unsigned tid, Task** current_slot, long begin, long end,
+                long grain, const std::function<void(long, long)>& body);
+
+  /// Pops (or steals) and runs one task; false when nothing is takeable.
   /// @p current_slot is the caller's current-task variable, saved/restored
   /// around the execution so nested spawns parent correctly.
-  bool run_one(Task** current_slot);
+  bool run_one(unsigned tid, Task** current_slot);
 
-  /// Runs queued tasks until the task in *current_slot has no live children.
-  void taskwait(Task** current_slot);
+  /// Runs/steals tasks until the task in *current_slot has no live
+  /// children, parking on the progress epoch when no work is takeable.
+  void taskwait(unsigned tid, Task** current_slot);
 
-  /// Runs queued tasks until @p group has no live tasks.
-  void group_wait(TaskGroup* group, Task** current_slot);
+  /// Runs/steals tasks until @p group has no live tasks.
+  void group_wait(unsigned tid, TaskGroup* group, Task** current_slot);
 
-  /// Runs queued tasks until the queue is empty and none are executing
-  /// (used by barriers).
-  void drain(Task** current_slot);
+  /// Runs tasks until the whole system is quiescent: every deque empty and
+  /// no task executing anywhere (used by barriers; also the point after
+  /// which all dependence edges are resolved).
+  void drain(unsigned tid, Task** current_slot);
 
+  /// Racy estimate of queued-but-unstarted tasks across all deques.
   std::size_t queued() const;
 
  private:
-  void finished(Task* task);
+  struct DepAddr {
+    Task* last_out = nullptr;     // retained
+    std::vector<Task*> last_ins;  // retained
+  };
 
-  mutable std::mutex mu_;
+  /// new Task with the fault-injection site gomp.task_alloc threaded
+  /// through: bounded retries, nullptr when injection exhausts them (the
+  /// caller falls back to undeferred inline execution).
+  Task* allocate();
+  void enqueue(unsigned tid, Task* task);
+  Task* take(unsigned tid, bool* stolen);
+  void finished(unsigned tid, Task* task);
+  void release_dependents(unsigned tid, Task* task);
+  bool deques_empty() const;
+  /// State-change bell: bump the epoch, wake parked waiters.
+  void bump_progress();
+  /// Parks until progress moves past @p epoch (bounded wait: correctness
+  /// never depends on the wakeup arriving).
+  void park(std::uint64_t epoch);
+
+  unsigned nthreads_ = 1;
+  const unsigned* cluster_of_thread_ = nullptr;  // borrowed from the Team
+  std::vector<std::unique_ptr<TaskDeque>> deques_;
+  std::atomic<std::uint32_t> executing_{0};
+
+  // Progress-epoch parking (see file comment).
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::mutex idle_mu_;
   std::condition_variable idle_cv_;
-  std::deque<std::shared_ptr<Task>> queue_;
-  std::uint32_t executing_ = 0;
+
+  // Dependence table: per storage address, the last writer and the readers
+  // since (the GCC runtime's hash-on-address scheme at task-record scale).
+  std::mutex deps_mu_;
+  std::unordered_map<const void*, DepAddr> dep_table_;
+
+  // Tuning (read from the environment in configure()).
+  long spin_ = 100;          // OMPMCA_TASK_SPIN: idle spins before parking
+  long taskloop_grain_ = 0;  // OMPMCA_TASKLOOP_GRAIN: fixed grain, 0=adaptive
+  long taskloop_tasks_per_thread_ = 8;  // OMPMCA_TASKLOOP_TASKS_PER_THREAD
 };
 
 }  // namespace ompmca::gomp

@@ -1,0 +1,146 @@
+// Chase-Lev work-stealing deque for the task subsystem.
+//
+// One deque per worker: the owner pushes and pops at the bottom without
+// contention; thieves CAS the top.  This is the Chase–Lev algorithm in the
+// C11 formulation of Lê, Pop, Cohen & Zappa Nardelli ("Correct and
+// Efficient Work-Stealing for Weak Memory Models", PPoPP'13), with two
+// deliberate deviations for an embedded-class runtime:
+//
+//  - seq_cst on the top/bottom accesses that the paper proves need fences
+//    (the owner's pop-bottom store and the thief's top read).  The cost is
+//    one full barrier per pop/steal — noise next to running a task — and it
+//    keeps the algorithm's correctness argument simple and TSan-friendly.
+//  - grown buffers are retired, not freed, until the deque is destroyed.
+//    A thief may still be reading a stale buffer pointer; parking retired
+//    buffers sidesteps the reclamation problem entirely at a bounded cost
+//    (the buffer sequence doubles, so total retired memory is at most one
+//    extra live-buffer's worth).
+//
+// Elements are raw Task pointers; ownership/refcounting is the caller's
+// concern (TaskSystem retains a reference for every queued pointer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace ompmca::gomp {
+
+struct Task;
+
+class TaskDeque {
+ public:
+  explicit TaskDeque(std::int64_t initial_capacity = 64)
+      : buffer_(new Buffer(initial_capacity)) {}
+
+  TaskDeque(const TaskDeque&) = delete;
+  TaskDeque& operator=(const TaskDeque&) = delete;
+
+  ~TaskDeque() {
+    Buffer* b = buffer_.load(std::memory_order_relaxed);
+    while (b != nullptr) {
+      Buffer* prev = b->retired_prev;
+      delete b;
+      b = prev;
+    }
+  }
+
+  /// Owner only: pushes @p task at the bottom.
+  void push(Task* task) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= buf->capacity) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, task);
+    // Release pairs with the thief's acquire load of bottom_: the element
+    // store above is visible before the new bottom is.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pops the most recently pushed task (LIFO), nullptr when
+  /// empty.  LIFO keeps the owner on the cache-warm end; thieves take the
+  /// opposite (oldest) end where the biggest remaining subtrees sit.
+  Task* pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Empty: restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Task* task = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves for it via the top CAS.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
+  /// Any thread: steals the oldest task (FIFO end), nullptr on empty or on
+  /// losing the race.  @p lost_race (optional) tells the caller whether the
+  /// deque looked non-empty (retry may be worthwhile) as opposed to drained.
+  Task* steal(bool* lost_race = nullptr) {
+    if (lost_race != nullptr) *lost_race = false;
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    Task* task = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      if (lost_race != nullptr) *lost_race = true;
+      return nullptr;
+    }
+    return task;
+  }
+
+  /// Racy size estimate (exact for the owner between its own operations).
+  std::int64_t size() const {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<Task*>[cap]) {}
+    const std::int64_t capacity;  // power of two
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<Task*>[]> slots;
+    Buffer* retired_prev = nullptr;  // chain of outgrown buffers
+
+    Task* get(std::int64_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, Task* task) {
+      slots[i & mask].store(task, std::memory_order_relaxed);
+    }
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    bigger->retired_prev = old;  // keep old alive for in-flight thieves
+    buffer_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  // Top (steal end) and bottom (owner end) on separate cache lines so
+  // thieves hammering top_ don't bounce the owner's bottom_ line.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+};
+
+}  // namespace ompmca::gomp

@@ -96,16 +96,19 @@ Team::Team(Runtime& rt, unsigned nthreads, ParallelContext* parent_ctx)
     cluster_of_thread_[i] =
         topo.cluster_of_hw_thread(topo.placement(i, place));
   }
+  // The task deques steal in the same cluster-first victim order as the
+  // loop scheduler; hand them the thread->cluster map just built.
+  tasks_.configure(nthreads_, cluster_of_thread_.data());
 }
 
 void Team::run_thread(unsigned tid, FunctionRef<void(ParallelContext&)> body) {
   ParallelContext ctx;
   ctx.team_ = this;
   ctx.tid_ = tid;
-  // Each thread's implicit task: owned by a shared_ptr so children can pin
-  // it via shared_from_this, and so taskwait tracks its children per spec.
-  auto implicit_task = std::make_shared<Task>();
-  ctx.current_task_ = implicit_task.get();
+  // Each thread's implicit task: refcounted so children can pin it past
+  // this frame, and so taskwait tracks its children per spec.
+  Task* implicit_task = tasks_.make_implicit();
+  ctx.current_task_ = implicit_task;
 
   // Make the context discoverable by the omp_*-style shims, restoring the
   // enclosing one on exit (nested regions).
@@ -122,8 +125,9 @@ void Team::run_thread(unsigned tid, FunctionRef<void(ParallelContext&)> body) {
   // signal arrival and park instead of sleeping through a full barrier
   // release broadcast first; the release is observable only by the master,
   // and the join gives it exactly that.
-  tasks_.drain(&ctx.current_task_);
+  tasks_.drain(tid, &ctx.current_task_);
   Runtime::t_current_ = saved;
+  implicit_task->release();
 }
 
 void Team::finish() {
@@ -149,7 +153,7 @@ Runtime& ParallelContext::runtime() const { return team_->rt_; }
 
 void ParallelContext::barrier() {
   OMPMCA_CHECK_BARRIER_USAGE(team_);
-  team_->tasks_.drain(&current_task_);
+  team_->tasks_.drain(tid_, &current_task_);
   if (obs::enabled() || obs::trace::enabled()) {
     const BarrierKind kind = effective_barrier_kind(
         team_->rt_.barrier_kind(), team_->rt_.icvs().wait_policy);
@@ -362,12 +366,20 @@ void ParallelContext::task(std::function<void()> fn) {
   // switched by run_one while a stolen task body runs), never the spawning
   // thread's construct state: OpenMP taskgroup end waits for descendants,
   // so a task spawned from inside a stolen task must not escape the group.
-  TaskGroup* group =
-      current_task_ != nullptr ? current_task_->active_group : nullptr;
-  team_->tasks_.spawn(current_task_, group, std::move(fn));
+  // spawn() derives the group from the parent record.
+  team_->tasks_.spawn(tid_, current_task_, std::move(fn));
 }
 
-void ParallelContext::taskwait() { team_->tasks_.taskwait(&current_task_); }
+void ParallelContext::task_depend(std::function<void()> fn,
+                                  std::initializer_list<const void*> in,
+                                  std::initializer_list<const void*> out) {
+  team_->tasks_.spawn_depend(tid_, current_task_, std::move(fn), in.begin(),
+                             in.size(), out.begin(), out.size());
+}
+
+void ParallelContext::taskwait() {
+  team_->tasks_.taskwait(tid_, &current_task_);
+}
 
 void ParallelContext::taskgroup(FunctionRef<void()> body) {
   // Tasks spawned inside body — transitively, through any depth of
@@ -381,7 +393,13 @@ void ParallelContext::taskgroup(FunctionRef<void()> body) {
   if (current_task_ != nullptr) current_task_->active_group = &group;
   body();
   if (current_task_ != nullptr) current_task_->active_group = saved;
-  team_->tasks_.group_wait(&group, &current_task_);
+  team_->tasks_.group_wait(tid_, &group, &current_task_);
+}
+
+void ParallelContext::taskloop(long begin, long end,
+                               std::function<void(long, long)> body,
+                               long grain) {
+  team_->tasks_.taskloop(tid_, &current_task_, begin, end, grain, body);
 }
 
 platform::Work& ParallelContext::meter() {

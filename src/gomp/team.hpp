@@ -151,8 +151,18 @@ class ParallelContext {
 
   // --- explicit tasks ------------------------------------------------------------
   void task(std::function<void()> fn);
+  /// task with depend clauses: starts after the last writer of every @p in
+  /// address and after the last writer and all readers of every @p out
+  /// address (pass an inout address via @p out).
+  void task_depend(std::function<void()> fn,
+                   std::initializer_list<const void*> in,
+                   std::initializer_list<const void*> out);
   void taskwait();
   void taskgroup(FunctionRef<void()> body);
+  /// taskloop: [begin, end) split into chunk tasks, waited on as an
+  /// implicit taskgroup.  grain <= 0 = adaptive (see TaskSystem::taskloop).
+  void taskloop(long begin, long end, std::function<void(long, long)> body,
+                long grain = 0);
 
   // --- work metering (virtual-time cross-checks, simx) -----------------------------
   platform::Work& meter();

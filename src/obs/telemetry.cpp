@@ -64,6 +64,10 @@ std::string_view name(Counter c) {
     case Counter::kGompCriticalContended: return "gomp.critical_contended";
     case Counter::kGompReduction: return "gomp.reduction";
     case Counter::kGompTaskSpawned: return "gomp.task_spawned";
+    case Counter::kGompTaskloop: return "gomp.taskloop";
+    case Counter::kGompTaskStolen: return "gomp.task_stolen";
+    case Counter::kGompTaskStolenLocal: return "gomp.task_stolen_local";
+    case Counter::kGompTaskStolenRemote: return "gomp.task_stolen_remote";
     case Counter::kGompPoolDispatch: return "gomp.pool_dispatch";
     case Counter::kGompTeamDegraded: return "gomp.team_degraded";
     case Counter::kGompLoopStealAttempt: return "gomp.loop_steal_attempt";

@@ -44,6 +44,11 @@ enum class Counter : unsigned {
   kGompCriticalContended,
   kGompReduction,
   kGompTaskSpawned,
+  kGompTaskloop,
+  // Work-stealing task deques (cluster-first victim order).
+  kGompTaskStolen,
+  kGompTaskStolenLocal,   // victim in the thief's cluster
+  kGompTaskStolenRemote,  // steal crossed a cluster boundary (CoreNet hop)
   kGompPoolDispatch,
   // Teams that ran narrower than requested because worker launch failed
   // (graceful degradation instead of a deadlocked barrier).

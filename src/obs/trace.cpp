@@ -31,6 +31,9 @@ std::string_view name(Type t) {
     case Type::kLoopChunk: return "loop_chunk";
     case Type::kStealAttempt: return "steal_attempt";
     case Type::kSteal: return "steal";
+    case Type::kTaskSpawn: return "task_spawn";
+    case Type::kTaskRun: return "task_run";
+    case Type::kTaskSteal: return "task_steal";
     case Type::kMutexAcquire: return "mutex_acquire";
     case Type::kNodeCreate: return "node_create";
     case Type::kNodeRetire: return "node_retire";
@@ -354,6 +357,17 @@ void append_args(std::string& s, const Event& e) {
       kv("victim", e.a0, true);
       break;
     case Type::kSteal:
+      kv("victim", e.a0, true);
+      kv("local", e.a1);
+      break;
+    case Type::kTaskSpawn:
+      kv("tid", e.a0, true);
+      kv("depth", e.a1);
+      break;
+    case Type::kTaskRun:
+      kv("stolen", e.a0, true);
+      break;
+    case Type::kTaskSteal:
       kv("victim", e.a0, true);
       kv("local", e.a1);
       break;

@@ -56,6 +56,10 @@ enum class Type : std::uint32_t {
   kLoopChunk,      // instant (full mode only): chunk acquired; a0=lo a1=hi
   kStealAttempt,   // instant (full mode only): a0=victim tid
   kSteal,          // instant (full mode only): steal; a0=victim a1=local(0/1)
+  // gomp explicit tasks (full mode only: spawn/run rates track loop chunks).
+  kTaskSpawn,      // instant: a0=spawner tid a1=deque depth (1 for depend)
+  kTaskRun,        // task body execution; a0=stolen(0/1)
+  kTaskSteal,      // instant: deque steal; a0=victim a1=local(0/1)
   // mrapi.
   kMutexAcquire,   // a0=contended(0/1)
   kNodeCreate,     // a0=node id

@@ -242,6 +242,70 @@ TEST_F(ChaosTest, MtapiTaskStartRetriesTransientExhaustion) {
   expect_accounting_balances();
 }
 
+TEST_F(ChaosTest, TaskAllocChaosKeepsTaskSemantics) {
+  const std::uint64_t violations0 = check::violation_count();
+  // Every explicit-task allocation is a potential injection; the runtime's
+  // bounded retry absorbs most, and the exhausted remainder fall back to
+  // undeferred inline execution — the result must not change either way.
+  ASSERT_TRUE(fault::configure("gomp.task_alloc:rate=0.3:seed=17"));
+  fault::set_enabled(true);
+  {
+    gomp::Runtime rt = make_mca_runtime(4);
+    std::function<long(int)> fib = [&](int n) -> long {
+      gomp::ParallelContext& ctx = *gomp::Runtime::current();
+      if (n < 2) return n;
+      long a = 0, b = 0;
+      ctx.task([&fib, &a, n] { a = fib(n - 1); });
+      b = fib(n - 2);
+      ctx.taskwait();
+      return a + b;
+    };
+    long result = 0;
+    std::atomic<long> loop_sum{0};
+    rt.parallel([&](gomp::ParallelContext& ctx) {
+      ctx.single([&] {
+        result = fib(13);
+        ctx.taskloop(1, 501, [&](long lo, long hi) {
+          long local = 0;
+          for (long i = lo; i < hi; ++i) local += i;
+          loop_sum.fetch_add(local);
+        });
+      });
+    });
+    EXPECT_EQ(result, 233);
+    EXPECT_EQ(loop_sum.load(), 125250L);
+  }
+  expect_accounting_balances();
+  EXPECT_EQ(check::violation_count(), violations0);
+}
+
+TEST_F(ChaosTest, TaskDependChainSurvivesAllocExhaustion) {
+  // A serialised depend chain under heavy injection: with rate 0.5 and the
+  // runtime's 4 attempts, ~6% of spawns exhaust their retries and run
+  // undeferred — which must still respect the chain's ordering (the
+  // fallback waits for the address's predecessors before running inline).
+  ASSERT_TRUE(fault::configure("gomp.task_alloc:rate=0.5:seed=23"));
+  fault::set_enabled(true);
+  {
+    gomp::Runtime rt = make_mca_runtime(4);
+    int cell = 0;
+    std::vector<int> order;
+    rt.parallel([&](gomp::ParallelContext& ctx) {
+      ctx.single([&] {
+        const void* addr = &cell;
+        for (int i = 0; i < 64; ++i) {
+          ctx.task_depend([&order, i] { order.push_back(i); }, {}, {addr});
+        }
+      }, /*nowait=*/true);
+    });
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(order[static_cast<std::size_t>(i)], i) << "chain broke at " << i;
+    }
+  }
+  expect_accounting_balances();
+}
+
 TEST_F(ChaosTest, ReportSectionReflectsTheRun) {
   ASSERT_TRUE(fault::configure("pool.worker_launch:nth=2"));
   fault::set_enabled(true);

@@ -1,0 +1,158 @@
+// Chase-Lev deque unit tests: owner/thief interleavings must deliver every
+// pushed element exactly once, across growth and under randomized stalls.
+// Mirrors steal_test.cpp's approach for the loop scheduler's range-stealing:
+// hammer the two-ended protocol from many threads and account for every
+// element at the end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "gomp/task_deque.hpp"
+
+namespace ompmca::gomp {
+namespace {
+
+// The deque stores Task*; for protocol tests any unique pointer works.
+// Encode an index as a pointer so we can tick a per-element counter.
+Task* as_token(std::uintptr_t i) { return reinterpret_cast<Task*>(i + 1); }
+std::uintptr_t from_token(Task* t) {
+  return reinterpret_cast<std::uintptr_t>(t) - 1;
+}
+
+TEST(TaskDequeTest, OwnerPushPopLifo) {
+  TaskDeque d(4);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.pop(), nullptr);
+  for (std::uintptr_t i = 0; i < 10; ++i) d.push(as_token(i));
+  EXPECT_EQ(d.size(), 10);
+  for (std::uintptr_t i = 10; i-- > 0;) {
+    Task* t = d.pop();
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(from_token(t), i);
+  }
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(TaskDequeTest, StealTakesOldestFirst) {
+  TaskDeque d(4);
+  for (std::uintptr_t i = 0; i < 6; ++i) d.push(as_token(i));
+  for (std::uintptr_t i = 0; i < 6; ++i) {
+    Task* t = d.steal();
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(from_token(t), i);  // FIFO from the top end
+  }
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(TaskDequeTest, GrowthPreservesContents) {
+  TaskDeque d(2);  // force several growths
+  constexpr std::uintptr_t kN = 1000;
+  for (std::uintptr_t i = 0; i < kN; ++i) d.push(as_token(i));
+  std::vector<bool> seen(kN, false);
+  // Mixed pops and steals across the grown buffer.
+  for (std::uintptr_t i = 0; i < kN; ++i) {
+    Task* t = (i % 2 == 0) ? d.pop() : d.steal();
+    ASSERT_NE(t, nullptr);
+    std::uintptr_t v = from_token(t);
+    ASSERT_LT(v, kN);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  EXPECT_TRUE(d.empty());
+}
+
+// The core exactly-once property: one owner pushing and popping, several
+// thieves stealing, randomized stalls to shake out interleavings.  Every
+// token must be delivered to exactly one consumer.
+TEST(TaskDequeTest, OwnerAndThievesDeliverExactlyOnce) {
+  constexpr int kThieves = 3;
+  constexpr std::uintptr_t kTokens = 20000;
+  TaskDeque d(8);
+  std::vector<std::atomic<std::uint32_t>> delivered(kTokens);
+  for (auto& c : delivered) c.store(0, std::memory_order_relaxed);
+  std::atomic<bool> done{false};
+  std::atomic<std::uintptr_t> consumed{0};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int th = 0; th < kThieves; ++th) {
+    thieves.emplace_back([&, th] {
+      std::mt19937 rng(0xC0FFEEu + static_cast<unsigned>(th));
+      while (!done.load(std::memory_order_acquire) || !d.empty()) {
+        Task* t = d.steal();
+        if (t != nullptr) {
+          delivered[from_token(t)].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+        if ((rng() & 0x3F) == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::mt19937 rng(12345);
+  std::uintptr_t next = 0;
+  while (next < kTokens) {
+    // Push a random burst, then pop a few back (the owner's LIFO end),
+    // leaving the rest for thieves.
+    std::uintptr_t burst = 1 + (rng() % 16);
+    for (std::uintptr_t i = 0; i < burst && next < kTokens; ++i) {
+      d.push(as_token(next++));
+    }
+    std::uintptr_t pops = rng() % 8;
+    for (std::uintptr_t i = 0; i < pops; ++i) {
+      Task* t = d.pop();
+      if (t == nullptr) break;
+      delivered[from_token(t)].fetch_add(1, std::memory_order_relaxed);
+      consumed.fetch_add(1, std::memory_order_relaxed);
+    }
+    if ((rng() & 0xFF) == 0) std::this_thread::yield();
+  }
+  // Owner drains what the thieves don't get to.
+  for (;;) {
+    Task* t = d.pop();
+    if (t == nullptr) {
+      if (consumed.load(std::memory_order_relaxed) >= kTokens) break;
+      std::this_thread::yield();
+      continue;
+    }
+    delivered[from_token(t)].fetch_add(1, std::memory_order_relaxed);
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  for (std::uintptr_t i = 0; i < kTokens; ++i) {
+    EXPECT_EQ(delivered[i].load(std::memory_order_relaxed), 1u)
+        << "token " << i << " delivered " << delivered[i].load()
+        << " times (must be exactly once)";
+  }
+}
+
+// pop/steal race on the last element: exactly one side wins each round.
+TEST(TaskDequeTest, LastElementRaceHasOneWinner) {
+  constexpr int kRounds = 5000;
+  TaskDeque d(4);
+  for (int round = 0; round < kRounds; ++round) {
+    d.push(as_token(static_cast<std::uintptr_t>(round)));
+    std::atomic<int> wins{0};
+    std::atomic<bool> go{false};
+    std::thread thief([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      if (d.steal() != nullptr) wins.fetch_add(1);
+    });
+    go.store(true, std::memory_order_release);
+    if (d.pop() != nullptr) wins.fetch_add(1);
+    thief.join();
+    ASSERT_EQ(wins.load(), 1) << "round " << round;
+    ASSERT_TRUE(d.empty());
+  }
+}
+
+}  // namespace
+}  // namespace ompmca::gomp

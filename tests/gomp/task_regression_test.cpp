@@ -14,12 +14,14 @@
 //    accounting corrupted when a task body threw.
 //
 // Each test fails (or hangs, caught by a bounded in-test timeout) on the
-// seed implementation and passes on the fixed one.
+// seed implementation and passes on the fixed one.  The scenarios target
+// the scheduler's contract — wakeup on new work, group membership across
+// steals, exception safety — and hold for both the seed's central FIFO
+// shape and the work-stealing deques that replaced it.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
-#include <memory>
 #include <stdexcept>
 #include <thread>
 
@@ -47,46 +49,48 @@ bool spin_until(Pred pred) {
 // --- lost wakeup: spawn() must wake parked waiters ---------------------------
 //
 // Thread A spawns child C and blocks in taskwait (C executing on thread B,
-// queue empty -> A parks).  C then spawns grandchild G and busy-waits on
+// nothing queued -> A parks).  C then spawns grandchild G and busy-waits on
 // G's side effect.  B is occupied by C, so only A can run G — and A only
-// learns about G if spawn() wakes it.  On the seed FIFO, A sleeps until
-// C's bounded busy-wait expires and the test fails; with the fix, A wakes
-// on the spawn and the chain completes promptly.
+// learns about G if the spawn wakes it.  On the seed FIFO, A slept until
+// C's bounded busy-wait expired and the test failed; with the progress
+// epoch (and the seed-era notify fix), A wakes on the spawn and the chain
+// completes promptly.
 TEST(TaskRegression, SpawnWakesParkedTaskwaitWaiter) {
   TaskSystem ts;
+  ts.configure(2, nullptr);
   std::atomic<bool> child_started{false};
   std::atomic<bool> grandchild_ran{false};
   std::atomic<bool> chain_completed{false};
 
-  auto implicit_a = std::make_shared<Task>();
-  auto implicit_b = std::make_shared<Task>();
+  Task* implicit_a = ts.make_implicit();
+  Task* implicit_b = ts.make_implicit();
 
   std::thread waiter([&] {
-    Task* cur = implicit_a.get();
-    ts.spawn(cur, nullptr, [&ts, &child_started, &grandchild_ran,
-                            &chain_completed] {
+    Task* cur = implicit_a;
+    ts.spawn(0, cur, [&ts, &child_started, &grandchild_ran,
+                      &chain_completed] {
       child_started.store(true);
-      // Let the waiter observe the empty queue and park in taskwait before
-      // the grandchild is spawned (the lost-wakeup window).
+      // Let the waiter observe the empty deques and park in taskwait
+      // before the grandchild is spawned (the lost-wakeup window).
       std::this_thread::sleep_for(100ms);
       // The helper thread is inside *this* body, so the grandchild can
-      // only run on the parked waiter.
-      ts.spawn(nullptr, nullptr, [&grandchild_ran] {
+      // only run on the parked waiter.  Spawned from the helper: tid 1.
+      ts.spawn(1, nullptr, [&grandchild_ran] {
         grandchild_ran.store(true);
       });
       if (spin_until([&] { return grandchild_ran.load(); })) {
         chain_completed.store(true);
       }
     });
-    // Hand the child to the helper before waiting, so taskwait finds the
-    // queue empty and parks (the lost-wakeup window).
+    // Hand the child to the helper before waiting, so taskwait finds
+    // nothing takeable and parks (the lost-wakeup window).
     while (!child_started.load()) std::this_thread::yield();
-    ts.taskwait(&cur);
+    ts.taskwait(0, &cur);
   });
   std::thread helper([&] {
-    Task* cur = implicit_b.get();
+    Task* cur = implicit_b;
     while (!child_started.load()) {
-      if (!ts.run_one(&cur)) std::this_thread::yield();
+      if (!ts.run_one(1, &cur)) std::this_thread::yield();
     }
   });
   helper.join();
@@ -94,46 +98,54 @@ TEST(TaskRegression, SpawnWakesParkedTaskwaitWaiter) {
   EXPECT_TRUE(chain_completed.load())
       << "grandchild never ran: spawn() did not wake the parked taskwait";
   EXPECT_TRUE(grandchild_ran.load());
+  implicit_a->release();
+  implicit_b->release();
 }
 
 // Same window through group_wait: the waiter parks on the group, new work
 // arrives, and only the waiter is free to run it.
 TEST(TaskRegression, SpawnWakesParkedGroupWaitWaiter) {
   TaskSystem ts;
+  ts.configure(2, nullptr);
   TaskGroup group;
   std::atomic<bool> child_started{false};
   std::atomic<bool> grandchild_ran{false};
   std::atomic<bool> chain_completed{false};
 
-  auto implicit_b = std::make_shared<Task>();
+  Task* implicit_a = ts.make_implicit();
+  Task* implicit_b = ts.make_implicit();
 
   std::thread waiter([&] {
-    Task* cur = nullptr;
-    ts.spawn(nullptr, &group, [&ts, &child_started, &grandchild_ran,
-                               &chain_completed] {
+    Task* cur = implicit_a;
+    implicit_a->active_group = &group;  // children join the group
+    ts.spawn(0, cur, [&ts, &child_started, &grandchild_ran,
+                      &chain_completed] {
       child_started.store(true);
       std::this_thread::sleep_for(100ms);
-      ts.spawn(nullptr, nullptr, [&grandchild_ran] {
+      ts.spawn(1, nullptr, [&grandchild_ran] {
         grandchild_ran.store(true);
       });
       if (spin_until([&] { return grandchild_ran.load(); })) {
         chain_completed.store(true);
       }
     });
+    implicit_a->active_group = nullptr;
     // Hand the group task to the helper, then park on the group.
     while (!child_started.load()) std::this_thread::yield();
-    ts.group_wait(&group, &cur);
+    ts.group_wait(0, &group, &cur);
   });
   std::thread helper([&] {
-    Task* cur = implicit_b.get();
+    Task* cur = implicit_b;
     while (!child_started.load()) {
-      if (!ts.run_one(&cur)) std::this_thread::yield();
+      if (!ts.run_one(1, &cur)) std::this_thread::yield();
     }
   });
   helper.join();
   waiter.join();
   EXPECT_TRUE(chain_completed.load())
       << "grandchild never ran: spawn() did not wake the parked group_wait";
+  implicit_a->release();
+  implicit_b->release();
 }
 
 // --- taskgroup must include descendants of stolen tasks ----------------------
@@ -182,33 +194,38 @@ TEST(TaskRegression, TaskgroupWaitsForDescendantsOfStolenTasks) {
 
 TEST(TaskRegression, ThrowingTaskRestoresSlotAndAccounting) {
   TaskSystem ts;
-  auto implicit = std::make_shared<Task>();
-  Task* cur = implicit.get();
+  Task* implicit = ts.make_implicit();
+  Task* cur = implicit;
 
-  ts.spawn(cur, nullptr, [] { throw std::runtime_error("task body"); });
-  EXPECT_THROW(ts.run_one(&cur), std::runtime_error);
+  ts.spawn(0, cur, [] { throw std::runtime_error("task body"); });
+  EXPECT_THROW(ts.run_one(0, &cur), std::runtime_error);
   // The current-task slot is restored...
-  EXPECT_EQ(cur, implicit.get());
+  EXPECT_EQ(cur, implicit);
   // ...the child was accounted finished (taskwait returns instead of
   // parking forever on live_children)...
-  ts.taskwait(&cur);
+  ts.taskwait(0, &cur);
   // ...and the executing count was restored (drain returns instead of
   // spinning on a phantom in-flight task).
   std::atomic<int> ran{0};
-  ts.spawn(cur, nullptr, [&] { ran.fetch_add(1); });
-  ts.drain(&cur);
+  ts.spawn(0, cur, [&] { ran.fetch_add(1); });
+  ts.drain(0, &cur);
   EXPECT_EQ(ran.load(), 1);
   EXPECT_EQ(ts.queued(), 0u);
+  implicit->release();
 }
 
 TEST(TaskRegression, ThrowingTaskInsideGroupReleasesGroup) {
   TaskSystem ts;
   TaskGroup group;
-  Task* cur = nullptr;
-  ts.spawn(nullptr, &group, [] { throw std::runtime_error("boom"); });
-  EXPECT_THROW(ts.run_one(&cur), std::runtime_error);
+  Task* implicit = ts.make_implicit();
+  Task* cur = implicit;
+  implicit->active_group = &group;
+  ts.spawn(0, cur, [] { throw std::runtime_error("boom"); });
+  implicit->active_group = nullptr;
+  EXPECT_THROW(ts.run_one(0, &cur), std::runtime_error);
   // The group count was restored; group_wait must return immediately.
-  ts.group_wait(&group, &cur);
+  ts.group_wait(0, &group, &cur);
+  implicit->release();
   SUCCEED();
 }
 
