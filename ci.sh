@@ -11,6 +11,7 @@
 #                        7. EPCC artifact diff (informational)
 #                        8. flight-recorder trace export validation
 #                        9. taskbench artifact diff (informational)
+#                       10. placement artifact diff (informational)
 #
 # Mirrors ROADMAP.md's tier-1 verify line, with -Werror on so new
 # warnings fail the build instead of rotting.
@@ -18,14 +19,14 @@ set -eu
 
 cd "$(dirname "$0")"
 
-echo "== [1/9] normal build + ctest =="
+echo "== [1/10] normal build + ctest =="
 cmake -B build -S . -DOMPMCA_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j
 # Serial on purpose: epcc_test asserts on measured timings, which parallel
 # test load can flip.
 (cd build && ctest --output-on-failure)
 
-echo "== [2/9] ThreadSanitizer, all suites =="
+echo "== [2/10] ThreadSanitizer, all suites =="
 # Race-check everything, not just the gomp hot paths: the MRAPI database,
 # arena and DMA engine carry their own lock-free fast paths.
 cmake -B build-tsan -S . -DOMPMCA_WERROR=ON -DOMPMCA_TSAN=ON
@@ -35,21 +36,29 @@ cmake --build build-tsan -j
 # synchronisation path it exercises is already covered by gomp_test and
 # validation_test under TSan.
 (cd build-tsan && ctest --output-on-failure -E '^epcc_test$')
+# The hierarchical barrier's two-tier release protocol (per-cluster sense
+# flips + top-tier combine) gets a dedicated race check: real threads, the
+# hier kind forced.
+./build-tsan/bench/ablation_barriers --quick --kind=hier >/dev/null
+echo "hierarchical barrier ablation: clean under TSan"
 
-echo "== [3/9] ASan+UBSan, all suites =="
+echo "== [3/10] ASan+UBSan, all suites =="
 cmake -B build-asan -S . -DOMPMCA_WERROR=ON -DOMPMCA_ASAN=ON
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -E '^epcc_test$')
 
-echo "== [4/9] correctness checker (OMPMCA_CHECK=ON), all suites =="
+echo "== [4/10] correctness checker (OMPMCA_CHECK=ON), all suites =="
 # The check build compiles the lockdep/lifecycle/usage hooks in; check_test
 # seeds violations and asserts the reports, the rest of the suite doubles
 # as a no-false-positives audit.
 cmake -B build-check -S . -DOMPMCA_WERROR=ON -DOMPMCA_CHECK=ON
 cmake --build build-check -j
 (cd build-check && ctest --output-on-failure)
+# Same hierarchical-barrier run under the lockdep/lifecycle hooks.
+OMPMCA_CHECK_ABORT=1 ./build-check/bench/ablation_barriers --quick --kind=hier >/dev/null
+echo "hierarchical barrier ablation: clean under checker"
 
-echo "== [5/9] fault injection (OMPMCA_FAULT=ON + OMPMCA_CHECK=ON), all suites =="
+echo "== [5/10] fault injection (OMPMCA_FAULT=ON + OMPMCA_CHECK=ON), all suites =="
 # Compiles the injection points and recovery policies in and runs the whole
 # suite, including the fixed-seed chaos tests in tests/fault/ (which skip in
 # every other build).  The checker rides along so injected failures cannot
@@ -58,7 +67,7 @@ cmake -B build-fault -S . -DOMPMCA_WERROR=ON -DOMPMCA_FAULT=ON -DOMPMCA_CHECK=ON
 cmake --build build-fault -j
 (cd build-fault && ctest --output-on-failure)
 
-echo "== [6/9] clang-tidy =="
+echo "== [6/10] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Uses .clang-tidy at the repo root and the compile database from step 1.
   find src -name '*.cpp' -print | xargs clang-tidy -p build --quiet
@@ -66,7 +75,7 @@ else
   echo "clang-tidy not installed; skipping lint step"
 fi
 
-echo "== [7/9] EPCC artifact diff (informational) =="
+echo "== [7/10] EPCC artifact diff (informational) =="
 if command -v python3 >/dev/null 2>&1; then
   python3 bench/diff_artifacts.py \
     bench/artifacts/epcc_before.json bench/artifacts/epcc_after.json || true
@@ -74,7 +83,7 @@ else
   echo "python3 not installed; skipping artifact diff"
 fi
 
-echo "== [8/9] flight-recorder trace export =="
+echo "== [8/10] flight-recorder trace export =="
 # Runs the EPCC bench with tracing armed and validates the exported Chrome
 # trace JSON strictly (json.tool); the analyzer pass is informational.  The
 # bench's own PASS/FAIL is timing-sensitive on loaded CI hosts, so only the
@@ -89,7 +98,7 @@ else
   echo "python3 not installed; skipping trace validation"
 fi
 
-echo "== [9/9] taskbench artifact diff (informational) =="
+echo "== [9/10] taskbench artifact diff (informational) =="
 # Runs the task-subsystem bench and diffs its overhead artifact against the
 # committed reference.  The run itself is tolerated to fail (its in-bench
 # band checks are timing-sensitive on loaded CI hosts); the artifact must
@@ -101,6 +110,19 @@ if command -v python3 >/dev/null 2>&1; then
     bench/artifacts/taskbench_ref.json build/taskbench_ci.json || true
 else
   echo "python3 not installed; skipping taskbench artifact diff"
+fi
+
+echo "== [10/10] placement artifact diff (informational) =="
+# Regenerates the flat-vs-hier placement artifacts (modeled numbers plus a
+# runtime locality witness) and diffs them against the committed pair.  The
+# bench's PASS/FAIL gates the run; the cross-artifact diff is informational.
+if command -v python3 >/dev/null 2>&1; then
+  ./build/bench/ablation_placement --json --mode=hier > build/placement_ci.json
+  python3 -m json.tool build/placement_ci.json >/dev/null
+  python3 bench/diff_artifacts.py \
+    bench/artifacts/placement_flat.json build/placement_ci.json || true
+else
+  echo "python3 not installed; skipping placement artifact diff"
 fi
 
 echo "ci.sh: all passes complete"

@@ -1,9 +1,13 @@
 #include "gomp/barrier.hpp"
 
 #include <cassert>
+#include <new>
 
 #include "check/check.hpp"
 #include "common/spin.hpp"
+#include "common/time.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace ompmca::gomp {
 
@@ -12,28 +16,90 @@ std::string_view to_string(BarrierKind k) {
     case BarrierKind::kCentral: return "central";
     case BarrierKind::kTree: return "tree";
     case BarrierKind::kDissemination: return "dissemination";
+    case BarrierKind::kHierarchical: return "hierarchical";
+    case BarrierKind::kAuto: return "auto";
   }
   return "?";
 }
 
-BarrierKind effective_barrier_kind(BarrierKind kind, WaitPolicy policy) {
+bool parse_barrier_kind(std::string_view text, BarrierKind* out) {
+  if (text == "central") *out = BarrierKind::kCentral;
+  else if (text == "tree") *out = BarrierKind::kTree;
+  else if (text == "dissemination") *out = BarrierKind::kDissemination;
+  else if (text == "hier" || text == "hierarchical")
+    *out = BarrierKind::kHierarchical;
+  else if (text == "auto") *out = BarrierKind::kAuto;
+  else return false;
+  return true;
+}
+
+BarrierKind effective_barrier_kind(BarrierKind kind, WaitPolicy policy,
+                                   unsigned clusters_spanned) {
+  if (kind == BarrierKind::kAuto) {
+    kind = clusters_spanned > 1 ? BarrierKind::kHierarchical
+                                : BarrierKind::kCentral;
+  }
+  if (kind == BarrierKind::kHierarchical && clusters_spanned <= 1) {
+    // Degenerate: one cluster means no CoreNet hop to save; the flat
+    // arity-4 tree is the same intra-cluster combining structure without
+    // the top tier.
+    return BarrierKind::kTree;
+  }
   if (kind == BarrierKind::kDissemination && policy == WaitPolicy::kPassive) {
     return BarrierKind::kTree;
   }
   return kind;
 }
 
+BarrierKind effective_barrier_kind(BarrierKind kind, WaitPolicy policy) {
+  return effective_barrier_kind(kind, policy, /*clusters_spanned=*/1);
+}
+
+namespace {
+
+unsigned clusters_spanned_by(const unsigned* cluster_of_thread,
+                             unsigned nthreads) {
+  if (cluster_of_thread == nullptr || nthreads == 0) return 1;
+  unsigned spanned = 0;
+  for (unsigned i = 0; i < nthreads; ++i) {
+    bool seen = false;
+    for (unsigned j = 0; j < i; ++j) {
+      if (cluster_of_thread[j] == cluster_of_thread[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ++spanned;
+  }
+  return spanned;
+}
+
+}  // namespace
+
 std::unique_ptr<TeamBarrier> make_barrier(BarrierKind kind, unsigned nthreads,
-                                          WaitPolicy policy) {
-  switch (effective_barrier_kind(kind, policy)) {
+                                          WaitPolicy policy,
+                                          const unsigned* cluster_of_thread,
+                                          ClusterMemory* mem) {
+  const unsigned spanned = clusters_spanned_by(cluster_of_thread, nthreads);
+  switch (effective_barrier_kind(kind, policy, spanned)) {
     case BarrierKind::kCentral:
       return std::make_unique<CentralBarrier>(nthreads, policy);
     case BarrierKind::kTree:
       return std::make_unique<TreeBarrier>(nthreads, policy);
     case BarrierKind::kDissemination:
       return std::make_unique<DisseminationBarrier>(nthreads);
+    case BarrierKind::kHierarchical:
+      return std::make_unique<HierarchicalBarrier>(nthreads, policy,
+                                                   cluster_of_thread, mem);
+    case BarrierKind::kAuto:
+      break;  // resolved above; unreachable
   }
   return nullptr;
+}
+
+std::unique_ptr<TeamBarrier> make_barrier(BarrierKind kind, unsigned nthreads,
+                                          WaitPolicy policy) {
+  return make_barrier(kind, nthreads, policy, /*cluster_of_thread=*/nullptr);
 }
 
 // --- CentralBarrier ----------------------------------------------------------
@@ -157,6 +223,121 @@ void TreeBarrier::arrive_and_wait(unsigned tid) {
     Backoff backoff;
     while (sense_.load(std::memory_order_acquire) != my_sense)
       backoff.pause();
+  }
+}
+
+// --- HierarchicalBarrier -----------------------------------------------------
+
+HierarchicalBarrier::HierarchicalBarrier(unsigned nthreads, WaitPolicy policy,
+                                         const unsigned* cluster_of_thread,
+                                         ClusterMemory* mem)
+    : n_(nthreads), policy_(policy), mem_(mem) {
+  assert(nthreads >= 1);
+  group_of_thread_.resize(n_);
+  // Dense group indices in first-appearance order, so group 0 is the
+  // master's cluster and the cross-cluster release fans out from it.
+  for (unsigned t = 0; t < n_; ++t) {
+    const unsigned cluster = cluster_of_thread ? cluster_of_thread[t] : 0;
+    unsigned g = 0;
+    for (; g < cluster_of_group_.size(); ++g) {
+      if (cluster_of_group_[g] == cluster) break;
+    }
+    if (g == cluster_of_group_.size()) cluster_of_group_.push_back(cluster);
+    group_of_thread_[t] = g;
+  }
+  groups_.resize(cluster_of_group_.size());
+  group_from_mem_.resize(cluster_of_group_.size(), false);
+  for (unsigned g = 0; g < groups_.size(); ++g) {
+    void* slab = mem_ ? mem_->acquire(cluster_of_group_[g],
+                                      sizeof(ClusterTier))
+                      : nullptr;
+    if (slab != nullptr) {
+      groups_[g] = ::new (slab) ClusterTier();
+      group_from_mem_[g] = true;
+    } else {
+      groups_[g] = new ClusterTier();
+    }
+  }
+  for (unsigned t = 0; t < n_; ++t) ++groups_[group_of_thread_[t]]->expected;
+  local_sense_.resize(n_);
+  for (auto& s : local_sense_) *s = true;
+}
+
+HierarchicalBarrier::~HierarchicalBarrier() {
+  for (unsigned g = 0; g < groups_.size(); ++g) {
+    if (group_from_mem_[g]) {
+      groups_[g]->~ClusterTier();
+      mem_->release(cluster_of_group_[g], groups_[g]);
+    } else {
+      delete groups_[g];
+    }
+  }
+}
+
+void HierarchicalBarrier::arrive_and_wait(unsigned tid) {
+  OMPMCA_CHECK_BARRIER_HELD();
+  const bool my_sense = local_sense_[tid].value;
+  local_sense_[tid].value = !my_sense;
+  const unsigned g = group_of_thread_[tid];
+  ClusterTier& tier = *groups_[g];
+  const bool tracing = obs::trace::verbose();
+  const std::uint64_t t0 = tracing ? monotonic_nanos() : 0;
+
+  const unsigned arrived = tier.count.fetch_add(1, std::memory_order_acq_rel);
+  if (arrived + 1 == tier.expected) {
+    // Cluster leader: the only thread of this cluster that touches the top
+    // tier, so CoreNet crossings per phase == occupied clusters.
+    tier.count.store(0, std::memory_order_relaxed);
+    obs::count(obs::Counter::kGompBarrierXCluster);
+    const unsigned ngroups = static_cast<unsigned>(groups_.size());
+    const unsigned top =
+        top_count_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (top == ngroups) {
+      // Final leader: release every cluster top-down.
+      top_count_.store(0, std::memory_order_relaxed);
+      for (unsigned r = 0; r < ngroups; ++r) {
+        ClusterTier& rt = *groups_[r];
+        if (policy_ == WaitPolicy::kPassive) {
+          {
+            // Store under the mutex so no waiter can check the predicate
+            // between its load and its sleep and miss the notify.
+            std::lock_guard lk(rt.mu);
+            rt.sense.store(my_sense, std::memory_order_release);
+          }
+          rt.cv.notify_all();
+        } else {
+          rt.sense.store(my_sense, std::memory_order_release);
+        }
+      }
+      if (tracing) {
+        obs::trace::complete(obs::trace::Type::kBarrierTier, t0, /*tier=*/1,
+                             cluster_of_group_[g]);
+      }
+      return;
+    }
+    if (tracing) {
+      obs::trace::complete(obs::trace::Type::kBarrierTier, t0, /*tier=*/1,
+                           cluster_of_group_[g]);
+      // Fall through to wait on our own cluster's flag like everyone else;
+      // the leader-tier span above covers only the top-tier crossing.
+    }
+  } else {
+    obs::count(obs::Counter::kGompBarrierLocal);
+  }
+
+  if (policy_ == WaitPolicy::kPassive) {
+    std::unique_lock lk(tier.mu);
+    tier.cv.wait(lk, [&] {
+      return tier.sense.load(std::memory_order_acquire) == my_sense;
+    });
+  } else {
+    Backoff backoff;
+    while (tier.sense.load(std::memory_order_acquire) != my_sense)
+      backoff.pause();
+  }
+  if (tracing && arrived + 1 != tier.expected) {
+    obs::trace::complete(obs::trace::Type::kBarrierTier, t0, /*tier=*/0,
+                         cluster_of_group_[g]);
   }
 }
 

@@ -2,11 +2,19 @@
 //
 // An OpenMP runtime lives and dies by its barrier; on a clustered part like
 // the T4240 the algorithm choice interacts with topology (same-core SMT
-// siblings vs cross-cluster CoreNet hops).  Three classic algorithms are
-// provided and compared in bench/ablation_barriers:
+// siblings vs cross-cluster CoreNet hops).  Four algorithms are provided
+// and compared in bench/ablation_barriers:
 //  * central       — sense-reversing counter barrier (libGOMP's shape);
 //  * tree          — arity-4 combining tree (matches the 4-core clusters);
-//  * dissemination — ceil(log2 n) rounds of pairwise signalling.
+//  * dissemination — ceil(log2 n) rounds of pairwise signalling;
+//  * hierarchical  — two tiers matched to the machine: every thread arrives
+//    at a sense-reversal flag private to its cluster (traffic stays inside
+//    the shared L2), the last arriver of each cluster becomes that
+//    cluster's leader and combines at a tiny top tier, and the final
+//    leader releases top-down by flipping each cluster's sense.  Crossing
+//    the CoreNet fabric costs O(occupied clusters) arrivals per barrier
+//    instead of O(n) — the gomp.barrier_local / gomp.barrier_xcluster
+//    counters witness exactly that drop.
 //
 // Wait policy: kPassive blocks on a condition variable (right for the
 // oversubscribed reproduction host and for power-conscious embedded use);
@@ -22,6 +30,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -39,15 +48,53 @@ class TeamBarrier {
   virtual unsigned size() const = 0;
 };
 
-enum class BarrierKind { kCentral, kTree, kDissemination };
+/// kAuto is a *request* value only (the RuntimeOptions default): it
+/// resolves to kHierarchical when the team spans more than one cluster and
+/// to kCentral otherwise, and is never the effective kind of a constructed
+/// barrier.
+enum class BarrierKind { kCentral, kTree, kDissemination, kHierarchical,
+                         kAuto };
 
 std::string_view to_string(BarrierKind k);
 
-/// The algorithm make_barrier actually instantiates for a request — only
-/// (kDissemination, kPassive) differs, falling back to kTree (see above).
-/// Telemetry uses this so wait histograms are attributed correctly.
+/// Parses a barrier-kind name ("central", "tree", "dissemination", "hier"
+/// or "hierarchical", "auto") — the OMPMCA_BARRIER environment knob.
+bool parse_barrier_kind(std::string_view text, BarrierKind* out);
+
+/// Cluster-local storage hook for barrier state.  acquire() returns a
+/// cache-line-aligned block homed in @p cluster's memory domain (the
+/// per-cluster arena sub-pool), or nullptr when the caller should fall back
+/// to the process heap.  Implemented by gomp::ClusterSlabCache (pool.hpp).
+class ClusterMemory {
+ public:
+  virtual ~ClusterMemory() = default;
+  virtual void* acquire(unsigned cluster, std::size_t bytes) = 0;
+  virtual void release(unsigned cluster, void* p) = 0;
+};
+
+/// The algorithm make_barrier actually instantiates for a request.
+/// (kDissemination, kPassive) falls back to kTree (see above);
+/// @p clusters_spanned resolves the topology-dependent kinds: kAuto picks
+/// kHierarchical for >1-cluster teams and kCentral otherwise, and a
+/// kHierarchical request on a single-cluster team collapses to the flat
+/// arity-4 tree (the two-tier protocol would be pure overhead with no
+/// CoreNet hop to save).  Telemetry uses this so wait histograms are
+/// attributed correctly.
+BarrierKind effective_barrier_kind(BarrierKind kind, WaitPolicy policy,
+                                   unsigned clusters_spanned);
+/// Single-cluster convenience overload (tests, benches, p4080-shaped
+/// callers).
 BarrierKind effective_barrier_kind(BarrierKind kind, WaitPolicy policy);
 
+/// @p cluster_of_thread maps each of the @p nthreads software threads to
+/// its hardware cluster (Team builds this from the topology's placement);
+/// nullptr means single-cluster, which collapses kHierarchical/kAuto as
+/// effective_barrier_kind describes.  @p mem, when non-null, homes each
+/// cluster's sub-barrier state in that cluster's memory domain.
+std::unique_ptr<TeamBarrier> make_barrier(BarrierKind kind, unsigned nthreads,
+                                          WaitPolicy policy,
+                                          const unsigned* cluster_of_thread,
+                                          ClusterMemory* mem = nullptr);
 std::unique_ptr<TeamBarrier> make_barrier(BarrierKind kind, unsigned nthreads,
                                           WaitPolicy policy);
 
@@ -94,6 +141,51 @@ class TreeBarrier final : public TeamBarrier {
   std::atomic<bool> sense_{false};
   std::mutex mu_;
   std::condition_variable cv_;
+};
+
+/// The two-tier topology-aware barrier.  Per occupied cluster one padded
+/// ClusterTier (counter + sense + cv) lives — when a ClusterMemory is
+/// supplied — inside that cluster's modeled L2 domain; the top tier is a
+/// single counter over cluster leaders.  Release runs top-down: the final
+/// leader flips every cluster's sense, and each thread only ever waits on
+/// its own cluster's flag, so the spin/park line is cluster-local.
+class HierarchicalBarrier final : public TeamBarrier {
+ public:
+  /// @p cluster_of_thread maps tid -> hardware cluster id (nthreads
+  /// entries, read during construction only).
+  HierarchicalBarrier(unsigned nthreads, WaitPolicy policy,
+                      const unsigned* cluster_of_thread,
+                      ClusterMemory* mem = nullptr);
+  ~HierarchicalBarrier() override;
+
+  void arrive_and_wait(unsigned tid) override;
+  unsigned size() const override { return n_; }
+
+  /// Occupied clusters = top-tier width = cross-cluster arrivals per phase.
+  unsigned num_cluster_groups() const {
+    return static_cast<unsigned>(groups_.size());
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) ClusterTier {
+    std::atomic<unsigned> count{0};
+    unsigned expected = 0;
+    std::atomic<bool> sense{false};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  unsigned n_;
+  WaitPolicy policy_;
+  ClusterMemory* mem_;
+  std::vector<unsigned> group_of_thread_;  // tid -> dense group index
+  std::vector<unsigned> cluster_of_group_;  // dense group -> hw cluster id
+  std::vector<ClusterTier*> groups_;
+  std::vector<bool> group_from_mem_;  // allocation provenance per group
+  // Per-thread sense: all threads flip in lockstep (everyone passes every
+  // phase), so the releaser's write equals every waiter's expectation.
+  std::vector<Padded<bool>> local_sense_;
+  alignas(kCacheLineBytes) std::atomic<unsigned> top_count_{0};
 };
 
 class DisseminationBarrier final : public TeamBarrier {

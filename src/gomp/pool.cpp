@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <new>
 #include <thread>
 
 #include "check/check.hpp"
@@ -64,6 +65,59 @@ ThreadPool::~ThreadPool() {
   for (unsigned i = 0; i < persistent_workers_; ++i) {
     (void)backend_.join_thread(i);
   }
+  if (slab_mem_ != nullptr) {
+    slab_->~TeamSlab();
+    slab_mem_->release(slab_cluster_, slab_);
+  }
+}
+
+void ThreadPool::home_slab(ClusterMemory* mem, unsigned cluster) {
+  assert(workers_launched_ == 0 && "home_slab after workers started");
+  if (mem == nullptr || slab_mem_ != nullptr) return;
+  void* p = mem->acquire(cluster, sizeof(TeamSlab));
+  if (p == nullptr) return;
+  slab_ = ::new (p) TeamSlab();
+  slab_mem_ = mem;
+  slab_cluster_ = cluster;
+}
+
+// --- ClusterSlabCache --------------------------------------------------------
+
+ClusterSlabCache::~ClusterSlabCache() {
+  for (auto& [cluster, slabs] : cache_) {
+    for (Slab& s : slabs) backend_.deallocate(s.p);
+  }
+  // live_ should be empty here (every barrier retires before the runtime);
+  // anything left is the caller's leak, not ours to free blind.
+}
+
+void* ClusterSlabCache::acquire(unsigned cluster, std::size_t bytes) {
+  std::lock_guard lk(mu_);
+  auto it = cache_.find(cluster);
+  if (it != cache_.end()) {
+    auto& slabs = it->second;
+    for (std::size_t i = 0; i < slabs.size(); ++i) {
+      if (slabs[i].bytes >= bytes) {
+        void* p = slabs[i].p;
+        live_[p] = slabs[i].bytes;
+        slabs[i] = slabs.back();
+        slabs.pop_back();
+        return p;
+      }
+    }
+  }
+  void* p = backend_.allocate_on_cluster(bytes, cluster);
+  if (p != nullptr) live_[p] = bytes;
+  return p;
+}
+
+void ClusterSlabCache::release(unsigned cluster, void* p) {
+  if (p == nullptr) return;
+  std::lock_guard lk(mu_);
+  auto it = live_.find(p);
+  if (it == live_.end()) return;
+  cache_[cluster].push_back(Slab{p, it->second});
+  live_.erase(it);
 }
 
 int ThreadPool::spin_budget() const {
@@ -129,12 +183,12 @@ void ThreadPool::worker_loop(unsigned index, Bell& bell, std::uint64_t seen,
     // non-woken worker into an older team's width and still be past its
     // join.  Participation comes from the ticket itself, never the slab.
     if (index + 1 < ticket_width(t)) {
-      if (slab_.dispatch_start_ns != 0) {
+      if (slab_->dispatch_start_ns != 0) {
         // dispatch_start_ns is armed by start_team when telemetry or
         // tracing is on; both consumers share the single clock read.
         const std::uint64_t now = monotonic_nanos();
         if (obs::enabled()) {
-          const std::uint64_t wake_ns = now - slab_.dispatch_start_ns;
+          const std::uint64_t wake_ns = now - slab_->dispatch_start_ns;
           obs::count(obs::Counter::kGompPoolDispatch);
           obs::record(obs::Hist::kGompDoorbellWakeNs, wake_ns);
           obs::record(obs::Hist::kGompPoolDispatchNs, wake_ns);
@@ -147,7 +201,7 @@ void ThreadPool::worker_loop(unsigned index, Bell& bell, std::uint64_t seen,
       {
         obs::trace::Span work_span(obs::trace::Type::kWorkerWork,
                                    t >> kWidthBits);
-        slab_.work(index + 1);
+        slab_->work(index + 1);
       }
       // Dekker pair with wait_team: the decrement (seq_cst) is ordered
       // before the join_waiting_ load, the master's join_waiting_ store
@@ -230,17 +284,17 @@ void ThreadPool::start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn) {
   // in another shows up as an inversion.
   OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompPool, this, 0);
   active_.store(extra, std::memory_order_relaxed);
-  slab_.work = fn;
-  slab_.dispatch_start_ns =
+  slab_->work = fn;
+  slab_->dispatch_start_ns =
       (obs::enabled() || obs::trace::enabled()) ? monotonic_nanos() : 0;
   ++epoch_;
   ticket_.store((epoch_ << kWidthBits) | (extra + 1),
                 std::memory_order_seq_cst);
-  if (slab_.dispatch_start_ns != 0) {
+  if (slab_->dispatch_start_ns != 0) {
     // The ticket store above IS the doorbell ring; stamp it with the same
     // timestamp the wake-latency probes use so flow arrows line up.
     obs::trace::instant_at(obs::trace::Type::kForkRing,
-                           slab_.dispatch_start_ns, epoch_, extra + 1);
+                           slab_->dispatch_start_ns, epoch_, extra + 1);
   }
   wake_participants(to_ring);
 }

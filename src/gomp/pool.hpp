@@ -41,6 +41,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -48,11 +49,39 @@
 #include "common/align.hpp"
 #include "common/function_ref.hpp"
 #include "gomp/backend.hpp"
+#include "gomp/barrier.hpp"
 #include "gomp/icv.hpp"
 
 namespace ompmca::gomp {
 
 enum class PoolMode { kPersistent, kPerRegion };
+
+/// ClusterMemory over SystemBackend::allocate_on_cluster with a free-list
+/// cache: the hierarchical barrier allocates one ClusterTier per occupied
+/// cluster per team, and teams are constructed per region, so released
+/// blocks are kept per cluster and reused instead of round-tripping through
+/// the backend (an MRAPI segment create under the MCA backend) on every
+/// fork.  acquire() returns nullptr when the backend cannot place the block
+/// — callers fall back to the process heap.
+class ClusterSlabCache final : public ClusterMemory {
+ public:
+  explicit ClusterSlabCache(SystemBackend& backend) : backend_(backend) {}
+  ~ClusterSlabCache() override;
+
+  void* acquire(unsigned cluster, std::size_t bytes) override;
+  void release(unsigned cluster, void* p) override;
+
+ private:
+  struct Slab {
+    void* p = nullptr;
+    std::size_t bytes = 0;
+  };
+
+  SystemBackend& backend_;
+  std::mutex mu_;
+  std::map<unsigned, std::vector<Slab>> cache_;  // cluster -> free slabs
+  std::map<void*, std::size_t> live_;            // outstanding sizes
+};
 
 /// Launches worker @p index through @p backend with the fault-injection
 /// point and the bounded retry-with-backoff policy applied: transient
@@ -88,6 +117,16 @@ class ThreadPool {
 
   unsigned workers_launched() const { return workers_launched_; }
   PoolMode mode() const { return mode_; }
+
+  /// Re-homes the team work slab in @p cluster's memory domain via @p mem
+  /// (the master's cluster — the slab is master-written every fork).  Must
+  /// be called before the first region: workers read the slab with no
+  /// synchronisation beyond the doorbell ticket.  No-op when @p mem cannot
+  /// place the block; the inline member keeps serving.
+  void home_slab(ClusterMemory* mem, unsigned cluster);
+
+  /// True when the team slab lives in cluster memory (tests/telemetry).
+  bool slab_cluster_homed() const { return slab_mem_ != nullptr; }
 
  private:
   // ticket_ layout: [epoch:48][width:16].  Width rides inside the atomic so
@@ -133,7 +172,11 @@ class ThreadPool {
 
   // --- doorbell ---------------------------------------------------------------
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> ticket_{0};
-  TeamSlab slab_;
+  TeamSlab slab_inline_;
+  // Points at slab_inline_ unless home_slab moved it into cluster memory.
+  TeamSlab* slab_ = &slab_inline_;
+  ClusterMemory* slab_mem_ = nullptr;
+  unsigned slab_cluster_ = 0;
   std::atomic<bool> exit_{false};
   // unique_ptr: workers keep a stable Bell& across bells_ growth.
   std::vector<std::unique_ptr<Bell>> bells_;

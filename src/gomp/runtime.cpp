@@ -1,7 +1,9 @@
 #include "gomp/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <mutex>
+#include <string_view>
 
 #include "common/log.hpp"
 #include "gomp/backend_mca.hpp"
@@ -57,8 +59,42 @@ Runtime::Runtime(RuntimeOptions opts)
     : opts_(std::move(opts)), backend_(make_backend(opts_)) {
   icvs_ = opts_.icvs ? *opts_.icvs : Icvs::from_env(backend_->num_procs());
   icvs_.num_threads = std::min(icvs_.num_threads, icvs_.thread_limit);
+  // Environment knobs override the option defaults (both are runtime-tuning
+  // switches, same spirit as OMP_WAIT_POLICY).
+  nested_bubble_ = opts_.nested_bubble;
+  if (const char* env = std::getenv("OMPMCA_BARRIER")) {
+    BarrierKind kind;
+    if (parse_barrier_kind(env, &kind)) {
+      opts_.barrier = kind;
+    } else {
+      OMPMCA_LOG_WARN("OMPMCA_BARRIER=%s: unknown barrier kind, ignoring",
+                      env);
+    }
+  }
+  if (const char* env = std::getenv("OMPMCA_NESTED_PLACEMENT")) {
+    const std::string_view v(env);
+    if (v == "flat") {
+      nested_bubble_ = false;
+    } else if (v == "bubble") {
+      nested_bubble_ = true;
+    } else {
+      OMPMCA_LOG_WARN(
+          "OMPMCA_NESTED_PLACEMENT=%s: expected flat|bubble, ignoring", env);
+    }
+  }
+  const platform::Topology& topo = opts_.topology;
+  const unsigned per_cluster =
+      topo.num_clusters() > 0 ? topo.num_hw_threads() / topo.num_clusters()
+                              : topo.num_hw_threads();
+  occupancy_ = std::make_unique<platform::ClusterOccupancy>(
+      topo.num_clusters(), per_cluster);
+  cluster_mem_ = std::make_unique<ClusterSlabCache>(*backend_);
   pool_ = std::make_unique<ThreadPool>(*backend_, opts_.pool_mode,
                                        icvs_.wait_policy);
+  // The master (thread 0) writes the team slab every fork; home it in the
+  // master's cluster — placement(0) under either policy.
+  pool_->home_slab(cluster_mem_.get(),
+                   topo.cluster_of_hw_thread(topo.placement(0)));
   // Nested teams draw worker ids from a high range so they never collide
   // with pool workers (pool ids are 0..thread_limit-1 in practice).
   for (unsigned id = 255; id >= 128; --id) free_nested_ids_.push_back(id);
@@ -66,9 +102,11 @@ Runtime::Runtime(RuntimeOptions opts)
 
 Runtime::~Runtime() {
   // Pool (and its backend threads / MRAPI worker nodes) must retire before
-  // the backend is destroyed.
+  // the backend is destroyed; it releases its slab into cluster_mem_, which
+  // frees through the backend, so the order is pool -> cache -> backend.
   pool_.reset();
   criticals_.clear();
+  cluster_mem_.reset();
   backend_.reset();
 }
 
@@ -105,6 +143,16 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
   ParallelContext* outer = current();
   const bool nested = outer != nullptr;
   region_span.set_args(n, nested ? 1 : 0);
+
+  if (n == 1) {
+    // Width-1 fast path: no doorbell ring, no pool join bookkeeping, and
+    // the Team skips barrier construction entirely — a serialized region
+    // costs a Team frame and nothing else.
+    Team team(*this, 1, outer);
+    team.run_thread(0, body);
+    team.finish();
+    return;
+  }
 
   if (!nested) {
     // Launch-or-park workers first: the returned width reflects launch

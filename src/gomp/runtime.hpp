@@ -15,6 +15,7 @@
 #include "gomp/pool.hpp"
 #include "gomp/team.hpp"
 #include "mrapi/types.hpp"
+#include "platform/partition.hpp"
 #include "platform/topology.hpp"
 
 namespace ompmca::gomp {
@@ -31,7 +32,14 @@ struct RuntimeOptions {
   mrapi::DomainId domain = 0;
   /// Defaults to Icvs::from_env(backend num_procs).
   std::optional<Icvs> icvs;
-  BarrierKind barrier = BarrierKind::kCentral;
+  /// Barrier request; kAuto resolves per team (hierarchical when the team
+  /// spans >1 cluster, central otherwise).  OMPMCA_BARRIER overrides.
+  BarrierKind barrier = BarrierKind::kAuto;
+  /// Nested-team bubble placement: pin a nested region that fits inside one
+  /// cluster to a single cluster (the master's, spilling to the
+  /// least-loaded) instead of scattering it board-wide.
+  /// OMPMCA_NESTED_PLACEMENT=flat|bubble overrides.
+  bool nested_bubble = true;
   PoolMode pool_mode = PoolMode::kPersistent;
   /// When set, overrides `backend` with a caller-supplied backend — the
   /// hook the validation suite uses to inject fault-seeded backends
@@ -65,6 +73,11 @@ class Runtime {
   BarrierKind barrier_kind() const { return opts_.barrier; }
   const platform::Topology& topology() const { return opts_.topology; }
   ThreadPool& pool() { return *pool_; }
+  /// Cluster-homed slab allocator for barrier/team state (never null).
+  ClusterMemory* cluster_memory() { return cluster_mem_.get(); }
+  /// Per-cluster load accounting behind nested-team bubble placement.
+  platform::ClusterOccupancy& occupancy() { return *occupancy_; }
+  bool nested_bubble() const { return nested_bubble_; }
 
   unsigned max_threads() const { return icvs_.num_threads; }
 
@@ -96,6 +109,11 @@ class Runtime {
   RuntimeOptions opts_;
   std::unique_ptr<SystemBackend> backend_;
   Icvs icvs_;
+  bool nested_bubble_ = true;
+  // Destruction order matters: pool_ (workers, slab) retires into
+  // cluster_mem_, which frees through backend_ — see ~Runtime.
+  std::unique_ptr<ClusterSlabCache> cluster_mem_;
+  std::unique_ptr<platform::ClusterOccupancy> occupancy_;
   std::unique_ptr<ThreadPool> pool_;
 
   std::mutex critical_mu_;

@@ -30,8 +30,27 @@ obs::Hist barrier_wait_hist(BarrierKind k) {
     case BarrierKind::kTree: return obs::Hist::kGompBarrierWaitTreeNs;
     case BarrierKind::kDissemination:
       return obs::Hist::kGompBarrierWaitDisseminationNs;
+    case BarrierKind::kHierarchical:
+      return obs::Hist::kGompBarrierWaitHierarchicalNs;
+    case BarrierKind::kAuto:
+      break;  // teams cache the *effective* kind; kAuto never reaches here
   }
   return obs::Hist::kGompBarrierWaitCentralNs;
+}
+
+unsigned distinct_clusters(const std::vector<unsigned>& cluster_of_thread) {
+  unsigned spanned = 0;
+  for (std::size_t i = 0; i < cluster_of_thread.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (cluster_of_thread[j] == cluster_of_thread[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ++spanned;
+  }
+  return spanned;
 }
 
 /// Unlocks a BackendMutex the caller already holds (the telemetry path
@@ -82,8 +101,6 @@ Team::Team(Runtime& rt, unsigned nthreads, ParallelContext* parent_ctx)
       nthreads_(nthreads),
       level_(parent_ctx != nullptr ? parent_ctx->level() + 1 : 1),
       parent_ctx_(parent_ctx),
-      barrier_(make_barrier(rt.barrier_kind(), nthreads,
-                            rt.icvs().wait_policy)),
       cluster_of_thread_(nthreads),
       meters_(nthreads),
       reduce_slots_(nthreads) {
@@ -96,9 +113,46 @@ Team::Team(Runtime& rt, unsigned nthreads, ParallelContext* parent_ctx)
     cluster_of_thread_[i] =
         topo.cluster_of_hw_thread(topo.placement(i, place));
   }
+  // Bubble placement: a nested region that fits inside one cluster is
+  // pinned there — preferring the master's own cluster so the sub-team
+  // shares the data its parent thread already has in that L2 — instead of
+  // inheriting the board-wide scatter.  Under scatter even a 4-thread
+  // nested team would span all three clusters and pay CoreNet on every
+  // barrier; as a bubble its barrier collapses to the flat in-cluster tree.
+  if (parent_ctx_ != nullptr && nthreads_ > 1 && rt.nested_bubble() &&
+      topo.num_clusters() > 1) {
+    const unsigned per_cluster = topo.num_hw_threads() / topo.num_clusters();
+    if (nthreads_ <= per_cluster) {
+      const unsigned preferred = parent_ctx_->team().cluster_of_thread(
+          parent_ctx_->thread_num());
+      if (auto cluster =
+              rt.occupancy().reserve_bubble(nthreads_, preferred)) {
+        bubble_cluster_ = *cluster;
+        std::fill(cluster_of_thread_.begin(), cluster_of_thread_.end(),
+                  *cluster);
+        obs::count(*cluster == preferred
+                       ? obs::Counter::kGompTeamBubble
+                       : obs::Counter::kGompTeamBubbleSpill);
+      }
+    }
+  }
+  // Width-1 fast path: nothing to rendezvous, so no barrier object at all —
+  // ParallelContext::barrier() degenerates to a task drain.
+  barrier_kind_ = effective_barrier_kind(rt.barrier_kind(),
+                                         rt.icvs().wait_policy,
+                                         distinct_clusters(cluster_of_thread_));
+  if (nthreads_ > 1) {
+    barrier_ = make_barrier(rt.barrier_kind(), nthreads_,
+                            rt.icvs().wait_policy, cluster_of_thread_.data(),
+                            rt.cluster_memory());
+  }
   // The task deques steal in the same cluster-first victim order as the
   // loop scheduler; hand them the thread->cluster map just built.
   tasks_.configure(nthreads_, cluster_of_thread_.data());
+}
+
+Team::~Team() {
+  if (bubble_cluster_) rt_.occupancy().release(*bubble_cluster_, nthreads_);
 }
 
 void Team::run_thread(unsigned tid, FunctionRef<void(ParallelContext&)> body) {
@@ -154,10 +208,29 @@ Runtime& ParallelContext::runtime() const { return team_->rt_; }
 void ParallelContext::barrier() {
   OMPMCA_CHECK_BARRIER_USAGE(team_);
   team_->tasks_.drain(tid_, &current_task_);
+  // Width-1 fast path: the drain above is the whole barrier — no atomics,
+  // no sense flip, no telemetry noise for serialized regions.  The
+  // held-lock audit still applies: a barrier under a lock is a program
+  // bug regardless of team width (wider runs would deadlock).
+  if (team_->barrier_ == nullptr) {
+    OMPMCA_CHECK_BARRIER_HELD();
+    return;
+  }
   if (obs::enabled() || obs::trace::enabled()) {
-    const BarrierKind kind = effective_barrier_kind(
-        team_->rt_.barrier_kind(), team_->rt_.icvs().wait_policy);
-    if (obs::enabled()) obs::count(obs::Counter::kGompBarrier);
+    const BarrierKind kind = team_->barrier_kind_;
+    if (obs::enabled()) {
+      obs::count(obs::Counter::kGompBarrier);
+      // Arrival locality for the flat algorithms: every thread converges on
+      // barrier state homed in the master's cluster, so any arrival from
+      // another cluster crosses CoreNet — O(n) crossings per barrier.  The
+      // hierarchical barrier self-counts (only cluster leaders cross).
+      if (kind != BarrierKind::kHierarchical) {
+        obs::count(team_->cluster_of_thread_[tid_] ==
+                           team_->cluster_of_thread_[0]
+                       ? obs::Counter::kGompBarrierLocal
+                       : obs::Counter::kGompBarrierXCluster);
+      }
+    }
     const std::uint64_t t0 = monotonic_nanos();
     team_->barrier_->arrive_and_wait(tid_);
     if (obs::enabled()) {

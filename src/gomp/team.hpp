@@ -20,6 +20,7 @@
 #include <functional>
 #include <initializer_list>
 #include <mutex>
+#include <optional>
 #include <string_view>
 #include <type_traits>
 #include <vector>
@@ -183,6 +184,7 @@ class ParallelContext {
 class Team {
  public:
   Team(Runtime& rt, unsigned nthreads, ParallelContext* parent_ctx);
+  ~Team();
 
   /// Nesting depth: 1 for a top-level region, parent + 1 for nested ones.
   unsigned level() const { return level_; }
@@ -192,6 +194,19 @@ class Team {
 
   unsigned nthreads() const { return nthreads_; }
   Runtime& runtime() { return rt_; }
+
+  /// The effective barrier algorithm this team runs (resolved once at
+  /// construction from the request, wait policy and clusters spanned).
+  BarrierKind barrier_kind() const { return barrier_kind_; }
+  /// The hardware cluster thread @p tid is placed on.
+  unsigned cluster_of_thread(unsigned tid) const {
+    return cluster_of_thread_[tid];
+  }
+  /// The cluster a nested bubble team was pinned to, or nullopt for flat
+  /// placement (top-level teams, oversized or spill-refused nested ones).
+  std::optional<unsigned> bubble_cluster() const { return bubble_cluster_; }
+  /// nullptr for width-1 teams (the barrier fast path).
+  const TeamBarrier* team_barrier() const { return barrier_.get(); }
 
   /// Runs @p body as thread @p tid of this team (called by the pool/master).
   void run_thread(unsigned tid, FunctionRef<void(ParallelContext&)> body);
@@ -216,10 +231,13 @@ class Team {
   unsigned nthreads_;
   unsigned level_;
   ParallelContext* parent_ctx_;
+  BarrierKind barrier_kind_ = BarrierKind::kCentral;
   std::unique_ptr<TeamBarrier> barrier_;
   // Thread -> hardware cluster, from the topology's placement under the
-  // proc-bind ICV; feeds the loop scheduler's cluster-local steal pass.
+  // proc-bind ICV (or all one cluster for a nested bubble team); feeds the
+  // loop scheduler's cluster-local steal pass and the hierarchical barrier.
   std::vector<unsigned> cluster_of_thread_;
+  std::optional<unsigned> bubble_cluster_;
   std::array<LoopInstance, kWorkshareRing> loops_;
   std::array<SectionsInstance, kWorkshareRing> sections_;
   std::atomic<unsigned long> single_counter_{0};

@@ -17,7 +17,7 @@ Shmem::Shmem(ResourceKey key, std::size_t size, ShmemAttributes attrs,
     base_ = inject ? nullptr : std::malloc(size_);
   } else {
     if (!inject) {
-      auto r = arena_->allocate(size_);
+      auto r = arena_->allocate(size_, attrs_.cluster_hint);
       base_ = r ? *r : nullptr;
     }
     if (base_ == nullptr && attrs_.allow_heap_fallback) {

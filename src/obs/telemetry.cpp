@@ -69,7 +69,11 @@ std::string_view name(Counter c) {
     case Counter::kGompTaskStolenLocal: return "gomp.task_stolen_local";
     case Counter::kGompTaskStolenRemote: return "gomp.task_stolen_remote";
     case Counter::kGompPoolDispatch: return "gomp.pool_dispatch";
+    case Counter::kGompBarrierLocal: return "gomp.barrier_local";
+    case Counter::kGompBarrierXCluster: return "gomp.barrier_xcluster";
     case Counter::kGompTeamDegraded: return "gomp.team_degraded";
+    case Counter::kGompTeamBubble: return "gomp.team_bubble";
+    case Counter::kGompTeamBubbleSpill: return "gomp.team_bubble_spill";
     case Counter::kGompLoopStealAttempt: return "gomp.loop_steal_attempt";
     case Counter::kGompLoopSteal: return "gomp.loop_steal";
     case Counter::kGompLoopStealLocal: return "gomp.loop_steal_local";
@@ -82,6 +86,8 @@ std::string_view name(Counter c) {
     case Counter::kMrapiArenaAllocateFailed:
       return "mrapi.arena_allocate_failed";
     case Counter::kMrapiArenaRelease: return "mrapi.arena_release";
+    case Counter::kMrapiArenaClusterLocal: return "mrapi.arena_cluster_local";
+    case Counter::kMrapiArenaClusterSpill: return "mrapi.arena_cluster_spill";
     case Counter::kPlatformTeamShape: return "platform.team_shape";
     case Counter::kCount: break;
   }
@@ -100,6 +106,8 @@ std::string_view name(Hist h) {
     case Hist::kGompBarrierWaitTreeNs: return "gomp.barrier_wait.tree_ns";
     case Hist::kGompBarrierWaitDisseminationNs:
       return "gomp.barrier_wait.dissemination_ns";
+    case Hist::kGompBarrierWaitHierarchicalNs:
+      return "gomp.barrier_wait.hierarchical_ns";
     case Hist::kGompPoolDispatchNs: return "gomp.pool_dispatch_ns";
     case Hist::kGompDoorbellWakeNs: return "gomp.doorbell_wake_ns";
     case Hist::kMrapiMutexAcquireNs: return "mrapi.mutex_acquire_ns";

@@ -50,9 +50,21 @@ enum class Counter : unsigned {
   kGompTaskStolenLocal,   // victim in the thief's cluster
   kGompTaskStolenRemote,  // steal crossed a cluster boundary (CoreNet hop)
   kGompPoolDispatch,
+  // Barrier arrival locality (hierarchical barrier witness): an arrival
+  // that stayed inside the arriving thread's cluster vs one that crossed
+  // the CoreNet fabric.  A flat barrier on a 3-cluster 24-thread team pays
+  // 16 cross-cluster arrivals per barrier; the hierarchical barrier pays
+  // one per occupied cluster.
+  kGompBarrierLocal,
+  kGompBarrierXCluster,
   // Teams that ran narrower than requested because worker launch failed
   // (graceful degradation instead of a deadlocked barrier).
   kGompTeamDegraded,
+  // Nested teams pinned whole into one cluster (bubble placement); a spill
+  // means the master's own cluster was full and another cluster hosted the
+  // bubble instead.
+  kGompTeamBubble,
+  kGompTeamBubbleSpill,
   // Work-stealing loop scheduler (dynamic/guided distributed ranges).
   kGompLoopStealAttempt,
   kGompLoopSteal,
@@ -66,6 +78,10 @@ enum class Counter : unsigned {
   kMrapiArenaAllocate,
   kMrapiArenaAllocateFailed,
   kMrapiArenaRelease,
+  // Partitioned-arena placement: a hinted allocation served from its own
+  // cluster's sub-pool vs spilled into another cluster's pool.
+  kMrapiArenaClusterLocal,
+  kMrapiArenaClusterSpill,
   // platform — placement machinery.
   kPlatformTeamShape,
   kCount
@@ -81,6 +97,7 @@ enum class Hist : unsigned {
   kGompBarrierWaitCentralNs,
   kGompBarrierWaitTreeNs,
   kGompBarrierWaitDisseminationNs,
+  kGompBarrierWaitHierarchicalNs,
   kGompPoolDispatchNs,
   kGompDoorbellWakeNs,  // doorbell ring -> worker starts the region body
   kMrapiMutexAcquireNs,

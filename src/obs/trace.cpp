@@ -25,6 +25,7 @@ std::string_view name(Type t) {
     case Type::kWorkerWork: return "worker_work";
     case Type::kJoinWait: return "join_wait";
     case Type::kBarrier: return "barrier";
+    case Type::kBarrierTier: return "barrier_tier";
     case Type::kFor: return "for";
     case Type::kSingle: return "single";
     case Type::kCritical: return "critical";
@@ -315,6 +316,7 @@ std::string_view barrier_kind_name(std::uint64_t k) {
     case 0: return "central";
     case 1: return "tree";
     case 2: return "dissemination";
+    case 3: return "hierarchical";
     default: return "?";
   }
 }
@@ -348,6 +350,10 @@ void append_args(std::string& s, const Event& e) {
       s += barrier_kind_name(e.a0);
       s += "\"";
       kv("width", e.a1);
+      break;
+    case Type::kBarrierTier:
+      kv("tier", e.a0, true);
+      kv("cluster", e.a1);
       break;
     case Type::kLoopChunk:
       kv("lo", e.a0, true);

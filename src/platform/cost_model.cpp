@@ -52,13 +52,26 @@ TeamShape::TeamShape(const Topology& topo, unsigned nthreads,
     : nthreads_(nthreads) {
   assert(nthreads >= 1);
   hw_.resize(nthreads);
-  smt_shared_.assign(nthreads, false);
-  cluster_occ_.assign(nthreads, 0);
+  for (unsigned i = 0; i < nthreads; ++i) {
+    hw_[i] = topo.placement(i, policy);
+  }
+  derive(topo);
+}
+
+TeamShape::TeamShape(const Topology& topo, std::vector<unsigned> hw_threads)
+    : nthreads_(static_cast<unsigned>(hw_threads.size())),
+      hw_(std::move(hw_threads)) {
+  assert(nthreads_ >= 1);
+  derive(topo);
+}
+
+void TeamShape::derive(const Topology& topo) {
+  smt_shared_.assign(nthreads_, false);
+  cluster_occ_.assign(nthreads_, 0);
 
   std::vector<unsigned> core_occupancy(topo.num_cores(), 0);
   std::vector<unsigned> cluster_occupancy(topo.num_clusters(), 0);
-  for (unsigned i = 0; i < nthreads; ++i) {
-    hw_[i] = topo.placement(i, policy);
+  for (unsigned i = 0; i < nthreads_; ++i) {
     const auto& hwt = topo.hw_thread(hw_[i]);
     ++core_occupancy[hwt.core];
     ++cluster_occupancy[topo.core(hwt.core).cluster];
@@ -70,11 +83,13 @@ TeamShape::TeamShape(const Topology& topo, unsigned nthreads,
     }
   }
   clusters_spanned_ = 0;
+  max_cluster_occ_ = 1;
   for (unsigned occ : cluster_occupancy) {
     if (occ > 0) ++clusters_spanned_;
+    if (occ > max_cluster_occ_) max_cluster_occ_ = occ;
   }
   if (clusters_spanned_ == 0) clusters_spanned_ = 1;
-  for (unsigned i = 0; i < nthreads; ++i) {
+  for (unsigned i = 0; i < nthreads_; ++i) {
     const auto& hwt = topo.hw_thread(hw_[i]);
     smt_shared_[i] = core_occupancy[hwt.core] > 1;
     cluster_occ_[i] = cluster_occupancy[topo.core(hwt.core).cluster];
@@ -147,6 +162,19 @@ double CostModel::fork_seconds(unsigned nthreads) const {
                            costs_.fork_per_thread * nthreads);
 }
 
+double CostModel::fork_seconds(const TeamShape& shape) const {
+  // Placement-aware fork: on top of the flat per-thread dispatch cost, each
+  // worker's doorbell wake pays the coherence hop from the master's cache
+  // domain to its own — same core < same cluster (L2) < CoreNet.  A
+  // board-wide scatter team pays the CoreNet hop for most wakes; a team
+  // packed into the master's cluster never does.
+  double cycles = costs_.fork_base + costs_.fork_per_thread * shape.nthreads();
+  for (unsigned i = 1; i < shape.nthreads(); ++i) {
+    cycles += topo_.hop_cycles(shape.hw_thread(0), shape.hw_thread(i));
+  }
+  return cycles_to_seconds(cycles);
+}
+
 double CostModel::join_seconds(unsigned nthreads) const {
   return cycles_to_seconds(costs_.join_base +
                            costs_.join_per_thread * nthreads);
@@ -157,6 +185,19 @@ double CostModel::barrier_seconds(const TeamShape& shape) const {
                   costs_.barrier_per_thread * shape.nthreads();
   // Crossing the CoreNet fabric adds a flat penalty per extra cluster.
   cycles += 140.0 * (shape.clusters_spanned() - 1);
+  return cycles_to_seconds(cycles);
+}
+
+double CostModel::barrier_seconds_hierarchical(const TeamShape& shape) const {
+  // Two-tier barrier: the per-thread combining happens inside each cluster
+  // concurrently (critical path = the fullest cluster), and only one leader
+  // per occupied cluster crosses CoreNet for the top tier.  Compare with
+  // the flat model above, whose per-thread term runs over the whole team —
+  // the gap is exactly what gomp.barrier_xcluster dropping from O(n) to
+  // O(clusters) buys.
+  double cycles = costs_.barrier_base +
+                  costs_.barrier_per_thread * shape.max_cluster_occupancy();
+  cycles += 140.0 * shape.clusters_spanned();
   return cycles_to_seconds(cycles);
 }
 

@@ -76,6 +76,10 @@ class TeamShape {
  public:
   TeamShape(const Topology& topo, unsigned nthreads,
             PlacementPolicy policy = PlacementPolicy::kScatter);
+  /// Explicit placement: software thread i runs on @p hw_threads[i].  Used
+  /// for shapes the stock placement policies cannot produce — e.g. a nested
+  /// bubble team pinned inside one cluster.
+  TeamShape(const Topology& topo, std::vector<unsigned> hw_threads);
 
   unsigned nthreads() const { return nthreads_; }
   /// HW thread hosting software thread i.
@@ -86,13 +90,19 @@ class TeamShape {
   unsigned cluster_occupancy(unsigned i) const { return cluster_occ_[i]; }
   /// Number of distinct clusters the team spans.
   unsigned clusters_spanned() const { return clusters_spanned_; }
+  /// Team members in the fullest cluster — the intra-cluster combining
+  /// depth of the hierarchical barrier.
+  unsigned max_cluster_occupancy() const { return max_cluster_occ_; }
 
  private:
+  void derive(const Topology& topo);
+
   unsigned nthreads_;
   std::vector<unsigned> hw_;
   std::vector<bool> smt_shared_;
   std::vector<unsigned> cluster_occ_;
   unsigned clusters_spanned_ = 1;
+  unsigned max_cluster_occ_ = 1;
 };
 
 class CostModel {
@@ -112,8 +122,14 @@ class CostModel {
 
   /// Service-event latencies (seconds).
   double fork_seconds(unsigned nthreads) const;
+  /// Placement-aware fork: adds each worker's master->worker wake hop
+  /// (same core / same cluster / CoreNet) to the flat dispatch cost.
+  double fork_seconds(const TeamShape& shape) const;
   double join_seconds(unsigned nthreads) const;
   double barrier_seconds(const TeamShape& shape) const;
+  /// The two-tier (hierarchical) barrier: per-thread combining runs per
+  /// cluster in parallel, CoreNet is crossed once per occupied cluster.
+  double barrier_seconds_hierarchical(const TeamShape& shape) const;
   double lock_seconds() const;
   double single_seconds(unsigned nthreads) const;
   double reduction_seconds(unsigned nthreads) const;

@@ -342,8 +342,9 @@ TEST_P(RuntimeBackendTest, PerRegionPoolModeWorks) {
 }
 
 TEST_P(RuntimeBackendTest, AllBarrierAlgorithmsWorkEndToEnd) {
-  for (BarrierKind kind : {BarrierKind::kCentral, BarrierKind::kTree,
-                           BarrierKind::kDissemination}) {
+  for (BarrierKind kind :
+       {BarrierKind::kCentral, BarrierKind::kTree, BarrierKind::kDissemination,
+        BarrierKind::kHierarchical, BarrierKind::kAuto}) {
     auto opts = options_for(GetParam(), 6);
     opts.barrier = kind;
     Runtime rt(opts);
@@ -356,6 +357,106 @@ TEST_P(RuntimeBackendTest, AllBarrierAlgorithmsWorkEndToEnd) {
     });
     EXPECT_EQ(total.load(), 60);
   }
+}
+
+TEST_P(RuntimeBackendTest, AutoBarrierResolvesToHierarchicalAcrossClusters) {
+  // Default scatter placement spreads even a small team over all three
+  // clusters, so the kAuto default must land on the hierarchical barrier.
+  auto opts = options_for(GetParam(), 6);
+  ASSERT_EQ(opts.barrier, BarrierKind::kAuto);
+  Runtime rt(opts);
+  rt.parallel([&](ParallelContext& ctx) {
+    if (ctx.thread_num() == 0) {
+      EXPECT_EQ(ctx.team().barrier_kind(), BarrierKind::kHierarchical);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST_P(RuntimeBackendTest, WidthOneTeamTakesFastPath) {
+  auto rt = make_runtime(4);
+  // A width-1 region constructs no barrier at all and never touches the
+  // worker pool; barriers and loops inside it must still be no-ops.
+  int runs = 0;
+  rt->parallel(
+      [&](ParallelContext& ctx) {
+        EXPECT_EQ(ctx.num_threads(), 1u);
+        EXPECT_EQ(ctx.team().team_barrier(), nullptr);
+        ctx.barrier();  // must not hang
+        long sum = 0;
+        ctx.for_loop(0, 100, [&](long lo, long hi) { sum += hi - lo; });
+        EXPECT_EQ(sum, 100);
+        ++runs;
+      },
+      1);
+  EXPECT_EQ(runs, 1);
+
+  // Nested width-1 regions (the common "nested disabled" shape) take the
+  // same fast path at every level.
+  std::atomic<int> inner_runs{0};
+  rt->parallel([&](ParallelContext& outer_ctx) {
+    outer_ctx.runtime().parallel(
+        [&](ParallelContext& inner) {
+          EXPECT_EQ(inner.team().team_barrier(), nullptr);
+          inner.barrier();
+          inner_runs.fetch_add(1);
+        },
+        1);
+  });
+  EXPECT_EQ(inner_runs.load(), 4);
+}
+
+TEST_P(RuntimeBackendTest, NestedTeamGetsBubblePlacement) {
+  // A nested team narrow enough to fit one cluster is pinned inside a
+  // single cluster (preferably the master's) instead of scattering.
+  auto opts = options_for(GetParam(), 3);
+  opts.icvs->nested = true;
+  opts.icvs->max_active_levels = 2;
+  Runtime rt(opts);
+  ASSERT_TRUE(rt.nested_bubble());
+  std::atomic<int> bubbled{0}, inner_total{0};
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.runtime().parallel(
+        [&](ParallelContext& inner) {
+          inner_total.fetch_add(1);
+          Team& team = inner.team();
+          if (inner.thread_num() == 0 && team.bubble_cluster().has_value()) {
+            bubbled.fetch_add(1);
+            const unsigned home = *team.bubble_cluster();
+            for (unsigned t = 0; t < inner.num_threads(); ++t) {
+              EXPECT_EQ(team.cluster_of_thread(t), home);
+            }
+            // Single-cluster team: the hierarchical request collapses, so
+            // the effective kind is never kHierarchical here.
+            EXPECT_NE(team.barrier_kind(), BarrierKind::kHierarchical);
+          }
+          inner.barrier();
+        },
+        2);
+  });
+  EXPECT_EQ(inner_total.load(), 3 * 2);
+  // Three clusters of capacity 8 can hold three 2-wide bubbles: every
+  // nested team must have been placed.
+  EXPECT_EQ(bubbled.load(), 3);
+}
+
+TEST_P(RuntimeBackendTest, NestedPlacementFlatKnobDisablesBubbles) {
+  auto opts = options_for(GetParam(), 3);
+  opts.icvs->nested = true;
+  opts.icvs->max_active_levels = 2;
+  opts.nested_bubble = false;
+  Runtime rt(opts);
+  EXPECT_FALSE(rt.nested_bubble());
+  std::atomic<int> bubbled{0};
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.runtime().parallel(
+        [&](ParallelContext& inner) {
+          if (inner.team().bubble_cluster().has_value()) bubbled.fetch_add(1);
+          inner.barrier();
+        },
+        2);
+  });
+  EXPECT_EQ(bubbled.load(), 0);
 }
 
 TEST_P(RuntimeBackendTest, ThreadNumsAreDistinct) {

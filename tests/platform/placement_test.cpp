@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
+#include "gomp/barrier.hpp"
 #include "platform/cost_model.hpp"
 #include "platform/topology.hpp"
 
@@ -43,6 +45,74 @@ TEST(Placement, BothPoliciesCoverAllHwThreadsOnce) {
       EXPECT_TRUE(seen.insert(t.placement(i, policy)).second);
     }
   }
+}
+
+TEST(Placement, ScatterPinsSecondSmtLaneAfterAllCores) {
+  // Lane-major scatter: software threads 0..11 land on lane-0 of the 12
+  // cores; 12..23 revisit the same cores in the same order on lane 1.  The
+  // second-lane pinning order mirroring the first keeps thread i and thread
+  // i+12 SMT siblings — the shape the cost model's SMT derate assumes.
+  Topology t = Topology::t4240rdb();
+  ASSERT_EQ(t.num_hw_threads(), 24u);
+  for (unsigned i = 0; i < 12; ++i) {
+    const auto& first = t.hw_thread(t.placement(i, PlacementPolicy::kScatter));
+    const auto& second =
+        t.hw_thread(t.placement(i + 12, PlacementPolicy::kScatter));
+    EXPECT_EQ(first.smt_lane, 0u) << "sw thread " << i;
+    EXPECT_EQ(second.smt_lane, 1u) << "sw thread " << i + 12;
+    EXPECT_EQ(first.core, second.core) << "sw thread " << i;
+  }
+}
+
+TEST(Placement, SameClusterAgreesWithClusterIdsAcrossBoundaries) {
+  Topology t = Topology::t4240rdb();
+  for (unsigned a = 0; a < t.num_hw_threads(); ++a) {
+    for (unsigned b = 0; b < t.num_hw_threads(); ++b) {
+      EXPECT_EQ(t.same_cluster(a, b),
+                t.cluster_of_hw_thread(a) == t.cluster_of_hw_thread(b))
+          << "hw " << a << " vs " << b;
+    }
+  }
+  // Spot-check an actual cluster boundary: the last HW thread of cluster 0
+  // and the first of cluster 1 must disagree.
+  unsigned last_of_0 = 0, first_of_1 = 0;
+  bool found_1 = false;
+  for (unsigned h = 0; h < t.num_hw_threads(); ++h) {
+    if (t.cluster_of_hw_thread(h) == 0) last_of_0 = h;
+    if (!found_1 && t.cluster_of_hw_thread(h) == 1) {
+      first_of_1 = h;
+      found_1 = true;
+    }
+  }
+  ASSERT_TRUE(found_1);
+  EXPECT_FALSE(t.same_cluster(last_of_0, first_of_1));
+  EXPECT_TRUE(t.same_cluster(last_of_0, last_of_0));
+}
+
+TEST(Placement, GenericTopologyDegeneratesHierarchicalBarrierToTree) {
+  // Topology::generic() models a single-cluster SMP; a team shape built on
+  // it spans one cluster no matter the width, so a hierarchical-barrier
+  // request must collapse to the flat arity-4 tree.
+  Topology t = Topology::generic(4, 2);
+  ASSERT_EQ(t.num_clusters(), 1u);
+  TeamShape shape(t, 8, PlacementPolicy::kScatter);
+  EXPECT_EQ(shape.clusters_spanned(), 1u);
+
+  EXPECT_EQ(gomp::effective_barrier_kind(gomp::BarrierKind::kHierarchical,
+                                         gomp::WaitPolicy::kPassive,
+                                         shape.clusters_spanned()),
+            gomp::BarrierKind::kTree);
+
+  std::vector<unsigned> cluster_of_thread(8);
+  for (unsigned i = 0; i < 8; ++i) {
+    cluster_of_thread[i] =
+        t.cluster_of_hw_thread(t.placement(i, PlacementPolicy::kScatter));
+  }
+  auto barrier =
+      gomp::make_barrier(gomp::BarrierKind::kHierarchical, 8,
+                         gomp::WaitPolicy::kPassive, cluster_of_thread.data());
+  EXPECT_NE(dynamic_cast<gomp::TreeBarrier*>(barrier.get()), nullptr);
+  EXPECT_EQ(dynamic_cast<gomp::HierarchicalBarrier*>(barrier.get()), nullptr);
 }
 
 TEST(Placement, CompactSlowerForComputeBoundSmallTeams) {
