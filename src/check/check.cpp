@@ -8,6 +8,8 @@
 #include <set>
 #include <utility>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "common/env.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -75,17 +77,19 @@ ThreadState& tls() {
 }
 
 struct Global {
-  std::mutex mu;
+  CapMutex mu;
   // obj -> lifecycle info (pointers are overwritten on reuse-after-free of
   // the address by a new resource).
-  std::map<const void*, ObjInfo> objects;
+  std::map<const void*, ObjInfo> objects OMPMCA_GUARDED_BY(mu);
   // (class, key) -> generation counter; presence means the key existed.
-  std::map<std::pair<unsigned, std::uint64_t>, std::uint64_t> generations;
+  std::map<std::pair<unsigned, std::uint64_t>, std::uint64_t> generations
+      OMPMCA_GUARDED_BY(mu);
   // acquisition-order graph: from-node -> (to-node -> first edge seen).
-  std::map<std::uint64_t, std::map<std::uint64_t, Edge>> edges;
+  std::map<std::uint64_t, std::map<std::uint64_t, Edge>> edges
+      OMPMCA_GUARDED_BY(mu);
   // deduplication: violation signature -> index into violations.
-  std::map<std::string, std::size_t> dedup;
-  std::vector<Violation> violations;
+  std::map<std::string, std::size_t> dedup OMPMCA_GUARDED_BY(mu);
+  std::vector<Violation> violations OMPMCA_GUARDED_BY(mu);
   std::atomic<std::uint64_t> total{0};
 };
 
@@ -253,7 +257,7 @@ bool abort_on_violation() { return g_abort.load(std::memory_order_relaxed); }
 
 void reset() {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   g.objects.clear();
   g.generations.clear();
   g.edges.clear();
@@ -266,7 +270,7 @@ void reset() {
 
 void on_create(LockClass cls, std::uint64_t key, const void* obj) {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   std::uint64_t& gen =
       g.generations[{static_cast<unsigned>(cls), key}];
   ++gen;
@@ -280,7 +284,7 @@ void on_create(LockClass cls, std::uint64_t key, const void* obj) {
 
 void on_delete(LockClass cls, std::uint64_t key, const void* obj) {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   auto it = g.objects.find(obj);
   if (it == g.objects.end() || it->second.cls != cls ||
       it->second.key != key) {
@@ -291,7 +295,7 @@ void on_delete(LockClass cls, std::uint64_t key, const void* obj) {
 
 void on_delete_missing(LockClass cls, std::uint64_t key, const char* site) {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   auto gen = g.generations.find({static_cast<unsigned>(cls), key});
   if (gen == g.generations.end()) return;  // never existed: plain bad key
   Violation v;
@@ -309,7 +313,7 @@ void on_delete_missing(LockClass cls, std::uint64_t key, const char* site) {
 
 void on_use_after_delete(LockClass cls, const void* obj, const char* site) {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   ObjInfo info = lookup_obj(g, cls, obj, 0);
   Violation v;
   v.kind = ViolationKind::kUseAfterDelete;
@@ -337,7 +341,7 @@ void on_acquire(LockClass cls, const void* obj, std::uint64_t key_hint,
   held.site = site;
 
   {
-    std::lock_guard lk(g.mu);
+    MutexLock lk(g.mu);
     ObjInfo info = lookup_obj(g, cls, obj, key_hint);
     held.key = info.key;
     held.node = node_id(cls, true, info.key);
@@ -419,7 +423,7 @@ void on_release(LockClass cls, const void* obj) {
 
 void on_double_unlock(LockClass cls, const void* obj, const char* site) {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   ObjInfo info = lookup_obj(g, cls, obj, 0);
   Violation v;
   v.kind = ViolationKind::kDoubleUnlock;
@@ -433,7 +437,7 @@ void on_double_unlock(LockClass cls, const void* obj, const char* site) {
 
 void on_unlock_not_owner(LockClass cls, const void* obj, const char* site) {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   ObjInfo info = lookup_obj(g, cls, obj, 0);
   Violation v;
   v.kind = ViolationKind::kUnlockNotOwner;
@@ -470,7 +474,7 @@ void on_node_retire(std::uint64_t nid, const char* site) {
   }
   if (n == 0) return;
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   Violation v;
   v.kind = ViolationKind::kNodeRetireWithHeldLocks;
   v.lock_class = LockClass::kMrapiMutex;
@@ -496,7 +500,7 @@ void on_region_enter(Region r, const void* team) {
     case Region::kWorkshare: {
       if (!ts.workshare.empty() && ts.workshare.back() == team) {
         Global& g = global();
-        std::lock_guard lk(g.mu);
+        MutexLock lk(g.mu);
         Violation v;
         v.kind = ViolationKind::kNestedWorksharing;
         v.lock_class = LockClass::kGompPool;
@@ -552,7 +556,7 @@ void on_barrier_usage(const void* team, const char* site) {
     return;
   }
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   Violation v;
   v.kind = kind;
   v.lock_class = LockClass::kGompPool;
@@ -573,7 +577,7 @@ void on_barrier_held(const char* site) {
   }
   if (top == nullptr) return;
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   Violation v;
   v.kind = ViolationKind::kBarrierWhileHoldingLock;
   v.lock_class = top->cls;
@@ -590,13 +594,13 @@ void on_barrier_held(const char* site) {
 
 std::vector<Violation> violations() {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   return g.violations;
 }
 
 std::uint64_t violation_count() {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   return g.violations.size();
 }
 
@@ -619,7 +623,7 @@ void append_json_escaped(std::string& s, std::string_view v) {
 
 std::string json_section() {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   std::string s = "{\"enabled\": ";
   s += enabled() ? "true" : "false";
   s += ", \"violations_total\": ";

@@ -1,0 +1,91 @@
+// Clang Thread Safety Analysis annotations.
+//
+// The runtime's concurrency contracts — which fields a lock guards, which
+// functions expect a lock held, which entry points must not be called with
+// one — are enforced at *compile time* by Clang's -Wthread-safety pass.
+// The dynamic validators (src/check/ lockdep, TSan) only see the paths a
+// test happens to execute; these annotations cover every path in every
+// translation unit on every build that uses Clang.
+//
+// Conventions (DESIGN.md §12):
+//  * Lock members are ompmca::CapMutex / CapSharedMutex (common/locks.hpp),
+//    never raw std::mutex, so the analysis can model them.
+//  * Every non-atomic field written under a lock carries OMPMCA_GUARDED_BY.
+//  * Private helpers that run with the lock held carry OMPMCA_REQUIRES;
+//    public entry points that take the lock carry OMPMCA_EXCLUDES so
+//    self-deadlock through re-entry is a compile error.
+//  * OMPMCA_NO_TSA is an escape hatch of last resort: every use MUST carry
+//    a `// tsa:` comment naming the invariant that makes the unanalyzable
+//    access sound (e.g. "single-threaded construction", "owner-thread
+//    confinement").  tools/lint/ompmca_lint.py enforces the comment.
+//
+// On non-Clang compilers (and Clang without the capability attribute) all
+// macros expand to nothing, so GCC builds are unaffected.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OMPMCA_TSA_ATTR_(x) __attribute__((x))
+#endif
+#endif
+#ifndef OMPMCA_TSA_ATTR_
+#define OMPMCA_TSA_ATTR_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "shared_mutex", ...).
+#define OMPMCA_CAPABILITY(x) OMPMCA_TSA_ATTR_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define OMPMCA_SCOPED_CAPABILITY OMPMCA_TSA_ATTR_(scoped_lockable)
+
+/// Field may only be read/written while holding @p x.
+#define OMPMCA_GUARDED_BY(x) OMPMCA_TSA_ATTR_(guarded_by(x))
+
+/// Pointee may only be dereferenced while holding @p x.
+#define OMPMCA_PT_GUARDED_BY(x) OMPMCA_TSA_ATTR_(pt_guarded_by(x))
+
+/// Static lock-order edges (document + verify acquisition order).
+#define OMPMCA_ACQUIRED_BEFORE(...) \
+  OMPMCA_TSA_ATTR_(acquired_before(__VA_ARGS__))
+#define OMPMCA_ACQUIRED_AFTER(...) \
+  OMPMCA_TSA_ATTR_(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held (and does not release it).
+#define OMPMCA_REQUIRES(...) \
+  OMPMCA_TSA_ATTR_(requires_capability(__VA_ARGS__))
+#define OMPMCA_REQUIRES_SHARED(...) \
+  OMPMCA_TSA_ATTR_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not already be held).
+#define OMPMCA_ACQUIRE(...) OMPMCA_TSA_ATTR_(acquire_capability(__VA_ARGS__))
+#define OMPMCA_ACQUIRE_SHARED(...) \
+  OMPMCA_TSA_ATTR_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define OMPMCA_RELEASE(...) OMPMCA_TSA_ATTR_(release_capability(__VA_ARGS__))
+#define OMPMCA_RELEASE_SHARED(...) \
+  OMPMCA_TSA_ATTR_(release_shared_capability(__VA_ARGS__))
+/// Releases a capability held in either exclusive or shared mode (scoped
+/// guard destructors).
+#define OMPMCA_RELEASE_GENERIC(...) \
+  OMPMCA_TSA_ATTR_(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns @p first argument.
+#define OMPMCA_TRY_ACQUIRE(...) \
+  OMPMCA_TSA_ATTR_(try_acquire_capability(__VA_ARGS__))
+#define OMPMCA_TRY_ACQUIRE_SHARED(...) \
+  OMPMCA_TSA_ATTR_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (negative capability; surfaced by
+/// -Wthread-safety-negative, which ci.sh runs informationally).
+#define OMPMCA_EXCLUDES(...) OMPMCA_TSA_ATTR_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis so).
+#define OMPMCA_ASSERT_CAPABILITY(x) OMPMCA_TSA_ATTR_(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define OMPMCA_RETURN_CAPABILITY(x) OMPMCA_TSA_ATTR_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function.  Every use MUST
+/// carry an adjacent `// tsa:` justification comment (lint-enforced).
+#define OMPMCA_NO_TSA OMPMCA_TSA_ATTR_(no_thread_safety_analysis)

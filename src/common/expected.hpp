@@ -14,7 +14,7 @@
 namespace ompmca {
 
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor) intended implicit from value
   Result(T value) : has_value_(true) { new (&storage_.value) T(std::move(value)); }

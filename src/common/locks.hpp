@@ -1,0 +1,134 @@
+// Capability-annotated lock types.
+//
+// libstdc++'s std::mutex carries no thread-safety attributes, so Clang's
+// analysis cannot model it.  These thin wrappers (the Abseil/Chromium
+// pattern) make the lock structure visible to -Wthread-safety while
+// compiling to exactly the std types underneath — zero overhead, and the
+// scoped guards interoperate with std::condition_variable by holding a
+// std::unique_lock / std::shared_lock internally.
+//
+// The analysis treats a capability as continuously held across a
+// condition-variable wait (the standard TSA treatment: the lock is
+// reacquired before the wait returns, and the unlocked window admits no
+// guarded access from this frame).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/annotations.hpp"
+
+namespace ompmca {
+
+/// std::mutex with TSA capability annotations.
+class OMPMCA_CAPABILITY("mutex") CapMutex {
+ public:
+  CapMutex() = default;
+  CapMutex(const CapMutex&) = delete;
+  CapMutex& operator=(const CapMutex&) = delete;
+
+  void lock() OMPMCA_ACQUIRE() { mu_.lock(); }
+  void unlock() OMPMCA_RELEASE() { mu_.unlock(); }
+  bool try_lock() OMPMCA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for std APIs that need the raw type.  Lock-state
+  /// changes made through the native handle are invisible to the analysis;
+  /// only the scoped guards below may use it.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with TSA capability annotations.
+class OMPMCA_CAPABILITY("shared_mutex") CapSharedMutex {
+ public:
+  CapSharedMutex() = default;
+  CapSharedMutex(const CapSharedMutex&) = delete;
+  CapSharedMutex& operator=(const CapSharedMutex&) = delete;
+
+  void lock() OMPMCA_ACQUIRE() { mu_.lock(); }
+  void unlock() OMPMCA_RELEASE() { mu_.unlock(); }
+  void lock_shared() OMPMCA_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() OMPMCA_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  std::shared_mutex& native() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over CapMutex (std::lock_guard / std::unique_lock
+/// replacement).  Supports early unlock()/relock and condition-variable
+/// waits, which lock_guard cannot express.
+class OMPMCA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(CapMutex& mu) OMPMCA_ACQUIRE(mu) : lk_(mu.native()) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() OMPMCA_RELEASE() = default;
+
+  /// Early release (e.g. drop the lock before notifying).
+  void unlock() OMPMCA_RELEASE() { lk_.unlock(); }
+  /// Reacquire after an early unlock().
+  void lock() OMPMCA_ACQUIRE() { lk_.lock(); }
+
+  /// Condition-variable waits.  The capability is modelled as held across
+  /// the wait (see file comment).
+  void wait(std::condition_variable& cv) { cv.wait(lk_); }
+  template <typename Pred>
+  void wait(std::condition_variable& cv, Pred pred) {
+    cv.wait(lk_, std::move(pred));
+  }
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(std::condition_variable& cv,
+                const std::chrono::duration<Rep, Period>& dur, Pred pred) {
+    return cv.wait_for(lk_, dur, std::move(pred));
+  }
+  template <typename Clock, typename Duration, typename Pred>
+  bool wait_until(std::condition_variable& cv,
+                  const std::chrono::time_point<Clock, Duration>& tp,
+                  Pred pred) {
+    return cv.wait_until(lk_, tp, std::move(pred));
+  }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Scoped exclusive (writer) lock over CapSharedMutex.
+class OMPMCA_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(CapSharedMutex& mu) OMPMCA_ACQUIRE(mu)
+      : lk_(mu.native()) {}
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+  ~WriterLock() OMPMCA_RELEASE() = default;
+
+  void unlock() OMPMCA_RELEASE() { lk_.unlock(); }
+
+ private:
+  std::unique_lock<std::shared_mutex> lk_;
+};
+
+/// Scoped shared (reader) lock over CapSharedMutex.
+class OMPMCA_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(CapSharedMutex& mu) OMPMCA_ACQUIRE_SHARED(mu)
+      : lk_(mu.native()) {}
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+  // release_generic: a scoped guard's destructor releases whichever mode
+  // the constructor acquired; shared here.
+  ~ReaderLock() OMPMCA_RELEASE_GENERIC() = default;
+
+  void unlock() OMPMCA_RELEASE_SHARED() { lk_.unlock(); }
+
+ private:
+  std::shared_lock<std::shared_mutex> lk_;
+};
+
+}  // namespace ompmca

@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <mutex>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "common/env.hpp"
 
 namespace ompmca {
@@ -51,8 +53,8 @@ namespace detail {
 
 void vlog(LogLevel level, const char* fmt, ...) {
   // One mutex keeps interleaved lines whole; logging is never on a fast path.
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  static CapMutex mu;
+  MutexLock lock(mu);
   std::fprintf(stderr, "[ompmca %s] ", level_tag(level));
   va_list args;
   va_start(args, fmt);

@@ -11,7 +11,10 @@
 namespace ompmca {
 
 /// Project-wide status code. Zero is success; everything else is an error.
-enum class Status : std::int32_t {
+/// [[nodiscard]] on the type makes every Status-returning call ignored at
+/// a call site a compile error under -Werror; tests that deliberately drop
+/// one must (void)-cast it with a reason comment.
+enum class [[nodiscard]] Status : std::int32_t {
   kSuccess = 0,
 
   // Generic

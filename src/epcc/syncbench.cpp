@@ -152,7 +152,7 @@ double Syncbench::one_rep_seconds(Directive d, unsigned nthreads) {
         rt_->parallel(
             [len](ParallelContext& ctx) {
               delay(len);
-              (void)ctx.reduce_sum(1.0);
+              (void)ctx.reduce_sum(1.0);  // timing the reduction, not its value
             },
             nthreads);
       }

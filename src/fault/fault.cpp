@@ -7,7 +7,9 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
+#include "common/locks.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "obs/telemetry.hpp"
@@ -43,9 +45,9 @@ struct SiteState {
 };
 
 struct Global {
-  std::mutex mu;
-  std::array<SiteState, kNumSites> sites;
-  std::string spec;  // active spec text, echoed in the report
+  CapMutex mu;
+  std::array<SiteState, kNumSites> sites OMPMCA_GUARDED_BY(mu);
+  std::string spec OMPMCA_GUARDED_BY(mu);  // active spec text, in the report
 };
 
 Global& global() {
@@ -152,7 +154,7 @@ bool configure(std::string_view spec) {
     }
   }
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   for (unsigned i = 0; i < kNumSites; ++i) {
     SiteState& s = g.sites[i];
     s.cfg = ok ? cfgs[i] : SiteConfig{};
@@ -166,14 +168,14 @@ bool configure(std::string_view spec) {
 void reset() {
   set_enabled(false);
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   for (SiteState& s : g.sites) s = SiteState{};
   g.spec.clear();
 }
 
 void reset_counts() {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   for (SiteState& s : g.sites) {
     s.stats = Counts{};
     s.hits = 0;
@@ -183,7 +185,7 @@ void reset_counts() {
 
 bool should_fail(Site site) {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   SiteState& s = g.sites[static_cast<unsigned>(site)];
   if (!s.cfg.armed) return false;
   ++s.hits;
@@ -200,7 +202,7 @@ bool should_fail(Site site) {
 
 void note_recovered(Site site, std::uint64_t n) {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   g.sites[static_cast<unsigned>(site)].stats.recovered += n;
   obs::trace::instant(obs::trace::Type::kFaultRecover,
                       static_cast<std::uint64_t>(site));
@@ -208,7 +210,7 @@ void note_recovered(Site site, std::uint64_t n) {
 
 void note_exhausted(Site site, std::uint64_t n) {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   g.sites[static_cast<unsigned>(site)].stats.exhausted += n;
   obs::trace::instant(obs::trace::Type::kFaultExhaust,
                       static_cast<std::uint64_t>(site));
@@ -224,13 +226,13 @@ void note_exhausted(Site site, std::uint64_t n) {
 
 Counts counts(Site site) {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   return g.sites[static_cast<unsigned>(site)].stats;
 }
 
 Counts totals() {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   Counts t;
   for (const SiteState& s : g.sites) {
     t.injected += s.stats.injected;
@@ -266,7 +268,7 @@ void append_json_escaped(std::string& s, std::string_view v) {
 
 std::string json_section() {
   Global& g = global();
-  std::lock_guard lk(g.mu);
+  MutexLock lk(g.mu);
   Counts t;
   for (const SiteState& s : g.sites) {
     t.injected += s.stats.injected;

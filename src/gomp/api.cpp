@@ -40,7 +40,7 @@ double omp_get_wtime() { return monotonic_seconds(); }
 
 void OmpNestLock::set() {
   {
-    std::lock_guard lk(state_mu_);
+    MutexLock lk(state_mu_);
     if (depth_ > 0 && owner_ == std::this_thread::get_id()) {
       ++depth_;
       return;
@@ -48,7 +48,7 @@ void OmpNestLock::set() {
   }
   mu_->lock();
   OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompUserLock, mu_.get(), 0);
-  std::lock_guard lk(state_mu_);
+  MutexLock lk(state_mu_);
   owner_ = std::this_thread::get_id();
   depth_ = 1;
 }
@@ -56,7 +56,7 @@ void OmpNestLock::set() {
 void OmpNestLock::unset() {
   bool release = false;
   {
-    std::lock_guard lk(state_mu_);
+    MutexLock lk(state_mu_);
     if (depth_ == 0) {
       OMPMCA_CHECK_DOUBLE_UNLOCK(check::LockClass::kGompUserLock, mu_.get());
       return;
@@ -79,21 +79,21 @@ void OmpNestLock::unset() {
 
 int OmpNestLock::test() {
   {
-    std::lock_guard lk(state_mu_);
+    MutexLock lk(state_mu_);
     if (depth_ > 0 && owner_ == std::this_thread::get_id()) {
       return ++depth_;
     }
   }
   if (!mu_->try_lock()) return 0;
   OMPMCA_CHECK_ACQUIRE(check::LockClass::kGompUserLock, mu_.get(), 0);
-  std::lock_guard lk(state_mu_);
+  MutexLock lk(state_mu_);
   owner_ = std::this_thread::get_id();
   depth_ = 1;
   return 1;
 }
 
 int OmpNestLock::depth() const {
-  std::lock_guard lk(state_mu_);
+  MutexLock lk(state_mu_);
   return depth_;
 }
 

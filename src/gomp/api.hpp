@@ -12,6 +12,8 @@
 #include <thread>
 
 #include "check/check.hpp"
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "gomp/runtime.hpp"
 
 namespace ompmca::gomp {
@@ -80,9 +82,9 @@ class OmpNestLock {
 
  private:
   std::unique_ptr<BackendMutex> mu_;
-  mutable std::mutex state_mu_;
-  std::thread::id owner_{};
-  int depth_ = 0;
+  mutable CapMutex state_mu_;
+  std::thread::id owner_ OMPMCA_GUARDED_BY(state_mu_){};
+  int depth_ OMPMCA_GUARDED_BY(state_mu_) = 0;
 };
 
 }  // namespace ompmca::gomp

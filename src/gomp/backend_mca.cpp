@@ -72,6 +72,7 @@ class McaMutex final : public BackendMutex {
       create_backoff(failures > 6 ? 6 : static_cast<unsigned>(failures));
     }
   }
+  // Key checked at lock time; an unlock mismatch is unreachable here.
   void unlock() override { (void)m_->unlock(mrapi::LockKey{1}); }
   bool try_lock() override {
     mrapi::LockKey key;
@@ -110,15 +111,16 @@ McaBackend::McaBackend(mrapi::DomainId domain)
 McaBackend::~McaBackend() {
   // Release any allocations the runtime leaked (none in normal operation).
   {
-    std::lock_guard lk(alloc_mu_);
+    MutexLock lk(alloc_mu_);
     for (auto& [ptr, key] : allocations_) {
       if (auto seg = node_.shmem_get(key)) {
-        (void)(*seg)->detach(node_.node_id());
+        (void)(*seg)->detach(node_.node_id());  // best-effort teardown
       }
-      (void)node_.shmem_delete(key);
+      (void)node_.shmem_delete(key);  // best-effort teardown
     }
     allocations_.clear();
   }
+  // Destructor: a finalize failure has no one left to report to.
   if (node_.initialized()) (void)node_.finalize();
 }
 
@@ -144,7 +146,7 @@ void* McaBackend::allocate(std::size_t bytes) {
     auto addr = node_.shmem_create_malloc(key, bytes);
     if (addr) {
       if (failures > 0) OMPMCA_FAULT_RECOVERED(kMrapiShmemCreate, failures);
-      std::lock_guard lk(alloc_mu_);
+      MutexLock lk(alloc_mu_);
       allocations_[*addr] = key;
       return *addr;
     }
@@ -174,10 +176,11 @@ void* McaBackend::allocate_on_cluster(std::size_t bytes, unsigned cluster) {
         if (failures > 0) {
           OMPMCA_FAULT_RECOVERED(kMrapiShmemCreate, failures);
         }
-        std::lock_guard lk(alloc_mu_);
+        MutexLock lk(alloc_mu_);
         allocations_[*addr] = key;
         return *addr;
       }
+      // Undo of a half-built segment; the attach failure drives the retry.
       (void)node_.shmem_delete(key);
     }
     ++failures;
@@ -192,16 +195,16 @@ void McaBackend::deallocate(void* p) {
   if (p == nullptr) return;
   mrapi::ResourceKey key;
   {
-    std::lock_guard lk(alloc_mu_);
+    MutexLock lk(alloc_mu_);
     auto it = allocations_.find(p);
     if (it == allocations_.end()) return;
     key = it->second;
     allocations_.erase(it);
   }
   if (auto seg = node_.shmem_get(key)) {
-    (void)(*seg)->detach(node_.node_id());
+    (void)(*seg)->detach(node_.node_id());  // deallocate is void; best effort
   }
-  (void)node_.shmem_delete(key);
+  (void)node_.shmem_delete(key);  // deallocate is void; best effort
 }
 
 std::unique_ptr<BackendMutex> McaBackend::create_mutex() {

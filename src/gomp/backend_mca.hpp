@@ -15,6 +15,8 @@
 #include <map>
 #include <mutex>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "gomp/backend.hpp"
 #include "mrapi/mrapi.hpp"
 
@@ -57,8 +59,9 @@ class McaBackend final : public SystemBackend {
   mrapi::NodeId node_base_;
   mrapi::Node node_;
 
-  std::mutex alloc_mu_;
-  std::map<void*, mrapi::ResourceKey> allocations_;
+  CapMutex alloc_mu_;
+  std::map<void*, mrapi::ResourceKey> allocations_
+      OMPMCA_GUARDED_BY(alloc_mu_);
   std::atomic<std::uint64_t> failed_allocations_{0};
 };
 

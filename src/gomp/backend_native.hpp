@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "gomp/backend.hpp"
 #include "platform/topology.hpp"
 
@@ -34,8 +36,8 @@ class NativeBackend final : public SystemBackend {
 
  private:
   platform::Topology topo_;
-  std::mutex mu_;
-  std::map<unsigned, std::thread> threads_;
+  CapMutex mu_;
+  std::map<unsigned, std::thread> threads_ OMPMCA_GUARDED_BY(mu_);
 };
 
 }  // namespace ompmca::gomp

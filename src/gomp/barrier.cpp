@@ -118,7 +118,7 @@ void CentralBarrier::arrive_and_wait(unsigned /*tid*/) {
       {
         // The store must happen under the mutex or a waiter could check the
         // predicate between its load and its sleep and miss the notify.
-        std::lock_guard lk(mu_);
+        MutexLock lk(mu_);
         sense_.store(my_sense, std::memory_order_release);
       }
       cv_.notify_all();
@@ -128,8 +128,8 @@ void CentralBarrier::arrive_and_wait(unsigned /*tid*/) {
     return;
   }
   if (policy_ == WaitPolicy::kPassive) {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] {
+    MutexLock lk(mu_);
+    lk.wait(cv_, [&] {
       return sense_.load(std::memory_order_acquire) == my_sense;
     });
   } else {
@@ -205,7 +205,7 @@ void TreeBarrier::arrive_and_wait(unsigned tid) {
     // Reached past the root: release everyone.
     if (policy_ == WaitPolicy::kPassive) {
       {
-        std::lock_guard lk(mu_);
+        MutexLock lk(mu_);
         sense_.store(my_sense, std::memory_order_release);
       }
       cv_.notify_all();
@@ -215,8 +215,8 @@ void TreeBarrier::arrive_and_wait(unsigned tid) {
     return;
   }
   if (policy_ == WaitPolicy::kPassive) {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] {
+    MutexLock lk(mu_);
+    lk.wait(cv_, [&] {
       return sense_.load(std::memory_order_acquire) == my_sense;
     });
   } else {
@@ -301,7 +301,7 @@ void HierarchicalBarrier::arrive_and_wait(unsigned tid) {
           {
             // Store under the mutex so no waiter can check the predicate
             // between its load and its sleep and miss the notify.
-            std::lock_guard lk(rt.mu);
+            MutexLock lk(rt.mu);
             rt.sense.store(my_sense, std::memory_order_release);
           }
           rt.cv.notify_all();
@@ -326,8 +326,8 @@ void HierarchicalBarrier::arrive_and_wait(unsigned tid) {
   }
 
   if (policy_ == WaitPolicy::kPassive) {
-    std::unique_lock lk(tier.mu);
-    tier.cv.wait(lk, [&] {
+    MutexLock lk(tier.mu);
+    lk.wait(tier.cv, [&] {
       return tier.sense.load(std::memory_order_acquire) == my_sense;
     });
   } else {

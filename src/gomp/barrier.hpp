@@ -32,10 +32,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "gomp/icv.hpp"
 
 namespace ompmca::gomp {
@@ -112,7 +113,8 @@ class CentralBarrier final : public TeamBarrier {
   WaitPolicy policy_;
   std::atomic<unsigned> count_{0};
   std::atomic<bool> sense_{false};
-  std::mutex mu_;
+  // Parking-only (guards nothing): the barrier state is count_/sense_.
+  CapMutex mu_;
   std::condition_variable cv_;
 };
 
@@ -139,7 +141,8 @@ class TreeBarrier final : public TeamBarrier {
   std::unique_ptr<Padded<TreeNode>[]> nodes_;
   std::vector<unsigned> leaf_of_thread_;
   std::atomic<bool> sense_{false};
-  std::mutex mu_;
+  // Parking-only (guards nothing): the barrier state is nodes_/sense_.
+  CapMutex mu_;
   std::condition_variable cv_;
 };
 
@@ -171,7 +174,8 @@ class HierarchicalBarrier final : public TeamBarrier {
     std::atomic<unsigned> count{0};
     unsigned expected = 0;
     std::atomic<bool> sense{false};
-    std::mutex mu;
+    // Parking-only (guards nothing): the tier state is count/sense.
+    CapMutex mu;
     std::condition_variable cv;
   };
 

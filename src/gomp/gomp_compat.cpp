@@ -4,19 +4,21 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
+#include "common/locks.hpp"
 #include "gomp/api.hpp"
 
 namespace ompmca::gomp::compat {
 
 namespace {
 
-std::mutex g_mu;
-std::unique_ptr<Runtime> g_runtime;
-RuntimeOptions g_options;
-bool g_configured = false;
+CapMutex g_mu;
+std::unique_ptr<Runtime> g_runtime OMPMCA_GUARDED_BY(g_mu);
+RuntimeOptions g_options OMPMCA_GUARDED_BY(g_mu);
+bool g_configured OMPMCA_GUARDED_BY(g_mu) = false;
 
-Runtime& runtime_locked() {
+Runtime& runtime_locked() OMPMCA_REQUIRES(g_mu) {
   if (g_runtime == nullptr) {
     RuntimeOptions opts = g_options;
     if (!g_configured) {
@@ -69,19 +71,19 @@ bool denormalize(bool got, long nlo, long nhi, long* istart, long* iend) {
 }  // namespace
 
 void gomp_compat_configure(RuntimeOptions options) {
-  std::lock_guard lk(g_mu);
+  MutexLock lk(g_mu);
   assert(g_runtime == nullptr && "configure after the runtime was created");
   g_options = std::move(options);
   g_configured = true;
 }
 
 Runtime& gomp_compat_runtime() {
-  std::lock_guard lk(g_mu);
+  MutexLock lk(g_mu);
   return runtime_locked();
 }
 
 void gomp_compat_reset() {
-  std::lock_guard lk(g_mu);
+  MutexLock lk(g_mu);
   g_runtime.reset();
   g_configured = false;
   g_options = RuntimeOptions{};

@@ -66,7 +66,7 @@ Icvs Icvs::from_env(unsigned default_threads) {
     icvs.max_active_levels = 8;
   }
   if (auto s = env_string("OMP_SCHEDULE")) {
-    (void)parse_schedule(*s, &icvs.run_schedule);
+    (void)parse_schedule(*s, &icvs.run_schedule);  // bad env keeps default
   }
   if (auto w = env_string("OMP_WAIT_POLICY")) {
     if (iequals(*w, "active")) icvs.wait_policy = WaitPolicy::kActive;

@@ -55,15 +55,17 @@ ThreadPool::ThreadPool(SystemBackend& backend, PoolMode mode,
       can_spin_(std::thread::hardware_concurrency() > 1) {}
 
 ThreadPool::~ThreadPool() {
+  // seq_cst: pairs with each bell's sleeping/ticket Dekker protocol — the
+  // exit flag must be globally ordered against the workers' park sequence.
   exit_.store(true, std::memory_order_seq_cst);
   for (auto& bell : bells_) {
     // Empty critical section: flushes out a worker caught between its
     // predicate check and its actual sleep (lost-wakeup guard).
-    { std::lock_guard lk(bell->mu); }
+    { MutexLock lk(bell->mu); }
     bell->cv.notify_one();
   }
   for (unsigned i = 0; i < persistent_workers_; ++i) {
-    (void)backend_.join_thread(i);
+    (void)backend_.join_thread(i);  // destructor: nowhere to report failure
   }
   if (slab_mem_ != nullptr) {
     slab_->~TeamSlab();
@@ -84,6 +86,7 @@ void ThreadPool::home_slab(ClusterMemory* mem, unsigned cluster) {
 // --- ClusterSlabCache --------------------------------------------------------
 
 ClusterSlabCache::~ClusterSlabCache() {
+  MutexLock lk(mu_);
   for (auto& [cluster, slabs] : cache_) {
     for (Slab& s : slabs) backend_.deallocate(s.p);
   }
@@ -92,7 +95,7 @@ ClusterSlabCache::~ClusterSlabCache() {
 }
 
 void* ClusterSlabCache::acquire(unsigned cluster, std::size_t bytes) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = cache_.find(cluster);
   if (it != cache_.end()) {
     auto& slabs = it->second;
@@ -113,7 +116,7 @@ void* ClusterSlabCache::acquire(unsigned cluster, std::size_t bytes) {
 
 void ClusterSlabCache::release(unsigned cluster, void* p) {
   if (p == nullptr) return;
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = live_.find(p);
   if (it == live_.end()) return;
   cache_[cluster].push_back(Slab{p, it->second});
@@ -142,11 +145,12 @@ void ThreadPool::wake_participants(unsigned extra) {
   // or it sees the new ticket — never neither.
   for (unsigned i = 0; i < extra; ++i) {
     Bell& bell = *bells_[i];
+    // seq_cst: the Dekker load of the pair described above.
     if (bell.sleeping.load(std::memory_order_seq_cst)) {
       // Empty critical section: a worker between its predicate check and
       // its actual sleep holds bell.mu, so this lock flushes it out before
       // the notify — the classic lost-wakeup guard.
-      { std::lock_guard lk(bell.mu); }
+      { MutexLock lk(bell.mu); }
       bell.cv.notify_one();
     }
   }
@@ -164,10 +168,14 @@ void ThreadPool::worker_loop(unsigned index, Bell& bell, std::uint64_t seen,
         backoff.pause();
       }
       if (t == seen && !exit_.load(std::memory_order_relaxed)) {
+        // seq_cst: worker half of the Dekker pair — sleeping store ordered
+        // before the ticket/exit re-check; the master's ticket store is
+        // ordered before its sleeping load.
         bell.sleeping.store(true, std::memory_order_seq_cst);
         {
-          std::unique_lock lk(bell.mu);
-          bell.cv.wait(lk, [&] {
+          MutexLock lk(bell.mu);
+          lk.wait(bell.cv, [&] {
+            // seq_cst: the re-check half of the Dekker pair above.
             return ticket_.load(std::memory_order_seq_cst) != seen ||
                    exit_.load(std::memory_order_seq_cst);
           });
@@ -203,13 +211,13 @@ void ThreadPool::worker_loop(unsigned index, Bell& bell, std::uint64_t seen,
                                    t >> kWidthBits);
         slab_->work(index + 1);
       }
-      // Dekker pair with wait_team: the decrement (seq_cst) is ordered
+      // seq_cst: Dekker pair with wait_team — the decrement is ordered
       // before the join_waiting_ load, the master's join_waiting_ store
       // before its active_ re-check.  Only the last finisher — and only
       // when the master actually sleeps — pays for a notify.
       if (active_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
           join_waiting_.load(std::memory_order_seq_cst)) {
-        { std::lock_guard lk(done_mu_); }
+        { MutexLock lk(done_mu_); }
         done_cv_.notify_one();
       }
     }
@@ -288,6 +296,9 @@ void ThreadPool::start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn) {
   slab_->dispatch_start_ns =
       (obs::enabled() || obs::trace::enabled()) ? monotonic_nanos() : 0;
   ++epoch_;
+  // seq_cst: the doorbell ring itself — master half of the per-bell Dekker
+  // pair (ticket store ordered before each sleeping load in
+  // wake_participants).
   ticket_.store((epoch_ << kWidthBits) | (extra + 1),
                 std::memory_order_seq_cst);
   if (slab_->dispatch_start_ns != 0) {
@@ -313,10 +324,13 @@ void ThreadPool::wait_team() {
       cpu_relax();
     }
     if (active_.load(std::memory_order_acquire) != 0) {
+      // seq_cst: master half of the join Dekker pair — join_waiting_ store
+      // ordered before the active_ re-check in the wait predicate.
       join_waiting_.store(true, std::memory_order_seq_cst);
       {
-        std::unique_lock lk(done_mu_);
-        done_cv_.wait(lk, [&] {
+        MutexLock lk(done_mu_);
+        lk.wait(done_cv_, [&] {
+          // seq_cst: the re-check half of the join Dekker pair.
           return active_.load(std::memory_order_seq_cst) == 0;
         });
       }
@@ -325,6 +339,7 @@ void ThreadPool::wait_team() {
   }
   if (mode_ == PoolMode::kPerRegion) {
     for (unsigned index : region_indices_) {
+      // A worker that failed to launch was never registered; skip errors.
       (void)backend_.join_thread(index);
     }
     region_indices_.clear();

@@ -43,10 +43,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "common/function_ref.hpp"
 #include "gomp/backend.hpp"
 #include "gomp/barrier.hpp"
@@ -68,8 +69,9 @@ class ClusterSlabCache final : public ClusterMemory {
   explicit ClusterSlabCache(SystemBackend& backend) : backend_(backend) {}
   ~ClusterSlabCache() override;
 
-  void* acquire(unsigned cluster, std::size_t bytes) override;
-  void release(unsigned cluster, void* p) override;
+  void* acquire(unsigned cluster, std::size_t bytes) override
+      OMPMCA_EXCLUDES(mu_);
+  void release(unsigned cluster, void* p) override OMPMCA_EXCLUDES(mu_);
 
  private:
   struct Slab {
@@ -78,9 +80,11 @@ class ClusterSlabCache final : public ClusterMemory {
   };
 
   SystemBackend& backend_;
-  std::mutex mu_;
-  std::map<unsigned, std::vector<Slab>> cache_;  // cluster -> free slabs
-  std::map<void*, std::size_t> live_;            // outstanding sizes
+  CapMutex mu_;
+  // cluster -> free slabs
+  std::map<unsigned, std::vector<Slab>> cache_ OMPMCA_GUARDED_BY(mu_);
+  // outstanding sizes
+  std::map<void*, std::size_t> live_ OMPMCA_GUARDED_BY(mu_);
 };
 
 /// Launches worker @p index through @p backend with the fault-injection
@@ -149,8 +153,10 @@ class ThreadPool {
 
   // Per-worker parking spot.  The shared ticket carries the information;
   // the bell only carries the *sleeping* worker, so rings stay targeted.
+  // The mutex guards no data — it exists purely to park on (the classic
+  // cv-parking shape); all state lives in the atomics.
   struct alignas(kCacheLineBytes) Bell {
-    std::mutex mu;
+    CapMutex mu;
     std::condition_variable cv;
     std::atomic<bool> sleeping{false};
   };
@@ -184,7 +190,8 @@ class ThreadPool {
   // --- join -------------------------------------------------------------------
   alignas(kCacheLineBytes) std::atomic<unsigned> active_{0};
   std::atomic<bool> join_waiting_{false};
-  std::mutex done_mu_;
+  // Parking-only (guards nothing): the join state is active_/join_waiting_.
+  CapMutex done_mu_;
   std::condition_variable done_cv_;
 
   std::uint64_t epoch_ = 0;          // master-side generation counter

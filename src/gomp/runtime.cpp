@@ -29,6 +29,7 @@ namespace {
 /// Last-resort mutex for `critical` when the backend cannot produce one
 /// even after its internal retries: exclusion must still hold, so degrade
 /// to a plain process mutex (correct, just not an MRAPI-visible resource).
+// tsa: erase-typed BackendMutex — see backend_native.cpp's NativeMutex.
 class FallbackNativeMutex final : public BackendMutex {
  public:
   void lock() override { mu_.lock(); }
@@ -116,7 +117,7 @@ unsigned Runtime::resolve_num_threads(unsigned requested) const {
 }
 
 BackendMutex& Runtime::critical_mutex(const std::string& name) {
-  std::lock_guard lk(critical_mu_);
+  MutexLock lk(critical_mu_);
   auto it = criticals_.find(name);
   if (it == criticals_.end()) {
     auto mu = backend_->create_mutex();
@@ -175,7 +176,7 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
   // the width is clamped to what is available).
   std::vector<unsigned> ids;
   if (icvs_.nested && n > 1) {
-    std::lock_guard lk(nested_ids_mu_);
+    MutexLock lk(nested_ids_mu_);
     while (ids.size() < n - 1 && !free_nested_ids_.empty()) {
       ids.push_back(free_nested_ids_.back());
       free_nested_ids_.pop_back();
@@ -207,9 +208,10 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
   };
   gate.arm([&team, body](unsigned tid) { team.run_thread(tid, body); });
   thread_fn(0);
+  // Every id in `launched` did launch; join cannot meaningfully fail.
   for (unsigned id : launched) (void)backend_->join_thread(id);
   {
-    std::lock_guard lk(nested_ids_mu_);
+    MutexLock lk(nested_ids_mu_);
     for (unsigned id : ids) free_nested_ids_.push_back(id);
   }
   team.finish();

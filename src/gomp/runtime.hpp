@@ -116,11 +116,12 @@ class Runtime {
   std::unique_ptr<platform::ClusterOccupancy> occupancy_;
   std::unique_ptr<ThreadPool> pool_;
 
-  std::mutex critical_mu_;
-  std::map<std::string, std::unique_ptr<BackendMutex>> criticals_;
+  CapMutex critical_mu_;
+  std::map<std::string, std::unique_ptr<BackendMutex>> criticals_
+      OMPMCA_GUARDED_BY(critical_mu_);
 
-  std::mutex nested_ids_mu_;
-  std::vector<unsigned> free_nested_ids_;
+  CapMutex nested_ids_mu_;
+  std::vector<unsigned> free_nested_ids_ OMPMCA_GUARDED_BY(nested_ids_mu_);
 
   std::vector<platform::Work> last_meters_;
 };

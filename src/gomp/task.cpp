@@ -17,7 +17,9 @@ TaskSystem::TaskSystem() { configure(1, nullptr); }
 TaskSystem::~TaskSystem() {
   // Drop the dependence table's retained references.  After the region's
   // final drain nothing is queued or executing, so these are the only
-  // references left on completed records.
+  // references left on completed records.  (The lock is defensive: the
+  // quiescence above is the real guarantee.)
+  MutexLock lk(deps_mu_);
   for (auto& [addr, entry] : dep_table_) {
     if (entry.last_out != nullptr) entry.last_out->release();
     for (Task* t : entry.last_ins) t->release();
@@ -86,12 +88,15 @@ void TaskSystem::spawn(unsigned tid, Task* parent, std::function<void()> fn) {
   task->parent = parent;
   task->group = group;
   task->active_group = group;  // children inherit unless a nested taskgroup
+  // seq_cst: count increments join the single total order the waiters'
+  // epoch-snapshot / count re-check sequence relies on (taskwait,
+  // group_wait, drain) — see finished() for the release side.
   if (parent != nullptr) {
     parent->retain();  // the child's completion touches the parent record
     parent->live_children.fetch_add(1, std::memory_order_seq_cst);
   }
   if (group != nullptr) {
-    group->live_tasks.fetch_add(1, std::memory_order_seq_cst);
+    group->live_tasks.fetch_add(1, std::memory_order_seq_cst);  // seq_cst: ditto
   }
   obs::count(obs::Counter::kGompTaskSpawned);
   if (obs::trace::verbose()) {
@@ -118,7 +123,7 @@ void TaskSystem::spawn_depend(unsigned tid, Task* parent,
     // We finish before returning, so later siblings on these addresses
     // are ordered after us without a table entry.
     auto deps_clear = [&] {
-      std::lock_guard lk(deps_mu_);
+      MutexLock lk(deps_mu_);
       for (std::size_t i = 0; i < nins; ++i) {
         auto it = dep_table_.find(ins[i]);
         if (it != dep_table_.end() && it->second.last_out != nullptr &&
@@ -141,6 +146,9 @@ void TaskSystem::spawn_depend(unsigned tid, Task* parent,
     Task* slot = parent;
     long idle = 0;
     for (;;) {
+      // seq_cst: the epoch snapshot must precede the table check in the
+      // single total order park() relies on, or a completion between the
+      // two could be both unseen and unsignalled.
       const std::uint64_t e = progress_.load(std::memory_order_seq_cst);
       if (deps_clear()) break;
       if (run_one(tid, &slot)) {
@@ -162,19 +170,20 @@ void TaskSystem::spawn_depend(unsigned tid, Task* parent,
   task->group = group;
   task->active_group = group;
   task->has_deps = true;
+  // seq_cst: same count/waiter total-order contract as spawn().
   if (parent != nullptr) {
     parent->retain();
     parent->live_children.fetch_add(1, std::memory_order_seq_cst);
   }
   if (group != nullptr) {
-    group->live_tasks.fetch_add(1, std::memory_order_seq_cst);
+    group->live_tasks.fetch_add(1, std::memory_order_seq_cst);  // seq_cst: ditto
   }
   obs::count(obs::Counter::kGompTaskSpawned);
   if (obs::trace::verbose()) {
     obs::trace::instant(obs::trace::Type::kTaskSpawn, tid, 1);
   }
   {
-    std::lock_guard lk(deps_mu_);
+    MutexLock lk(deps_mu_);
     unsigned preds = 0;
     auto add_edge = [&](Task* pred) {
       if (pred == nullptr || pred == task || pred->dep_done) return;
@@ -232,17 +241,15 @@ void TaskSystem::taskloop(unsigned tid, Task** current_slot, long begin,
   }
   obs::count(obs::Counter::kGompTaskloop);
   // The spec's implicit taskgroup: taskloop end waits for every chunk (and
-  // their descendants).  Chunk bodies may reference @p body by pointer —
-  // this frame outlives the group wait.
-  TaskGroup group;
-  TaskGroup* saved = parent->active_group;
-  parent->active_group = &group;
+  // their descendants).  Chunk bodies reference @p body and the scope's
+  // TaskGroup — the RAII wait guarantees this frame outlives them even
+  // when a chunk throws (spawn runs bodies inline when task records are
+  // exhausted, so the spawn loop itself can unwind mid-flight).
+  TaskGroupScope scope(*this, tid, parent, current_slot);
   for (long lo = begin; lo < end; lo += g) {
     const long hi = std::min(end, lo + g);
     spawn(tid, parent, [&body, lo, hi] { body(lo, hi); });
   }
-  parent->active_group = saved;
-  group_wait(tid, &group, current_slot);
 }
 
 Task* TaskSystem::take(unsigned tid, bool* stolen) {
@@ -283,7 +290,7 @@ Task* TaskSystem::take(unsigned tid, bool* stolen) {
 }
 
 bool TaskSystem::run_one(unsigned tid, Task** current_slot) {
-  // executing_ rises before the take and falls after completion
+  // seq_cst: executing_ rises before the take and falls after completion
   // bookkeeping, so "every deque empty and executing_ == 0" (checked
   // against an unchanged progress epoch) proves quiescence: an in-flight
   // task is either still in a deque or its taker is counted here.
@@ -291,6 +298,7 @@ bool TaskSystem::run_one(unsigned tid, Task** current_slot) {
   bool stolen = false;
   Task* task = take(tid, &stolen);
   if (task == nullptr) {
+    // seq_cst: the empty-handed drop stays in the quiescence order above.
     executing_.fetch_sub(1, std::memory_order_seq_cst);
     return false;
   }
@@ -324,15 +332,17 @@ void TaskSystem::finished(unsigned tid, Task* task) {
   if (task->has_deps) release_dependents(tid, task);
   Task* parent = task->parent;
   TaskGroup* group = task->group;
-  // Decrements precede the progress bump: a woken waiter re-checks its
-  // condition and must observe the counts this completion produced.
+  // seq_cst: decrements precede the progress bump — a woken waiter
+  // re-checks its condition and must observe the counts this completion
+  // produced, and drain()'s quiescence scan needs the executing_ drop in
+  // the same total order.
   if (parent != nullptr) {
     parent->live_children.fetch_sub(1, std::memory_order_seq_cst);
   }
   if (group != nullptr) {
-    group->live_tasks.fetch_sub(1, std::memory_order_seq_cst);
+    group->live_tasks.fetch_sub(1, std::memory_order_seq_cst);  // seq_cst: ditto
   }
-  executing_.fetch_sub(1, std::memory_order_seq_cst);
+  executing_.fetch_sub(1, std::memory_order_seq_cst);  // seq_cst: ditto
   bump_progress();
   task->release();  // the queue/execution reference
   if (parent != nullptr) parent->release();
@@ -343,7 +353,7 @@ void TaskSystem::release_dependents(unsigned tid, Task* task) {
   // (enqueue rings the progress bell, which takes idle_mu_).
   std::vector<Task*> ready;
   {
-    std::lock_guard lk(deps_mu_);
+    MutexLock lk(deps_mu_);
     task->dep_done = true;
     for (Task* s : task->successors) {
       if (--s->npredecessors == 0) ready.push_back(s);
@@ -361,40 +371,49 @@ bool TaskSystem::deques_empty() const {
 }
 
 void TaskSystem::bump_progress() {
+  // seq_cst: waker side of the Dekker pair with park() — the bump must be
+  // ordered before the sleepers_ check in the single total order, or a
+  // sleeper could register after our check yet before our bump.
   progress_.fetch_add(1, std::memory_order_seq_cst);
   if (sleepers_.load(std::memory_order_seq_cst) != 0) {
     // Empty critical section: a waiter between its epoch check and its
     // cv wait holds idle_mu_, so taking it here orders this notify after
     // that wait begins (or the waiter's predicate sees the new epoch).
-    { std::lock_guard lk(idle_mu_); }
+    { MutexLock lk(idle_mu_); }
     idle_cv_.notify_all();
   }
 }
 
 void TaskSystem::park(std::uint64_t epoch) {
-  std::unique_lock lk(idle_mu_);
+  MutexLock lk(idle_mu_);
+  // seq_cst: sleeper side of the Dekker pair with bump_progress() — the
+  // sleepers_ rise must precede the epoch re-check.
   sleepers_.fetch_add(1, std::memory_order_seq_cst);
   if (progress_.load(std::memory_order_seq_cst) == epoch) {
     // Bounded wait: the epoch protocol makes lost wakeups impossible in
     // principle, and the bound makes any residual hole a stall, never a
     // deadlock (this is an embedded runtime; fail bounded, not silent).
-    idle_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
+    lk.wait_for(idle_cv_, std::chrono::milliseconds(1), [&] {
       return progress_.load(std::memory_order_relaxed) != epoch;
     });
   }
-  sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  sleepers_.fetch_sub(1, std::memory_order_seq_cst);  // seq_cst: pair exit
 }
 
 void TaskSystem::taskwait(unsigned tid, Task** current_slot) {
   Task* waiting_on = *current_slot;
   if (waiting_on == nullptr) return;
   long idle = 0;
+  // seq_cst: the count loads and the epoch snapshot pair with the seq_cst
+  // updates in spawn()/finished() — snapshot-then-recheck is only sound
+  // in a single total order (park() wakes on any later bump).
   while (waiting_on->live_children.load(std::memory_order_seq_cst) != 0) {
     const std::uint64_t e = progress_.load(std::memory_order_seq_cst);
     if (run_one(tid, current_slot)) {
       idle = 0;
       continue;
     }
+    // seq_cst: see loop header.
     if (waiting_on->live_children.load(std::memory_order_seq_cst) == 0) break;
     if (++idle <= spin_) {
       std::this_thread::yield();
@@ -407,12 +426,14 @@ void TaskSystem::taskwait(unsigned tid, Task** current_slot) {
 void TaskSystem::group_wait(unsigned tid, TaskGroup* group,
                             Task** current_slot) {
   long idle = 0;
+  // seq_cst: same snapshot-then-recheck contract as taskwait().
   while (group->live_tasks.load(std::memory_order_seq_cst) != 0) {
     const std::uint64_t e = progress_.load(std::memory_order_seq_cst);
     if (run_one(tid, current_slot)) {
       idle = 0;
       continue;
     }
+    // seq_cst: see loop header.
     if (group->live_tasks.load(std::memory_order_seq_cst) == 0) break;
     if (++idle <= spin_) {
       std::this_thread::yield();
@@ -433,6 +454,8 @@ void TaskSystem::drain(unsigned tid, Task** current_slot) {
     // executing_ zero on both sides of the deque sweep, no task was
     // queued, running, or completing anywhere during it (run_one raises
     // executing_ before taking; spawns and completions bump the epoch).
+    // seq_cst: the proof is a single-total-order argument over all four
+    // loads and the counters they pair with.
     const std::uint64_t e = progress_.load(std::memory_order_seq_cst);
     if (executing_.load(std::memory_order_seq_cst) == 0 && deques_empty() &&
         executing_.load(std::memory_order_seq_cst) == 0 &&

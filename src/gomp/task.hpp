@@ -26,12 +26,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "gomp/task_deque.hpp"
 
 namespace ompmca::gomp {
@@ -54,7 +56,9 @@ struct Task {
   std::atomic<std::uint32_t> refs{1};
   std::atomic<std::uint32_t> live_children{0};
 
-  // Dependence bookkeeping, all guarded by TaskSystem::deps_mu_.
+  // Dependence bookkeeping, all guarded by TaskSystem::deps_mu_.  (TSA
+  // cannot express a field guarded by another object's lock; the owning
+  // TaskSystem's REQUIRES(deps_mu_) helpers carry the contract instead.)
   std::vector<Task*> successors;  // tasks whose depend clauses await us
   std::uint32_t npredecessors = 0;
   bool has_deps = false;  // spawned with a depend clause
@@ -153,21 +157,79 @@ class TaskSystem {
   std::vector<std::unique_ptr<TaskDeque>> deques_;
   std::atomic<std::uint32_t> executing_{0};
 
-  // Progress-epoch parking (see file comment).
+  // Progress-epoch parking (see file comment).  idle_mu_ is parking-only
+  // (guards nothing): the protocol state is progress_/sleepers_.
   std::atomic<std::uint64_t> progress_{0};
   std::atomic<std::uint32_t> sleepers_{0};
-  std::mutex idle_mu_;
+  CapMutex idle_mu_;
   std::condition_variable idle_cv_;
 
   // Dependence table: per storage address, the last writer and the readers
   // since (the GCC runtime's hash-on-address scheme at task-record scale).
-  std::mutex deps_mu_;
-  std::unordered_map<const void*, DepAddr> dep_table_;
+  // deps_mu_ also guards every Task's successors/npredecessors/dep_done.
+  CapMutex deps_mu_;
+  std::unordered_map<const void*, DepAddr> dep_table_
+      OMPMCA_GUARDED_BY(deps_mu_);
 
   // Tuning (read from the environment in configure()).
   long spin_ = 100;          // OMPMCA_TASK_SPIN: idle spins before parking
   long taskloop_grain_ = 0;  // OMPMCA_TASKLOOP_GRAIN: fixed grain, 0=adaptive
   long taskloop_tasks_per_thread_ = 8;  // OMPMCA_TASKLOOP_TASKS_PER_THREAD
+};
+
+/// RAII for a taskgroup-shaped region (taskgroup construct, taskloop's
+/// implicit group): installs a fresh TaskGroup as @p task's active group
+/// and, on scope exit, restores the saved group and waits the group out.
+///
+/// The wait happens on *every* exit path.  Tasks spawned into the group
+/// reference this scope's stack frame (the TaskGroup itself, and usually
+/// the construct's captures), so leaving the frame before they finish —
+/// which the pre-RAII code did when a body threw, and additionally left
+/// task->active_group pointing into the dead frame — corrupts whichever
+/// construct runs next.  A body exception on the normal path is rethrown
+/// after the drain completes; exceptions raised by tasks run while already
+/// unwinding are swallowed (the alternative is std::terminate).
+class TaskGroupScope {
+ public:
+  TaskGroupScope(TaskSystem& ts, unsigned tid, Task* task, Task** slot)
+      : ts_(ts),
+        tid_(tid),
+        task_(task),
+        slot_(slot),
+        saved_(task->active_group),
+        entry_exceptions_(std::uncaught_exceptions()) {
+    task_->active_group = &group_;
+  }
+
+  TaskGroupScope(const TaskGroupScope&) = delete;
+  TaskGroupScope& operator=(const TaskGroupScope&) = delete;
+
+  ~TaskGroupScope() noexcept(false) {
+    task_->active_group = saved_;
+    const bool unwinding = std::uncaught_exceptions() != entry_exceptions_;
+    std::exception_ptr first;
+    for (;;) {
+      try {
+        ts_.group_wait(tid_, &group_, slot_);
+        break;
+      } catch (...) {
+        // A group task threw while we drained: remember the first (to
+        // rethrow once the group is empty) and keep draining — the tasks
+        // still queued reference this dying frame.
+        if (!unwinding && first == nullptr) first = std::current_exception();
+      }
+    }
+    if (first != nullptr) std::rethrow_exception(first);
+  }
+
+ private:
+  TaskSystem& ts_;
+  unsigned tid_;
+  Task* task_;
+  Task** slot_;
+  TaskGroup* saved_;
+  TaskGroup group_;
+  int entry_exceptions_;
 };
 
 }  // namespace ompmca::gomp

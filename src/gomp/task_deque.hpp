@@ -65,6 +65,8 @@ class TaskDeque {
   Task* pop() {
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    // seq_cst: the PPoPP'13 proof's owner-side fence — the bottom store
+    // must be ordered before the top read, against steal()'s mirror pair.
     bottom_.store(b, std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     if (t > b) {
@@ -75,6 +77,8 @@ class TaskDeque {
     Task* task = buf->get(b);
     if (t == b) {
       // Last element: race against thieves for it via the top CAS.
+      // seq_cst: the CAS decides the race in the same total order as the
+      // fence pair above.
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         task = nullptr;  // a thief won
@@ -89,11 +93,14 @@ class TaskDeque {
   /// deque looked non-empty (retry may be worthwhile) as opposed to drained.
   Task* steal(bool* lost_race = nullptr) {
     if (lost_race != nullptr) *lost_race = false;
+    // seq_cst: the thief-side top read of the PPoPP'13 fence pair — see
+    // pop()'s owner-side mirror.
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return nullptr;
     Buffer* buf = buffer_.load(std::memory_order_acquire);
     Task* task = buf->get(t);
+    // seq_cst: the claim CAS joins the same total order.
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       if (lost_race != nullptr) *lost_race = true;

@@ -71,8 +71,8 @@ class AdoptedBackendLock {
 void TeamLaunchGate::worker_main(unsigned tid) {
   std::function<void(unsigned)> fn;
   {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [this] { return ready_ || abandoned_; });
+    MutexLock lk(mu_);
+    lk.wait(cv_, [this]() OMPMCA_REQUIRES(mu_) { return ready_ || abandoned_; });
     if (abandoned_) return;
     fn = fn_;  // copy: run outside the lock, peers run concurrently
   }
@@ -81,7 +81,7 @@ void TeamLaunchGate::worker_main(unsigned tid) {
 
 void TeamLaunchGate::arm(std::function<void(unsigned)> fn) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     fn_ = std::move(fn);
     ready_ = true;
   }
@@ -90,7 +90,7 @@ void TeamLaunchGate::arm(std::function<void(unsigned)> fn) {
 
 void TeamLaunchGate::abandon() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     abandoned_ = true;
   }
   cv_.notify_all();
@@ -460,13 +460,16 @@ void ParallelContext::taskgroup(FunctionRef<void()> body) {
   // all of them.  The group override lives in the executing task's record
   // (spawned children inherit it), so descendants of stolen tasks stay
   // tracked.
-  TaskGroup group;
-  TaskGroup* saved =
-      current_task_ != nullptr ? current_task_->active_group : nullptr;
-  if (current_task_ != nullptr) current_task_->active_group = &group;
+  if (current_task_ == nullptr) {
+    // No task record to carry the override: nothing can join the group.
+    body();
+    return;
+  }
+  // RAII: a throwing body must still restore the override and wait the
+  // group out — queued group tasks reference this frame's TaskGroup, and
+  // the pre-RAII code left active_group dangling into the dead frame.
+  TaskGroupScope scope(team_->tasks_, tid_, current_task_, &current_task_);
   body();
-  if (current_task_ != nullptr) current_task_->active_group = saved;
-  team_->tasks_.group_wait(tid_, &group, &current_task_);
 }
 
 void ParallelContext::taskloop(long begin, long end,

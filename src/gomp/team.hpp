@@ -19,13 +19,14 @@
 #include <cstring>
 #include <functional>
 #include <initializer_list>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <type_traits>
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "common/function_ref.hpp"
 #include "gomp/barrier.hpp"
 #include "gomp/icv.hpp"
@@ -52,20 +53,20 @@ class TeamLaunchGate {
  public:
   /// Worker entry point: blocks until arm() or abandon(); runs the armed
   /// body as thread @p tid when armed.
-  void worker_main(unsigned tid);
+  void worker_main(unsigned tid) OMPMCA_EXCLUDES(mu_);
 
   /// Publishes @p fn and releases every parked (and future) worker.
-  void arm(std::function<void(unsigned)> fn);
+  void arm(std::function<void(unsigned)> fn) OMPMCA_EXCLUDES(mu_);
 
   /// Releases parked workers without running anything.
-  void abandon();
+  void abandon() OMPMCA_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
+  CapMutex mu_;
   std::condition_variable cv_;
-  bool ready_ = false;
-  bool abandoned_ = false;
-  std::function<void(unsigned)> fn_;
+  bool ready_ OMPMCA_GUARDED_BY(mu_) = false;
+  bool abandoned_ OMPMCA_GUARDED_BY(mu_) = false;
+  std::function<void(unsigned)> fn_ OMPMCA_GUARDED_BY(mu_);
 };
 
 class ParallelContext {

@@ -39,9 +39,9 @@ bool static_chunk(long begin, long end, long chunk, unsigned tid,
 void LoopInstance::enter(unsigned long gen, long begin, long end,
                          ScheduleSpec spec, unsigned nthreads,
                          const unsigned* cluster_of_thread) {
-  std::unique_lock lk(init_mu_);
+  MutexLock lk(init_mu_);
   // Wait for the previous occupant of this ring slot to fully drain.
-  drained_cv_.wait(lk, [&] {
+  lk.wait(drained_cv_, [&, this]() OMPMCA_REQUIRES(init_mu_) {
     return ready_gen_.load(std::memory_order_relaxed) == gen || !configured_;
   });
   if (!configured_) {
@@ -85,7 +85,13 @@ void LoopInstance::enter(unsigned long gen, long begin, long end,
       }
     }
     cursor_.store(begin, std::memory_order_relaxed);
-    ordered_next_ = begin;
+    {
+      // ordered_next_ belongs to ordered_mu_; this uncontended acquire
+      // (no same-generation thread can reach ordered_wait before the
+      // ready_gen_ publication below) keeps the field single-lock.
+      MutexLock olk(ordered_mu_);
+      ordered_next_ = begin;
+    }
     ready_gen_.store(gen, std::memory_order_release);
   }
   assert(ready_gen_.load(std::memory_order_relaxed) == gen &&
@@ -240,7 +246,7 @@ void LoopInstance::leave() {
   // enter() observes it consistently.
   if (left_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
     {
-      std::lock_guard lk(init_mu_);
+      MutexLock lk(init_mu_);
       configured_ = false;
       left_.store(0, std::memory_order_relaxed);
     }
@@ -249,13 +255,15 @@ void LoopInstance::leave() {
 }
 
 void LoopInstance::ordered_wait(long iter) {
-  std::unique_lock lk(ordered_mu_);
-  ordered_cv_.wait(lk, [&] { return ordered_next_ == iter; });
+  MutexLock lk(ordered_mu_);
+  lk.wait(ordered_cv_, [&, this]() OMPMCA_REQUIRES(ordered_mu_) {
+    return ordered_next_ == iter;
+  });
 }
 
 void LoopInstance::ordered_post() {
   {
-    std::lock_guard lk(ordered_mu_);
+    MutexLock lk(ordered_mu_);
     ++ordered_next_;
   }
   ordered_cv_.notify_all();
@@ -263,8 +271,10 @@ void LoopInstance::ordered_post() {
 
 void SectionsInstance::enter(unsigned long gen, int num_sections,
                              unsigned nthreads) {
-  std::unique_lock lk(init_mu_);
-  drained_cv_.wait(lk, [&] { return gen_ == gen || !configured_; });
+  MutexLock lk(init_mu_);
+  lk.wait(drained_cv_, [&, this]() OMPMCA_REQUIRES(init_mu_) {
+    return gen_ == gen || !configured_;
+  });
   if (!configured_) {
     gen_ = gen;
     configured_ = true;
@@ -282,7 +292,7 @@ int SectionsInstance::next_section() {
 }
 
 void SectionsInstance::leave() {
-  std::unique_lock lk(init_mu_);
+  MutexLock lk(init_mu_);
   if (++left_ == participants_) {
     configured_ = false;
     lk.unlock();

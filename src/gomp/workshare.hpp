@@ -25,9 +25,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "common/align.hpp"
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "gomp/icv.hpp"
 
 namespace ompmca::gomp {
@@ -107,10 +108,14 @@ class LoopInstance {
   // thread but the last, which resets the slot under the mutex.
   static constexpr unsigned long kNoGen = ~0ul;
 
-  std::mutex init_mu_;
+  CapMutex init_mu_;
   std::condition_variable drained_cv_;
   std::atomic<unsigned long> ready_gen_{kNoGen};
-  bool configured_ = false;
+  bool configured_ OMPMCA_GUARDED_BY(init_mu_) = false;
+  // participants_ and the loop configuration below are written by the
+  // configuring thread under init_mu_ but read lock-free by the team:
+  // ready_gen_'s release store publishes them (same-generation readers
+  // acquire it), so they are protocol-published, not mutex-guarded.
   unsigned participants_ = 0;
   std::atomic<unsigned> left_{0};
 
@@ -124,9 +129,9 @@ class LoopInstance {
   std::unique_ptr<RangeSlot[]> ranges_;
   alignas(kCacheLineBytes) std::atomic<long> cursor_{0};
 
-  std::mutex ordered_mu_;
+  CapMutex ordered_mu_;
   std::condition_variable ordered_cv_;
-  long ordered_next_ = 0;
+  long ordered_next_ OMPMCA_GUARDED_BY(ordered_mu_) = 0;
 };
 
 /// Shared state for a `sections` construct: threads pull section indices.
@@ -138,12 +143,14 @@ class SectionsInstance {
   void leave();
 
  private:
-  std::mutex init_mu_;
+  CapMutex init_mu_;
   std::condition_variable drained_cv_;
-  unsigned long gen_ = 0;
-  bool configured_ = false;
-  unsigned left_ = 0;
-  unsigned participants_ = 0;
+  unsigned long gen_ OMPMCA_GUARDED_BY(init_mu_) = 0;
+  bool configured_ OMPMCA_GUARDED_BY(init_mu_) = false;
+  unsigned left_ OMPMCA_GUARDED_BY(init_mu_) = 0;
+  unsigned participants_ OMPMCA_GUARDED_BY(init_mu_) = 0;
+  // Written under init_mu_ at configuration, read lock-free by the team's
+  // next_section calls after the construct's entry synchronisation.
   int num_sections_ = 0;
   alignas(kCacheLineBytes) std::atomic<int> cursor_{0};
 };

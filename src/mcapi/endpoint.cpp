@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "fault/fault.hpp"
 
 namespace ompmca::mcapi {
@@ -11,19 +13,19 @@ namespace ompmca::mcapi {
 // --- RecvRequest ---------------------------------------------------------------
 
 bool RecvRequest::test() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return done_;
 }
 
 Result<std::size_t> RecvRequest::wait(mrapi::Timeout timeout_ms) {
-  std::unique_lock lk(mu_);
-  auto done = [this] { return done_; };
+  MutexLock lk(mu_);
+  auto done = [this]() OMPMCA_REQUIRES(mu_) { return done_; };
   if (!done()) {
     if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kRequestPending;
     if (timeout_ms == mrapi::kTimeoutInfinite) {
-      cv_.wait(lk, done);
-    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                             done)) {
+      lk.wait(cv_, done);
+    } else if (!lk.wait_for(cv_, std::chrono::milliseconds(timeout_ms),
+                            done)) {
       // Expiry kills the request under mu_, the same lock deliver() takes
       // before touching it: either delivery already completed us (the
       // predicate above saw it) or the request dies here and a late
@@ -44,7 +46,7 @@ Status RecvRequest::cancel() {
   // canceled} wins.  If delivery got there first, done_ is already set and
   // the cancel reports kRequestInvalid (the message was consumed into the
   // buffer); otherwise the request dies and deliver() skips it.
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (done_) return Status::kRequestInvalid;
   canceled_ = true;
   done_ = true;
@@ -60,12 +62,12 @@ Status Endpoint::deliver(const void* data, std::size_t bytes,
   if (bytes > Limits::kMaxMessageBytes) return Status::kMessageTruncated;
   if (priority > kMaxPriority) priority = kMaxPriority;
 
-  std::unique_lock lk(mu_);
+  MutexLock lk(mu_);
   // Satisfy the oldest pending non-blocking receive first.
   while (!pending_recvs_.empty()) {
     RecvRequestHandle req = pending_recvs_.front();
     pending_recvs_.pop_front();
-    std::lock_guard rlk(req->mu_);
+    MutexLock rlk(req->mu_);
     // Dead requests (canceled, or killed by finite-timeout expiry) linger
     // in the deque until a delivery pops them; skipping here is what makes
     // cancel-vs-deliver a clean either/or.
@@ -106,16 +108,16 @@ bool Endpoint::pop_locked(Message* out) {
 
 Result<std::size_t> Endpoint::msg_recv(void* buffer, std::size_t capacity,
                                        mrapi::Timeout timeout_ms) {
-  std::unique_lock lk(mu_);
-  auto has_data = [this] { return queued_total_ > 0; };
+  MutexLock lk(mu_);
+  auto has_data = [this]() OMPMCA_REQUIRES(mu_) { return queued_total_ > 0; };
   if (!has_data()) {
     // An empty queue is a timeout for a blocking receive, immediate or
     // not — kRequestPending is reserved for non-blocking request tokens.
     if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kTimeout;
     if (timeout_ms == mrapi::kTimeoutInfinite) {
-      cv_.wait(lk, has_data);
-    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                             has_data)) {
+      lk.wait(cv_, has_data);
+    } else if (!lk.wait_for(cv_, std::chrono::milliseconds(timeout_ms),
+                            has_data)) {
       return Status::kTimeout;
     }
   }
@@ -131,10 +133,10 @@ RecvRequestHandle Endpoint::msg_recv_i(void* buffer, std::size_t capacity) {
   auto req = std::make_shared<RecvRequest>();
   req->buffer_ = buffer;
   req->capacity_ = capacity;
-  std::unique_lock lk(mu_);
+  MutexLock lk(mu_);
   Message m;
   if (pop_locked(&m)) {
-    std::lock_guard rlk(req->mu_);
+    MutexLock rlk(req->mu_);
     std::size_t n = std::min(m.payload.size(), capacity);
     std::memcpy(buffer, m.payload.data(), n);
     req->size_ = n;
@@ -148,13 +150,13 @@ RecvRequestHandle Endpoint::msg_recv_i(void* buffer, std::size_t capacity) {
 }
 
 std::size_t Endpoint::messages_available() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return queued_total_;
 }
 
 Status Endpoint::connect(ChannelType type, bool is_sender,
                          EndpointHandle peer) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (channel_type_ != ChannelType::kNone) return Status::kChannelOpen;
   channel_type_ = type;
   channel_sender_ = is_sender;
@@ -163,7 +165,7 @@ Status Endpoint::connect(ChannelType type, bool is_sender,
 }
 
 Status Endpoint::close_channel() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (channel_type_ == ChannelType::kNone) return Status::kChannelClosed;
   channel_type_ = ChannelType::kNone;
   channel_peer_.reset();
@@ -171,23 +173,23 @@ Status Endpoint::close_channel() {
 }
 
 ChannelType Endpoint::channel_type() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return channel_type_;
 }
 
 bool Endpoint::channel_is_sender() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return channel_sender_;
 }
 
 EndpointHandle Endpoint::channel_peer() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return channel_peer_.lock();
 }
 
 Status Endpoint::deliver_scalar(std::uint64_t value, unsigned width_bytes) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     if (scalars_.size() >= Limits::kMaxQueuedScalars)
       return Status::kMessageLimit;
     scalars_.push_back(Scalar{value, width_bytes});
@@ -198,14 +200,14 @@ Status Endpoint::deliver_scalar(std::uint64_t value, unsigned width_bytes) {
 
 Result<std::uint64_t> Endpoint::scalar_recv(unsigned width_bytes,
                                             mrapi::Timeout timeout_ms) {
-  std::unique_lock lk(mu_);
-  auto has_data = [this] { return !scalars_.empty(); };
+  MutexLock lk(mu_);
+  auto has_data = [this]() OMPMCA_REQUIRES(mu_) { return !scalars_.empty(); };
   if (!has_data()) {
     if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kTimeout;
     if (timeout_ms == mrapi::kTimeoutInfinite) {
-      cv_.wait(lk, has_data);
-    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                             has_data)) {
+      lk.wait(cv_, has_data);
+    } else if (!lk.wait_for(cv_, std::chrono::milliseconds(timeout_ms),
+                            has_data)) {
       return Status::kTimeout;
     }
   }
@@ -217,7 +219,7 @@ Result<std::uint64_t> Endpoint::scalar_recv(unsigned width_bytes,
 }
 
 std::size_t Endpoint::scalars_available() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return scalars_.size();
 }
 
@@ -229,7 +231,7 @@ Registry& Registry::instance() {
 }
 
 Result<EndpointHandle> Registry::create(EndpointAddress address) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (endpoints_.size() >= Limits::kMaxEndpoints)
     return Status::kOutOfResources;
   for (const auto& ep : endpoints_) {
@@ -241,7 +243,7 @@ Result<EndpointHandle> Registry::create(EndpointAddress address) {
 }
 
 Result<EndpointHandle> Registry::lookup(EndpointAddress address) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& ep : endpoints_) {
     if (ep->address() == address) return ep;
   }
@@ -249,7 +251,7 @@ Result<EndpointHandle> Registry::lookup(EndpointAddress address) const {
 }
 
 Status Registry::destroy(EndpointAddress address) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = std::find_if(
       endpoints_.begin(), endpoints_.end(),
       [&](const EndpointHandle& ep) { return ep->address() == address; });
@@ -259,12 +261,12 @@ Status Registry::destroy(EndpointAddress address) {
 }
 
 std::size_t Registry::endpoint_count() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return endpoints_.size();
 }
 
 void Registry::reset() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   endpoints_.clear();
 }
 
@@ -328,7 +330,7 @@ Status channel_connect(ChannelType type, const EndpointHandle& sender,
   OMPMCA_RETURN_IF_ERROR(sender->connect(type, /*is_sender=*/true, receiver));
   Status s = receiver->connect(type, /*is_sender=*/false, sender);
   if (!ok(s)) {
-    (void)sender->close_channel();
+    (void)sender->close_channel();  // rollback; the connect error surfaces
     return s;
   }
   return Status::kSuccess;
@@ -338,6 +340,7 @@ Status channel_close(const EndpointHandle& side) {
   if (side == nullptr) return Status::kEndpointInvalid;
   EndpointHandle peer = side->channel_peer();
   OMPMCA_RETURN_IF_ERROR(side->close_channel());
+  // The peer may have raced its own close; ours already succeeded.
   if (peer != nullptr) (void)peer->close_channel();
   return Status::kSuccess;
 }

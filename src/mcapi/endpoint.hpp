@@ -14,7 +14,9 @@
 #include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/expected.hpp"
+#include "common/locks.hpp"
 #include "mcapi/types.hpp"
 
 namespace ompmca::mcapi {
@@ -33,12 +35,14 @@ class RecvRequest {
 
  private:
   friend class Endpoint;
-  mutable std::mutex mu_;
+  mutable CapMutex mu_;
   mutable std::condition_variable cv_;
-  bool done_ = false;
-  bool canceled_ = false;
-  Status status_ = Status::kSuccess;
-  std::size_t size_ = 0;
+  bool done_ OMPMCA_GUARDED_BY(mu_) = false;
+  bool canceled_ OMPMCA_GUARDED_BY(mu_) = false;
+  Status status_ OMPMCA_GUARDED_BY(mu_) = Status::kSuccess;
+  std::size_t size_ OMPMCA_GUARDED_BY(mu_) = 0;
+  // Set once by msg_recv_i before the request is published into the
+  // endpoint's pending queue; immutable afterwards, so not mutex-guarded.
   void* buffer_ = nullptr;
   std::size_t capacity_ = 0;
 };
@@ -95,20 +99,20 @@ class Endpoint {
   };
 
   /// Pops the highest-priority (then FIFO) message; caller holds mu_.
-  bool pop_locked(Message* out);
+  bool pop_locked(Message* out) OMPMCA_REQUIRES(mu_);
 
   EndpointAddress address_;
-  mutable std::mutex mu_;
+  mutable CapMutex mu_;
   std::condition_variable cv_;
   // One FIFO per priority level.
-  std::deque<Message> queues_[kMaxPriority + 1];
-  std::size_t queued_total_ = 0;
-  std::deque<RecvRequestHandle> pending_recvs_;
-  std::deque<Scalar> scalars_;
+  std::deque<Message> queues_[kMaxPriority + 1] OMPMCA_GUARDED_BY(mu_);
+  std::size_t queued_total_ OMPMCA_GUARDED_BY(mu_) = 0;
+  std::deque<RecvRequestHandle> pending_recvs_ OMPMCA_GUARDED_BY(mu_);
+  std::deque<Scalar> scalars_ OMPMCA_GUARDED_BY(mu_);
 
-  ChannelType channel_type_ = ChannelType::kNone;
-  bool channel_sender_ = false;
-  std::weak_ptr<Endpoint> channel_peer_;
+  ChannelType channel_type_ OMPMCA_GUARDED_BY(mu_) = ChannelType::kNone;
+  bool channel_sender_ OMPMCA_GUARDED_BY(mu_) = false;
+  std::weak_ptr<Endpoint> channel_peer_ OMPMCA_GUARDED_BY(mu_);
 };
 
 /// Process-wide endpoint registry ("the board's interconnect").
@@ -125,8 +129,8 @@ class Registry {
 
  private:
   Registry() = default;
-  mutable std::mutex mu_;
-  std::vector<EndpointHandle> endpoints_;
+  mutable CapMutex mu_;
+  std::vector<EndpointHandle> endpoints_ OMPMCA_GUARDED_BY(mu_);
 };
 
 // --- the user-facing operations (spec-shaped free functions) -----------------

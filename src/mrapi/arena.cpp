@@ -33,7 +33,7 @@ SystemShmArena::SystemShmArena(std::size_t capacity_bytes,
 }
 
 void* SystemShmArena::allocate_in_pool(Pool& pool, std::size_t need) {
-  std::lock_guard<std::mutex> lk(pool.mu);
+  MutexLock lk(pool.mu);
   for (auto it = pool.free_list.begin(); it != pool.free_list.end(); ++it) {
     if (it->second >= need) {
       std::size_t offset = it->first;
@@ -71,7 +71,7 @@ Result<void*> SystemShmArena::allocate(std::size_t bytes,
   for (unsigned i = 0; i < npools; ++i) {
     std::size_t u;
     {
-      std::lock_guard<std::mutex> lk(pools_[i]->mu);
+      MutexLock lk(pools_[i]->mu);
       u = pools_[i]->used;
     }
     ord.emplace_back(hinted && i == cluster_hint ? 0 : u + 1, i);
@@ -116,7 +116,7 @@ Status SystemShmArena::release(void* ptr) {
       break;
     }
   }
-  std::lock_guard<std::mutex> lk(pool->mu);
+  MutexLock lk(pool->mu);
   auto it = pool->allocated.find(offset);
   if (it == pool->allocated.end()) return Status::kInvalidArgument;
   std::size_t size = it->second;
@@ -152,7 +152,7 @@ std::size_t SystemShmArena::used() const {
 std::size_t SystemShmArena::free_blocks() const {
   std::size_t total = 0;
   for (const auto& p : pools_) {
-    std::lock_guard<std::mutex> lk(p->mu);
+    MutexLock lk(p->mu);
     total += p->free_list.size();
   }
   return total;

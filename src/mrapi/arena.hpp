@@ -20,10 +20,11 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/expected.hpp"
+#include "common/locks.hpp"
 
 namespace ompmca::mrapi {
 
@@ -71,13 +72,15 @@ class SystemShmArena {
   struct Pool {
     std::size_t base = 0;  // offset into storage_
     std::size_t size = 0;
-    mutable std::mutex mu;
-    std::map<std::size_t, std::size_t> free_list;  // offset -> size
-    std::map<std::size_t, std::size_t> allocated;
-    std::size_t used = 0;
+    mutable CapMutex mu;
+    // offset -> size
+    std::map<std::size_t, std::size_t> free_list OMPMCA_GUARDED_BY(mu);
+    std::map<std::size_t, std::size_t> allocated OMPMCA_GUARDED_BY(mu);
+    std::size_t used OMPMCA_GUARDED_BY(mu) = 0;
   };
 
-  void* allocate_in_pool(Pool& pool, std::size_t need);
+  void* allocate_in_pool(Pool& pool, std::size_t need)
+      OMPMCA_EXCLUDES(pool.mu);
 
   std::size_t capacity_;
   std::unique_ptr<std::byte[]> storage_;

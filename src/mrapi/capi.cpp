@@ -51,6 +51,7 @@ void mrapi_thread_create(mrapi_domain_t domain_id, mrapi_node_t node_id,
     auto* routine = init_parameters->start_routine;
     void* arg = init_parameters->arg;
     ThreadParameters params;
+    // pthread-style start routines return void*; MRAPI drops it (spec).
     params.start_routine = [routine, arg] { (void)routine(arg); };
     set_status(status, t_node.thread_create(node_id, std::move(params)));
   } else {

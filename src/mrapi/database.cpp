@@ -15,15 +15,22 @@ DomainState::DomainState(DomainId id, platform::Topology topo,
 
 DomainState::~DomainState() {
   // Join any worker threads whose nodes were never finalized so teardown
-  // (Database::reset, process exit) cannot leak running threads.
-  for (auto& [id, rec] : nodes_) {
+  // (Database::reset, process exit) cannot leak running threads.  The
+  // records are detached under the lock and joined outside it, since a
+  // worker may touch the domain on its way out.
+  std::map<NodeId, std::unique_ptr<NodeRecord>> nodes;
+  {
+    WriterLock lk(mu_);
+    nodes.swap(nodes_);
+  }
+  for (auto& [id, rec] : nodes) {
     if (rec->has_worker && !rec->worker_joined && rec->worker.joinable())
       rec->worker.join();
   }
 }
 
 Status DomainState::register_node(NodeId id, NodeAttributes attrs) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   if (nodes_.size() >= Limits::kMaxNodesPerDomain)
     return Status::kOutOfResources;
   if (nodes_.count(id) > 0) return Status::kNodeExists;
@@ -36,7 +43,7 @@ Status DomainState::register_node(NodeId id, NodeAttributes attrs) {
 
 Status DomainState::register_worker_node(NodeId id, NodeAttributes attrs,
                                          std::thread worker) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   if (nodes_.size() >= Limits::kMaxNodesPerDomain) {
     lk.unlock();
     worker.join();
@@ -59,7 +66,7 @@ Status DomainState::register_worker_node(NodeId id, NodeAttributes attrs,
 Status DomainState::unregister_node(NodeId id) {
   std::unique_ptr<NodeRecord> victim;
   {
-    std::unique_lock lk(mu_);
+    WriterLock lk(mu_);
     auto it = nodes_.find(id);
     if (it == nodes_.end()) return Status::kNodeInvalid;
     victim = std::move(it->second);
@@ -72,31 +79,35 @@ Status DomainState::unregister_node(NodeId id) {
 }
 
 Status DomainState::join_worker(NodeId id) {
-  NodeRecord* rec = nullptr;
+  // Claim the join under the exclusive lock by moving the thread out of the
+  // record; the join itself happens outside it (the worker may touch the
+  // domain on its way out).  The previous shared_lock/raw-pointer version
+  // read worker_joined and called join() on the record after dropping the
+  // lock, so two joiners could both join (UB) and a racing
+  // unregister_node could free the record under the joiner's feet.
+  std::thread worker;
   {
-    std::shared_lock lk(mu_);
+    WriterLock lk(mu_);
     auto it = nodes_.find(id);
     if (it == nodes_.end()) return Status::kNodeInvalid;
-    rec = it->second.get();
-    if (!rec->has_worker) return Status::kNodeInvalid;
+    NodeRecord& rec = *it->second;
+    if (!rec.has_worker) return Status::kNodeInvalid;
+    if (!rec.worker_joined && rec.worker.joinable()) {
+      worker = std::move(rec.worker);
+      rec.worker_joined = true;
+    }
   }
-  // Safe: only one joiner is allowed per node by API contract; the record
-  // outlives the join because unregister also joins before destroying.
-  if (!rec->worker_joined && rec->worker.joinable()) {
-    rec->worker.join();
-    std::unique_lock lk(mu_);
-    rec->worker_joined = true;
-  }
+  if (worker.joinable()) worker.join();
   return Status::kSuccess;
 }
 
 bool DomainState::node_registered(NodeId id) const {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   return nodes_.count(id) > 0;
 }
 
 std::size_t DomainState::node_count() const {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   return nodes_.size();
 }
 
@@ -105,7 +116,7 @@ Result<ShmemHandle> DomainState::shmem_create(ResourceKey key,
                                               ShmemAttributes attrs) {
   if (size == 0 || size > Limits::kMaxShmemBytes)
     return Status::kInvalidArgument;
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   if (shmems_.size() >= Limits::kMaxShmems) return Status::kOutOfResources;
   if (shmems_.count(key) > 0) return Status::kShmemExists;
   auto seg = std::make_shared<Shmem>(key, size, attrs, &arena_);
@@ -116,7 +127,7 @@ Result<ShmemHandle> DomainState::shmem_create(ResourceKey key,
 }
 
 Result<ShmemHandle> DomainState::shmem_get(ResourceKey key) const {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   auto it = shmems_.find(key);
   if (it == shmems_.end()) return Status::kShmemIdInvalid;
   return it->second;
@@ -125,7 +136,7 @@ Result<ShmemHandle> DomainState::shmem_get(ResourceKey key) const {
 Status DomainState::shmem_delete(ResourceKey key) {
   ShmemHandle seg;
   {
-    std::unique_lock lk(mu_);
+    WriterLock lk(mu_);
     auto it = shmems_.find(key);
     if (it == shmems_.end()) {
       OMPMCA_CHECK_DELETE_MISSING(check::LockClass::kMrapiShmem, key);
@@ -142,7 +153,7 @@ Status DomainState::shmem_delete(ResourceKey key) {
 
 Result<std::shared_ptr<Mutex>> DomainState::mutex_create(
     ResourceKey key, MutexAttributes attrs) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   if (OMPMCA_FAULT_POINT(kMrapiMutexCreate)) return Status::kOutOfResources;
   if (mutexes_.size() >= Limits::kMaxMutexes) return Status::kOutOfResources;
   if (mutexes_.count(key) > 0) return Status::kMutexExists;
@@ -153,14 +164,14 @@ Result<std::shared_ptr<Mutex>> DomainState::mutex_create(
 }
 
 Result<std::shared_ptr<Mutex>> DomainState::mutex_get(ResourceKey key) const {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   auto it = mutexes_.find(key);
   if (it == mutexes_.end()) return Status::kMutexIdInvalid;
   return it->second;
 }
 
 Status DomainState::mutex_delete(ResourceKey key) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   auto it = mutexes_.find(key);
   if (it == mutexes_.end()) {
     OMPMCA_CHECK_DELETE_MISSING(check::LockClass::kMrapiMutex, key);
@@ -179,7 +190,9 @@ Status DomainState::mutex_delete(ResourceKey key) {
 Result<std::shared_ptr<Semaphore>> DomainState::sem_create(
     ResourceKey key, SemaphoreAttributes attrs) {
   if (attrs.shared_lock_limit == 0) return Status::kSemValueInvalid;
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
+  // fault-policy: caller-handled — semaphore creation failures surface
+  // straight to the application; nothing in-runtime retries them.
   if (OMPMCA_FAULT_POINT(kMrapiSemCreate)) return Status::kOutOfResources;
   if (sems_.size() >= Limits::kMaxSemaphores) return Status::kOutOfResources;
   if (sems_.count(key) > 0) return Status::kSemExists;
@@ -191,14 +204,14 @@ Result<std::shared_ptr<Semaphore>> DomainState::sem_create(
 
 Result<std::shared_ptr<Semaphore>> DomainState::sem_get(
     ResourceKey key) const {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   auto it = sems_.find(key);
   if (it == sems_.end()) return Status::kSemIdInvalid;
   return it->second;
 }
 
 Status DomainState::sem_delete(ResourceKey key) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   auto it = sems_.find(key);
   if (it == sems_.end()) {
     OMPMCA_CHECK_DELETE_MISSING(check::LockClass::kMrapiSemaphore, key);
@@ -215,7 +228,7 @@ Status DomainState::sem_delete(ResourceKey key) {
 
 Result<std::shared_ptr<Rwlock>> DomainState::rwlock_create(
     ResourceKey key, RwlockAttributes attrs) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   if (rwlocks_.size() >= Limits::kMaxRwlocks) return Status::kOutOfResources;
   if (rwlocks_.count(key) > 0) return Status::kRwlExists;
   auto r = std::make_shared<Rwlock>(attrs);
@@ -226,14 +239,14 @@ Result<std::shared_ptr<Rwlock>> DomainState::rwlock_create(
 
 Result<std::shared_ptr<Rwlock>> DomainState::rwlock_get(
     ResourceKey key) const {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   auto it = rwlocks_.find(key);
   if (it == rwlocks_.end()) return Status::kRwlIdInvalid;
   return it->second;
 }
 
 Status DomainState::rwlock_delete(ResourceKey key) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   auto it = rwlocks_.find(key);
   if (it == rwlocks_.end()) {
     OMPMCA_CHECK_DELETE_MISSING(check::LockClass::kMrapiRwlock, key);
@@ -251,7 +264,7 @@ Status DomainState::rwlock_delete(ResourceKey key) {
 Result<RmemHandle> DomainState::rmem_create(ResourceKey key, std::size_t size,
                                             RmemAccess access) {
   if (size == 0) return Status::kInvalidArgument;
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   if (rmems_.size() >= Limits::kMaxRmems) return Status::kOutOfResources;
   if (rmems_.count(key) > 0) return Status::kRmemExists;
   auto r = std::make_shared<Rmem>(key, size, access, &dma_);
@@ -261,14 +274,14 @@ Result<RmemHandle> DomainState::rmem_create(ResourceKey key, std::size_t size,
 }
 
 Result<RmemHandle> DomainState::rmem_get(ResourceKey key) const {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   auto it = rmems_.find(key);
   if (it == rmems_.end()) return Status::kRmemIdInvalid;
   return it->second;
 }
 
 Status DomainState::rmem_delete(ResourceKey key) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   auto it = rmems_.find(key);
   if (it == rmems_.end()) {
     OMPMCA_CHECK_DELETE_MISSING(check::LockClass::kMrapiRmem, key);
@@ -287,17 +300,17 @@ Database& Database::instance() {
 }
 
 void Database::configure_platform(platform::Topology topo) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   default_topo_ = std::move(topo);
 }
 
 void Database::configure_system_shm_bytes(std::size_t bytes) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   system_shm_bytes_ = bytes;
 }
 
 Result<DomainState*> Database::domain(DomainId id) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = domains_.find(id);
   if (it != domains_.end()) return it->second.get();
   if (domains_.size() >= Limits::kMaxDomains) return Status::kDomainInvalid;
@@ -309,14 +322,14 @@ Result<DomainState*> Database::domain(DomainId id) {
 }
 
 Result<DomainState*> Database::find_domain(DomainId id) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = domains_.find(id);
   if (it == domains_.end()) return Status::kDomainInvalid;
   return it->second.get();
 }
 
 void Database::reset() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   domains_.clear();
 }
 

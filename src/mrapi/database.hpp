@@ -14,12 +14,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 
+#include "common/annotations.hpp"
 #include "common/expected.hpp"
+#include "common/locks.hpp"
 #include "mrapi/arena.hpp"
 #include "mrapi/mutex.hpp"
 #include "mrapi/rmem.hpp"
@@ -62,14 +62,14 @@ class DomainState {
   DmaEngine& dma() { return dma_; }
 
   // --- node registry ------------------------------------------------------
-  Status register_node(NodeId id, NodeAttributes attrs);
+  Status register_node(NodeId id, NodeAttributes attrs) OMPMCA_EXCLUDES(mu_);
   Status register_worker_node(NodeId id, NodeAttributes attrs,
-                              std::thread worker);
-  Status unregister_node(NodeId id);
+                              std::thread worker) OMPMCA_EXCLUDES(mu_);
+  Status unregister_node(NodeId id) OMPMCA_EXCLUDES(mu_);
   /// Joins the worker of a thread-extension node (idempotent).
-  Status join_worker(NodeId id);
-  bool node_registered(NodeId id) const;
-  std::size_t node_count() const;
+  Status join_worker(NodeId id) OMPMCA_EXCLUDES(mu_);
+  bool node_registered(NodeId id) const OMPMCA_EXCLUDES(mu_);
+  std::size_t node_count() const OMPMCA_EXCLUDES(mu_);
 
   // --- keyed resources ----------------------------------------------------
   Result<ShmemHandle> shmem_create(ResourceKey key, std::size_t size,
@@ -104,13 +104,16 @@ class DomainState {
   SystemShmArena arena_;
   DmaEngine dma_;
 
-  mutable std::shared_mutex mu_;
-  std::map<NodeId, std::unique_ptr<NodeRecord>> nodes_;
-  std::map<ResourceKey, ShmemHandle> shmems_;
-  std::map<ResourceKey, std::shared_ptr<Mutex>> mutexes_;
-  std::map<ResourceKey, std::shared_ptr<Semaphore>> sems_;
-  std::map<ResourceKey, std::shared_ptr<Rwlock>> rwlocks_;
-  std::map<ResourceKey, RmemHandle> rmems_;
+  mutable CapSharedMutex mu_;
+  std::map<NodeId, std::unique_ptr<NodeRecord>> nodes_ OMPMCA_GUARDED_BY(mu_);
+  std::map<ResourceKey, ShmemHandle> shmems_ OMPMCA_GUARDED_BY(mu_);
+  std::map<ResourceKey, std::shared_ptr<Mutex>> mutexes_
+      OMPMCA_GUARDED_BY(mu_);
+  std::map<ResourceKey, std::shared_ptr<Semaphore>> sems_
+      OMPMCA_GUARDED_BY(mu_);
+  std::map<ResourceKey, std::shared_ptr<Rwlock>> rwlocks_
+      OMPMCA_GUARDED_BY(mu_);
+  std::map<ResourceKey, RmemHandle> rmems_ OMPMCA_GUARDED_BY(mu_);
 };
 
 /// Process-wide registry of domains.
@@ -119,28 +122,29 @@ class Database {
   static Database& instance();
 
   /// Platform used for domains created after this call (default: T4240RDB).
-  void configure_platform(platform::Topology topo);
+  void configure_platform(platform::Topology topo) OMPMCA_EXCLUDES(mu_);
   /// System shared-memory arena size for future domains (default 64 MiB).
-  void configure_system_shm_bytes(std::size_t bytes);
+  void configure_system_shm_bytes(std::size_t bytes) OMPMCA_EXCLUDES(mu_);
 
   /// Get-or-create.  kDomainInvalid when the id is out of range or the
   /// domain limit is reached.
-  Result<DomainState*> domain(DomainId id);
+  Result<DomainState*> domain(DomainId id) OMPMCA_EXCLUDES(mu_);
 
   /// Lookup without creating; kDomainInvalid when absent.
-  Result<DomainState*> find_domain(DomainId id) const;
+  Result<DomainState*> find_domain(DomainId id) const OMPMCA_EXCLUDES(mu_);
 
   /// Tears down every domain.  Intended for tests; callers must have
   /// finalized all nodes first (worker threads are joined defensively).
-  void reset();
+  void reset() OMPMCA_EXCLUDES(mu_);
 
  private:
   Database();
 
-  mutable std::mutex mu_;
-  platform::Topology default_topo_;
-  std::size_t system_shm_bytes_ = 64 * 1024 * 1024;
-  std::map<DomainId, std::unique_ptr<DomainState>> domains_;
+  mutable CapMutex mu_;
+  platform::Topology default_topo_ OMPMCA_GUARDED_BY(mu_);
+  std::size_t system_shm_bytes_ OMPMCA_GUARDED_BY(mu_) = 64 * 1024 * 1024;
+  std::map<DomainId, std::unique_ptr<DomainState>> domains_
+      OMPMCA_GUARDED_BY(mu_);
 };
 
 }  // namespace ompmca::mrapi

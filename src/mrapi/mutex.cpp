@@ -13,7 +13,7 @@ namespace ompmca::mrapi {
 Status Mutex::lock(Timeout timeout_ms, LockKey* key) {
   obs::ScopedTimer timer(obs::Hist::kMrapiMutexAcquireNs);
   const std::uint64_t t0 = obs::trace::enabled() ? monotonic_nanos() : 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // Contention is decided before lock_locked may block: someone else holds
   // the mutex right now.
   const bool contended =
@@ -27,12 +27,11 @@ Status Mutex::lock(Timeout timeout_ms, LockKey* key) {
 }
 
 Status Mutex::trylock(LockKey* key) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return lock_locked(lk, kTimeoutImmediate, key);
 }
 
-Status Mutex::lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
-                          LockKey* key) {
+Status Mutex::lock_locked(MutexLock& lk, Timeout timeout_ms, LockKey* key) {
   if (key == nullptr) return Status::kInvalidArgument;
   if (retired_) {
     OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiMutex, this);
@@ -63,14 +62,16 @@ Status Mutex::lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
 
   // Retirement also satisfies the wait so parked threads can fail fast
   // instead of sleeping on a deleted mutex forever.
-  auto available = [this] { return depth_ == 0 || retired_; };
+  auto available = [this]() OMPMCA_REQUIRES(mu_) {
+    return depth_ == 0 || retired_;
+  };
   if (depth_ > 0) {
     obs::count(obs::Counter::kMrapiMutexContended);
     if (timeout_ms == kTimeoutImmediate) return Status::kMutexLocked;
     if (timeout_ms == kTimeoutInfinite) {
-      cv_.wait(lk, available);
-    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                             available)) {
+      lk.wait(cv_, available);
+    } else if (!lk.wait_for(cv_, std::chrono::milliseconds(timeout_ms),
+                            available)) {
       return Status::kTimeout;
     }
     if (retired_) {
@@ -87,7 +88,7 @@ Status Mutex::lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
 }
 
 Status Mutex::unlock(const LockKey& key) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (retired_) {
     OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiMutex, this);
     return Status::kMutexIdInvalid;
@@ -116,7 +117,7 @@ Status Mutex::unlock(const LockKey& key) {
 }
 
 Status Mutex::retire() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (retired_) return Status::kMutexIdInvalid;
   if (depth_ > 0) return Status::kMutexLocked;
   retired_ = true;
@@ -126,12 +127,12 @@ Status Mutex::retire() {
 }
 
 bool Mutex::retired() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return retired_;
 }
 
 bool Mutex::locked() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return depth_ > 0;
 }
 

@@ -8,9 +8,10 @@
 #pragma once
 
 #include <condition_variable>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "common/status.hpp"
 #include "mrapi/types.hpp"
 
@@ -27,39 +28,39 @@ class Mutex {
 
   /// Blocks up to @p timeout_ms.  On success *key identifies this
   /// acquisition (depth for recursive mutexes).
-  Status lock(Timeout timeout_ms, LockKey* key);
+  Status lock(Timeout timeout_ms, LockKey* key) OMPMCA_EXCLUDES(mu_);
 
   /// Single attempt; kMutexLocked when unavailable.
-  Status trylock(LockKey* key);
+  Status trylock(LockKey* key) OMPMCA_EXCLUDES(mu_);
 
   /// Releases the acquisition identified by @p key.  Errors:
   /// kMutexNotLocked (not held), kMutexKeyInvalid (wrong key / wrong owner /
   /// out-of-order release of a recursive mutex).
-  Status unlock(const LockKey& key);
+  Status unlock(const LockKey& key) OMPMCA_EXCLUDES(mu_);
 
   /// Atomically checks the mutex is unheld and marks it deleted, closing
   /// the check-then-erase window of Database::mutex_delete: a lock()
   /// racing the delete either completes first (retire fails with
   /// kMutexLocked) or observes the retired state (kMutexIdInvalid).
   /// Outstanding waiters are woken and fail with kMutexIdInvalid.
-  Status retire();
+  Status retire() OMPMCA_EXCLUDES(mu_);
 
   /// True once retire() succeeded (stale-handle detection).
-  bool retired() const;
+  bool retired() const OMPMCA_EXCLUDES(mu_);
 
   /// Observational only (racy by nature); used by tests and metadata.
-  bool locked() const;
+  bool locked() const OMPMCA_EXCLUDES(mu_);
 
  private:
-  Status lock_locked(std::unique_lock<std::mutex>& lk, Timeout timeout_ms,
-                     LockKey* key);
+  Status lock_locked(MutexLock& lk, Timeout timeout_ms, LockKey* key)
+      OMPMCA_REQUIRES(mu_);
 
   MutexAttributes attrs_;
-  mutable std::mutex mu_;
+  mutable CapMutex mu_;
   std::condition_variable cv_;
-  std::thread::id owner_{};
-  std::uint32_t depth_ = 0;
-  bool retired_ = false;
+  std::thread::id owner_ OMPMCA_GUARDED_BY(mu_){};
+  std::uint32_t depth_ OMPMCA_GUARDED_BY(mu_) = 0;
+  bool retired_ OMPMCA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ompmca::mrapi

@@ -6,19 +6,19 @@
 namespace ompmca::mrapi {
 
 bool DmaRequest::test() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return done_;
 }
 
 Status DmaRequest::wait(Timeout timeout_ms) const {
-  std::unique_lock<std::mutex> lk(mu_);
-  auto done = [this] { return done_; };
+  MutexLock lk(mu_);
+  auto done = [this]() OMPMCA_REQUIRES(mu_) { return done_; };
   if (!done()) {
     if (timeout_ms == kTimeoutImmediate) return Status::kRequestPending;
     if (timeout_ms == kTimeoutInfinite) {
-      cv_.wait(lk, done);
-    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                             done)) {
+      lk.wait(cv_, done);
+    } else if (!lk.wait_for(cv_, std::chrono::milliseconds(timeout_ms),
+                            done)) {
       return Status::kTimeout;
     }
   }
@@ -27,7 +27,7 @@ Status DmaRequest::wait(Timeout timeout_ms) const {
 
 void DmaRequest::complete(Status s) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     done_ = true;
     status_ = s;
   }
@@ -38,7 +38,7 @@ DmaEngine::DmaEngine() : worker_([this] { worker_loop(); }) {}
 
 DmaEngine::~DmaEngine() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -49,7 +49,7 @@ DmaRequestHandle DmaEngine::submit(const void* src, void* dst,
                                    std::size_t bytes) {
   auto request = std::make_shared<DmaRequest>();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     queue_.push_back(Descriptor{src, dst, bytes, request});
   }
   cv_.notify_one();
@@ -60,15 +60,17 @@ void DmaEngine::worker_loop() {
   for (;;) {
     Descriptor d;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      lk.wait(cv_, [this]() OMPMCA_REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping and drained
       d = queue_.front();
       queue_.pop_front();
     }
     std::memcpy(d.dst, d.src, d.bytes);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       ++transfers_;
       bytes_ += d.bytes;
     }
@@ -77,12 +79,12 @@ void DmaEngine::worker_loop() {
 }
 
 std::uint64_t DmaEngine::transfers_completed() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return transfers_;
 }
 
 std::uint64_t DmaEngine::bytes_transferred() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return bytes_;
 }
 
@@ -96,20 +98,20 @@ Rmem::Rmem(ResourceKey key, std::size_t size, RmemAccess access,
 
 Status Rmem::attach(NodeId node, RmemAccess access) {
   if (access != access_) return Status::kRmemConflict;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (attachments_.count(node) > 0) return Status::kRmemExists;
   attachments_[node] = access;
   return Status::kSuccess;
 }
 
 Status Rmem::detach(NodeId node) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (attachments_.erase(node) == 0) return Status::kRmemNotAttached;
   return Status::kSuccess;
 }
 
 bool Rmem::attached(NodeId node) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return attachments_.count(node) > 0;
 }
 

@@ -17,10 +17,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.hpp"
 #include "common/expected.hpp"
+#include "common/locks.hpp"
 #include "mrapi/types.hpp"
 
 namespace ompmca::mrapi {
@@ -29,18 +30,19 @@ namespace ompmca::mrapi {
 class DmaRequest {
  public:
   /// True when the transfer has completed (success or error).
-  bool test() const;
+  bool test() const OMPMCA_EXCLUDES(mu_);
   /// Blocks until completion or timeout; returns the transfer status.
-  Status wait(Timeout timeout_ms = kTimeoutInfinite) const;
+  Status wait(Timeout timeout_ms = kTimeoutInfinite) const
+      OMPMCA_EXCLUDES(mu_);
 
  private:
   friend class DmaEngine;
-  void complete(Status s);
+  void complete(Status s) OMPMCA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable CapMutex mu_;
   mutable std::condition_variable cv_;
-  bool done_ = false;
-  Status status_ = Status::kSuccess;
+  bool done_ OMPMCA_GUARDED_BY(mu_) = false;
+  Status status_ OMPMCA_GUARDED_BY(mu_) = Status::kSuccess;
 };
 
 using DmaRequestHandle = std::shared_ptr<DmaRequest>;
@@ -55,10 +57,11 @@ class DmaEngine {
   DmaEngine& operator=(const DmaEngine&) = delete;
 
   /// Enqueues a copy of @p bytes from @p src to @p dst.
-  DmaRequestHandle submit(const void* src, void* dst, std::size_t bytes);
+  DmaRequestHandle submit(const void* src, void* dst, std::size_t bytes)
+      OMPMCA_EXCLUDES(mu_);
 
-  std::uint64_t transfers_completed() const;
-  std::uint64_t bytes_transferred() const;
+  std::uint64_t transfers_completed() const OMPMCA_EXCLUDES(mu_);
+  std::uint64_t bytes_transferred() const OMPMCA_EXCLUDES(mu_);
 
  private:
   struct Descriptor {
@@ -68,14 +71,14 @@ class DmaEngine {
     DmaRequestHandle request;
   };
 
-  void worker_loop();
+  void worker_loop() OMPMCA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable CapMutex mu_;
   std::condition_variable cv_;
-  std::deque<Descriptor> queue_;
-  bool stopping_ = false;
-  std::uint64_t transfers_ = 0;
-  std::uint64_t bytes_ = 0;
+  std::deque<Descriptor> queue_ OMPMCA_GUARDED_BY(mu_);
+  bool stopping_ OMPMCA_GUARDED_BY(mu_) = false;
+  std::uint64_t transfers_ OMPMCA_GUARDED_BY(mu_) = 0;
+  std::uint64_t bytes_ OMPMCA_GUARDED_BY(mu_) = 0;
   std::thread worker_;
 };
 
@@ -91,8 +94,8 @@ class Rmem {
   RmemAccess access() const { return access_; }
 
   /// A node must attach (with the segment's access type) before read/write.
-  Status attach(NodeId node, RmemAccess access);
-  Status detach(NodeId node);
+  Status attach(NodeId node, RmemAccess access) OMPMCA_EXCLUDES(mu_);
+  Status detach(NodeId node) OMPMCA_EXCLUDES(mu_);
 
   /// Blocking transfers.  kRmemNotAttached unless @p node attached;
   /// kInvalidArgument on out-of-bounds ranges.
@@ -116,18 +119,19 @@ class Rmem {
   Result<DmaRequestHandle> write_i(NodeId node, std::size_t offset,
                                    const void* src, std::size_t bytes);
 
-  bool attached(NodeId node) const;
+  bool attached(NodeId node) const OMPMCA_EXCLUDES(mu_);
 
  private:
-  Status check_range(NodeId node, std::size_t offset, std::size_t bytes) const;
+  Status check_range(NodeId node, std::size_t offset, std::size_t bytes) const
+      OMPMCA_EXCLUDES(mu_);
 
   ResourceKey key_;
   std::size_t size_;
   RmemAccess access_;
   DmaEngine* dma_;
   std::unique_ptr<std::byte[]> storage_;
-  mutable std::mutex mu_;
-  std::map<NodeId, RmemAccess> attachments_;
+  mutable CapMutex mu_;
+  std::map<NodeId, RmemAccess> attachments_ OMPMCA_GUARDED_BY(mu_);
 };
 
 using RmemHandle = std::shared_ptr<Rmem>;

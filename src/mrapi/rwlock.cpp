@@ -10,15 +10,15 @@ namespace {
 
 /// Waits on @p cv for @p pred honouring the MRAPI timeout conventions.
 template <typename Pred>
-Status timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+Status timed_wait(std::condition_variable& cv, MutexLock& lk,
                   Timeout timeout_ms, Pred pred, Status busy) {
   if (pred()) return Status::kSuccess;
   if (timeout_ms == kTimeoutImmediate) return busy;
   if (timeout_ms == kTimeoutInfinite) {
-    cv.wait(lk, pred);
+    lk.wait(cv, pred);
     return Status::kSuccess;
   }
-  if (!cv.wait_for(lk, std::chrono::milliseconds(timeout_ms), pred))
+  if (!lk.wait_for(cv, std::chrono::milliseconds(timeout_ms), pred))
     return Status::kTimeout;
   return Status::kSuccess;
 }
@@ -26,12 +26,12 @@ Status timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
 }  // namespace
 
 Status Rwlock::lock_read(Timeout timeout_ms) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (retired_) {
     OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiRwlock, this);
     return Status::kRwlIdInvalid;
   }
-  auto pred = [this] {
+  auto pred = [this]() OMPMCA_REQUIRES(mu_) {
     if (retired_) return true;  // fail fast below, never sleep on a corpse
     if (writer_active_ || waiting_writers_ > 0) return false;
     if (attrs_.max_readers > 0 && active_readers_ >= attrs_.max_readers)
@@ -50,13 +50,13 @@ Status Rwlock::lock_read(Timeout timeout_ms) {
 }
 
 Status Rwlock::lock_write(Timeout timeout_ms) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (retired_) {
     OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiRwlock, this);
     return Status::kRwlIdInvalid;
   }
   ++waiting_writers_;
-  auto pred = [this] {
+  auto pred = [this]() OMPMCA_REQUIRES(mu_) {
     return retired_ || (!writer_active_ && active_readers_ == 0);
   };
   Status s = timed_wait(writers_cv_, lk, timeout_ms, pred, Status::kRwlLocked);
@@ -79,7 +79,7 @@ Status Rwlock::lock_write(Timeout timeout_ms) {
 }
 
 Status Rwlock::unlock_read() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (retired_) {
     OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiRwlock, this);
     return Status::kRwlIdInvalid;
@@ -99,7 +99,7 @@ Status Rwlock::unlock_read() {
 }
 
 Status Rwlock::unlock_write() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (retired_) {
     OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiRwlock, this);
     return Status::kRwlIdInvalid;
@@ -121,7 +121,7 @@ Status Rwlock::unlock_write() {
 }
 
 Status Rwlock::retire() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (retired_) return Status::kRwlIdInvalid;
   if (writer_active_ || active_readers_ > 0) return Status::kRwlLocked;
   retired_ = true;
@@ -132,17 +132,17 @@ Status Rwlock::retire() {
 }
 
 bool Rwlock::retired() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return retired_;
 }
 
 std::uint32_t Rwlock::readers() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return active_readers_;
 }
 
 bool Rwlock::write_locked() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return writer_active_;
 }
 

@@ -6,8 +6,9 @@
 #pragma once
 
 #include <condition_variable>
-#include <mutex>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "common/status.hpp"
 #include "mrapi/types.hpp"
 
@@ -22,31 +23,31 @@ class Rwlock {
 
   const RwlockAttributes& attributes() const { return attrs_; }
 
-  Status lock_read(Timeout timeout_ms);
-  Status lock_write(Timeout timeout_ms);
+  Status lock_read(Timeout timeout_ms) OMPMCA_EXCLUDES(mu_);
+  Status lock_write(Timeout timeout_ms) OMPMCA_EXCLUDES(mu_);
   Status try_lock_read() { return lock_read(kTimeoutImmediate); }
   Status try_lock_write() { return lock_write(kTimeoutImmediate); }
-  Status unlock_read();
-  Status unlock_write();
+  Status unlock_read() OMPMCA_EXCLUDES(mu_);
+  Status unlock_write() OMPMCA_EXCLUDES(mu_);
 
   /// Atomically checks the lock is idle (no readers, no writer) and marks
   /// it deleted; later operations through stale handles fail with
   /// kRwlIdInvalid.  kRwlLocked when held.
-  Status retire();
-  bool retired() const;
+  Status retire() OMPMCA_EXCLUDES(mu_);
+  bool retired() const OMPMCA_EXCLUDES(mu_);
 
-  std::uint32_t readers() const;
-  bool write_locked() const;
+  std::uint32_t readers() const OMPMCA_EXCLUDES(mu_);
+  bool write_locked() const OMPMCA_EXCLUDES(mu_);
 
  private:
   RwlockAttributes attrs_;
-  mutable std::mutex mu_;
+  mutable CapMutex mu_;
   std::condition_variable readers_cv_;
   std::condition_variable writers_cv_;
-  std::uint32_t active_readers_ = 0;
-  std::uint32_t waiting_writers_ = 0;
-  bool writer_active_ = false;
-  bool retired_ = false;
+  std::uint32_t active_readers_ OMPMCA_GUARDED_BY(mu_) = 0;
+  std::uint32_t waiting_writers_ OMPMCA_GUARDED_BY(mu_) = 0;
+  bool writer_active_ OMPMCA_GUARDED_BY(mu_) = false;
+  bool retired_ OMPMCA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ompmca::mrapi

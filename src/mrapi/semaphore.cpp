@@ -11,23 +11,27 @@ Semaphore::Semaphore(SemaphoreAttributes attrs)
     : attrs_(attrs), count_(attrs.shared_lock_limit) {}
 
 Status Semaphore::acquire(Timeout timeout_ms) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (retired_) {
     OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiSemaphore, this);
     return Status::kSemIdInvalid;
   }
   // Spurious timeout on blocking acquires only; try_acquire is exempt.
+  // fault-policy: caller-handled — MRAPI surfaces semaphore timeouts to
+  // the application (spec 5.2); no in-runtime retry exists to credit.
   if (timeout_ms != kTimeoutImmediate &&
       OMPMCA_FAULT_POINT(kMrapiSemAcquire)) {
     return Status::kTimeout;
   }
-  auto available_pred = [this] { return count_ > 0 || retired_; };
+  auto available_pred = [this]() OMPMCA_REQUIRES(mu_) {
+    return count_ > 0 || retired_;
+  };
   if (count_ == 0) {
     if (timeout_ms == kTimeoutImmediate) return Status::kMutexLocked;
     if (timeout_ms == kTimeoutInfinite) {
-      cv_.wait(lk, available_pred);
-    } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                             available_pred)) {
+      lk.wait(cv_, available_pred);
+    } else if (!lk.wait_for(cv_, std::chrono::milliseconds(timeout_ms),
+                            available_pred)) {
       return Status::kTimeout;
     }
     if (retired_) {
@@ -44,7 +48,7 @@ Status Semaphore::try_acquire() { return acquire(kTimeoutImmediate); }
 
 Status Semaphore::release() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (retired_) {
       OMPMCA_CHECK_USE_AFTER_DELETE(check::LockClass::kMrapiSemaphore, this);
       return Status::kSemIdInvalid;
@@ -61,7 +65,7 @@ Status Semaphore::release() {
 }
 
 Status Semaphore::retire() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (retired_) return Status::kSemIdInvalid;
   if (count_ != attrs_.shared_lock_limit) return Status::kSemLocked;
   retired_ = true;
@@ -71,12 +75,12 @@ Status Semaphore::retire() {
 }
 
 bool Semaphore::retired() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return retired_;
 }
 
 std::uint32_t Semaphore::available() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return count_;
 }
 

@@ -6,8 +6,9 @@
 #pragma once
 
 #include <condition_variable>
-#include <mutex>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "common/status.hpp"
 #include "mrapi/types.hpp"
 
@@ -22,25 +23,25 @@ class Semaphore {
 
   const SemaphoreAttributes& attributes() const { return attrs_; }
 
-  Status acquire(Timeout timeout_ms);
-  Status try_acquire();
-  Status release();
+  Status acquire(Timeout timeout_ms) OMPMCA_EXCLUDES(mu_);
+  Status try_acquire() OMPMCA_EXCLUDES(mu_);
+  Status release() OMPMCA_EXCLUDES(mu_);
 
   /// Atomically checks no units are outstanding and marks the semaphore
   /// deleted; later operations through stale handles fail with
   /// kSemIdInvalid.  kSemLocked when units are held.
-  Status retire();
-  bool retired() const;
+  Status retire() OMPMCA_EXCLUDES(mu_);
+  bool retired() const OMPMCA_EXCLUDES(mu_);
 
   /// Current available count (racy; tests/metadata only).
-  std::uint32_t available() const;
+  std::uint32_t available() const OMPMCA_EXCLUDES(mu_);
 
  private:
   SemaphoreAttributes attrs_;
-  mutable std::mutex mu_;
+  mutable CapMutex mu_;
   std::condition_variable cv_;
-  std::uint32_t count_;
-  bool retired_ = false;
+  std::uint32_t count_ OMPMCA_GUARDED_BY(mu_);
+  bool retired_ OMPMCA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ompmca::mrapi

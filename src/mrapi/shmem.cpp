@@ -16,9 +16,11 @@ Shmem::Shmem(ResourceKey key, std::size_t size, ShmemAttributes attrs,
     // The paper's extension: plain process-heap storage.
     base_ = inject ? nullptr : std::malloc(size_);
   } else {
+    bool arena_failed = false;
     if (!inject) {
       auto r = arena_->allocate(size_, attrs_.cluster_hint);
       base_ = r ? *r : nullptr;
+      arena_failed = base_ == nullptr;
     }
     if (base_ == nullptr && attrs_.allow_heap_fallback) {
       // Degradation policy: a kSystem segment the arena cannot place is
@@ -31,7 +33,18 @@ Shmem::Shmem(ResourceKey key, std::size_t size, ShmemAttributes attrs,
           key_, size_);
       attrs_.mode = ShmemMode::kHeap;
       base_ = std::malloc(size_);
-      if (base_ != nullptr) OMPMCA_FAULT_RECOVERED(kMrapiShmemCreate, 1);
+      if (base_ != nullptr) {
+        // Credit the recovery to the site that actually failed: the arena
+        // carve-out when it returned empty-handed, the shmem create
+        // injection otherwise.
+        if (arena_failed) {
+          OMPMCA_FAULT_RECOVERED(kMrapiArenaAlloc, 1);
+        } else {
+          OMPMCA_FAULT_RECOVERED(kMrapiShmemCreate, 1);
+        }
+      }
+    } else if (arena_failed) {
+      OMPMCA_FAULT_EXHAUSTED(kMrapiArenaAlloc, 1);
     }
   }
   if (base_ == nullptr) {
@@ -41,12 +54,12 @@ Shmem::Shmem(ResourceKey key, std::size_t size, ShmemAttributes attrs,
 }
 
 Shmem::~Shmem() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   reclaim_locked();
 }
 
 Result<void*> Shmem::attach(NodeId node) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (base_ == nullptr) return Status::kShmemAttchFailed;
   if (delete_pending_) return Status::kShmemIdInvalid;
   ++attachments_[node];
@@ -54,7 +67,7 @@ Result<void*> Shmem::attach(NodeId node) {
 }
 
 Status Shmem::detach(NodeId node) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = attachments_.find(node);
   if (it == attachments_.end()) return Status::kShmemNotAttached;
   if (--it->second == 0) attachments_.erase(it);
@@ -63,7 +76,7 @@ Status Shmem::detach(NodeId node) {
 }
 
 Status Shmem::mark_delete() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (base_ == nullptr) return Status::kShmemIdInvalid;
   delete_pending_ = true;
   if (attachments_.empty()) reclaim_locked();
@@ -71,19 +84,19 @@ Status Shmem::mark_delete() {
 }
 
 std::size_t Shmem::attach_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::size_t total = 0;
   for (const auto& [node, n] : attachments_) total += n;
   return total;
 }
 
 bool Shmem::delete_pending() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return delete_pending_;
 }
 
 bool Shmem::attached(NodeId node) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return attachments_.count(node) > 0;
 }
 
@@ -92,7 +105,7 @@ void Shmem::reclaim_locked() {
   if (attrs_.mode == ShmemMode::kHeap) {
     std::free(base_);
   } else {
-    (void)arena_->release(base_);
+    (void)arena_->release(base_);  // reclaim path; base_ came from arena_
   }
   base_ = nullptr;
 }

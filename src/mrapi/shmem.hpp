@@ -11,9 +11,10 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/annotations.hpp"
 #include "common/expected.hpp"
+#include "common/locks.hpp"
 #include "mrapi/arena.hpp"
 #include "mrapi/types.hpp"
 
@@ -33,35 +34,38 @@ class Shmem {
   ResourceKey key() const { return key_; }
   std::size_t size() const { return size_; }
   const ShmemAttributes& attributes() const { return attrs_; }
-  bool valid() const { return base_ != nullptr; }
+  // tsa: valid() is only called before the segment is published (the
+  // database checks it on the just-constructed object, pre-sharing), so the
+  // unlocked read of base_ cannot race reclaim_locked().
+  bool valid() const OMPMCA_NO_TSA { return base_ != nullptr; }
 
   /// Maps the segment into the calling node; returns the base address.
-  Result<void*> attach(NodeId node);
+  Result<void*> attach(NodeId node) OMPMCA_EXCLUDES(mu_);
 
   /// Unmaps; kShmemNotAttached when the node has no attachment.
-  Status detach(NodeId node);
+  Status detach(NodeId node) OMPMCA_EXCLUDES(mu_);
 
   /// Marks for deletion; storage is reclaimed once the last node detaches
   /// (immediately when nothing is attached).
-  Status mark_delete();
+  Status mark_delete() OMPMCA_EXCLUDES(mu_);
 
-  std::size_t attach_count() const;
-  bool delete_pending() const;
+  std::size_t attach_count() const OMPMCA_EXCLUDES(mu_);
+  bool delete_pending() const OMPMCA_EXCLUDES(mu_);
 
   /// True when @p node currently has the segment attached (access checks).
-  bool attached(NodeId node) const;
+  bool attached(NodeId node) const OMPMCA_EXCLUDES(mu_);
 
  private:
-  void reclaim_locked();
+  void reclaim_locked() OMPMCA_REQUIRES(mu_);
 
   ResourceKey key_;
   std::size_t size_;
   ShmemAttributes attrs_;
   SystemShmArena* arena_;  // only for kSystem mode
-  void* base_ = nullptr;
-  mutable std::mutex mu_;
-  std::map<NodeId, unsigned> attachments_;
-  bool delete_pending_ = false;
+  void* base_ OMPMCA_GUARDED_BY(mu_) = nullptr;
+  mutable CapMutex mu_;
+  std::map<NodeId, unsigned> attachments_ OMPMCA_GUARDED_BY(mu_);
+  bool delete_pending_ OMPMCA_GUARDED_BY(mu_) = false;
 };
 
 using ShmemHandle = std::shared_ptr<Shmem>;

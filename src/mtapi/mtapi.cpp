@@ -6,6 +6,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "fault/fault.hpp"
 
 namespace ompmca::mtapi {
@@ -13,15 +15,15 @@ namespace ompmca::mtapi {
 namespace {
 
 template <typename Pred>
-Status cv_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+Status cv_wait(std::condition_variable& cv, MutexLock& lk,
                mrapi::Timeout timeout_ms, Pred pred) {
   if (pred()) return Status::kSuccess;
   if (timeout_ms == mrapi::kTimeoutImmediate) return Status::kTimeout;
   if (timeout_ms == mrapi::kTimeoutInfinite) {
-    cv.wait(lk, pred);
+    lk.wait(cv, pred);
     return Status::kSuccess;
   }
-  if (!cv.wait_for(lk, std::chrono::milliseconds(timeout_ms), pred))
+  if (!lk.wait_for(cv, std::chrono::milliseconds(timeout_ms), pred))
     return Status::kTimeout;
   return Status::kSuccess;
 }
@@ -31,13 +33,13 @@ Status cv_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
 // --- Task ----------------------------------------------------------------------
 
 TaskState Task::state() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return state_;
 }
 
 Status Task::wait(mrapi::Timeout timeout_ms) {
-  std::unique_lock lk(mu_);
-  Status s = cv_wait(cv_, lk, timeout_ms, [this] {
+  MutexLock lk(mu_);
+  Status s = cv_wait(cv_, lk, timeout_ms, [this]() OMPMCA_REQUIRES(mu_) {
     return state_ == TaskState::kCompleted || state_ == TaskState::kCanceled;
   });
   if (!ok(s)) return s;
@@ -46,7 +48,7 @@ Status Task::wait(mrapi::Timeout timeout_ms) {
 }
 
 Status Task::cancel() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (state_ != TaskState::kPending) return Status::kTaskInvalid;
   state_ = TaskState::kCanceled;
   cv_.notify_all();
@@ -57,7 +59,7 @@ Status Task::cancel() {
 void Task::finish(TaskState final_state) {
   Group* group = nullptr;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     state_ = final_state;
     group = group_;
   }
@@ -72,13 +74,14 @@ void Task::finish(TaskState final_state) {
 // --- Group ----------------------------------------------------------------------
 
 Status Group::wait_all(mrapi::Timeout timeout_ms) {
-  std::unique_lock lk(mu_);
-  return cv_wait(cv_, lk, timeout_ms, [this] { return live_ == 0; });
+  MutexLock lk(mu_);
+  return cv_wait(cv_, lk, timeout_ms,
+                 [this]() OMPMCA_REQUIRES(mu_) { return live_ == 0; });
 }
 
 Result<TaskHandle> Group::wait_any(mrapi::Timeout timeout_ms) {
-  std::unique_lock lk(mu_);
-  Status s = cv_wait(cv_, lk, timeout_ms, [this] {
+  MutexLock lk(mu_);
+  Status s = cv_wait(cv_, lk, timeout_ms, [this]() OMPMCA_REQUIRES(mu_) {
     return !completed_.empty() || live_ == 0;
   });
   if (!ok(s)) return s;
@@ -89,14 +92,14 @@ Result<TaskHandle> Group::wait_any(mrapi::Timeout timeout_ms) {
 }
 
 std::size_t Group::pending() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return live_;
 }
 
 // --- Queue ----------------------------------------------------------------------
 
 Status Queue::disable() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   enabled_ = false;
   return Status::kSuccess;
 }
@@ -104,7 +107,7 @@ Status Queue::disable() {
 Status Queue::enable() {
   TaskHandle next;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     enabled_ = true;
     if (!running_ && !waiting_.empty()) {
       next = waiting_.front();
@@ -117,14 +120,14 @@ Status Queue::enable() {
 }
 
 bool Queue::enabled() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return enabled_;
 }
 
 void Queue::task_finished() {
   TaskHandle next;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     running_ = false;
     if (enabled_ && !waiting_.empty()) {
       next = waiting_.front();
@@ -157,7 +160,7 @@ TaskRuntime::~TaskRuntime() {
 
 Status TaskRuntime::action_create(JobId job, ActionFunction fn) {
   if (!fn) return Status::kActionInvalid;
-  std::lock_guard lk(actions_mu_);
+  MutexLock lk(actions_mu_);
   for (const auto& [id, action] : actions_) {
     if (id == job) return Status::kActionExists;
   }
@@ -166,7 +169,7 @@ Status TaskRuntime::action_create(JobId job, ActionFunction fn) {
 }
 
 Status TaskRuntime::action_delete(JobId job) {
-  std::lock_guard lk(actions_mu_);
+  MutexLock lk(actions_mu_);
   auto it = std::find_if(actions_.begin(), actions_.end(),
                          [&](const auto& p) { return p.first == job; });
   if (it == actions_.end()) return Status::kActionInvalid;
@@ -175,7 +178,7 @@ Status TaskRuntime::action_delete(JobId job) {
 }
 
 bool TaskRuntime::job_registered(JobId job) const {
-  std::lock_guard lk(actions_mu_);
+  MutexLock lk(actions_mu_);
   return std::any_of(actions_.begin(), actions_.end(),
                      [&](const auto& p) { return p.first == job; });
 }
@@ -186,7 +189,7 @@ Result<TaskHandle> TaskRuntime::make_task(JobId job, const void* args,
                                           Queue* queue) {
   ActionFunction action;
   {
-    std::lock_guard lk(actions_mu_);
+    MutexLock lk(actions_mu_);
     auto it = std::find_if(actions_.begin(), actions_.end(),
                            [&](const auto& p) { return p.first == job; });
     if (it == actions_.end()) return Status::kJobInvalid;
@@ -207,7 +210,7 @@ Result<TaskHandle> TaskRuntime::make_task(JobId job, const void* args,
   task->fn_ = [action = std::move(action), blob, raw, group_raw,
                group_keepalive, task_keepalive] {
     {
-      std::lock_guard lk(raw->mu_);
+      MutexLock lk(raw->mu_);
       if (raw->state_ == TaskState::kCanceled) {
         // Canceled before execution: just settle the group accounting.
         raw->state_ = TaskState::kCanceled;
@@ -222,7 +225,7 @@ Result<TaskHandle> TaskRuntime::make_task(JobId job, const void* args,
       raw->queue_->task_finished();
     }
     if (group_raw != nullptr) {
-      std::unique_lock lk(group_raw->mu_);
+      MutexLock lk(group_raw->mu_);
       --group_raw->live_;
       if (raw->state() == TaskState::kCompleted) {
         group_raw->completed_.push_back(task_keepalive);
@@ -232,7 +235,7 @@ Result<TaskHandle> TaskRuntime::make_task(JobId job, const void* args,
     }
   };
   if (group != nullptr) {
-    std::lock_guard lk(group->mu_);
+    MutexLock lk(group->mu_);
     ++group->live_;
   }
   return task;
@@ -279,7 +282,7 @@ Result<TaskHandle> TaskRuntime::queue_enqueue(const QueueHandle& queue,
   bool run_now = false;
   bool refused = false;
   {
-    std::lock_guard lk(queue->mu_);
+    MutexLock lk(queue->mu_);
     if (!queue->enabled_) {
       // Spec: enqueue on a disabled queue is refused.
       refused = true;
@@ -297,7 +300,7 @@ Result<TaskHandle> TaskRuntime::queue_enqueue(const QueueHandle& queue,
     (*task)->fn_ = nullptr;
     if (group != nullptr) {
       {
-        std::lock_guard lk(group->mu_);
+        MutexLock lk(group->mu_);
         --group->live_;
       }
       group->cv_.notify_all();
@@ -312,7 +315,7 @@ void TaskRuntime::submit(TaskHandle task) {
   unsigned index = next_worker_.fetch_add(1, std::memory_order_relaxed) %
                    queues_.size();
   {
-    std::lock_guard lk(queues_[index]->mu);
+    MutexLock lk(queues_[index]->mu);
     queues_[index]->deque.push_back(std::move(task));
   }
   idle_cv_.notify_all();
@@ -323,7 +326,7 @@ bool TaskRuntime::try_run_one(unsigned index) {
   {
     // Own deque: LIFO end.
     WorkerState& mine = *queues_[index];
-    std::lock_guard lk(mine.mu);
+    MutexLock lk(mine.mu);
     if (!mine.deque.empty()) {
       task = std::move(mine.deque.back());
       mine.deque.pop_back();
@@ -333,7 +336,7 @@ bool TaskRuntime::try_run_one(unsigned index) {
     // Steal: FIFO end of a victim.
     for (std::size_t k = 1; k < queues_.size() && task == nullptr; ++k) {
       WorkerState& victim = *queues_[(index + k) % queues_.size()];
-      std::lock_guard lk(victim.mu);
+      MutexLock lk(victim.mu);
       if (!victim.deque.empty()) {
         task = std::move(victim.deque.front());
         victim.deque.pop_front();
@@ -353,8 +356,8 @@ bool TaskRuntime::try_run_one(unsigned index) {
 void TaskRuntime::worker_loop(unsigned index) {
   while (!stopping_.load(std::memory_order_acquire)) {
     if (try_run_one(index)) continue;
-    std::unique_lock lk(idle_mu_);
-    idle_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+    MutexLock lk(idle_mu_);
+    lk.wait_for(idle_cv_, std::chrono::milliseconds(1), [this] {
       return stopping_.load(std::memory_order_acquire);
     });
   }

@@ -23,7 +23,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/expected.hpp"
+#include "common/locks.hpp"
 #include "mrapi/types.hpp"
 
 namespace ompmca::mtapi {
@@ -54,9 +56,11 @@ class Task {
   void finish(TaskState final_state);
 
   std::function<void()> fn_;
-  mutable std::mutex mu_;
+  mutable CapMutex mu_;
   mutable std::condition_variable cv_;
-  TaskState state_ = TaskState::kPending;
+  TaskState state_ OMPMCA_GUARDED_BY(mu_) = TaskState::kPending;
+  // Set once by make_task before the task is published to the scheduler;
+  // immutable afterwards, so not mutex-guarded.
   Group* group_ = nullptr;
   Queue* queue_ = nullptr;
 };
@@ -74,10 +78,10 @@ class Group {
  private:
   friend class Task;
   friend class TaskRuntime;
-  mutable std::mutex mu_;
+  mutable CapMutex mu_;
   std::condition_variable cv_;
-  std::size_t live_ = 0;
-  std::deque<TaskHandle> completed_;
+  std::size_t live_ OMPMCA_GUARDED_BY(mu_) = 0;
+  std::deque<TaskHandle> completed_ OMPMCA_GUARDED_BY(mu_);
 };
 
 using GroupHandle = std::shared_ptr<Group>;
@@ -100,10 +104,10 @@ class Queue {
 
   TaskRuntime* rt_;
   JobId job_;
-  mutable std::mutex mu_;
-  std::deque<TaskHandle> waiting_;
-  bool running_ = false;
-  bool enabled_ = true;
+  mutable CapMutex mu_;
+  std::deque<TaskHandle> waiting_ OMPMCA_GUARDED_BY(mu_);
+  bool running_ OMPMCA_GUARDED_BY(mu_) = false;
+  bool enabled_ OMPMCA_GUARDED_BY(mu_) = true;
 };
 
 using QueueHandle = std::shared_ptr<Queue>;
@@ -157,8 +161,9 @@ class TaskRuntime {
   friend class Queue;
 
   struct WorkerState {
-    std::mutex mu;
-    std::deque<TaskHandle> deque;  // back = hot end (LIFO for owner)
+    CapMutex mu;
+    std::deque<TaskHandle> deque
+        OMPMCA_GUARDED_BY(mu);  // back = hot end (LIFO for owner)
   };
 
   Result<TaskHandle> make_task(JobId job, const void* args,
@@ -168,12 +173,15 @@ class TaskRuntime {
   void worker_loop(unsigned index);
   bool try_run_one(unsigned index);
 
-  mutable std::mutex actions_mu_;
-  std::vector<std::pair<JobId, ActionFunction>> actions_;
+  mutable CapMutex actions_mu_;
+  std::vector<std::pair<JobId, ActionFunction>> actions_
+      OMPMCA_GUARDED_BY(actions_mu_);
 
   std::vector<std::unique_ptr<WorkerState>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex idle_mu_;
+  // Parking-only (guards nothing): workers nap on it between polls; all
+  // shared state lives in the atomics below and the per-worker deques.
+  CapMutex idle_mu_;
   std::condition_variable idle_cv_;
   std::atomic<bool> stopping_{false};
   std::atomic<unsigned> next_worker_{0};

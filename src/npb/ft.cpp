@@ -183,7 +183,7 @@ FtResult run_ft(gomp::Runtime& rt, Class cls, unsigned nthreads) {
         plane[t] = NpbRandom::randlc(&x0, NpbRandom::kDefaultMultiplier);
       }
       if (k != nz - 1) {
-        (void)NpbRandom::randlc(&start, an);
+        (void)NpbRandom::randlc(&start, an);  // advances the seed in place
       }
     }
   }

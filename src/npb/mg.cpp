@@ -200,9 +200,9 @@ void zran3(Grid& z, int nx, int ny) {
         z.at(i3, i2, i1) =
             NpbRandom::randlc(&xx, NpbRandom::kDefaultMultiplier);
       }
-      (void)NpbRandom::randlc(&x1, a1);
+      (void)NpbRandom::randlc(&x1, a1);  // advances the seed in place
     }
-    (void)NpbRandom::randlc(&x0, a2);
+    (void)NpbRandom::randlc(&x0, a2);  // advances the seed in place
   }
 
   struct Pos {

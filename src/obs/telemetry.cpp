@@ -9,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
+#include "common/locks.hpp"
 
 namespace ompmca::obs {
 
@@ -131,26 +133,30 @@ std::string_view name(Gauge g) {
 // --- Registry -----------------------------------------------------------------
 
 struct Registry::Impl {
-  mutable std::mutex slabs_mu;
-  std::deque<std::unique_ptr<ThreadSlab>> slabs;  // stable addresses
+  // slabs_mu guards the deque; the slabs' atomics are read lock-free.
+  mutable CapMutex slabs_mu;
+  std::deque<std::unique_ptr<ThreadSlab>> slabs
+      OMPMCA_GUARDED_BY(slabs_mu);  // stable addresses
 
-  mutable std::mutex sections_mu;
-  std::vector<std::pair<std::string, std::string (*)()>> sections;
+  mutable CapMutex sections_mu;
+  std::vector<std::pair<std::string, std::string (*)()>> sections
+      OMPMCA_GUARDED_BY(sections_mu);
 
   std::array<std::atomic<std::uint64_t>, kNumGauges> gauges{};
   std::array<std::atomic<std::uint64_t>, kMaxClusters> placements{};
 
   Mode mode = Mode::kOff;
-  mutable std::mutex report_mu;           // path + truncation state
-  std::string report_path;                // empty = stderr
-  bool report_path_fresh = true;          // first write truncates
+  mutable CapMutex report_mu;             // path + truncation state
+  std::string report_path OMPMCA_GUARDED_BY(report_mu);  // empty = stderr
+  bool report_path_fresh OMPMCA_GUARDED_BY(report_mu) =
+      true;                               // first write truncates
   std::atomic<bool> reported{false};      // explicit report suppresses atexit
 
   ThreadSlab& local_slab() {
     thread_local ThreadSlab* slab = [this] {
       auto owned = std::make_unique<ThreadSlab>();
       ThreadSlab* raw = owned.get();
-      std::lock_guard<std::mutex> lk(slabs_mu);
+      MutexLock lk(slabs_mu);
       slabs.push_back(std::move(owned));
       return raw;
     }();
@@ -198,7 +204,7 @@ Registry::Registry() : impl_(new Impl()) {
 bool Registry::json_mode() const { return impl_->mode == Mode::kJson; }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lk(impl_->slabs_mu);
+  MutexLock lk(impl_->slabs_mu);
   for (auto& slab : impl_->slabs) {
     for (auto& c : slab->counters) c.store(0, std::memory_order_relaxed);
     for (auto& h : slab->hists) {
@@ -214,7 +220,7 @@ void Registry::reset() {
 
 Snapshot Registry::snapshot() const {
   Snapshot out;
-  std::lock_guard<std::mutex> lk(impl_->slabs_mu);
+  MutexLock lk(impl_->slabs_mu);
   out.threads_observed = static_cast<unsigned>(impl_->slabs.size());
   for (const auto& slab : impl_->slabs) {
     for (unsigned c = 0; c < kNumCounters; ++c) {
@@ -323,7 +329,7 @@ std::string Registry::json(std::string_view tag) const {
   }
   append(s, "\n  }");
   {
-    std::lock_guard<std::mutex> sections_lk(impl_->sections_mu);
+    MutexLock sections_lk(impl_->sections_mu);
     for (const auto& [key, fn] : impl_->sections) {
       append(s, ",\n  \"");
       append(s, key);
@@ -340,7 +346,7 @@ void Registry::write_report(std::string_view tag, std::FILE* out) {
   std::FILE* f = out;
   bool close = false;
   if (f == nullptr) {
-    std::lock_guard<std::mutex> lk(impl_->report_mu);
+    MutexLock lk(impl_->report_mu);
     if (!impl_->report_path.empty()) {
       // First report to a path truncates (a stale file from a previous run
       // would corrupt parsers); subsequent reports in the same run append.
@@ -358,7 +364,7 @@ void Registry::write_report(std::string_view tag, std::FILE* out) {
 }
 
 void Registry::set_report_path(std::string path) {
-  std::lock_guard<std::mutex> lk(impl_->report_mu);
+  MutexLock lk(impl_->report_mu);
   impl_->report_path = std::move(path);
   impl_->report_path_fresh = true;
 }
@@ -396,7 +402,7 @@ void record_hist(Hist h, std::uint64_t ns) {
 
 void register_report_section(std::string_view key, std::string (*fn)()) {
   auto* impl = Registry::instance().impl_;
-  std::lock_guard<std::mutex> lk(impl->sections_mu);
+  MutexLock lk(impl->sections_mu);
   for (auto& [k, f] : impl->sections) {
     if (k == key) {
       f = fn;

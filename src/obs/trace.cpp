@@ -8,7 +8,9 @@
 #include <memory>
 #include <mutex>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
+#include "common/locks.hpp"
 #include "common/log.hpp"
 
 namespace ompmca::obs::trace {
@@ -117,21 +119,25 @@ struct TraceRegistry {
     return *reg;
   }
 
-  mutable std::mutex bufs_mu;
-  std::deque<std::unique_ptr<ThreadBuf>> bufs;  // stable addresses
+  // bufs_mu also orders each ThreadBuf's archive/archived against
+  // snapshot()/reset() — cross-object guarding TSA cannot express, so only
+  // the deque itself carries the annotation.
+  mutable CapMutex bufs_mu;
+  std::deque<std::unique_ptr<ThreadBuf>> bufs
+      OMPMCA_GUARDED_BY(bufs_mu);  // stable addresses
 
   std::atomic<std::size_t> ring_capacity{kDefaultRingEvents};
 
-  mutable std::mutex flight_mu;
-  std::uint64_t flight_count = 0;
-  std::string flight_last;
+  mutable CapMutex flight_mu;
+  std::uint64_t flight_count OMPMCA_GUARDED_BY(flight_mu) = 0;
+  std::string flight_last OMPMCA_GUARDED_BY(flight_mu);
 
   std::string export_path;  // OMPMCA_TRACE_FILE; empty = no atexit export
 
   ThreadBuf& local_buf() {
     thread_local ThreadBuf* buf = [this] {
       const std::size_t cap = ring_capacity.load(std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lk(bufs_mu);
+      MutexLock lk(bufs_mu);
       bufs.push_back(std::make_unique<ThreadBuf>(bufs.size(), cap));
       return bufs.back().get();
     }();
@@ -164,6 +170,7 @@ struct TraceRegistry {
     if (!export_path.empty() && enabled()) {
       std::atexit([] {
         TraceRegistry& reg = TraceRegistry::instance();
+        // atexit: an export failure has no one left to report to.
         if (enabled()) (void)write_chrome_json(reg.export_path);
       });
     }
@@ -190,7 +197,7 @@ void emit(Type type, std::uint64_t begin_ns, std::uint64_t end_ns,
     // Ring is about to start overwriting: archive the full chunk first so
     // nothing is lost.  Owner-thread only; the lock orders us against
     // snapshot()/reset(), never against other writers.
-    std::lock_guard<std::mutex> lk(reg.bufs_mu);
+    MutexLock lk(reg.bufs_mu);
     buf.archive.reserve(buf.archive.size() + buf.capacity);
     for (std::uint64_t i = h - buf.capacity; i < h; ++i) {
       buf.archive.push_back(buf.read(i));
@@ -224,7 +231,7 @@ std::size_t ring_capacity() {
 void reset() {
   TraceRegistry& reg = TraceRegistry::instance();
   const std::size_t cap = reg.ring_capacity.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(reg.bufs_mu);
+  MutexLock lk(reg.bufs_mu);
   for (auto& buf : reg.bufs) {
     if (buf->capacity != cap) {
       // Quiescent-only (tests): a concurrent writer in this thread's ring
@@ -236,7 +243,7 @@ void reset() {
     buf->archive.clear();
     buf->archived = 0;
   }
-  std::lock_guard<std::mutex> flk(reg.flight_mu);
+  MutexLock flk(reg.flight_mu);
   reg.flight_count = 0;
   reg.flight_last.clear();
 }
@@ -244,7 +251,7 @@ void reset() {
 std::vector<ThreadTrace> snapshot() {
   TraceRegistry& reg = TraceRegistry::instance();
   std::vector<ThreadTrace> out;
-  std::lock_guard<std::mutex> lk(reg.bufs_mu);
+  MutexLock lk(reg.bufs_mu);
   out.reserve(reg.bufs.size());
   for (const auto& buf : reg.bufs) {
     ThreadTrace tt;
@@ -564,7 +571,7 @@ void dump_flight_record(const char* reason) {
 
   TraceRegistry& reg = TraceRegistry::instance();
   {
-    std::lock_guard<std::mutex> lk(reg.flight_mu);
+    MutexLock lk(reg.flight_mu);
     reg.flight_count += 1;
     reg.flight_last = s;
   }
@@ -574,13 +581,13 @@ void dump_flight_record(const char* reason) {
 
 std::uint64_t flight_record_count() {
   TraceRegistry& reg = TraceRegistry::instance();
-  std::lock_guard<std::mutex> lk(reg.flight_mu);
+  MutexLock lk(reg.flight_mu);
   return reg.flight_count;
 }
 
 std::string last_flight_record() {
   TraceRegistry& reg = TraceRegistry::instance();
-  std::lock_guard<std::mutex> lk(reg.flight_mu);
+  MutexLock lk(reg.flight_mu);
   return reg.flight_last;
 }
 

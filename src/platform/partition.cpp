@@ -49,7 +49,7 @@ HypervisorConfig HypervisorConfig::whole_board(const Topology* topo,
     p.hw_threads.push_back(i);
   p.memory = {0, dram_bytes};
   p.io_devices = {"duart", "etsec", "sdhc"};
-  (void)cfg.add_partition(std::move(p));
+  (void)cfg.add_partition(std::move(p));  // fresh config; cannot collide
   return cfg;
 }
 
@@ -63,7 +63,7 @@ ClusterOccupancy::ClusterOccupancy(unsigned num_clusters,
 std::optional<unsigned> ClusterOccupancy::reserve_bubble(unsigned width,
                                                          unsigned preferred) {
   if (width == 0 || width > capacity_) return std::nullopt;
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (preferred < load_.size() && load_[preferred] + width <= capacity_) {
     load_[preferred] += width;
     return preferred;
@@ -80,13 +80,13 @@ std::optional<unsigned> ClusterOccupancy::reserve_bubble(unsigned width,
 }
 
 void ClusterOccupancy::release(unsigned cluster, unsigned width) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (cluster >= load_.size()) return;
   load_[cluster] -= std::min(load_[cluster], width);
 }
 
 unsigned ClusterOccupancy::load(unsigned cluster) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return cluster < load_.size() ? load_[cluster] : 0;
 }
 

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/locks.hpp"
 #include "common/expected.hpp"
 #include "platform/topology.hpp"
 
@@ -87,9 +89,9 @@ class ClusterOccupancy {
   unsigned capacity_per_cluster() const { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
+  mutable CapMutex mu_;
   unsigned capacity_;
-  std::vector<unsigned> load_;
+  std::vector<unsigned> load_ OMPMCA_GUARDED_BY(mu_);
 };
 
 }  // namespace ompmca::platform

@@ -229,5 +229,104 @@ TEST(TaskRegression, ThrowingTaskInsideGroupReleasesGroup) {
   SUCCEED();
 }
 
+// --- taskgroup-scope exception safety ----------------------------------------
+//
+// taskloop and ParallelContext::taskgroup used to open their implicit group
+// by hand: set active_group, run the body / spawn loop, restore, group_wait.
+// A body that threw skipped the restore AND the wait, leaving the task's
+// active_group pointing into the destroyed stack frame while live chunk
+// tasks still referenced it.  Both now go through TaskGroupScope, whose
+// destructor restores the override, drains the group even while unwinding,
+// and propagates the first failure exactly once on the normal path.
+
+TEST(TaskRegression, TaskloopThrowingChunkDrainsAndRestoresGroup) {
+  TaskSystem ts;
+  Task* implicit = ts.make_implicit();
+  Task* cur = implicit;
+
+  std::atomic<int> chunks_entered{0};
+  EXPECT_THROW(
+      ts.taskloop(0, &cur, 0, 64, /*grain=*/8,
+                  [&](long lo, long) {
+                    chunks_entered.fetch_add(1);
+                    if (lo == 16) throw std::runtime_error("chunk");
+                  }),
+      std::runtime_error);
+
+  // Every chunk was driven to completion before taskloop returned — the
+  // scope drained the implicit group instead of abandoning queued chunks.
+  EXPECT_EQ(chunks_entered.load(), 8);
+  EXPECT_EQ(ts.queued(), 0u);
+  // The group override was restored, not left dangling into taskloop's
+  // destroyed frame: a subsequent spawn must parent to the implicit task
+  // (no group), and the system stays usable.
+  EXPECT_EQ(implicit->active_group, nullptr);
+  std::atomic<int> after{0};
+  ts.spawn(0, cur, [&] { after.fetch_add(1); });
+  ts.drain(0, &cur);
+  EXPECT_EQ(after.load(), 1);
+  implicit->release();
+}
+
+TEST(TaskRegression, TaskloopExceptionDoesNotLeakIntoEnclosingGroup) {
+  TaskSystem ts;
+  TaskGroup outer;
+  Task* implicit = ts.make_implicit();
+  Task* cur = implicit;
+
+  implicit->active_group = &outer;
+  EXPECT_THROW(ts.taskloop(0, &cur, 0, 4, /*grain=*/1,
+                           [](long, long) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  // The enclosing group's override is back in place (saved/restored, not
+  // reset to null), and the inner chunks were not charged against it.
+  EXPECT_EQ(implicit->active_group, &outer);
+  implicit->active_group = nullptr;
+  ts.group_wait(0, &outer, &cur);
+  implicit->release();
+  SUCCEED();
+}
+
+TEST(TaskRegression, TaskgroupThrowingBodyWaitsForGroup) {
+  RuntimeOptions opts;
+  Icvs icvs;
+  icvs.num_threads = 4;
+  opts.icvs = icvs;
+  Runtime rt(opts);
+  std::atomic<int> done{0};
+  std::atomic<bool> caught_with_stragglers{false};
+  std::atomic<bool> second_group_ok{false};
+  rt.parallel([&](ParallelContext& ctx) {
+    ctx.single([&] {
+      try {
+        ctx.taskgroup([&] {
+          for (int i = 0; i < 32; ++i) {
+            ctx.task([&] {
+              std::this_thread::sleep_for(1ms);
+              done.fetch_add(1);
+            });
+          }
+          throw std::runtime_error("body");
+        });
+      } catch (const std::runtime_error&) {
+        // The scope must have waited the group out while unwinding; the
+        // queued tasks reference the taskgroup frame being destroyed.
+        if (done.load() != 32) caught_with_stragglers.store(true);
+      }
+      // The active-group override was restored: a fresh taskgroup still
+      // scopes correctly instead of charging into the dead frame's group.
+      std::atomic<int> inner{0};
+      ctx.taskgroup([&] {
+        for (int i = 0; i < 8; ++i) ctx.task([&] { inner.fetch_add(1); });
+      });
+      second_group_ok.store(inner.load() == 8);
+    });
+  });
+  EXPECT_FALSE(caught_with_stragglers.load())
+      << "taskgroup body threw and the scope returned before its tasks";
+  EXPECT_EQ(done.load(), 32);
+  EXPECT_TRUE(second_group_ok.load());
+}
+
 }  // namespace
 }  // namespace ompmca::gomp

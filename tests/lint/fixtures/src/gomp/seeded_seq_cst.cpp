@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): one unjustified seq_cst in a gomp path.
+#include <atomic>
+
+namespace lint_fixture {
+
+inline int unjustified(std::atomic<int>& a) {
+  return a.load(std::memory_order_seq_cst);
+}
+
+inline int justified(std::atomic<int>& a) {
+  // seq_cst: fixture control — this one must NOT be reported.
+  return a.load(std::memory_order_seq_cst);
+}
+
+}  // namespace lint_fixture

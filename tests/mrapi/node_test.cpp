@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
+#include <vector>
 
 namespace ompmca::mrapi {
 namespace {
@@ -148,6 +150,34 @@ TEST_F(NodeTest, ThreadJoinIdempotent) {
   EXPECT_EQ(host->thread_join(5), Status::kSuccess);
   EXPECT_EQ(host->thread_join(5), Status::kSuccess);
   (void)host->thread_finalize(5);
+  (void)host->finalize();
+}
+
+// Regression: join_worker used to read the record and call join() on it
+// after dropping the registry lock, so two concurrent joiners could both
+// join the same std::thread (UB) and a racing unregister could free the
+// record mid-join.  The join is now claimed under the exclusive lock by
+// moving the thread out of the record; every concurrent joiner must
+// succeed (TSan/ASan builds would flag the old behaviour here).
+TEST_F(NodeTest, ThreadJoinConcurrentJoinersSafe) {
+  auto host = Node::initialize(domain_, 0);
+  ASSERT_TRUE(host.has_value());
+  for (int round = 0; round < 8; ++round) {
+    ThreadParameters params;
+    params.start_routine = [] {};
+    ASSERT_EQ(host->thread_create(33, std::move(params)), Status::kSuccess);
+    std::atomic<int> successes{0};
+    std::vector<std::thread> joiners;
+    joiners.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+      joiners.emplace_back([&] {
+        if (host->thread_join(33) == Status::kSuccess) successes.fetch_add(1);
+      });
+    }
+    for (auto& t : joiners) t.join();
+    EXPECT_EQ(successes.load(), 4);
+    ASSERT_EQ(host->thread_finalize(33), Status::kSuccess);
+  }
   (void)host->finalize();
 }
 

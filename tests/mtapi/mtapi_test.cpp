@@ -65,7 +65,7 @@ TEST(MtapiTasks, ArgumentBlobIsCopied) {
     return rt.task_start(kJobAdd, &local, sizeof(local));
   }();
   ASSERT_TRUE(task.has_value());
-  (*task)->wait();
+  (void)(*task)->wait();  // outcome checked via `seen` below
   EXPECT_EQ(seen.load(), 7);
 }
 
@@ -148,7 +148,7 @@ TEST(MtapiTasks, CancelPendingTask) {
   EXPECT_EQ((*victim)->cancel(), Status::kSuccess);
   EXPECT_EQ((*victim)->wait(), Status::kTaskCanceled);
   release.store(true);
-  (*blocker)->wait();
+  (void)(*blocker)->wait();  // outcome checked via `executed` below
   EXPECT_EQ(executed.load(), 0);
 }
 
