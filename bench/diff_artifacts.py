@@ -15,6 +15,12 @@ it informational, release checklists can tighten it.
 Also understands analyze_trace.py --json artifacts: unknown sections are
 skipped, and when both sides carry a trace_summary with a fork critical
 path, the mean fork-critical-path delta is printed after the table.
+
+serverbench artifacts additionally carry a "tenants" map (per tenant
+count: p50/p95/p99 dispatch latency and throughput); when both sides have
+one, a per-tenant table with those columns is printed, and the latency
+percentiles participate in --threshold regression accounting (throughput
+does not: higher is better, and the curve is load-sensitive).
 """
 
 import argparse
@@ -23,7 +29,7 @@ import sys
 
 
 def load_artifact(path):
-    """Returns (meta, overheads, trace_summary) for any artifact flavour.
+    """Returns (meta, overheads, trace_summary, tenants) for any artifact.
 
     Unknown sections are ignored; an artifact without an 'overheads' map
     (e.g. an analyze_trace.py trace-summary) yields an empty table instead
@@ -60,7 +66,12 @@ def load_artifact(path):
     trace_summary = doc.get("trace_summary")
     if not isinstance(trace_summary, dict):
         trace_summary = None
-    return meta, overheads, trace_summary
+    tenants = doc.get("tenants")
+    if not isinstance(tenants, dict):
+        tenants = None
+    elif any(not isinstance(entry, dict) for entry in tenants.values()):
+        sys.exit(f"diff_artifacts: {path}: malformed 'tenants' section")
+    return meta, overheads, trace_summary, tenants
 
 
 def fork_cp_mean(trace_summary):
@@ -119,8 +130,8 @@ def main():
     )
     args = ap.parse_args()
 
-    base_meta, base, base_trace = load_artifact(args.baseline)
-    cand_meta, cand, cand_trace = load_artifact(args.candidate)
+    base_meta, base, base_trace, base_tenants = load_artifact(args.baseline)
+    cand_meta, cand, cand_trace, cand_tenants = load_artifact(args.candidate)
 
     print(f"baseline : {args.baseline}")
     if base_meta.get("build_state"):
@@ -182,6 +193,47 @@ def main():
             print(f"dropped from candidate: {', '.join(missing_cand)}")
         if missing_base:
             print(f"new in candidate: {', '.join(missing_base)}")
+
+    # Tenant curve (serverbench): per tenant count, dispatch-latency
+    # percentiles and throughput.  Latency percentiles count toward the
+    # worst-regression threshold; throughput is printed but not scored.
+    if base_tenants is not None and cand_tenants is not None:
+        metrics = ("p50_us", "p95_us", "p99_us", "throughput_rps")
+        t_header = (
+            f"{'tenants':<8} {'metric':<14} {'base':>10} {'cand':>10} "
+            f"{'delta':>10} {'delta_%':>8}"
+        )
+        print()
+        print("tenant curve (dispatch latency / throughput):")
+        print(t_header)
+        print("-" * len(t_header))
+        t_keys = [k for k in base_tenants if k in cand_tenants]
+        t_keys += [k for k in cand_tenants if k not in base_tenants]
+        for key in t_keys:
+            b_entry = base_tenants.get(key)
+            c_entry = cand_tenants.get(key)
+            if b_entry is None or c_entry is None:
+                side = "baseline" if c_entry is None else "candidate"
+                print(f"{key:<8} {'(only in ' + side + ')':<40}")
+                continue
+            for metric in metrics:
+                b = b_entry.get(metric)
+                c = c_entry.get(metric)
+                if isinstance(b, bool) or not isinstance(b, (int, float)):
+                    continue
+                if isinstance(c, bool) or not isinstance(c, (int, float)):
+                    continue
+                delta = c - b
+                pct_text = f"{delta / b * 100.0:7.1f}%" if b else f"{'n/a':>8}"
+                print(
+                    f"{key:<8} {metric:<14} {b:10.3f} {c:10.3f} "
+                    f"{delta:+10.3f} {pct_text}"
+                )
+                if b and metric != "throughput_rps":
+                    pct = delta / b * 100.0
+                    if pct > worst_pct:
+                        worst_pct = pct
+                        worst_key = f"tenants[{key}].{metric}"
 
     # Fork-critical-path delta: only when both artifacts carry a
     # trace_summary with paired forks (analyze_trace.py --json output, or

@@ -1,0 +1,248 @@
+// serverbench: multi-tenant region-dispatch latency and throughput.
+//
+// N tenant threads share ONE runtime and each sustains a burst of small
+// parallel regions — the server shape the multiplexed dispatcher exists
+// for (the old single-slab pool corrupted state as soon as two masters
+// forked at once).  Every region's dispatch latency is sampled master-side
+// (fork to join, wall clock around rt.parallel), and the artifact reports
+// the exact p50/p95/p99 of the merged samples plus regions-per-second
+// throughput for each tenant count — the throughput-vs-tenants curve.
+//
+// --quick shrinks the burst for CI smoke runs; --json emits the artifact
+// ("tenants" map keyed by tenant count, plus an "overheads" map so the
+// generic bench/diff_artifacts.py table still renders) with the runtime's
+// telemetry — gomp.team_multiplexed witnesses that the tenants really
+// overlapped, gomp.doorbell_wake_ns is the worker half of the latency
+// this bench measures from the master side.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "gomp/runtime.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using ompmca::monotonic_nanos;
+namespace gomp = ompmca::gomp;
+namespace obs = ompmca::obs;
+
+// EPCC-style delay: a small, measurable region body so dispatch overhead
+// dominates but the region is not empty.
+void delay(int length) {
+  volatile double sink = 0.0;
+  for (int i = 0; i < length; ++i) sink = sink + i * 0.5;
+  (void)sink;
+}
+
+constexpr int kDelay = 32;
+
+struct TenantCurve {
+  unsigned tenants = 1;
+  long regions = 0;  // total across all tenants
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double throughput_rps = 0.0;  // regions per second, all tenants
+  bool verified = true;
+};
+
+/// Nearest-rank percentile over an ascending-sorted sample vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t n = sorted.size();
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+TenantCurve run_curve(gomp::Runtime& rt, unsigned tenants,
+                      long regions_per_tenant, unsigned width) {
+  std::atomic<long> ran{0};
+  std::vector<std::vector<double>> samples(tenants);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(tenants);
+  for (unsigned t = 0; t < tenants; ++t) {
+    samples[t].reserve(static_cast<std::size_t>(regions_per_tenant));
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (long r = 0; r < regions_per_tenant; ++r) {
+        const std::uint64_t t0 = monotonic_nanos();
+        rt.parallel(
+            [&](gomp::ParallelContext&) {
+              delay(kDelay);
+              ran.fetch_add(1, std::memory_order_relaxed);
+            },
+            width);
+        samples[t].push_back(
+            static_cast<double>(monotonic_nanos() - t0) * 1e-3);
+      }
+    });
+  }
+  const std::uint64_t w0 = monotonic_nanos();
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  const double wall_s = static_cast<double>(monotonic_nanos() - w0) * 1e-9;
+
+  std::vector<double> all;
+  for (const auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+
+  TenantCurve c;
+  c.tenants = tenants;
+  c.regions = regions_per_tenant * static_cast<long>(tenants);
+  c.p50_us = percentile(all, 50.0);
+  c.p95_us = percentile(all, 95.0);
+  c.p99_us = percentile(all, 99.0);
+  c.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(c.regions) / wall_s : 0.0;
+  // Pool capacity (64 leasable workers, 16 slots) comfortably covers every
+  // tenant count here, so each region must have run at its full width —
+  // exactly once per team member.
+  c.verified = ran.load() == c.regions * static_cast<long>(width);
+  return c;
+}
+
+struct Check {
+  const char* name;
+  bool ok;
+  std::string detail;
+};
+
+void print_json(const std::vector<TenantCurve>& curves,
+                const std::vector<Check>& checks, bool all_ok,
+                unsigned width) {
+  std::printf("{\n  \"bench\": \"serverbench\",\n  \"width\": %u,\n", width);
+  std::printf(
+      "  \"_meta\": {\"method\": \"N tenant threads x sustained bursts of "
+      "width-%u regions through one shared MCA-backend runtime; per-region "
+      "dispatch latency sampled master-side (fork..join), exact "
+      "nearest-rank percentiles over the merged samples; throughput = total "
+      "regions / burst wall time\"},\n",
+      width);
+  // Generic hook for diff_artifacts.py's overhead table: p50 per curve.
+  std::printf("  \"overheads\": {\n");
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    const TenantCurve& c = curves[i];
+    std::printf(
+        "    \"serverbench.region@%ut\": {\"overhead_us\": %.3f, "
+        "\"units\": %ld, \"verified\": %s}%s\n",
+        c.tenants, c.p50_us, c.regions, c.verified ? "true" : "false",
+        i + 1 < curves.size() ? "," : "");
+  }
+  std::printf("  },\n  \"tenants\": {\n");
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    const TenantCurve& c = curves[i];
+    std::printf(
+        "    \"%u\": {\"p50_us\": %.3f, \"p95_us\": %.3f, \"p99_us\": %.3f, "
+        "\"throughput_rps\": %.1f, \"regions\": %ld, \"verified\": %s}%s\n",
+        c.tenants, c.p50_us, c.p95_us, c.p99_us, c.throughput_rps, c.regions,
+        c.verified ? "true" : "false", i + 1 < curves.size() ? "," : "");
+  }
+  std::printf("  },\n  \"checks\": [\n");
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    std::printf("    {\"name\": \"%s\", \"ok\": %s, \"detail\": \"%s\"}%s\n",
+                checks[i].name, checks[i].ok ? "true" : "false",
+                checks[i].detail.c_str(), i + 1 < checks.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"pass\": %s,\n", all_ok ? "true" : "false");
+  std::printf("  \"telemetry\": %s\n}\n",
+              obs::Registry::instance().json("serverbench").c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  // The artifact always carries the telemetry section (the multiplex and
+  // wake-latency witnesses are part of the bench's evidence).
+  obs::set_enabled(true);
+  obs::Registry::instance().reset();
+
+  constexpr unsigned kWidth = 4;
+  const long regions_per_tenant = quick ? 150 : 1000;
+
+  gomp::RuntimeOptions opts;
+  opts.backend = gomp::BackendKind::kMca;
+  gomp::Icvs icvs;
+  icvs.num_threads = kWidth;
+  opts.icvs = icvs;
+  gomp::Runtime rt(opts);
+
+  // One warmup region so persistent-worker launch cost stays out of the
+  // first tenant's tail.
+  rt.parallel([](gomp::ParallelContext&) { delay(kDelay); }, kWidth);
+
+  std::vector<TenantCurve> curves;
+  for (unsigned tenants : {1u, 2u, 4u}) {
+    curves.push_back(run_curve(rt, tenants, regions_per_tenant, kWidth));
+  }
+
+  const obs::Snapshot snap = obs::Registry::instance().snapshot();
+  const std::uint64_t multiplexed =
+      snap.counter(obs::Counter::kGompTeamMultiplexed);
+  const std::uint64_t degraded =
+      snap.counter(obs::Counter::kGompLeaseDegraded);
+  const std::uint64_t wakes =
+      snap.hist(obs::Hist::kGompDoorbellWakeNs).count;
+
+  std::vector<Check> checks;
+  bool verified = true;
+  for (const TenantCurve& c : curves) verified = verified && c.verified;
+  checks.push_back(
+      {"results", verified, "every region ran exactly once per team member"});
+  checks.push_back({"tenants_overlapped", multiplexed > 0,
+                    "gomp.team_multiplexed=" + std::to_string(multiplexed)});
+  checks.push_back({"wake_latency_recorded", wakes > 0,
+                    "gomp.doorbell_wake_ns count=" + std::to_string(wakes)});
+  // Capacity covers every curve here, so pressure degradation would mean a
+  // lease accounting bug, not load.
+  checks.push_back({"no_spurious_degradation", degraded == 0,
+                    "gomp.lease_degraded=" + std::to_string(degraded)});
+  bool positive = true;
+  for (const TenantCurve& c : curves) {
+    positive = positive && c.throughput_rps > 0.0;
+  }
+  checks.push_back({"throughput_positive", positive,
+                    "all tenant counts completed their bursts"});
+
+  bool all_ok = true;
+  for (const Check& c : checks) all_ok = all_ok && c.ok;
+
+  if (json) {
+    print_json(curves, checks, all_ok, kWidth);
+  } else {
+    std::printf("serverbench (width %u, %s)\n", kWidth,
+                quick ? "quick" : "full");
+    std::printf("  %8s %10s %10s %10s %14s %8s\n", "tenants", "p50_us",
+                "p95_us", "p99_us", "throughput_rps", "regions");
+    for (const TenantCurve& c : curves) {
+      std::printf("  %8u %10.1f %10.1f %10.1f %14.0f %8ld%s\n", c.tenants,
+                  c.p50_us, c.p95_us, c.p99_us, c.throughput_rps, c.regions,
+                  c.verified ? "" : "  [VERIFY FAILED]");
+    }
+    std::printf("\n");
+    for (const Check& c : checks) {
+      std::printf("  [%s] %-28s %s\n", c.ok ? "PASS" : "FAIL", c.name,
+                  c.detail.c_str());
+    }
+    std::printf("\noverall: %s\n", all_ok ? "PASS" : "FAIL");
+  }
+  obs::Registry::instance().maybe_write_report("serverbench");
+  return all_ok ? 0 : 1;
+}

@@ -13,6 +13,7 @@
 #                        9. taskbench artifact diff (informational)
 #                       10. placement artifact diff (informational)
 #                       11. thread-safety analysis build + ompmca-lint
+#                       12. serverbench artifact diff (informational)
 #
 # Mirrors ROADMAP.md's tier-1 verify line, with -Werror on so new
 # warnings fail the build instead of rotting.
@@ -20,14 +21,14 @@ set -eu
 
 cd "$(dirname "$0")"
 
-echo "== [1/11] normal build + ctest =="
+echo "== [1/12] normal build + ctest =="
 cmake -B build -S . -DOMPMCA_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j
 # Serial on purpose: epcc_test asserts on measured timings, which parallel
 # test load can flip.
 (cd build && ctest --output-on-failure)
 
-echo "== [2/11] ThreadSanitizer, all suites =="
+echo "== [2/12] ThreadSanitizer, all suites =="
 # Race-check everything, not just the gomp hot paths: the MRAPI database,
 # arena and DMA engine carry their own lock-free fast paths.
 cmake -B build-tsan -S . -DOMPMCA_WERROR=ON -DOMPMCA_TSAN=ON
@@ -43,12 +44,12 @@ cmake --build build-tsan -j
 ./build-tsan/bench/ablation_barriers --quick --kind=hier >/dev/null
 echo "hierarchical barrier ablation: clean under TSan"
 
-echo "== [3/11] ASan+UBSan, all suites =="
+echo "== [3/12] ASan+UBSan, all suites =="
 cmake -B build-asan -S . -DOMPMCA_WERROR=ON -DOMPMCA_ASAN=ON
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -E '^epcc_test$')
 
-echo "== [4/11] correctness checker (OMPMCA_CHECK=ON), all suites =="
+echo "== [4/12] correctness checker (OMPMCA_CHECK=ON), all suites =="
 # The check build compiles the lockdep/lifecycle/usage hooks in; check_test
 # seeds violations and asserts the reports, the rest of the suite doubles
 # as a no-false-positives audit.
@@ -59,7 +60,7 @@ cmake --build build-check -j
 OMPMCA_CHECK_ABORT=1 ./build-check/bench/ablation_barriers --quick --kind=hier >/dev/null
 echo "hierarchical barrier ablation: clean under checker"
 
-echo "== [5/11] fault injection (OMPMCA_FAULT=ON + OMPMCA_CHECK=ON), all suites =="
+echo "== [5/12] fault injection (OMPMCA_FAULT=ON + OMPMCA_CHECK=ON), all suites =="
 # Compiles the injection points and recovery policies in and runs the whole
 # suite, including the fixed-seed chaos tests in tests/fault/ (which skip in
 # every other build).  The checker rides along so injected failures cannot
@@ -68,7 +69,7 @@ cmake -B build-fault -S . -DOMPMCA_WERROR=ON -DOMPMCA_FAULT=ON -DOMPMCA_CHECK=ON
 cmake --build build-fault -j
 (cd build-fault && ctest --output-on-failure)
 
-echo "== [6/11] clang-tidy =="
+echo "== [6/12] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Uses .clang-tidy at the repo root and the compile database from step 1.
   find src -name '*.cpp' -print | xargs clang-tidy -p build --quiet
@@ -76,7 +77,7 @@ else
   echo "clang-tidy not installed; skipping lint step"
 fi
 
-echo "== [7/11] EPCC artifact diff (informational) =="
+echo "== [7/12] EPCC artifact diff (informational) =="
 if command -v python3 >/dev/null 2>&1; then
   python3 bench/diff_artifacts.py \
     bench/artifacts/epcc_before.json bench/artifacts/epcc_after.json || true
@@ -84,7 +85,7 @@ else
   echo "python3 not installed; skipping artifact diff"
 fi
 
-echo "== [8/11] flight-recorder trace export =="
+echo "== [8/12] flight-recorder trace export =="
 # Runs the EPCC bench with tracing armed and validates the exported Chrome
 # trace JSON strictly (json.tool); the analyzer pass is informational.  The
 # bench's own PASS/FAIL is timing-sensitive on loaded CI hosts, so only the
@@ -99,7 +100,7 @@ else
   echo "python3 not installed; skipping trace validation"
 fi
 
-echo "== [9/11] taskbench artifact diff (informational) =="
+echo "== [9/12] taskbench artifact diff (informational) =="
 # Runs the task-subsystem bench and diffs its overhead artifact against the
 # committed reference.  The run itself is tolerated to fail (its in-bench
 # band checks are timing-sensitive on loaded CI hosts); the artifact must
@@ -113,7 +114,7 @@ else
   echo "python3 not installed; skipping taskbench artifact diff"
 fi
 
-echo "== [10/11] placement artifact diff (informational) =="
+echo "== [10/12] placement artifact diff (informational) =="
 # Regenerates the flat-vs-hier placement artifacts (modeled numbers plus a
 # runtime locality witness) and diffs them against the committed pair.  The
 # bench's PASS/FAIL gates the run; the cross-artifact diff is informational.
@@ -126,7 +127,7 @@ else
   echo "python3 not installed; skipping placement artifact diff"
 fi
 
-echo "== [11/11] thread-safety analysis build + ompmca-lint =="
+echo "== [11/12] thread-safety analysis build + ompmca-lint =="
 # The lock structure carries Clang Thread Safety annotations
 # (src/common/annotations.hpp); a clang build with -DOMPMCA_TSA=ON turns
 # -Wthread-safety into errors (-Wthread-safety-negative stays
@@ -149,6 +150,21 @@ if command -v python3 >/dev/null 2>&1; then
   echo "ompmca-lint: clean"
 else
   echo "python3 not installed; skipping ompmca-lint"
+fi
+
+echo "== [12/12] serverbench artifact diff (informational) =="
+# Runs the multi-tenant dispatch bench (N masters bursting small regions
+# through one runtime) and diffs its latency/throughput curve against the
+# committed reference.  The run's own PASS/FAIL is tolerated (its telemetry
+# checks are timing-sensitive on loaded CI hosts); the artifact must still
+# be well-formed JSON, and the per-tenant p50/p95/p99 diff is informational.
+if command -v python3 >/dev/null 2>&1; then
+  ./build/bench/serverbench --quick --json > build/serverbench_ci.json || true
+  python3 -m json.tool build/serverbench_ci.json >/dev/null
+  python3 bench/diff_artifacts.py \
+    bench/artifacts/serverbench_ref.json build/serverbench_ci.json || true
+else
+  echo "python3 not installed; skipping serverbench artifact diff"
 fi
 
 echo "ci.sh: all passes complete"

@@ -33,8 +33,12 @@ int omp_get_num_procs(Runtime& rt) {
 }
 
 void omp_set_num_threads(Runtime& rt, int n) {
-  rt.icvs().num_threads = static_cast<unsigned>(std::max(1, n));
+  rt.set_env_num_threads(static_cast<unsigned>(std::max(1, n)));
 }
+
+void omp_set_nested(Runtime& rt, bool nested) { rt.set_env_nested(nested); }
+
+bool omp_get_nested(const Runtime& rt) { return rt.env_icvs().nested; }
 
 double omp_get_wtime() { return monotonic_seconds(); }
 

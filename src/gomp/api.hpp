@@ -36,8 +36,14 @@ int omp_get_max_threads(const Runtime& rt);
 /// omp_get_num_procs() for @p rt (the backend's metadata answer, §5B.4).
 int omp_get_num_procs(Runtime& rt);
 
-/// omp_set_num_threads() for @p rt.
+/// omp_set_num_threads() for @p rt — affects only the *calling thread's*
+/// data environment (nthreads-var is per implicit task, so one tenant
+/// thread can never clobber another master's width).
 void omp_set_num_threads(Runtime& rt, int n);
+
+/// omp_set_nested()/omp_get_nested() for @p rt, same per-thread scope.
+void omp_set_nested(Runtime& rt, bool nested);
+bool omp_get_nested(const Runtime& rt);
 
 /// omp_get_wtime().
 double omp_get_wtime();

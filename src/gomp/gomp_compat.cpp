@@ -82,11 +82,19 @@ Runtime& gomp_compat_runtime() {
   return runtime_locked();
 }
 
-void gomp_compat_reset() {
+bool gomp_compat_reset() {
   MutexLock lk(g_mu);
+  if (g_runtime != nullptr && g_runtime->regions_in_flight() > 0) {
+    // A region is mid-flight on some application thread: tearing the
+    // runtime down now would free the pool and its dispatch slots out
+    // from under live workers.  Refuse; the caller retries after its
+    // masters drain.
+    return false;
+  }
   g_runtime.reset();
   g_configured = false;
   g_options = RuntimeOptions{};
+  return true;
 }
 
 void GOMP_parallel(void (*fn)(void*), void* data, unsigned num_threads) {
@@ -168,6 +176,12 @@ int omp_get_num_procs() {
 int omp_in_parallel() { return gomp::omp_in_parallel() ? 1 : 0; }
 void omp_set_num_threads(int n) {
   gomp::omp_set_num_threads(gomp_compat_runtime(), n);
+}
+void omp_set_nested(int nested) {
+  gomp::omp_set_nested(gomp_compat_runtime(), nested != 0);
+}
+int omp_get_nested() {
+  return gomp::omp_get_nested(gomp_compat_runtime()) ? 1 : 0;
 }
 double omp_get_wtime() { return gomp::omp_get_wtime(); }
 

@@ -27,7 +27,10 @@ void gomp_compat_configure(RuntimeOptions options);
 Runtime& gomp_compat_runtime();
 
 /// Tears the default runtime down (tests; not part of the real ABI).
-void gomp_compat_reset();
+/// Refuses — returning false and leaving the runtime up — while any
+/// parallel region is still in flight: destroying the Runtime then would
+/// free the pool and its dispatch slots out from under live workers.
+bool gomp_compat_reset();
 
 // --- parallel ----------------------------------------------------------------
 /// GOMP_parallel: run fn(data) on a team of num_threads (0 = ICV).
@@ -63,7 +66,9 @@ int omp_get_num_threads();
 int omp_get_max_threads();
 int omp_get_num_procs();
 int omp_in_parallel();
-void omp_set_num_threads(int n);
+void omp_set_num_threads(int n);  // calling thread's nthreads-var only
+void omp_set_nested(int nested);  // calling thread's nest-var only
+int omp_get_nested();
 double omp_get_wtime();
 
 }  // namespace ompmca::gomp::compat

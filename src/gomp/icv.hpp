@@ -24,10 +24,20 @@ enum class WaitPolicy { kActive, kPassive };
 /// board behaviour) or close (pack SMT siblings first).
 enum class ProcBind { kSpread, kClose };
 
+/// The per-data-environment ICV subset (OpenMP 2.5 §2.3: nthreads-var and
+/// nest-var belong to the implicit task — inherited at fork, discarded at
+/// region end).  Runtime keeps these as thread-local overrides over the
+/// global Icvs defaults, so omp_set_num_threads() from one tenant thread
+/// never clobbers another master's width.  thread_limit stays global.
+struct EnvIcvs {
+  unsigned num_threads = 1;  // nthreads-var
+  bool nested = false;       // nest-var
+};
+
 struct Icvs {
-  unsigned num_threads = 1;       // nthreads-var
+  unsigned num_threads = 1;       // nthreads-var (global default)
   bool dynamic_threads = false;   // dyn-var
-  bool nested = false;            // nest-var
+  bool nested = false;            // nest-var (global default)
   unsigned max_active_levels = 1;
   ScheduleSpec run_schedule{Schedule::kDynamic, 1};  // def-sched for runtime
   WaitPolicy wait_policy = WaitPolicy::kPassive;

@@ -1,4 +1,4 @@
-// Worker-thread pool with broadcast (doorbell) team dispatch.
+// Worker-thread pool with multiplexed (per-dispatch mailbox) team dispatch.
 //
 // kPersistent (default): workers are launched once through the backend and
 // parked between regions — what libGOMP does, and what keeps the EPCC
@@ -7,35 +7,50 @@
 // created at fork, finalized at join).  bench/ablation_node_mgmt measures
 // the difference.
 //
+// Why multiplexed: the original pool had exactly one team slab, one ticket
+// doorbell and one join, so two application threads forking concurrently
+// (the multi-tenant server shape) silently corrupted each other's region.
+// Now every in-flight region owns a DispatchSlot, and masters *lease*
+// disjoint worker subsets from a shared free bitmap, so N masters partition
+// the pool instead of sharing one epoch.
+//
 // Dispatch protocol (the hot path):
-//  * The master publishes the region's work descriptor in one padded slab
-//    (TeamSlab), then rings the doorbell: a single seq_cst store of
-//    ticket_, which packs the team epoch and the team width into one
-//    64-bit word.  That store IS the dispatch — no per-worker locked
-//    generation writes.
-//  * Workers spin-then-block on ticket_ (spin budget from WaitPolicy; the
-//    passive budget stays below Backoff's yield threshold so an
-//    oversubscribed host never churns the scheduler).  A worker that must
-//    sleep parks on its own cache-line-padded bell and advertises it in
-//    bell.sleeping, so the master wakes exactly the sleeping participants
-//    — a team of 4 on a 16-wide pool touches 3 bells, not 15, and when
-//    everyone is still inside the spin window the ring costs zero
-//    syscalls.  Each bell's sleeping/ticket pair is a Dekker-style
-//    store-then-load on both sides (all seq_cst), so a ring can never be
-//    missed.
-//  * A woken worker decodes the width from its ticket: workers with
-//    index + 1 < width run the slab's work as tid index + 1; the rest go
-//    back to waiting (they never touch the slab, which is why the slab
-//    needs no synchronisation beyond the ticket).
-//  * Join: each participant decrements active_; the master relax-spins
-//    briefly — the region-ending team barrier has already synchronised the
-//    team, so only post-barrier teardown is outstanding — then falls back
-//    to blocking on done_cv_ (the last worker notifies only when
-//    join_waiting_ says the master actually sleeps).
+//  * Region entry (prepare): the master claims a DispatchSlot (slot bitmap
+//    CAS) and leases workers from the free bitmap — cluster-affine first
+//    (the caller's preferred cluster), then least-loaded by free count.
+//    Under pressure the lease waits a bounded OMPMCA_LEASE_WAIT_NS and then
+//    degrades the team width rather than blocking (gomp.lease_degraded /
+//    gomp.lease_wait_ns account for it); a second region in flight counts
+//    gomp.team_multiplexed.
+//  * The master publishes the region's work descriptor in its slot, then
+//    rings each leased worker's mailbox: one seq_cst store of the worker's
+//    assignment word, which packs [seq:48][slot:8][tid:8] — a woken worker
+//    knows *which* slot to read and which tid it runs as, so concurrent
+//    masters never touch each other's descriptors.  The global seq makes
+//    every assignment distinct (no ABA against a parked worker's last
+//    word).
+//  * Workers spin-then-block on their own mailbox (spin budget from
+//    WaitPolicy; the passive budget stays below Backoff's yield threshold
+//    so an oversubscribed host never churns the scheduler).  A worker that
+//    must sleep parks on its cache-line-padded bell and advertises it in
+//    bell.sleeping, so a master wakes exactly the sleeping participants.
+//    Each bell's sleeping/assignment pair is a Dekker-style store-then-load
+//    on both sides (all seq_cst), so a ring can never be missed.
+//  * Join: each participant decrements the slot's active count; the master
+//    relax-spins briefly — the region-ending team barrier has already
+//    synchronised the team, so only post-barrier teardown is outstanding —
+//    then falls back to blocking on the slot's done_cv (the last worker
+//    notifies only when join_waiting says the master actually sleeps).
+//    wait_team then returns the lease and the slot to their bitmaps.
+//  * Misusing the Dispatch handle (start before prepare, double start,
+//    destroying an in-flight dispatch) aborts in every build — the failure
+//    it replaces was silent cross-tenant slab corruption, which a
+//    debug-only assert cannot be trusted to catch in production.
 //
 // Under the MCA backend, either way every worker is an MRAPI node: the pool
 // calls SystemBackend::launch_thread, which routes to the Listing-2
-// mrapi_thread_create extension.
+// mrapi_thread_create extension.  The worker-index bitmap doubles as the
+// node-id allocator, so concurrent masters can never collide on a node id.
 #pragma once
 
 #include <atomic>
@@ -97,76 +112,163 @@ Status launch_worker_with_retry(SystemBackend& backend, unsigned index,
 
 class ThreadPool {
  public:
+  /// Worker-lease capacity ceiling: the free set is one 64-bit bitmap, and
+  /// pool worker ids must stay clear of the nested-team id range (128+).
+  static constexpr unsigned kMaxWorkers = 64;
+  /// Concurrently in-flight regions; claims beyond this degrade to width 1.
+  static constexpr unsigned kMaxSlots = 16;
+
+  /// One master's handle on one in-flight region: the claimed dispatch
+  /// slot, the leased worker set, and (kPerRegion) the backend thread ids
+  /// to join.  Strictly prepare -> start_team -> wait_team; any other
+  /// sequence — including destruction mid-flight — is a hard protocol
+  /// violation that aborts in every build.
+  class Dispatch {
+   public:
+    Dispatch() = default;
+    ~Dispatch();
+    Dispatch(const Dispatch&) = delete;
+    Dispatch& operator=(const Dispatch&) = delete;
+
+    /// Width prepare() granted (1 = no workers leased).
+    unsigned width() const { return width_; }
+
+   private:
+    friend class ThreadPool;
+    ThreadPool* pool_ = nullptr;
+    int slot_ = -1;             // claimed DispatchSlot index; -1 = idle
+    std::uint64_t lease_ = 0;   // leased worker-index bitmap
+    unsigned width_ = 1;
+    bool started_ = false;
+    std::vector<unsigned> per_region_;  // kPerRegion: worker ids to join
+  };
+
   ThreadPool(SystemBackend& backend, PoolMode mode,
-             WaitPolicy wait_policy = WaitPolicy::kPassive);
+             WaitPolicy wait_policy = WaitPolicy::kPassive,
+             unsigned max_workers = kMaxWorkers);
   ~ThreadPool();
 
-  /// Region entry, phase 1: ensures workers for an @p nthreads-wide team
-  /// exist (persistent: parked on the doorbell; per-region: freshly
-  /// launched) and returns the width actually achievable.  Launch failures
-  /// degrade the team to the workers that did start instead of indexing out
-  /// of bounds later.
-  unsigned prepare(unsigned nthreads);
+  /// Region entry, phase 1: claims a dispatch slot and leases up to
+  /// @p nthreads - 1 workers into @p d (persistent: parked on their
+  /// mailboxes; per-region: freshly launched), preferring
+  /// @p preferred_cluster and spilling least-loaded-first.  Returns the
+  /// width actually achievable: launch failures and lease pressure degrade
+  /// the team instead of blocking or indexing out of bounds later.
+  unsigned prepare(Dispatch& d, unsigned nthreads,
+                   unsigned preferred_cluster = 0);
 
-  /// Region entry, phase 2: publishes @p fn in the team slab and rings the
-  /// doorbell; threads 1..nthreads-1 run fn(tid).  @p nthreads must not
-  /// exceed the width prepare() returned; @p fn must stay alive until
+  /// Region entry, phase 2: publishes @p fn in @p d's slot and rings the
+  /// leased workers' mailboxes; they run fn(1..width-1).  @p nthreads must
+  /// not exceed the width prepare() returned; @p fn must stay alive until
   /// wait_team() returns.  The caller then runs fn(0) itself.
-  void start_team(unsigned nthreads, FunctionRef<void(unsigned)> fn);
-  void wait_team();
+  void start_team(Dispatch& d, unsigned nthreads,
+                  FunctionRef<void(unsigned)> fn);
+
+  /// Region exit: joins @p d's participants, then returns the lease and
+  /// the slot so other masters can claim them.
+  void wait_team(Dispatch& d);
 
   /// Convenience: prepare + start_team + fn(0) + wait_team.  The team may
   /// be narrower than requested if workers failed to launch.
   void run(unsigned nthreads, FunctionRef<void(unsigned)> fn);
 
-  unsigned workers_launched() const { return workers_launched_; }
+  unsigned workers_launched() const {
+    return workers_launched_.load(std::memory_order_relaxed);
+  }
   PoolMode mode() const { return mode_; }
 
-  /// Re-homes the team work slab in @p cluster's memory domain via @p mem
-  /// (the master's cluster — the slab is master-written every fork).  Must
-  /// be called before the first region: workers read the slab with no
-  /// synchronisation beyond the doorbell ticket.  No-op when @p mem cannot
-  /// place the block; the inline member keeps serving.
+  /// Installs the worker-index -> hardware-cluster map the lease policy
+  /// scores candidates with (identity-cluster 0 for every worker until
+  /// set).  Call before the first region.
+  void set_worker_clusters(std::vector<unsigned> clusters,
+                           unsigned num_clusters);
+
+  /// Re-homes the dispatch-slot bank in @p cluster's memory domain via
+  /// @p mem (the masters' descriptors are the fork-path hot stores).  Must
+  /// be called before the first region: workers read slots with no
+  /// synchronisation beyond their mailbox word.  No-op when @p mem cannot
+  /// place the block; the inline bank keeps serving.
   void home_slab(ClusterMemory* mem, unsigned cluster);
 
-  /// True when the team slab lives in cluster memory (tests/telemetry).
+  /// True when the slot bank lives in cluster memory (tests/telemetry).
   bool slab_cluster_homed() const { return slab_mem_ != nullptr; }
 
  private:
-  // ticket_ layout: [epoch:48][width:16].  Width rides inside the atomic so
-  // a late waker from an older epoch decodes its participation without ever
-  // reading the slab (which the master may already be rewriting).
-  static constexpr unsigned kWidthBits = 16;
-  static constexpr std::uint64_t kWidthMask = (1u << kWidthBits) - 1;
-  static unsigned ticket_width(std::uint64_t t) {
-    return static_cast<unsigned>(t & kWidthMask);
+  // Mailbox layout: [seq:48][slot:8][tid:8].  The slot byte routes the
+  // worker to its region's descriptor, the tid byte is its rank in that
+  // team, and the globally unique seq makes every assignment distinct from
+  // whatever word the worker parked on (ABA guard).  kNoWorkSlot releases
+  // a per-region worker that ended up outside the team.
+  static constexpr unsigned kTidBits = 8;
+  static constexpr unsigned kSlotBits = 8;
+  static constexpr std::uint64_t kTidMask = (1u << kTidBits) - 1;
+  static constexpr std::uint64_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr unsigned kNoWorkSlot = kSlotMask;
+  static unsigned assign_tid(std::uint64_t a) {
+    return static_cast<unsigned>(a & kTidMask);
+  }
+  static unsigned assign_slot(std::uint64_t a) {
+    return static_cast<unsigned>((a >> kTidBits) & kSlotMask);
+  }
+  static std::uint64_t assign_seq(std::uint64_t a) {
+    return a >> (kTidBits + kSlotBits);
+  }
+  static std::uint64_t pack_assign(std::uint64_t seq, unsigned slot,
+                                   unsigned tid) {
+    return (seq << (kTidBits + kSlotBits)) |
+           (static_cast<std::uint64_t>(slot) << kTidBits) | tid;
   }
 
-  // The work descriptor for the current epoch.  Written by the master
-  // before the doorbell ring; read only by that epoch's participants, whose
-  // completion the master awaits before the next write — so the ticket's
-  // release/acquire pair is the only synchronisation it needs.
-  struct alignas(kCacheLineBytes) TeamSlab {
+  // One in-flight region's descriptor + join state.  The non-atomic fields
+  // are master-written before the mailbox rings and read only by that
+  // dispatch's participants, whose completion the master awaits before
+  // releasing the slot — so the mailbox's seq_cst store/acquire load pair
+  // is the only synchronisation they need, and the slot-bitmap
+  // release/acquire pair covers reuse by the next master.
+  struct alignas(kCacheLineBytes) DispatchSlot {
     FunctionRef<void(unsigned)> work;
     std::uint64_t dispatch_start_ns = 0;  // telemetry; 0 = untimed
+    std::uint64_t seq = 0;                // trace flow-arrow key
+    std::atomic<unsigned> active{0};
+    std::atomic<bool> join_waiting{false};
+    // Parking-only (guards nothing): the join state is active/join_waiting.
+    CapMutex done_mu;
+    std::condition_variable done_cv;
   };
 
-  // Per-worker parking spot.  The shared ticket carries the information;
-  // the bell only carries the *sleeping* worker, so rings stay targeted.
-  // The mutex guards no data — it exists purely to park on (the classic
-  // cv-parking shape); all state lives in the atomics.
+  // Per-worker mailbox + parking spot.  The assignment word carries the
+  // information; the bell only carries the *sleeping* worker, so rings stay
+  // targeted.  The mutex guards no data — it exists purely to park on (the
+  // classic cv-parking shape); all state lives in the atomics.
   struct alignas(kCacheLineBytes) Bell {
     CapMutex mu;
     std::condition_variable cv;
     std::atomic<bool> sleeping{false};
+    std::atomic<std::uint64_t> assign{0};
   };
 
   int spin_budget() const;
-  void wake_participants(unsigned extra);
-  // bell is passed by reference (captured at launch) so workers never read
-  // the bells_ vector itself, which the master may grow for later teams.
-  void worker_loop(unsigned index, Bell& bell, std::uint64_t seen_ticket,
-                   bool one_shot);
+  // bell is passed by reference (captured at launch) so workers never
+  // index the bells_ array on the hot path.  A worker's pool index is
+  // irrelevant inside the loop: its team rank arrives in the mailbox word.
+  void worker_loop(Bell& bell, std::uint64_t seen, bool one_shot);
+  void ring(Bell& bell);
+
+  int claim_slot();
+  void release_slot(int slot);
+  /// Picks up to @p wanted bits of @p avail, @p preferred cluster first,
+  /// then clusters by descending free population.
+  std::uint64_t pick_bits(std::uint64_t avail, unsigned wanted,
+                          unsigned preferred) const;
+  /// CAS-claims up to @p wanted workers from the free set (no waiting).
+  std::uint64_t try_lease(unsigned wanted, unsigned preferred);
+  /// try_lease plus the bounded OMPMCA_LEASE_WAIT_NS wait-then-degrade.
+  std::uint64_t lease_workers(unsigned wanted, unsigned preferred);
+  void release_lease(std::uint64_t lease);
+  /// Persistent mode: makes sure every leased worker's thread exists,
+  /// dropping (and freeing) the ones whose launch failed.  Returns the
+  /// surviving lease.
+  std::uint64_t ensure_launched(std::uint64_t lease);
 
   SystemBackend& backend_;
   PoolMode mode_;
@@ -175,29 +277,31 @@ class ThreadPool {
   // on a single-CPU host every pause is stolen from the thread being
   // waited for, so all spin windows collapse to zero there.
   bool can_spin_;
+  unsigned max_workers_;
+  std::uint64_t lease_wait_ns_;
 
-  // --- doorbell ---------------------------------------------------------------
-  alignas(kCacheLineBytes) std::atomic<std::uint64_t> ticket_{0};
-  TeamSlab slab_inline_;
-  // Points at slab_inline_ unless home_slab moved it into cluster memory.
-  TeamSlab* slab_ = &slab_inline_;
+  // --- dispatch slots ---------------------------------------------------------
+  alignas(kCacheLineBytes) std::atomic<std::uint32_t> slots_free_;
+  DispatchSlot slots_inline_[kMaxSlots];
+  // Points at slots_inline_ unless home_slab moved the bank into cluster
+  // memory.
+  DispatchSlot* slots_ = slots_inline_;
   ClusterMemory* slab_mem_ = nullptr;
   unsigned slab_cluster_ = 0;
+  std::atomic<std::uint64_t> seq_{0};  // global dispatch sequence
+  std::atomic<unsigned> in_flight_{0};
   std::atomic<bool> exit_{false};
-  // unique_ptr: workers keep a stable Bell& across bells_ growth.
-  std::vector<std::unique_ptr<Bell>> bells_;
 
-  // --- join -------------------------------------------------------------------
-  alignas(kCacheLineBytes) std::atomic<unsigned> active_{0};
-  std::atomic<bool> join_waiting_{false};
-  // Parking-only (guards nothing): the join state is active_/join_waiting_.
-  CapMutex done_mu_;
-  std::condition_variable done_cv_;
-
-  std::uint64_t epoch_ = 0;          // master-side generation counter
-  unsigned persistent_workers_ = 0;  // workers parked on the doorbell
-  unsigned workers_launched_ = 0;    // total successful launches (both modes)
-  std::vector<unsigned> region_indices_;  // kPerRegion: ids to join
+  // --- worker leasing ---------------------------------------------------------
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> workers_free_;
+  // Persistent workers whose backend thread is running.  Launches are
+  // one-per-bit: only the bit's lease holder launches it, so the mask only
+  // grows and a relaxed read answers "already launched?".
+  std::atomic<std::uint64_t> launched_mask_{0};
+  std::atomic<unsigned> workers_launched_{0};
+  std::vector<std::unique_ptr<Bell>> bells_;      // fixed size max_workers_
+  std::vector<unsigned> worker_cluster_;          // pre-region config
+  unsigned num_clusters_ = 1;
 };
 
 }  // namespace ompmca::gomp

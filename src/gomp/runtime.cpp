@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <string_view>
+#include <thread>
 
 #include "common/log.hpp"
 #include "gomp/backend_mca.hpp"
@@ -40,6 +42,64 @@ class FallbackNativeMutex final : public BackendMutex {
   std::mutex mu_;
 };
 
+/// One thread's env-ICV override for one runtime (keyed by the runtime's
+/// serial: several runtimes coexist, and each needs its own per-thread
+/// data environment).
+struct EnvEntry {
+  std::uint64_t serial;
+  EnvIcvs icvs;
+};
+
+/// The calling thread's env-ICV overrides across all runtimes.  A handful
+/// of entries at most (one per runtime the thread touched an ICV of, plus
+/// one per nesting level while inside regions); entries for destroyed
+/// runtimes are inert — the serial never recurs.
+std::vector<EnvEntry>& env_overrides() {
+  static thread_local std::vector<EnvEntry> t_entries;
+  return t_entries;
+}
+
+/// The calling thread's last-region meters across all runtimes, keyed by
+/// runtime serial (same multi-tenant shape as env_overrides: every master
+/// owns its own snapshot, so concurrent masters never race on a shared
+/// member).  A node-based map on purpose — last_region_meters() hands out
+/// a reference that must survive later inserts for other runtimes.
+std::map<std::uint64_t, std::vector<platform::Work>>& last_meters_map() {
+  static thread_local std::map<std::uint64_t, std::vector<platform::Work>>
+      t_meters;
+  return t_meters;
+}
+
+std::atomic<std::uint64_t> g_runtime_serial{0};
+
+/// Spreads concurrent masters' leases across clusters: a stable per-thread
+/// preferred cluster, so one tenant's bursts keep hitting the same L2
+/// while different tenants start from different clusters.
+unsigned preferred_cluster_of_master(const platform::Topology& topo) {
+  const unsigned n = std::max(1u, topo.num_clusters());
+  return static_cast<unsigned>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % n);
+}
+
+/// RAII witness of a region in flight (exception-safe: a throwing body
+/// must not leave the reset guard stuck).
+class RegionInFlight {
+ public:
+  explicit RegionInFlight(std::atomic<unsigned>& counter) : counter_(counter) {
+    counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~RegionInFlight() {
+    // release: pairs with regions_in_flight()'s acquire load — a reader
+    // seeing 0 sees the whole region retired.
+    counter_.fetch_sub(1, std::memory_order_release);
+  }
+  RegionInFlight(const RegionInFlight&) = delete;
+  RegionInFlight& operator=(const RegionInFlight&) = delete;
+
+ private:
+  std::atomic<unsigned>& counter_;
+};
+
 std::unique_ptr<SystemBackend> make_backend(const RuntimeOptions& opts) {
   if (opts.backend_factory) return opts.backend_factory();
   switch (opts.backend) {
@@ -57,7 +117,9 @@ std::unique_ptr<SystemBackend> make_backend(const RuntimeOptions& opts) {
 }  // namespace
 
 Runtime::Runtime(RuntimeOptions opts)
-    : opts_(std::move(opts)), backend_(make_backend(opts_)) {
+    : serial_(g_runtime_serial.fetch_add(1, std::memory_order_relaxed) + 1),
+      opts_(std::move(opts)),
+      backend_(make_backend(opts_)) {
   icvs_ = opts_.icvs ? *opts_.icvs : Icvs::from_env(backend_->num_procs());
   icvs_.num_threads = std::min(icvs_.num_threads, icvs_.thread_limit);
   // Environment knobs override the option defaults (both are runtime-tuning
@@ -91,11 +153,19 @@ Runtime::Runtime(RuntimeOptions opts)
       topo.num_clusters(), per_cluster);
   cluster_mem_ = std::make_unique<ClusterSlabCache>(*backend_);
   pool_ = std::make_unique<ThreadPool>(*backend_, opts_.pool_mode,
-                                       icvs_.wait_policy);
-  // The master (thread 0) writes the team slab every fork; home it in the
-  // master's cluster — placement(0) under either policy.
+                                       icvs_.wait_policy,
+                                       opts_.pool_max_workers);
+  // Masters write their dispatch slots every fork; home the slot bank in
+  // the primary master's cluster — placement(0) under either policy.
   pool_->home_slab(cluster_mem_.get(),
                    topo.cluster_of_hw_thread(topo.placement(0)));
+  // Worker index -> home cluster for the lease policy's affinity scoring
+  // (index i historically ran as tid i + 1; keep that placement model).
+  std::vector<unsigned> worker_clusters(ThreadPool::kMaxWorkers);
+  for (unsigned i = 0; i < ThreadPool::kMaxWorkers; ++i) {
+    worker_clusters[i] = topo.cluster_of_hw_thread(topo.placement(i + 1));
+  }
+  pool_->set_worker_clusters(std::move(worker_clusters), topo.num_clusters());
   // Nested teams draw worker ids from a high range so they never collide
   // with pool workers (pool ids are 0..thread_limit-1 in practice).
   for (unsigned id = 255; id >= 128; --id) free_nested_ids_.push_back(id);
@@ -112,8 +182,70 @@ Runtime::~Runtime() {
 }
 
 unsigned Runtime::resolve_num_threads(unsigned requested) const {
-  unsigned n = requested != 0 ? requested : icvs_.num_threads;
+  // nthreads-var is per data environment (the calling thread's view);
+  // thread_limit is the one global clamp.
+  unsigned n = requested != 0 ? requested : env_icvs().num_threads;
   return std::clamp(n, 1u, icvs_.thread_limit);
+}
+
+EnvIcvs Runtime::env_icvs() const {
+  for (const EnvEntry& e : env_overrides()) {
+    if (e.serial == serial_) return e.icvs;
+  }
+  return EnvIcvs{icvs_.num_threads, icvs_.nested};
+}
+
+void Runtime::set_env_num_threads(unsigned n) {
+  n = std::clamp(n, 1u, icvs_.thread_limit);
+  for (EnvEntry& e : env_overrides()) {
+    if (e.serial == serial_) {
+      e.icvs.num_threads = n;
+      return;
+    }
+  }
+  env_overrides().push_back({serial_, EnvIcvs{n, icvs_.nested}});
+}
+
+void Runtime::set_env_nested(bool nested) {
+  for (EnvEntry& e : env_overrides()) {
+    if (e.serial == serial_) {
+      e.icvs.nested = nested;
+      return;
+    }
+  }
+  env_overrides().push_back({serial_, EnvIcvs{icvs_.num_threads, nested}});
+}
+
+const std::vector<platform::Work>& Runtime::last_region_meters() const {
+  const auto& meters = last_meters_map();
+  auto it = meters.find(serial_);
+  if (it == meters.end()) {
+    static const std::vector<platform::Work> kEmpty;
+    return kEmpty;
+  }
+  return it->second;
+}
+
+std::vector<platform::Work>& Runtime::last_meters_slot() {
+  return last_meters_map()[serial_];
+}
+
+std::optional<EnvIcvs> Runtime::swap_env_override(std::optional<EnvIcvs> next) {
+  auto& v = env_overrides();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i].serial == serial_) {
+      std::optional<EnvIcvs> prev = v[i].icvs;
+      if (next) {
+        v[i].icvs = *next;
+      } else {
+        v[i] = v.back();  // order is irrelevant; swap-remove
+        v.pop_back();
+      }
+      return prev;
+    }
+  }
+  if (next) v.push_back({serial_, *next});
+  return std::nullopt;
 }
 
 BackendMutex& Runtime::critical_mutex(const std::string& name) {
@@ -140,6 +272,9 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
   obs::count(obs::Counter::kGompParallel);
   obs::ScopedTimer region_timer(obs::Hist::kGompParallelNs);
   obs::trace::Span region_span(obs::trace::Type::kParallel);
+  // Marks this runtime busy for the whole region, so gomp_compat_reset()
+  // can refuse to destroy it out from under a live team.
+  RegionInFlight in_flight(regions_in_flight_);
   unsigned n = resolve_num_threads(num_threads);
   ParallelContext* outer = current();
   const bool nested = outer != nullptr;
@@ -157,16 +292,20 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
 
   if (!nested) {
     // Launch-or-park workers first: the returned width reflects launch
-    // failures, so the team (and its barrier) never waits on a thread that
-    // does not exist.
-    n = pool_->prepare(n);
+    // failures *and* lease pressure from concurrent masters, so the team
+    // (and its barrier) never waits on a thread that does not exist.  The
+    // Dispatch handle is this master's claim on its slot + lease; other
+    // application threads fork through their own handles concurrently.
+    ThreadPool::Dispatch dispatch;
+    n = pool_->prepare(dispatch, n,
+                       preferred_cluster_of_master(opts_.topology));
     Team team(*this, n, nullptr);
     auto thread_fn = [&team, body](unsigned tid) {
       team.run_thread(tid, body);
     };
-    pool_->start_team(n, thread_fn);
+    pool_->start_team(dispatch, n, thread_fn);
     thread_fn(0);
-    pool_->wait_team();
+    pool_->wait_team(dispatch);
     team.finish();
     return;
   }
@@ -175,7 +314,7 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
   // per-region team with worker ids from the reserved range (bounded, so
   // the width is clamped to what is available).
   std::vector<unsigned> ids;
-  if (icvs_.nested && n > 1) {
+  if (env_icvs().nested && n > 1) {
     MutexLock lk(nested_ids_mu_);
     while (ids.size() < n - 1 && !free_nested_ids_.empty()) {
       ids.push_back(free_nested_ids_.back());
@@ -188,6 +327,7 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
   // a member that never existed.
   TeamLaunchGate gate;
   std::vector<unsigned> launched;
+  std::vector<unsigned> failed;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const unsigned tid = static_cast<unsigned>(launched.size()) + 1;
     Status s = launch_worker_with_retry(
@@ -198,7 +338,16 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
       OMPMCA_LOG_ERROR("nested team: launch failed (%u), degrading width",
                        ids[i]);
       obs::count(obs::Counter::kGompTeamDegraded);
+      failed.push_back(ids[i]);
     }
+  }
+  if (!failed.empty()) {
+    // Unlaunched ids go back into circulation immediately: no worker
+    // exists to hold them, and parking them until region end would starve
+    // sibling nested regions of width for the whole (possibly long)
+    // region.
+    MutexLock lk(nested_ids_mu_);
+    for (unsigned id : failed) free_nested_ids_.push_back(id);
   }
   n = static_cast<unsigned>(launched.size()) + 1;
 
@@ -212,7 +361,7 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
   for (unsigned id : launched) (void)backend_->join_thread(id);
   {
     MutexLock lk(nested_ids_mu_);
-    for (unsigned id : ids) free_nested_ids_.push_back(id);
+    for (unsigned id : launched) free_nested_ids_.push_back(id);
   }
   team.finish();
 }

@@ -6,6 +6,7 @@
 // benches run both side by side, exactly the comparison the paper makes).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -41,6 +42,10 @@ struct RuntimeOptions {
   /// OMPMCA_NESTED_PLACEMENT=flat|bubble overrides.
   bool nested_bubble = true;
   PoolMode pool_mode = PoolMode::kPersistent;
+  /// Worker-lease capacity of the pool (clamped to ThreadPool::kMaxWorkers).
+  /// Small caps make lease pressure deterministic — the concurrent-masters
+  /// tests pin this to force width degradation.
+  unsigned pool_max_workers = ThreadPool::kMaxWorkers;
   /// When set, overrides `backend` with a caller-supplied backend — the
   /// hook the validation suite uses to inject fault-seeded backends
   /// (reproducing §6A's broken-synchronisation-primitive hunt).
@@ -79,10 +84,33 @@ class Runtime {
   platform::ClusterOccupancy& occupancy() { return *occupancy_; }
   bool nested_bubble() const { return nested_bubble_; }
 
-  unsigned max_threads() const { return icvs_.num_threads; }
+  unsigned max_threads() const { return env_icvs().num_threads; }
 
   /// Resolves a parallel clause request against the ICVs.
   unsigned resolve_num_threads(unsigned requested) const;
+
+  // --- per-data-environment ICVs ----------------------------------------------
+  /// The calling thread's data-environment ICVs for this runtime: its
+  /// thread-local override when one exists (installed by
+  /// omp_set_num_threads/omp_set_nested or inherited through a team),
+  /// else the global Icvs defaults.
+  EnvIcvs env_icvs() const;
+  /// omp_set_num_threads semantics: sets the *calling thread's*
+  /// nthreads-var (clamped to thread_limit), leaving other masters alone.
+  void set_env_num_threads(unsigned n);
+  /// omp_set_nested semantics, same thread-local scope.
+  void set_env_nested(bool nested);
+  /// Installs (or, with nullopt, removes) the calling thread's env-ICV
+  /// override and returns the previous one.  Team::run_thread uses this
+  /// pair to give every team thread the master's environment at fork and
+  /// discard the region's changes at region end, per spec.
+  std::optional<EnvIcvs> swap_env_override(std::optional<EnvIcvs> next);
+
+  /// Regions currently executing in this runtime (any nesting level); the
+  /// compat layer refuses to tear the runtime down while this is nonzero.
+  unsigned regions_in_flight() const {
+    return regions_in_flight_.load(std::memory_order_acquire);
+  }
 
   // --- services used by ParallelContext ------------------------------------------
   /// Mutex backing critical(@p name); created through the backend on first
@@ -95,16 +123,23 @@ class Runtime {
 
   bool in_parallel() const { return current() != nullptr; }
 
-  /// Per-thread meters of the last completed top-level region.
-  const std::vector<platform::Work>& last_region_meters() const {
-    return last_meters_;
-  }
+  /// Per-thread meters of the *calling master's* last completed top-level
+  /// region.  Thread-local per master (keyed by runtime serial, like the
+  /// env ICVs): concurrent tenants never see — or race on — each other's
+  /// meters.
+  const std::vector<platform::Work>& last_region_meters() const;
 
  private:
   friend class Team;
   friend class ParallelContext;
 
   static thread_local ParallelContext* t_current_;
+
+  /// Process-unique runtime id keying this runtime's thread-local env-ICV
+  /// overrides (several runtimes coexist; a plain thread_local member
+  /// would alias them).
+  const std::uint64_t serial_;
+  std::atomic<unsigned> regions_in_flight_{0};
 
   RuntimeOptions opts_;
   std::unique_ptr<SystemBackend> backend_;
@@ -123,7 +158,9 @@ class Runtime {
   CapMutex nested_ids_mu_;
   std::vector<unsigned> free_nested_ids_ OMPMCA_GUARDED_BY(nested_ids_mu_);
 
-  std::vector<platform::Work> last_meters_;
+  /// The calling thread's meter slot for this runtime (Team::finish writes
+  /// the finished region's meters here).
+  std::vector<platform::Work>& last_meters_slot();
 };
 
 }  // namespace ompmca::gomp

@@ -101,6 +101,7 @@ Team::Team(Runtime& rt, unsigned nthreads, ParallelContext* parent_ctx)
       nthreads_(nthreads),
       level_(parent_ctx != nullptr ? parent_ctx->level() + 1 : 1),
       parent_ctx_(parent_ctx),
+      inherited_env_(rt.env_icvs()),
       cluster_of_thread_(nthreads),
       meters_(nthreads),
       reduce_slots_(nthreads) {
@@ -168,6 +169,10 @@ void Team::run_thread(unsigned tid, FunctionRef<void(ParallelContext&)> body) {
   // enclosing one on exit (nested regions).
   ParallelContext* saved = Runtime::t_current_;
   Runtime::t_current_ = &ctx;
+  // Per-data-environment ICVs: inherit the master's fork-time values for
+  // the region, restore this thread's own environment afterwards — an
+  // omp_set_num_threads inside the region dies with the region, per spec.
+  std::optional<EnvIcvs> saved_env = rt_.swap_env_override(inherited_env_);
   body(ctx);
   // Region-ending synchronisation, split in two.  Draining here guarantees
   // every explicit task finishes inside the region (OpenMP requires it of
@@ -180,6 +185,7 @@ void Team::run_thread(unsigned tid, FunctionRef<void(ParallelContext&)> body) {
   // release broadcast first; the release is observable only by the master,
   // and the join gives it exactly that.
   tasks_.drain(tid, &ctx.current_task_);
+  rt_.swap_env_override(saved_env);
   Runtime::t_current_ = saved;
   implicit_task->release();
 }
@@ -190,9 +196,13 @@ void Team::finish() {
     platform::Work& parent_meter = parent_ctx_->meter();
     for (auto& m : meters_) parent_meter += m.value;
   } else {
-    rt_.last_meters_.assign(meters_.size(), platform::Work{});
+    // Top-level team: publish into the *master's* thread-local slot.
+    // Concurrent masters each finish their own regions; a shared member
+    // here was a data race as soon as two top-level regions overlapped.
+    std::vector<platform::Work>& out = rt_.last_meters_slot();
+    out.assign(meters_.size(), platform::Work{});
     for (std::size_t i = 0; i < meters_.size(); ++i) {
-      rt_.last_meters_[i] = meters_[i].value;
+      out[i] = meters_[i].value;
     }
   }
 }

@@ -232,6 +232,10 @@ class Team {
   unsigned nthreads_;
   unsigned level_;
   ParallelContext* parent_ctx_;
+  // The master's data-environment ICVs at fork time: every team thread
+  // inherits these for the region and discards its changes at region end
+  // (run_thread installs/restores the thread-local override).
+  EnvIcvs inherited_env_;
   BarrierKind barrier_kind_ = BarrierKind::kCentral;
   std::unique_ptr<TeamBarrier> barrier_;
   // Thread -> hardware cluster, from the topology's placement under the

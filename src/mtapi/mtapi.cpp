@@ -186,7 +186,7 @@ bool TaskRuntime::job_registered(JobId job) const {
 Result<TaskHandle> TaskRuntime::make_task(JobId job, const void* args,
                                           std::size_t arg_size,
                                           const GroupHandle& group,
-                                          Queue* queue) {
+                                          const QueueHandle& queue) {
   ActionFunction action;
   {
     MutexLock lk(actions_mu_);
@@ -202,13 +202,19 @@ Result<TaskHandle> TaskRuntime::make_task(JobId job, const void* args,
                  static_cast<const std::uint8_t*>(args) + arg_size);
   }
   task->group_ = group.get();
-  task->queue_ = queue;
+  task->queue_ = queue.get();
   Task* raw = task.get();
   Group* group_raw = group.get();
+  // Keep-alives: the closure dereferences raw group/queue pointers (finish
+  // -> task_finished), so it must own both — the submitter is free to drop
+  // its handles while the task is still in flight.  The cycle through
+  // task_keepalive (and, for queued tasks, queue->waiting_) is broken when
+  // the executed or refused task's fn_ is cleared.
   GroupHandle group_keepalive = group;
+  QueueHandle queue_keepalive = queue;
   TaskHandle task_keepalive = task;
   task->fn_ = [action = std::move(action), blob, raw, group_raw,
-               group_keepalive, task_keepalive] {
+               group_keepalive, queue_keepalive, task_keepalive] {
     {
       MutexLock lk(raw->mu_);
       if (raw->state_ == TaskState::kCanceled) {
@@ -259,7 +265,7 @@ Result<TaskHandle> TaskRuntime::task_start(JobId job, const void* args,
       std::this_thread::sleep_for(std::chrono::microseconds(16u << attempt));
       continue;
     }
-    auto task = make_task(job, args, arg_size, group, nullptr);
+    auto task = make_task(job, args, arg_size, group, nullptr);  // no queue
     if (!task) return task.status();
     if (failures > 0) OMPMCA_FAULT_RECOVERED(kMtapiTaskStart, failures);
     submit(*task);
@@ -277,7 +283,7 @@ Result<TaskHandle> TaskRuntime::queue_enqueue(const QueueHandle& queue,
                                               std::size_t arg_size,
                                               const GroupHandle& group) {
   if (queue == nullptr) return Status::kQueueInvalid;
-  auto task = make_task(queue->job(), args, arg_size, group, queue.get());
+  auto task = make_task(queue->job(), args, arg_size, group, queue);
   if (!task) return task.status();
   bool run_now = false;
   bool refused = false;
@@ -345,11 +351,14 @@ bool TaskRuntime::try_run_one(unsigned index) {
     }
   }
   if (task == nullptr) return false;
+  // Count before running: fn_ makes the task's completion observable
+  // (Task::wait returns), and a waiter that saw every task complete must
+  // not read a stale tasks_executed().
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   task->fn_();
   // fn_ captures a keep-alive handle to its own task; drop it so the task
   // does not keep itself alive through the closure (reference cycle).
   task->fn_ = nullptr;
-  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

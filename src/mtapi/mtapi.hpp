@@ -60,7 +60,9 @@ class Task {
   mutable std::condition_variable cv_;
   TaskState state_ OMPMCA_GUARDED_BY(mu_) = TaskState::kPending;
   // Set once by make_task before the task is published to the scheduler;
-  // immutable afterwards, so not mutex-guarded.
+  // immutable afterwards, so not mutex-guarded.  Raw pointers: fn_ captures
+  // owning handles to both, so they outlive every dereference (the closure
+  // is the only place either is touched after publication).
   Group* group_ = nullptr;
   Queue* queue_ = nullptr;
 };
@@ -168,7 +170,7 @@ class TaskRuntime {
 
   Result<TaskHandle> make_task(JobId job, const void* args,
                                std::size_t arg_size, const GroupHandle& group,
-                               Queue* queue);
+                               const QueueHandle& queue);
   void submit(TaskHandle task);
   void worker_loop(unsigned index);
   bool try_run_one(unsigned index);

@@ -74,6 +74,8 @@ std::string_view name(Counter c) {
     case Counter::kGompBarrierLocal: return "gomp.barrier_local";
     case Counter::kGompBarrierXCluster: return "gomp.barrier_xcluster";
     case Counter::kGompTeamDegraded: return "gomp.team_degraded";
+    case Counter::kGompTeamMultiplexed: return "gomp.team_multiplexed";
+    case Counter::kGompLeaseDegraded: return "gomp.lease_degraded";
     case Counter::kGompTeamBubble: return "gomp.team_bubble";
     case Counter::kGompTeamBubbleSpill: return "gomp.team_bubble_spill";
     case Counter::kGompLoopStealAttempt: return "gomp.loop_steal_attempt";
@@ -112,6 +114,7 @@ std::string_view name(Hist h) {
       return "gomp.barrier_wait.hierarchical_ns";
     case Hist::kGompPoolDispatchNs: return "gomp.pool_dispatch_ns";
     case Hist::kGompDoorbellWakeNs: return "gomp.doorbell_wake_ns";
+    case Hist::kGompLeaseWaitNs: return "gomp.lease_wait_ns";
     case Hist::kMrapiMutexAcquireNs: return "mrapi.mutex_acquire_ns";
     case Hist::kMrapiArenaAllocateNs: return "mrapi.arena_allocate_ns";
     case Hist::kMrapiArenaReleaseNs: return "mrapi.arena_release_ns";

@@ -60,6 +60,12 @@ enum class Counter : unsigned {
   // Teams that ran narrower than requested because worker launch failed
   // (graceful degradation instead of a deadlocked barrier).
   kGompTeamDegraded,
+  // Regions dispatched while another master's region was already in flight
+  // on the same pool (the multiplexed-dispatch witness).
+  kGompTeamMultiplexed,
+  // Leases that came back narrower than requested because concurrent
+  // masters held the workers past the bounded lease wait.
+  kGompLeaseDegraded,
   // Nested teams pinned whole into one cluster (bubble placement); a spill
   // means the master's own cluster was full and another cluster hosted the
   // bubble instead.
@@ -100,6 +106,7 @@ enum class Hist : unsigned {
   kGompBarrierWaitHierarchicalNs,
   kGompPoolDispatchNs,
   kGompDoorbellWakeNs,  // doorbell ring -> worker starts the region body
+  kGompLeaseWaitNs,     // time a master waited for contended worker leases
   kMrapiMutexAcquireNs,
   kMrapiArenaAllocateNs,
   kMrapiArenaReleaseNs,

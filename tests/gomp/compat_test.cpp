@@ -56,6 +56,19 @@ void critical_body(void* p) {
   }
 }
 
+struct ResetProbeArgs {
+  std::atomic<int>* refused;
+};
+void reset_probe_body(void* p) {
+  auto* args = static_cast<ResetProbeArgs*>(p);
+  // From inside a region the teardown must refuse: destroying the runtime
+  // here would free the pool out from under this very team.
+  if (omp_get_thread_num() == 0 && !gomp_compat_reset()) {
+    args->refused->fetch_add(1);
+  }
+  GOMP_barrier();
+}
+
 void single_and_barrier_body(void* p) {
   auto* hits = static_cast<std::atomic<int>*>(p);
   if (GOMP_single_start()) hits->fetch_add(1);
@@ -139,6 +152,15 @@ TEST_F(CompatTest, OmpQueryApi) {
   EXPECT_EQ(omp_get_max_threads(), 6);
   double a = omp_get_wtime();
   EXPECT_GE(omp_get_wtime(), a);
+}
+
+TEST_F(CompatTest, ResetRefusesWhileARegionIsInFlight) {
+  std::atomic<int> refused{0};
+  ResetProbeArgs args{&refused};
+  GOMP_parallel(reset_probe_body, &args, 0);
+  EXPECT_EQ(refused.load(), 1);
+  // Drained: the same call now succeeds.
+  EXPECT_TRUE(gomp_compat_reset());
 }
 
 TEST(CompatBackendFlip, McaBackendViaConfigure) {

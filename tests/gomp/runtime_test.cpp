@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "gomp/backend_native.hpp"
 #include "gomp/gomp.hpp"
 #include "mrapi/database.hpp"
 
@@ -508,6 +509,64 @@ TEST(Runtime, ResolveNumThreadsClamps) {
   EXPECT_EQ(rt.resolve_num_threads(0), 8u);
   EXPECT_EQ(rt.resolve_num_threads(5), 5u);
   EXPECT_EQ(rt.resolve_num_threads(100), 16u);
+}
+
+/// Native backend whose nested-range (id >= 128) launches fail on demand:
+/// the probe for nested-id reclamation after launch failure.
+class NestedLaunchFailBackend final : public SystemBackend {
+ public:
+  explicit NestedLaunchFailBackend(std::shared_ptr<std::atomic<bool>> fail)
+      : fail_(std::move(fail)), inner_(platform::Topology::t4240rdb()) {}
+
+  std::string_view name() const override { return "nested-launch-fail"; }
+  Status launch_thread(unsigned index, std::function<void()> fn) override {
+    if (index >= 128 && fail_->load()) return Status::kOutOfResources;
+    return inner_.launch_thread(index, std::move(fn));
+  }
+  Status join_thread(unsigned index) override {
+    return inner_.join_thread(index);
+  }
+  void* allocate(std::size_t bytes) override { return inner_.allocate(bytes); }
+  void deallocate(void* p) override { inner_.deallocate(p); }
+  std::unique_ptr<BackendMutex> create_mutex() override {
+    return inner_.create_mutex();
+  }
+  unsigned num_procs() override { return inner_.num_procs(); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> fail_;
+  NativeBackend inner_;
+};
+
+TEST(Runtime, NestedIdsReclaimedImmediatelyOnLaunchFailure) {
+  auto fail = std::make_shared<std::atomic<bool>>(false);
+  RuntimeOptions opts;
+  Icvs icvs;
+  icvs.num_threads = 2;
+  icvs.nested = true;
+  icvs.max_active_levels = 2;
+  opts.icvs = icvs;
+  opts.backend_factory = [fail] {
+    return std::make_unique<NestedLaunchFailBackend>(fail);
+  };
+  Runtime rt(opts);
+
+  rt.parallel([&](ParallelContext& ctx) {
+    if (ctx.thread_num() != 0) return;
+    // Drain the whole nested-id range (128 ids) into launches that all
+    // fail: the region serializes, and every reserved id must go straight
+    // back into circulation — not sit parked until this outer region ends.
+    fail->store(true);
+    std::atomic<int> first{0};
+    rt.parallel([&](ParallelContext&) { first.fetch_add(1); }, 200);
+    EXPECT_EQ(first.load(), 1);
+    fail->store(false);
+    // Still inside the same outer region: a sibling nested team must find
+    // the ids free again and get its full width.
+    std::atomic<int> second{0};
+    rt.parallel([&](ParallelContext&) { second.fetch_add(1); }, 3);
+    EXPECT_EQ(second.load(), 3);
+  });
 }
 
 TEST(Runtime, TwoRuntimesSideBySide) {
