@@ -21,6 +21,12 @@ count: p50/p95/p99 dispatch latency and throughput); when both sides have
 one, a per-tenant table with those columns is printed, and the latency
 percentiles participate in --threshold regression accounting (throughput
 does not: higher is better, and the curve is load-sensitive).
+
+Live-monitor streams (OMPMCA_MONITOR=... JSON Lines, one sample object per
+line with "monitor": "ompmca") are detected automatically: when both inputs
+are monitor streams the diff is over time instead of over directives — per
+histogram, the mean p99 across all ticks it appeared in, plus a
+stall-count delta line.  The p99 means participate in --threshold.
 """
 
 import argparse
@@ -72,6 +78,111 @@ def load_artifact(path):
     elif any(not isinstance(entry, dict) for entry in tenants.values()):
         sys.exit(f"diff_artifacts: {path}: malformed 'tenants' section")
     return meta, overheads, trace_summary, tenants
+
+
+def load_monitor_stream(path):
+    """Returns the list of monitor samples if @p path is a monitor JSONL
+    stream (every non-empty line a {"monitor": "ompmca", ...} object),
+    else None."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError:
+        return None
+    if not lines:
+        return None
+    samples = []
+    for ln in lines:
+        try:
+            doc = json.loads(ln)
+        except ValueError:
+            return None
+        if not isinstance(doc, dict) or doc.get("monitor") != "ompmca":
+            return None
+        samples.append(doc)
+    return samples
+
+
+def monitor_p99_means(samples):
+    """{hist name: mean p99_ns across the ticks it appeared in}."""
+    sums, counts = {}, {}
+    for s in samples:
+        hists = s.get("hists")
+        if not isinstance(hists, dict):
+            continue
+        for name, entry in hists.items():
+            p99 = entry.get("p99_ns") if isinstance(entry, dict) else None
+            if isinstance(p99, bool) or not isinstance(p99, (int, float)):
+                continue
+            sums[name] = sums.get(name, 0.0) + p99
+            counts[name] = counts.get(name, 0) + 1
+    return {k: sums[k] / counts[k] for k in sums}
+
+
+def monitor_stalls(samples):
+    """Final cumulative stall count in a monitor stream."""
+    for s in reversed(samples):
+        n = s.get("stalls_total")
+        if not isinstance(n, bool) and isinstance(n, int):
+            return n
+    return 0
+
+
+def diff_monitor_streams(base_path, cand_path, base_s, cand_s, threshold):
+    """p99-over-time diff between two monitor JSONL streams."""
+    print(f"baseline : {base_path} ({len(base_s)} ticks)")
+    print(f"candidate: {cand_path} ({len(cand_s)} ticks)")
+    print()
+    base_p99 = monitor_p99_means(base_s)
+    cand_p99 = monitor_p99_means(cand_s)
+    header = (
+        f"{'histogram (mean p99 over ticks)':<34} {'base_us':>9} "
+        f"{'cand_us':>9} {'delta_us':>9} {'delta_%':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    worst_pct, worst_key = 0.0, None
+    keys = [k for k in base_p99 if k in cand_p99]
+    keys += [k for k in cand_p99 if k not in base_p99]
+    for key in keys:
+        b, c = base_p99.get(key), cand_p99.get(key)
+        if b is None or c is None:
+            side = "baseline" if c is None else "candidate"
+            print(f"{key:<34} {'(only in ' + side + ')':>38}")
+            continue
+        b_us, c_us = b / 1e3, c / 1e3
+        delta = c_us - b_us
+        if b_us:
+            pct = delta / b_us * 100.0
+            print(
+                f"{key:<34} {fmt_us(b_us)} {fmt_us(c_us)} {fmt_us(delta)} "
+                f"{pct:7.1f}%"
+            )
+            if pct > worst_pct:
+                worst_pct, worst_key = pct, key
+        else:
+            print(
+                f"{key:<34} {fmt_us(b_us)} {fmt_us(c_us)} {fmt_us(delta)} "
+                f"{'n/a':>8}"
+            )
+    b_stalls, c_stalls = monitor_stalls(base_s), monitor_stalls(cand_s)
+    print()
+    print(
+        f"stalls detected: {b_stalls} -> {c_stalls} "
+        f"(delta {c_stalls - b_stalls:+d})"
+    )
+    print()
+    if worst_key is not None and worst_pct > 0:
+        print(f"worst regression: {worst_key} ({worst_pct:+.1f}%)")
+    else:
+        print("no histogram p99 regressed")
+    if threshold is not None and worst_pct > threshold:
+        print(
+            f"FAIL: {worst_key} exceeds --threshold {threshold}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def fork_cp_mean(trace_summary):
@@ -129,6 +240,22 @@ def main():
         help="exit 1 if any overhead regresses by more than PCT percent",
     )
     args = ap.parse_args()
+
+    # Monitor streams are multi-line JSONL, not one JSON document — detect
+    # them before load_artifact would hard-exit on the parse.
+    base_stream = load_monitor_stream(args.baseline)
+    cand_stream = load_monitor_stream(args.candidate)
+    if base_stream is not None and cand_stream is not None:
+        return diff_monitor_streams(
+            args.baseline, args.candidate, base_stream, cand_stream,
+            args.threshold,
+        )
+    if (base_stream is None) != (cand_stream is None):
+        which = args.baseline if base_stream is not None else args.candidate
+        sys.exit(
+            f"diff_artifacts: {which} is a monitor JSONL stream but the "
+            f"other input is not — diff monitor streams against each other"
+        )
 
     base_meta, base, base_trace, base_tenants = load_artifact(args.baseline)
     cand_meta, cand, cand_trace, cand_tenants = load_artifact(args.candidate)

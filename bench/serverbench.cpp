@@ -4,28 +4,36 @@
 // parallel regions — the server shape the multiplexed dispatcher exists
 // for (the old single-slab pool corrupted state as soon as two masters
 // forked at once).  Every region's dispatch latency is sampled master-side
-// (fork to join, wall clock around rt.parallel), and the artifact reports
-// the exact p50/p95/p99 of the merged samples plus regions-per-second
-// throughput for each tenant count — the throughput-vs-tenants curve.
+// (fork to join, wall clock around rt.parallel) into a per-tenant
+// HistogramData, and the artifact reports the merged p50/p95/p99 (bucketed
+// quantiles, the same math the telemetry report publishes) plus
+// regions-per-second throughput for each tenant count — the
+// throughput-vs-tenants curve.
 //
-// --quick shrinks the burst for CI smoke runs; --json emits the artifact
-// ("tenants" map keyed by tenant count, plus an "overheads" map so the
-// generic bench/diff_artifacts.py table still renders) with the runtime's
+// --quick shrinks the burst for CI smoke runs; --duration=<s> switches to
+// sustained mode (each curve runs for wall time instead of a fixed region
+// count — the ROADMAP's "sustained for minutes" server shape); --monitor
+// arms the live monitor (100 ms JSONL) so the run streams deltas while it
+// executes, and the artifact folds in the last interval's per-tenant
+// percentiles and the stall count.  --json emits the artifact ("tenants"
+// map keyed by tenant count, plus an "overheads" map so the generic
+// bench/diff_artifacts.py table still renders) with the runtime's
 // telemetry — gomp.team_multiplexed witnesses that the tenants really
 // overlapped, gomp.doorbell_wake_ns is the worker half of the latency
 // this bench measures from the master side.
-#include <algorithm>
 #include <atomic>
-#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/time.hpp"
 #include "gomp/runtime.hpp"
+#include "obs/monitor.hpp"
 #include "obs/telemetry.hpp"
 
 namespace {
@@ -54,39 +62,51 @@ struct TenantCurve {
   bool verified = true;
 };
 
-/// Nearest-rank percentile over an ascending-sorted sample vector.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t n = sorted.size();
-  std::size_t rank =
-      static_cast<std::size_t>(std::ceil(q / 100.0 * static_cast<double>(n)));
-  if (rank == 0) rank = 1;
-  if (rank > n) rank = n;
-  return sorted[rank - 1];
+/// One tenant thread's burst: fixed region count, or (sustained mode) until
+/// @p deadline_ns.  Latencies land in the caller's HistogramData — single
+/// writer, merged with operator+= after the join.
+void tenant_burst(gomp::Runtime& rt, unsigned width, long regions_per_tenant,
+                  std::uint64_t deadline_ns, std::atomic<long>& ran,
+                  obs::HistogramData& hist, long& regions_out) {
+  long done = 0;
+  for (;;) {
+    if (deadline_ns != 0) {
+      if (monotonic_nanos() >= deadline_ns) break;
+    } else if (done >= regions_per_tenant) {
+      break;
+    }
+    const std::uint64_t t0 = monotonic_nanos();
+    rt.parallel(
+        [&](gomp::ParallelContext&) {
+          delay(kDelay);
+          ran.fetch_add(1, std::memory_order_relaxed);
+        },
+        width);
+    hist.record(monotonic_nanos() - t0);
+    ++done;
+  }
+  regions_out = done;
 }
 
 TenantCurve run_curve(gomp::Runtime& rt, unsigned tenants,
-                      long regions_per_tenant, unsigned width) {
+                      long regions_per_tenant, double duration_s,
+                      unsigned width) {
   std::atomic<long> ran{0};
-  std::vector<std::vector<double>> samples(tenants);
+  std::vector<obs::HistogramData> hists(tenants);
+  std::vector<long> counts(tenants, 0);
   std::atomic<bool> go{false};
   std::vector<std::thread> threads;
   threads.reserve(tenants);
   for (unsigned t = 0; t < tenants; ++t) {
-    samples[t].reserve(static_cast<std::size_t>(regions_per_tenant));
     threads.emplace_back([&, t] {
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-      for (long r = 0; r < regions_per_tenant; ++r) {
-        const std::uint64_t t0 = monotonic_nanos();
-        rt.parallel(
-            [&](gomp::ParallelContext&) {
-              delay(kDelay);
-              ran.fetch_add(1, std::memory_order_relaxed);
-            },
-            width);
-        samples[t].push_back(
-            static_cast<double>(monotonic_nanos() - t0) * 1e-3);
-      }
+      const std::uint64_t deadline =
+          duration_s > 0.0
+              ? monotonic_nanos() +
+                    static_cast<std::uint64_t>(duration_s * 1e9)
+              : 0;
+      tenant_burst(rt, width, regions_per_tenant, deadline, ran, hists[t],
+                   counts[t]);
     });
   }
   const std::uint64_t w0 = monotonic_nanos();
@@ -94,16 +114,19 @@ TenantCurve run_curve(gomp::Runtime& rt, unsigned tenants,
   for (auto& th : threads) th.join();
   const double wall_s = static_cast<double>(monotonic_nanos() - w0) * 1e-9;
 
-  std::vector<double> all;
-  for (const auto& s : samples) all.insert(all.end(), s.begin(), s.end());
-  std::sort(all.begin(), all.end());
+  obs::HistogramData all;
+  long total = 0;
+  for (unsigned t = 0; t < tenants; ++t) {
+    all += hists[t];
+    total += counts[t];
+  }
 
   TenantCurve c;
   c.tenants = tenants;
-  c.regions = regions_per_tenant * static_cast<long>(tenants);
-  c.p50_us = percentile(all, 50.0);
-  c.p95_us = percentile(all, 95.0);
-  c.p99_us = percentile(all, 99.0);
+  c.regions = total;
+  c.p50_us = all.quantile(0.50) * 1e-3;
+  c.p95_us = all.quantile(0.95) * 1e-3;
+  c.p99_us = all.quantile(0.99) * 1e-3;
   c.throughput_rps =
       wall_s > 0.0 ? static_cast<double>(c.regions) / wall_s : 0.0;
   // Pool capacity (64 leasable workers, 16 slots) comfortably covers every
@@ -120,15 +143,17 @@ struct Check {
 };
 
 void print_json(const std::vector<TenantCurve>& curves,
-                const std::vector<Check>& checks, bool all_ok,
-                unsigned width) {
+                const std::vector<Check>& checks, bool all_ok, unsigned width,
+                double duration_s, bool monitor_on,
+                std::uint64_t stall_detected) {
   std::printf("{\n  \"bench\": \"serverbench\",\n  \"width\": %u,\n", width);
+  std::printf("  \"duration_s\": %.1f,\n", duration_s);
   std::printf(
       "  \"_meta\": {\"method\": \"N tenant threads x sustained bursts of "
       "width-%u regions through one shared MCA-backend runtime; per-region "
-      "dispatch latency sampled master-side (fork..join), exact "
-      "nearest-rank percentiles over the merged samples; throughput = total "
-      "regions / burst wall time\"},\n",
+      "dispatch latency sampled master-side (fork..join) into power-of-two "
+      "bucket histograms, percentiles via HistogramData::quantile; "
+      "throughput = total regions / burst wall time\"},\n",
       width);
   // Generic hook for diff_artifacts.py's overhead table: p50 per curve.
   std::printf("  \"overheads\": {\n");
@@ -149,7 +174,25 @@ void print_json(const std::vector<TenantCurve>& curves,
         c.tenants, c.p50_us, c.p95_us, c.p99_us, c.throughput_rps, c.regions,
         c.verified ? "true" : "false", i + 1 < curves.size() ? "," : "");
   }
-  std::printf("  },\n  \"checks\": [\n");
+  // Per-master attribution: the runtime's own view of the same tenants
+  // (regions, dispatch percentiles, lease pressure), keyed by meter id.
+  std::printf("  },\n  \"tenant_attribution\": %s,\n",
+              obs::tenant::report_json().c_str());
+  // Live-monitor fold-in: the last interval's rendered sample rides along
+  // verbatim (it is a JSON object in jsonl mode), so the artifact carries
+  // last-interval per-tenant percentiles without re-deriving them.
+  if (monitor_on) {
+    const std::string last = obs::monitor::last_rendered_sample();
+    std::printf(
+        "  \"monitor\": {\"enabled\": true, \"ticks\": %llu, "
+        "\"stall_detected\": %llu, \"last_sample\": %s},\n",
+        static_cast<unsigned long long>(obs::monitor::ticks()),
+        static_cast<unsigned long long>(stall_detected),
+        last.empty() || last[0] != '{' ? "null" : last.c_str());
+  } else {
+    std::printf("  \"monitor\": {\"enabled\": false},\n");
+  }
+  std::printf("  \"checks\": [\n");
   for (std::size_t i = 0; i < checks.size(); ++i) {
     std::printf("    {\"name\": \"%s\", \"ok\": %s, \"detail\": \"%s\"}%s\n",
                 checks[i].name, checks[i].ok ? "true" : "false",
@@ -165,14 +208,32 @@ void print_json(const std::vector<TenantCurve>& curves,
 int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
+  bool monitor_flag = false;
+  double duration_s = 0.0;  // 0 = fixed region count per tenant
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--monitor") == 0) monitor_flag = true;
+    if (std::strncmp(argv[i], "--duration=", 11) == 0) {
+      duration_s = std::atof(argv[i] + 11);
+    }
   }
   // The artifact always carries the telemetry section (the multiplex and
   // wake-latency witnesses are part of the bench's evidence).
   obs::set_enabled(true);
   obs::Registry::instance().reset();
+
+  // --monitor: arm the live sampler programmatically (100 ms JSONL to
+  // OMPMCA_MONITOR_FILE or ./serverbench_monitor.jsonl).  If OMPMCA_MONITOR
+  // already armed one at startup, keep that one — start() refuses a second.
+  const bool monitor_on = monitor_flag || obs::monitor::running();
+  if (monitor_flag && !obs::monitor::running()) {
+    obs::monitor::Options mo;
+    mo.interval_ms = 100;
+    mo.path = ompmca::env_string("OMPMCA_MONITOR_FILE")
+                  .value_or("serverbench_monitor.jsonl");
+    obs::monitor::start(mo);
+  }
 
   constexpr unsigned kWidth = 4;
   const long regions_per_tenant = quick ? 150 : 1000;
@@ -185,12 +246,15 @@ int main(int argc, char** argv) {
   gomp::Runtime rt(opts);
 
   // One warmup region so persistent-worker launch cost stays out of the
-  // first tenant's tail.
+  // first tenant's tail; zero the meters after so attribution covers only
+  // the measured bursts.
   rt.parallel([](gomp::ParallelContext&) { delay(kDelay); }, kWidth);
+  obs::tenant::reset();
 
   std::vector<TenantCurve> curves;
   for (unsigned tenants : {1u, 2u, 4u}) {
-    curves.push_back(run_curve(rt, tenants, regions_per_tenant, kWidth));
+    curves.push_back(
+        run_curve(rt, tenants, regions_per_tenant, duration_s, kWidth));
   }
 
   const obs::Snapshot snap = obs::Registry::instance().snapshot();
@@ -200,6 +264,8 @@ int main(int argc, char** argv) {
       snap.counter(obs::Counter::kGompLeaseDegraded);
   const std::uint64_t wakes =
       snap.hist(obs::Hist::kGompDoorbellWakeNs).count;
+  const std::uint64_t stall_detected =
+      snap.counter(obs::Counter::kObsStallDetected);
 
   std::vector<Check> checks;
   bool verified = true;
@@ -220,15 +286,35 @@ int main(int argc, char** argv) {
   }
   checks.push_back({"throughput_positive", positive,
                     "all tenant counts completed their bursts"});
+  if (monitor_on) {
+    // The sampler must actually have streamed deltas during the run — a
+    // burst shorter than one interval still exports via stop()'s final
+    // sample, but that fires after this check.  Only a sustained run
+    // (--duration) guarantees the bursts outlive at least one tick, so the
+    // tick check is scoped to that; an env-armed quick run can finish inside
+    // the first interval.  The seeded-stall coverage lives in tests, so here
+    // the watchdog staying quiet is the healthy signal.
+    if (duration_s > 0.0) {
+      const std::uint64_t ticks =
+          snap.counter(obs::Counter::kObsMonitorTick);
+      checks.push_back({"monitor_ticked", ticks > 0,
+                        "obs.monitor_tick=" + std::to_string(ticks)});
+    }
+    checks.push_back({"no_stalls", stall_detected == 0,
+                      "obs.stall_detected=" + std::to_string(stall_detected)});
+  }
 
   bool all_ok = true;
   for (const Check& c : checks) all_ok = all_ok && c.ok;
 
   if (json) {
-    print_json(curves, checks, all_ok, kWidth);
+    print_json(curves, checks, all_ok, kWidth, duration_s, monitor_on,
+               stall_detected);
   } else {
-    std::printf("serverbench (width %u, %s)\n", kWidth,
-                quick ? "quick" : "full");
+    std::printf("serverbench (width %u, %s%s%s)\n", kWidth,
+                quick ? "quick" : "full",
+                duration_s > 0.0 ? ", sustained" : "",
+                monitor_on ? ", monitored" : "");
     std::printf("  %8s %10s %10s %10s %14s %8s\n", "tenants", "p50_us",
                 "p95_us", "p99_us", "throughput_rps", "regions");
     for (const TenantCurve& c : curves) {
@@ -243,6 +329,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\noverall: %s\n", all_ok ? "PASS" : "FAIL");
   }
+  if (monitor_flag) obs::monitor::stop();  // final sample + join
   obs::Registry::instance().maybe_write_report("serverbench");
   return all_ok ? 0 : 1;
 }

@@ -21,14 +21,14 @@ set -eu
 
 cd "$(dirname "$0")"
 
-echo "== [1/12] normal build + ctest =="
+echo "== [1/13] normal build + ctest =="
 cmake -B build -S . -DOMPMCA_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j
 # Serial on purpose: epcc_test asserts on measured timings, which parallel
 # test load can flip.
 (cd build && ctest --output-on-failure)
 
-echo "== [2/12] ThreadSanitizer, all suites =="
+echo "== [2/13] ThreadSanitizer, all suites =="
 # Race-check everything, not just the gomp hot paths: the MRAPI database,
 # arena and DMA engine carry their own lock-free fast paths.
 cmake -B build-tsan -S . -DOMPMCA_WERROR=ON -DOMPMCA_TSAN=ON
@@ -44,12 +44,12 @@ cmake --build build-tsan -j
 ./build-tsan/bench/ablation_barriers --quick --kind=hier >/dev/null
 echo "hierarchical barrier ablation: clean under TSan"
 
-echo "== [3/12] ASan+UBSan, all suites =="
+echo "== [3/13] ASan+UBSan, all suites =="
 cmake -B build-asan -S . -DOMPMCA_WERROR=ON -DOMPMCA_ASAN=ON
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -E '^epcc_test$')
 
-echo "== [4/12] correctness checker (OMPMCA_CHECK=ON), all suites =="
+echo "== [4/13] correctness checker (OMPMCA_CHECK=ON), all suites =="
 # The check build compiles the lockdep/lifecycle/usage hooks in; check_test
 # seeds violations and asserts the reports, the rest of the suite doubles
 # as a no-false-positives audit.
@@ -60,7 +60,7 @@ cmake --build build-check -j
 OMPMCA_CHECK_ABORT=1 ./build-check/bench/ablation_barriers --quick --kind=hier >/dev/null
 echo "hierarchical barrier ablation: clean under checker"
 
-echo "== [5/12] fault injection (OMPMCA_FAULT=ON + OMPMCA_CHECK=ON), all suites =="
+echo "== [5/13] fault injection (OMPMCA_FAULT=ON + OMPMCA_CHECK=ON), all suites =="
 # Compiles the injection points and recovery policies in and runs the whole
 # suite, including the fixed-seed chaos tests in tests/fault/ (which skip in
 # every other build).  The checker rides along so injected failures cannot
@@ -69,7 +69,7 @@ cmake -B build-fault -S . -DOMPMCA_WERROR=ON -DOMPMCA_FAULT=ON -DOMPMCA_CHECK=ON
 cmake --build build-fault -j
 (cd build-fault && ctest --output-on-failure)
 
-echo "== [6/12] clang-tidy =="
+echo "== [6/13] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Uses .clang-tidy at the repo root and the compile database from step 1.
   find src -name '*.cpp' -print | xargs clang-tidy -p build --quiet
@@ -77,7 +77,7 @@ else
   echo "clang-tidy not installed; skipping lint step"
 fi
 
-echo "== [7/12] EPCC artifact diff (informational) =="
+echo "== [7/13] EPCC artifact diff (informational) =="
 if command -v python3 >/dev/null 2>&1; then
   python3 bench/diff_artifacts.py \
     bench/artifacts/epcc_before.json bench/artifacts/epcc_after.json || true
@@ -85,7 +85,7 @@ else
   echo "python3 not installed; skipping artifact diff"
 fi
 
-echo "== [8/12] flight-recorder trace export =="
+echo "== [8/13] flight-recorder trace export =="
 # Runs the EPCC bench with tracing armed and validates the exported Chrome
 # trace JSON strictly (json.tool); the analyzer pass is informational.  The
 # bench's own PASS/FAIL is timing-sensitive on loaded CI hosts, so only the
@@ -100,7 +100,7 @@ else
   echo "python3 not installed; skipping trace validation"
 fi
 
-echo "== [9/12] taskbench artifact diff (informational) =="
+echo "== [9/13] taskbench artifact diff (informational) =="
 # Runs the task-subsystem bench and diffs its overhead artifact against the
 # committed reference.  The run itself is tolerated to fail (its in-bench
 # band checks are timing-sensitive on loaded CI hosts); the artifact must
@@ -114,7 +114,7 @@ else
   echo "python3 not installed; skipping taskbench artifact diff"
 fi
 
-echo "== [10/12] placement artifact diff (informational) =="
+echo "== [10/13] placement artifact diff (informational) =="
 # Regenerates the flat-vs-hier placement artifacts (modeled numbers plus a
 # runtime locality witness) and diffs them against the committed pair.  The
 # bench's PASS/FAIL gates the run; the cross-artifact diff is informational.
@@ -127,7 +127,7 @@ else
   echo "python3 not installed; skipping placement artifact diff"
 fi
 
-echo "== [11/12] thread-safety analysis build + ompmca-lint =="
+echo "== [11/13] thread-safety analysis build + ompmca-lint =="
 # The lock structure carries Clang Thread Safety annotations
 # (src/common/annotations.hpp); a clang build with -DOMPMCA_TSA=ON turns
 # -Wthread-safety into errors (-Wthread-safety-negative stays
@@ -152,7 +152,7 @@ else
   echo "python3 not installed; skipping ompmca-lint"
 fi
 
-echo "== [12/12] serverbench artifact diff (informational) =="
+echo "== [12/13] serverbench artifact diff (informational) =="
 # Runs the multi-tenant dispatch bench (N masters bursting small regions
 # through one runtime) and diffs its latency/throughput curve against the
 # committed reference.  The run's own PASS/FAIL is tolerated (its telemetry
@@ -165,6 +165,46 @@ if command -v python3 >/dev/null 2>&1; then
     bench/artifacts/serverbench_ref.json build/serverbench_ci.json || true
 else
   echo "python3 not installed; skipping serverbench artifact diff"
+fi
+
+echo "== [13/13] live monitor: sustained serverbench + format validation =="
+# Short sustained serverbench with the live monitor armed: the artifact and
+# every JSONL line must parse, and a prom-format run must produce
+# well-formed text exposition (TYPE'd families, name{labels} value lines).
+# The watchdog chaos case rides the fault-build ctest pass (step 5).
+if command -v python3 >/dev/null 2>&1; then
+  OMPMCA_MONITOR_FILE=build/monitor_ci.jsonl \
+    ./build/bench/serverbench --quick --duration=2 --monitor --json \
+    > build/serverbench_monitor_ci.json || true
+  python3 -m json.tool build/serverbench_monitor_ci.json >/dev/null
+  python3 - build/monitor_ci.jsonl <<'EOF'
+import json, sys
+lines = [ln for ln in open(sys.argv[1]) if ln.strip()]
+assert lines, "monitor stream is empty"
+for ln in lines:
+    doc = json.loads(ln)
+    assert doc.get("monitor") == "ompmca", "missing monitor marker"
+    assert "tick" in doc and "counters" in doc and "tenants" in doc, doc.keys()
+print(f"monitor JSONL: {len(lines)} ticks validated")
+EOF
+  python3 bench/diff_artifacts.py build/monitor_ci.jsonl \
+    build/monitor_ci.jsonl || true
+  OMPMCA_MONITOR=100 OMPMCA_MONITOR_FORMAT=prom \
+    OMPMCA_MONITOR_FILE=build/monitor_ci.prom \
+    ./build/bench/serverbench --quick --json >/dev/null || true
+  python3 - build/monitor_ci.prom <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+assert "# TYPE ompmca_monitor_tick counter" in text, "missing TYPE line"
+line_re = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]')
+for ln in text.splitlines():
+    if not ln or ln.startswith("#"):
+        continue
+    assert line_re.match(ln), f"malformed prom line: {ln!r}"
+print("monitor prom exposition: lint clean")
+EOF
+else
+  echo "python3 not installed; skipping live-monitor validation"
 fi
 
 echo "ci.sh: all passes complete"

@@ -103,9 +103,13 @@ ThreadPool::ThreadPool(SystemBackend& backend, PoolMode mode,
   for (unsigned i = 0; i < max_workers_; ++i) {
     bells_.push_back(std::make_unique<Bell>());
   }
+  obs::monitor::register_stall_source(this, &ThreadPool::stall_probe);
 }
 
 ThreadPool::~ThreadPool() {
+  // Before any teardown: unregister blocks until an in-progress probe
+  // returns, so the monitor can never walk a dying pool's slots.
+  obs::monitor::unregister_stall_source(this);
   // seq_cst: pairs with each bell's sleeping/mailbox Dekker protocol — the
   // exit flag must be globally ordered against the workers' park sequence.
   exit_.store(true, std::memory_order_seq_cst);
@@ -280,11 +284,17 @@ void ThreadPool::worker_loop(Bell& bell, std::uint64_t seen, bool one_shot) {
         obs::trace::instant_at(obs::trace::Type::kWorkerWake, now,
                                assign_seq(a));
       }
+      // Heartbeat parity for the stall watchdog: capture armed() once so
+      // both bumps happen or neither — a monitor started or stopped
+      // mid-region must not leave the epoch odd forever.
+      const bool hb = obs::monitor::armed();
+      if (hb) bell.heartbeat.fetch_add(1, std::memory_order_relaxed);
       {
         obs::trace::Span work_span(obs::trace::Type::kWorkerWork,
                                    assign_seq(a));
         slot.work(tid);
       }
+      if (hb) bell.heartbeat.fetch_add(1, std::memory_order_relaxed);
       // seq_cst: Dekker pair with wait_team — the decrement is ordered
       // before the join_waiting load, the master's join_waiting store
       // before its active re-check.  Only the last finisher — and only
@@ -401,7 +411,9 @@ std::uint64_t ThreadPool::lease_workers(unsigned wanted, unsigned preferred) {
       got = popcount64(lease);
     } while (got < wanted && monotonic_nanos() - t0 < lease_wait_ns_);
     if (obs::enabled()) {
-      obs::record(obs::Hist::kGompLeaseWaitNs, monotonic_nanos() - t0);
+      const std::uint64_t waited = monotonic_nanos() - t0;
+      obs::record(obs::Hist::kGompLeaseWaitNs, waited);
+      obs::tenant::add_lease_wait(waited);  // attributed to this master
     }
   }
   if (got < wanted) obs::count(obs::Counter::kGompLeaseDegraded);
@@ -528,6 +540,18 @@ void ThreadPool::start_team(Dispatch& d, unsigned nthreads,
   slot.dispatch_start_ns =
       (obs::enabled() || obs::trace::enabled()) ? monotonic_nanos() : 0;
   slot.active.store(extra, std::memory_order_relaxed);
+  if (obs::monitor::armed()) {
+    // Watchdog arm: mirrors first, then the start timestamp (release,
+    // paired with the probe's acquire) so a probe that sees the region
+    // in flight sees *this* region's identity, not the previous owner's.
+    slot.mon_seq.store(seq, std::memory_order_relaxed);
+    slot.mon_master.store(obs::tenant::current_id(), std::memory_order_relaxed);
+    slot.mon_lease.store(d.lease_, std::memory_order_relaxed);
+    slot.mon_start_ns.store(
+        slot.dispatch_start_ns != 0 ? slot.dispatch_start_ns
+                                    : monotonic_nanos(),
+        std::memory_order_release);
+  }
 
   // Two-phase ring, mirroring the old ticket-then-wake split: store every
   // participant's assignment word, then run the Dekker sleeping checks.
@@ -608,6 +632,13 @@ void ThreadPool::wait_team(Dispatch& d) {
       (void)backend_.join_thread(index);
     }
     d.per_region_.clear();
+    // Watchdog disarm — gated on a relaxed load, not on armed(), so a
+    // monitor stopped mid-region still gets its stale start cleared (a
+    // later monitor would otherwise flag a long-gone region), while an
+    // unmonitored run pays exactly one relaxed load here.
+    if (slot.mon_start_ns.load(std::memory_order_relaxed) != 0) {
+      slot.mon_start_ns.store(0, std::memory_order_relaxed);
+    }
     OMPMCA_CHECK_RELEASE(check::LockClass::kGompPool, &slot);
     // Teardown order: lease first (the workers have retired — their
     // decrements are what the join above observed), then the multiplex
@@ -621,6 +652,38 @@ void ThreadPool::wait_team(Dispatch& d) {
   d.slot_ = -1;
   d.started_ = false;
   d.width_ = 1;
+}
+
+void ThreadPool::stall_probe(void* ctx, std::uint64_t now_ns,
+                             std::uint64_t stall_ns,
+                             std::vector<obs::monitor::StallRegion>& out) {
+  auto* pool = static_cast<ThreadPool*>(ctx);
+  for (unsigned s = 0; s < kMaxSlots; ++s) {
+    DispatchSlot& slot = pool->slots_[s];
+    // acquire: pairs with start_team's release arm store, so a nonzero
+    // start guarantees the identity mirrors below belong to this region.
+    const std::uint64_t start =
+        slot.mon_start_ns.load(std::memory_order_acquire);
+    if (start == 0 || now_ns < start || now_ns - start < stall_ns) continue;
+    obs::monitor::StallRegion r;
+    r.seq = slot.mon_seq.load(std::memory_order_relaxed);
+    r.slot = s;
+    r.start_ns = start;
+    r.master = slot.mon_master.load(std::memory_order_relaxed);
+    r.workers = slot.mon_lease.load(std::memory_order_relaxed);
+    r.active = slot.active.load(std::memory_order_relaxed);
+    std::uint64_t rest = r.workers;
+    while (rest != 0) {
+      const unsigned i = lowest_bit(rest);
+      rest &= rest - 1;
+      // Odd epoch = inside the region body right now.
+      if ((pool->bells_[i]->heartbeat.load(std::memory_order_relaxed) & 1) !=
+          0) {
+        r.busy |= std::uint64_t{1} << i;
+      }
+    }
+    out.push_back(r);
+  }
 }
 
 void ThreadPool::run(unsigned nthreads, FunctionRef<void(unsigned)> fn) {

@@ -67,6 +67,7 @@
 #include "gomp/backend.hpp"
 #include "gomp/barrier.hpp"
 #include "gomp/icv.hpp"
+#include "obs/monitor.hpp"
 
 namespace ompmca::gomp {
 
@@ -231,6 +232,16 @@ class ThreadPool {
     std::uint64_t seq = 0;                // trace flow-arrow key
     std::atomic<unsigned> active{0};
     std::atomic<bool> join_waiting{false};
+    // Watchdog mirrors, written only when the monitor is armed.  The
+    // monitor thread reads them with no other synchronisation, so unlike
+    // the fields above they must be atomic: mon_start_ns is the arm flag
+    // (0 = not in flight) and is stored last/cleared first, release/acquire
+    // paired with the probe so the other mirrors are visible when it reads
+    // a nonzero start.
+    std::atomic<std::uint64_t> mon_start_ns{0};
+    std::atomic<std::uint64_t> mon_seq{0};
+    std::atomic<std::uint64_t> mon_master{0};  // tenant id
+    std::atomic<std::uint64_t> mon_lease{0};   // leased worker bitmap
     // Parking-only (guards nothing): the join state is active/join_waiting.
     CapMutex done_mu;
     std::condition_variable done_cv;
@@ -245,6 +256,10 @@ class ThreadPool {
     std::condition_variable cv;
     std::atomic<bool> sleeping{false};
     std::atomic<std::uint64_t> assign{0};
+    // Watchdog heartbeat epoch, bumped (monitor armed only) entering and
+    // leaving the region body: odd = inside slot.work right now.  Lives on
+    // the worker's own cache line, so the bumps never contend.
+    std::atomic<std::uint64_t> heartbeat{0};
   };
 
   int spin_budget() const;
@@ -253,6 +268,13 @@ class ThreadPool {
   // irrelevant inside the loop: its team rank arrives in the mailbox word.
   void worker_loop(Bell& bell, std::uint64_t seen, bool one_shot);
   void ring(Bell& bell);
+
+  /// The monitor's stall probe (runs on the sampler thread): appends every
+  /// slot whose mon_start_ns is older than @p stall_ns, with the leased
+  /// workers' heartbeat parity folded into StallRegion::busy.
+  static void stall_probe(void* ctx, std::uint64_t now_ns,
+                          std::uint64_t stall_ns,
+                          std::vector<obs::monitor::StallRegion>& out);
 
   int claim_slot();
   void release_slot(int slot);

@@ -8,9 +8,11 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "common/time.hpp"
 #include "gomp/backend_mca.hpp"
 #include "gomp/backend_native.hpp"
 #include "mrapi/database.hpp"
+#include "obs/monitor.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -284,6 +286,7 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
     // Width-1 fast path: no doorbell ring, no pool join bookkeeping, and
     // the Team skips barrier construction entirely — a serialized region
     // costs a Team frame and nothing else.
+    if (!nested) obs::tenant::on_region(0, false);
     Team team(*this, 1, outer);
     team.run_thread(0, body);
     team.finish();
@@ -296,6 +299,9 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
     // (and its barrier) never waits on a thread that does not exist.  The
     // Dispatch handle is this master's claim on its slot + lease; other
     // application threads fork through their own handles concurrently.
+    const unsigned requested = n;
+    const bool meter = obs::enabled();
+    const std::uint64_t fork_t0 = meter ? monotonic_nanos() : 0;
     ThreadPool::Dispatch dispatch;
     n = pool_->prepare(dispatch, n,
                        preferred_cluster_of_master(opts_.topology));
@@ -304,6 +310,11 @@ void Runtime::parallel(FunctionRef<void(ParallelContext&)> body,
       team.run_thread(tid, body);
     };
     pool_->start_team(dispatch, n, thread_fn);
+    if (meter) {
+      // Tenant attribution: prepare-to-ring latency and whether lease
+      // pressure or launch failures narrowed this master's team.
+      obs::tenant::on_region(monotonic_nanos() - fork_t0, n < requested);
+    }
     thread_fn(0);
     pool_->wait_team(dispatch);
     team.finish();

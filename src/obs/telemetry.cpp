@@ -17,14 +17,6 @@ namespace ompmca::obs {
 
 namespace {
 
-/// Bucket index for a duration: 0 holds sub-nanosecond/zero samples, bucket
-/// b >= 1 holds [2^(b-1), 2^b) ns; the last bucket absorbs the tail.
-unsigned bucket_of(std::uint64_t ns) {
-  if (ns == 0) return 0;
-  unsigned b = static_cast<unsigned>(std::bit_width(ns));
-  return b < kHistBuckets ? b : kHistBuckets - 1;
-}
-
 void atomic_fetch_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
   std::uint64_t cur = slot.load(std::memory_order_relaxed);
   while (cur < value &&
@@ -93,6 +85,8 @@ std::string_view name(Counter c) {
     case Counter::kMrapiArenaClusterLocal: return "mrapi.arena_cluster_local";
     case Counter::kMrapiArenaClusterSpill: return "mrapi.arena_cluster_spill";
     case Counter::kPlatformTeamShape: return "platform.team_shape";
+    case Counter::kObsMonitorTick: return "obs.monitor_tick";
+    case Counter::kObsStallDetected: return "obs.stall_detected";
     case Counter::kCount: break;
   }
   return "?";
@@ -131,6 +125,50 @@ std::string_view name(Gauge g) {
     case Gauge::kCount: break;
   }
   return "?";
+}
+
+// --- HistogramData ------------------------------------------------------------
+
+void HistogramData::record(std::uint64_t ns) {
+  buckets[bucket_of(ns)] += 1;
+  count += 1;
+  sum_ns += ns;
+  if (ns > max_ns) max_ns = ns;
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (unsigned b = 0; b < kHistBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += buckets[b];
+    if (static_cast<double>(cum) >= target) {
+      // Bucket 0 holds zero-duration samples; bucket b >= 1 covers
+      // [2^(b-1), 2^b).  Interpolate by rank inside the bucket.
+      const double lower =
+          b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+      const double upper = static_cast<double>(bucket_upper_ns(b));
+      const double frac =
+          (target - before) / static_cast<double>(buckets[b]);
+      double v = lower + frac * (upper - lower);
+      if (max_ns > 0 && v > static_cast<double>(max_ns)) {
+        v = static_cast<double>(max_ns);
+      }
+      return v;
+    }
+  }
+  return static_cast<double>(max_ns);
+}
+
+HistogramData& HistogramData::operator+=(const HistogramData& o) {
+  for (unsigned b = 0; b < kHistBuckets; ++b) buckets[b] += o.buckets[b];
+  count += o.count;
+  sum_ns += o.sum_ns;
+  if (o.max_ns > max_ns) max_ns = o.max_ns;
+  return *this;
 }
 
 // --- Registry -----------------------------------------------------------------
@@ -395,7 +433,8 @@ void add_counter(Counter c, std::uint64_t n) {
 void record_hist(Hist h, std::uint64_t ns) {
   auto& hist =
       Registry::instance().impl_->local_slab().hists[static_cast<unsigned>(h)];
-  hist.buckets[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  hist.buckets[HistogramData::bucket_of(ns)].fetch_add(
+      1, std::memory_order_relaxed);
   hist.count.fetch_add(1, std::memory_order_relaxed);
   hist.sum_ns.fetch_add(ns, std::memory_order_relaxed);
   atomic_fetch_max(hist.max_ns, ns);

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -90,6 +91,9 @@ enum class Counter : unsigned {
   kMrapiArenaClusterSpill,
   // platform — placement machinery.
   kPlatformTeamShape,
+  // obs — the live monitor's own meters (src/obs/monitor.cpp).
+  kObsMonitorTick,
+  kObsStallDetected,
   kCount
 };
 
@@ -209,6 +213,29 @@ struct HistogramData {
   static std::uint64_t bucket_upper_ns(unsigned b) {
     return b == 0 ? 1 : (std::uint64_t{1} << b);
   }
+
+  /// Bucket index for a duration: 0 holds zero samples, bucket b >= 1
+  /// covers [2^(b-1), 2^b); the last bucket absorbs the tail.
+  static unsigned bucket_of(std::uint64_t ns) {
+    if (ns == 0) return 0;
+    const unsigned b = static_cast<unsigned>(std::bit_width(ns));
+    return b < kHistBuckets ? b : kHistBuckets - 1;
+  }
+
+  /// Records @p ns into this (non-atomic) histogram.  For single-threaded
+  /// aggregation — benches and the monitor's delta math; the hot-path slabs
+  /// stay atomic and merge into this type at snapshot time.
+  void record(std::uint64_t ns);
+
+  /// The q-quantile (q in [0, 1]) in nanoseconds, linearly interpolated
+  /// inside the power-of-two bucket that holds rank q*count and clamped to
+  /// max_ns.  Resolution is bounded by the bucket width (a factor of two),
+  /// which is exactly the precision the report's buckets already publish.
+  /// Returns 0 for an empty histogram.
+  double quantile(double q) const;
+
+  /// Bucket-wise accumulation (merging per-thread or per-tenant samples).
+  HistogramData& operator+=(const HistogramData& o);
 };
 
 /// A merged, self-consistent-enough view of all thread slabs (individual

@@ -489,7 +489,12 @@ std::string chrome_json() {
       }
     }
   }
-  s += "\n]}\n";
+  // The monotonic timestamp ts 0 corresponds to: lets tools line the trace
+  // up against other monotonic-clock streams (the live monitor's mono_ns —
+  // analyze_trace.py --monitor cross-references stall ticks this way).
+  s += "\n],\"otherData\":{\"base_mono_ns\":";
+  append_u64(s, base_ns);
+  s += "}}\n";
   return s;
 }
 

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -23,6 +24,8 @@
 #include "mrapi/semaphore.hpp"
 #include "mtapi/mtapi.hpp"
 #include "npb/npb.hpp"
+#include "obs/monitor.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ompmca {
 namespace {
@@ -329,6 +332,43 @@ TEST_F(ChaosTest, ReportSectionReflectsTheRun) {
   fault::Counts c = fault::counts(fault::Site::kPoolWorkerLaunch);
   EXPECT_GT(c.injected, 0u);
   EXPECT_EQ(c.injected, c.recovered + c.exhausted);
+}
+
+TEST_F(ChaosTest, MonitorWatchdogStaysQuietUnderInjection) {
+  // The live monitor sampling at full speed while launch/alloc faults fire:
+  // degraded-width recoveries must NOT read as stalls (the watchdog keys on
+  // region age, not width), the sampler must tick through the chaos, and
+  // the fault accounting still balances with the monitor thread attached.
+  ASSERT_TRUE(fault::configure(
+      "pool.worker_launch:rate=0.2:seed=19,mrapi.arena_alloc:rate=0.1:seed=3"));
+  fault::set_enabled(true);
+  obs::set_enabled(true);
+  obs::Registry::instance().reset();
+  obs::monitor::Options mo;
+  mo.interval_ms = 5;
+  mo.path = "chaos_monitor.jsonl";
+  mo.stall_ns = 5'000'000'000;  // 5 s: nothing here runs that long
+  ASSERT_TRUE(obs::monitor::start(mo));
+  {
+    gomp::Runtime rt = make_mca_runtime(4);
+    for (int rep = 0; rep < 200; ++rep) {
+      long sum = 0;
+      rt.parallel([&](gomp::ParallelContext& ctx) {
+        long part = ctx.reduce_sum(static_cast<long>(ctx.thread_num()));
+        ctx.master([&] { sum = part; });
+      });
+      EXPECT_GE(sum, 0);
+    }
+  }
+  obs::monitor::stop();
+  EXPECT_GE(obs::monitor::ticks(), 1u);
+  const obs::Snapshot s = obs::Registry::instance().snapshot();
+  EXPECT_EQ(s.counter(obs::Counter::kObsStallDetected), 0u)
+      << "degraded teams misread as stalls";
+  EXPECT_GT(s.counter(obs::Counter::kObsMonitorTick), 0u);
+  expect_accounting_balances();
+  obs::set_enabled(false);
+  std::remove("chaos_monitor.jsonl");
 }
 
 }  // namespace

@@ -68,6 +68,60 @@ TEST(Telemetry, HistogramBucketsArePowersOfTwo) {
   EXPECT_EQ(HistogramData::bucket_upper_ns(11), 2048u);
 }
 
+TEST(Telemetry, QuantileOfEmptyHistogramIsZero) {
+  HistogramData h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Telemetry, QuantileStaysInsideTheOccupiedBucket) {
+  // All samples in bucket 11 ([1024, 2048)): every quantile must land in
+  // that bucket's range, clamped to the recorded max.
+  HistogramData h;
+  for (int i = 0; i < 100; ++i) h.record(1500);
+  for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), 1024.0) << q;
+    EXPECT_LE(h.quantile(q), 1500.0) << q;  // clamped to max_ns
+  }
+}
+
+TEST(Telemetry, QuantileIsMonotonicAcrossBuckets) {
+  HistogramData h;
+  for (int i = 0; i < 90; ++i) h.record(100);     // bucket 7: [64, 128)
+  for (int i = 0; i < 9; ++i) h.record(10'000);   // bucket 14
+  h.record(1'000'000);                            // bucket 20
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p999 = h.quantile(0.999);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p999);
+  // Rank math: p50 inside the 100ns bucket, p95 in the 10µs one, p99.9 at
+  // the tail (clamped to the exact max).
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LT(p50, 128.0);
+  EXPECT_GE(p95, 8192.0);
+  EXPECT_LE(p95, 16384.0);
+  EXPECT_GT(p999, 16384.0);
+  EXPECT_LE(p999, 1'000'000.0);
+  // Out-of-range q is clamped, not UB.
+  EXPECT_LE(h.quantile(2.0), 1'000'000.0);
+  EXPECT_GE(h.quantile(-1.0), 0.0);
+}
+
+TEST(Telemetry, HistogramMergeAccumulatesBucketwise) {
+  HistogramData a;
+  HistogramData b;
+  a.record(100);
+  a.record(200);
+  b.record(100);
+  b.record(50'000);
+  a += b;
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum_ns, 100u + 200 + 100 + 50'000);
+  EXPECT_EQ(a.max_ns, 50'000u);
+  EXPECT_EQ(a.buckets[HistogramData::bucket_of(100)], 2u);
+}
+
 TEST(Telemetry, GaugeKeepsHighWaterMark) {
   ScopedEnable scope;
   gauge_max(Gauge::kMrapiArenaBytesInUseHwm, 100);
